@@ -1,0 +1,86 @@
+"""Ablation: the paper's gradient method vs classic partitioners.
+
+The paper claims the problem "can not be formulated as a classic K-way
+partitioning problem" but publishes no baseline.  This bench runs four
+of them plus the gradient method on KSA16/K=5 and writes the panel to
+``benchmarks/output/ablation_baselines.txt``.
+
+Headline reproduction finding (see EXPERIMENTS.md): on fully
+path-balanced SFQ netlists — which are nearly linear graphs — the
+dataflow-contiguous baselines (levelized greedy, spectral, FM) dominate
+the gradient method on every metric simultaneously.
+"""
+
+import pytest
+
+from conftest import write_artifact
+from repro.baselines import (
+    annealing_partition,
+    fm_partition,
+    greedy_partition,
+    multilevel_partition,
+    random_partition,
+    spectral_partition,
+)
+from repro.circuits.suite import build_circuit
+from repro.core.partitioner import partition
+from repro.harness.formatting import ascii_table, percent
+from repro.metrics.report import evaluate_partition
+
+METHODS = {
+    "gradient": partition,
+    "random": random_partition,
+    "greedy": greedy_partition,
+    "spectral": spectral_partition,
+    "fm": fm_partition,
+    "annealing": annealing_partition,
+    "multilevel": multilevel_partition,
+}
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("method", sorted(METHODS))
+def test_ablation_baseline(benchmark, method, bench_config):
+    netlist = build_circuit("KSA16")
+    runner = METHODS[method]
+    result = benchmark.pedantic(
+        runner, args=(netlist, 5), kwargs={"config": bench_config}, rounds=2, iterations=1
+    )
+    _RESULTS[method] = (evaluate_partition(result), result.integer_cost())
+
+
+def test_ablation_baselines_report(benchmark, output_dir, bench_config):
+    def assemble():
+        netlist = build_circuit("KSA16")
+        for method, runner in METHODS.items():
+            if method not in _RESULTS:
+                result = runner(netlist, 5, config=bench_config)
+                _RESULTS[method] = (evaluate_partition(result), result.integer_cost())
+        rows = []
+        for method in ("gradient", "random", "greedy", "spectral", "fm", "annealing", "multilevel"):
+            report, cost = _RESULTS[method]
+            rows.append([
+                method, percent(report.frac_d_le_1), percent(report.frac_d_le_2),
+                f"{report.i_comp_pct:.2f}%", f"{report.a_fs_pct:.2f}%", f"{cost:.4f}",
+            ])
+        return ascii_table(
+            ["method", "d<=1", "d<=2", "I_comp", "A_FS", "integer cost"],
+            rows,
+            title="ablation: gradient vs classic partitioners (KSA16, K=5)",
+        )
+
+    text = benchmark.pedantic(assemble, rounds=1, iterations=1)
+    path = write_artifact(output_dir, "ablation_baselines.txt", text)
+    print()
+    print(text)
+    print(f"[written to {path}]")
+
+    gradient_report, gradient_cost = _RESULTS["gradient"]
+    random_report, random_cost = _RESULTS["random"]
+    greedy_report, greedy_cost = _RESULTS["greedy"]
+    # the gradient method must beat random soundly...
+    assert gradient_cost < random_cost
+    assert gradient_report.frac_d_le_1 > random_report.frac_d_le_1
+    # ...and the reproduction finding: contiguous ordering beats it
+    assert greedy_report.frac_d_le_1 > gradient_report.frac_d_le_1
+    assert greedy_cost < gradient_cost

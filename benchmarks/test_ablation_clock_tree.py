@@ -1,0 +1,78 @@
+"""Ablation: including the clock distribution network in the partition.
+
+The paper's connection counts imply signal nets only (see
+DESIGN.md/clocking module).  But on a real chip the flow-clocking spine
+must also cross plane boundaries.  This bench synthesizes KSA8 with and
+without the clock network, partitions both, and quantifies what the
+clock adds: more gates, more connections, and more coupling pairs.
+Written to ``benchmarks/output/ablation_clock_tree.txt``.
+"""
+
+import pytest
+
+from conftest import write_artifact
+from repro.circuits.ksa import kogge_stone_adder
+from repro.core.partitioner import partition
+from repro.harness.formatting import ascii_table, percent
+from repro.metrics.report import evaluate_partition
+from repro.recycling.coupling import plan_couplings
+from repro.synth.flow import SynthesisOptions, synthesize
+
+_RESULTS = {}
+
+
+def _run(include_clock, config):
+    options = SynthesisOptions(include_clock_tree=include_clock)
+    netlist, _stats = synthesize(kogge_stone_adder(8), options=options)
+    result = partition(netlist, 5, config=config)
+    return netlist, result
+
+
+@pytest.mark.parametrize("include_clock", [False, True])
+def test_ablation_clock_tree(benchmark, include_clock, bench_config):
+    netlist, result = benchmark.pedantic(
+        _run, args=(include_clock, bench_config), rounds=2, iterations=1
+    )
+    _RESULTS[include_clock] = (
+        netlist,
+        evaluate_partition(result),
+        plan_couplings(result),
+    )
+
+
+def test_ablation_clock_tree_report(benchmark, output_dir, bench_config):
+    def assemble():
+        for include_clock in (False, True):
+            if include_clock not in _RESULTS:
+                netlist, result = _run(include_clock, bench_config)
+                _RESULTS[include_clock] = (
+                    netlist,
+                    evaluate_partition(result),
+                    plan_couplings(result),
+                )
+        rows = []
+        for include_clock in (False, True):
+            netlist, report, couplings = _RESULTS[include_clock]
+            rows.append([
+                "with clock" if include_clock else "signal only",
+                netlist.num_gates, netlist.num_connections,
+                percent(report.frac_d_le_1), f"{report.i_comp_pct:.2f}%",
+                couplings.total_pairs,
+            ])
+        return ascii_table(
+            ["netlist", "gates", "conns", "d<=1", "I_comp", "coupling pairs"],
+            rows,
+            title="ablation: clock network in the partition graph (KSA8, K=5)",
+        )
+
+    text = benchmark.pedantic(assemble, rounds=1, iterations=1)
+    path = write_artifact(output_dir, "ablation_clock_tree.txt", text)
+    print()
+    print(text)
+    print(f"[written to {path}]")
+
+    signal_netlist, _, signal_couplings = _RESULTS[False]
+    clocked_netlist, _, clocked_couplings = _RESULTS[True]
+    assert clocked_netlist.num_gates > signal_netlist.num_gates
+    assert clocked_netlist.num_connections > signal_netlist.num_connections
+    assert clocked_couplings.total_pairs >= signal_couplings.total_pairs * 0.8

@@ -1,0 +1,108 @@
+"""Ablation: optimality gap of the heuristics on exactly-solvable instances.
+
+On tiny netlists (10 gates, K = 3 — 59k assignments) the true optimum
+of the paper's integer cost is computable by enumeration.  This bench
+measures how far each heuristic lands from it.  Written to
+``benchmarks/output/ablation_exact.txt``.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_artifact
+from repro.baselines import (
+    annealing_partition,
+    exact_partition,
+    fm_partition,
+    greedy_partition,
+    multilevel_partition,
+    random_partition,
+    spectral_partition,
+)
+from repro.core.partitioner import partition
+from repro.harness.formatting import ascii_table
+from repro.netlist.library import default_library
+from repro.netlist.netlist import Netlist
+
+NUM_GATES = 10
+NUM_PLANES = 3
+SEEDS = (3, 7, 11)
+
+METHODS = {
+    "gradient": partition,
+    "random": random_partition,
+    "greedy": greedy_partition,
+    "spectral": spectral_partition,
+    "fm": fm_partition,
+    "annealing": annealing_partition,
+    "multilevel": multilevel_partition,
+}
+
+_GAPS = {}
+
+
+def _instance(seed):
+    library = default_library()
+    rng = np.random.default_rng(seed)
+    netlist = Netlist(f"tiny_{seed}", library=library)
+    kinds = ["DFF", "AND2", "SPLIT", "OR2", "XOR2"]
+    for i in range(NUM_GATES):
+        netlist.add_gate(f"g{i}", library[kinds[i % len(kinds)]])
+    for i in range(NUM_GATES - 1):
+        netlist.connect(f"g{i}", f"g{i + 1}")
+    added = 0
+    while added < NUM_GATES // 2:
+        u, v = sorted(rng.integers(0, NUM_GATES, 2).tolist())
+        if u != v and not netlist.has_edge(u, v):
+            netlist.connect(u, v)
+            added += 1
+    return netlist
+
+
+def _gap_for(method_name, bench_config):
+    runner = METHODS[method_name]
+    ratios = []
+    for seed in SEEDS:
+        netlist = _instance(seed)
+        optimum = exact_partition(netlist, NUM_PLANES, config=bench_config).integer_cost()
+        cost = runner(netlist, NUM_PLANES, config=bench_config).integer_cost()
+        ratios.append(cost / optimum if optimum > 0 else 1.0)
+    return float(np.mean(ratios))
+
+
+@pytest.mark.parametrize("method", sorted(METHODS))
+def test_ablation_exact_gap(benchmark, method, bench_config):
+    gap = benchmark.pedantic(_gap_for, args=(method, bench_config), rounds=1, iterations=1)
+    _GAPS[method] = gap
+    assert gap >= 1.0 - 1e-9  # nothing beats the optimum
+    if method != "random":
+        assert gap < 30.0  # every real heuristic is in the right ballpark
+
+
+def test_ablation_exact_report(benchmark, output_dir, bench_config):
+    def assemble():
+        for method in METHODS:
+            if method not in _GAPS:
+                _GAPS[method] = _gap_for(method, bench_config)
+        rows = [
+            [method, f"{_GAPS[method]:.3f}x"]
+            for method in sorted(_GAPS, key=_GAPS.get)
+        ]
+        return ascii_table(
+            ["method", "mean cost / optimum"],
+            rows,
+            title=(
+                f"ablation: optimality gap on {len(SEEDS)} exactly-solved "
+                f"instances (G={NUM_GATES}, K={NUM_PLANES})"
+            ),
+        )
+
+    text = benchmark.pedantic(assemble, rounds=1, iterations=1)
+    path = write_artifact(output_dir, "ablation_exact.txt", text)
+    print()
+    print(text)
+    print(f"[written to {path}]")
+
+    # structured heuristics must beat random on average
+    assert _GAPS["fm"] <= _GAPS["random"]
+    assert _GAPS["greedy"] <= _GAPS["random"]

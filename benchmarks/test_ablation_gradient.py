@@ -1,0 +1,71 @@
+"""Ablation: gradient flavor and update rule.
+
+DESIGN.md documents two deliberate implementation choices around
+Algorithm 1:
+
+* **gradient_mode** — eq. (10)'s printed F4 gradient (``paper``) is not
+  the true derivative of eq. (9)'s F4; ``exact`` is.  Which matters?
+* **renormalize_rows** — the pseudo-code clips to [0, 1] only; the
+  default here projects rows back onto the simplex after every step
+  (clip-only produced unusable balance in calibration).
+
+This bench measures all four combinations on KSA8/K=5 and writes the
+comparison to ``benchmarks/output/ablation_gradient.txt``.
+"""
+
+import itertools
+
+import pytest
+
+from conftest import write_artifact
+from repro.circuits.suite import build_circuit
+from repro.core.partitioner import partition
+from repro.harness.formatting import ascii_table, percent
+from repro.metrics.report import evaluate_partition
+
+VARIANTS = list(itertools.product(["paper", "exact"], [True, False]))
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("gradient_mode,renormalize", VARIANTS)
+def test_ablation_gradient_variant(benchmark, gradient_mode, renormalize, bench_config):
+    config = bench_config.with_(gradient_mode=gradient_mode, renormalize_rows=renormalize)
+    netlist = build_circuit("KSA8")
+    result = benchmark.pedantic(
+        partition, args=(netlist, 5), kwargs={"config": config}, rounds=2, iterations=1
+    )
+    _RESULTS[(gradient_mode, renormalize)] = evaluate_partition(result)
+
+
+def test_ablation_gradient_report(benchmark, output_dir, bench_config):
+    def assemble():
+        netlist = build_circuit("KSA8")
+        for key in VARIANTS:
+            if key not in _RESULTS:
+                config = bench_config.with_(gradient_mode=key[0], renormalize_rows=key[1])
+                _RESULTS[key] = evaluate_partition(partition(netlist, 5, config=config))
+        rows = []
+        for (mode, renorm), report in sorted(_RESULTS.items()):
+            rows.append([
+                mode, str(renorm), percent(report.frac_d_le_1),
+                percent(report.frac_d_le_2), f"{report.i_comp_pct:.2f}%",
+                f"{report.a_fs_pct:.2f}%",
+            ])
+        return ascii_table(
+            ["gradient", "row renorm", "d<=1", "d<=2", "I_comp", "A_FS"],
+            rows,
+            title="ablation: gradient flavor x update rule (KSA8, K=5)",
+        )
+
+    text = benchmark.pedantic(assemble, rounds=1, iterations=1)
+    path = write_artifact(output_dir, "ablation_gradient.txt", text)
+    print()
+    print(text)
+    print(f"[written to {path}]")
+
+    # the calibration finding: projection keeps balance workable, the
+    # clip-only variant (paper pseudo-code verbatim) does not
+    for mode in ("paper", "exact"):
+        with_projection = _RESULTS[(mode, True)]
+        clip_only = _RESULTS[(mode, False)]
+        assert with_projection.i_comp_pct < clip_only.i_comp_pct

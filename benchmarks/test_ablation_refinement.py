@@ -1,0 +1,67 @@
+"""Ablation: greedy post-rounding refinement (extension over the paper).
+
+Algorithm 1 ends with a bare per-gate argmax.  ``refine_greedy`` adds
+steepest-descent single-gate moves on the integer cost.  This bench
+quantifies what that recovers on MULT4/K=5, and times both pipelines.
+Written to ``benchmarks/output/ablation_refinement.txt``.
+"""
+
+import pytest
+
+from conftest import write_artifact
+from repro.circuits.suite import build_circuit
+from repro.core.partitioner import partition
+from repro.core.refinement import refine_greedy
+from repro.harness.formatting import ascii_table, percent
+from repro.metrics.report import evaluate_partition
+
+_RESULTS = {}
+
+
+def _plain(netlist, config):
+    return partition(netlist, 5, config=config)
+
+
+def _refined(netlist, config):
+    return refine_greedy(partition(netlist, 5, config=config))
+
+
+@pytest.mark.parametrize("variant", ["plain", "refined"])
+def test_ablation_refinement(benchmark, variant, bench_config):
+    netlist = build_circuit("MULT4")
+    runner = _plain if variant == "plain" else _refined
+    result = benchmark.pedantic(
+        runner, args=(netlist, bench_config), rounds=2, iterations=1
+    )
+    _RESULTS[variant] = (evaluate_partition(result), result.integer_cost())
+
+
+def test_ablation_refinement_report(benchmark, output_dir, bench_config):
+    def assemble():
+        netlist = build_circuit("MULT4")
+        for variant, runner in (("plain", _plain), ("refined", _refined)):
+            if variant not in _RESULTS:
+                result = runner(netlist, bench_config)
+                _RESULTS[variant] = (evaluate_partition(result), result.integer_cost())
+        rows = []
+        for variant in ("plain", "refined"):
+            report, cost = _RESULTS[variant]
+            rows.append([
+                variant, percent(report.frac_d_le_1), percent(report.frac_d_le_2),
+                f"{report.i_comp_pct:.2f}%", f"{report.a_fs_pct:.2f}%", f"{cost:.4f}",
+            ])
+        return ascii_table(
+            ["variant", "d<=1", "d<=2", "I_comp", "A_FS", "integer cost"],
+            rows,
+            title="ablation: argmax rounding vs greedy refinement (MULT4, K=5)",
+        )
+
+    text = benchmark.pedantic(assemble, rounds=1, iterations=1)
+    path = write_artifact(output_dir, "ablation_refinement.txt", text)
+    print()
+    print(text)
+    print(f"[written to {path}]")
+
+    plain_cost = _RESULTS["plain"][1]
+    refined_cost = _RESULTS["refined"][1]
+    assert refined_cost <= plain_cost + 1e-12

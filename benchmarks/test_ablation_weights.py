@@ -1,0 +1,91 @@
+"""Ablation: cost-weight sweep (the ``c1..c4`` of eq. (8)).
+
+The paper leaves the weights as unspecified tunables.  This bench
+sweeps the interconnect weight ``c1`` (with balance weights fixed) and
+the balance weights ``c2=c3`` (with ``c1`` fixed), exposing the
+quality trade-off the weights control:
+
+* raising ``c1`` buys connection locality (d <= 1 up);
+* raising ``c2``/``c3`` buys balance (I_comp/A_FS down).
+
+Written to ``benchmarks/output/ablation_weights.txt``.
+"""
+
+import pytest
+
+from conftest import write_artifact
+from repro.circuits.suite import build_circuit
+from repro.core.partitioner import partition
+from repro.harness.formatting import ascii_table, percent
+from repro.metrics.report import evaluate_partition
+
+C1_VALUES = (5.0, 80.0, 400.0)
+C23_VALUES = (2.0, 15.0, 120.0)
+_C1_RESULTS = {}
+_C23_RESULTS = {}
+
+
+@pytest.mark.parametrize("c1", C1_VALUES)
+def test_ablation_c1(benchmark, c1, bench_config):
+    config = bench_config.with_(c1=c1)
+    netlist = build_circuit("KSA8")
+    result = benchmark.pedantic(
+        partition, args=(netlist, 5), kwargs={"config": config}, rounds=2, iterations=1
+    )
+    _C1_RESULTS[c1] = evaluate_partition(result)
+
+
+@pytest.mark.parametrize("c23", C23_VALUES)
+def test_ablation_c23(benchmark, c23, bench_config):
+    config = bench_config.with_(c2=c23, c3=c23)
+    netlist = build_circuit("KSA8")
+    result = benchmark.pedantic(
+        partition, args=(netlist, 5), kwargs={"config": config}, rounds=2, iterations=1
+    )
+    _C23_RESULTS[c23] = evaluate_partition(result)
+
+
+def test_ablation_weights_report(benchmark, output_dir, bench_config):
+    def assemble():
+        netlist = build_circuit("KSA8")
+        for c1 in C1_VALUES:
+            if c1 not in _C1_RESULTS:
+                _C1_RESULTS[c1] = evaluate_partition(
+                    partition(netlist, 5, config=bench_config.with_(c1=c1))
+                )
+        for c23 in C23_VALUES:
+            if c23 not in _C23_RESULTS:
+                _C23_RESULTS[c23] = evaluate_partition(
+                    partition(netlist, 5, config=bench_config.with_(c2=c23, c3=c23))
+                )
+        rows = []
+        for c1 in C1_VALUES:
+            report = _C1_RESULTS[c1]
+            rows.append([
+                f"c1={c1:g}", percent(report.frac_d_le_1),
+                f"{report.i_comp_pct:.2f}%", f"{report.a_fs_pct:.2f}%",
+            ])
+        for c23 in C23_VALUES:
+            report = _C23_RESULTS[c23]
+            rows.append([
+                f"c2=c3={c23:g}", percent(report.frac_d_le_1),
+                f"{report.i_comp_pct:.2f}%", f"{report.a_fs_pct:.2f}%",
+            ])
+        return ascii_table(
+            ["weights", "d<=1", "I_comp", "A_FS"],
+            rows,
+            title="ablation: cost-weight sweep (KSA8, K=5)",
+        )
+
+    text = benchmark.pedantic(assemble, rounds=1, iterations=1)
+    path = write_artifact(output_dir, "ablation_weights.txt", text)
+    print()
+    print(text)
+    print(f"[written to {path}]")
+
+    # trade-off direction checks
+    assert _C1_RESULTS[C1_VALUES[-1]].frac_d_le_1 >= _C1_RESULTS[C1_VALUES[0]].frac_d_le_1
+    assert (
+        _C23_RESULTS[C23_VALUES[-1]].i_comp_pct
+        <= _C23_RESULTS[C23_VALUES[0]].i_comp_pct + 3.0
+    )

@@ -1,0 +1,57 @@
+"""Reproduce **Fig. 1**: the current-recycling floorplan illustration.
+
+The paper's Fig. 1 is a schematic of K stacked ground planes with the
+serial bias feed and adjacent-plane couplings.  This bench regenerates
+it from a *real* KSA4 partition — stripes sized from actual plane
+areas, coupling counts from actual connection distances — and verifies
+the physical invariants the figure illustrates.  Rendered to
+``benchmarks/output/figure1.txt``.
+"""
+
+import numpy as np
+
+from conftest import write_artifact
+from repro.harness.figures import figure1
+from repro.recycling.verify import plan_recycling, verify_recycling
+
+
+def test_figure1(benchmark, bench_config, output_dir):
+    text, floorplan, result = benchmark.pedantic(
+        figure1,
+        args=("KSA4", 5),
+        kwargs={"config": bench_config},
+        rounds=3,
+        iterations=1,
+    )
+    path = write_artifact(output_dir, "figure1.txt", text)
+    print()
+    print(text)
+    print(f"[written to {path}]")
+
+    # figure invariants
+    assert floorplan.num_planes == 5
+    assert len(floorplan.stripes) == 5
+    heights = {round(stripe.height_mm, 9) for stripe in floorplan.stripes}
+    assert len(heights) == 1  # equal stripes, as drawn in the paper
+    assert floorplan.pairs_per_boundary.shape == (4,)
+    assert int(floorplan.pairs_per_boundary.sum()) == int(
+        result.connection_distances().sum()
+    )
+
+    # the full physical plan behind the figure must verify
+    plan = plan_recycling(result)
+    assert verify_recycling(plan) == []
+    assert plan.chain.supply_current_ma == np.max(result.plane_bias_ma())
+
+
+def test_figure1_utilization_shows_free_space(benchmark, bench_config):
+    """Smaller planes show up as lower stripe utilization — the visual
+    counterpart of the A_FS column."""
+    _, floorplan, result = benchmark.pedantic(
+        figure1, args=("KSA4", 5), kwargs={"config": bench_config}, rounds=1, iterations=1
+    )
+    utilizations = [stripe.utilization for stripe in floorplan.stripes]
+    areas = result.plane_area_mm2()
+    order_by_util = np.argsort(utilizations)
+    order_by_area = np.argsort(areas)
+    assert list(order_by_util) == list(order_by_area)

@@ -1,0 +1,53 @@
+"""Reproduce the gradient-descent convergence behavior of Algorithm 1.
+
+The paper has no explicit convergence plot, but its Algorithm 1 defines
+one implicitly: the cost trace from random initialization until the
+relative change drops below ``margin = 1e-4``.  This bench regenerates
+that curve for KSA8 / K = 5 (``benchmarks/output/figure_convergence.txt``)
+and asserts the stopping behavior the paper claims — convergence "within
+an acceptable time window", i.e. well before the iteration safety cap.
+"""
+
+from conftest import write_artifact
+from repro.harness.figures import convergence_trace, render_convergence
+
+
+def test_convergence_figure(benchmark, bench_config, output_dir):
+    history, result = benchmark.pedantic(
+        convergence_trace,
+        args=("KSA8", 5),
+        kwargs={"config": bench_config},
+        rounds=3,
+        iterations=1,
+    )
+    text = render_convergence(
+        history, title="Algorithm 1 cost vs iteration (KSA8, K=5, winning restart)"
+    )
+    path = write_artifact(output_dir, "figure_convergence.txt", text)
+    print()
+    print(text)
+    print(f"[written to {path}]")
+
+    # margin-based stop fired well before the safety cap
+    assert result.trace.converged
+    assert result.trace.iterations < bench_config.max_iterations
+    # the trace settles: the last 10 % of iterations move the cost by
+    # far less than the first 10 %
+    tail_count = max(len(history) // 10, 2)
+    head_span = max(history[:tail_count]) - min(history[:tail_count])
+    tail_span = max(history[-tail_count:]) - min(history[-tail_count:])
+    assert tail_span <= head_span + 1e-12
+
+
+def test_convergence_margin_controls_iterations(benchmark, bench_config):
+    """Loosening the margin must stop the descent earlier."""
+    loose = bench_config.with_(margin=1e-2, restarts=1)
+    tight = bench_config.with_(margin=1e-5, restarts=1)
+
+    def run_both():
+        _, loose_result = convergence_trace("KSA4", 5, config=loose)
+        _, tight_result = convergence_trace("KSA4", 5, config=tight)
+        return loose_result, tight_result
+
+    loose_result, tight_result = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert loose_result.trace.iterations <= tight_result.trace.iterations

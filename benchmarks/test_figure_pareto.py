@@ -1,0 +1,57 @@
+"""Figure (extension): the d<=1 / I_comp Pareto frontier of the weights.
+
+The paper fixes one (unpublished) weight setting.  This bench sweeps
+the interconnect-to-balance ratio on KSA8/K=5 and renders the resulting
+trade-off frontier (`benchmarks/output/figure_pareto.txt`) — the map a
+designer would consult to pick ``c1..c3`` for their own tolerance of
+dummy current vs coupling hardware.
+"""
+
+import pytest
+
+from conftest import write_artifact
+from repro.circuits.suite import build_circuit
+from repro.harness.pareto import render_frontier, sweep_weights
+
+RATIOS = (0.2, 1.0, 4.0, 16.0, 64.0)
+
+
+def test_figure_pareto(benchmark, bench_config, output_dir):
+    netlist = build_circuit("KSA8")
+
+    def run_sweep():
+        return sweep_weights(netlist, 5, bench_config, ratios=RATIOS, seed=2020)
+
+    points, front = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    text = render_frontier(
+        points, front, title="cost-weight Pareto frontier (KSA8, K=5)"
+    )
+    detail_lines = [
+        f"c1={p.c1:g}: crossing={p.crossing_fraction:.3f} "
+        f"I_comp={p.i_comp_pct:.2f}% A_FS={p.a_fs_pct:.2f}%"
+        + ("   [frontier]" if p in front else "")
+        for p in points
+    ]
+    artifact = text + "\n\n" + "\n".join(detail_lines)
+    path = write_artifact(output_dir, "figure_pareto.txt", artifact)
+    print()
+    print(artifact)
+    print(f"[written to {path}]")
+
+    assert len(points) == len(RATIOS)
+    assert 1 <= len(front) <= len(points)
+    # the sweep must actually move both objectives
+    crossings = [p.crossing_fraction for p in points]
+    balances = [p.i_comp_pct for p in points]
+    assert max(crossings) - min(crossings) > 0.01
+    assert max(balances) - min(balances) > 0.5
+    # frontier points are mutually non-dominated
+    for a in front:
+        for b in front:
+            if a is b:
+                continue
+            assert not (
+                a.crossing_fraction <= b.crossing_fraction
+                and a.i_comp_pct <= b.i_comp_pct
+                and a.objectives != b.objectives
+            )

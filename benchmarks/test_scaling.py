@@ -1,0 +1,56 @@
+"""Performance bench: partition runtime scaling over circuit size.
+
+The paper justifies plain gradient descent over second-order methods by
+runtime ("a good estimation for the result within an acceptable time
+window").  This bench times the partitioner across the KSA family (93
+to ~1600 published gates) and asserts near-linear scaling per iteration
+— the per-step work is O(G*K + |E|) in vectorized NumPy.
+"""
+
+import time
+
+import pytest
+
+from repro.circuits.suite import build_circuit
+from repro.core.partitioner import partition
+
+_TIMES = {}
+
+FAMILY = ("KSA4", "KSA8", "KSA16", "KSA32")
+
+
+@pytest.mark.parametrize("circuit", FAMILY)
+def test_scaling_partition(benchmark, circuit, bench_config):
+    netlist = build_circuit(circuit)
+    config = bench_config.with_(restarts=1)
+    start = time.perf_counter()
+    result = benchmark.pedantic(
+        partition, args=(netlist, 5), kwargs={"config": config}, rounds=2, iterations=1
+    )
+    elapsed = time.perf_counter() - start
+    iterations = max(result.trace.iterations, 1)
+    _TIMES[circuit] = (netlist.num_gates, elapsed / 2.0, iterations)
+    assert result.num_planes == 5
+
+
+def test_scaling_is_subquadratic(benchmark):
+    def assemble():
+        for circuit in FAMILY:
+            if circuit not in _TIMES:
+                netlist = build_circuit(circuit)
+                start = time.perf_counter()
+                result = partition(netlist, 5)
+                _TIMES[circuit] = (
+                    netlist.num_gates,
+                    time.perf_counter() - start,
+                    max(result.trace.iterations, 1),
+                )
+        return dict(_TIMES)
+
+    times = benchmark.pedantic(assemble, rounds=1, iterations=1)
+    small_gates, small_time, small_iterations = times["KSA4"]
+    big_gates, big_time, big_iterations = times["KSA32"]
+    size_ratio = big_gates / small_gates  # ~22x
+    per_iteration_ratio = (big_time / big_iterations) / (small_time / small_iterations)
+    # per-iteration cost must grow clearly sub-quadratically in G
+    assert per_iteration_ratio < size_ratio**2 / 2

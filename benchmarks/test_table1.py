@@ -1,0 +1,82 @@
+"""Reproduce **Table I**: partition the full suite at K = 5.
+
+Each circuit is one pytest-benchmark case timing the whole Algorithm-1
+partition (restarts included); the collected reports are rendered next
+to the paper's published rows into ``benchmarks/output/table1.txt``.
+
+Shape assertions (not absolute-number matches — see EXPERIMENTS.md):
+
+* the d <= 1 and d <= 2 fractions sit in the paper's band;
+* I_comp and A_FS stay in the low tens of percent;
+* d <= 1 degrades from KSA4 to the biggest circuits, as in the paper.
+"""
+
+import pytest
+
+from conftest import write_artifact
+from repro.circuits.suite import SUITE_NAMES, build_circuit
+from repro.core.partitioner import partition
+from repro.harness.tables import Table1Row, format_table1
+from repro.metrics.report import evaluate_partition
+from repro.circuits.suite import PAPER_TABLE1
+
+_REPORTS = {}
+
+#: circuits small enough to time with multiple rounds
+_FAST = {"KSA4", "KSA8", "KSA16", "MULT4", "ID4", "C499", "C1355", "C432", "C1908"}
+
+
+@pytest.mark.parametrize("circuit", SUITE_NAMES)
+def test_table1_row(benchmark, circuit, bench_config):
+    netlist = build_circuit(circuit)
+    rounds = 3 if circuit in _FAST else 1
+
+    result = benchmark.pedantic(
+        partition,
+        args=(netlist, 5),
+        kwargs={"config": bench_config},
+        rounds=rounds,
+        iterations=1,
+    )
+    report = evaluate_partition(result)
+    _REPORTS[circuit] = report
+
+    # ---- shape assertions -------------------------------------------
+    assert 0.35 <= report.frac_d_le_1 <= 1.0
+    assert report.frac_d_le_2 >= report.frac_d_le_1
+    assert report.frac_d_le_2 >= 0.60
+    assert report.i_comp_pct <= 40.0
+    assert report.a_fs_pct <= 40.0
+    assert report.b_max_ma >= report.b_cir_ma / 5  # B_max >= average
+
+
+def test_table1_assembled(benchmark, output_dir, bench_config):
+    """Render the assembled Table I and check cross-row shape."""
+
+    def assemble():
+        for name in SUITE_NAMES:  # fill any rows not produced by the benches
+            if name not in _REPORTS:
+                _REPORTS[name] = evaluate_partition(
+                    partition(build_circuit(name), 5, config=bench_config)
+                )
+        rows = [
+            Table1Row(report=_REPORTS[name], paper=PAPER_TABLE1[name])
+            for name in SUITE_NAMES
+        ]
+        return format_table1(rows)
+
+    text = benchmark.pedantic(assemble, rounds=1, iterations=1)
+    path = write_artifact(output_dir, "table1.txt", text)
+    print()
+    print(text)
+    print(f"[written to {path}]")
+
+    # paper shape: interconnect quality degrades with circuit size
+    small = _REPORTS["KSA4"].frac_d_le_1
+    big = min(_REPORTS["ID8"].frac_d_le_1, _REPORTS["C3540"].frac_d_le_1)
+    assert small > big
+    # averages in the paper's neighborhood (paper: 65.1 % and 87.7 %)
+    mean_d1 = sum(r.frac_d_le_1 for r in _REPORTS.values()) / len(_REPORTS)
+    mean_d2 = sum(r.frac_d_le_2 for r in _REPORTS.values()) / len(_REPORTS)
+    assert 0.45 <= mean_d1 <= 0.90
+    assert 0.70 <= mean_d2 <= 1.00

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Scaling study: how partition quality degrades with circuit size and K.
+
+Reproduces the two trends of the paper's evaluation on the Kogge-Stone
+adder family:
+
+* Table I direction — at fixed K=5, the fraction of cheap connections
+  (d<=1) falls as the adder grows (KSA4 -> KSA32);
+* Table II direction — at fixed circuit (KSA4), raising K shrinks
+  B_max/A_max (good: less supply current) but inflates I_comp/A_FS
+  (bad: more dummy current and dead space).
+
+Run:  python examples/adder_scaling_study.py
+"""
+
+from repro import build_circuit, partition, evaluate_partition
+from repro.harness.formatting import ascii_table, percent
+
+
+def sweep_circuits(names, num_planes=5):
+    rows = []
+    for name in names:
+        netlist = build_circuit(name)
+        report = evaluate_partition(partition(netlist, num_planes, seed=7))
+        rows.append([
+            name, netlist.num_gates,
+            percent(report.frac_d_le_1), percent(report.frac_d_le_2),
+            f"{report.b_max_ma:.2f}", f"{report.i_comp_pct:.1f}%",
+        ])
+    return ascii_table(
+        ["Circuit", "Gates", "d<=1", "d<=2", "B_max mA", "I_comp"],
+        rows,
+        title=f"adder family at K={num_planes} (Table I direction)",
+    )
+
+
+def sweep_planes(name, k_values):
+    netlist = build_circuit(name)
+    rows = []
+    for k in k_values:
+        report = evaluate_partition(partition(netlist, k, seed=7))
+        rows.append([
+            k, percent(report.frac_d_le_1), percent(report.frac_d_le_half_k),
+            f"{report.b_max_ma:.2f}", f"{report.i_comp_pct:.1f}%", f"{report.a_fs_pct:.1f}%",
+        ])
+    return ascii_table(
+        ["K", "d<=1", "d<=K/2", "B_max mA", "I_comp", "A_FS"],
+        rows,
+        title=f"{name} over plane counts (Table II direction)",
+    )
+
+
+def main():
+    print(sweep_circuits(["KSA4", "KSA8", "KSA16", "KSA32"]))
+    print()
+    print(sweep_planes("KSA4", range(5, 11)))
+    print()
+    print("expected shapes: d<=1 falls with size and with K;")
+    print("B_max falls with K while I_comp and A_FS rise - the recycling")
+    print("depth/overhead trade-off the paper's Tables I and II document.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Bias-limited floorplanning: the Table III scenario end to end.
+
+A real chip pad sustains ~100 mA (the paper cites an SFQ FFT processor
+that needed 31 parallel bias lines for 2.5 A).  Given that limit, this
+example:
+
+1. finds the smallest plane count K_res whose partition keeps
+   B_max <= 100 mA (searching upward from the lower bound K_LB);
+2. builds the full current-recycling plan for the winning partition;
+3. reports the headline saving — one serial bias feed instead of
+   K_LB parallel bias lines.
+
+Run:  python examples/bias_limited_floorplanning.py [circuit] [limit_mA]
+"""
+
+import sys
+
+from repro import build_circuit, plan_bias_limited, evaluate_partition
+from repro.recycling import plan_recycling, verify_recycling
+
+
+def main():
+    circuit = sys.argv[1] if len(sys.argv) > 1 else "KSA16"
+    limit_ma = float(sys.argv[2]) if len(sys.argv) > 2 else 100.0
+
+    netlist = build_circuit(circuit)
+    print(f"{circuit}: B_cir = {netlist.total_bias_ma:.2f} mA, pad limit = {limit_ma:.0f} mA")
+
+    plan = plan_bias_limited(netlist, bias_limit_ma=limit_ma, seed=11)
+    print(f"lower bound K_LB = {plan.k_lb}, achieved K_res = {plan.k_res}")
+    for k, b_max in plan.attempts:
+        marker = "<== feasible" if b_max <= limit_ma else ""
+        print(f"  K={k:3d}: B_max = {b_max:7.2f} mA {marker}")
+
+    report = evaluate_partition(plan.result)
+    print(f"d <= K/2: {report.frac_d_le_half_k * 100:.1f}%  "
+          f"I_comp: {report.i_comp_pct:.2f}%  A_FS: {report.a_fs_pct:.2f}%")
+
+    recycling = plan_recycling(plan.result)
+    violations = verify_recycling(recycling)
+    print()
+    print(recycling.summary())
+    print("feasible!" if not violations else f"violations: {violations}")
+    print()
+    print(f"bias lines without recycling: {plan.bias_lines_without_recycling}")
+    print(f"bias lines with recycling:    {plan.bias_lines_with_recycling}"
+          f"  (saves {plan.bias_lines_saved} lines)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Setuptools shim.
+
+The offline environment ships a setuptools without the ``wheel`` package,
+so PEP 517 editable installs fail with ``invalid command 'bdist_wheel'``.
+This shim enables the legacy path::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

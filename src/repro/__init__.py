@@ -1,0 +1,66 @@
+"""repro — Ground Plane Partitioning for Current Recycling of Superconducting Circuits.
+
+Reproduction of Katam, Zhang & Pedram (DATE 2020).  The package partitions
+an SFQ gate-level netlist into K serially-biased ground planes by gradient
+descent over a relaxed assignment matrix, and provides every substrate the
+paper depends on: an SFQ cell library and netlist model, DEF/LEF/Verilog
+parsers, an SFQ synthesis flow used to reconstruct the paper's benchmark
+suite, baseline partitioners, and a current-recycling planner.
+
+Quickstart::
+
+    from repro import build_circuit, partition, evaluate_partition
+
+    netlist = build_circuit("KSA4")            # reconstructed benchmark
+    result = partition(netlist, num_planes=5)  # Algorithm 1 + restarts
+    report = evaluate_partition(result)        # Table I columns
+    print(report.as_dict())
+"""
+
+from repro.core import (
+    PartitionConfig,
+    PartitionResult,
+    partition,
+    plan_bias_limited,
+    BiasLimitedPlan,
+    refine_greedy,
+)
+from repro.metrics import PartitionReport, evaluate_partition
+from repro.netlist import Netlist, CellLibrary, default_library
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PartitionConfig",
+    "PartitionResult",
+    "partition",
+    "plan_bias_limited",
+    "BiasLimitedPlan",
+    "refine_greedy",
+    "PartitionReport",
+    "evaluate_partition",
+    "Netlist",
+    "CellLibrary",
+    "default_library",
+    "build_circuit",
+    "benchmark_suite",
+    "__version__",
+]
+
+
+def build_circuit(name, **kwargs):
+    """Build one reconstructed benchmark circuit by its paper name.
+
+    Thin lazy wrapper around :func:`repro.circuits.suite.build_circuit`
+    (imported on first use so that ``import repro`` stays cheap).
+    """
+    from repro.circuits.suite import build_circuit as _build
+
+    return _build(name, **kwargs)
+
+
+def benchmark_suite():
+    """Names of all Table I circuits, in table order."""
+    from repro.circuits.suite import SUITE_NAMES
+
+    return list(SUITE_NAMES)

@@ -1,0 +1,119 @@
+"""Simulated-annealing baseline.
+
+The classic physical-design alternative to both FM and gradient
+relaxations: random single-gate moves to adjacent planes, Metropolis
+acceptance, geometric cooling.  Uses the same incremental integer-cost
+evaluator as the refinement/FM code, so the objective is identical to
+the paper's (eq. (8) restricted to feasible assignments).
+
+Annealing explores uphill more freely than FM's best-prefix passes and
+needs no gradient at all — the most general-purpose member of the
+baseline family, at the highest runtime.
+"""
+
+import math
+
+import numpy as np
+
+from repro.baselines.greedy import greedy_partition
+from repro.core.config import PartitionConfig
+from repro.core.partitioner import PartitionResult
+from repro.core.refinement import _IncrementalCost
+from repro.utils.errors import PartitionError
+from repro.utils.rng import make_rng
+
+
+def annealing_partition(
+    netlist,
+    num_planes,
+    seed=None,
+    config=None,
+    seed_partition=None,
+    initial_temperature=None,
+    cooling=0.95,
+    moves_per_temperature=None,
+    min_temperature_ratio=1e-4,
+):
+    """Simulated-annealing partition.
+
+    Parameters
+    ----------
+    seed_partition:
+        Starting point (defaults to the levelized greedy partition —
+        starting hot from random labels works too but wastes moves).
+    initial_temperature:
+        Metropolis temperature in cost units; defaults to the standard
+        deviation of a sample of random move deltas (accepting ~60 % of
+        uphill moves initially).
+    cooling:
+        Geometric factor per temperature step.
+    moves_per_temperature:
+        Proposed moves per step; defaults to ``8 * G``.
+    min_temperature_ratio:
+        Stop when T falls below this fraction of the initial T.
+    """
+    if num_planes < 1:
+        raise PartitionError(f"num_planes must be >= 1, got {num_planes}")
+    if not 0.0 < cooling < 1.0:
+        raise PartitionError(f"cooling must be in (0, 1), got {cooling}")
+    config = config or PartitionConfig()
+    rng = make_rng(config.seed if seed is None else seed)
+    if seed_partition is None:
+        seed_partition = greedy_partition(netlist, num_planes, config=config)
+    elif seed_partition.num_planes != num_planes:
+        raise PartitionError("seed partition has a different plane count")
+
+    state = _IncrementalCost(
+        seed_partition.labels,
+        num_planes,
+        netlist.edge_array(),
+        netlist.bias_vector_ma(),
+        netlist.area_vector_um2(),
+        config,
+    )
+    num_gates = netlist.num_gates
+    if moves_per_temperature is None:
+        moves_per_temperature = 8 * num_gates
+
+    def propose():
+        gate = int(rng.integers(0, num_gates))
+        current = state.labels[gate]
+        if state.plane_sizes[current] <= 1:
+            return None
+        target = current + (1 if rng.random() < 0.5 else -1)
+        if not 0 <= target < num_planes:
+            return None
+        return gate, target
+
+    # calibrate the starting temperature from sampled move deltas
+    if initial_temperature is None:
+        samples = []
+        for _ in range(min(200, 10 * num_gates)):
+            move = propose()
+            if move:
+                samples.append(abs(state.move_delta(*move)))
+        spread = float(np.std(samples)) if samples else 1.0
+        initial_temperature = max(spread, 1e-9)
+
+    temperature = initial_temperature
+    best_labels = state.labels.copy()
+    best_cost = 0.0
+    current_cost = 0.0  # relative to the seed; only deltas matter
+
+    while temperature > initial_temperature * min_temperature_ratio:
+        for _ in range(moves_per_temperature):
+            move = propose()
+            if move is None:
+                continue
+            delta = state.move_delta(*move)
+            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                state.apply_move(*move)
+                current_cost += delta
+                if current_cost < best_cost:
+                    best_cost = current_cost
+                    best_labels = state.labels.copy()
+        temperature *= cooling
+
+    return PartitionResult(
+        netlist=netlist, num_planes=num_planes, labels=best_labels, config=config
+    )

@@ -1,0 +1,170 @@
+"""Multilevel K-way partitioning (the scheme of the paper's ref. [18]).
+
+Section IV-A claims ground-plane partitioning "can not be formulated as
+a classic K-way partitioning problem".  The strongest way to examine
+that claim is to *build* the classic machinery — the Karypis-Kumar
+multilevel scheme — adapted only in its objective:
+
+1. **coarsen** — heavy-edge matching collapses strongly connected gate
+   pairs into supernodes (bias and area add; parallel edges keep their
+   multiplicity, preserving the F1 term), repeated until the graph is
+   small;
+2. **initial partition** — the coarsest graph is partitioned with the
+   paper's own gradient descent (it is tiny, so this is cheap and keeps
+   the comparison within-family);
+3. **uncoarsen + refine** — labels project back level by level, with
+   greedy steepest-descent passes on the *exact serial-plane integer
+   cost* at every level.
+
+So the only "classic" ingredient missing from the paper's framing —
+the distance-aware cost — is simply used as the refinement objective,
+which the multilevel framework accepts without complaint.
+"""
+
+import numpy as np
+
+from repro.core.assignment import round_assignment
+from repro.core.config import PartitionConfig
+from repro.core.optimizer import minimize_assignment
+from repro.core.partitioner import PartitionResult, _repair_empty_planes
+from repro.core.refinement import _IncrementalCost, greedy_improve
+from repro.utils.errors import PartitionError
+from repro.utils.rng import make_rng
+
+
+def _heavy_edge_matching(num_nodes, edges, weights, rng):
+    """One coarsening step: match each node with its heaviest unmatched
+    neighbor.  Returns ``(coarse_count, fine_to_coarse)``."""
+    order = rng.permutation(num_nodes)
+    # neighbor weights
+    neighbor_weight = [dict() for _ in range(num_nodes)]
+    for (u, v), weight in zip(edges, weights):
+        if u == v:
+            continue
+        neighbor_weight[u][v] = neighbor_weight[u].get(v, 0.0) + weight
+        neighbor_weight[v][u] = neighbor_weight[v].get(u, 0.0) + weight
+
+    match = np.full(num_nodes, -1, dtype=np.intp)
+    for node in order:
+        if match[node] != -1:
+            continue
+        best, best_weight = -1, 0.0
+        for neighbor, weight in neighbor_weight[node].items():
+            if match[neighbor] == -1 and weight > best_weight:
+                best, best_weight = neighbor, weight
+        if best != -1:
+            match[node] = best
+            match[best] = node
+
+    fine_to_coarse = np.full(num_nodes, -1, dtype=np.intp)
+    next_id = 0
+    for node in range(num_nodes):
+        if fine_to_coarse[node] != -1:
+            continue
+        fine_to_coarse[node] = next_id
+        if match[node] != -1:
+            fine_to_coarse[match[node]] = next_id
+        next_id += 1
+    return next_id, fine_to_coarse
+
+
+def _project_edges(edges, weights, fine_to_coarse):
+    """Map edges through a coarsening; drop self-loops, keep multiplicity."""
+    if edges.shape[0] == 0:
+        return edges, weights
+    mapped = fine_to_coarse[edges]
+    keep = mapped[:, 0] != mapped[:, 1]
+    return mapped[keep], weights[keep]
+
+
+def multilevel_partition(netlist, num_planes, seed=None, config=None, coarsest_nodes=None, refine_passes=6):
+    """Multilevel partition of a netlist into K serial planes.
+
+    Parameters
+    ----------
+    coarsest_nodes:
+        Stop coarsening at this node count (default ``max(40, 6K)``).
+    refine_passes:
+        Greedy refinement pass budget per level.
+    """
+    if num_planes < 1:
+        raise PartitionError(f"num_planes must be >= 1, got {num_planes}")
+    if num_planes > netlist.num_gates:
+        raise PartitionError(
+            f"cannot split {netlist.num_gates} gates into {num_planes} planes"
+        )
+    config = config or PartitionConfig()
+    rng = make_rng(config.seed if seed is None else seed)
+    if coarsest_nodes is None:
+        coarsest_nodes = max(40, 6 * num_planes)
+
+    if num_planes == 1:
+        return PartitionResult(
+            netlist=netlist,
+            num_planes=1,
+            labels=np.zeros(netlist.num_gates, dtype=np.intp),
+            config=config,
+        )
+
+    # ---- coarsening -------------------------------------------------
+    bias = netlist.bias_vector_ma()
+    area = netlist.area_vector_um2()
+    edges = netlist.edge_array()
+    weights = np.ones(edges.shape[0])
+    maps = []  # fine -> coarse per level
+    levels = [(bias, area, edges, weights)]
+    num_nodes = netlist.num_gates
+    while num_nodes > coarsest_nodes:
+        coarse_count, fine_to_coarse = _heavy_edge_matching(
+            num_nodes, levels[-1][2], levels[-1][3], rng
+        )
+        if coarse_count >= num_nodes:  # no matching progress (no edges left)
+            break
+        coarse_bias = np.bincount(fine_to_coarse, weights=levels[-1][0], minlength=coarse_count)
+        coarse_area = np.bincount(fine_to_coarse, weights=levels[-1][1], minlength=coarse_count)
+        coarse_edges, coarse_weights = _project_edges(
+            levels[-1][2], levels[-1][3], fine_to_coarse
+        )
+        maps.append(fine_to_coarse)
+        levels.append((coarse_bias, coarse_area, coarse_edges, coarse_weights))
+        num_nodes = coarse_count
+
+    # ---- initial partition on the coarsest level --------------------
+    coarse_bias, coarse_area, coarse_edges, coarse_weights = levels[-1]
+    # expand weighted edges to repeated rows so F1 keeps multiplicity
+    repeated = np.repeat(coarse_edges, coarse_weights.astype(int), axis=0) if coarse_edges.size else coarse_edges
+    trace = minimize_assignment(
+        num_planes, repeated, coarse_bias, coarse_area, config, rng=rng
+    )
+    labels = round_assignment(trace.w)
+
+    # ---- uncoarsen + refine -----------------------------------------
+    for level_index in range(len(maps) - 1, -1, -1):
+        fine_to_coarse = maps[level_index]
+        labels = labels[fine_to_coarse]
+        fine_bias, fine_area, fine_edges, fine_weights = levels[level_index]
+        expanded = (
+            np.repeat(fine_edges, fine_weights.astype(int), axis=0)
+            if fine_edges.size
+            else fine_edges
+        )
+        state = _IncrementalCost(labels, num_planes, expanded, fine_bias, fine_area, config)
+        greedy_improve(state, num_planes, max_passes=refine_passes)
+        labels = state.labels
+
+    if not maps:
+        # graph was already at/below the coarsest size: the loop above
+        # never ran, so refine the initial partition directly (with the
+        # wider move set — tiny instances afford it)
+        state = _IncrementalCost(labels, num_planes, edges, bias, area, config)
+        greedy_improve(
+            state, num_planes, max_passes=refine_passes, candidate_planes="all"
+        )
+        labels = state.labels
+
+    labels = np.asarray(labels, dtype=np.intp)
+    if config.ensure_nonempty:
+        labels, _moved = _repair_empty_planes(labels, num_planes, netlist)
+    return PartitionResult(
+        netlist=netlist, num_planes=num_planes, labels=labels, config=config, trace=trace
+    )

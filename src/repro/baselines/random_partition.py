@@ -1,0 +1,33 @@
+"""Uniform random partitioning — the floor every heuristic must beat."""
+
+import numpy as np
+
+from repro.core.config import PartitionConfig
+from repro.core.partitioner import PartitionResult, _repair_empty_planes
+from repro.utils.errors import PartitionError
+from repro.utils.rng import make_rng
+
+
+def random_partition(netlist, num_planes, seed=None, config=None):
+    """Assign every gate to a uniformly random plane.
+
+    Empty planes are repaired the same way the main partitioner does,
+    so downstream metrics are always well-defined.
+    """
+    if num_planes < 1:
+        raise PartitionError(f"num_planes must be >= 1, got {num_planes}")
+    if num_planes > netlist.num_gates:
+        raise PartitionError(
+            f"cannot split {netlist.num_gates} gates into {num_planes} planes"
+        )
+    config = config or PartitionConfig()
+    rng = make_rng(config.seed if seed is None else seed)
+    labels = rng.integers(0, num_planes, size=netlist.num_gates).astype(np.intp)
+    labels, repaired = _repair_empty_planes(labels, num_planes, netlist)
+    return PartitionResult(
+        netlist=netlist,
+        num_planes=num_planes,
+        labels=labels,
+        config=config,
+        repaired_gates=repaired,
+    )

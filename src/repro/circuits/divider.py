@@ -1,0 +1,99 @@
+"""Restoring array divider generator (the paper's ID4/ID8).
+
+An unsigned restoring divider: the dividend's high half seeds the
+partial remainder, then one conditional-subtract row per quotient bit
+(subtract the divisor; keep the difference when it is non-negative,
+restore otherwise).  Array dividers are the largest arithmetic blocks in
+the paper's suite (ID8 is its biggest circuit after C3540) because each
+row carries a full-width subtractor *and* a full-width restore mux.
+
+Interface (width ``w``): dividend ``a[2w]``, divisor ``v[w]``,
+outputs quotient ``q[w]`` and remainder ``r[w]``.  Results are the true
+``a // v`` and ``a % v`` whenever the quotient fits in ``w`` bits
+(i.e. ``a >> w < v``) — the standard array-divider operating condition.
+"""
+
+from repro.synth.logic import LogicCircuit
+from repro.utils.errors import SynthesisError
+
+
+def _conditional_subtract(circuit, remainder_bits, divisor_bits):
+    """One restoring-division row.
+
+    ``remainder_bits`` is the shifted partial remainder (``w + 1`` bits,
+    LSB first), ``divisor_bits`` the divisor (``w`` bits).  Computes
+    ``diff = remainder - divisor`` as ``remainder + ~divisor + 1`` with a
+    *parallel-prefix* (Kogge-Stone) carry network — a ripple borrow
+    chain would give each row O(w) pipeline depth and the SFQ
+    path-balancing stage would then pay O(w^2) DFFs per row, far beyond
+    the circuit sizes the paper's suite reports.  The final carry is the
+    no-borrow flag (1 when ``remainder >= divisor``).
+
+    Returns ``(q_bit, new_remainder_bits)`` with ``new_remainder`` =
+    ``diff`` on success, the unmodified remainder otherwise (``w`` bits —
+    the top bit of a restored row is always 0 under the operating
+    condition).
+    """
+    width = len(divisor_bits)
+    if len(remainder_bits) != width + 1:
+        raise SynthesisError("conditional subtract expects a w+1-bit remainder")
+    total = width + 1
+    # Bitwise propagate/generate of remainder + ~divisor, with the
+    # two's-complement +1 folded in as a carry into bit 0:
+    # c_{-1} = 1  =>  g_0' = g_0 | p_0.
+    inverted = [circuit.not_(divisor_bits[i]) for i in range(width)]
+    inverted.append(None)  # divisor bit w is 0, so ~bit is constant 1
+    propagate = []
+    generate = []
+    for i in range(total):
+        if inverted[i] is None:  # x ^ 1 = ~x ; x & 1 = x
+            propagate.append(circuit.not_(remainder_bits[i]))
+            generate.append(remainder_bits[i])
+        else:
+            propagate.append(circuit.xor(remainder_bits[i], inverted[i]))
+            generate.append(circuit.and_(remainder_bits[i], inverted[i]))
+    generate[0] = circuit.or_(generate[0], propagate[0])
+
+    # Kogge-Stone prefix: carries[i] = carry out of bit i.
+    group_p = list(propagate)
+    group_g = list(generate)
+    span = 1
+    while span < total:
+        next_p = list(group_p)
+        next_g = list(group_g)
+        for i in range(span, total):
+            next_g[i] = circuit.or_(group_g[i], circuit.and_(group_p[i], group_g[i - span]))
+            next_p[i] = circuit.and_(group_p[i], group_p[i - span])
+        group_p, group_g = next_p, next_g
+        span *= 2
+    carries = group_g
+
+    diff = [circuit.not_(propagate[0])]  # p_0 ^ c_{-1} with c_{-1} = 1
+    for i in range(1, total):
+        diff.append(circuit.xor(propagate[i], carries[i - 1]))
+    q_bit = carries[total - 1]  # no borrow -> subtraction succeeded
+    new_remainder = [
+        circuit.mux(q_bit, remainder_bits[position], diff[position]) for position in range(width)
+    ]
+    return q_bit, new_remainder
+
+
+def restoring_divider(width, name=None):
+    """Build an unsigned restoring array divider of the given width."""
+    if width < 2:
+        raise SynthesisError(f"divider width must be >= 2, got {width}")
+    circuit = LogicCircuit(name or f"ID{width}")
+    a = circuit.add_inputs("a", 2 * width)
+    v = circuit.add_inputs("v", width)
+
+    # Partial remainder starts as the dividend's high half.
+    remainder = [a[width + i] for i in range(width)]
+    quotient = [None] * width
+    for step in range(width - 1, -1, -1):
+        shifted = [a[step]] + remainder  # (R << 1) | a[step], LSB first
+        quotient[step], remainder = _conditional_subtract(circuit, shifted, v)
+
+    for i in range(width):
+        circuit.set_output(f"q[{i}]", quotient[i])
+        circuit.set_output(f"r[{i}]", remainder[i])
+    return circuit

@@ -1,0 +1,62 @@
+"""Kogge-Stone adder generator (the paper's KSA4/8/16/32).
+
+The Kogge-Stone adder is the canonical SFQ arithmetic benchmark: its
+log-depth parallel-prefix carry network is wide, reconvergent and
+heavily multi-fanout — exactly the structure that stresses splitter
+insertion and path balancing.
+
+Construction (width ``n``):
+
+* bitwise propagate ``p_i = a_i ^ b_i`` and generate ``g_i = a_i & b_i``;
+* ``log2(n)`` prefix stages with span ``s = 1, 2, 4, ...``:
+  ``G_i = G_i | (P_i & G_{i-s})``, ``P_i = P_i & P_{i-s}`` for ``i >= s``;
+* sums ``sum_0 = p_0``, ``sum_i = p_i ^ G_{i-1}``, carry-out ``G_{n-1}``.
+"""
+
+from repro.synth.logic import LogicCircuit
+from repro.utils.errors import SynthesisError
+
+
+def kogge_stone_adder(width, with_carry_out=True, name=None):
+    """Build an unsigned ``width``-bit Kogge-Stone adder.
+
+    Inputs ``a[width]``, ``b[width]``; outputs ``sum[width]`` and
+    (optionally) ``cout``.
+
+    Parameters
+    ----------
+    width:
+        Operand width in bits (>= 2).
+    with_carry_out:
+        Emit the ``cout`` output.
+    name:
+        Circuit name; defaults to ``KSA{width}``.
+    """
+    if width < 2:
+        raise SynthesisError(f"KSA width must be >= 2, got {width}")
+    circuit = LogicCircuit(name or f"KSA{width}")
+    a = circuit.add_inputs("a", width)
+    b = circuit.add_inputs("b", width)
+
+    propagate = [circuit.xor(a[i], b[i]) for i in range(width)]
+    generate = [circuit.and_(a[i], b[i]) for i in range(width)]
+
+    # Parallel-prefix carry network.
+    group_p = list(propagate)
+    group_g = list(generate)
+    span = 1
+    while span < width:
+        next_p = list(group_p)
+        next_g = list(group_g)
+        for i in range(span, width):
+            next_g[i] = circuit.or_(group_g[i], circuit.and_(group_p[i], group_g[i - span]))
+            next_p[i] = circuit.and_(group_p[i], group_p[i - span])
+        group_p, group_g = next_p, next_g
+        span *= 2
+
+    circuit.set_output("sum[0]", propagate[0])
+    for i in range(1, width):
+        circuit.set_output(f"sum[{i}]", circuit.xor(propagate[i], group_g[i - 1]))
+    if with_carry_out:
+        circuit.set_output("cout", group_g[width - 1])
+    return circuit

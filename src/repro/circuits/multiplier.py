@@ -1,0 +1,90 @@
+"""Array multiplier generator (the paper's MULT4/8).
+
+A classic unsigned array multiplier: the ``n x n`` partial-product
+matrix (``AND`` gates) is accumulated row by row with ripple-carry
+adders.  The row-accumulation structure is deep and strongly local —
+the opposite workload profile from the Kogge-Stone prefix network —
+giving the partitioner the "long pipeline" topology the multiplier rows
+of Table I represent.
+"""
+
+from repro.synth.logic import LogicCircuit
+from repro.utils.errors import SynthesisError
+
+
+def _ripple_add(circuit, x_bits, y_bits):
+    """Ripple-carry add two equal-width bit vectors.
+
+    Returns ``width + 1`` result bits (the last is the carry-out).
+    """
+    if len(x_bits) != len(y_bits):
+        raise SynthesisError("ripple add requires equal widths")
+    result = []
+    carry = None
+    for x, y in zip(x_bits, y_bits):
+        if carry is None:
+            bit, carry = circuit.half_adder(x, y)
+        else:
+            bit, carry = circuit.full_adder(x, y, carry)
+        result.append(bit)
+    result.append(carry)
+    return result
+
+
+def array_multiplier(width, name=None):
+    """Build an unsigned ``width x width`` array multiplier.
+
+    Inputs ``a[width]``, ``b[width]``; outputs ``p[2*width]``.
+    """
+    if width < 2:
+        raise SynthesisError(f"multiplier width must be >= 2, got {width}")
+    circuit = LogicCircuit(name or f"MULT{width}")
+    a = circuit.add_inputs("a", width)
+    b = circuit.add_inputs("b", width)
+
+    partial = [[circuit.and_(a[i], b[j]) for i in range(width)] for j in range(width)]
+
+    # Row 0 of the product is pp[0][0]; accumulate the remaining rows.
+    outputs = [partial[0][0]]
+    acc = partial[0][1:]  # bits 1..width-1 of row 0, aligned at position 1
+    for j in range(1, width):
+        row = partial[j]
+        # acc currently holds product bits j .. j+len(acc)-1.
+        # Add row j (bits j .. j+width-1); pad the shorter vector.
+        length = max(len(acc), width)
+        x = acc + [None] * (length - len(acc))
+        y = list(row) + [None] * (length - width)
+        summed = []
+        carry = None
+        for x_bit, y_bit in zip(x, y):
+            if y_bit is None:
+                operand_pair = (x_bit,)
+            elif x_bit is None:
+                operand_pair = (y_bit,)
+            else:
+                operand_pair = (x_bit, y_bit)
+            if len(operand_pair) == 1:
+                if carry is None:
+                    summed.append(operand_pair[0])
+                else:
+                    bit, carry = circuit.half_adder(operand_pair[0], carry)
+                    summed.append(bit)
+            else:
+                if carry is None:
+                    bit, carry = circuit.half_adder(*operand_pair)
+                else:
+                    bit, carry = circuit.full_adder(*operand_pair, carry)
+                summed.append(bit)
+        if carry is not None:
+            summed.append(carry)
+        outputs.append(summed[0])  # product bit j is finalized
+        acc = summed[1:]
+    outputs.extend(acc)
+
+    if len(outputs) != 2 * width:
+        raise SynthesisError(
+            f"multiplier construction error: {len(outputs)} product bits, expected {2 * width}"
+        )
+    for position, node in enumerate(outputs):
+        circuit.set_output(f"p[{position}]", node)
+    return circuit

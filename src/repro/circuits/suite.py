@@ -1,0 +1,117 @@
+"""The benchmark suite of Table I.
+
+Maps the paper's circuit names to reconstruction generators and records
+the published Table I numbers for side-by-side comparison in
+EXPERIMENTS.md and the benches.  Reconstructed netlists will not match
+the published gate counts exactly (different cell library and synthesis
+flow, see DESIGN.md substitution 1), but they are the same circuit
+classes at the same scale.
+"""
+
+from dataclasses import dataclass
+
+from repro.circuits.divider import restoring_divider
+from repro.circuits.iscas import alu, ecc_codec, ecc_secded, interrupt_controller
+from repro.circuits.ksa import kogge_stone_adder
+from repro.circuits.multiplier import array_multiplier
+from repro.synth.flow import SynthesisOptions, synthesize
+from repro.utils.errors import ReproError
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One row of the paper's Table I (K = 5)."""
+
+    circuit: str
+    gates: int
+    connections: int
+    d_le_1: float
+    d_le_2: float
+    b_cir_ma: float
+    b_max_ma: float
+    i_comp_pct: float
+    a_cir_mm2: float
+    a_max_mm2: float
+    a_fs_pct: float
+
+
+#: Table I of the paper, transcribed verbatim.
+PAPER_TABLE1 = {
+    "KSA4": PaperRow("KSA4", 93, 118, 0.746, 0.975, 80.089, 17.50, 9.24, 0.4512, 0.0972, 7.71),
+    "KSA8": PaperRow("KSA8", 252, 320, 0.703, 0.944, 216.72, 45.27, 4.43, 1.2192, 0.2520, 3.35),
+    "KSA16": PaperRow("KSA16", 650, 826, 0.665, 0.887, 557.66, 118.09, 5.88, 3.1392, 0.6600, 5.12),
+    "KSA32": PaperRow("KSA32", 1592, 2029, 0.644, 0.859, 1362.55, 304.07, 11.58, 7.6800, 1.7028, 10.86),
+    "MULT4": PaperRow("MULT4", 254, 310, 0.732, 0.932, 222.03, 47.70, 7.42, 1.2192, 0.2616, 7.28),
+    "MULT8": PaperRow("MULT8", 1374, 1678, 0.636, 0.856, 1201.32, 256.85, 6.90, 6.5952, 1.4004, 6.17),
+    "ID4": PaperRow("ID4", 553, 678, 0.711, 0.914, 467.00, 100.29, 6.69, 2.6796, 0.5700, 6.36),
+    "ID8": PaperRow("ID8", 3209, 3705, 0.582, 0.816, 2783.89, 622.39, 11.78, 15.5400, 3.4860, 12.16),
+    "C432": PaperRow("C432", 1216, 1434, 0.650, 0.875, 1045.17, 222.31, 6.35, 5.9448, 1.2792, 7.59),
+    "C499": PaperRow("C499", 991, 1318, 0.635, 0.863, 834.92, 178.17, 6.70, 4.8060, 1.0212, 6.24),
+    "C1355": PaperRow("C1355", 1046, 1367, 0.618, 0.854, 883.35, 192.41, 8.97, 5.0808, 1.1076, 9.00),
+    "C1908": PaperRow("C1908", 1695, 2095, 0.600, 0.850, 1447.03, 328.53, 13.52, 8.2536, 1.8804, 13.91),
+    "C3540": PaperRow("C3540", 3792, 4927, 0.540, 0.777, 3193.23, 670.01, 4.91, 18.5556, 3.8784, 4.51),
+}
+
+#: Paper circuit names in Table I order.
+SUITE_NAMES = tuple(PAPER_TABLE1)
+
+#: circuit name -> zero-argument logic-circuit builder
+_GENERATORS = {
+    "KSA4": lambda: kogge_stone_adder(4, name="KSA4"),
+    "KSA8": lambda: kogge_stone_adder(8, name="KSA8"),
+    "KSA16": lambda: kogge_stone_adder(16, name="KSA16"),
+    "KSA32": lambda: kogge_stone_adder(32, name="KSA32"),
+    "MULT4": lambda: array_multiplier(4, name="MULT4"),
+    "MULT8": lambda: array_multiplier(8, name="MULT8"),
+    "ID4": lambda: restoring_divider(4, name="ID4"),
+    "ID8": lambda: restoring_divider(8, name="ID8"),
+    "C432": lambda: interrupt_controller(name="C432"),
+    "C499": lambda: ecc_secded(32, expand_xor=False, name="C499"),
+    "C1355": lambda: ecc_secded(32, expand_xor=True, name="C1355"),
+    "C1908": lambda: ecc_codec(32, name="C1908"),
+    "C3540": lambda: alu(8, name="C3540"),
+}
+
+_NETLIST_CACHE = {}
+
+
+def paper_row(name):
+    """The paper's Table I row for ``name`` (KeyError on unknown name)."""
+    return PAPER_TABLE1[name]
+
+
+def build_logic(name):
+    """Build the logic-level (pre-synthesis) reconstruction of a circuit."""
+    try:
+        generator = _GENERATORS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown benchmark circuit {name!r}; available: {', '.join(SUITE_NAMES)}"
+        ) from None
+    return generator()
+
+
+def build_circuit(name, library=None, options=None, use_cache=True):
+    """Build one benchmark as a synthesized, placed SFQ netlist.
+
+    Results for the default library/options are cached per process (the
+    generators are deterministic); pass ``use_cache=False`` or custom
+    options to bypass.  Returned netlists are shared when cached — treat
+    them as read-only or copy() first.
+    """
+    cache_key = name if (library is None and options is None and use_cache) else None
+    if cache_key is not None and cache_key in _NETLIST_CACHE:
+        return _NETLIST_CACHE[cache_key]
+    circuit = build_logic(name)
+    netlist, _stats = synthesize(circuit, library=library, options=options or SynthesisOptions())
+    if cache_key is not None:
+        _NETLIST_CACHE[cache_key] = netlist
+    return netlist
+
+
+def build_suite(names=None, library=None, options=None):
+    """Build several benchmarks; returns ``{name: netlist}``."""
+    return {
+        name: build_circuit(name, library=library, options=options)
+        for name in (names or SUITE_NAMES)
+    }

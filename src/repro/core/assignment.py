@@ -1,0 +1,80 @@
+"""Assignment-matrix helpers.
+
+The relaxed decision variable of the paper is the matrix
+``w[i, k] in [0, 1]`` of shape ``(G, K)``: gate ``i``'s soft membership in
+plane ``k``.  The paper indexes planes ``k = 1..K``; we store the matrix
+with zero-based columns but keep the *label coefficients* ``1..K`` (they
+enter the relaxed label ``l_i = sum_k k * w[i,k]`` of eq. (3) and the F1
+gradient of eq. (10) with their one-based values).
+"""
+
+import numpy as np
+
+from repro.utils.errors import PartitionError
+from repro.utils.rng import make_rng
+
+
+def plane_coefficients(num_planes):
+    """The one-based label coefficients ``[1, 2, ..., K]`` of eq. (3)."""
+    if num_planes < 1:
+        raise PartitionError(f"num_planes must be >= 1, got {num_planes}")
+    return np.arange(1, num_planes + 1, dtype=float)
+
+
+def random_assignment(num_gates, num_planes, rng=None):
+    """Random row-normalized initial assignment (Algorithm 1, lines 3-11).
+
+    Entries are drawn uniformly from (0, 1) and each row is divided by
+    its sum, so every row satisfies ``sum_k w[i,k] == 1`` exactly.
+    """
+    if num_gates < 1:
+        raise PartitionError(f"num_gates must be >= 1, got {num_gates}")
+    if num_planes < 1:
+        raise PartitionError(f"num_planes must be >= 1, got {num_planes}")
+    rng = make_rng(rng)
+    # Open interval keeps row sums strictly positive.
+    w = rng.uniform(low=1e-6, high=1.0, size=(num_gates, num_planes))
+    return normalize_rows(w)
+
+
+def normalize_rows(w):
+    """Divide each row by its sum (rows with zero sum become uniform)."""
+    w = np.asarray(w, dtype=float)
+    if w.ndim != 2:
+        raise PartitionError(f"assignment matrix must be 2-D, got shape {w.shape}")
+    sums = w.sum(axis=1, keepdims=True)
+    out = np.empty_like(w)
+    zero = (sums <= 0.0).ravel()
+    nonzero = ~zero
+    out[nonzero] = w[nonzero] / sums[nonzero]
+    if zero.any():
+        out[zero] = 1.0 / w.shape[1]
+    return out
+
+
+def labels_from_assignment(w):
+    """Relaxed labels ``l_i = sum_k k * w[i,k]`` (eq. (3)), shape ``(G,)``."""
+    w = np.asarray(w, dtype=float)
+    return w @ plane_coefficients(w.shape[1])
+
+
+def round_assignment(w):
+    """Final integer plane of each gate: zero-based ``argmax_k w[i,k]``.
+
+    Implements lines 27-30 of Algorithm 1.  Ties break toward the lowest
+    plane index (NumPy argmax semantics).
+    """
+    w = np.asarray(w, dtype=float)
+    if w.ndim != 2 or w.shape[1] < 1:
+        raise PartitionError(f"assignment matrix must be (G, K), got shape {w.shape}")
+    return w.argmax(axis=1).astype(np.intp)
+
+
+def one_hot(labels, num_planes):
+    """Hard assignment matrix from zero-based integer labels."""
+    labels = np.asarray(labels, dtype=np.intp)
+    if labels.size and (labels.min() < 0 or labels.max() >= num_planes):
+        raise PartitionError("labels out of range for one_hot")
+    w = np.zeros((labels.shape[0], num_planes), dtype=float)
+    w[np.arange(labels.shape[0]), labels] = 1.0
+    return w

@@ -1,0 +1,144 @@
+"""Gradient-descent solver — Algorithm 1 of the paper.
+
+The loop is the paper's, line for line:
+
+1. random row-normalized initialization (lines 3-11; see
+   :func:`repro.core.assignment.random_assignment`),
+2. evaluate ``cost_new`` (line 13) and stop when
+   ``|cost_new / cost_old - 1| <= margin`` (lines 14-16),
+3. take a gradient step with the analytic gradients of eq. (10)
+   (lines 17-21), clip every entry to ``[0, 1]`` (lines 22-23),
+4. finally round each gate to its argmax plane (lines 27-30; done by the
+   caller via :func:`repro.core.assignment.round_assignment`).
+
+Additions over the pseudo-code, all off by default or harmless:
+an iteration safety cap, an explicit learning rate (the paper folds it
+into ``c1..c4``), an optional row re-normalization projection, and a
+recorded cost trace for the convergence figure.
+"""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.assignment import normalize_rows, random_assignment
+from repro.core.cost import cost_terms
+from repro.core.gradients import cost_gradient
+from repro.utils.errors import PartitionError
+from repro.utils.rng import make_rng
+
+
+@dataclass
+class GradientDescentTrace:
+    """Outcome of one gradient-descent run.
+
+    Attributes
+    ----------
+    w:
+        Final relaxed assignment matrix, shape ``(G, K)``.
+    cost_history:
+        ``cost_new`` at every iteration of the while-loop (the value that
+        triggered the stop is the last entry).
+    converged:
+        True when the margin criterion fired, False when the iteration
+        cap stopped the loop.
+    iterations:
+        Number of gradient steps actually taken.
+    final_terms:
+        :class:`~repro.core.cost.CostTerms` at the final ``w``.
+    """
+
+    w: np.ndarray
+    cost_history: list = field(default_factory=list)
+    converged: bool = False
+    iterations: int = 0
+    final_terms: object = None
+
+    @property
+    def final_cost(self):
+        return self.cost_history[-1] if self.cost_history else float("nan")
+
+
+def minimize_assignment(num_planes, edges, bias, area, config, rng=None, w0=None, pinned=None):
+    """Run Algorithm 1 once and return a :class:`GradientDescentTrace`.
+
+    Parameters
+    ----------
+    num_planes:
+        K, the number of ground planes.
+    edges:
+        ``(|E|, 2)`` connection array (gate indices).
+    bias, area:
+        Per-gate ``b_i`` (mA) and ``a_i`` vectors, shape ``(G,)``.
+    config:
+        :class:`~repro.core.config.PartitionConfig`.
+    rng:
+        Seed or generator for the random initialization.
+    w0:
+        Optional explicit initial matrix (overrides the random init;
+        used by tests and by warm-started refinement).
+    pinned:
+        Optional ``{gate index: plane}`` hard constraints (extension):
+        those rows are held one-hot throughout the descent.  Physically
+        motivated by I/O: pads share the common perimeter ground, so
+        gates wired to I/O must sit on a plane the designer chooses.
+    """
+    bias = np.asarray(bias, dtype=float)
+    num_gates = bias.shape[0]
+    if num_planes < 1:
+        raise PartitionError(f"num_planes must be >= 1, got {num_planes}")
+    if num_planes > num_gates:
+        raise PartitionError(
+            f"cannot split {num_gates} gates into {num_planes} planes "
+            "(every plane needs at least one gate)"
+        )
+    pinned = dict(pinned or {})
+    for gate, plane in pinned.items():
+        if not 0 <= gate < num_gates:
+            raise PartitionError(f"pinned gate index {gate} out of range")
+        if not 0 <= plane < num_planes:
+            raise PartitionError(f"pinned gate {gate}: plane {plane} out of range")
+
+    if w0 is None:
+        w = random_assignment(num_gates, num_planes, rng=make_rng(rng))
+    else:
+        w = np.array(w0, dtype=float)
+        if w.shape != (num_gates, num_planes):
+            raise PartitionError(f"w0 must have shape ({num_gates}, {num_planes}), got {w.shape}")
+
+    def clamp_pinned(matrix):
+        for gate, plane in pinned.items():
+            matrix[gate, :] = 0.0
+            matrix[gate, plane] = 1.0
+        return matrix
+
+    w = clamp_pinned(w)
+
+    trace = GradientDescentTrace(w=w)
+    cost_old = np.inf
+    for _ in range(config.max_iterations):
+        terms = cost_terms(w, edges, bias, area, config)
+        cost_new = terms.total
+        trace.cost_history.append(cost_new)
+        trace.final_terms = terms
+        # Algorithm 1 line 14. cost_old is inf on the first pass, so the
+        # ratio is 0 and the loop never stops before taking one step.
+        if np.isfinite(cost_old) and cost_old != 0.0 and abs(cost_new / cost_old - 1.0) <= config.margin:
+            trace.converged = True
+            break
+        if cost_old == 0.0 and cost_new == 0.0:
+            trace.converged = True
+            break
+        step = config.learning_rate * cost_gradient(w, edges, bias, area, config)
+        w = np.clip(w - step, 0.0, 1.0)
+        if config.renormalize_rows:
+            w = normalize_rows(w)
+        if pinned:
+            w = clamp_pinned(w)
+        trace.iterations += 1
+        cost_old = cost_new
+
+    trace.w = w
+    if trace.final_terms is None:  # max_iterations == 0 cannot happen (validated), defensive
+        trace.final_terms = cost_terms(w, edges, bias, area, config)
+    return trace

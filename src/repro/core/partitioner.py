@@ -1,0 +1,221 @@
+"""High-level partitioning API.
+
+:func:`partition` is the package's main entry point: it takes a netlist
+and a plane count, runs Algorithm 1 from several random restarts, rounds
+the best relaxed solution to integer plane labels and returns a
+:class:`PartitionResult` that the metrics/recycling layers consume.
+"""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.assignment import round_assignment
+from repro.core.config import PartitionConfig
+from repro.core.cost import integer_cost
+from repro.core.optimizer import minimize_assignment
+from repro.netlist.graph import undirected_degrees
+from repro.utils.errors import PartitionError
+from repro.utils.rng import make_rng, spawn_rngs
+
+
+@dataclass
+class PartitionResult:
+    """A finished K-way ground-plane partition of a netlist.
+
+    ``labels[i]`` is the zero-based plane of gate ``i``; plane 0 is the
+    top plane of the serial bias chain (the one fed by the external
+    supply), plane ``K-1`` the bottom one, matching Fig. 1 of the paper.
+    """
+
+    netlist: object
+    num_planes: int
+    labels: np.ndarray
+    config: PartitionConfig
+    trace: object = None
+    restart_costs: list = field(default_factory=list)
+    repaired_gates: int = 0
+    pinned: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.labels = np.asarray(self.labels, dtype=np.intp)
+        if self.labels.shape != (self.netlist.num_gates,):
+            raise PartitionError(
+                f"labels shape {self.labels.shape} does not match netlist "
+                f"({self.netlist.num_gates} gates)"
+            )
+        if self.labels.size and (self.labels.min() < 0 or self.labels.max() >= self.num_planes):
+            raise PartitionError("labels out of range")
+
+    # ------------------------------------------------------------------
+    def planes(self):
+        """List of K arrays of gate indices, one per plane."""
+        return [np.flatnonzero(self.labels == k) for k in range(self.num_planes)]
+
+    def plane_sizes(self):
+        """Gate count per plane, shape ``(K,)``."""
+        return np.bincount(self.labels, minlength=self.num_planes)
+
+    def plane_bias_ma(self):
+        """Per-plane bias current ``B_k`` in mA, shape ``(K,)``."""
+        return np.bincount(
+            self.labels, weights=self.netlist.bias_vector_ma(), minlength=self.num_planes
+        )
+
+    def plane_area_mm2(self):
+        """Per-plane gate area ``A_k`` in mm^2, shape ``(K,)``."""
+        return np.bincount(
+            self.labels, weights=self.netlist.area_vector_mm2(), minlength=self.num_planes
+        )
+
+    def connection_distances(self):
+        """``d = |l_i1 - l_i2|`` per connection, shape ``(|E|,)``."""
+        edges = self.netlist.edge_array()
+        if edges.shape[0] == 0:
+            return np.zeros(0, dtype=np.intp)
+        return np.abs(self.labels[edges[:, 0]] - self.labels[edges[:, 1]])
+
+    def integer_cost(self):
+        """Post-rounding cost ``c1 F1 + c2 F2 + c3 F3`` of this partition."""
+        return integer_cost(
+            self.labels,
+            self.num_planes,
+            self.netlist.edge_array(),
+            self.netlist.bias_vector_ma(),
+            self.netlist.area_vector_um2(),
+            self.config,
+        )
+
+    def __repr__(self):
+        sizes = ", ".join(str(int(s)) for s in self.plane_sizes())
+        return (
+            f"PartitionResult({self.netlist.name!r}, K={self.num_planes}, "
+            f"plane sizes=[{sizes}])"
+        )
+
+
+def _repair_empty_planes(labels, num_planes, netlist, pinned=None):
+    """Move low-connectivity gates from the heaviest plane into empty ones.
+
+    Algorithm 1 can round to a solution with empty planes when K is large
+    relative to the circuit; a serial bias chain with an empty plane is
+    ill-defined (the chain would carry the full compensation current), so
+    we repair by repeatedly taking the gate with the fewest incident
+    connections out of the plane with the largest bias current.  Pinned
+    gates are never moved.  Returns ``(labels, moved_count)``.
+    """
+    labels = labels.copy()
+    bias = netlist.bias_vector_ma()
+    degrees = undirected_degrees(netlist)
+    movable = np.ones(labels.size, dtype=bool)
+    for gate in (pinned or {}):
+        movable[gate] = False
+    moved = 0
+    while True:
+        sizes = np.bincount(labels, minlength=num_planes)
+        empty = np.flatnonzero(sizes == 0)
+        if empty.size == 0:
+            return labels, moved
+        plane_bias = np.bincount(labels, weights=bias, minlength=num_planes)
+        movable_sizes = np.bincount(labels[movable], minlength=num_planes)
+        donor_candidates = np.flatnonzero((sizes > 1) & (movable_sizes > 0))
+        if donor_candidates.size == 0:
+            raise PartitionError(
+                f"cannot repair empty plane: no plane has a movable spare gate "
+                f"(G={labels.size}, K={num_planes})"
+            )
+        donor = donor_candidates[np.argmax(plane_bias[donor_candidates])]
+        members = np.flatnonzero((labels == donor) & movable)
+        mover = members[np.argmin(degrees[members])]
+        labels[mover] = empty[0]
+        moved += 1
+
+
+def partition(netlist, num_planes, config=None, seed=None, pinned=None):
+    """Partition ``netlist`` into ``num_planes`` serially-biased planes.
+
+    Runs ``config.restarts`` independent gradient-descent solves
+    (Algorithm 1) and keeps the rounded solution with the lowest integer
+    cost.  See :class:`~repro.core.config.PartitionConfig` for knobs.
+
+    Parameters
+    ----------
+    netlist:
+        A :class:`~repro.netlist.netlist.Netlist`.
+    num_planes:
+        K >= 1.  ``K == 1`` returns the trivial single-plane partition.
+    config:
+        Optional :class:`PartitionConfig`; defaults are calibrated for
+        the reconstructed benchmark suite.
+    seed:
+        Overrides ``config.seed`` when given.
+    pinned:
+        Optional hard gate-to-plane constraints, ``{gate name/index/
+        Gate: plane}`` (extension; e.g. pin I/O-adjacent gates to the
+        perimeter planes).  Pinned gates never move — not in the
+        descent, the rounding, or the empty-plane repair.
+
+    Returns
+    -------
+    PartitionResult
+    """
+    if config is None:
+        config = PartitionConfig()
+    if netlist.num_gates == 0:
+        raise PartitionError(f"netlist {netlist.name!r} has no gates")
+    if num_planes < 1:
+        raise PartitionError(f"num_planes must be >= 1, got {num_planes}")
+    if num_planes > netlist.num_gates:
+        raise PartitionError(
+            f"cannot split {netlist.num_gates} gates into {num_planes} planes"
+        )
+    pinned_index = {}
+    for gate_ref, plane in (pinned or {}).items():
+        plane = int(plane)
+        if not 0 <= plane < num_planes:
+            raise PartitionError(f"pinned plane {plane} out of range for K={num_planes}")
+        pinned_index[netlist.gate(gate_ref).index] = plane
+
+    if num_planes == 1:
+        labels = np.zeros(netlist.num_gates, dtype=np.intp)
+        return PartitionResult(
+            netlist=netlist, num_planes=1, labels=labels, config=config, pinned=pinned_index
+        )
+
+    edges = netlist.edge_array()
+    bias = netlist.bias_vector_ma()
+    area = netlist.area_vector_um2()
+
+    rng = make_rng(config.seed if seed is None else seed)
+    streams = spawn_rngs(rng, config.restarts)
+
+    best = None
+    best_cost = np.inf
+    best_labels = None
+    restart_costs = []
+    for stream in streams:
+        trace = minimize_assignment(
+            num_planes, edges, bias, area, config, rng=stream, pinned=pinned_index
+        )
+        labels = round_assignment(trace.w)
+        cost = integer_cost(labels, num_planes, edges, bias, area, config)
+        restart_costs.append(cost)
+        if cost < best_cost:
+            best, best_cost, best_labels = trace, cost, labels
+
+    repaired = 0
+    if config.ensure_nonempty:
+        best_labels, repaired = _repair_empty_planes(
+            best_labels, num_planes, netlist, pinned=pinned_index
+        )
+
+    return PartitionResult(
+        netlist=netlist,
+        num_planes=num_planes,
+        labels=best_labels,
+        config=config,
+        trace=best,
+        restart_costs=restart_costs,
+        repaired_gates=repaired,
+        pinned=pinned_index,
+    )

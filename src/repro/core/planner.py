@@ -1,0 +1,185 @@
+"""Bias-limited plane-count planning — the Table III experiment.
+
+A real chip can only draw a bounded current through one bias pad
+(the paper uses 100 mA, citing the FFT-processor chip of ref. [23]).
+Given that limit, the number of planes K must be chosen such that the
+*largest* per-plane bias ``B_max`` stays under the limit.  The paper
+reports, per circuit:
+
+* the lower bound ``K_LB = ceil(B_cir / limit)`` — achievable only by a
+  perfectly balanced partition;
+* the achieved ``K_res`` — the smallest K for which the partitioner's
+  ``B_max`` actually meets the limit (>= K_LB because real partitions
+  are imbalanced).
+
+:func:`plan_bias_limited` performs that search, and also quantifies the
+headline saving of current recycling: the chip needs a single serial
+bias feed of ``B_max`` instead of ``ceil(B_cir / limit)`` parallel bias
+lines.
+"""
+
+import math
+from dataclasses import dataclass
+
+from repro.core.partitioner import partition
+from repro.utils.errors import PartitionError
+
+
+@dataclass
+class BiasLimitedPlan:
+    """Result of the bias-limited plane-count search.
+
+    Attributes
+    ----------
+    k_lb:
+        ``ceil(B_cir / limit)`` — the information-theoretic lower bound.
+    k_res:
+        Smallest K whose partition met the limit.
+    result:
+        The winning :class:`~repro.core.partitioner.PartitionResult`.
+    b_max_ma:
+        Its maximum per-plane bias current.
+    attempts:
+        ``[(K, B_max)]`` for every K tried, in order.
+    bias_limit_ma:
+        The supply limit used.
+    """
+
+    netlist: object
+    bias_limit_ma: float
+    k_lb: int
+    k_res: int
+    result: object
+    b_max_ma: float
+    attempts: list
+
+    @property
+    def bias_lines_without_recycling(self):
+        """Parallel bias lines a non-recycled chip would need."""
+        return self.k_lb
+
+    @property
+    def bias_lines_with_recycling(self):
+        """A serial chain needs a single feed (plus its return)."""
+        return 1
+
+    @property
+    def bias_lines_saved(self):
+        """The paper's 'save 30 bias lines' style figure of merit."""
+        return self.bias_lines_without_recycling - self.bias_lines_with_recycling
+
+
+def lower_bound_planes(total_bias_ma, bias_limit_ma):
+    """``K_LB = ceil(B_cir / B_limit)`` as defined in Section V."""
+    if bias_limit_ma <= 0:
+        raise PartitionError(f"bias limit must be positive, got {bias_limit_ma}")
+    return max(1, math.ceil(total_bias_ma / bias_limit_ma))
+
+
+def plan_bias_limited(
+    netlist,
+    bias_limit_ma=100.0,
+    config=None,
+    seed=None,
+    max_extra_planes=None,
+    search="linear",
+):
+    """Find the smallest K with ``B_max <= bias_limit_ma``.
+
+    Starting from ``K_LB``, partitions the netlist for increasing K until
+    the max per-plane bias meets the limit.  Raises
+    :class:`PartitionError` when no feasible K exists below the search
+    cap (which would indicate a single gate exceeding the limit, or a cap
+    set too tight).
+
+    Parameters
+    ----------
+    netlist:
+        Circuit to plan for.
+    bias_limit_ma:
+        Maximum externally suppliable current (paper: 100 mA).
+    config, seed:
+        Forwarded to :func:`repro.core.partitioner.partition`.
+    max_extra_planes:
+        Search cap above ``K_LB``; defaults to ``2 * K_LB + 10`` which
+        comfortably covers the paper's worst case (C3540: K_LB=32,
+        K_res=50).
+    search:
+        ``"linear"`` (the paper's implied K_LB, K_LB+1, ... sweep — the
+        exact minimal K_res for the heuristic) or ``"gallop"``
+        (exponential probe then binary search; O(log gap) partitions
+        instead of O(gap), assuming B_max is monotone non-increasing in
+        K, which holds to first order since ``B_max >= B_cir / K``).
+    """
+    if search not in ("linear", "gallop"):
+        raise PartitionError(f"search must be 'linear' or 'gallop', got {search!r}")
+    max_bias_gate = max((g.bias_ma for g in netlist.gates), default=0.0)
+    if max_bias_gate > bias_limit_ma:
+        raise PartitionError(
+            f"netlist {netlist.name!r} has a gate needing {max_bias_gate} mA, "
+            f"above the supply limit {bias_limit_ma} mA — no partition can help"
+        )
+
+    k_lb = lower_bound_planes(netlist.total_bias_ma, bias_limit_ma)
+    if max_extra_planes is None:
+        max_extra_planes = 2 * k_lb + 10
+    k_max = min(netlist.num_gates, k_lb + max_extra_planes)
+
+    attempts = []
+    solutions = {}
+
+    def try_k(k):
+        result = partition(netlist, k, config=config, seed=seed)
+        b_max = float(result.plane_bias_ma().max())
+        attempts.append((k, b_max))
+        solutions[k] = (result, b_max)
+        return b_max <= bias_limit_ma
+
+    def finish(k):
+        result, b_max = solutions[k]
+        return BiasLimitedPlan(
+            netlist=netlist,
+            bias_limit_ma=bias_limit_ma,
+            k_lb=k_lb,
+            k_res=k,
+            result=result,
+            b_max_ma=b_max,
+            attempts=attempts,
+        )
+
+    if search == "linear":
+        for k in range(k_lb, k_max + 1):
+            if try_k(k):
+                return finish(k)
+    else:
+        # gallop: probe K_LB + 0, 1, 2, 4, 8, ... until feasible
+        feasible_k = None
+        last_infeasible = k_lb - 1
+        step = 1
+        k = k_lb
+        while k <= k_max:
+            if try_k(k):
+                feasible_k = k
+                break
+            last_infeasible = k
+            next_k = min(max(k_lb + step, k + 1), k_max)
+            if next_k <= k:
+                break  # already probed k_max and it failed
+            k = next_k
+            step *= 2
+        if feasible_k is not None:
+            # binary search the boundary in (last_infeasible, feasible_k)
+            low, high = last_infeasible, feasible_k
+            while high - low > 1:
+                mid = (low + high) // 2
+                if try_k(mid):
+                    high = mid
+                else:
+                    low = mid
+            return finish(high)
+
+    raise PartitionError(
+        f"no K in [{k_lb}, {k_max}] met B_max <= {bias_limit_ma} mA for "
+        f"netlist {netlist.name!r} (best attempt: {min(a[1] for a in attempts):.2f} mA); "
+        "raise max_extra_planes or loosen the limit"
+    )

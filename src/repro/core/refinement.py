@@ -1,0 +1,187 @@
+"""Greedy post-rounding refinement (extension, not in the paper).
+
+Algorithm 1 rounds the relaxed solution with a per-gate argmax, which can
+leave locally-improvable assignments.  :func:`refine_greedy` performs
+steepest-descent single-gate moves on the *integer* cost: at each pass it
+evaluates, for every gate, the cost delta of moving it to each other
+plane, applies the single best improving move, and repeats until no move
+improves or the pass budget is exhausted.
+
+The integer cost matches :func:`repro.core.cost.integer_cost`
+(``c1 F1 + c2 F2 + c3 F3``), so refinement never trades constraint
+satisfaction away — every intermediate state is a feasible partition.
+The ablation bench ``benchmarks/test_ablation_refinement.py`` quantifies
+how much this recovers on top of the paper's rounding.
+"""
+
+import numpy as np
+
+from repro.utils.errors import PartitionError
+
+
+class _IncrementalCost:
+    """Incremental evaluator of the integer cost under single-gate moves."""
+
+    def __init__(self, labels, num_planes, edges, bias, area, config):
+        self.num_planes = int(num_planes)
+        self.edges = np.asarray(edges, dtype=np.intp).reshape(-1, 2)
+        self.bias = np.asarray(bias, dtype=float)
+        self.area = np.asarray(area, dtype=float)
+        self.config = config
+        self.labels = np.asarray(labels, dtype=np.intp).copy()
+        num_gates = self.bias.shape[0]
+
+        self.adjacency = [[] for _ in range(num_gates)]
+        for u, v in self.edges:
+            self.adjacency[u].append(int(v))
+            self.adjacency[v].append(int(u))
+
+        self.plane_bias = np.bincount(self.labels, weights=self.bias, minlength=self.num_planes)
+        self.plane_area = np.bincount(self.labels, weights=self.area, minlength=self.num_planes)
+        self.plane_sizes = np.bincount(self.labels, minlength=self.num_planes)
+
+        k = self.num_planes
+        self.n1 = max(self.edges.shape[0], 1) * max(k - 1, 1) ** 4
+        mean_bias = self.plane_bias.mean()
+        mean_area = self.plane_area.mean()
+        self.n2 = max(k - 1, 1) * (mean_bias**2 if mean_bias else 1.0)
+        self.n3 = max(k - 1, 1) * (mean_area**2 if mean_area else 1.0)
+
+    # -- cost pieces ----------------------------------------------------
+    def _f1_local(self, gate, label):
+        """Quartic connection cost of the edges incident to ``gate`` if it
+        sat on ``label`` (other labels fixed)."""
+        total = 0.0
+        for other in self.adjacency[gate]:
+            total += float(abs(label - self.labels[other])) ** 4
+        return total / self.n1
+
+    def _variance(self, per_plane, normalizer):
+        mean = per_plane.mean()
+        if mean == 0.0:
+            return 0.0
+        return float(np.mean((per_plane - mean) ** 2) / normalizer)
+
+    def move_delta(self, gate, new_label):
+        """Cost change if ``gate`` moved to ``new_label`` (negative = better)."""
+        old_label = self.labels[gate]
+        if new_label == old_label:
+            return 0.0
+        c = self.config
+        delta = c.c1 * (self._f1_local(gate, new_label) - self._f1_local(gate, old_label))
+
+        plane_bias = self.plane_bias.copy()
+        plane_bias[old_label] -= self.bias[gate]
+        plane_bias[new_label] += self.bias[gate]
+        delta += c.c2 * (
+            self._variance(plane_bias, self.n2) - self._variance(self.plane_bias, self.n2)
+        )
+
+        plane_area = self.plane_area.copy()
+        plane_area[old_label] -= self.area[gate]
+        plane_area[new_label] += self.area[gate]
+        delta += c.c3 * (
+            self._variance(plane_area, self.n3) - self._variance(self.plane_area, self.n3)
+        )
+        return delta
+
+    def apply_move(self, gate, new_label):
+        old_label = self.labels[gate]
+        if self.plane_sizes[old_label] <= 1:
+            raise PartitionError("refinement would empty a plane")
+        self.plane_bias[old_label] -= self.bias[gate]
+        self.plane_bias[new_label] += self.bias[gate]
+        self.plane_area[old_label] -= self.area[gate]
+        self.plane_area[new_label] += self.area[gate]
+        self.plane_sizes[old_label] -= 1
+        self.plane_sizes[new_label] += 1
+        self.labels[gate] = new_label
+
+
+def greedy_improve(state, num_planes, max_passes=8, candidate_planes="adjacent", pinned=()):
+    """Steepest-descent single-gate improvement on an
+    :class:`_IncrementalCost` state (shared by :func:`refine_greedy`
+    and the multilevel partitioner).  Returns the number of applied
+    moves; the state is modified in place."""
+    if candidate_planes not in ("adjacent", "all"):
+        raise PartitionError(
+            f"candidate_planes must be 'adjacent' or 'all', got {candidate_planes!r}"
+        )
+    pinned = set(pinned)
+    num_gates = state.labels.shape[0]
+    moves = 0
+    for _ in range(max_passes):
+        improved = False
+        for gate in range(num_gates):
+            if gate in pinned:
+                continue
+            current = state.labels[gate]
+            if state.plane_sizes[current] <= 1:
+                continue
+            if candidate_planes == "adjacent":
+                candidates = [current - 1, current + 1]
+            else:
+                candidates = [k for k in range(num_planes) if k != current]
+            best_delta, best_target = -1e-12, None
+            for target in candidates:
+                if not 0 <= target < num_planes:
+                    continue
+                delta = state.move_delta(gate, target)
+                if delta < best_delta:
+                    best_delta, best_target = delta, target
+            if best_target is not None:
+                state.apply_move(gate, best_target)
+                improved = True
+                moves += 1
+        if not improved:
+            break
+    return moves
+
+
+def refine_greedy(result, max_passes=8, candidate_planes="adjacent"):
+    """Refine a :class:`~repro.core.partitioner.PartitionResult` in place-ish.
+
+    Parameters
+    ----------
+    result:
+        The partition to refine (not mutated; a new result is returned).
+    max_passes:
+        Upper bound on full sweeps over all gates.
+    candidate_planes:
+        ``"adjacent"`` only tries moving each gate one plane up/down
+        (cheap, matches the serial-chain locality); ``"all"`` tries every
+        other plane.
+
+    Returns
+    -------
+    A new ``PartitionResult`` with (weakly) lower integer cost.
+    """
+    from repro.core.partitioner import PartitionResult  # deferred: avoid import cycle
+
+    netlist = result.netlist
+    state = _IncrementalCost(
+        result.labels,
+        result.num_planes,
+        netlist.edge_array(),
+        netlist.bias_vector_ma(),
+        netlist.area_vector_um2(),
+        result.config,
+    )
+    greedy_improve(
+        state,
+        result.num_planes,
+        max_passes=max_passes,
+        candidate_planes=candidate_planes,
+        pinned=set(getattr(result, "pinned", {}) or {}),
+    )
+
+    return PartitionResult(
+        netlist=netlist,
+        num_planes=result.num_planes,
+        labels=state.labels,
+        config=result.config,
+        trace=result.trace,
+        restart_costs=list(result.restart_costs),
+        repaired_gates=result.repaired_gates,
+        pinned=dict(getattr(result, "pinned", {}) or {}),
+    )

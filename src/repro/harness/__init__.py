@@ -1,0 +1,39 @@
+"""Reproduction harness: regenerate every table and figure of the paper.
+
+* :mod:`repro.harness.tables` — Tables I, II and III;
+* :mod:`repro.harness.figures` — the Fig. 1 floorplan and the
+  gradient-descent convergence figure;
+* :mod:`repro.harness.formatting` — ASCII table rendering;
+* :mod:`repro.harness.cli` — the ``repro-gpp`` command-line tool.
+"""
+
+from repro.harness.tables import (
+    Table1Row,
+    Table3Row,
+    run_table1,
+    run_table2,
+    run_table3,
+    format_table1,
+    format_table2,
+    format_table3,
+    PARTITION_METHODS,
+)
+from repro.harness.figures import figure1, convergence_trace, render_convergence, distance_histogram_figure
+from repro.harness.formatting import ascii_table
+
+__all__ = [
+    "Table1Row",
+    "Table3Row",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "PARTITION_METHODS",
+    "figure1",
+    "convergence_trace",
+    "render_convergence",
+    "distance_histogram_figure",
+    "ascii_table",
+]

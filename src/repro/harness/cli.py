@@ -1,0 +1,301 @@
+"""``repro-gpp`` — command-line front end.
+
+Subcommands::
+
+    repro-gpp suite                      # list reconstructed benchmarks
+    repro-gpp partition KSA8 -k 5        # partition one circuit
+    repro-gpp partition my.def -k 5      # ... or any DEF file
+    repro-gpp table1 [--method greedy]   # regenerate Table I
+    repro-gpp table2                     # regenerate Table II
+    repro-gpp table3                     # regenerate Table III
+    repro-gpp figure1 KSA4 -k 5          # Fig. 1 floorplan
+    repro-gpp convergence KSA8 -k 5      # convergence figure
+"""
+
+import argparse
+import os
+import sys
+
+from repro.circuits.suite import PAPER_TABLE1, SUITE_NAMES, build_circuit
+from repro.core.config import PartitionConfig
+from repro.harness import figures, tables
+from repro.harness.formatting import ascii_table, percent
+from repro.metrics.report import evaluate_partition
+from repro.netlist.library import default_library
+from repro.parsers.def_parser import parse_def
+from repro.recycling.verify import plan_recycling, verify_recycling
+from repro.utils.errors import ReproError
+
+
+def _load_netlist(source):
+    """Resolve a CLI circuit argument: suite name or DEF file path."""
+    if source in SUITE_NAMES:
+        return build_circuit(source)
+    if os.path.exists(source):
+        with open(source) as handle:
+            return parse_def(handle.read(), default_library(), filename=source)
+    raise ReproError(
+        f"{source!r} is neither a benchmark name ({', '.join(SUITE_NAMES)}) "
+        "nor an existing DEF file"
+    )
+
+
+def _add_common(parser):
+    parser.add_argument("-k", "--planes", type=int, default=5, help="number of ground planes")
+    parser.add_argument("--seed", type=int, default=None, help="RNG seed")
+    parser.add_argument(
+        "--method",
+        choices=sorted(tables.PARTITION_METHODS),
+        default="gradient",
+        help="partitioning algorithm",
+    )
+    parser.add_argument("--refine", action="store_true", help="greedy post-refinement")
+
+
+def _cmd_suite(_args):
+    headers = ["Circuit", "Gates", "Conns", "B_cir mA", "A_cir mm2", "paper gates"]
+    rows = []
+    for name in SUITE_NAMES:
+        netlist = build_circuit(name)
+        rows.append([
+            name, netlist.num_gates, netlist.num_connections,
+            f"{netlist.total_bias_ma:.2f}", f"{netlist.total_area_mm2:.4f}",
+            PAPER_TABLE1[name].gates,
+        ])
+    print(ascii_table(headers, rows, title="reconstructed benchmark suite"))
+    return 0
+
+
+def _cmd_partition(args):
+    netlist = _load_netlist(args.circuit)
+    result = tables._partition_with(
+        args.method, netlist, args.planes, seed=args.seed, refine=args.refine
+    )
+    report = evaluate_partition(result)
+    if getattr(args, "save", None):
+        from repro.harness.io import save_partition
+
+        save_partition(result, args.save)
+        print(f"partition saved to {args.save}")
+    if getattr(args, "json", False):
+        import json
+
+        from repro.harness.io import report_to_dict
+
+        print(json.dumps(report_to_dict(report), indent=2))
+        return 0
+    headers = ["metric", "value"]
+    rows = [
+        ["circuit", report.circuit],
+        ["planes", report.num_planes],
+        ["gates", report.num_gates],
+        ["connections", report.num_connections],
+        ["d<=1", percent(report.frac_d_le_1)],
+        ["d<=2", percent(report.frac_d_le_2)],
+        ["d<=K/2", percent(report.frac_d_le_half_k)],
+        ["B_cir", f"{report.b_cir_ma:.2f} mA"],
+        ["B_max", f"{report.b_max_ma:.2f} mA"],
+        ["I_comp", f"{report.i_comp_pct:.2f}%"],
+        ["A_max", f"{report.a_max_mm2:.4f} mm2"],
+        ["A_FS", f"{report.a_fs_pct:.2f}%"],
+    ]
+    print(ascii_table(headers, rows, title=f"partition ({args.method})"))
+    plan = plan_recycling(result)
+    violations = verify_recycling(plan)
+    print()
+    print(plan.summary())
+    if violations:
+        print("RECYCLING VIOLATIONS:")
+        for violation in violations:
+            print(f"  - {violation}")
+        return 1
+    print("recycling plan verified: feasible")
+    return 0
+
+
+def _cmd_table1(args):
+    rows = tables.run_table1(
+        num_planes=args.planes, seed=args.seed, method=args.method, refine=args.refine
+    )
+    print(tables.format_table1(rows, compare_paper=not args.no_paper))
+    return 0
+
+
+def _cmd_table2(args):
+    reports = tables.run_table2(
+        circuit=args.circuit, seed=args.seed, method=args.method, refine=args.refine
+    )
+    print(tables.format_table2(reports, compare_paper=not args.no_paper))
+    return 0
+
+
+def _cmd_table3(args):
+    rows = tables.run_table3(bias_limit_ma=args.limit, seed=args.seed)
+    print(tables.format_table3(rows, compare_paper=not args.no_paper))
+    return 0
+
+
+def _cmd_figure1(args):
+    text, _floorplan, _result = figures.figure1(args.circuit, args.planes, seed=args.seed)
+    print(text)
+    return 0
+
+
+def _cmd_stats(args):
+    netlist = _load_netlist(args.circuit)
+    from repro.netlist.stats import netlist_stats
+
+    stats = netlist_stats(netlist)
+    rows = [
+        ["gates", stats.num_gates],
+        ["connections", stats.num_connections],
+        ["connections/gate", f"{stats.connections_per_gate:.3f}"],
+        ["avg bias", f"{stats.avg_bias_ma:.3f} mA"],
+        ["avg area", f"{stats.avg_area_um2:.0f} um2"],
+        ["splitter fraction", f"{stats.splitter_fraction * 100:.1f}%"],
+        ["DFF fraction", f"{stats.dff_fraction * 100:.1f}%"],
+        ["logic fraction", f"{stats.logic_fraction * 100:.1f}%"],
+        ["pipeline depth", stats.pipeline_depth],
+        ["max degree", stats.max_degree],
+        ["locality index", f"{stats.locality:.3f}"],
+    ]
+    print(ascii_table(["metric", "value"], rows, title=f"netlist statistics: {netlist.name}"))
+    mix = ", ".join(f"{name}:{count}" for name, count in sorted(stats.cell_mix.items()))
+    print(f"cell mix: {mix}")
+    return 0
+
+
+def _cmd_latency(args):
+    netlist = _load_netlist(args.circuit)
+    result = tables._partition_with(
+        args.method, netlist, args.planes, seed=args.seed, refine=args.refine
+    )
+    from repro.recycling.latency import analyze_latency
+
+    report = analyze_latency(result)
+    rows = [
+        ["circuit", report.circuit],
+        ["planes", report.num_planes],
+        ["base clock", f"{report.base_frequency_ghz:.1f} GHz"],
+        ["partitioned clock", f"{report.partitioned_frequency_ghz:.1f} GHz"],
+        ["worst crossing", f"{report.worst_edge_distance} boundaries"],
+        ["crossing connections", report.crossing_edges],
+        ["frequency loss", f"{report.frequency_loss_pct:.1f}%"],
+    ]
+    print(ascii_table(["metric", "value"], rows, title="coupling latency impact"))
+    return 0
+
+
+def _cmd_simulate(args):
+    netlist = _load_netlist(args.circuit)
+    from repro.sim import PulseSimulator
+
+    simulator = PulseSimulator(netlist)
+    assignments = {}
+    for pair in args.set or []:
+        if "=" not in pair:
+            raise ReproError(f"--set expects name=value, got {pair!r}")
+        name, value = pair.split("=", 1)
+        assignments[name] = int(value, 0)
+    outputs = simulator.run_bus(
+        assignments, args.outputs or [p.name for p in netlist.output_ports()]
+    )
+    rows = [[name, value] for name, value in sorted(outputs.items())]
+    print(ascii_table(["output", "value"], rows,
+                      title=f"pulse simulation ({simulator.pipeline_depth} cycles)"))
+    return 0
+
+
+def _cmd_convergence(args):
+    history, result = figures.convergence_trace(args.circuit, args.planes, seed=args.seed)
+    print(figures.render_convergence(history))
+    print(
+        f"iterations: {result.trace.iterations}, converged: {result.trace.converged}, "
+        f"final cost: {history[-1]:.6f}"
+    )
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-gpp",
+        description="Ground plane partitioning for current recycling of "
+        "superconducting circuits (DATE 2020 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("suite", help="list the reconstructed benchmark suite")
+
+    partition_parser = subparsers.add_parser("partition", help="partition a circuit or DEF file")
+    partition_parser.add_argument("circuit", help="benchmark name or DEF path")
+    _add_common(partition_parser)
+    partition_parser.add_argument("--json", action="store_true", help="emit the report as JSON")
+    partition_parser.add_argument("--save", metavar="PATH", help="save the partition as JSON")
+
+    stats_parser = subparsers.add_parser("stats", help="structural statistics of a circuit")
+    stats_parser.add_argument("circuit", help="benchmark name or DEF path")
+
+    latency_parser = subparsers.add_parser("latency", help="coupling latency impact of a partition")
+    latency_parser.add_argument("circuit", help="benchmark name or DEF path")
+    _add_common(latency_parser)
+
+    simulate_parser = subparsers.add_parser("simulate", help="pulse-simulate a circuit")
+    simulate_parser.add_argument("circuit", help="benchmark name or DEF path")
+    simulate_parser.add_argument(
+        "--set", action="append", metavar="BUS=VALUE",
+        help="input bus/pin assignment, e.g. --set a=11 --set b=0x2f",
+    )
+    simulate_parser.add_argument(
+        "--outputs", nargs="*", metavar="BUS", help="output buses to report (default: all pins)"
+    )
+
+    table1_parser = subparsers.add_parser("table1", help="regenerate Table I")
+    _add_common(table1_parser)
+    table1_parser.add_argument("--no-paper", action="store_true", help="omit paper rows")
+
+    table2_parser = subparsers.add_parser("table2", help="regenerate Table II")
+    table2_parser.add_argument("--circuit", default="KSA4")
+    _add_common(table2_parser)
+    table2_parser.add_argument("--no-paper", action="store_true")
+
+    table3_parser = subparsers.add_parser("table3", help="regenerate Table III")
+    table3_parser.add_argument("--limit", type=float, default=100.0, help="pad current limit (mA)")
+    table3_parser.add_argument("--seed", type=int, default=None)
+    table3_parser.add_argument("--no-paper", action="store_true")
+
+    figure1_parser = subparsers.add_parser("figure1", help="render the Fig. 1 floorplan")
+    figure1_parser.add_argument("circuit", nargs="?", default="KSA4")
+    _add_common(figure1_parser)
+
+    convergence_parser = subparsers.add_parser("convergence", help="convergence figure")
+    convergence_parser.add_argument("circuit", nargs="?", default="KSA8")
+    _add_common(convergence_parser)
+
+    return parser
+
+
+_COMMANDS = {
+    "suite": _cmd_suite,
+    "partition": _cmd_partition,
+    "stats": _cmd_stats,
+    "latency": _cmd_latency,
+    "simulate": _cmd_simulate,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "figure1": _cmd_figure1,
+    "convergence": _cmd_convergence,
+}
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""Regenerate the paper's figures.
+
+* :func:`figure1` — the current-recycling floorplan illustration
+  (Fig. 1), rendered from a real partition instead of a cartoon;
+* :func:`convergence_trace` / :func:`render_convergence` — the
+  gradient-descent cost-vs-iteration curve implied by Algorithm 1's
+  margin-based stopping rule;
+* :func:`distance_histogram_figure` — the connection-distance
+  distribution underlying the d <= 1 / d <= 2 columns.
+"""
+
+import numpy as np
+
+from repro.circuits.suite import build_circuit
+from repro.core.partitioner import partition
+from repro.metrics.distance import distance_histogram
+from repro.recycling.floorplan import build_floorplan
+
+
+def figure1(circuit="KSA4", num_planes=5, config=None, seed=None, utilization=0.72):
+    """Render the Fig. 1 stacked-ground-plane diagram for a circuit.
+
+    Returns ``(text, floorplan, result)``.
+    """
+    netlist = build_circuit(circuit)
+    result = partition(netlist, num_planes, config=config, seed=seed)
+    floorplan = build_floorplan(result, utilization=utilization)
+    return floorplan.render(), floorplan, result
+
+
+def convergence_trace(circuit="KSA8", num_planes=5, config=None, seed=None):
+    """Cost history of the winning gradient-descent restart.
+
+    Returns ``(cost_history, result)``.
+    """
+    netlist = build_circuit(circuit)
+    result = partition(netlist, num_planes, config=config, seed=seed)
+    return list(result.trace.cost_history), result
+
+
+def render_convergence(cost_history, width=64, height=16, title="gradient descent convergence"):
+    """ASCII line plot of a cost trace (log-free, linear axes)."""
+    if not cost_history:
+        return f"{title}: <empty trace>"
+    values = np.asarray(cost_history, dtype=float)
+    low, high = float(values.min()), float(values.max())
+    span = high - low or 1.0
+    columns = np.linspace(0, len(values) - 1, num=min(width, len(values))).astype(int)
+    sampled = values[columns]
+    rows = []
+    for level in range(height, -1, -1):
+        threshold = low + span * level / height
+        line = "".join("*" if value >= threshold else " " for value in sampled)
+        rows.append(f"{threshold:10.4f} |{line}")
+    axis = " " * 11 + "+" + "-" * len(sampled)
+    footer = f"{'':11}0 iterations {len(values) - 1}"
+    return "\n".join([title] + rows + [axis, footer])
+
+
+def distance_histogram_figure(circuit="KSA8", num_planes=5, config=None, seed=None):
+    """ASCII bar chart of the connection-distance histogram.
+
+    Returns ``(text, histogram, result)``.
+    """
+    netlist = build_circuit(circuit)
+    result = partition(netlist, num_planes, config=config, seed=seed)
+    histogram = distance_histogram(result.labels, netlist.edge_array(), num_planes)
+    total = max(int(histogram.sum()), 1)
+    lines = [f"connection distance histogram: {circuit}, K={num_planes}"]
+    for distance, count in enumerate(histogram):
+        share = count / total
+        bar = "#" * int(round(share * 50))
+        lines.append(f"d={distance}: {count:6d} ({share * 100:5.1f}%) {bar}")
+    return "\n".join(lines), histogram, result

@@ -1,0 +1,62 @@
+"""Plain-text table rendering for the harness and the CLI."""
+
+
+def ascii_table(headers, rows, title=None):
+    """Render a list-of-lists as an aligned ASCII table.
+
+    Cells are stringified; numeric-looking cells are right-aligned,
+    text cells left-aligned (decided per column from the data).
+    """
+    headers = [str(h) for h in headers]
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+
+    def _is_numeric(text):
+        stripped = text.replace("%", "").replace("/", "").strip()
+        if not stripped:
+            return False
+        try:
+            float(stripped)
+            return True
+        except ValueError:
+            return False
+
+    numeric_column = [
+        all(_is_numeric(row[c]) for row in text_rows) if text_rows else False
+        for c in range(len(headers))
+    ]
+
+    def _format_row(cells):
+        parts = []
+        for column, cell in enumerate(cells):
+            if numeric_column[column]:
+                parts.append(cell.rjust(widths[column]))
+            else:
+                parts.append(cell.ljust(widths[column]))
+        return "| " + " | ".join(parts) + " |"
+
+    separator = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(separator)
+    lines.append(_format_row(headers))
+    lines.append(separator)
+    for row in text_rows:
+        lines.append(_format_row(row))
+    lines.append(separator)
+    return "\n".join(lines)
+
+
+def _cell(value):
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def percent(fraction, digits=1):
+    """Format a [0, 1] fraction as the paper's percent columns."""
+    return f"{fraction * 100:.{digits}f}%"

@@ -1,0 +1,122 @@
+"""JSON persistence for partitions and reports.
+
+Lets a long Table-III search (or any partition) be saved and reloaded —
+e.g. partition on a big machine, floorplan/verify elsewhere — and gives
+downstream tooling a stable machine-readable format next to the ASCII
+tables.
+"""
+
+import json
+
+import numpy as np
+
+from repro.core.config import PartitionConfig
+from repro.core.partitioner import PartitionResult
+from repro.utils.errors import ReproError
+
+#: Format version written into every file; bump on breaking changes.
+FORMAT_VERSION = 1
+
+
+def partition_to_dict(result):
+    """Serialize a :class:`PartitionResult` (without the netlist body;
+    the netlist is referenced by name and validated on load)."""
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "partition",
+        "circuit": result.netlist.name,
+        "num_gates": result.netlist.num_gates,
+        "num_planes": result.num_planes,
+        "labels": [int(label) for label in result.labels],
+        "gate_names": [gate.name for gate in result.netlist.gates],
+        "config": {
+            "c1": result.config.c1,
+            "c2": result.config.c2,
+            "c3": result.config.c3,
+            "c4": result.config.c4,
+            "margin": result.config.margin,
+            "learning_rate": result.config.learning_rate,
+            "max_iterations": result.config.max_iterations,
+            "restarts": result.config.restarts,
+            "gradient_mode": result.config.gradient_mode,
+            "renormalize_rows": result.config.renormalize_rows,
+            "ensure_nonempty": result.config.ensure_nonempty,
+            "seed": result.config.seed,
+        },
+        "restart_costs": [float(cost) for cost in result.restart_costs],
+        "repaired_gates": int(result.repaired_gates),
+    }
+
+
+def save_partition(result, path):
+    """Write a partition to a JSON file; returns the path."""
+    with open(path, "w") as handle:
+        json.dump(partition_to_dict(result), handle, indent=2)
+    return path
+
+
+def load_partition(path_or_dict, netlist):
+    """Reload a partition against a (re)built netlist.
+
+    The netlist must match the saved one: same name, same gate count,
+    same gate-name sequence — otherwise :class:`ReproError` is raised
+    (labels are positional, so any drift would silently mis-assign).
+    """
+    if isinstance(path_or_dict, dict):
+        data = path_or_dict
+    else:
+        with open(path_or_dict) as handle:
+            data = json.load(handle)
+
+    if data.get("kind") != "partition":
+        raise ReproError("not a partition file")
+    if data.get("format") != FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported partition format {data.get('format')} "
+            f"(this build reads {FORMAT_VERSION})"
+        )
+    if data["circuit"] != netlist.name:
+        raise ReproError(
+            f"partition was saved for circuit {data['circuit']!r}, "
+            f"got netlist {netlist.name!r}"
+        )
+    if data["num_gates"] != netlist.num_gates:
+        raise ReproError(
+            f"gate count mismatch: saved {data['num_gates']}, "
+            f"netlist has {netlist.num_gates}"
+        )
+    saved_names = data.get("gate_names")
+    if saved_names is not None:
+        current = [gate.name for gate in netlist.gates]
+        if saved_names != current:
+            raise ReproError("gate name sequence differs from the saved partition")
+
+    config = PartitionConfig(**data["config"])
+    return PartitionResult(
+        netlist=netlist,
+        num_planes=int(data["num_planes"]),
+        labels=np.asarray(data["labels"], dtype=np.intp),
+        config=config,
+        restart_costs=list(data.get("restart_costs", [])),
+        repaired_gates=int(data.get("repaired_gates", 0)),
+    )
+
+
+def report_to_dict(report):
+    """Serialize a :class:`~repro.metrics.report.PartitionReport` with
+    per-plane detail for downstream plotting."""
+    data = report.as_dict()
+    data["format"] = FORMAT_VERSION
+    data["kind"] = "report"
+    data["per_plane_bias_ma"] = [float(b) for b in report.bias.per_plane_ma]
+    data["per_plane_area_mm2"] = [float(a) for a in report.area.per_plane_mm2]
+    data["mean_distance"] = report.mean_distance
+    data["coupling_pairs"] = report.coupling_pairs
+    return data
+
+
+def save_report(report, path):
+    """Write a report to a JSON file; returns the path."""
+    with open(path, "w") as handle:
+        json.dump(report_to_dict(report), handle, indent=2)
+    return path

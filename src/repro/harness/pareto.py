@@ -1,0 +1,114 @@
+"""Cost-weight Pareto exploration.
+
+The paper's eq. (8) weights ``c1..c4`` trade interconnect quality
+(d <= 1) against bias/area balance (I_comp / A_FS) but are left
+"constants which can be tuned".  :func:`sweep_weights` maps that
+trade-off: it sweeps the interconnect-to-balance weight ratio, runs the
+partitioner at every point, and extracts the Pareto-efficient frontier
+between ``1 - d<=1`` (crossing fraction) and ``I_comp %``.
+
+:func:`render_frontier` draws the cloud + frontier as an ASCII scatter
+for the bench artifact.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.partitioner import partition
+from repro.metrics.report import evaluate_partition
+
+#: default weight-ratio ladder (c1 multiplier over the balance weights)
+DEFAULT_RATIOS = (0.2, 1.0, 4.0, 16.0, 64.0)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated weight setting."""
+
+    c1: float
+    c23: float
+    crossing_fraction: float  # 1 - d<=1
+    i_comp_pct: float
+    a_fs_pct: float
+    report: object
+
+    @property
+    def objectives(self):
+        return (self.crossing_fraction, self.i_comp_pct)
+
+
+def pareto_front(points):
+    """Non-dominated subset (minimizing both objectives), sorted by the
+    first objective."""
+    front = []
+    for point in points:
+        dominated = any(
+            other.objectives[0] <= point.objectives[0]
+            and other.objectives[1] <= point.objectives[1]
+            and other.objectives != point.objectives
+            for other in points
+        )
+        if not dominated:
+            front.append(point)
+    return sorted(front, key=lambda p: p.objectives)
+
+
+def sweep_weights(netlist, num_planes, base_config, ratios=DEFAULT_RATIOS, seed=None):
+    """Partition at each weight ratio; returns ``(points, front)``.
+
+    Each ratio ``r`` scales the default interconnect weight ``c1`` by
+    ``r`` while keeping the balance weights at their defaults, so the
+    sweep walks the d<=1 / I_comp trade-off curve.
+    """
+    points = []
+    for ratio in ratios:
+        config = base_config.with_(c1=base_config.c1 * ratio)
+        report = evaluate_partition(
+            partition(netlist, num_planes, config=config, seed=seed)
+        )
+        points.append(
+            SweepPoint(
+                c1=config.c1,
+                c23=config.c2,
+                crossing_fraction=1.0 - report.frac_d_le_1,
+                i_comp_pct=report.i_comp_pct,
+                a_fs_pct=report.a_fs_pct,
+                report=report,
+            )
+        )
+    return points, pareto_front(points)
+
+
+def render_frontier(points, front, width=52, height=14, title="weight-sweep Pareto frontier"):
+    """ASCII scatter: '.' = dominated point, 'O' = frontier point."""
+    if not points:
+        return f"{title}: <no points>"
+    xs = np.array([p.crossing_fraction for p in points])
+    ys = np.array([p.i_comp_pct for p in points])
+    x_low, x_high = float(xs.min()), float(xs.max())
+    y_low, y_high = float(ys.min()), float(ys.max())
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    front_set = {id(p) for p in front}
+
+    def plot(point, marker):
+        column = int((point.crossing_fraction - x_low) / x_span * (width - 1))
+        row = int((point.i_comp_pct - y_low) / y_span * (height - 1))
+        grid[height - 1 - row][column] = marker
+
+    for point in points:
+        if id(point) not in front_set:
+            plot(point, ".")
+    for point in front:  # frontier on top
+        plot(point, "O")
+
+    lines = [f"{title}  (x: crossing fraction, y: I_comp %)"]
+    lines.append(f"{y_high:7.1f} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 7 + "|" + "".join(row))
+    lines.append(f"{y_low:7.1f} +" + "".join(grid[-1]))
+    lines.append(" " * 8 + f"{x_low:.2f}" + " " * (width - 10) + f"{x_high:.2f}")
+    return "\n".join(lines)

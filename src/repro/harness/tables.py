@@ -1,0 +1,211 @@
+"""Regenerate Tables I, II and III of the paper.
+
+Each ``run_table*`` function builds the reconstructed benchmark
+netlists, partitions them (with the paper's gradient method by default,
+or any baseline via ``method=``) and returns structured rows; the
+``format_table*`` companions render them next to the paper's published
+numbers so the reproduction gap is visible at a glance.
+"""
+
+from dataclasses import dataclass
+
+from repro.baselines import (
+    annealing_partition,
+    fm_partition,
+    greedy_partition,
+    multilevel_partition,
+    random_partition,
+    spectral_partition,
+)
+from repro.circuits.suite import PAPER_TABLE1, SUITE_NAMES, build_circuit
+from repro.core.partitioner import partition
+from repro.core.planner import plan_bias_limited
+from repro.core.refinement import refine_greedy
+from repro.harness.formatting import ascii_table, percent
+from repro.metrics.report import evaluate_partition
+from repro.utils.errors import ReproError
+
+#: method name -> callable(netlist, K, seed=..., config=...) -> PartitionResult
+PARTITION_METHODS = {
+    "gradient": partition,
+    "random": random_partition,
+    "greedy": greedy_partition,
+    "spectral": spectral_partition,
+    "fm": fm_partition,
+    "annealing": annealing_partition,
+    "multilevel": multilevel_partition,
+}
+
+
+def _partition_with(method, netlist, num_planes, config=None, seed=None, refine=False):
+    try:
+        runner = PARTITION_METHODS[method]
+    except KeyError:
+        raise ReproError(
+            f"unknown partition method {method!r}; available: {sorted(PARTITION_METHODS)}"
+        ) from None
+    result = runner(netlist, num_planes, config=config, seed=seed)
+    if refine:
+        result = refine_greedy(result)
+    return result
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One measured row of Table I plus the paper's reference row."""
+
+    report: object  # PartitionReport
+    paper: object  # PaperRow or None
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One measured row of Table III."""
+
+    circuit: str
+    k_lb: int
+    k_res: int
+    report: object
+    bias_lines_saved: int
+    paper_k_lb: int = None
+    paper_k_res: int = None
+
+
+# ----------------------------------------------------------------------
+# Table I — full suite at K = 5
+# ----------------------------------------------------------------------
+def run_table1(circuits=None, num_planes=5, config=None, seed=None, method="gradient", refine=False):
+    """Partition every suite circuit at K=5 and report Table I columns."""
+    rows = []
+    for name in circuits or SUITE_NAMES:
+        netlist = build_circuit(name)
+        result = _partition_with(method, netlist, num_planes, config=config, seed=seed, refine=refine)
+        rows.append(Table1Row(report=evaluate_partition(result), paper=PAPER_TABLE1.get(name)))
+    return rows
+
+
+def format_table1(rows, compare_paper=True):
+    headers = [
+        "Circuit", "Gates", "Conns", "d<=1", "d<=2",
+        "B_cir mA", "B_max mA", "I_comp", "A_cir mm2", "A_max mm2", "A_FS",
+    ]
+    body = []
+    for row in rows:
+        r = row.report
+        body.append([
+            r.circuit, r.num_gates, r.num_connections,
+            percent(r.frac_d_le_1), percent(r.frac_d_le_2),
+            f"{r.b_cir_ma:.2f}", f"{r.b_max_ma:.2f}", f"{r.i_comp_pct:.2f}%",
+            f"{r.a_cir_mm2:.4f}", f"{r.a_max_mm2:.4f}", f"{r.a_fs_pct:.2f}%",
+        ])
+        if compare_paper and row.paper is not None:
+            p = row.paper
+            body.append([
+                "  (paper)", p.gates, p.connections,
+                percent(p.d_le_1), percent(p.d_le_2),
+                f"{p.b_cir_ma:.2f}", f"{p.b_max_ma:.2f}", f"{p.i_comp_pct:.2f}%",
+                f"{p.a_cir_mm2:.4f}", f"{p.a_max_mm2:.4f}", f"{p.a_fs_pct:.2f}%",
+            ])
+    title = "Table I - partition results of benchmark circuits with K = 5"
+    return ascii_table(headers, body, title=title)
+
+
+# ----------------------------------------------------------------------
+# Table II — KSA4 swept over K
+# ----------------------------------------------------------------------
+#: Table II of the paper, transcribed: K -> (d<=1, d<=K/2, B_max, I_comp%, A_max, A_FS%)
+PAPER_TABLE2 = {
+    5: (0.746, 0.975, 17.50, 9.24, 0.0972, 7.71),
+    6: (0.644, 0.949, 14.40, 7.88, 0.0840, 11.70),
+    7: (0.534, 0.898, 12.45, 8.79, 0.0696, 7.98),
+    8: (0.458, 0.958, 11.16, 11.49, 0.0648, 14.89),
+    9: (0.381, 0.839, 10.24, 15.12, 0.0576, 14.89),
+    10: (0.381, 0.907, 9.69, 21.64, 0.0552, 22.34),
+}
+
+
+def run_table2(circuit="KSA4", k_values=tuple(range(5, 11)), config=None, seed=None, method="gradient", refine=False):
+    """Sweep the plane count on one circuit (paper: KSA4, K = 5..10)."""
+    netlist = build_circuit(circuit)
+    reports = []
+    for k in k_values:
+        result = _partition_with(method, netlist, k, config=config, seed=seed, refine=refine)
+        reports.append(evaluate_partition(result))
+    return reports
+
+
+def format_table2(reports, compare_paper=True):
+    headers = ["K", "d<=1", "d<=K/2", "B_max mA", "I_comp", "A_max mm2", "A_FS"]
+    body = []
+    for r in reports:
+        body.append([
+            r.num_planes, percent(r.frac_d_le_1), percent(r.frac_d_le_half_k),
+            f"{r.b_max_ma:.2f}", f"{r.i_comp_pct:.2f}%",
+            f"{r.a_max_mm2:.4f}", f"{r.a_fs_pct:.2f}%",
+        ])
+        if compare_paper and r.num_planes in PAPER_TABLE2 and r.circuit == "KSA4":
+            d1, dk2, bmax, icomp, amax, afs = PAPER_TABLE2[r.num_planes]
+            body.append([
+                "(paper)", percent(d1), percent(dk2),
+                f"{bmax:.2f}", f"{icomp:.2f}%", f"{amax:.4f}", f"{afs:.2f}%",
+            ])
+    title = "Table II - partition results of KSA4 for different K values"
+    return ascii_table(headers, body, title=title)
+
+
+# ----------------------------------------------------------------------
+# Table III — smallest K under a 100 mA supply limit
+# ----------------------------------------------------------------------
+#: Table III of the paper: circuit -> (K_LB, K_res)
+PAPER_TABLE3 = {
+    "KSA8": (3, 3), "KSA16": (6, 7), "KSA32": (14, 17),
+    "MULT4": (3, 3), "MULT8": (13, 15),
+    "ID4": (5, 6), "ID8": (28, 40),
+    "C432": (11, 14), "C499": (9, 11), "C1355": (9, 11),
+    "C1908": (15, 17), "C3540": (32, 50),
+}
+
+#: Table III circuit list (Table I minus KSA4, whose B_cir < 100 mA).
+TABLE3_CIRCUITS = tuple(name for name in SUITE_NAMES if name != "KSA4")
+
+
+def run_table3(circuits=None, bias_limit_ma=100.0, config=None, seed=None):
+    """Find K_res under the pad-current limit for each circuit."""
+    rows = []
+    for name in circuits or TABLE3_CIRCUITS:
+        netlist = build_circuit(name)
+        plan = plan_bias_limited(netlist, bias_limit_ma=bias_limit_ma, config=config, seed=seed)
+        report = evaluate_partition(plan.result)
+        paper = PAPER_TABLE3.get(name)
+        rows.append(
+            Table3Row(
+                circuit=name,
+                k_lb=plan.k_lb,
+                k_res=plan.k_res,
+                report=report,
+                bias_lines_saved=plan.bias_lines_saved,
+                paper_k_lb=paper[0] if paper else None,
+                paper_k_res=paper[1] if paper else None,
+            )
+        )
+    return rows
+
+
+def format_table3(rows, compare_paper=True):
+    headers = [
+        "Circuit", "K_LB/K_res", "d<=K/2", "B_max mA", "I_comp", "A_max mm2", "A_FS", "lines saved",
+    ]
+    body = []
+    for row in rows:
+        r = row.report
+        body.append([
+            row.circuit, f"{row.k_lb}/{row.k_res}", percent(r.frac_d_le_half_k),
+            f"{r.b_max_ma:.2f}", f"{r.i_comp_pct:.2f}%",
+            f"{r.a_max_mm2:.4f}", f"{r.a_fs_pct:.2f}%", row.bias_lines_saved,
+        ])
+        if compare_paper and row.paper_k_lb is not None:
+            body.append([
+                "  (paper)", f"{row.paper_k_lb}/{row.paper_k_res}", "", "", "", "", "", "",
+            ])
+    title = "Table III - partition results for 100 mA of maximum supplied current"
+    return ascii_table(headers, body, title=title)

@@ -1,0 +1,33 @@
+"""Partition-quality metrics — the columns of Tables I-III.
+
+* :mod:`repro.metrics.distance` — connection distance distribution
+  (``d <= 1``, ``d <= 2``, ``d <= floor(K/2)``).
+* :mod:`repro.metrics.bias` — per-plane bias currents, ``B_max``,
+  compensation current ``I_comp`` (eq. (11)).
+* :mod:`repro.metrics.area` — per-plane areas, ``A_max``, free space
+  ``A_FS``.
+* :mod:`repro.metrics.report` — one-stop :class:`PartitionReport`.
+"""
+
+from repro.metrics.distance import (
+    connection_distances,
+    distance_histogram,
+    fraction_within,
+    mean_distance,
+)
+from repro.metrics.bias import BiasMetrics, bias_metrics
+from repro.metrics.area import AreaMetrics, area_metrics
+from repro.metrics.report import PartitionReport, evaluate_partition
+
+__all__ = [
+    "connection_distances",
+    "distance_histogram",
+    "fraction_within",
+    "mean_distance",
+    "BiasMetrics",
+    "bias_metrics",
+    "AreaMetrics",
+    "area_metrics",
+    "PartitionReport",
+    "evaluate_partition",
+]

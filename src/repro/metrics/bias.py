@@ -1,0 +1,69 @@
+"""Bias-current metrics — eq. (11) of the paper.
+
+``B_max`` is the bias of the hungriest plane; since all planes are
+biased serially with the *same* current, every other plane must burn the
+difference in dummy structures.  ``I_comp = sum_k (B_max - B_k)`` is
+that total wasted current, reported as a percentage of ``B_cir``.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BiasMetrics:
+    """Per-partition bias-current summary.
+
+    Attributes
+    ----------
+    per_plane_ma:
+        ``B_k`` for each plane, in mA.
+    total_ma:
+        ``B_cir`` — circuit total.
+    b_max_ma:
+        ``max_k B_k`` (this is also the external supply current).
+    i_comp_ma:
+        ``sum_k (B_max - B_k)`` — current routed through dummies.
+    i_comp_pct:
+        ``I_comp / B_cir * 100`` — the paper's table column.
+    """
+
+    per_plane_ma: np.ndarray
+    total_ma: float
+    b_max_ma: float
+    i_comp_ma: float
+    i_comp_pct: float
+
+    @property
+    def b_min_ma(self):
+        return float(self.per_plane_ma.min())
+
+    @property
+    def imbalance_ratio(self):
+        """``B_max / mean(B_k)`` — 1.0 for a perfect partition."""
+        mean = self.per_plane_ma.mean()
+        return float(self.b_max_ma / mean) if mean else float("inf")
+
+
+def per_plane_bias(labels, bias_ma, num_planes):
+    """``B_k = sum_i b_i w_ik`` for the hard assignment, shape ``(K,)``."""
+    labels = np.asarray(labels, dtype=np.intp)
+    bias_ma = np.asarray(bias_ma, dtype=float)
+    return np.bincount(labels, weights=bias_ma, minlength=num_planes)[:num_planes]
+
+
+def bias_metrics(labels, bias_ma, num_planes):
+    """Compute :class:`BiasMetrics` for a hard assignment (eq. (11))."""
+    per_plane = per_plane_bias(labels, bias_ma, num_planes)
+    total = float(per_plane.sum())
+    b_max = float(per_plane.max()) if per_plane.size else 0.0
+    i_comp = float((b_max - per_plane).sum())
+    i_comp_pct = (i_comp / total * 100.0) if total else 0.0
+    return BiasMetrics(
+        per_plane_ma=per_plane,
+        total_ma=total,
+        b_max_ma=b_max,
+        i_comp_ma=i_comp,
+        i_comp_pct=i_comp_pct,
+    )

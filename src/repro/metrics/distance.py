@@ -1,0 +1,56 @@
+"""Connection-distance metrics.
+
+For a finished partition the paper defines, per connection ``(i1, i2)``,
+the distance ``d = |l_i1 - l_i2|`` — the number of plane boundaries an
+SFQ pulse must cross.  ``d == 0`` is an intra-plane connection (free),
+``d == 1`` needs one inductive-coupling driver/receiver pair, ``d >= 2``
+needs a chain of them through every intermediate plane (undesirable).
+Tables I and II report the fraction of connections with ``d <= 1``,
+``d <= 2`` and ``d <= floor(K/2)``.
+"""
+
+import numpy as np
+
+
+def connection_distances(labels, edges):
+    """Per-connection plane distance, shape ``(|E|,)`` (int)."""
+    labels = np.asarray(labels)
+    edges = np.asarray(edges, dtype=np.intp).reshape(-1, 2)
+    if edges.shape[0] == 0:
+        return np.zeros(0, dtype=np.intp)
+    return np.abs(labels[edges[:, 0]] - labels[edges[:, 1]]).astype(np.intp)
+
+
+def fraction_within(labels, edges, max_distance):
+    """Fraction of connections with ``d <= max_distance`` (in [0, 1]).
+
+    Defined as 1.0 for a circuit with no connections (nothing violates).
+    """
+    distances = connection_distances(labels, edges)
+    if distances.size == 0:
+        return 1.0
+    return float(np.count_nonzero(distances <= max_distance)) / distances.size
+
+
+def distance_histogram(labels, edges, num_planes):
+    """Count of connections at every distance ``0 .. K-1``, shape ``(K,)``."""
+    distances = connection_distances(labels, edges)
+    return np.bincount(distances, minlength=num_planes)[:num_planes]
+
+
+def mean_distance(labels, edges):
+    """Average plane distance per connection (0.0 when there are none)."""
+    distances = connection_distances(labels, edges)
+    if distances.size == 0:
+        return 0.0
+    return float(distances.mean())
+
+
+def coupling_pairs_required(labels, edges):
+    """Total driver/receiver pairs needed to realize all connections.
+
+    A connection at distance ``d`` needs ``d`` inductive coupling pairs
+    (one per plane boundary crossed, Section III-B.3), so the total is
+    simply the sum of distances.
+    """
+    return int(connection_distances(labels, edges).sum())

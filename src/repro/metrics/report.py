@@ -1,0 +1,99 @@
+"""One-stop partition evaluation: every column of the paper's tables."""
+
+from dataclasses import dataclass
+
+from repro.metrics.area import AreaMetrics, area_metrics
+from repro.metrics.bias import BiasMetrics, bias_metrics
+from repro.metrics.distance import (
+    connection_distances,
+    coupling_pairs_required,
+    fraction_within,
+    mean_distance,
+)
+
+
+@dataclass(frozen=True)
+class PartitionReport:
+    """All reported quantities for one partitioned circuit.
+
+    Mirrors one row of Table I (plus the extra ``d <= floor(K/2)`` column
+    of Tables II/III and a few derived quantities the recycling planner
+    uses).
+    """
+
+    circuit: str
+    num_planes: int
+    num_gates: int
+    num_connections: int
+    frac_d_le_1: float
+    frac_d_le_2: float
+    frac_d_le_half_k: float
+    mean_distance: float
+    coupling_pairs: int
+    bias: BiasMetrics
+    area: AreaMetrics
+
+    # -- paper table column aliases -------------------------------------
+    @property
+    def b_cir_ma(self):
+        return self.bias.total_ma
+
+    @property
+    def b_max_ma(self):
+        return self.bias.b_max_ma
+
+    @property
+    def i_comp_pct(self):
+        return self.bias.i_comp_pct
+
+    @property
+    def a_cir_mm2(self):
+        return self.area.total_mm2
+
+    @property
+    def a_max_mm2(self):
+        return self.area.a_max_mm2
+
+    @property
+    def a_fs_pct(self):
+        return self.area.free_space_pct
+
+    def as_dict(self):
+        """Flat dictionary with the table-column names used in the paper."""
+        return {
+            "circuit": self.circuit,
+            "K": self.num_planes,
+            "gates": self.num_gates,
+            "connections": self.num_connections,
+            "d<=1": self.frac_d_le_1,
+            "d<=2": self.frac_d_le_2,
+            "d<=K/2": self.frac_d_le_half_k,
+            "B_cir_mA": self.b_cir_ma,
+            "B_max_mA": self.b_max_ma,
+            "I_comp_pct": self.i_comp_pct,
+            "A_cir_mm2": self.a_cir_mm2,
+            "A_max_mm2": self.a_max_mm2,
+            "A_FS_pct": self.a_fs_pct,
+        }
+
+
+def evaluate_partition(result):
+    """Build a :class:`PartitionReport` from a
+    :class:`~repro.core.partitioner.PartitionResult`."""
+    netlist = result.netlist
+    labels = result.labels
+    edges = netlist.edge_array()
+    k = result.num_planes
+    return PartitionReport(
+        circuit=netlist.name,
+        num_planes=k,
+        num_gates=netlist.num_gates,
+        num_connections=netlist.num_connections,
+        frac_d_le_1=fraction_within(labels, edges, 1),
+        frac_d_le_2=fraction_within(labels, edges, 2),
+        frac_d_le_half_k=fraction_within(labels, edges, k // 2),
+        mean_distance=mean_distance(labels, edges),
+        coupling_pairs=coupling_pairs_required(labels, edges),
+        bias=bias_metrics(labels, netlist.bias_vector_ma(), k),
+        area=area_metrics(labels, netlist.area_vector_mm2(), k),
+    )

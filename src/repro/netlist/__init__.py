@@ -1,0 +1,46 @@
+"""Netlist substrate: SFQ cell models, cell library, netlist graph.
+
+This subpackage provides the circuit representation consumed by the
+partitioner (:mod:`repro.core`), produced by the synthesis flow
+(:mod:`repro.synth`) and exchanged through the parsers
+(:mod:`repro.parsers`).
+"""
+
+from repro.netlist.cell import CellKind, CellType
+from repro.netlist.library import CellLibrary, default_library
+from repro.netlist.netlist import Gate, Netlist, Port, PortDirection
+from repro.netlist.graph import (
+    edge_array,
+    adjacency_lists,
+    undirected_degrees,
+    connected_components,
+    bfs_levels,
+    logic_levels,
+    fanout_counts,
+)
+from repro.netlist.validate import ValidationIssue, validate_netlist, check_sfq_rules
+from repro.netlist.stats import NetlistStats, netlist_stats, locality_index
+
+__all__ = [
+    "CellKind",
+    "CellType",
+    "CellLibrary",
+    "default_library",
+    "Gate",
+    "Netlist",
+    "Port",
+    "PortDirection",
+    "edge_array",
+    "adjacency_lists",
+    "undirected_degrees",
+    "connected_components",
+    "bfs_levels",
+    "logic_levels",
+    "fanout_counts",
+    "ValidationIssue",
+    "validate_netlist",
+    "check_sfq_rules",
+    "NetlistStats",
+    "netlist_stats",
+    "locality_index",
+]

@@ -1,0 +1,107 @@
+"""SFQ standard-cell model.
+
+Each gate instance in a netlist references a :class:`CellType` that carries
+the two quantities the partitioning cost function needs per gate — the bias
+current requirement ``b_i`` (mA) and the layout area ``a_i`` (um^2) — plus
+structural metadata used by the synthesis flow (pins, clocking, fanout
+capability) and the recycling planner (JJ count for dummy sizing).
+"""
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.utils.units import um2_to_mm2
+
+
+class CellKind(Enum):
+    """Functional category of an SFQ cell.
+
+    The categories matter to the synthesis flow (splitters are the only
+    cells allowed a fanout of two; interconnect cells are transparent for
+    logic levelization) and to the recycling planner (dummy cells pass
+    bias current but carry no signal).
+    """
+
+    LOGIC = "logic"
+    STORAGE = "storage"
+    SPLITTER = "splitter"
+    MERGER = "merger"
+    INTERCONNECT = "interconnect"
+    IO = "io"
+    COUPLING = "coupling"
+    DUMMY = "dummy"
+
+
+@dataclass(frozen=True)
+class CellType:
+    """Immutable description of one SFQ standard cell.
+
+    Attributes
+    ----------
+    name:
+        Library cell name (e.g. ``"AND2"``).
+    kind:
+        Functional category, see :class:`CellKind`.
+    bias_ma:
+        Bias current requirement of one instance, in milliamperes.
+    width_um / height_um:
+        Placement footprint in micrometres.  All cells of the default
+        library share a 60 um row height, as in row-based SFQ layouts.
+    jj_count:
+        Number of Josephson junctions in the cell.
+    inputs / outputs:
+        Ordered logical pin names (clock excluded).
+    clocked:
+        True for gates that consume the SFQ clock (most logic gates and
+        storage elements are clocked; splitters/JTLs/mergers are not).
+    """
+
+    name: str
+    kind: CellKind
+    bias_ma: float
+    width_um: float
+    height_um: float
+    jj_count: int
+    inputs: tuple = field(default=("a",))
+    outputs: tuple = field(default=("q",))
+    clocked: bool = False
+
+    def __post_init__(self):
+        if self.bias_ma < 0:
+            raise ValueError(f"cell {self.name}: negative bias {self.bias_ma}")
+        if self.width_um <= 0 or self.height_um <= 0:
+            raise ValueError(f"cell {self.name}: non-positive footprint")
+        if self.jj_count < 0:
+            raise ValueError(f"cell {self.name}: negative JJ count")
+        if not self.outputs:
+            raise ValueError(f"cell {self.name}: cell must have an output")
+
+    @property
+    def area_um2(self):
+        """Cell area in square micrometres."""
+        return self.width_um * self.height_um
+
+    @property
+    def area_mm2(self):
+        """Cell area in square millimetres (the paper's table unit)."""
+        return um2_to_mm2(self.area_um2)
+
+    @property
+    def max_fanout(self):
+        """Maximum number of sinks one output may drive.
+
+        SFQ pulses cannot be passively forked: every cell output drives
+        exactly one sink, and fanout is built from splitter trees.  A
+        splitter therefore has two outputs, each driving one sink.
+        """
+        return len(self.outputs)
+
+    @property
+    def num_inputs(self):
+        return len(self.inputs)
+
+    def __str__(self):
+        return (
+            f"{self.name}({self.kind.value}, {self.bias_ma:.2f} mA, "
+            f"{self.width_um:.0f}x{self.height_um:.0f} um, {self.jj_count} JJ)"
+        )

@@ -1,0 +1,185 @@
+"""Graph algorithms over netlists.
+
+The partitioner itself only needs the raw edge array, but the synthesis
+flow, the baselines and the metrics need structural queries: adjacency,
+connected components, BFS levels, logic levelization and fanout counts.
+All functions accept either a :class:`~repro.netlist.netlist.Netlist` or a
+``(num_gates, edge_array)`` pair, so they are reusable on raw arrays.
+"""
+
+from collections import deque
+
+import numpy as np
+
+from repro.utils.errors import NetlistError
+
+
+def _as_graph(netlist_or_pair):
+    """Normalize input to ``(num_gates, (|E|,2) int array)``."""
+    if hasattr(netlist_or_pair, "edge_array"):
+        return netlist_or_pair.num_gates, netlist_or_pair.edge_array()
+    num_gates, edges = netlist_or_pair
+    edges = np.asarray(edges, dtype=np.intp).reshape(-1, 2)
+    if edges.size and (edges.min() < 0 or edges.max() >= num_gates):
+        raise NetlistError("edge endpoints out of range")
+    return int(num_gates), edges
+
+
+def edge_array(netlist_or_pair):
+    """Return the ``(|E|, 2)`` edge array of the graph."""
+    return _as_graph(netlist_or_pair)[1]
+
+
+def adjacency_lists(netlist_or_pair, directed=True):
+    """Adjacency lists.
+
+    With ``directed=True`` returns ``(successors, predecessors)``; with
+    ``directed=False`` returns a single undirected neighbor-list.
+    """
+    num_gates, edges = _as_graph(netlist_or_pair)
+    if directed:
+        successors = [[] for _ in range(num_gates)]
+        predecessors = [[] for _ in range(num_gates)]
+        for u, v in edges:
+            successors[u].append(int(v))
+            predecessors[v].append(int(u))
+        return successors, predecessors
+    neighbors = [[] for _ in range(num_gates)]
+    for u, v in edges:
+        neighbors[u].append(int(v))
+        neighbors[v].append(int(u))
+    return neighbors
+
+
+def undirected_degrees(netlist_or_pair):
+    """Undirected degree of every gate, shape ``(G,)``."""
+    num_gates, edges = _as_graph(netlist_or_pair)
+    degrees = np.zeros(num_gates, dtype=np.intp)
+    if edges.size:
+        np.add.at(degrees, edges[:, 0], 1)
+        np.add.at(degrees, edges[:, 1], 1)
+    return degrees
+
+
+def fanout_counts(netlist_or_pair):
+    """Number of outgoing connections per gate, shape ``(G,)``."""
+    num_gates, edges = _as_graph(netlist_or_pair)
+    fanout = np.zeros(num_gates, dtype=np.intp)
+    if edges.size:
+        np.add.at(fanout, edges[:, 0], 1)
+    return fanout
+
+
+def fanin_counts(netlist_or_pair):
+    """Number of incoming connections per gate, shape ``(G,)``."""
+    num_gates, edges = _as_graph(netlist_or_pair)
+    fanin = np.zeros(num_gates, dtype=np.intp)
+    if edges.size:
+        np.add.at(fanin, edges[:, 1], 1)
+    return fanin
+
+
+def connected_components(netlist_or_pair):
+    """Undirected connected components.
+
+    Returns an array ``component[i]`` with component ids numbered from 0
+    in order of discovery (ascending lowest-gate-index).
+    """
+    num_gates, _ = _as_graph(netlist_or_pair)
+    neighbors = adjacency_lists(netlist_or_pair, directed=False)
+    component = np.full(num_gates, -1, dtype=np.intp)
+    current = 0
+    for start in range(num_gates):
+        if component[start] != -1:
+            continue
+        queue = deque([start])
+        component[start] = current
+        while queue:
+            node = queue.popleft()
+            for nxt in neighbors[node]:
+                if component[nxt] == -1:
+                    component[nxt] = current
+                    queue.append(nxt)
+        current += 1
+    return component
+
+
+def bfs_levels(netlist_or_pair, sources):
+    """Undirected BFS distance from the given source set.
+
+    Unreachable gates get level ``-1``.
+    """
+    num_gates, _ = _as_graph(netlist_or_pair)
+    neighbors = adjacency_lists(netlist_or_pair, directed=False)
+    level = np.full(num_gates, -1, dtype=np.intp)
+    queue = deque()
+    for s in sources:
+        s = int(s)
+        if not 0 <= s < num_gates:
+            raise NetlistError(f"BFS source {s} out of range")
+        if level[s] == -1:
+            level[s] = 0
+            queue.append(s)
+    while queue:
+        node = queue.popleft()
+        for nxt in neighbors[node]:
+            if level[nxt] == -1:
+                level[nxt] = level[node] + 1
+                queue.append(nxt)
+    return level
+
+
+def logic_levels(netlist_or_pair):
+    """Longest-path logic level of every gate (sources at level 0).
+
+    Computed by Kahn topological ordering.  Gates on directed cycles
+    (possible in hand-written netlists, never after SFQ path balancing)
+    are assigned the level of the deepest acyclic predecessor plus one,
+    by breaking cycles at the lowest-index remaining gate.
+    """
+    num_gates, edges = _as_graph(netlist_or_pair)
+    successors, _ = adjacency_lists((num_gates, edges), directed=True)
+    indegree = fanin_counts((num_gates, edges)).copy()
+    level = np.zeros(num_gates, dtype=np.intp)
+    queue = deque(i for i in range(num_gates) if indegree[i] == 0)
+    seen = 0
+    processed = np.zeros(num_gates, dtype=bool)
+    remaining = set(range(num_gates)) - set(queue)
+    while seen < num_gates:
+        if not queue:
+            # break one cycle: pick the lowest-index unprocessed gate
+            breaker = min(remaining)
+            remaining.discard(breaker)
+            queue.append(breaker)
+            indegree[breaker] = 0
+        node = queue.popleft()
+        if processed[node]:
+            continue
+        processed[node] = True
+        seen += 1
+        for nxt in successors[node]:
+            if processed[nxt]:
+                continue
+            level[nxt] = max(level[nxt], level[node] + 1)
+            indegree[nxt] -= 1
+            if indegree[nxt] == 0:
+                remaining.discard(nxt)
+                queue.append(nxt)
+    return level
+
+
+def is_acyclic(netlist_or_pair):
+    """True when the directed graph has no cycles."""
+    num_gates, edges = _as_graph(netlist_or_pair)
+    successors, _ = adjacency_lists((num_gates, edges), directed=True)
+    indegree = fanin_counts((num_gates, edges)).copy()
+    queue = deque(i for i in range(num_gates) if indegree[i] == 0)
+    seen = 0
+    while queue:
+        node = queue.popleft()
+        seen += 1
+        for nxt in successors[node]:
+            indegree[nxt] -= 1
+            if indegree[nxt] == 0:
+                queue.append(nxt)
+    return seen == num_gates

@@ -1,0 +1,139 @@
+"""SFQ standard-cell library.
+
+The paper's benchmark suite (SPORT-lab SFQ benchmarks, reference [20]) is
+not publicly distributed, so the library below is *calibrated* to the
+aggregate statistics recoverable from Table I of the paper:
+
+* average bias current per gate ``B_cir / #gates`` ~= 0.85 mA for every
+  circuit in the table;
+* average area per gate ``A_cir / #gates`` ~= 4.85e-3 mm^2 (4850 um^2);
+* connections per gate ~= 1.2-1.3, implying a splitter fraction of about
+  one quarter of all gates.
+
+With the per-cell numbers below, a typical synthesized mix (roughly 25 %
+splitters, 35 % path-balancing DFFs, 40 % clocked logic) lands on those
+averages.  Individual values are representative of published RSFQ/ERSFQ
+cell libraries (bias currents of a few hundred uA to ~1.5 mA per gate,
+row height 60 um).
+"""
+
+from repro.netlist.cell import CellKind, CellType
+
+#: Shared row height (um) of all cells in the default library.
+ROW_HEIGHT_UM = 60.0
+
+
+class CellLibrary:
+    """A named collection of :class:`CellType` objects.
+
+    Provides dictionary-style lookup by cell name plus convenience
+    accessors used by the synthesis flow (splitter cell, balancing DFF).
+    """
+
+    def __init__(self, name, cells):
+        self.name = name
+        self._cells = {}
+        for cell in cells:
+            if cell.name in self._cells:
+                raise ValueError(f"duplicate cell name {cell.name!r} in library {name!r}")
+            self._cells[cell.name] = cell
+
+    def __contains__(self, cell_name):
+        return cell_name in self._cells
+
+    def __getitem__(self, cell_name):
+        try:
+            return self._cells[cell_name]
+        except KeyError:
+            raise KeyError(
+                f"cell {cell_name!r} not in library {self.name!r} "
+                f"(available: {sorted(self._cells)})"
+            ) from None
+
+    def __iter__(self):
+        return iter(self._cells.values())
+
+    def __len__(self):
+        return len(self._cells)
+
+    def get(self, cell_name, default=None):
+        return self._cells.get(cell_name, default)
+
+    def names(self):
+        """Sorted list of cell names."""
+        return sorted(self._cells)
+
+    def cells_of_kind(self, kind):
+        """All cells of the given :class:`CellKind`, sorted by name."""
+        return sorted(
+            (c for c in self._cells.values() if c.kind is kind),
+            key=lambda c: c.name,
+        )
+
+    @property
+    def splitter(self):
+        """The (unique) splitter cell used for fanout trees."""
+        splitters = self.cells_of_kind(CellKind.SPLITTER)
+        if not splitters:
+            raise KeyError(f"library {self.name!r} has no splitter cell")
+        return splitters[0]
+
+    @property
+    def balance_dff(self):
+        """The storage cell used for path-balancing insertion."""
+        if "DFF" in self._cells:
+            return self._cells["DFF"]
+        storage = self.cells_of_kind(CellKind.STORAGE)
+        if not storage:
+            raise KeyError(f"library {self.name!r} has no storage cell")
+        return storage[0]
+
+
+def _cell(name, kind, bias_ma, width_um, jj, inputs, outputs, clocked):
+    return CellType(
+        name=name,
+        kind=kind,
+        bias_ma=bias_ma,
+        width_um=width_um,
+        height_um=ROW_HEIGHT_UM,
+        jj_count=jj,
+        inputs=tuple(inputs),
+        outputs=tuple(outputs),
+        clocked=clocked,
+    )
+
+
+def default_library():
+    """Build the calibrated default SFQ cell library.
+
+    Returns a fresh :class:`CellLibrary`; all cells are immutable so
+    sharing the returned library across netlists is safe.
+    """
+    cells = [
+        # interconnect
+        _cell("JTL", CellKind.INTERCONNECT, 0.35, 30.0, 2, ("a",), ("q",), False),
+        # fanout
+        _cell("SPLIT", CellKind.SPLITTER, 0.52, 40.0, 3, ("a",), ("q0", "q1"), False),
+        # merging (confluence buffer)
+        _cell("MERGE", CellKind.MERGER, 0.78, 70.0, 5, ("a", "b"), ("q",), False),
+        # storage
+        _cell("DFF", CellKind.STORAGE, 0.72, 70.0, 6, ("d",), ("q",), True),
+        _cell("NDRO", CellKind.STORAGE, 1.35, 140.0, 12, ("set", "reset"), ("q",), True),
+        # clocked logic
+        _cell("AND2", CellKind.LOGIC, 1.42, 130.0, 11, ("a", "b"), ("q",), True),
+        _cell("OR2", CellKind.LOGIC, 1.08, 110.0, 9, ("a", "b"), ("q",), True),
+        _cell("XOR2", CellKind.LOGIC, 1.25, 120.0, 8, ("a", "b"), ("q",), True),
+        _cell("NOT", CellKind.LOGIC, 0.98, 100.0, 10, ("a",), ("q",), True),
+        _cell("XNOR2", CellKind.LOGIC, 1.31, 125.0, 10, ("a", "b"), ("q",), True),
+        _cell("NAND2", CellKind.LOGIC, 1.47, 135.0, 12, ("a", "b"), ("q",), True),
+        _cell("NOR2", CellKind.LOGIC, 1.18, 115.0, 11, ("a", "b"), ("q",), True),
+        # I/O converters (perimeter cells sharing the common ground)
+        _cell("DCSFQ", CellKind.IO, 0.85, 100.0, 6, ("dc_in",), ("q",), False),
+        _cell("SFQDC", CellKind.IO, 1.10, 130.0, 12, ("a",), ("dc_out",), False),
+        # inter-plane inductive coupling pair (Section III-A of the paper)
+        _cell("TXDRV", CellKind.COUPLING, 0.64, 80.0, 4, ("a",), ("q",), False),
+        _cell("RXRCV", CellKind.COUPLING, 0.58, 80.0, 5, ("a",), ("q",), False),
+        # dummy bias-passing structure (Section III-B.1)
+        _cell("DUMMY", CellKind.DUMMY, 0.50, 50.0, 2, (), ("q",), False),
+    ]
+    return CellLibrary("sfq-default", cells)

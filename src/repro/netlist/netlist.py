@@ -1,0 +1,257 @@
+"""Gate-level netlist representation.
+
+A :class:`Netlist` is the unit of work for the whole package: the circuit
+generators and the DEF parser produce one, the synthesis flow transforms
+one, and the partitioner consumes one.
+
+Modeling choices (matching Section IV-A of the paper):
+
+* A netlist is a set of *gates* plus a set of directed 2-pin
+  *connections* ``(driver gate, sink gate)``.  SFQ nets are point-to-point
+  after splitter insertion, so the 2-pin model is exact for synthesized
+  circuits and a standard conservative approximation otherwise.
+* Primary inputs/outputs are *ports*, not gates.  The paper places I/O
+  circuits on the chip perimeter sharing the common ground, so port
+  connections do not contribute to the inter-plane connection set ``E``.
+* Per-gate bias current ``b_i`` and area ``a_i`` come from the gate's
+  :class:`~repro.netlist.cell.CellType`.
+"""
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.netlist.cell import CellType
+from repro.utils.errors import NetlistError
+from repro.utils.units import um2_to_mm2
+
+
+class PortDirection(Enum):
+    INPUT = "input"
+    OUTPUT = "output"
+
+
+@dataclass
+class Port:
+    """A primary input or output of the circuit.
+
+    ``gate`` is the index of the gate this port connects to (the sink gate
+    fed by an input port, or the driver gate observed by an output port);
+    ``None`` for unbound ports.
+    """
+
+    name: str
+    direction: PortDirection
+    gate: int = None
+
+
+@dataclass
+class Gate:
+    """One placed gate instance.
+
+    ``x_um``/``y_um`` hold the lower-left placement coordinate when known
+    (filled by the placement step or the DEF parser, ``nan`` otherwise).
+    """
+
+    name: str
+    cell: CellType
+    index: int
+    x_um: float = float("nan")
+    y_um: float = float("nan")
+    attributes: dict = field(default_factory=dict)
+
+    @property
+    def bias_ma(self):
+        return self.cell.bias_ma
+
+    @property
+    def area_um2(self):
+        return self.cell.area_um2
+
+    @property
+    def placed(self):
+        return not (np.isnan(self.x_um) or np.isnan(self.y_um))
+
+    def __str__(self):
+        return f"{self.name}:{self.cell.name}"
+
+
+class Netlist:
+    """A mutable gate-level netlist with 2-pin directed connections."""
+
+    def __init__(self, name, library=None):
+        self.name = name
+        self.library = library
+        self._gates = []
+        self._gate_index = {}
+        self._edges = []
+        self._edge_set = set()
+        self._ports = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_gate(self, name, cell, x_um=float("nan"), y_um=float("nan"), **attributes):
+        """Add a gate and return it.
+
+        Raises :class:`NetlistError` on duplicate names or if ``cell`` is
+        not a :class:`CellType`.
+        """
+        if name in self._gate_index:
+            raise NetlistError(f"duplicate gate name {name!r} in netlist {self.name!r}")
+        if not isinstance(cell, CellType):
+            raise NetlistError(f"gate {name!r}: cell must be a CellType, got {type(cell).__name__}")
+        gate = Gate(name=name, cell=cell, index=len(self._gates), x_um=x_um, y_um=y_um, attributes=dict(attributes))
+        self._gates.append(gate)
+        self._gate_index[name] = gate.index
+        return gate
+
+    def connect(self, driver, sink, allow_duplicate=False):
+        """Add a directed connection from ``driver`` to ``sink``.
+
+        Both endpoints may be a gate name, a gate index, or a
+        :class:`Gate`.  Self-loops are rejected (an SFQ gate never feeds
+        itself combinationally).  Duplicate edges are rejected unless
+        ``allow_duplicate`` is set; the paper's connection set ``E`` is a
+        multiset in principle, but synthesized SFQ netlists never produce
+        parallel 2-pin edges.
+        """
+        u = self._resolve(driver)
+        v = self._resolve(sink)
+        if u == v:
+            raise NetlistError(f"self-loop on gate {self._gates[u].name!r}")
+        if not allow_duplicate and (u, v) in self._edge_set:
+            raise NetlistError(
+                f"duplicate connection {self._gates[u].name!r} -> {self._gates[v].name!r}"
+            )
+        self._edges.append((u, v))
+        self._edge_set.add((u, v))
+        return (u, v)
+
+    def add_port(self, name, direction, gate=None):
+        """Declare a primary input/output, optionally bound to a gate."""
+        if name in self._ports:
+            raise NetlistError(f"duplicate port name {name!r}")
+        gate_idx = None if gate is None else self._resolve(gate)
+        port = Port(name=name, direction=PortDirection(direction), gate=gate_idx)
+        self._ports[name] = port
+        return port
+
+    def _resolve(self, gate_ref):
+        """Map a gate name / index / Gate object to a gate index."""
+        if isinstance(gate_ref, Gate):
+            if gate_ref.index >= len(self._gates) or self._gates[gate_ref.index] is not gate_ref:
+                raise NetlistError(f"gate {gate_ref.name!r} does not belong to netlist {self.name!r}")
+            return gate_ref.index
+        if isinstance(gate_ref, (int, np.integer)):
+            idx = int(gate_ref)
+            if not 0 <= idx < len(self._gates):
+                raise NetlistError(f"gate index {idx} out of range (0..{len(self._gates) - 1})")
+            return idx
+        if isinstance(gate_ref, str):
+            try:
+                return self._gate_index[gate_ref]
+            except KeyError:
+                raise NetlistError(f"unknown gate {gate_ref!r} in netlist {self.name!r}") from None
+        raise NetlistError(f"cannot resolve gate reference {gate_ref!r}")
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    @property
+    def gates(self):
+        """The gate list (index order)."""
+        return list(self._gates)
+
+    @property
+    def edges(self):
+        """Directed connections as a list of ``(driver_idx, sink_idx)``."""
+        return list(self._edges)
+
+    @property
+    def ports(self):
+        return dict(self._ports)
+
+    @property
+    def num_gates(self):
+        return len(self._gates)
+
+    @property
+    def num_connections(self):
+        return len(self._edges)
+
+    def gate(self, gate_ref):
+        """Look up a gate by name, index or identity."""
+        return self._gates[self._resolve(gate_ref)]
+
+    def has_gate(self, name):
+        return name in self._gate_index
+
+    def has_edge(self, driver, sink):
+        return (self._resolve(driver), self._resolve(sink)) in self._edge_set
+
+    def input_ports(self):
+        return [p for p in self._ports.values() if p.direction is PortDirection.INPUT]
+
+    def output_ports(self):
+        return [p for p in self._ports.values() if p.direction is PortDirection.OUTPUT]
+
+    # ------------------------------------------------------------------
+    # vectors for the optimizer (paper's b_i, a_i per gate)
+    # ------------------------------------------------------------------
+    def bias_vector_ma(self):
+        """Per-gate bias currents ``b_i`` in mA, shape ``(G,)``."""
+        return np.array([g.bias_ma for g in self._gates], dtype=float)
+
+    def area_vector_um2(self):
+        """Per-gate areas ``a_i`` in um^2, shape ``(G,)``."""
+        return np.array([g.area_um2 for g in self._gates], dtype=float)
+
+    def area_vector_mm2(self):
+        """Per-gate areas ``a_i`` in mm^2, shape ``(G,)``."""
+        return um2_to_mm2(self.area_vector_um2())
+
+    def edge_array(self):
+        """Connections as an ``(|E|, 2)`` int array (empty-safe)."""
+        if not self._edges:
+            return np.zeros((0, 2), dtype=np.intp)
+        return np.asarray(self._edges, dtype=np.intp)
+
+    # ------------------------------------------------------------------
+    # aggregate circuit properties (Table I columns B_cir, A_cir)
+    # ------------------------------------------------------------------
+    @property
+    def total_bias_ma(self):
+        """Total bias current requirement ``B_cir`` in mA."""
+        return float(self.bias_vector_ma().sum())
+
+    @property
+    def total_area_mm2(self):
+        """Total gate area ``A_cir`` in mm^2."""
+        return float(self.area_vector_mm2().sum())
+
+    def cell_histogram(self):
+        """Mapping ``cell name -> instance count``."""
+        histogram = {}
+        for gate in self._gates:
+            histogram[gate.cell.name] = histogram.get(gate.cell.name, 0) + 1
+        return histogram
+
+    def copy(self, name=None):
+        """Deep-ish copy (cells are immutable and shared)."""
+        clone = Netlist(name or self.name, library=self.library)
+        for gate in self._gates:
+            clone.add_gate(gate.name, gate.cell, gate.x_um, gate.y_um, **gate.attributes)
+        for u, v in self._edges:
+            clone.connect(u, v)
+        for port in self._ports.values():
+            clone.add_port(port.name, port.direction, port.gate)
+        return clone
+
+    def __repr__(self):
+        return (
+            f"Netlist({self.name!r}, gates={self.num_gates}, "
+            f"connections={self.num_connections}, "
+            f"B_cir={self.total_bias_ma:.2f} mA, A_cir={self.total_area_mm2:.4f} mm^2)"
+        )

@@ -1,0 +1,72 @@
+"""NetworkX interoperability.
+
+Exports a netlist (optionally with a partition) as a
+:class:`networkx.DiGraph` so users can lean on the networkx ecosystem
+for analyses this package does not ship (centrality, drawing, custom
+community detection), and imports a compatible DiGraph back.
+
+Node attributes: ``cell`` (cell name), ``bias_ma``, ``area_um2``,
+``x_um``/``y_um`` when placed, and ``plane`` when a partition is given.
+Graph attributes: ``name`` and ``library`` (library name).
+"""
+
+import math
+
+from repro.netlist.netlist import Netlist
+from repro.utils.errors import NetlistError
+
+
+def to_networkx(netlist, result=None):
+    """Convert a netlist (and optional partition result) to a DiGraph."""
+    import networkx as nx
+
+    graph = nx.DiGraph(name=netlist.name, library=getattr(netlist.library, "name", None))
+    labels = None
+    if result is not None:
+        if result.netlist is not netlist and result.labels.shape[0] != netlist.num_gates:
+            raise NetlistError("partition result does not match the netlist")
+        labels = result.labels
+    for gate in netlist.gates:
+        attributes = {
+            "cell": gate.cell.name,
+            "bias_ma": gate.bias_ma,
+            "area_um2": gate.area_um2,
+        }
+        if gate.placed:
+            attributes["x_um"] = gate.x_um
+            attributes["y_um"] = gate.y_um
+        if labels is not None:
+            attributes["plane"] = int(labels[gate.index])
+        graph.add_node(gate.name, **attributes)
+    for u, v in netlist.edges:
+        graph.add_edge(netlist.gates[u].name, netlist.gates[v].name)
+    for port in netlist.ports.values():
+        graph.graph.setdefault("ports", {})[port.name] = {
+            "direction": port.direction.value,
+            "gate": netlist.gates[port.gate].name if port.gate is not None else None,
+        }
+    return graph
+
+
+def from_networkx(graph, library, name=None):
+    """Rebuild a :class:`Netlist` from a DiGraph produced by
+    :func:`to_networkx` (or any DiGraph whose nodes carry a ``cell``
+    attribute naming a library cell)."""
+    netlist = Netlist(name or graph.graph.get("name", "networkx"), library=library)
+    for node, attributes in graph.nodes(data=True):
+        cell_name = attributes.get("cell")
+        if cell_name is None:
+            raise NetlistError(f"node {node!r} has no 'cell' attribute")
+        if cell_name not in library:
+            raise NetlistError(f"node {node!r}: unknown cell {cell_name!r}")
+        netlist.add_gate(
+            str(node),
+            library[cell_name],
+            x_um=attributes.get("x_um", math.nan),
+            y_um=attributes.get("y_um", math.nan),
+        )
+    for u, v in graph.edges():
+        netlist.connect(str(u), str(v))
+    for port_name, port_info in graph.graph.get("ports", {}).items():
+        netlist.add_port(port_name, port_info["direction"], port_info.get("gate"))
+    return netlist

@@ -1,0 +1,120 @@
+"""Netlist structure statistics.
+
+The calibration story of this reproduction (DESIGN.md, substitution 1)
+rests on aggregate statistics — connections per gate, splitter
+fraction, bias/area per gate — matching the published Table I values.
+This module computes those statistics plus the structural profile that
+determines partition difficulty (degree distribution, pipeline-depth
+histogram, a Rent-style locality exponent estimate), for calibration
+tests and for users profiling their own netlists.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netlist.cell import CellKind
+from repro.netlist.graph import logic_levels, undirected_degrees
+
+
+@dataclass(frozen=True)
+class NetlistStats:
+    """Aggregate structural statistics of one netlist."""
+
+    circuit: str
+    num_gates: int
+    num_connections: int
+    connections_per_gate: float
+    avg_bias_ma: float
+    avg_area_um2: float
+    splitter_fraction: float
+    dff_fraction: float
+    logic_fraction: float
+    max_degree: int
+    mean_degree: float
+    pipeline_depth: int
+    locality: float
+    cell_mix: dict
+
+    def as_dict(self):
+        return {
+            "circuit": self.circuit,
+            "gates": self.num_gates,
+            "connections": self.num_connections,
+            "connections_per_gate": self.connections_per_gate,
+            "avg_bias_ma": self.avg_bias_ma,
+            "avg_area_um2": self.avg_area_um2,
+            "splitter_fraction": self.splitter_fraction,
+            "dff_fraction": self.dff_fraction,
+            "logic_fraction": self.logic_fraction,
+            "max_degree": self.max_degree,
+            "mean_degree": self.mean_degree,
+            "pipeline_depth": self.pipeline_depth,
+            "locality": self.locality,
+        }
+
+
+def _kind_fraction(netlist, kind):
+    if netlist.num_gates == 0:
+        return 0.0
+    count = sum(1 for gate in netlist.gates if gate.cell.kind is kind)
+    return count / netlist.num_gates
+
+
+def locality_index(netlist):
+    """Fraction of connections linking gates within one pipeline stage
+    of each other — 1.0 for a pure chain, ~0 for a random graph.
+
+    This single number predicts which partitioners win: contiguous
+    orderings dominate when locality is high (the reproduction's main
+    baseline finding).
+    """
+    edges = netlist.edge_array()
+    if edges.shape[0] == 0:
+        return 1.0
+    levels = logic_levels(netlist)
+    gaps = np.abs(levels[edges[:, 0]] - levels[edges[:, 1]])
+    return float(np.count_nonzero(gaps <= 1)) / edges.shape[0]
+
+
+def netlist_stats(netlist):
+    """Compute :class:`NetlistStats` for a netlist."""
+    num_gates = netlist.num_gates
+    num_connections = netlist.num_connections
+    degrees = undirected_degrees(netlist)
+    levels = logic_levels(netlist) if num_gates else np.zeros(0, dtype=int)
+    return NetlistStats(
+        circuit=netlist.name,
+        num_gates=num_gates,
+        num_connections=num_connections,
+        connections_per_gate=(num_connections / num_gates) if num_gates else 0.0,
+        avg_bias_ma=(netlist.total_bias_ma / num_gates) if num_gates else 0.0,
+        avg_area_um2=(
+            float(netlist.area_vector_um2().mean()) if num_gates else 0.0
+        ),
+        splitter_fraction=_kind_fraction(netlist, CellKind.SPLITTER),
+        dff_fraction=_kind_fraction(netlist, CellKind.STORAGE),
+        logic_fraction=_kind_fraction(netlist, CellKind.LOGIC),
+        max_degree=int(degrees.max()) if num_gates else 0,
+        mean_degree=float(degrees.mean()) if num_gates else 0.0,
+        pipeline_depth=int(levels.max()) if num_gates else 0,
+        locality=locality_index(netlist),
+        cell_mix=netlist.cell_histogram(),
+    )
+
+
+def degree_histogram(netlist):
+    """``{degree: gate count}`` over undirected degrees."""
+    degrees = undirected_degrees(netlist)
+    histogram = {}
+    for degree in degrees.tolist():
+        histogram[degree] = histogram.get(degree, 0) + 1
+    return histogram
+
+
+def stage_population(netlist):
+    """Gate count per pipeline stage, shape ``(depth + 1,)``."""
+    if netlist.num_gates == 0:
+        return np.zeros(0, dtype=np.intp)
+    levels = logic_levels(netlist)
+    return np.bincount(levels)

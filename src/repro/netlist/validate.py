@@ -1,0 +1,108 @@
+"""Netlist validation.
+
+Two layers of checks:
+
+* :func:`validate_netlist` — structural invariants every netlist must
+  satisfy (consistent indices, no dangling ports).  Violations raise
+  :class:`~repro.utils.errors.NetlistError`.
+* :func:`check_sfq_rules` — SFQ-specific design rules (fanout only via
+  splitters, clocked gates, merger fan-in).  Violations are returned as
+  :class:`ValidationIssue` records so callers can treat them as warnings
+  for hand-written netlists and as hard errors after synthesis.
+"""
+
+from dataclasses import dataclass
+
+from repro.netlist.cell import CellKind
+from repro.netlist.graph import fanout_counts, fanin_counts, is_acyclic
+from repro.utils.errors import NetlistError
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One SFQ design-rule violation."""
+
+    rule: str
+    gate: str
+    message: str
+
+    def __str__(self):
+        return f"[{self.rule}] {self.gate}: {self.message}"
+
+
+def validate_netlist(netlist):
+    """Check structural invariants; raise :class:`NetlistError` on failure.
+
+    Returns the netlist so it can be used in fluent style.
+    """
+    num_gates = netlist.num_gates
+    names = set()
+    for gate in netlist.gates:
+        if gate.name in names:
+            raise NetlistError(f"duplicate gate name {gate.name!r}")
+        names.add(gate.name)
+    for u, v in netlist.edges:
+        if not (0 <= u < num_gates and 0 <= v < num_gates):
+            raise NetlistError(f"edge ({u}, {v}) out of range")
+        if u == v:
+            raise NetlistError(f"self-loop on gate index {u}")
+    for port in netlist.ports.values():
+        if port.gate is not None and not 0 <= port.gate < num_gates:
+            raise NetlistError(f"port {port.name!r} bound to invalid gate {port.gate}")
+    return netlist
+
+
+def check_sfq_rules(netlist, require_acyclic=True):
+    """Check SFQ design rules; return a list of :class:`ValidationIssue`.
+
+    Rules checked:
+
+    * ``fanout``: a gate may drive at most ``cell.max_fanout`` sinks
+      (1 for ordinary cells, 2 for splitters) — SFQ pulses cannot be
+      passively forked;
+    * ``fanin``: a gate may receive at most ``cell.num_inputs``
+      connections (clock lines are modeled separately);
+    * ``dummy-signal``: dummy bias structures must carry no signal
+      connections;
+    * ``acyclic``: synthesized SFQ netlists are gate-level pipelines and
+      must be combinationally acyclic (optional).
+    """
+    issues = []
+    fanout = fanout_counts(netlist)
+    fanin = fanin_counts(netlist)
+    for gate in netlist.gates:
+        max_out = gate.cell.max_fanout
+        if fanout[gate.index] > max_out:
+            issues.append(
+                ValidationIssue(
+                    rule="fanout",
+                    gate=gate.name,
+                    message=f"drives {int(fanout[gate.index])} sinks, cell {gate.cell.name} allows {max_out}",
+                )
+            )
+        max_in = gate.cell.num_inputs
+        if fanin[gate.index] > max_in:
+            issues.append(
+                ValidationIssue(
+                    rule="fanin",
+                    gate=gate.name,
+                    message=f"receives {int(fanin[gate.index])} connections, cell {gate.cell.name} has {max_in} inputs",
+                )
+            )
+        if gate.cell.kind is CellKind.DUMMY and (fanout[gate.index] or fanin[gate.index]):
+            issues.append(
+                ValidationIssue(
+                    rule="dummy-signal",
+                    gate=gate.name,
+                    message="dummy bias structure must not carry signal connections",
+                )
+            )
+    if require_acyclic and not is_acyclic(netlist):
+        issues.append(
+            ValidationIssue(
+                rule="acyclic",
+                gate="<netlist>",
+                message="directed connection graph contains a cycle",
+            )
+        )
+    return issues

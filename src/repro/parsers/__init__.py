@@ -1,0 +1,32 @@
+"""Netlist exchange formats.
+
+The paper's benchmark suite is distributed as post-routing **DEF**
+files and the paper's implementation "includes the parser for
+DEF-format circuits" — so does this one:
+
+* :mod:`repro.parsers.def_parser` / :mod:`repro.parsers.def_writer` —
+  DEF 5.8 subset (DESIGN/UNITS/DIEAREA/COMPONENTS/PINS/NETS);
+* :mod:`repro.parsers.lef_parser` — LEF macro reader/writer carrying the
+  SFQ-specific cell properties (bias current, JJ count) so a library
+  can round-trip;
+* :mod:`repro.parsers.verilog` — structural Verilog netlists;
+* :mod:`repro.parsers.bench` — ISCAS ``.bench`` logic format (parses to
+  a :class:`~repro.synth.logic.LogicCircuit`, ready for the SFQ flow).
+"""
+
+from repro.parsers.def_writer import write_def
+from repro.parsers.def_parser import parse_def
+from repro.parsers.lef_parser import parse_lef, write_lef
+from repro.parsers.verilog import parse_verilog, write_verilog
+from repro.parsers.bench import parse_bench, write_bench
+
+__all__ = [
+    "write_def",
+    "parse_def",
+    "parse_lef",
+    "write_lef",
+    "parse_verilog",
+    "write_verilog",
+    "parse_bench",
+    "write_bench",
+]

@@ -1,0 +1,164 @@
+"""ISCAS ``.bench`` format reader/writer.
+
+The classic ISCAS85/89 distribution format::
+
+    INPUT(G1)
+    OUTPUT(G17)
+    G10 = NAND(G1, G3)
+    G17 = NOT(G10)
+
+Parsing yields a :class:`~repro.synth.logic.LogicCircuit`, so any
+``.bench`` file (including real ISCAS85 sources, if the user has them)
+can be pushed straight through the SFQ synthesis flow and partitioned —
+the exact pipeline the paper describes.  NAND/NOR are legalized into
+AND/OR + NOT; ``DFF`` is accepted for ISCAS89-style inputs.
+"""
+
+import re
+
+from repro.synth.logic import LogicCircuit, LogicOp
+from repro.utils.errors import ParseError
+
+_INPUT_RE = re.compile(r"INPUT\s*\(\s*([^)\s]+)\s*\)", re.I)
+_OUTPUT_RE = re.compile(r"OUTPUT\s*\(\s*([^)\s]+)\s*\)", re.I)
+_ASSIGN_RE = re.compile(r"([^\s=]+)\s*=\s*([A-Za-z][A-Za-z0-9]*)\s*\(\s*([^)]*)\)")
+
+_OPS = {
+    "AND": LogicOp.AND,
+    "OR": LogicOp.OR,
+    "XOR": LogicOp.XOR,
+    "NOT": LogicOp.NOT,
+    "BUF": LogicOp.BUF,
+    "BUFF": LogicOp.BUF,
+    "DFF": LogicOp.DFF,
+}
+_NEGATED = {"NAND": LogicOp.AND, "NOR": LogicOp.OR, "XNOR": LogicOp.XOR}
+
+
+def parse_bench(text, name="bench", filename="<bench>"):
+    """Parse ``.bench`` text into a :class:`LogicCircuit`."""
+    inputs = []
+    outputs = []
+    assignments = []  # (line, target, op, [operands])
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        input_match = _INPUT_RE.fullmatch(line)
+        if input_match:
+            inputs.append(input_match.group(1))
+            continue
+        output_match = _OUTPUT_RE.fullmatch(line)
+        if output_match:
+            outputs.append(output_match.group(1))
+            continue
+        assign_match = _ASSIGN_RE.fullmatch(line)
+        if not assign_match:
+            raise ParseError(f"unrecognized line {line!r}", filename, line_number)
+        target, op_name, operand_text = assign_match.groups()
+        operands = [o.strip() for o in operand_text.split(",") if o.strip()]
+        if not operands:
+            raise ParseError(f"gate {target!r} has no operands", filename, line_number)
+        assignments.append((line_number, target, op_name.upper(), operands))
+
+    circuit = LogicCircuit(name)
+    signal = {}
+    for input_name in inputs:
+        if input_name in signal:
+            raise ParseError(f"duplicate INPUT({input_name})", filename)
+        signal[input_name] = circuit.add_input(input_name)
+
+    # .bench gates may be declared in any order: iterate until resolved.
+    remaining = list(assignments)
+    while remaining:
+        progressed = False
+        deferred = []
+        for line_number, target, op_name, operands in remaining:
+            if any(op not in signal for op in operands):
+                deferred.append((line_number, target, op_name, operands))
+                continue
+            resolved = [signal[op] for op in operands]
+            if op_name in _OPS:
+                op = _OPS[op_name]
+                if op.is_unary:
+                    if len(resolved) != 1:
+                        raise ParseError(
+                            f"{op_name} takes one operand, got {len(resolved)}", filename, line_number
+                        )
+                    node = circuit.gate(op, resolved[0])
+                elif len(resolved) == 1:
+                    node = circuit.buf(resolved[0])
+                else:
+                    node = circuit.gate(op, *resolved)
+            elif op_name in _NEGATED:
+                if len(resolved) == 1:
+                    node = circuit.not_(resolved[0])
+                else:
+                    node = circuit.not_(circuit.gate(_NEGATED[op_name], *resolved))
+            else:
+                raise ParseError(f"unknown gate type {op_name!r}", filename, line_number)
+            if target in signal:
+                raise ParseError(f"signal {target!r} assigned twice", filename, line_number)
+            signal[target] = node
+            progressed = True
+        if not progressed:
+            unresolved = ", ".join(t for _, t, _, _ in deferred[:5])
+            raise ParseError(
+                f"unresolvable (cyclic or undefined) signals: {unresolved}", filename
+            )
+        remaining = deferred
+
+    for output_name in outputs:
+        if output_name not in signal:
+            raise ParseError(f"OUTPUT({output_name}) never defined", filename)
+        node = signal[output_name]
+        if circuit.node(node).op is LogicOp.INPUT:
+            node = circuit.buf(node)
+        circuit.set_output(output_name, node)
+    return circuit
+
+
+def write_bench(circuit, path=None):
+    """Serialize a :class:`LogicCircuit` to ``.bench`` text.
+
+    n-ary gates are emitted natively (the format allows any arity);
+    node names are synthesized as ``N<id>`` unless the node is a named
+    input.
+    """
+    lines = [f"# {circuit.name}"]
+    names = {}
+    for node in circuit.nodes():
+        if node.op is LogicOp.INPUT:
+            names[node.id] = node.name
+            lines.append(f"INPUT({node.name})")
+        else:
+            names[node.id] = f"N{node.id}"
+    for output_name in circuit.outputs:
+        lines.append(f"OUTPUT({output_name})")
+
+    op_names = {
+        LogicOp.AND: "AND",
+        LogicOp.OR: "OR",
+        LogicOp.XOR: "XOR",
+        LogicOp.NOT: "NOT",
+        LogicOp.BUF: "BUFF",
+        LogicOp.DFF: "DFF",
+    }
+    for node in circuit.nodes():
+        if node.op.is_source:
+            if node.op is not LogicOp.INPUT:
+                raise ParseError(f"{circuit.name}: .bench cannot express constants (node {node.id})")
+            continue
+        operand_names = ", ".join(names[f] for f in node.fanins)
+        lines.append(f"{names[node.id]} = {op_names[node.op]}({operand_names})")
+    # OUTPUT() lines reference internal names: alias outputs at the end.
+    alias_lines = []
+    for output_name, node_id in circuit.outputs.items():
+        if names[node_id] != output_name:
+            alias_lines.append(f"{output_name} = BUFF({names[node_id]})")
+    lines.extend(alias_lines)
+    text = "\n".join(lines) + "\n"
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(text)
+    return text

@@ -1,0 +1,207 @@
+"""DEF parser.
+
+Reads the DEF 5.8 subset produced by :mod:`repro.parsers.def_writer`
+(and by typical academic SFQ flows): DESIGN, UNITS, DIEAREA,
+COMPONENTS with PLACED/UNPLACED coordinates, PINS with NET/DIRECTION,
+and 2-pin NETS.  Connection direction is inferred from pin names: the
+endpoint whose pin is one of its cell's *output* pins is the driver.
+
+The paper states its implementation "includes the parser for DEF-format
+circuits"; this module is that substrate.
+"""
+
+from repro.netlist.netlist import Netlist
+from repro.utils.errors import ParseError
+
+
+def _tokenize_statements(text):
+    """Yield ``(line_number, [tokens])`` per ``;``-terminated statement.
+
+    DEF statements may span lines; comments (``#``) run to end of line.
+    """
+    statement = []
+    start_line = None
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0]
+        if not line.strip():
+            continue
+        for token in line.replace("(", " ( ").replace(")", " ) ").split():
+            if start_line is None:
+                start_line = line_number
+            if token == ";":
+                yield start_line, statement
+                statement = []
+                start_line = None
+            else:
+                statement.append(token)
+        # END <section> markers have no ';'
+        if statement and statement[0] == "END":
+            yield start_line, statement
+            statement = []
+            start_line = None
+    if statement:
+        yield start_line, statement
+
+
+def _parse_point_pairs(tokens):
+    """Extract ``( x y )`` pairs from a token stream."""
+    points = []
+    i = 0
+    while i < len(tokens):
+        if tokens[i] == "(" and i + 3 < len(tokens) and tokens[i + 3] == ")":
+            points.append((int(tokens[i + 1]), int(tokens[i + 2])))
+            i += 4
+        else:
+            i += 1
+    return points
+
+
+def _parse_groups(tokens):
+    """Extract ``( a b )`` name groups (strings) from a token stream."""
+    groups = []
+    i = 0
+    while i < len(tokens):
+        if tokens[i] == "(" and i + 3 < len(tokens) and tokens[i + 3] == ")":
+            groups.append((tokens[i + 1], tokens[i + 2]))
+            i += 4
+        else:
+            i += 1
+    return groups
+
+
+def parse_def(text, library, filename="<def>"):
+    """Parse DEF text into a :class:`~repro.netlist.netlist.Netlist`.
+
+    Parameters
+    ----------
+    text:
+        DEF source (str) — pass file contents, not a path.
+    library:
+        :class:`~repro.netlist.library.CellLibrary` resolving component
+        cell names.
+    filename:
+        Name used in error messages.
+
+    Raises
+    ------
+    ParseError
+        On malformed input, unknown cells, or nets whose direction
+        cannot be inferred.
+    """
+    design_name = None
+    dbu_per_micron = 1000
+    section = None
+    pending = []  # (line, tokens) statements for the current section
+
+    netlist = None
+    pin_decls = []  # (line, name, net, direction)
+    net_decls = []  # (line, name, [(comp, pin)])
+
+    for line, tokens in _tokenize_statements(text):
+        head = tokens[0]
+        if section is None:
+            if head == "DESIGN" and len(tokens) >= 2 and design_name is None:
+                design_name = tokens[1]
+            elif head == "UNITS":
+                try:
+                    dbu_per_micron = int(tokens[tokens.index("MICRONS") + 1])
+                except (ValueError, IndexError):
+                    raise ParseError("malformed UNITS statement", filename, line)
+            elif head in ("COMPONENTS", "PINS", "NETS"):
+                section = head
+                if netlist is None:
+                    netlist = Netlist(design_name or "def_design", library=library)
+            # VERSION / DIVIDERCHAR / BUSBITCHARS / DIEAREA / END DESIGN: ignored
+            continue
+
+        if head == "END":
+            if len(tokens) >= 2 and tokens[1] == section:
+                section = None
+                continue
+            raise ParseError(f"unexpected END in section {section}", filename, line)
+
+        if head != "-":
+            raise ParseError(f"unexpected statement {' '.join(tokens[:3])!r}", filename, line)
+
+        body = tokens[1:]
+        if section == "COMPONENTS":
+            if len(body) < 2:
+                raise ParseError("component needs a name and a cell", filename, line)
+            comp_name, cell_name = body[0], body[1]
+            if cell_name not in library:
+                raise ParseError(
+                    f"component {comp_name!r} uses unknown cell {cell_name!r}", filename, line
+                )
+            x_um = y_um = float("nan")
+            if "PLACED" in body or "FIXED" in body:
+                points = _parse_point_pairs(body)
+                if not points:
+                    raise ParseError(f"component {comp_name!r} PLACED without coordinates", filename, line)
+                x_um = points[0][0] / dbu_per_micron
+                y_um = points[0][1] / dbu_per_micron
+            netlist.add_gate(comp_name, library[cell_name], x_um=x_um, y_um=y_um)
+        elif section == "PINS":
+            name = body[0]
+            net = name
+            direction = None
+            for i, token in enumerate(body):
+                if token == "NET" and i + 1 < len(body):
+                    net = body[i + 1]
+                if token == "DIRECTION" and i + 1 < len(body):
+                    direction = body[i + 1].lower()
+            if direction not in ("input", "output"):
+                raise ParseError(f"pin {name!r} missing DIRECTION", filename, line)
+            pin_decls.append((line, name, net, direction))
+        elif section == "NETS":
+            name = body[0]
+            groups = _parse_groups(body)
+            if not groups:
+                raise ParseError(f"net {name!r} has no connections", filename, line)
+            net_decls.append((line, name, groups))
+
+    if netlist is None:
+        raise ParseError("no COMPONENTS/PINS/NETS sections found", filename)
+
+    # Resolve nets: infer driver by output-pin membership.
+    bound_ports = {}
+    for line, name, groups in net_decls:
+        gate_endpoints = []
+        pin_endpoint = None
+        for comp, pin in groups:
+            if comp == "PIN":
+                pin_endpoint = pin
+            else:
+                gate_endpoints.append((comp, pin))
+        for comp, pin in gate_endpoints:
+            if not netlist.has_gate(comp):
+                raise ParseError(f"net {name!r} references unknown component {comp!r}", filename, line)
+
+        if pin_endpoint is not None:
+            if len(gate_endpoints) != 1:
+                raise ParseError(
+                    f"port net {name!r} must connect exactly one component", filename, line
+                )
+            bound_ports[pin_endpoint] = netlist.gate(gate_endpoints[0][0]).index
+            continue
+
+        if len(gate_endpoints) != 2:
+            raise ParseError(
+                f"net {name!r} has {len(gate_endpoints)} component pins; "
+                "this SFQ reader expects 2-pin nets", filename, line
+            )
+        (comp_a, pin_a), (comp_b, pin_b) = gate_endpoints
+        a_is_driver = pin_a in netlist.gate(comp_a).cell.outputs
+        b_is_driver = pin_b in netlist.gate(comp_b).cell.outputs
+        if a_is_driver == b_is_driver:
+            raise ParseError(
+                f"net {name!r}: cannot infer direction "
+                f"({comp_a}.{pin_a} / {comp_b}.{pin_b})", filename, line
+            )
+        if a_is_driver:
+            netlist.connect(comp_a, comp_b)
+        else:
+            netlist.connect(comp_b, comp_a)
+
+    for _, name, net, direction in pin_decls:
+        netlist.add_port(name, direction, bound_ports.get(name))
+    return netlist

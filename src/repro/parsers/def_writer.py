@@ -1,0 +1,131 @@
+"""DEF writer.
+
+Serializes a :class:`~repro.netlist.netlist.Netlist` to the DEF 5.8
+subset the suite uses: DESIGN / UNITS / DIEAREA / COMPONENTS / PINS /
+NETS.  Every connection is a 2-pin net (SFQ netlists are point-to-point
+after splitter insertion); input pins of multi-input cells are assigned
+to incoming edges in edge order.
+"""
+
+import numpy as np
+
+from repro.utils.errors import NetlistError
+
+#: Database units per micron used by the writer.
+DBU_PER_MICRON = 1000
+
+
+def _dbu(value_um):
+    return int(round(value_um * DBU_PER_MICRON))
+
+
+def write_def(netlist, path=None, design_name=None):
+    """Serialize ``netlist`` to DEF text.
+
+    Parameters
+    ----------
+    netlist:
+        Netlist to write; unplaced gates get coordinates (0, 0) with
+        placement status UNPLACED.
+    path:
+        Optional file path; when given the text is also written there.
+    design_name:
+        DEF DESIGN name; defaults to the netlist name.
+
+    Returns
+    -------
+    The DEF text (str).
+    """
+    design = design_name or netlist.name
+    lines = [
+        "VERSION 5.8 ;",
+        'DIVIDERCHAR "/" ;',
+        'BUSBITCHARS "[]" ;',
+        f"DESIGN {design} ;",
+        f"UNITS DISTANCE MICRONS {DBU_PER_MICRON} ;",
+    ]
+
+    placed = [g for g in netlist.gates if g.placed]
+    if placed:
+        x_max = max(g.x_um + g.cell.width_um for g in placed)
+        y_max = max(g.y_um + g.cell.height_um for g in placed)
+        lines.append(f"DIEAREA ( 0 0 ) ( {_dbu(x_max)} {_dbu(y_max)} ) ;")
+
+    # ------------------------------------------------------------- COMPONENTS
+    lines.append(f"COMPONENTS {netlist.num_gates} ;")
+    for gate in netlist.gates:
+        if gate.placed:
+            lines.append(
+                f"- {gate.name} {gate.cell.name} + PLACED "
+                f"( {_dbu(gate.x_um)} {_dbu(gate.y_um)} ) N ;"
+            )
+        else:
+            lines.append(f"- {gate.name} {gate.cell.name} + UNPLACED ;")
+    lines.append("END COMPONENTS")
+
+    # ------------------------------------------------------------------ PINS
+    ports = list(netlist.ports.values())
+    lines.append(f"PINS {len(ports)} ;")
+    for port in ports:
+        direction = "INPUT" if port.direction.value == "input" else "OUTPUT"
+        lines.append(f"- {port.name} + NET {port.name} + DIRECTION {direction} + USE SIGNAL ;")
+    lines.append("END PINS")
+
+    # ------------------------------------------------------------------ NETS
+    # Assign input pins per gate in incoming-edge order, output pins in
+    # outgoing-edge order (splitters expose q0/q1).
+    in_seen = np.zeros(netlist.num_gates, dtype=int)
+    out_seen = np.zeros(netlist.num_gates, dtype=int)
+    gates = netlist.gates
+
+    net_lines = []
+    for number, (u, v) in enumerate(netlist.edges):
+        driver, sink = gates[u], gates[v]
+        out_pins = driver.cell.outputs
+        in_pins = sink.cell.inputs
+        if out_seen[u] >= len(out_pins):
+            raise NetlistError(
+                f"gate {driver.name!r} drives more connections than its "
+                f"cell {driver.cell.name!r} has output pins"
+            )
+        if in_seen[v] >= len(in_pins):
+            raise NetlistError(
+                f"gate {sink.name!r} receives more connections than its "
+                f"cell {sink.cell.name!r} has input pins"
+            )
+        out_pin = out_pins[out_seen[u]]
+        in_pin = in_pins[in_seen[v]]
+        out_seen[u] += 1
+        in_seen[v] += 1
+        net_lines.append(
+            f"- net{number} ( {driver.name} {out_pin} ) ( {sink.name} {in_pin} ) ;"
+        )
+    # Port nets connect a PIN to its bound gate.
+    port_net_lines = []
+    for port in ports:
+        if port.gate is None:
+            continue
+        gate = gates[port.gate]
+        if port.direction.value == "input":
+            pin_index = in_seen[port.gate]
+            pins = gate.cell.inputs
+            pin = pins[pin_index] if pin_index < len(pins) else pins[-1] if pins else "a"
+            in_seen[port.gate] += 1
+        else:
+            pin_index = out_seen[port.gate]
+            pins = gate.cell.outputs
+            pin = pins[pin_index] if pin_index < len(pins) else pins[-1]
+            out_seen[port.gate] += 1
+        port_net_lines.append(f"- {port.name} ( PIN {port.name} ) ( {gate.name} {pin} ) ;")
+
+    lines.append(f"NETS {len(net_lines) + len(port_net_lines)} ;")
+    lines.extend(net_lines)
+    lines.extend(port_net_lines)
+    lines.append("END NETS")
+    lines.append("END DESIGN")
+    text = "\n".join(lines) + "\n"
+
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(text)
+    return text

@@ -1,0 +1,143 @@
+"""LEF reader/writer for SFQ cell libraries.
+
+LEF carries the physical view of a cell library (macro footprints and
+pins).  Standard LEF has no notion of bias current or Josephson-junction
+count, so the writer emits them as LEF ``PROPERTY`` statements
+(``biasCurrentMA``, ``jjCount``, ``sfqKind``, ``clocked``) and the
+reader understands the same — giving the whole cell library a lossless
+round-trip through an industry-standard container.
+"""
+
+from repro.netlist.cell import CellKind, CellType
+from repro.netlist.library import CellLibrary
+from repro.utils.errors import ParseError
+
+
+def write_lef(library, path=None):
+    """Serialize a :class:`~repro.netlist.library.CellLibrary` to LEF text."""
+    lines = [
+        "VERSION 5.8 ;",
+        'BUSBITCHARS "[]" ;',
+        'DIVIDERCHAR "/" ;',
+        "UNITS",
+        "  DATABASE MICRONS 1000 ;",
+        "END UNITS",
+    ]
+    for cell in sorted(library, key=lambda c: c.name):
+        lines.append(f"MACRO {cell.name}")
+        lines.append("  CLASS CORE ;")
+        lines.append(f"  SIZE {cell.width_um:g} BY {cell.height_um:g} ;")
+        lines.append(f"  PROPERTY biasCurrentMA {cell.bias_ma:g} ;")
+        lines.append(f"  PROPERTY jjCount {cell.jj_count} ;")
+        lines.append(f"  PROPERTY sfqKind {cell.kind.value} ;")
+        lines.append(f"  PROPERTY clocked {int(cell.clocked)} ;")
+        for pin in cell.inputs:
+            lines.append(f"  PIN {pin}")
+            lines.append("    DIRECTION INPUT ;")
+            lines.append(f"  END {pin}")
+        for pin in cell.outputs:
+            lines.append(f"  PIN {pin}")
+            lines.append("    DIRECTION OUTPUT ;")
+            lines.append(f"  END {pin}")
+        lines.append(f"END {cell.name}")
+    lines.append("END LIBRARY")
+    text = "\n".join(lines) + "\n"
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(text)
+    return text
+
+
+def parse_lef(text, library_name="lef-library", filename="<lef>"):
+    """Parse LEF text into a :class:`~repro.netlist.library.CellLibrary`.
+
+    Macros missing the SFQ property extensions get defaults (zero bias,
+    zero JJs, ``logic`` kind, unclocked) so plain physical LEF still
+    loads — with a :class:`ParseError` only for structural problems.
+    """
+    cells = []
+    macro = None  # dict accumulating the current MACRO
+    pin = None
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.replace(";", " ;").split()
+        head = tokens[0]
+
+        if head == "MACRO":
+            if macro is not None:
+                raise ParseError(f"nested MACRO {tokens[1]!r}", filename, line_number)
+            if len(tokens) < 2:
+                raise ParseError("MACRO without a name", filename, line_number)
+            macro = {
+                "name": tokens[1],
+                "width": None,
+                "height": None,
+                "bias": 0.0,
+                "jj": 0,
+                "kind": "logic",
+                "clocked": False,
+                "inputs": [],
+                "outputs": [],
+            }
+            continue
+        if macro is None:
+            continue  # header statements outside macros
+
+        if head == "SIZE":
+            try:
+                by = tokens.index("BY")
+                macro["width"] = float(tokens[1])
+                macro["height"] = float(tokens[by + 1])
+            except (ValueError, IndexError):
+                raise ParseError(f"malformed SIZE in macro {macro['name']!r}", filename, line_number)
+        elif head == "PROPERTY" and len(tokens) >= 3:
+            key, value = tokens[1], tokens[2]
+            if key == "biasCurrentMA":
+                macro["bias"] = float(value)
+            elif key == "jjCount":
+                macro["jj"] = int(value)
+            elif key == "sfqKind":
+                macro["kind"] = value
+            elif key == "clocked":
+                macro["clocked"] = bool(int(value))
+        elif head == "PIN":
+            pin = tokens[1]
+        elif head == "DIRECTION" and pin is not None:
+            direction = tokens[1].upper()
+            if direction == "INPUT":
+                macro["inputs"].append(pin)
+            elif direction == "OUTPUT":
+                macro["outputs"].append(pin)
+        elif head == "END":
+            if len(tokens) >= 2 and pin is not None and tokens[1] == pin:
+                pin = None
+            elif len(tokens) >= 2 and tokens[1] == macro["name"]:
+                if macro["width"] is None or macro["height"] is None:
+                    raise ParseError(f"macro {macro['name']!r} has no SIZE", filename, line_number)
+                try:
+                    kind = CellKind(macro["kind"])
+                except ValueError:
+                    raise ParseError(
+                        f"macro {macro['name']!r}: unknown sfqKind {macro['kind']!r}",
+                        filename,
+                        line_number,
+                    )
+                cells.append(
+                    CellType(
+                        name=macro["name"],
+                        kind=kind,
+                        bias_ma=macro["bias"],
+                        width_um=macro["width"],
+                        height_um=macro["height"],
+                        jj_count=macro["jj"],
+                        inputs=tuple(macro["inputs"]),
+                        outputs=tuple(macro["outputs"]) or ("q",),
+                        clocked=macro["clocked"],
+                    )
+                )
+                macro = None
+    if macro is not None:
+        raise ParseError(f"unterminated MACRO {macro['name']!r}", filename)
+    return CellLibrary(library_name, cells)

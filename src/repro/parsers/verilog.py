@@ -1,0 +1,176 @@
+"""Structural Verilog netlist reader/writer.
+
+A second industry-standard exchange path next to DEF (academic SFQ
+flows commonly hand netlists around as flat structural Verilog).  The
+subset handled: one flat module, scalar ports, ``wire`` declarations,
+and named-port-association cell instances::
+
+    module ksa4 (a_0, b_0, sum_0, ...);
+      input a_0; output sum_0;
+      wire n1, n2;
+      AND2 g0 (.a(a_0), .b(b_0), .q(n1));
+      ...
+    endmodule
+
+Direction is inferred exactly as in the DEF reader: the endpoint whose
+pin is an output pin of its cell drives the net.
+"""
+
+import re
+
+from repro.netlist.netlist import Netlist
+from repro.utils.errors import ParseError
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_$\[\]]*"
+_MODULE_RE = re.compile(rf"module\s+({_IDENT})\s*\((.*?)\)\s*;", re.S)
+_DECL_RE = re.compile(rf"(input|output|wire)\s+(.*?);", re.S)
+_INSTANCE_RE = re.compile(rf"({_IDENT})\s+({_IDENT})\s*\((.*?)\)\s*;", re.S)
+_PORT_CONN_RE = re.compile(rf"\.({_IDENT})\s*\(\s*({_IDENT})\s*\)")
+
+
+def _sanitize(name):
+    """Make a netlist name Verilog-identifier safe."""
+    return re.sub(r"[^A-Za-z0-9_]", "_", name)
+
+
+def write_verilog(netlist, path=None, module_name=None):
+    """Serialize a netlist to flat structural Verilog text."""
+    module = _sanitize(module_name or netlist.name)
+    gates = netlist.gates
+
+    # Wire per connection; port nets named after the port.
+    edge_wire = {edge: f"n{i}" for i, edge in enumerate(netlist.edges)}
+    input_ports = [p for p in netlist.ports.values() if p.direction.value == "input"]
+    output_ports = [p for p in netlist.ports.values() if p.direction.value == "output"]
+
+    # pin assignment mirrors the DEF writer: in/out pins in edge order
+    incoming = {}
+    outgoing = {}
+    for u, v in netlist.edges:
+        outgoing.setdefault(u, []).append((u, v))
+        incoming.setdefault(v, []).append((u, v))
+
+    port_names = [_sanitize(p.name) for p in input_ports + output_ports]
+    lines = [f"module {module} ({', '.join(port_names)});"]
+    for port in input_ports:
+        lines.append(f"  input {_sanitize(port.name)};")
+    for port in output_ports:
+        lines.append(f"  output {_sanitize(port.name)};")
+    if edge_wire:
+        lines.append(f"  wire {', '.join(edge_wire.values())};")
+
+    input_of_gate = {}
+    for port in input_ports:
+        if port.gate is not None:
+            input_of_gate.setdefault(port.gate, []).append(_sanitize(port.name))
+    output_of_gate = {}
+    for port in output_ports:
+        if port.gate is not None:
+            output_of_gate.setdefault(port.gate, []).append(_sanitize(port.name))
+
+    for gate in gates:
+        connections = []
+        in_pins = list(gate.cell.inputs)
+        position = 0
+        for edge in incoming.get(gate.index, []):
+            connections.append(f".{in_pins[position]}({edge_wire[edge]})")
+            position += 1
+        for port_net in input_of_gate.get(gate.index, []):
+            if position < len(in_pins):
+                connections.append(f".{in_pins[position]}({port_net})")
+                position += 1
+        out_pins = list(gate.cell.outputs)
+        position = 0
+        for edge in outgoing.get(gate.index, []):
+            connections.append(f".{out_pins[position]}({edge_wire[edge]})")
+            position += 1
+        for port_net in output_of_gate.get(gate.index, []):
+            pin = out_pins[position] if position < len(out_pins) else out_pins[-1]
+            connections.append(f".{pin}({port_net})")
+            position += 1
+        lines.append(f"  {gate.cell.name} {_sanitize(gate.name)} ({', '.join(connections)});")
+    lines.append("endmodule")
+    text = "\n".join(lines) + "\n"
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(text)
+    return text
+
+
+def parse_verilog(text, library, filename="<verilog>"):
+    """Parse flat structural Verilog into a Netlist.
+
+    Multi-sink nets are rejected (SFQ netlists are point-to-point); a
+    net may connect at most one driver pin, one sink pin, and module
+    ports.
+    """
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+
+    module_match = _MODULE_RE.search(text)
+    if not module_match:
+        raise ParseError("no module declaration found", filename)
+    module_name = module_match.group(1)
+    body = text[module_match.end():]
+    end_index = body.find("endmodule")
+    if end_index == -1:
+        raise ParseError(f"module {module_name!r} missing endmodule", filename)
+    body = body[:end_index]
+
+    directions = {}
+    for kind, names in _DECL_RE.findall(body):
+        for name in names.replace("\n", " ").split(","):
+            name = name.strip()
+            if name:
+                directions[name] = kind
+
+    netlist = Netlist(module_name, library=library)
+    # net name -> list of (gate name, pin, is_output)
+    net_endpoints = {}
+    for match in _INSTANCE_RE.finditer(body):
+        cell_name, instance_name, connection_text = match.groups()
+        if cell_name in ("input", "output", "wire", "module"):
+            continue
+        if cell_name not in library:
+            raise ParseError(f"instance {instance_name!r} uses unknown cell {cell_name!r}", filename)
+        cell = library[cell_name]
+        netlist.add_gate(instance_name, cell)
+        for pin, net in _PORT_CONN_RE.findall(connection_text):
+            if pin in cell.outputs:
+                is_output = True
+            elif pin in cell.inputs:
+                is_output = False
+            else:
+                raise ParseError(
+                    f"instance {instance_name!r}: pin {pin!r} not on cell {cell_name!r}", filename
+                )
+            net_endpoints.setdefault(net, []).append((instance_name, pin, is_output))
+
+    for net, endpoints in net_endpoints.items():
+        drivers = [e for e in endpoints if e[2]]
+        sinks = [e for e in endpoints if not e[2]]
+        declared = directions.get(net)
+        if declared == "input":
+            if drivers:
+                raise ParseError(f"input port {net!r} is driven inside the module", filename)
+            if len(sinks) > 1:
+                raise ParseError(f"input port {net!r} fans out to {len(sinks)} pins", filename)
+            continue  # bound below
+        if declared == "output":
+            if len(drivers) != 1 or sinks:
+                raise ParseError(f"output port {net!r} must have exactly one driver", filename)
+            continue
+        if len(drivers) != 1 or len(sinks) != 1:
+            raise ParseError(
+                f"net {net!r} has {len(drivers)} drivers / {len(sinks)} sinks; "
+                "SFQ nets are point-to-point", filename
+            )
+        netlist.connect(drivers[0][0], sinks[0][0])
+
+    for net, kind in directions.items():
+        if kind == "wire":
+            continue
+        endpoints = net_endpoints.get(net, [])
+        gate = endpoints[0][0] if endpoints else None
+        netlist.add_port(net, kind, gate)
+    return netlist

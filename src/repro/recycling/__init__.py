@@ -1,0 +1,47 @@
+"""Current-recycling substrate (Sections II-III and Fig. 1 of the paper).
+
+Turns a finished partition into a physically-checked current-recycling
+plan:
+
+* :mod:`repro.recycling.coupling` — inductive driver/receiver insertion
+  for every plane-boundary crossing;
+* :mod:`repro.recycling.dummy` — dummy bias-structure sizing that
+  equalizes per-plane currents (Section III-B.1);
+* :mod:`repro.recycling.bias_network` — serial bias chain electrical
+  model (currents, ground potentials, power);
+* :mod:`repro.recycling.floorplan` — stacked-plane floorplan and the
+  Fig. 1 rendering;
+* :mod:`repro.recycling.verify` — end-to-end feasibility checks.
+"""
+
+from repro.recycling.coupling import CouplingPlan, plan_couplings, COUPLING_DELAY_PS
+from repro.recycling.dummy import DummyPlan, plan_dummies, apply_dummies
+from repro.recycling.bias_network import SerialBiasChain, build_bias_chain
+from repro.recycling.floorplan import GroundPlaneFloorplan, build_floorplan
+from repro.recycling.latency import LatencyReport, analyze_latency, edge_delays_ps
+from repro.recycling.ersfq import ErsfqBiasPlan, plan_ersfq_bias
+from repro.recycling.stripe_placement import StripePlacement, place_stripes
+from repro.recycling.verify import RecyclingPlan, plan_recycling, verify_recycling
+
+__all__ = [
+    "CouplingPlan",
+    "plan_couplings",
+    "COUPLING_DELAY_PS",
+    "DummyPlan",
+    "plan_dummies",
+    "apply_dummies",
+    "SerialBiasChain",
+    "build_bias_chain",
+    "GroundPlaneFloorplan",
+    "build_floorplan",
+    "LatencyReport",
+    "analyze_latency",
+    "edge_delays_ps",
+    "ErsfqBiasPlan",
+    "plan_ersfq_bias",
+    "StripePlacement",
+    "place_stripes",
+    "RecyclingPlan",
+    "plan_recycling",
+    "verify_recycling",
+]

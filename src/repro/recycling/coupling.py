@@ -1,0 +1,109 @@
+"""Inter-plane coupling insertion.
+
+Isolated ground planes cannot exchange SFQ pulses galvanically
+(Section III-A): every plane-boundary crossing needs a differential
+inductive coupling pair — a ``TXDRV`` driver on the sending plane and an
+``RXRCV`` receiver on the receiving plane, laid out side by side at the
+boundary.  A connection between planes ``p`` and ``q`` therefore
+consumes ``|p - q|`` coupling pairs — one per boundary passed — and
+gains ``|p - q|`` coupling delays.
+
+:func:`plan_couplings` computes, for a finished partition, exactly which
+pairs are needed at which boundary, plus their area and delay overhead.
+"""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.errors import RecyclingError
+from repro.utils.units import um2_to_mm2
+
+#: Latency of one inductive boundary crossing (driver + receiver), ps.
+#: Representative of published differential SFQ transfer circuits.
+COUPLING_DELAY_PS = 12.0
+
+
+@dataclass(frozen=True)
+class CouplingPlan:
+    """Coupling pairs required to realize a partition's connections.
+
+    Attributes
+    ----------
+    pairs_per_boundary:
+        Array of length ``K - 1``; entry ``k`` is the number of
+        driver/receiver pairs sitting on the boundary between plane
+        ``k`` and plane ``k + 1``.
+    crossing_edges:
+        Number of connections that cross at least one boundary.
+    total_pairs:
+        Sum over boundaries (== sum of connection distances).
+    area_overhead_mm2:
+        Total extra area of all TXDRV/RXRCV cells.
+    worst_added_delay_ps:
+        Extra latency of the connection crossing the most boundaries.
+    """
+
+    num_planes: int
+    pairs_per_boundary: np.ndarray
+    crossing_edges: int
+    total_pairs: int
+    area_overhead_mm2: float
+    worst_added_delay_ps: float
+    per_edge_distance: np.ndarray = field(repr=False, default=None)
+
+    @property
+    def max_boundary_pairs(self):
+        """Pairs on the busiest boundary (a routability proxy)."""
+        return int(self.pairs_per_boundary.max()) if self.pairs_per_boundary.size else 0
+
+
+def plan_couplings(result, library=None, coupling_delay_ps=COUPLING_DELAY_PS):
+    """Build the :class:`CouplingPlan` for a partition result.
+
+    Parameters
+    ----------
+    result:
+        A :class:`~repro.core.partitioner.PartitionResult`.
+    library:
+        Cell library providing ``TXDRV``/``RXRCV`` (defaults to the
+        netlist's library; both cells must exist there).
+    coupling_delay_ps:
+        Latency per boundary crossing.
+    """
+    netlist = result.netlist
+    library = library or netlist.library
+    if library is None:
+        raise RecyclingError("coupling planning needs a cell library with TXDRV/RXRCV")
+    for cell_name in ("TXDRV", "RXRCV"):
+        if cell_name not in library:
+            raise RecyclingError(f"library {library.name!r} has no {cell_name} cell")
+    pair_area_um2 = library["TXDRV"].area_um2 + library["RXRCV"].area_um2
+
+    labels = result.labels
+    edges = netlist.edge_array()
+    num_planes = result.num_planes
+    boundaries = np.zeros(max(num_planes - 1, 0), dtype=np.intp)
+    if edges.shape[0]:
+        lo = np.minimum(labels[edges[:, 0]], labels[edges[:, 1]])
+        hi = np.maximum(labels[edges[:, 0]], labels[edges[:, 1]])
+        distance = hi - lo
+        for boundary in range(num_planes - 1):
+            boundaries[boundary] = int(np.count_nonzero((lo <= boundary) & (hi > boundary)))
+        crossing = int(np.count_nonzero(distance > 0))
+        worst = float(distance.max()) * coupling_delay_ps
+    else:
+        distance = np.zeros(0, dtype=np.intp)
+        crossing = 0
+        worst = 0.0
+
+    total_pairs = int(boundaries.sum())
+    return CouplingPlan(
+        num_planes=num_planes,
+        pairs_per_boundary=boundaries,
+        crossing_edges=crossing,
+        total_pairs=total_pairs,
+        area_overhead_mm2=um2_to_mm2(total_pairs * pair_area_um2),
+        worst_added_delay_ps=worst,
+        per_edge_distance=distance,
+    )

@@ -1,0 +1,107 @@
+"""Dummy bias-structure planning (Section III-B.1 of the paper).
+
+All planes of a serial bias chain carry the *same* supply current, so a
+plane whose gates need less than ``B_max`` must burn the difference in
+dummy structures — JJ/inductor ladders that pass bias current but carry
+no signal.  ``I_comp = sum_k (B_max - B_k)`` (eq. (11)) is exactly the
+current flowing through dummies, the paper's headline partition-quality
+metric.
+
+:func:`plan_dummies` sizes the dummy population per plane;
+:func:`apply_dummies` materializes them into a copy of the netlist so
+the equalized circuit can be re-exported (DEF/Verilog) and re-checked.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.errors import RecyclingError
+from repro.utils.units import um2_to_mm2
+
+
+@dataclass(frozen=True)
+class DummyPlan:
+    """Dummy structures required to equalize a partition's bias currents.
+
+    Attributes
+    ----------
+    deficit_ma:
+        Per-plane current shortfall ``B_max - B_k`` (mA), shape ``(K,)``.
+    count_per_plane:
+        Dummy instances per plane (``ceil(deficit / dummy cell bias)``).
+    i_comp_ma / i_comp_pct:
+        Total compensation current (eq. (11)), absolute and as % of
+        ``B_cir``.
+    overshoot_ma:
+        Extra current absorbed beyond the exact deficit due to
+        quantized dummy sizes, per plane.
+    area_mm2:
+        Total dummy cell area.
+    """
+
+    num_planes: int
+    dummy_cell: str
+    deficit_ma: np.ndarray
+    count_per_plane: np.ndarray
+    i_comp_ma: float
+    i_comp_pct: float
+    overshoot_ma: np.ndarray
+    area_mm2: float
+
+    @property
+    def total_count(self):
+        return int(self.count_per_plane.sum())
+
+
+def plan_dummies(result, library=None, tolerance_ma=1e-9):
+    """Size dummy structures for every plane of a partition."""
+    netlist = result.netlist
+    library = library or netlist.library
+    if library is None or "DUMMY" not in library:
+        raise RecyclingError("dummy planning needs a library with a DUMMY cell")
+    dummy = library["DUMMY"]
+    if dummy.bias_ma <= 0:
+        raise RecyclingError("DUMMY cell must sink positive bias current")
+
+    per_plane = result.plane_bias_ma()
+    b_max = float(per_plane.max())
+    deficit = b_max - per_plane
+    deficit[deficit < tolerance_ma] = 0.0
+    counts = np.ceil(deficit / dummy.bias_ma).astype(np.intp)
+    overshoot = counts * dummy.bias_ma - deficit
+    total_bias = float(per_plane.sum())
+    i_comp = float(deficit.sum())
+    return DummyPlan(
+        num_planes=result.num_planes,
+        dummy_cell=dummy.name,
+        deficit_ma=deficit,
+        count_per_plane=counts,
+        i_comp_ma=i_comp,
+        i_comp_pct=(i_comp / total_bias * 100.0) if total_bias else 0.0,
+        overshoot_ma=overshoot,
+        area_mm2=um2_to_mm2(float(counts.sum()) * dummy.area_um2),
+    )
+
+
+def apply_dummies(result, plan=None, library=None):
+    """Materialize a dummy plan into a netlist copy.
+
+    Returns ``(netlist, labels)`` — the equalized netlist (original
+    gates plus ``DUMMY<k>_<i>`` instances) and the extended label
+    vector assigning each dummy to its plane.  Dummies carry no signal
+    connections, so partition metrics on the extended netlist keep the
+    same distance histogram while the bias spread collapses to the
+    quantization overshoot.
+    """
+    if plan is None:
+        plan = plan_dummies(result, library=library)
+    netlist = result.netlist.copy()
+    library = library or netlist.library
+    dummy = library["DUMMY"]
+    labels = list(result.labels)
+    for plane, count in enumerate(plan.count_per_plane):
+        for i in range(int(count)):
+            netlist.add_gate(f"DUMMY{plane}_{i}", dummy)
+            labels.append(plane)
+    return netlist, np.asarray(labels, dtype=np.intp)

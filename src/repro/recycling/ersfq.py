@@ -1,0 +1,122 @@
+"""ERSFQ bias-network component sizing.
+
+Section II of the paper distinguishes resistor-biased RSFQ from
+energy-efficient ERSFQ, where each gate's bias current flows through a
+large inductor fed via a current-limiting Josephson junction.  Current
+recycling composes with ERSFQ — the serial chain replaces the external
+feed, but every plane still needs its bias inductors, feeding JJs and
+(for recycling) dummy structures.  This module sizes those components
+with the standard first-order ERSFQ design rules:
+
+* **feeding JJ** — critical current ``I_c ~= bias current * margin``
+  (the JJ must carry the gate's bias without switching statically);
+* **bias inductor** — must store enough flux that phase buildup over a
+  clock period does not starve the gate: ``L_b >= n * Phi0 / I_b`` for
+  a chosen quanta budget ``n`` (typically ``n ~ 10`` SFQ pulses);
+* **dummy ladder** — a dummy structure passing ``I_d`` is a chain of
+  ``ceil(I_d / I_c_max)`` feeding JJs with its own inductor.
+
+Outputs are per-plane component counts and totals — the quantities a
+floorplanner needs to budget the bias-network area that the paper's
+``A_FS`` free space would absorb.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.errors import RecyclingError
+from repro.utils.units import PHI0_WB
+
+#: Feeding-JJ critical current margin over the carried bias current.
+FEEDING_JJ_MARGIN = 1.4
+#: Largest practical feeding-JJ critical current (mA).
+MAX_FEEDING_JJ_IC_MA = 0.5
+#: Flux quanta the bias inductor must absorb per clock window.
+QUANTA_BUDGET = 10
+
+
+@dataclass(frozen=True)
+class ErsfqBiasPlan:
+    """Per-plane ERSFQ bias-network sizing for a partition."""
+
+    num_planes: int
+    plane_bias_ma: np.ndarray
+    feeding_jjs_per_plane: np.ndarray
+    inductance_nh_per_plane: np.ndarray
+    dummy_feeding_jjs_per_plane: np.ndarray
+    total_feeding_jjs: int
+    total_inductance_nh: float
+
+    def as_dict(self):
+        return {
+            "num_planes": self.num_planes,
+            "total_feeding_jjs": self.total_feeding_jjs,
+            "total_inductance_nh": self.total_inductance_nh,
+        }
+
+
+def bias_inductance_nh(bias_ma, quanta=QUANTA_BUDGET):
+    """Minimum bias inductance (nH) for a bias current in mA.
+
+    ``L >= n * Phi0 / I``; with Phi0 ~ 2.07 fWb and I in mA the result
+    lands in the nH range typical of published ERSFQ designs.
+    """
+    if bias_ma <= 0:
+        raise RecyclingError(f"bias current must be positive, got {bias_ma}")
+    return quanta * PHI0_WB / (bias_ma * 1e-3) * 1e9
+
+
+def feeding_jj_count(bias_ma, margin=FEEDING_JJ_MARGIN, max_ic_ma=MAX_FEEDING_JJ_IC_MA):
+    """Feeding JJs needed to deliver ``bias_ma`` with the given margin.
+
+    Each JJ carries at most ``max_ic_ma / margin`` of bias current.
+    """
+    if bias_ma < 0:
+        raise RecyclingError(f"bias current must be non-negative, got {bias_ma}")
+    if bias_ma == 0:
+        return 0
+    per_jj = max_ic_ma / margin
+    return int(np.ceil(bias_ma / per_jj))
+
+
+def plan_ersfq_bias(result, dummy_plan=None, quanta=QUANTA_BUDGET):
+    """Size the ERSFQ bias network of every plane of a partition.
+
+    Parameters
+    ----------
+    result:
+        A :class:`~repro.core.partitioner.PartitionResult`.
+    dummy_plan:
+        Optional :class:`~repro.recycling.dummy.DummyPlan`; computed on
+        demand otherwise (dummies need feeding JJs too).
+    quanta:
+        Flux-quanta budget for the inductor sizing.
+    """
+    from repro.recycling.dummy import plan_dummies
+
+    if dummy_plan is None:
+        dummy_plan = plan_dummies(result)
+    per_plane = result.plane_bias_ma()
+    k = result.num_planes
+
+    feeding = np.array([feeding_jj_count(float(b)) for b in per_plane], dtype=np.intp)
+    inductance = np.array(
+        [bias_inductance_nh(float(b), quanta) if b > 0 else 0.0 for b in per_plane]
+    )
+    dummy_feeding = np.array(
+        [
+            feeding_jj_count(float(deficit))
+            for deficit in dummy_plan.deficit_ma + dummy_plan.overshoot_ma
+        ],
+        dtype=np.intp,
+    )
+    return ErsfqBiasPlan(
+        num_planes=k,
+        plane_bias_ma=per_plane,
+        feeding_jjs_per_plane=feeding,
+        inductance_nh_per_plane=inductance,
+        dummy_feeding_jjs_per_plane=dummy_feeding,
+        total_feeding_jjs=int(feeding.sum() + dummy_feeding.sum()),
+        total_inductance_nh=float(inductance.sum()),
+    )

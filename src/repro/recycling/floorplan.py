@@ -1,0 +1,130 @@
+"""Stacked ground-plane floorplan — the geometry of Fig. 1.
+
+The paper assumes all K ground planes are parallel stripes with bias
+current flowing from the top block to the bottom block, chip pads and
+I/O on the perimeter.  :func:`build_floorplan` sizes those stripes from
+a partition (every stripe as wide as the die, tall enough for the
+largest plane at a given row utilization) and
+:meth:`GroundPlaneFloorplan.render` draws the Fig. 1 diagram —
+stripes, the serial bias feed, and per-boundary coupling counts — as
+ASCII art for terminals and logs.
+"""
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.recycling.bias_network import build_bias_chain
+from repro.recycling.coupling import plan_couplings
+from repro.utils.errors import RecyclingError
+
+
+@dataclass(frozen=True)
+class PlaneStripe:
+    """One ground plane's stripe: plane index and geometry in mm."""
+
+    plane: int
+    y_mm: float
+    height_mm: float
+    width_mm: float
+    gate_count: int
+    gate_area_mm2: float
+    utilization: float
+
+
+@dataclass(frozen=True)
+class GroundPlaneFloorplan:
+    """A full stacked-plane floorplan."""
+
+    circuit: str
+    num_planes: int
+    die_width_mm: float
+    die_height_mm: float
+    stripes: tuple
+    pairs_per_boundary: np.ndarray
+    supply_current_ma: float
+
+    @property
+    def total_area_mm2(self):
+        return self.die_width_mm * self.die_height_mm
+
+    def render(self, width=56):
+        """ASCII rendering of the Fig. 1 current-recycling stack."""
+        bar = "+" + "-" * (width - 2) + "+"
+        lines = [
+            f"current recycling floorplan: {self.circuit} "
+            f"(K={self.num_planes}, die {self.die_width_mm:.2f} x {self.die_height_mm:.2f} mm)",
+            f"external supply --> {self.supply_current_ma:.2f} mA",
+            bar,
+        ]
+        for stripe in self.stripes:
+            label = (
+                f" GP{stripe.plane}  {stripe.gate_count} gates  "
+                f"{stripe.gate_area_mm2:.4f} mm^2  util {stripe.utilization * 100:.0f}%"
+            )
+            lines.append("|" + label.ljust(width - 2)[: width - 2] + "|")
+            if stripe.plane < self.num_planes - 1:
+                pairs = int(self.pairs_per_boundary[stripe.plane])
+                coupling = f" ==== {pairs} coupling pairs ==== "
+                lines.append("|" + coupling.center(width - 2, "~")[: width - 2] + "|")
+        lines.append(bar)
+        lines.append("ground return --> common ground (chip perimeter, I/O pads)")
+        return "\n".join(lines)
+
+
+def build_floorplan(result, utilization=0.72, aspect_ratio=1.0):
+    """Size the stacked-plane floorplan for a partition.
+
+    Every stripe spans the die width; the stripe height is set by the
+    *largest* plane's gate area at the given row utilization (all
+    stripes equal-height, so smaller planes show the paper's ``A_FS``
+    free space as reduced utilization).
+
+    Parameters
+    ----------
+    utilization:
+        Target gate-area / stripe-area ratio of the fullest stripe.
+    aspect_ratio:
+        Target die width / height.
+    """
+    if not 0.05 <= utilization <= 1.0:
+        raise RecyclingError(f"utilization must be in [0.05, 1], got {utilization}")
+    netlist = result.netlist
+    k = result.num_planes
+    plane_area = result.plane_area_mm2()
+    plane_sizes = result.plane_sizes()
+    a_max = float(plane_area.max())
+    if a_max <= 0:
+        raise RecyclingError(f"netlist {netlist.name!r} has zero gate area")
+
+    stripe_area = a_max / utilization
+    die_height = math.sqrt(k * stripe_area / aspect_ratio)
+    stripe_height = die_height / k
+    die_width = stripe_area / stripe_height
+
+    stripes = []
+    for plane in range(k):
+        stripes.append(
+            PlaneStripe(
+                plane=plane,
+                y_mm=plane * stripe_height,
+                height_mm=stripe_height,
+                width_mm=die_width,
+                gate_count=int(plane_sizes[plane]),
+                gate_area_mm2=float(plane_area[plane]),
+                utilization=float(plane_area[plane] / stripe_area),
+            )
+        )
+
+    couplings = plan_couplings(result)
+    chain = build_bias_chain(result)
+    return GroundPlaneFloorplan(
+        circuit=netlist.name,
+        num_planes=k,
+        die_width_mm=die_width,
+        die_height_mm=die_height,
+        stripes=tuple(stripes),
+        pairs_per_boundary=couplings.pairs_per_boundary,
+        supply_current_ma=chain.supply_current_ma,
+    )

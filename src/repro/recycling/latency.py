@@ -1,0 +1,97 @@
+"""Timing impact of inter-plane couplings (extension of Section III-B.3).
+
+The paper notes that routing a connection through several ground planes
+"decreases the operating frequency of the circuit" but does not
+quantify it.  This module does, under the standard SFQ timing model for
+fully path-balanced, flow-clocked circuits:
+
+* the clock period is limited by the slowest *stage-to-stage* transfer:
+  gate clock-to-output delay + interconnect delay + setup;
+* an intra-plane connection costs one wire delay; a connection at plane
+  distance ``d`` adds ``d`` inductive-coupling crossings of
+  :data:`~repro.recycling.coupling.COUPLING_DELAY_PS` each.
+
+:func:`analyze_latency` reports the achievable clock frequency before
+and after partitioning and the slowdown factor — the real cost of the
+``d > 1`` connections the paper's F1 term fights.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.distance import connection_distances
+from repro.recycling.coupling import COUPLING_DELAY_PS
+
+#: Clock-to-output delay of a clocked SFQ gate (ps), typical of
+#: published RSFQ libraries.
+GATE_DELAY_PS = 6.0
+#: Point-to-point interconnect (JTL/PTL) delay within one plane (ps).
+WIRE_DELAY_PS = 4.0
+#: Receiver setup margin (ps).
+SETUP_MARGIN_PS = 2.0
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """Clock-rate impact of a partition's inter-plane crossings."""
+
+    circuit: str
+    num_planes: int
+    base_period_ps: float
+    partitioned_period_ps: float
+    worst_edge_distance: int
+    crossing_edges: int
+
+    @property
+    def base_frequency_ghz(self):
+        return 1000.0 / self.base_period_ps
+
+    @property
+    def partitioned_frequency_ghz(self):
+        return 1000.0 / self.partitioned_period_ps
+
+    @property
+    def slowdown_factor(self):
+        return self.partitioned_period_ps / self.base_period_ps
+
+    @property
+    def frequency_loss_pct(self):
+        return (1.0 - self.base_period_ps / self.partitioned_period_ps) * 100.0
+
+
+def edge_delays_ps(result, coupling_delay_ps=COUPLING_DELAY_PS):
+    """Per-connection stage transfer delay (ps), shape ``(|E|,)``."""
+    distances = connection_distances(result.labels, result.netlist.edge_array())
+    return (
+        GATE_DELAY_PS
+        + WIRE_DELAY_PS
+        + SETUP_MARGIN_PS
+        + distances.astype(float) * coupling_delay_ps
+    )
+
+
+def analyze_latency(result, coupling_delay_ps=COUPLING_DELAY_PS):
+    """Build the :class:`LatencyReport` for a partition result.
+
+    A circuit with no connections degenerates to the base period.
+    """
+    netlist = result.netlist
+    distances = connection_distances(result.labels, netlist.edge_array())
+    base_period = GATE_DELAY_PS + WIRE_DELAY_PS + SETUP_MARGIN_PS
+    if distances.size:
+        worst = int(distances.max())
+        period = base_period + worst * coupling_delay_ps
+        crossing = int(np.count_nonzero(distances > 0))
+    else:
+        worst = 0
+        period = base_period
+        crossing = 0
+    return LatencyReport(
+        circuit=netlist.name,
+        num_planes=result.num_planes,
+        base_period_ps=base_period,
+        partitioned_period_ps=period,
+        worst_edge_distance=worst,
+        crossing_edges=crossing,
+    )

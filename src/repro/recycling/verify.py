@@ -1,0 +1,125 @@
+"""End-to-end current-recycling planning and verification.
+
+:func:`plan_recycling` bundles everything the physical implementation
+of a partition needs — coupling insertion, dummy sizing, the serial
+bias chain and the floorplan — into one :class:`RecyclingPlan`.
+:func:`verify_recycling` then checks the plan against the physical
+rules of Sections II-III:
+
+* every plane is non-empty and every gate is on exactly one plane;
+* the supply current biases every plane (``I_supply >= B_k``);
+* after dummy insertion, every plane's total sink current equals the
+  supply within the dummy quantization step;
+* couplings exist only between *adjacent* planes (by construction of
+  the boundary decomposition — re-verified here);
+* the ground-potential stack is monotone with the documented 2.5 mV
+  step.
+
+Violations are returned as strings (empty list = feasible), so tests
+and the CLI can surface them directly.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.recycling.bias_network import build_bias_chain
+from repro.recycling.coupling import plan_couplings
+from repro.recycling.dummy import plan_dummies
+from repro.recycling.floorplan import build_floorplan
+
+
+@dataclass(frozen=True)
+class RecyclingPlan:
+    """Complete current-recycling implementation plan for a partition."""
+
+    result: object
+    couplings: object
+    dummies: object
+    chain: object
+    floorplan: object
+
+    @property
+    def supply_current_ma(self):
+        return self.chain.supply_current_ma
+
+    def summary(self):
+        """Human-readable one-paragraph summary."""
+        report_bits = [
+            f"{self.result.netlist.name}: K={self.result.num_planes} planes,",
+            f"supply {self.chain.supply_current_ma:.2f} mA,",
+            f"{self.couplings.total_pairs} coupling pairs "
+            f"({self.couplings.crossing_edges} crossing connections),",
+            f"{self.dummies.total_count} dummies sinking "
+            f"{self.dummies.i_comp_ma:.2f} mA ({self.dummies.i_comp_pct:.1f}% of B_cir),",
+            f"power overhead {self.chain.power_overhead_pct:.1f}% vs parallel biasing",
+        ]
+        return " ".join(report_bits)
+
+
+def plan_recycling(result, utilization=0.72, supply_current_ma=None):
+    """Build the full :class:`RecyclingPlan` for a partition result."""
+    couplings = plan_couplings(result)
+    dummies = plan_dummies(result)
+    chain = build_bias_chain(result, supply_current_ma=supply_current_ma)
+    floorplan = build_floorplan(result, utilization=utilization)
+    return RecyclingPlan(
+        result=result, couplings=couplings, dummies=dummies, chain=chain, floorplan=floorplan
+    )
+
+
+def verify_recycling(plan, dummy_step_tolerance=1.0):
+    """Check a :class:`RecyclingPlan`; return a list of violations.
+
+    ``dummy_step_tolerance`` scales the allowed per-plane residual to
+    that many dummy-cell bias quanta.
+    """
+    violations = []
+    result = plan.result
+    k = result.num_planes
+
+    sizes = result.plane_sizes()
+    if (sizes == 0).any():
+        empty = np.flatnonzero(sizes == 0).tolist()
+        violations.append(f"empty ground planes: {empty}")
+    if result.labels.min(initial=0) < 0 or result.labels.max(initial=0) >= k:
+        violations.append("gate labels out of plane range")
+
+    per_plane = result.plane_bias_ma()
+    supply = plan.chain.supply_current_ma
+    under = np.flatnonzero(per_plane > supply + 1e-9)
+    if under.size:
+        violations.append(
+            f"planes {under.tolist()} need more current than the supply "
+            f"({supply:.3f} mA) delivers"
+        )
+
+    # After dummies every plane must sink the supply current exactly,
+    # modulo quantization (each dummy sinks a fixed current quantum).
+    quantum = (plan.dummies.overshoot_ma + plan.dummies.deficit_ma) / np.maximum(
+        plan.dummies.count_per_plane, 1
+    )
+    sink = per_plane + plan.dummies.deficit_ma + plan.dummies.overshoot_ma
+    residual = sink - sink.max()
+    step = float(quantum.max()) if plan.dummies.total_count else 0.0
+    if step and np.abs(residual).max() > dummy_step_tolerance * step + 1e-9:
+        violations.append(
+            f"dummy equalization residual {np.abs(residual).max():.3f} mA exceeds "
+            f"{dummy_step_tolerance} dummy quanta ({step:.3f} mA)"
+        )
+
+    # Couplings: the boundary decomposition must account for every
+    # crossing connection distance exactly once per boundary passed.
+    distances = result.connection_distances()
+    if int(distances.sum()) != int(plan.couplings.pairs_per_boundary.sum()):
+        violations.append(
+            "coupling pairs do not match the sum of connection distances "
+            f"({int(plan.couplings.pairs_per_boundary.sum())} vs {int(distances.sum())})"
+        )
+
+    ground = plan.chain.ground_potential_mv
+    steps = np.diff(ground)
+    if ground.size > 1 and not np.allclose(steps, -plan.chain.bias_voltage_mv):
+        violations.append("ground-potential stack is not a uniform descending ladder")
+
+    return violations

@@ -1,0 +1,14 @@
+"""Pulse-level SFQ netlist simulation.
+
+Functional verification *below* the logic IR: the simulator executes a
+synthesized :class:`~repro.netlist.netlist.Netlist` with SFQ pulse
+semantics (presence/absence of a pulse per clock cycle), proving that
+technology mapping, path balancing and splitter insertion preserved the
+circuit's function — the check an SFQ design flow would run before
+tape-out, and the strongest validation of the reconstructed benchmark
+suite this package has.
+"""
+
+from repro.sim.pulse import PulseSimulator, SimulationResult, simulate_netlist
+
+__all__ = ["PulseSimulator", "SimulationResult", "simulate_netlist"]

@@ -1,0 +1,270 @@
+"""Cycle-accurate pulse simulation of SFQ netlists.
+
+Model (standard gate-level SFQ semantics for a fully path-balanced,
+flow-clocked circuit, cf. Section II of the paper):
+
+* data is the **presence or absence of an SFQ pulse** per clock cycle;
+* a *clocked* cell (logic gates, DFF) samples the pulses that arrived
+  since the previous clock and emits its function's pulse one cycle
+  later — the circuit is gate-level pipelined;
+* *transparent* cells forward pulses within the cycle: a splitter
+  duplicates its input pulse to both outputs, a merger (confluence
+  buffer) forwards a pulse from either input, a JTL repeats its input;
+* the NOT gate is the classic SFQ inverter: it fires on the clock when
+  **no** data pulse arrived in the preceding cycle.
+
+Because the synthesis flow fully path-balances the netlist, all fanins
+of a clocked gate carry pulses of the same wave, so a single wave of
+input pulses produces a single wave of output pulses after
+``pipeline depth`` cycles.  :func:`simulate_netlist` injects one wave
+and returns the output wave plus per-gate firing records.
+
+The simulator intentionally rejects netlists containing an explicit
+clock network (``clk`` port): clock pulses are modeled implicitly, and
+mixing clock edges into the data graph would corrupt gate fan-ins.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.netlist.cell import CellKind
+from repro.synth.clocking import CLOCK_PORT
+from repro.utils.errors import ReproError
+
+
+class SimulationError(ReproError):
+    """Raised for netlists the pulse simulator cannot execute."""
+
+
+#: cell name -> function over the tuple of input pulse booleans
+_CLOCKED_FUNCTIONS = {
+    "DFF": lambda inputs: inputs[0],
+    "AND2": lambda inputs: inputs[0] and inputs[1],
+    "OR2": lambda inputs: inputs[0] or inputs[1],
+    "XOR2": lambda inputs: inputs[0] != inputs[1],
+    "XNOR2": lambda inputs: inputs[0] == inputs[1],
+    "NAND2": lambda inputs: not (inputs[0] and inputs[1]),
+    "NOR2": lambda inputs: not (inputs[0] or inputs[1]),
+    "NOT": lambda inputs: not inputs[0],
+}
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one injected pulse wave.
+
+    Attributes
+    ----------
+    outputs:
+        ``{output port name: bool}`` — the output wave.
+    fire_cycle:
+        ``{gate name: cycle}`` for every gate that emitted a pulse
+        (clocked gates record their emission cycle; transparent gates
+        the cycle of the pulse they forwarded).
+    cycles:
+        Number of clock cycles simulated (the pipeline depth).
+    """
+
+    outputs: dict
+    fire_cycle: dict = field(default_factory=dict)
+    cycles: int = 0
+
+    def output_bus(self, prefix):
+        """Assemble ``prefix[i]`` outputs into an integer."""
+        value = 0
+        found = False
+        for name, bit in self.outputs.items():
+            if name.startswith(f"{prefix}["):
+                index = int(name[len(prefix) + 1 : -1])
+                value |= int(bool(bit)) << index
+                found = True
+        if not found:
+            raise SimulationError(f"no output bus named {prefix!r}")
+        return value
+
+
+class PulseSimulator:
+    """Reusable simulator for one netlist (builds tables once)."""
+
+    def __init__(self, netlist):
+        self.netlist = netlist
+        if any(p.name == CLOCK_PORT for p in netlist.input_ports()):
+            raise SimulationError(
+                "netlist contains an explicit clock network; synthesize with "
+                "include_clock_tree=False for functional simulation"
+            )
+        self._gates = netlist.gates
+        for gate in self._gates:
+            kind = gate.cell.kind
+            if kind in (CellKind.LOGIC, CellKind.STORAGE):
+                if gate.cell.name not in _CLOCKED_FUNCTIONS:
+                    raise SimulationError(
+                        f"no pulse semantics for clocked cell {gate.cell.name!r}"
+                    )
+        # incoming edges per gate, in pin order (the order they were added)
+        self._fanins = [[] for _ in self._gates]
+        self._fanouts = [[] for _ in self._gates]
+        for u, v in netlist.edges:
+            self._fanins[v].append(u)
+            self._fanouts[u].append(v)
+        self._stage = self._compute_stages()
+        self._depth = max(
+            (self._stage[g.index] for g in self._gates if g.cell.clocked), default=0
+        )
+
+    def _compute_stages(self):
+        """Clock stage per gate (same convention as the synthesis flow)."""
+        from collections import deque
+
+        num_gates = len(self._gates)
+        indegree = [len(f) for f in self._fanins]
+        stage = [0] * num_gates
+        queue = deque(i for i in range(num_gates) if indegree[i] == 0)
+        seen = 0
+        while queue:
+            gate_index = queue.popleft()
+            seen += 1
+            fanin_stages = [stage[f] for f in self._fanins[gate_index]]
+            base = max(fanin_stages, default=0)
+            stage[gate_index] = base + (1 if self._gates[gate_index].cell.clocked else 0)
+            for successor in self._fanouts[gate_index]:
+                indegree[successor] -= 1
+                if indegree[successor] == 0:
+                    queue.append(successor)
+        if seen != num_gates:
+            raise SimulationError("netlist contains a combinational cycle")
+        return stage
+
+    @property
+    def pipeline_depth(self):
+        """Clock cycles from input wave to output wave."""
+        return self._depth
+
+    def run(self, input_values):
+        """Inject one wave of input pulses and return the output wave.
+
+        Parameters
+        ----------
+        input_values:
+            ``{input port name: bool}``; missing ports default to
+            False (no pulse), extra names raise.
+        """
+        port_names = {p.name for p in self.netlist.input_ports()}
+        unknown = set(input_values) - port_names
+        if unknown:
+            raise SimulationError(f"unknown input ports: {sorted(unknown)}")
+
+        num_gates = len(self._gates)
+        # wire value seen by each gate's fanin pins for the current wave
+        pin_values = [[False] * max(len(f), 1) for f in self._fanins]
+        output_value = [False] * num_gates
+        fire_cycle = {}
+
+        # port-driven pins: the input wave enters at cycle 0.  A gate can
+        # be fed by several ports directly (e.g. a 2-input gate on two
+        # primary inputs), so collect a list per gate.
+        port_pin = {}
+        for port in self.netlist.input_ports():
+            if port.gate is not None:
+                port_pin.setdefault(port.gate, []).append(
+                    bool(input_values.get(port.name, False))
+                )
+
+        def propagate(gate_index, value, cycle):
+            """Deliver a produced value through transparent fan-out."""
+            output_value[gate_index] = value
+            if value:
+                fire_cycle[self._gates[gate_index].name] = cycle
+            for successor in self._fanouts[gate_index]:
+                cell = self._gates[successor].cell
+                if cell.clocked:
+                    continue  # sampled on the next clock via pin_values
+                # transparent: recompute and forward within the cycle
+                _deliver_transparent(successor, cycle)
+
+        def _inputs_of(gate_index):
+            values = [output_value[fanin] for fanin in self._fanins[gate_index]]
+            values.extend(port_pin.get(gate_index, ()))
+            return values
+
+        def _deliver_transparent(gate_index, cycle):
+            cell = self._gates[gate_index].cell
+            values = _inputs_of(gate_index)
+            if cell.kind is CellKind.SPLITTER or cell.kind is CellKind.INTERCONNECT:
+                value = values[0] if values else False
+            elif cell.kind is CellKind.MERGER:
+                value = any(values)
+            elif cell.kind is CellKind.IO or cell.kind is CellKind.COUPLING:
+                value = any(values)
+            elif cell.kind is CellKind.DUMMY:
+                value = False
+            else:  # pragma: no cover - clocked cells filtered by caller
+                raise SimulationError(f"unexpected transparent cell {cell.name}")
+            propagate(gate_index, value, cycle)
+
+        # order gates by stage so each wave is processed front to back;
+        # within a stage, transparent cells are re-derived on demand
+        by_stage = {}
+        for gate in self._gates:
+            by_stage.setdefault(self._stage[gate.index], []).append(gate.index)
+
+        # cycle 0: source pulses reach stage-0 transparent cells
+        for gate_index in sorted(
+            (g.index for g in self._gates if not g.cell.clocked),
+            key=lambda i: self._stage[i],
+        ):
+            if self._stage[gate_index] == 0:
+                _deliver_transparent(gate_index, 0)
+
+        for cycle in range(1, self._depth + 1):
+            # clocked gates at this stage sample last cycle's values
+            for gate_index in by_stage.get(cycle, []):
+                gate = self._gates[gate_index]
+                if not gate.cell.clocked:
+                    continue
+                values = _inputs_of(gate_index)
+                expected = gate.cell.num_inputs
+                while len(values) < expected:
+                    values.append(False)
+                result = _CLOCKED_FUNCTIONS[gate.cell.name](values)
+                propagate(gate_index, bool(result), cycle)
+            # transparent gates at this stage forward within the cycle
+            for gate_index in by_stage.get(cycle, []):
+                gate = self._gates[gate_index]
+                if not gate.cell.clocked:
+                    _deliver_transparent(gate_index, cycle)
+
+        outputs = {}
+        for port in self.netlist.output_ports():
+            outputs[port.name] = (
+                output_value[port.gate] if port.gate is not None else False
+            )
+        return SimulationResult(outputs=outputs, fire_cycle=fire_cycle, cycles=self._depth)
+
+    def run_bus(self, input_buses, output_prefixes):
+        """Bus-level convenience mirroring
+        :meth:`repro.synth.logic.LogicCircuit.evaluate_bus`."""
+        assignment = {}
+        port_names = {p.name for p in self.netlist.input_ports()}
+        for prefix, value in input_buses.items():
+            pins = [n for n in port_names if n.startswith(f"{prefix}[")]
+            if pins:
+                for pin in pins:
+                    bit = int(pin[len(prefix) + 1 : -1])
+                    assignment[pin] = bool((int(value) >> bit) & 1)
+            elif prefix in port_names:
+                assignment[prefix] = bool(value)
+            else:
+                raise SimulationError(f"no input bus or pin named {prefix!r}")
+        result = self.run(assignment)
+        out = {}
+        for prefix in output_prefixes:
+            if prefix in result.outputs:
+                out[prefix] = int(result.outputs[prefix])
+            else:
+                out[prefix] = result.output_bus(prefix)
+        return out
+
+
+def simulate_netlist(netlist, input_values):
+    """One-shot helper: build a simulator and inject one wave."""
+    return PulseSimulator(netlist).run(input_values)

@@ -1,0 +1,31 @@
+"""SFQ synthesis flow.
+
+Turns a technology-independent logic circuit (:mod:`repro.synth.logic`)
+into a legal SFQ gate-level netlist:
+
+1. :mod:`repro.synth.mapping` — decompose to 2-input gates and map onto
+   the SFQ cell library;
+2. :mod:`repro.synth.balancing` — full path balancing with DFF chains
+   (SFQ logic is gate-level pipelined, Section II of the paper);
+3. :mod:`repro.synth.splitters` — splitter-tree insertion (an SFQ pulse
+   cannot be passively forked);
+4. :mod:`repro.synth.clocking` — optional flow-clocking distribution
+   network;
+5. :mod:`repro.synth.placement` — row-based placement producing DEF
+   coordinates.
+
+:func:`repro.synth.flow.synthesize` chains all of the above.  This flow
+is how the paper's (non-public) benchmark suite is reconstructed; see
+DESIGN.md, substitution 1.
+"""
+
+from repro.synth.logic import LogicCircuit, LogicOp
+from repro.synth.flow import SynthesisOptions, SynthesisStats, synthesize
+
+__all__ = [
+    "LogicCircuit",
+    "LogicOp",
+    "SynthesisOptions",
+    "SynthesisStats",
+    "synthesize",
+]

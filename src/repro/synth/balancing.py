@@ -1,0 +1,140 @@
+"""Full path balancing.
+
+SFQ logic is gate-level pipelined (Section II of the paper): every
+clocked gate consumes its inputs exactly one clock cycle after they were
+produced.  A netlist is *balanced* when, for every clocked gate, all
+fanins are produced in the same cycle.  Unbalanced reconvergent paths
+must be padded with DFF chains — this is the dominant source of the DFF
+population in real SFQ benchmarks.
+
+:func:`balance` pads a :class:`~repro.synth.mapping.MappedGraph` in
+place.  DFF chains hanging off one driver are *shared*: a driver whose
+sinks need delays {1, 3, 3, 5} gets a single 5-deep chain with taps at
+depths 1, 3 and 5 (the later splitter pass turns multi-sink taps into
+splitter trees).
+"""
+
+from repro.utils.errors import SynthesisError
+
+#: Default cell used for balancing chains.
+BALANCE_CELL = "DFF"
+
+
+def compute_stages(graph):
+    """Clock stage of every node (ports are stage 0).
+
+    ``stage[node]`` is the cycle in which the node's output pulse is
+    produced: clocked cells advance the stage by one, transparent cells
+    (splitters, JTLs, mergers) forward their fanin's stage.
+
+    Node ids are *not* assumed topological — splitter insertion rewires
+    earlier nodes onto later-created splitters — so a Kahn traversal
+    over the int-fanin DAG is used.
+    """
+    num_nodes = len(graph.nodes)
+    stages = [0] * num_nodes
+    indegree = [0] * num_nodes
+    successors = [[] for _ in range(num_nodes)]
+    for node in graph.nodes:
+        for fanin in node.fanins:
+            if isinstance(fanin, int):
+                indegree[node.id] += 1
+                successors[fanin].append(node.id)
+
+    queue = [i for i in range(num_nodes) if indegree[i] == 0]
+    processed = 0
+    head = 0
+    while head < len(queue):
+        node_id = queue[head]
+        head += 1
+        processed += 1
+        node = graph.nodes[node_id]
+        fanin_stages = [0 if not isinstance(f, int) else stages[f] for f in node.fanins]
+        base = max(fanin_stages, default=0)
+        stages[node_id] = base + (1 if graph.cell(node_id).clocked else 0)
+        for successor in successors[node_id]:
+            indegree[successor] -= 1
+            if indegree[successor] == 0:
+                queue.append(successor)
+    if processed != num_nodes:
+        raise SynthesisError("mapped graph contains a combinational cycle")
+    return stages
+
+
+def balance(graph, balance_outputs=True, balance_cell=BALANCE_CELL):
+    """Insert DFF chains so every clocked gate sees equal-stage fanins.
+
+    Parameters
+    ----------
+    graph:
+        The mapped graph (modified in place and returned).
+    balance_outputs:
+        Also pad all primary outputs to the same stage, so a whole
+        output word emerges in a single clock cycle (the reconstructed
+        benchmarks use this, matching the fully-pipelined circuits the
+        paper's suite contains).
+    balance_cell:
+        Library cell used for the chains.
+
+    Returns
+    -------
+    ``(graph, inserted_count)``
+    """
+    if balance_cell not in graph.library:
+        raise SynthesisError(f"balance cell {balance_cell!r} not in library")
+    stages = compute_stages(graph)
+
+    # Required delay (in cycles) for each edge driver -> (sink, position).
+    # slack = stage(sink) - 1 - stage(driver) for clocked sinks; a
+    # transparent sink (none exist before splitter insertion) needs 0.
+    chain_requests = {}  # driver key -> list of (slack, sink id, fanin position)
+    for node in graph.nodes:
+        clocked = graph.cell(node.id).clocked
+        for position, fanin in enumerate(node.fanins):
+            driver_stage = 0 if not isinstance(fanin, int) else stages[fanin]
+            slack = (stages[node.id] - 1 - driver_stage) if clocked else 0
+            if slack < 0:  # pragma: no cover - stages computed to prevent this
+                raise SynthesisError(f"negative slack on edge into node {node.id}")
+            if slack > 0:
+                key = fanin if not isinstance(fanin, int) else int(fanin)
+                chain_requests.setdefault(key, []).append((slack, node.id, position))
+
+    inserted = 0
+    for driver, requests in chain_requests.items():
+        max_slack = max(slack for slack, _, _ in requests)
+        chain = []
+        previous = driver
+        for _ in range(max_slack):
+            dff = graph.add_node(balance_cell, [previous], tag="bd")
+            chain.append(dff)
+            previous = dff
+            inserted += 1
+        for slack, sink, position in requests:
+            graph.nodes[sink].fanins[position] = chain[slack - 1]
+
+    if balance_outputs and graph.output_ports:
+        stages = compute_stages(graph)
+        target = max(stages[node_id] for node_id in graph.output_ports.values())
+        for name, node_id in list(graph.output_ports.items()):
+            shortfall = target - stages[node_id]
+            previous = node_id
+            for _ in range(shortfall):
+                previous = graph.add_node(balance_cell, [previous], tag="bd")
+                inserted += 1
+            graph.output_ports[name] = previous
+
+    return graph, inserted
+
+
+def check_balanced(graph):
+    """Return a list of unbalanced edges ``(driver, sink)`` (empty = OK)."""
+    stages = compute_stages(graph)
+    violations = []
+    for node in graph.nodes:
+        if not graph.cell(node.id).clocked:
+            continue
+        for fanin in node.fanins:
+            driver_stage = 0 if not isinstance(fanin, int) else stages[fanin]
+            if driver_stage != stages[node.id] - 1:
+                violations.append((fanin, node.id))
+    return violations

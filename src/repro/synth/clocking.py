@@ -1,0 +1,73 @@
+"""Clock distribution for SFQ netlists.
+
+SFQ circuits use *flow clocking* (Section II): the clock is itself an
+SFQ pulse train distributed through an active splitter network, ordered
+so that it reaches gates in the same sequence as the data flows.  This
+module builds a **clock spine**: clocked gates are sorted by pipeline
+stage and fed from a chain of splitters — splitter ``j`` taps off gate
+``j`` and forwards the clock to splitter ``j+1`` (the last splitter
+feeds the final two gates).
+
+The clock network is *optional* in the synthesis flow (default off).
+The connection counts in Table I of the paper (~1.27 connections per
+gate) are only consistent with signal nets, so the reconstructed suite
+omits clock nets from the partitioning graph; the ablation bench
+``test_ablation_clock_tree`` quantifies what including them costs.
+"""
+
+from repro.synth.balancing import compute_stages
+from repro.utils.errors import SynthesisError
+
+CLOCK_TAG = "ck"
+CLOCK_PORT = "clk"
+
+
+def clocked_nodes(graph):
+    """Ids of all clocked cells, ordered by (stage, id) — the order in
+    which concurrent-flow clocking must reach them."""
+    stages = compute_stages(graph)
+    ids = [node.id for node in graph.nodes if graph.cell(node.id).clocked]
+    return sorted(ids, key=lambda node_id: (stages[node_id], node_id))
+
+
+def add_clock_spine(graph, splitter_cell=None):
+    """Append a flow-clocking spine to the graph (in place).
+
+    Returns ``(graph, clock_edges, inserted_splitters)`` where
+    ``clock_edges`` is a list of ``(driver node id, sink node id)``
+    connections from clock splitters to the clocked gates.  Those edges
+    are kept separate from data fanins (clock pins are not in
+    ``cell.inputs``) and are merged into the final netlist by the flow.
+    """
+    if splitter_cell is None:
+        splitter_cell = graph.library.splitter.name
+    if splitter_cell not in graph.library:
+        raise SynthesisError(f"splitter cell {splitter_cell!r} not in library")
+
+    consumers = clocked_nodes(graph)
+    clock_edges = []
+    inserted = 0
+    if not consumers:
+        return graph, clock_edges, inserted
+    if CLOCK_PORT not in graph.input_ports:
+        graph.input_ports.append(CLOCK_PORT)
+
+    if len(consumers) == 1:
+        # Single clocked gate: the clock port feeds it directly through
+        # a degenerate spine of zero splitters.
+        clock_edges.append((("port", CLOCK_PORT), consumers[0]))
+        return graph, clock_edges, inserted
+
+    previous = ("port", CLOCK_PORT)
+    # Each spine splitter taps one consumer and forwards the clock;
+    # the last splitter feeds the final two consumers.
+    for consumer in consumers[:-2]:
+        splitter = graph.add_node(splitter_cell, [previous], tag=CLOCK_TAG)
+        inserted += 1
+        clock_edges.append((splitter, consumer))
+        previous = splitter
+    last = graph.add_node(splitter_cell, [previous], tag=CLOCK_TAG)
+    inserted += 1
+    clock_edges.append((last, consumers[-2]))
+    clock_edges.append((last, consumers[-1]))
+    return graph, clock_edges, inserted

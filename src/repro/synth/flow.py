@@ -1,0 +1,167 @@
+"""End-to-end SFQ synthesis: logic IR -> placed, legal SFQ netlist.
+
+:func:`synthesize` chains decomposition, technology mapping, full path
+balancing, splitter insertion, optional clock distribution and row
+placement, then converts the mapped graph into a
+:class:`~repro.netlist.netlist.Netlist` and checks it against the SFQ
+design rules.  The returned netlist is exactly what the paper's
+algorithm takes as input.
+"""
+
+from dataclasses import dataclass
+
+from repro.netlist.library import default_library
+from repro.netlist.netlist import Netlist
+from repro.netlist.validate import check_sfq_rules, validate_netlist
+from repro.synth.balancing import balance
+from repro.synth.clocking import add_clock_spine
+from repro.synth.mapping import decompose, map_circuit
+from repro.synth.placement import place_netlist
+from repro.synth.splitters import insert_splitters
+from repro.utils.errors import SynthesisError
+
+
+@dataclass(frozen=True)
+class SynthesisOptions:
+    """Knobs of the synthesis flow.
+
+    Attributes
+    ----------
+    balance_outputs:
+        Pad primary outputs to a common pipeline depth (default True —
+        the reconstructed benchmarks are fully pipelined).
+    include_clock_tree:
+        Add the flow-clocking spine to the netlist graph.  Off by
+        default: the paper's connection counts are consistent with
+        signal nets only (see :mod:`repro.synth.clocking`).
+    place:
+        Run the row placer so gates carry DEF-able coordinates.
+    aspect_ratio:
+        Die aspect passed to the placer.
+    check_rules:
+        Verify SFQ design rules on the result and raise on violation.
+    """
+
+    balance_outputs: bool = True
+    include_clock_tree: bool = False
+    place: bool = True
+    aspect_ratio: float = 1.0
+    check_rules: bool = True
+
+
+@dataclass(frozen=True)
+class SynthesisStats:
+    """Cell-population accounting of one synthesis run."""
+
+    logic_gates: int
+    balance_dffs: int
+    splitters: int
+    clock_splitters: int
+    total_gates: int
+    connections: int
+
+    def as_dict(self):
+        return {
+            "logic_gates": self.logic_gates,
+            "balance_dffs": self.balance_dffs,
+            "splitters": self.splitters,
+            "clock_splitters": self.clock_splitters,
+            "total_gates": self.total_gates,
+            "connections": self.connections,
+        }
+
+
+def _graph_to_netlist(graph, clock_edges, library, name):
+    """Materialize the mapped graph as a Netlist with ports and edges."""
+    netlist = Netlist(name, library=library)
+    for node in graph.nodes:
+        netlist.add_gate(f"{node.tag}{node.id}", library[node.cell_name])
+    for node in graph.nodes:
+        for fanin in node.fanins:
+            if isinstance(fanin, int):
+                netlist.connect(fanin, node.id)
+    for driver, sink in clock_edges:
+        if isinstance(driver, int):
+            netlist.connect(driver, sink)
+        # clock edges from the clk port are port bindings, not gate edges
+
+    # Input ports: after splitter insertion each port feeds exactly one
+    # node; find it (ports with no consumer stay unbound).
+    port_sink = {}
+    for node in graph.nodes:
+        for fanin in node.fanins:
+            if not isinstance(fanin, int):
+                _, port_name = fanin
+                port_sink.setdefault(port_name, node.id)
+    for port_name in graph.input_ports:
+        netlist.add_port(port_name, "input", port_sink.get(port_name))
+    for port_name, node_id in graph.output_ports.items():
+        netlist.add_port(port_name, "output", node_id)
+    return netlist
+
+
+def synthesize(circuit, library=None, options=None):
+    """Synthesize a logic circuit into a placed SFQ netlist.
+
+    Parameters
+    ----------
+    circuit:
+        A :class:`~repro.synth.logic.LogicCircuit`.
+    library:
+        Target cell library (defaults to
+        :func:`repro.netlist.library.default_library`).
+    options:
+        :class:`SynthesisOptions`.
+
+    Returns
+    -------
+    ``(netlist, stats)`` — the placed netlist and a
+    :class:`SynthesisStats` record.
+    """
+    if library is None:
+        library = default_library()
+    if options is None:
+        options = SynthesisOptions()
+    if not circuit.outputs:
+        raise SynthesisError(f"{circuit.name}: circuit has no outputs")
+
+    decomposed = decompose(circuit)
+    graph = map_circuit(decomposed, library)
+    logic_gates = len(graph.nodes)
+
+    graph, balance_dffs = balance(graph, balance_outputs=options.balance_outputs)
+    graph, splitters = insert_splitters(graph)
+
+    clock_edges = []
+    clock_splitters = 0
+    if options.include_clock_tree:
+        graph, clock_edges, clock_splitters = add_clock_spine(graph)
+
+    netlist = _graph_to_netlist(graph, clock_edges, library, circuit.name)
+    validate_netlist(netlist)
+    if options.check_rules:
+        # Clock consumers receive one extra (clock) connection beyond
+        # their data pins, so skip the fanin rule when the spine is in.
+        issues = [
+            issue
+            for issue in check_sfq_rules(netlist)
+            if not (options.include_clock_tree and issue.rule == "fanin")
+        ]
+        if issues:
+            details = "; ".join(str(issue) for issue in issues[:5])
+            raise SynthesisError(
+                f"{circuit.name}: synthesis produced {len(issues)} SFQ rule "
+                f"violations ({details})"
+            )
+    if options.place:
+        place_netlist(netlist, aspect_ratio=options.aspect_ratio)
+
+    stats = SynthesisStats(
+        logic_gates=logic_gates,
+        balance_dffs=balance_dffs,
+        splitters=splitters,
+        clock_splitters=clock_splitters,
+        total_gates=netlist.num_gates,
+        connections=netlist.num_connections,
+    )
+    return netlist, stats

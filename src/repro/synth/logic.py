@@ -1,0 +1,258 @@
+"""Technology-independent logic circuit IR.
+
+The benchmark generators (:mod:`repro.circuits`) build a
+:class:`LogicCircuit` — a DAG of n-ary boolean nodes — which the SFQ
+flow then maps, balances and splits.  The IR is deliberately tiny: just
+enough structure to express adders/multipliers/dividers/random logic,
+plus an evaluator so tests can verify the generators *functionally*
+(e.g. that the Kogge-Stone generator really adds).
+"""
+
+from enum import Enum
+
+from repro.utils.errors import SynthesisError
+
+
+class LogicOp(Enum):
+    INPUT = "input"
+    CONST0 = "const0"
+    CONST1 = "const1"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    BUF = "buf"
+    DFF = "dff"
+
+    @property
+    def is_source(self):
+        return self in (LogicOp.INPUT, LogicOp.CONST0, LogicOp.CONST1)
+
+    @property
+    def is_unary(self):
+        return self in (LogicOp.NOT, LogicOp.BUF, LogicOp.DFF)
+
+
+class _Node:
+    __slots__ = ("id", "op", "fanins", "name")
+
+    def __init__(self, node_id, op, fanins, name):
+        self.id = node_id
+        self.op = op
+        self.fanins = fanins
+        self.name = name
+
+
+class LogicCircuit:
+    """A DAG of boolean nodes with named inputs and outputs."""
+
+    def __init__(self, name):
+        self.name = name
+        self._nodes = []
+        self._inputs = {}   # name -> node id
+        self._outputs = {}  # name -> node id
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _add_node(self, op, fanins=(), name=None):
+        fanins = tuple(int(f) for f in fanins)
+        for f in fanins:
+            if not 0 <= f < len(self._nodes):
+                raise SynthesisError(f"{self.name}: fanin id {f} out of range")
+        node = _Node(len(self._nodes), op, fanins, name)
+        self._nodes.append(node)
+        return node.id
+
+    def add_input(self, name):
+        """Declare a primary input; returns its node id."""
+        if name in self._inputs:
+            raise SynthesisError(f"{self.name}: duplicate input {name!r}")
+        node_id = self._add_node(LogicOp.INPUT, (), name)
+        self._inputs[name] = node_id
+        return node_id
+
+    def add_inputs(self, prefix, count):
+        """Declare a bus ``prefix[0..count-1]``; returns the list of ids."""
+        return [self.add_input(f"{prefix}[{i}]") for i in range(count)]
+
+    def const0(self):
+        return self._add_node(LogicOp.CONST0)
+
+    def const1(self):
+        return self._add_node(LogicOp.CONST1)
+
+    def gate(self, op, *fanins, name=None):
+        """Add a logic node.  AND/OR/XOR accept >= 2 fanins; NOT/BUF/DFF
+        exactly one."""
+        op = LogicOp(op)
+        if op.is_source:
+            raise SynthesisError(f"{self.name}: use add_input/const for {op}")
+        if op.is_unary:
+            if len(fanins) != 1:
+                raise SynthesisError(f"{self.name}: {op.value} takes 1 fanin, got {len(fanins)}")
+        elif len(fanins) < 2:
+            raise SynthesisError(f"{self.name}: {op.value} takes >= 2 fanins, got {len(fanins)}")
+        return self._add_node(op, fanins, name)
+
+    # boolean convenience builders ------------------------------------
+    def and_(self, *fanins):
+        return self.gate(LogicOp.AND, *fanins)
+
+    def or_(self, *fanins):
+        return self.gate(LogicOp.OR, *fanins)
+
+    def xor(self, *fanins):
+        return self.gate(LogicOp.XOR, *fanins)
+
+    def not_(self, fanin):
+        return self.gate(LogicOp.NOT, fanin)
+
+    def buf(self, fanin):
+        return self.gate(LogicOp.BUF, fanin)
+
+    def mux(self, select, if0, if1):
+        """2:1 multiplexer ``select ? if1 : if0``."""
+        return self.or_(self.and_(self.not_(select), if0), self.and_(select, if1))
+
+    def half_adder(self, a, b):
+        """Returns ``(sum, carry)``."""
+        return self.xor(a, b), self.and_(a, b)
+
+    def full_adder(self, a, b, cin):
+        """Returns ``(sum, carry)`` built from 2-input gates."""
+        axb = self.xor(a, b)
+        total = self.xor(axb, cin)
+        carry = self.or_(self.and_(a, b), self.and_(axb, cin))
+        return total, carry
+
+    def set_output(self, name, node_id):
+        if name in self._outputs:
+            raise SynthesisError(f"{self.name}: duplicate output {name!r}")
+        if not 0 <= node_id < len(self._nodes):
+            raise SynthesisError(f"{self.name}: output {name!r} bound to invalid node {node_id}")
+        self._outputs[name] = int(node_id)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self):
+        return len(self._nodes)
+
+    @property
+    def inputs(self):
+        """Mapping ``input name -> node id`` (insertion ordered)."""
+        return dict(self._inputs)
+
+    @property
+    def outputs(self):
+        """Mapping ``output name -> node id`` (insertion ordered)."""
+        return dict(self._outputs)
+
+    def node(self, node_id):
+        return self._nodes[node_id]
+
+    def nodes(self):
+        """All nodes in id (topological) order."""
+        return list(self._nodes)
+
+    def num_logic_nodes(self):
+        """Count of non-source nodes."""
+        return sum(1 for n in self._nodes if not n.op.is_source)
+
+    def fanout_map(self):
+        """Mapping ``node id -> list of consumer node ids``."""
+        fanout = {n.id: [] for n in self._nodes}
+        for n in self._nodes:
+            for f in n.fanins:
+                fanout[f].append(n.id)
+        return fanout
+
+    # ------------------------------------------------------------------
+    # functional evaluation (for tests)
+    # ------------------------------------------------------------------
+    def evaluate(self, input_values):
+        """Evaluate the DAG on a ``{input name: bool}`` assignment.
+
+        ``DFF``/``BUF`` act as identity (they are pipeline elements whose
+        latency is irrelevant to steady-state function).  Returns
+        ``{output name: bool}``.
+        """
+        missing = set(self._inputs) - set(input_values)
+        if missing:
+            raise SynthesisError(f"{self.name}: missing input values for {sorted(missing)}")
+        values = [False] * len(self._nodes)
+        for n in self._nodes:  # ids are topological by construction
+            if n.op is LogicOp.INPUT:
+                values[n.id] = bool(input_values[n.name])
+            elif n.op is LogicOp.CONST0:
+                values[n.id] = False
+            elif n.op is LogicOp.CONST1:
+                values[n.id] = True
+            elif n.op is LogicOp.AND:
+                values[n.id] = all(values[f] for f in n.fanins)
+            elif n.op is LogicOp.OR:
+                values[n.id] = any(values[f] for f in n.fanins)
+            elif n.op is LogicOp.XOR:
+                acc = False
+                for f in n.fanins:
+                    acc ^= values[f]
+                values[n.id] = acc
+            elif n.op is LogicOp.NOT:
+                values[n.id] = not values[n.fanins[0]]
+            elif n.op in (LogicOp.BUF, LogicOp.DFF):
+                values[n.id] = values[n.fanins[0]]
+            else:  # pragma: no cover
+                raise SynthesisError(f"unhandled op {n.op}")
+        return {name: values[nid] for name, nid in self._outputs.items()}
+
+    def evaluate_bus(self, input_buses, output_bus_prefixes):
+        """Bus-level evaluation helper.
+
+        ``input_buses`` maps bus prefix -> integer value (bit i of the
+        value feeds ``prefix[i]``); scalars may be passed as prefix ->
+        bool under a name with no ``[i]`` inputs.  Returns ``{prefix:
+        integer}`` assembled from ``prefix[i]`` outputs.
+        """
+        assignment = {}
+        for prefix, value in input_buses.items():
+            bus_pins = [n for n in self._inputs if n.startswith(f"{prefix}[")]
+            if bus_pins:
+                for pin in bus_pins:
+                    bit = int(pin[len(prefix) + 1 : -1])
+                    assignment[pin] = bool((int(value) >> bit) & 1)
+            elif prefix in self._inputs:
+                assignment[prefix] = bool(value)
+            else:
+                raise SynthesisError(f"{self.name}: no input bus or pin named {prefix!r}")
+        raw = self.evaluate(assignment)
+        result = {}
+        for prefix in output_bus_prefixes:
+            if prefix in raw:
+                result[prefix] = int(raw[prefix])
+                continue
+            value = 0
+            found = False
+            for name, bit_value in raw.items():
+                if name.startswith(f"{prefix}["):
+                    bit = int(name[len(prefix) + 1 : -1])
+                    value |= int(bit_value) << bit
+                    found = True
+            if not found:
+                raise SynthesisError(f"{self.name}: no output bus or pin named {prefix!r}")
+            result[prefix] = value
+        return result
+
+    def stats(self):
+        """Histogram of ops, for generator calibration tests."""
+        histogram = {}
+        for n in self._nodes:
+            histogram[n.op.value] = histogram.get(n.op.value, 0) + 1
+        return histogram
+
+    def __repr__(self):
+        return (
+            f"LogicCircuit({self.name!r}, nodes={self.num_nodes}, "
+            f"inputs={len(self._inputs)}, outputs={len(self._outputs)})"
+        )

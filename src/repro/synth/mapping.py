@@ -1,0 +1,214 @@
+"""Technology mapping: logic IR -> 2-input SFQ cells.
+
+Two steps live here:
+
+* :func:`decompose` — rewrite a :class:`~repro.synth.logic.LogicCircuit`
+  so that every AND/OR/XOR has exactly two fanins (balanced binary
+  trees), BUFs are forwarded and constants are folded away.
+* :func:`map_circuit` — bind the decomposed nodes onto cells of a
+  :class:`~repro.netlist.library.CellLibrary`, producing the mutable
+  :class:`MappedGraph` that the balancing/splitter/clocking stages edit.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.synth.logic import LogicCircuit, LogicOp
+from repro.utils.errors import SynthesisError
+
+#: logic op -> default library cell name
+DEFAULT_CELL_BINDING = {
+    LogicOp.AND: "AND2",
+    LogicOp.OR: "OR2",
+    LogicOp.XOR: "XOR2",
+    LogicOp.NOT: "NOT",
+    LogicOp.DFF: "DFF",
+}
+
+_CONST0 = ("const", 0)
+_CONST1 = ("const", 1)
+
+
+def _fold_binary(op, a, b, circuit):
+    """Constant folding for one 2-input op; operands are either new node
+    ids (int) or const markers.  Returns a node id or const marker."""
+    consts = {(_CONST0): False, (_CONST1): True}
+    a_const = consts.get(a) if not isinstance(a, int) else None
+    b_const = consts.get(b) if not isinstance(b, int) else None
+    if a_const is not None and b_const is not None:
+        if op is LogicOp.AND:
+            return _CONST1 if (a_const and b_const) else _CONST0
+        if op is LogicOp.OR:
+            return _CONST1 if (a_const or b_const) else _CONST0
+        if op is LogicOp.XOR:
+            return _CONST1 if (a_const != b_const) else _CONST0
+    if a_const is not None:
+        a, b, a_const, b_const = b, a, b_const, a_const  # put const second
+    if b_const is not None:
+        if op is LogicOp.AND:
+            return a if b_const else _CONST0
+        if op is LogicOp.OR:
+            return _CONST1 if b_const else a
+        if op is LogicOp.XOR:
+            return circuit.not_(a) if b_const else a
+    return circuit.gate(op, a, b)
+
+
+def _tree_reduce(op, operands, circuit):
+    """Balanced binary reduction of n operands (minimizes logic depth)."""
+    operands = list(operands)
+    while len(operands) > 1:
+        next_level = []
+        for i in range(0, len(operands) - 1, 2):
+            next_level.append(_fold_binary(op, operands[i], operands[i + 1], circuit))
+        if len(operands) % 2:
+            next_level.append(operands[-1])
+        operands = next_level
+    return operands[0]
+
+
+def decompose(circuit):
+    """Return an equivalent circuit with only 2-input AND/OR/XOR, unary
+    NOT/DFF, primary inputs, and no BUF/const nodes.
+
+    Raises :class:`SynthesisError` if an output reduces to a constant or
+    to a bare primary input (no physical gate to observe) — the
+    generators in :mod:`repro.circuits` never produce such outputs.
+    """
+    out = LogicCircuit(circuit.name)
+    mapping = {}
+    for node in circuit.nodes():
+        if node.op is LogicOp.INPUT:
+            mapping[node.id] = out.add_input(node.name)
+        elif node.op is LogicOp.CONST0:
+            mapping[node.id] = _CONST0
+        elif node.op is LogicOp.CONST1:
+            mapping[node.id] = _CONST1
+        elif node.op is LogicOp.BUF:
+            mapping[node.id] = mapping[node.fanins[0]]
+        elif node.op is LogicOp.NOT:
+            operand = mapping[node.fanins[0]]
+            if operand == _CONST0:
+                mapping[node.id] = _CONST1
+            elif operand == _CONST1:
+                mapping[node.id] = _CONST0
+            else:
+                mapping[node.id] = out.not_(operand)
+        elif node.op is LogicOp.DFF:
+            operand = mapping[node.fanins[0]]
+            if not isinstance(operand, int):
+                mapping[node.id] = operand  # constant through a register
+            else:
+                mapping[node.id] = out.gate(LogicOp.DFF, operand)
+        elif node.op in (LogicOp.AND, LogicOp.OR, LogicOp.XOR):
+            operands = [mapping[f] for f in node.fanins]
+            mapping[node.id] = _tree_reduce(node.op, operands, out)
+        else:  # pragma: no cover
+            raise SynthesisError(f"unhandled op {node.op}")
+
+    for name, node_id in circuit.outputs.items():
+        target = mapping[node_id]
+        if not isinstance(target, int):
+            raise SynthesisError(
+                f"{circuit.name}: output {name!r} reduces to a constant; "
+                "constant outputs have no SFQ realization in this flow"
+            )
+        if out.node(target).op is LogicOp.INPUT:
+            # Feed-through: materialize a DFF so the output observes a gate.
+            target = out.gate(LogicOp.DFF, target)
+        out.set_output(name, target)
+    return out
+
+
+@dataclass
+class MappedNode:
+    """One cell instance in the mutable synthesis graph.
+
+    ``fanins`` entries are either another node id (int) or the marker
+    ``("port", name)`` for a primary-input connection.
+    """
+
+    id: int
+    cell_name: str
+    fanins: list
+    tag: str = "g"  # g=mapped logic, bd=balance DFF, sp=splitter, ck=clock
+
+
+@dataclass
+class MappedGraph:
+    """Mutable gate-level graph edited by the synthesis stages."""
+
+    name: str
+    library: object
+    nodes: list = field(default_factory=list)
+    input_ports: list = field(default_factory=list)
+    output_ports: dict = field(default_factory=dict)  # name -> node id
+
+    def add_node(self, cell_name, fanins, tag="g"):
+        if cell_name not in self.library:
+            raise SynthesisError(f"{self.name}: cell {cell_name!r} not in library {self.library.name!r}")
+        node = MappedNode(id=len(self.nodes), cell_name=cell_name, fanins=list(fanins), tag=tag)
+        self.nodes.append(node)
+        return node.id
+
+    def cell(self, node_id):
+        return self.library[self.nodes[node_id].cell_name]
+
+    def sink_map(self):
+        """``driver -> [(sink node id, fanin position)]`` plus port sinks.
+
+        Port-driven fanins are collected under the key ``("port", name)``.
+        """
+        sinks = {}
+        for node in self.nodes:
+            for position, fanin in enumerate(node.fanins):
+                sinks.setdefault(fanin if not isinstance(fanin, int) else int(fanin), []).append(
+                    (node.id, position)
+                )
+        return sinks
+
+    def validate_arities(self):
+        """Check every node's fanin count against its cell's input count."""
+        for node in self.nodes:
+            cell = self.cell(node.id)
+            if len(node.fanins) > cell.num_inputs:
+                raise SynthesisError(
+                    f"{self.name}: node {node.id} ({node.cell_name}) has "
+                    f"{len(node.fanins)} fanins, cell allows {cell.num_inputs}"
+                )
+
+
+def map_circuit(circuit, library, binding=None):
+    """Bind a *decomposed* logic circuit onto library cells.
+
+    Parameters
+    ----------
+    circuit:
+        Output of :func:`decompose`.
+    library:
+        Target :class:`~repro.netlist.library.CellLibrary`.
+    binding:
+        Optional ``{LogicOp: cell name}`` override of
+        :data:`DEFAULT_CELL_BINDING`.
+    """
+    binding = dict(DEFAULT_CELL_BINDING if binding is None else binding)
+    graph = MappedGraph(name=circuit.name, library=library)
+    node_of = {}
+    for node in circuit.nodes():
+        if node.op is LogicOp.INPUT:
+            graph.input_ports.append(node.name)
+            node_of[node.id] = ("port", node.name)
+            continue
+        if node.op not in binding:
+            raise SynthesisError(
+                f"{circuit.name}: op {node.op.value!r} has no cell binding "
+                "(did you run decompose first?)"
+            )
+        fanins = [node_of[f] for f in node.fanins]
+        node_of[node.id] = graph.add_node(binding[node.op], fanins, tag="g")
+    for name, node_id in circuit.outputs.items():
+        bound = node_of[node_id]
+        if not isinstance(bound, int):  # pragma: no cover - decompose guarantees this
+            raise SynthesisError(f"{circuit.name}: output {name!r} bound to a port")
+        graph.output_ports[name] = bound
+    graph.validate_arities()
+    return graph

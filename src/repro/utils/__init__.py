@@ -1,0 +1,44 @@
+"""Shared utilities: physical units, deterministic RNG helpers, errors."""
+
+from repro.utils.errors import (
+    ReproError,
+    NetlistError,
+    ParseError,
+    PartitionError,
+    SynthesisError,
+    RecyclingError,
+)
+from repro.utils.units import (
+    PHI0_WB,
+    BIAS_BUS_VOLTAGE_MV,
+    milliamps,
+    microamps,
+    mm2,
+    um2,
+    um2_to_mm2,
+    mm2_to_um2,
+    format_current_ma,
+    format_area_mm2,
+)
+from repro.utils.rng import make_rng, spawn_rngs
+
+__all__ = [
+    "ReproError",
+    "NetlistError",
+    "ParseError",
+    "PartitionError",
+    "SynthesisError",
+    "RecyclingError",
+    "PHI0_WB",
+    "BIAS_BUS_VOLTAGE_MV",
+    "milliamps",
+    "microamps",
+    "mm2",
+    "um2",
+    "um2_to_mm2",
+    "mm2_to_um2",
+    "format_current_ma",
+    "format_area_mm2",
+    "make_rng",
+    "spawn_rngs",
+]

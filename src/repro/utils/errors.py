@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises a subclass of :class:`ReproError`, so callers can
+catch one base class at the API boundary while tests can assert on the
+precise failure category.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class NetlistError(ReproError):
+    """Raised for structurally invalid netlists (dangling pins, unknown
+    cells, duplicate gate names, self-loops where they are not allowed)."""
+
+
+class ParseError(ReproError):
+    """Raised by the DEF/LEF/Verilog/bench parsers on malformed input.
+
+    Carries optional source location information for diagnostics.
+    """
+
+    def __init__(self, message, filename=None, line=None):
+        self.filename = filename
+        self.line = line
+        location = ""
+        if filename is not None:
+            location = f"{filename}:"
+        if line is not None:
+            location += f"{line}:"
+        if location:
+            message = f"{location} {message}"
+        super().__init__(message)
+
+
+class PartitionError(ReproError):
+    """Raised by the core partitioner for invalid configurations
+    (e.g. K < 2, K > number of gates, non-finite cost weights)."""
+
+
+class SynthesisError(ReproError):
+    """Raised by the SFQ synthesis flow (unmappable logic gate,
+    unbalanced path that cannot be legalized, fanout bound violations)."""
+
+
+class RecyclingError(ReproError):
+    """Raised by the current-recycling planner (infeasible serial bias
+    chain, coupling between non-adjacent planes, dummy sizing failure)."""

@@ -1,0 +1,59 @@
+"""Physical units and constants used throughout the package.
+
+Internal conventions (chosen once, converted at the boundaries):
+
+* bias currents are stored in **milliamperes (mA)** — the unit used in all
+  of the paper's tables;
+* areas are stored in **square millimetres (mm^2)** for chip/plane level
+  quantities and **square micrometres (um^2)** for cell-level quantities;
+* voltages in **millivolts (mV)**.
+"""
+
+#: Single flux quantum, h / 2e, in webers (V*s).  Eq. (1) of the paper.
+PHI0_WB = 2.067833848e-15
+
+#: Typical ERSFQ/RSFQ bias bus voltage in millivolts (Section III-A).
+BIAS_BUS_VOLTAGE_MV = 2.5
+
+#: Square micrometres per square millimetre.
+_UM2_PER_MM2 = 1.0e6
+
+
+def milliamps(value):
+    """Identity helper marking that ``value`` is interpreted as mA."""
+    return float(value)
+
+
+def microamps(value):
+    """Convert a value expressed in microamperes to milliamperes."""
+    return float(value) / 1000.0
+
+
+def mm2(value):
+    """Identity helper marking that ``value`` is interpreted as mm^2."""
+    return float(value)
+
+
+def um2(value):
+    """Identity helper marking that ``value`` is interpreted as um^2."""
+    return float(value)
+
+
+def um2_to_mm2(value_um2):
+    """Convert an area (scalar or array) from um^2 to mm^2."""
+    return value_um2 / _UM2_PER_MM2
+
+
+def mm2_to_um2(value_mm2):
+    """Convert an area (scalar or array) from mm^2 to um^2."""
+    return value_mm2 * _UM2_PER_MM2
+
+
+def format_current_ma(value_ma, digits=2):
+    """Render a current in mA the way the paper's tables do (e.g. ``17.50``)."""
+    return f"{value_ma:.{digits}f}"
+
+
+def format_area_mm2(value_mm2, digits=4):
+    """Render an area in mm^2 the way the paper's tables do (e.g. ``0.0972``)."""
+    return f"{value_mm2:.{digits}f}"

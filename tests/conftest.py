@@ -1,0 +1,76 @@
+"""Shared fixtures: the default library and small canonical netlists."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PartitionConfig
+from repro.netlist.library import default_library
+from repro.netlist.netlist import Netlist
+
+
+@pytest.fixture(scope="session")
+def library():
+    return default_library()
+
+
+@pytest.fixture()
+def chain_netlist(library):
+    """A 10-gate straight pipeline: DFF chain, one connection per stage."""
+    netlist = Netlist("chain10", library=library)
+    for i in range(10):
+        netlist.add_gate(f"d{i}", library["DFF"])
+    for i in range(9):
+        netlist.connect(f"d{i}", f"d{i + 1}")
+    netlist.add_port("in", "input", "d0")
+    netlist.add_port("out", "output", "d9")
+    return netlist
+
+
+@pytest.fixture()
+def diamond_netlist(library):
+    """Splitter fan-out reconverging through a merger (4 gates)."""
+    netlist = Netlist("diamond", library=library)
+    netlist.add_gate("src", library["DFF"])
+    netlist.add_gate("split", library["SPLIT"])
+    netlist.add_gate("left", library["DFF"])
+    netlist.add_gate("right", library["DFF"])
+    netlist.add_gate("merge", library["MERGE"])
+    netlist.connect("src", "split")
+    netlist.connect("split", "left")
+    netlist.connect("split", "right")
+    netlist.connect("left", "merge")
+    netlist.connect("right", "merge")
+    return netlist
+
+
+@pytest.fixture()
+def mixed_netlist(library):
+    """A 40-gate, 2-component netlist with heterogeneous cells.
+
+    Component A: 30-gate locality chain with extra chords.
+    Component B: 10-gate ring-ish blob (no directed cycle).
+    """
+    netlist = Netlist("mixed40", library=library)
+    kinds = ["AND2", "OR2", "XOR2", "DFF", "SPLIT"] * 6
+    for i, kind in enumerate(kinds):
+        netlist.add_gate(f"a{i}", library[kind])
+    for i in range(29):
+        netlist.connect(f"a{i}", f"a{i + 1}")
+    netlist.connect("a0", "a5")
+    netlist.connect("a10", "a15")
+    for i in range(10):
+        netlist.add_gate(f"b{i}", library["DFF"])
+    for i in range(9):
+        netlist.connect(f"b{i}", f"b{i + 1}")
+    return netlist
+
+
+@pytest.fixture(scope="session")
+def fast_config():
+    """A cheap configuration for tests that exercise the optimizer."""
+    return PartitionConfig(restarts=2, max_iterations=300, seed=123)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(42)

@@ -1,0 +1,49 @@
+"""Tests for repro.baselines.annealing."""
+
+import pytest
+
+from repro.baselines import annealing_partition, greedy_partition, random_partition
+from repro.utils.errors import PartitionError
+
+
+def test_contract(mixed_netlist, fast_config):
+    result = annealing_partition(mixed_netlist, 4, seed=0, config=fast_config)
+    assert result.labels.shape == (mixed_netlist.num_gates,)
+    assert (result.plane_sizes() > 0).all()
+
+
+def test_deterministic_per_seed(mixed_netlist, fast_config):
+    a = annealing_partition(mixed_netlist, 4, seed=3, config=fast_config)
+    b = annealing_partition(mixed_netlist, 4, seed=3, config=fast_config)
+    assert (a.labels == b.labels).all()
+
+
+def test_never_worse_than_seed_partition(mixed_netlist, fast_config):
+    seed_result = greedy_partition(mixed_netlist, 4, config=fast_config)
+    annealed = annealing_partition(
+        mixed_netlist, 4, seed=1, config=fast_config, seed_partition=seed_result
+    )
+    assert annealed.integer_cost() <= seed_result.integer_cost() + 1e-12
+
+
+def test_improves_random_start(mixed_netlist, fast_config):
+    start = random_partition(mixed_netlist, 4, seed=0, config=fast_config)
+    annealed = annealing_partition(
+        mixed_netlist, 4, seed=1, config=fast_config, seed_partition=start
+    )
+    assert annealed.integer_cost() < start.integer_cost()
+
+
+def test_mismatched_seed_rejected(mixed_netlist, fast_config):
+    seed_result = greedy_partition(mixed_netlist, 3, config=fast_config)
+    with pytest.raises(PartitionError, match="different plane count"):
+        annealing_partition(
+            mixed_netlist, 4, config=fast_config, seed_partition=seed_result
+        )
+
+
+def test_parameter_validation(mixed_netlist, fast_config):
+    with pytest.raises(PartitionError, match="cooling"):
+        annealing_partition(mixed_netlist, 4, config=fast_config, cooling=1.5)
+    with pytest.raises(PartitionError, match="num_planes"):
+        annealing_partition(mixed_netlist, 0, config=fast_config)

@@ -1,0 +1,86 @@
+"""Tests for repro.core.assignment."""
+
+import numpy as np
+import pytest
+
+from repro.core import assignment
+from repro.utils.errors import PartitionError
+
+
+def test_plane_coefficients_one_based():
+    assert assignment.plane_coefficients(4).tolist() == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_plane_coefficients_invalid():
+    with pytest.raises(PartitionError):
+        assignment.plane_coefficients(0)
+
+
+def test_random_assignment_rows_sum_to_one(rng):
+    w = assignment.random_assignment(50, 5, rng=rng)
+    assert w.shape == (50, 5)
+    assert np.allclose(w.sum(axis=1), 1.0)
+    assert (w > 0).all() and (w < 1).all()
+
+
+def test_random_assignment_deterministic_per_seed():
+    a = assignment.random_assignment(10, 3, rng=1)
+    b = assignment.random_assignment(10, 3, rng=1)
+    assert np.allclose(a, b)
+
+
+def test_random_assignment_validation():
+    with pytest.raises(PartitionError):
+        assignment.random_assignment(0, 3)
+    with pytest.raises(PartitionError):
+        assignment.random_assignment(3, 0)
+
+
+def test_normalize_rows():
+    w = np.array([[2.0, 2.0], [1.0, 3.0]])
+    normalized = assignment.normalize_rows(w)
+    assert np.allclose(normalized, [[0.5, 0.5], [0.25, 0.75]])
+
+
+def test_normalize_rows_zero_row_becomes_uniform():
+    w = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+    normalized = assignment.normalize_rows(w)
+    assert np.allclose(normalized[0], [1 / 3] * 3)
+    assert np.allclose(normalized[1], [1.0, 0.0, 0.0])
+
+
+def test_normalize_rows_requires_2d():
+    with pytest.raises(PartitionError):
+        assignment.normalize_rows(np.ones(5))
+
+
+def test_labels_eq3():
+    # eq. (3): l_i = sum_k k * w[i,k] with one-based k
+    w = np.array([[1.0, 0.0, 0.0], [0.0, 0.0, 1.0], [0.5, 0.5, 0.0]])
+    labels = assignment.labels_from_assignment(w)
+    assert np.allclose(labels, [1.0, 3.0, 1.5])
+
+
+def test_round_assignment_argmax_and_ties():
+    w = np.array([[0.1, 0.7, 0.2], [0.5, 0.5, 0.0], [0.0, 0.2, 0.8]])
+    labels = assignment.round_assignment(w)
+    # ties break toward the lowest index (paper's argmax semantics)
+    assert labels.tolist() == [1, 0, 2]
+
+
+def test_round_assignment_validation():
+    with pytest.raises(PartitionError):
+        assignment.round_assignment(np.ones(4))
+
+
+def test_one_hot_roundtrip():
+    labels = np.array([0, 2, 1, 2])
+    w = assignment.one_hot(labels, 3)
+    assert w.shape == (4, 3)
+    assert np.allclose(w.sum(axis=1), 1.0)
+    assert (assignment.round_assignment(w) == labels).all()
+
+
+def test_one_hot_range_check():
+    with pytest.raises(PartitionError):
+        assignment.one_hot(np.array([0, 3]), 3)

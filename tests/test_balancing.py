@@ -1,0 +1,116 @@
+"""Tests for repro.synth.balancing (full path balancing)."""
+
+import pytest
+
+from repro.netlist.library import default_library
+from repro.synth.balancing import balance, check_balanced, compute_stages
+from repro.synth.logic import LogicCircuit
+from repro.synth.mapping import decompose, map_circuit
+from repro.utils.errors import SynthesisError
+
+
+@pytest.fixture(scope="module")
+def library():
+    return default_library()
+
+
+def _unbalanced_graph(library):
+    """q = AND(NOT(NOT(a)), b) — b arrives two stages early."""
+    circuit = LogicCircuit("t")
+    a = circuit.add_input("a")
+    b = circuit.add_input("b")
+    circuit.set_output("q", circuit.and_(circuit.not_(circuit.not_(a)), b))
+    return map_circuit(decompose(circuit), library)
+
+
+def test_unbalanced_graph_detected(library):
+    graph = _unbalanced_graph(library)
+    assert check_balanced(graph)
+
+
+def test_balance_fixes_all_edges(library):
+    graph = _unbalanced_graph(library)
+    graph, inserted = balance(graph)
+    assert inserted == 2  # b needs two DFFs to reach the AND at stage 3
+    assert check_balanced(graph) == []
+
+
+def test_stages_computed_per_clocked_cell(library):
+    graph = _unbalanced_graph(library)
+    stages = compute_stages(graph)
+    not_ids = [n.id for n in graph.nodes if n.cell_name == "NOT"]
+    and_ids = [n.id for n in graph.nodes if n.cell_name == "AND2"]
+    assert sorted(stages[i] for i in not_ids) == [1, 2]
+    assert stages[and_ids[0]] == 3
+
+
+def test_chain_sharing(library):
+    """Two sinks needing delays 1 and 2 from the same driver must share
+    one chain (2 DFFs), not two chains (3 DFFs)."""
+    circuit = LogicCircuit("t")
+    a = circuit.add_input("a")
+    b = circuit.add_input("b")
+    n1 = circuit.not_(a)          # stage 1
+    n2 = circuit.not_(n1)         # stage 2
+    n3 = circuit.not_(n2)         # stage 3
+    # b feeds gates at stages 2 and 3 -> slacks 1 and 2
+    g2 = circuit.and_(b, n1)      # stage 2, b slack 1
+    g3 = circuit.and_(b, n2)      # stage 3, b slack 2
+    circuit.set_output("x", circuit.and_(g2, n2))
+    circuit.set_output("y", circuit.and_(g3, n3))
+    graph = map_circuit(decompose(circuit), library)
+    before = len(graph.nodes)
+    graph, inserted = balance(graph, balance_outputs=False)
+    assert check_balanced(graph) == []
+    # b's chain: max slack 2 -> 2 DFFs shared (plus chains for other
+    # drivers); verify per-driver sharing by counting b-driven DFFs
+    b_dffs = [
+        n for n in graph.nodes[before:]
+        if n.cell_name == "DFF" and n.fanins and n.fanins[0] == ("port", "b")
+    ]
+    assert len(b_dffs) == 1  # only the first chain element hangs off b
+
+
+def test_output_balancing(library):
+    """With balance_outputs=True all outputs reach the same stage."""
+    circuit = LogicCircuit("t")
+    a = circuit.add_input("a")
+    shallow = circuit.not_(a)                      # stage 1
+    deep = circuit.not_(circuit.not_(shallow))     # stage 3
+    circuit.set_output("s", shallow)
+    circuit.set_output("d", deep)
+    graph = map_circuit(decompose(circuit), library)
+    graph, _ = balance(graph, balance_outputs=True)
+    stages = compute_stages(graph)
+    output_stages = {stages[node_id] for node_id in graph.output_ports.values()}
+    assert len(output_stages) == 1
+
+
+def test_no_output_balancing_keeps_stagger(library):
+    circuit = LogicCircuit("t")
+    a = circuit.add_input("a")
+    shallow = circuit.not_(a)
+    deep = circuit.not_(circuit.not_(shallow))
+    circuit.set_output("s", shallow)
+    circuit.set_output("d", deep)
+    graph = map_circuit(decompose(circuit), library)
+    graph, _ = balance(graph, balance_outputs=False)
+    stages = compute_stages(graph)
+    output_stages = {stages[node_id] for node_id in graph.output_ports.values()}
+    assert len(output_stages) == 2
+
+
+def test_balanced_graph_inserts_nothing(library):
+    circuit = LogicCircuit("t")
+    a = circuit.add_input("a")
+    b = circuit.add_input("b")
+    circuit.set_output("q", circuit.and_(circuit.not_(a), circuit.not_(b)))
+    graph = map_circuit(decompose(circuit), library)
+    graph, inserted = balance(graph, balance_outputs=True)
+    assert inserted == 0
+
+
+def test_unknown_balance_cell_rejected(library):
+    graph = _unbalanced_graph(library)
+    with pytest.raises(SynthesisError, match="not in library"):
+        balance(graph, balance_cell="NOPE")

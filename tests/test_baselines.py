@@ -1,0 +1,156 @@
+"""Tests for repro.baselines (random / greedy / spectral / FM)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    fiedler_order,
+    fm_partition,
+    greedy_partition,
+    levelized_order,
+    random_partition,
+    spectral_partition,
+)
+from repro.baselines.greedy import pack_order_by_bias
+from repro.metrics.report import evaluate_partition
+from repro.utils.errors import PartitionError
+
+
+ALL_BASELINES = [random_partition, greedy_partition, spectral_partition, fm_partition]
+
+
+@pytest.mark.parametrize("baseline", ALL_BASELINES)
+def test_valid_partition_contract(baseline, mixed_netlist, fast_config):
+    result = baseline(mixed_netlist, 4, seed=0, config=fast_config)
+    assert result.labels.shape == (mixed_netlist.num_gates,)
+    assert result.labels.min() >= 0 and result.labels.max() < 4
+    assert (result.plane_sizes() > 0).all()
+
+
+@pytest.mark.parametrize("baseline", ALL_BASELINES)
+def test_invalid_plane_count(baseline, mixed_netlist, fast_config):
+    with pytest.raises(PartitionError):
+        baseline(mixed_netlist, 0, config=fast_config)
+
+
+def test_random_deterministic_per_seed(mixed_netlist, fast_config):
+    a = random_partition(mixed_netlist, 4, seed=3, config=fast_config)
+    b = random_partition(mixed_netlist, 4, seed=3, config=fast_config)
+    assert (a.labels == b.labels).all()
+
+
+def test_levelized_order_is_permutation(mixed_netlist):
+    order = levelized_order(mixed_netlist)
+    assert sorted(order.tolist()) == list(range(mixed_netlist.num_gates))
+
+
+def test_levelized_order_respects_levels(chain_netlist):
+    order = levelized_order(chain_netlist)
+    assert order.tolist() == list(range(10))
+
+
+def test_pack_order_balances_bias():
+    order = np.arange(20)
+    bias = np.ones(20)
+    labels = pack_order_by_bias(order, bias, 4)
+    assert np.bincount(labels, minlength=4).tolist() == [5, 5, 5, 5]
+    # contiguity: labels non-decreasing along the order
+    assert (np.diff(labels[order]) >= 0).all()
+
+
+def test_pack_order_with_uneven_bias():
+    order = np.arange(6)
+    bias = np.array([10.0, 1.0, 1.0, 1.0, 1.0, 10.0])
+    labels = pack_order_by_bias(order, bias, 2)
+    per_plane = np.bincount(labels, weights=bias, minlength=2)
+    assert abs(per_plane[0] - per_plane[1]) <= 10.0  # one heavy gate of slack
+
+
+def test_pack_order_zero_bias_falls_back_to_counts():
+    order = np.arange(9)
+    labels = pack_order_by_bias(order, np.zeros(9), 3)
+    assert np.bincount(labels, minlength=3).tolist() == [3, 3, 3]
+
+
+def test_pack_order_guarantees_nonempty():
+    # one gate carries nearly all bias: naive boundaries would leave
+    # empty planes
+    order = np.arange(5)
+    bias = np.array([100.0, 0.1, 0.1, 0.1, 0.1])
+    labels = pack_order_by_bias(order, bias, 4)
+    assert (np.bincount(labels, minlength=4) > 0).all()
+
+
+def test_pack_order_too_many_planes():
+    with pytest.raises(PartitionError):
+        pack_order_by_bias(np.arange(3), np.ones(3), 4)
+
+
+def test_greedy_beats_random_on_pipeline(chain_netlist, fast_config):
+    greedy = evaluate_partition(greedy_partition(chain_netlist, 3, config=fast_config))
+    random_result = evaluate_partition(random_partition(chain_netlist, 3, seed=0, config=fast_config))
+    assert greedy.frac_d_le_1 >= random_result.frac_d_le_1
+
+
+def test_fiedler_order_clusters_components(mixed_netlist):
+    order = fiedler_order(mixed_netlist)
+    assert sorted(order.tolist()) == list(range(mixed_netlist.num_gates))
+    # component A gates (0..29) appear before component B gates (30..39)
+    positions = {int(g): i for i, g in enumerate(order)}
+    max_a = max(positions[g] for g in range(30))
+    min_b = min(positions[g] for g in range(30, 40))
+    assert max_a < min_b
+
+
+def test_spectral_groups_connected_gates(chain_netlist, fast_config):
+    result = spectral_partition(chain_netlist, 2, config=fast_config)
+    report = evaluate_partition(result)
+    # a chain split spectrally has exactly one cut edge
+    assert report.frac_d_le_1 == 1.0
+    distances = result.connection_distances()
+    assert int((distances > 0).sum()) == 1
+
+
+def test_fm_improves_or_matches_seed(mixed_netlist, fast_config):
+    seed_result = greedy_partition(mixed_netlist, 4, config=fast_config)
+    refined = fm_partition(
+        mixed_netlist, 4, config=fast_config, seed_partition=seed_result
+    )
+    assert refined.integer_cost() <= seed_result.integer_cost() + 1e-12
+
+
+def test_fm_rejects_mismatched_seed(mixed_netlist, fast_config):
+    seed_result = greedy_partition(mixed_netlist, 3, config=fast_config)
+    with pytest.raises(PartitionError, match="different plane count"):
+        fm_partition(mixed_netlist, 4, config=fast_config, seed_partition=seed_result)
+
+
+def test_fm_escapes_local_minimum():
+    """FM's hallmark: hill-climbing via best-prefix passes. Start from a
+    deliberately interleaved partition of a two-cluster graph; plain
+    locked descent would stall, FM must recover the clusters."""
+    from repro.core.partitioner import PartitionResult
+    from repro.core.config import PartitionConfig
+    from repro.netlist.library import default_library
+    from repro.netlist.netlist import Netlist
+
+    library = default_library()
+    netlist = Netlist("two_clusters", library=library)
+    for i in range(12):
+        netlist.add_gate(f"g{i}", library["DFF"])
+    # cluster 0: gates 0..5 densely chained; cluster 1: gates 6..11
+    for i in range(5):
+        netlist.connect(f"g{i}", f"g{i + 1}")
+    for i in range(6, 11):
+        netlist.connect(f"g{i}", f"g{i + 1}")
+    netlist.connect("g0", "g2")
+    netlist.connect("g6", "g8")
+    config = PartitionConfig(restarts=1, max_iterations=50)
+    interleaved = PartitionResult(
+        netlist=netlist,
+        num_planes=2,
+        labels=np.array([0, 1] * 6),
+        config=config,
+    )
+    refined = fm_partition(netlist, 2, config=config, seed_partition=interleaved)
+    assert refined.integer_cost() < interleaved.integer_cost()

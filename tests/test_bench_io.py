@@ -1,0 +1,137 @@
+"""Tests for the ISCAS .bench reader/writer."""
+
+import itertools
+
+import pytest
+
+from repro.parsers.bench import parse_bench, write_bench
+from repro.synth.logic import LogicOp
+from repro.utils.errors import ParseError
+
+_SAMPLE = """
+# tiny sample
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G10 = NAND(G1, G2)
+G11 = NOR(G10, G3)
+G17 = XOR(G11, G1)
+"""
+
+
+def _reference(a, b, c):
+    g10 = not (a and b)
+    g11 = not (g10 or c)
+    return g11 != a
+
+
+def test_parse_and_evaluate():
+    circuit = parse_bench(_SAMPLE, name="sample")
+    for a, b, c in itertools.product([False, True], repeat=3):
+        out = circuit.evaluate({"G1": a, "G2": b, "G3": c})
+        assert out["G17"] == _reference(a, b, c), (a, b, c)
+
+
+def test_roundtrip_preserves_function():
+    circuit = parse_bench(_SAMPLE)
+    back = parse_bench(write_bench(circuit))
+    for a, b, c in itertools.product([False, True], repeat=3):
+        values = {"G1": a, "G2": b, "G3": c}
+        assert back.evaluate(values)["G17"] == circuit.evaluate(values)["G17"]
+
+
+def test_out_of_order_definitions():
+    text = """
+INPUT(a)
+OUTPUT(y)
+y = NOT(m)
+m = AND(a, a2)
+INPUT(a2)
+"""
+    circuit = parse_bench(text)
+    assert circuit.evaluate({"a": True, "a2": True})["y"] is False
+
+
+def test_nary_gates_accepted():
+    text = """
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+y = AND(a, b, c)
+"""
+    circuit = parse_bench(text)
+    assert circuit.evaluate({"a": 1, "b": 1, "c": 1})["y"] is True
+    assert circuit.evaluate({"a": 1, "b": 0, "c": 1})["y"] is False
+
+
+def test_single_operand_and_is_buffer():
+    circuit = parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a)\n")
+    assert circuit.evaluate({"a": True})["y"] is True
+
+
+def test_dff_accepted():
+    circuit = parse_bench("INPUT(a)\nOUTPUT(y)\ny = DFF(a)\n")
+    node = circuit.node(circuit.outputs["y"])
+    assert node.op is LogicOp.DFF
+
+
+def test_output_on_input_gets_buffer():
+    circuit = parse_bench("INPUT(a)\nOUTPUT(a)\n")
+    node = circuit.node(circuit.outputs["a"])
+    assert node.op is LogicOp.BUF
+
+
+def test_xnor_negation():
+    circuit = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XNOR(a, b)\n")
+    assert circuit.evaluate({"a": 1, "b": 1})["y"] is True
+    assert circuit.evaluate({"a": 1, "b": 0})["y"] is False
+
+
+def test_single_operand_not_negation():
+    circuit = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NAND(a)\n")
+    assert circuit.evaluate({"a": True})["y"] is False
+
+
+def test_cyclic_definitions_rejected():
+    text = """
+INPUT(a)
+OUTPUT(y)
+x = AND(a, y)
+y = NOT(x)
+"""
+    with pytest.raises(ParseError, match="unresolvable"):
+        parse_bench(text)
+
+
+def test_double_assignment_rejected():
+    text = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUFF(a)\n"
+    with pytest.raises(ParseError, match="assigned twice"):
+        parse_bench(text)
+
+
+def test_undefined_output_rejected():
+    with pytest.raises(ParseError, match="never defined"):
+        parse_bench("INPUT(a)\nOUTPUT(zz)\n")
+
+
+def test_unknown_gate_rejected():
+    with pytest.raises(ParseError, match="unknown gate"):
+        parse_bench("INPUT(a)\nOUTPUT(y)\ny = MAJ3(a, a, a)\n")
+
+
+def test_garbage_line_rejected():
+    with pytest.raises(ParseError, match="unrecognized"):
+        parse_bench("hello world\n")
+
+
+def test_bench_to_sfq_flow():
+    """A parsed .bench circuit must push through the full SFQ flow."""
+    from repro.netlist.validate import check_sfq_rules
+    from repro.synth.flow import synthesize
+
+    circuit = parse_bench(_SAMPLE, name="bench_flow")
+    netlist, stats = synthesize(circuit)
+    assert check_sfq_rules(netlist) == []
+    assert netlist.num_gates >= stats.logic_gates

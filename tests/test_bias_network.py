@@ -1,0 +1,98 @@
+"""Tests for repro.recycling.bias_network."""
+
+import numpy as np
+import pytest
+
+from repro.core.partitioner import partition
+from repro.recycling.bias_network import build_bias_chain
+from repro.utils.errors import RecyclingError
+
+
+@pytest.fixture()
+def chain(mixed_netlist, fast_config):
+    result = partition(mixed_netlist, 4, config=fast_config)
+    return build_bias_chain(result)
+
+
+def test_supply_defaults_to_bmax(chain):
+    assert chain.supply_current_ma == pytest.approx(float(chain.plane_bias_ma.max()))
+
+
+def test_dummy_current_is_supply_minus_plane(chain):
+    assert np.allclose(
+        chain.dummy_current_ma, chain.supply_current_ma - chain.plane_bias_ma
+    )
+    assert (chain.dummy_current_ma >= -1e-9).all()
+
+
+def test_ground_ladder(chain):
+    # plane 0 floats highest; bottom plane at common ground
+    assert chain.ground_potential_mv[0] == pytest.approx(
+        (chain.num_planes - 1) * chain.bias_voltage_mv
+    )
+    assert chain.ground_potential_mv[-1] == 0.0
+    steps = np.diff(chain.ground_potential_mv)
+    assert np.allclose(steps, -chain.bias_voltage_mv)
+    assert chain.stack_voltage_mv == pytest.approx(chain.num_planes * 2.5)
+
+
+def test_power_overhead_equals_icomp_fraction(mixed_netlist, fast_config):
+    """Serial power = I_supply*K*V; parallel = B_cir*V.  The relative
+    overhead must equal I_comp / B_cir exactly (the paper's argument for
+    minimizing I_comp)."""
+    result = partition(mixed_netlist, 4, config=fast_config)
+    chain = build_bias_chain(result)
+    per_plane = result.plane_bias_ma()
+    i_comp = float((per_plane.max() - per_plane).sum())
+    expected = i_comp / per_plane.sum() * 100
+    assert chain.power_overhead_pct == pytest.approx(expected)
+
+
+def test_underbiased_supply_rejected(mixed_netlist, fast_config):
+    result = partition(mixed_netlist, 4, config=fast_config)
+    b_max = float(result.plane_bias_ma().max())
+    with pytest.raises(RecyclingError, match="under-biases"):
+        build_bias_chain(result, supply_current_ma=b_max * 0.5)
+
+
+def test_overbias_allowed(mixed_netlist, fast_config):
+    result = partition(mixed_netlist, 4, config=fast_config)
+    b_max = float(result.plane_bias_ma().max())
+    chain = build_bias_chain(result, supply_current_ma=b_max * 1.2)
+    assert chain.supply_current_ma == pytest.approx(b_max * 1.2)
+    assert (chain.dummy_current_ma > 0).all()
+
+
+def test_bias_lines_saved(chain):
+    total = float(chain.plane_bias_ma.sum())
+    saved = chain.bias_lines_saved(pad_limit_ma=10.0)
+    import math
+
+    assert saved == max(1, math.ceil(total / 10.0)) - 1
+    with pytest.raises(RecyclingError):
+        chain.bias_lines_saved(0.0)
+
+
+def test_paper_fft_chip_scenario():
+    """Reference [23] of the paper: 2.5 A chip fed through 31 bias
+    lines; recycling saves 30 of them."""
+    from repro.core.partitioner import PartitionResult
+    from repro.core.config import PartitionConfig
+    from repro.netlist.library import default_library
+    from repro.netlist.netlist import Netlist
+
+    library = default_library()
+    netlist = Netlist("fft_like", library=library)
+    # 25 planes x ~100 mA -> 2.5 A total, one gate per plane suffices for the model
+    gate_count = 2890  # 2890 * 0.865 ~ 2.5 A with DFF+AND2 mix
+    for i in range(gate_count):
+        netlist.add_gate(f"g{i}", library["DFF" if i % 2 else "OR2"])
+    labels = np.arange(gate_count) % 25
+    result = PartitionResult(
+        netlist=netlist, num_planes=25, labels=labels, config=PartitionConfig()
+    )
+    chain = build_bias_chain(result)
+    total_a = chain.plane_bias_ma.sum() / 1000.0
+    assert total_a == pytest.approx(2.5, rel=0.06)
+    # a 100 mA pad would have needed ceil(2500/100) = 26 lines
+    assert chain.bias_lines_saved(pad_limit_ma=100.0) >= 25

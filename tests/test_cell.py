@@ -1,0 +1,76 @@
+"""Tests for repro.netlist.cell."""
+
+import pytest
+
+from repro.netlist.cell import CellKind, CellType
+
+
+def _cell(**overrides):
+    values = dict(
+        name="AND2",
+        kind=CellKind.LOGIC,
+        bias_ma=1.42,
+        width_um=130.0,
+        height_um=60.0,
+        jj_count=11,
+        inputs=("a", "b"),
+        outputs=("q",),
+        clocked=True,
+    )
+    values.update(overrides)
+    return CellType(**values)
+
+
+def test_area_is_width_times_height():
+    cell = _cell()
+    assert cell.area_um2 == pytest.approx(130.0 * 60.0)
+    assert cell.area_mm2 == pytest.approx(130.0 * 60.0 / 1e6)
+
+
+def test_max_fanout_follows_output_count():
+    assert _cell().max_fanout == 1
+    splitter = _cell(name="SPLIT", kind=CellKind.SPLITTER, outputs=("q0", "q1"), clocked=False)
+    assert splitter.max_fanout == 2
+
+
+def test_num_inputs():
+    assert _cell().num_inputs == 2
+    assert _cell(inputs=("a",)).num_inputs == 1
+
+
+def test_negative_bias_rejected():
+    with pytest.raises(ValueError, match="negative bias"):
+        _cell(bias_ma=-0.1)
+
+
+def test_nonpositive_footprint_rejected():
+    with pytest.raises(ValueError, match="footprint"):
+        _cell(width_um=0.0)
+    with pytest.raises(ValueError, match="footprint"):
+        _cell(height_um=-5.0)
+
+
+def test_negative_jj_count_rejected():
+    with pytest.raises(ValueError, match="JJ"):
+        _cell(jj_count=-1)
+
+
+def test_cell_must_have_output():
+    with pytest.raises(ValueError, match="output"):
+        _cell(outputs=())
+
+
+def test_cells_are_immutable():
+    cell = _cell()
+    with pytest.raises(AttributeError):
+        cell.bias_ma = 2.0
+
+
+def test_str_mentions_name_and_bias():
+    text = str(_cell())
+    assert "AND2" in text and "1.42" in text
+
+
+def test_zero_bias_allowed():
+    # passive structures may carry no bias
+    assert _cell(bias_ma=0.0).bias_ma == 0.0

@@ -1,0 +1,122 @@
+"""Tests for the repro-gpp CLI."""
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+def test_suite_command(capsys):
+    assert main(["suite"]) == 0
+    out = capsys.readouterr().out
+    assert "KSA4" in out and "C3540" in out and "paper gates" in out
+
+
+def test_partition_benchmark(capsys):
+    assert main(["partition", "KSA4", "-k", "4", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "d<=1" in out
+    assert "recycling plan verified" in out
+
+
+def test_partition_with_method_and_refine(capsys):
+    assert main(["partition", "KSA4", "-k", "4", "--method", "greedy", "--refine"]) == 0
+    out = capsys.readouterr().out
+    assert "greedy" in out
+
+
+def test_partition_def_file(tmp_path, capsys):
+    from repro.circuits.suite import build_circuit
+    from repro.parsers.def_writer import write_def
+
+    path = tmp_path / "ksa4.def"
+    write_def(build_circuit("KSA4"), path=str(path))
+    assert main(["partition", str(path), "-k", "3", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "B_max" in out
+
+
+def test_partition_unknown_source(capsys):
+    assert main(["partition", "NOPE_XYZ"]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err
+
+
+def test_table2_command(capsys):
+    assert main(["table2", "--seed", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table II" in out
+
+
+def test_figure1_command(capsys):
+    assert main(["figure1", "KSA4", "-k", "4", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "GP0" in out
+
+
+def test_convergence_command(capsys):
+    assert main(["convergence", "KSA4", "-k", "4", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "iterations" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_method():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["partition", "KSA4", "--method", "magic"])
+
+
+def test_simulate_command(capsys):
+    assert main(["simulate", "KSA4", "--set", "a=11", "--set", "b=5",
+                 "--outputs", "sum", "cout"]) == 0
+    out = capsys.readouterr().out
+    assert "pulse simulation" in out
+    assert "| cout   |     1 |" in out
+    assert "| sum    |     0 |" in out  # 11 + 5 = 16
+
+
+def test_simulate_bad_assignment(capsys):
+    assert main(["simulate", "KSA4", "--set", "nonsense"]) == 2
+    assert "name=value" in capsys.readouterr().err
+
+
+def test_latency_command(capsys):
+    assert main(["latency", "KSA4", "-k", "4", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "frequency loss" in out
+    assert "GHz" in out
+
+
+def test_partition_json_output(capsys):
+    assert main(["partition", "KSA4", "-k", "3", "--json", "--seed", "1"]) == 0
+    import json
+
+    data = json.loads(capsys.readouterr().out)
+    assert data["circuit"] == "KSA4" and data["K"] == 3
+
+
+def test_partition_save(tmp_path, capsys):
+    target = tmp_path / "saved.json"
+    assert main(["partition", "KSA4", "-k", "3", "--save", str(target), "--seed", "1"]) == 0
+    assert target.exists()
+    from repro.circuits.suite import build_circuit
+    from repro.harness.io import load_partition
+
+    loaded = load_partition(str(target), build_circuit("KSA4"))
+    assert loaded.num_planes == 3
+
+
+def test_annealing_method_available(capsys):
+    assert main(["partition", "KSA4", "-k", "3", "--method", "annealing", "--seed", "1"]) == 0
+    assert "annealing" in capsys.readouterr().out
+
+
+def test_stats_command(capsys):
+    assert main(["stats", "KSA8"]) == 0
+    out = capsys.readouterr().out
+    assert "netlist statistics" in out
+    assert "locality index" in out
+    assert "cell mix:" in out

@@ -1,0 +1,80 @@
+"""Tests for repro.synth.clocking."""
+
+import pytest
+
+from repro.netlist.library import default_library
+from repro.synth.clocking import CLOCK_PORT, add_clock_spine, clocked_nodes
+from repro.synth.logic import LogicCircuit, LogicOp
+from repro.synth.mapping import decompose, map_circuit
+
+
+@pytest.fixture(scope="module")
+def library():
+    return default_library()
+
+
+def _graph(library, num_gates=5):
+    circuit = LogicCircuit("t")
+    a = circuit.add_input("a")
+    node = a
+    for _ in range(num_gates):
+        node = circuit.gate(LogicOp.DFF, node)
+    circuit.set_output("q", node)
+    return map_circuit(decompose(circuit), library)
+
+
+def test_clocked_nodes_ordered_by_stage(library):
+    graph = _graph(library)
+    order = clocked_nodes(graph)
+    assert len(order) == 5
+    from repro.synth.balancing import compute_stages
+
+    stages = compute_stages(graph)
+    assert [stages[i] for i in order] == sorted(stages[i] for i in order)
+
+
+def test_spine_covers_every_clocked_gate(library):
+    graph = _graph(library, num_gates=6)
+    consumers = set(clocked_nodes(graph))
+    graph, clock_edges, inserted = add_clock_spine(graph)
+    fed = {sink for _, sink in clock_edges}
+    assert fed == consumers
+    # n-1 splitters feed n consumers (each taps one, last taps two)
+    assert inserted == len(consumers) - 1
+    assert CLOCK_PORT in graph.input_ports
+
+
+def test_each_spine_splitter_within_fanout(library):
+    graph = _graph(library, num_gates=6)
+    graph, clock_edges, _ = add_clock_spine(graph)
+    # count fanout of every clock splitter: data fanins + clock edges
+    fanout = {}
+    for node in graph.nodes:
+        for fanin in node.fanins:
+            if isinstance(fanin, int):
+                fanout[fanin] = fanout.get(fanin, 0) + 1
+    for driver, _sink in clock_edges:
+        if isinstance(driver, int):
+            fanout[driver] = fanout.get(driver, 0) + 1
+    for node in graph.nodes:
+        if node.tag == "ck":
+            assert fanout.get(node.id, 0) <= 2
+
+
+def test_single_clocked_gate_direct_feed(library):
+    graph = _graph(library, num_gates=1)
+    graph, clock_edges, inserted = add_clock_spine(graph)
+    assert inserted == 0
+    assert clock_edges == [(("port", CLOCK_PORT), clocked_nodes(graph)[0])]
+
+
+def test_no_clocked_gates_no_spine(library):
+    """A graph containing only unclocked cells gets no clock network."""
+    from repro.synth.mapping import MappedGraph
+
+    graph = MappedGraph(name="passive", library=library)
+    jtl = graph.add_node("JTL", [("port", "a")])
+    graph.add_node("JTL", [jtl])
+    graph, clock_edges, inserted = add_clock_spine(graph)
+    assert clock_edges == [] and inserted == 0
+    assert CLOCK_PORT not in graph.input_ports

@@ -1,0 +1,86 @@
+"""Tests for repro.recycling.coupling."""
+
+import numpy as np
+import pytest
+
+from repro.core.partitioner import PartitionResult, partition
+from repro.recycling.coupling import plan_couplings
+from repro.utils.errors import RecyclingError
+
+
+def _manual_result(netlist, labels, num_planes, config):
+    return PartitionResult(
+        netlist=netlist, num_planes=num_planes, labels=np.asarray(labels), config=config
+    )
+
+
+def test_boundary_decomposition(chain_netlist, fast_config):
+    # chain of 10 gates labeled 0,0,0,1,1,1,2,2,2,2: cuts at positions 2-3, 5-6
+    labels = [0, 0, 0, 1, 1, 1, 2, 2, 2, 2]
+    result = _manual_result(chain_netlist, labels, 3, fast_config)
+    plan = plan_couplings(result)
+    assert plan.pairs_per_boundary.tolist() == [1, 1]
+    assert plan.crossing_edges == 2
+    assert plan.total_pairs == 2
+
+
+def test_long_connection_crosses_every_boundary(chain_netlist, fast_config):
+    # gate 0 on plane 0, gate 1 on plane 3: the connection (0,1) needs 3 pairs
+    labels = [0, 3, 3, 3, 3, 3, 3, 3, 3, 3]
+    result = _manual_result(chain_netlist, labels, 4, fast_config)
+    plan = plan_couplings(result)
+    assert plan.pairs_per_boundary.tolist() == [1, 1, 1]
+    assert plan.worst_added_delay_ps == pytest.approx(3 * 12.0)
+
+
+def test_total_pairs_equals_distance_sum(mixed_netlist, fast_config):
+    result = partition(mixed_netlist, 4, config=fast_config)
+    plan = plan_couplings(result)
+    assert plan.total_pairs == int(result.connection_distances().sum())
+
+
+def test_area_overhead_positive_when_crossings_exist(mixed_netlist, fast_config):
+    result = partition(mixed_netlist, 4, config=fast_config)
+    plan = plan_couplings(result)
+    if plan.total_pairs:
+        assert plan.area_overhead_mm2 > 0
+        pair_area = (
+            mixed_netlist.library["TXDRV"].area_mm2 + mixed_netlist.library["RXRCV"].area_mm2
+        )
+        assert plan.area_overhead_mm2 == pytest.approx(plan.total_pairs * pair_area)
+
+
+def test_intra_plane_only_no_pairs(chain_netlist, fast_config):
+    labels = [0] * 9 + [1]
+    result = _manual_result(chain_netlist, labels, 2, fast_config)
+    plan = plan_couplings(result)
+    assert plan.total_pairs == 1  # only the last edge crosses
+    labels_all_same = [0] * 10
+    result2 = _manual_result(chain_netlist, labels_all_same, 1, fast_config)
+    plan2 = plan_couplings(result2)
+    assert plan2.total_pairs == 0
+    assert plan2.worst_added_delay_ps == 0.0
+
+
+def test_max_boundary_pairs(mixed_netlist, fast_config):
+    result = partition(mixed_netlist, 4, config=fast_config)
+    plan = plan_couplings(result)
+    assert plan.max_boundary_pairs == int(plan.pairs_per_boundary.max())
+
+
+def test_missing_coupling_cells_rejected(chain_netlist, fast_config):
+    from repro.netlist.cell import CellKind, CellType
+    from repro.netlist.library import CellLibrary
+
+    bare = CellLibrary("bare", [CellType("DFF", CellKind.STORAGE, 0.7, 70, 60, 6, ("d",), ("q",), True)])
+    labels = [0] * 10
+    result = _manual_result(chain_netlist, labels, 1, fast_config)
+    with pytest.raises(RecyclingError, match="TXDRV"):
+        plan_couplings(result, library=bare)
+
+
+def test_custom_delay(chain_netlist, fast_config):
+    labels = [0, 2] + [2] * 8
+    result = _manual_result(chain_netlist, labels, 3, fast_config)
+    plan = plan_couplings(result, coupling_delay_ps=20.0)
+    assert plan.worst_added_delay_ps == pytest.approx(40.0)

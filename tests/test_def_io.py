@@ -1,0 +1,149 @@
+"""Tests for the DEF writer/parser pair."""
+
+import pytest
+
+from repro.circuits.suite import build_circuit
+from repro.netlist.netlist import Netlist
+from repro.parsers.def_parser import parse_def
+from repro.parsers.def_writer import write_def
+from repro.utils.errors import NetlistError, ParseError
+
+
+@pytest.fixture(scope="module")
+def ksa4(library_module):
+    return build_circuit("KSA4")
+
+
+@pytest.fixture(scope="module")
+def library_module():
+    from repro.netlist.library import default_library
+
+    return default_library()
+
+
+def test_roundtrip_structure(ksa4, library_module):
+    parsed = parse_def(write_def(ksa4), library_module)
+    assert parsed.num_gates == ksa4.num_gates
+    assert parsed.num_connections == ksa4.num_connections
+    assert sorted(map(tuple, parsed.edges)) == sorted(map(tuple, ksa4.edges))
+    assert set(parsed.ports) == set(ksa4.ports)
+
+
+def test_roundtrip_placement(ksa4, library_module):
+    parsed = parse_def(write_def(ksa4), library_module)
+    for gate in ksa4.gates:
+        twin = parsed.gate(gate.name)
+        assert twin.x_um == pytest.approx(gate.x_um, abs=1e-3)
+        assert twin.y_um == pytest.approx(gate.y_um, abs=1e-3)
+        assert twin.cell.name == gate.cell.name
+
+
+def test_roundtrip_port_bindings(ksa4, library_module):
+    parsed = parse_def(write_def(ksa4), library_module)
+    for name, port in ksa4.ports.items():
+        twin = parsed.ports[name]
+        assert twin.direction == port.direction
+        if port.gate is not None:
+            assert parsed.gates[twin.gate].name == ksa4.gates[port.gate].name
+
+
+def test_def_text_shape(ksa4):
+    text = write_def(ksa4)
+    assert "VERSION 5.8 ;" in text
+    assert f"COMPONENTS {ksa4.num_gates} ;" in text
+    assert "END COMPONENTS" in text and "END NETS" in text and "END DESIGN" in text
+    assert "DIEAREA" in text
+
+
+def test_write_to_file(ksa4, tmp_path):
+    path = tmp_path / "out.def"
+    text = write_def(ksa4, path=str(path))
+    assert path.read_text() == text
+
+
+def test_unplaced_component(library_module):
+    netlist = Netlist("u", library=library_module)
+    netlist.add_gate("g0", library_module["DFF"])
+    text = write_def(netlist)
+    assert "UNPLACED" in text
+    parsed = parse_def(text, library_module)
+    assert not parsed.gates[0].placed
+
+
+def test_unknown_cell_rejected(library_module):
+    text = """DESIGN t ;
+UNITS DISTANCE MICRONS 1000 ;
+COMPONENTS 1 ;
+- g0 WEIRDCELL + PLACED ( 0 0 ) N ;
+END COMPONENTS
+"""
+    with pytest.raises(ParseError, match="unknown cell"):
+        parse_def(text, library_module)
+
+
+def test_direction_inference_failure(library_module):
+    # both endpoints on input pins: direction cannot be inferred
+    text = """DESIGN t ;
+COMPONENTS 2 ;
+- g0 DFF + PLACED ( 0 0 ) N ;
+- g1 DFF + PLACED ( 0 0 ) N ;
+END COMPONENTS
+NETS 1 ;
+- n0 ( g0 d ) ( g1 d ) ;
+END NETS
+"""
+    with pytest.raises(ParseError, match="cannot infer direction"):
+        parse_def(text, library_module)
+
+
+def test_multi_pin_net_rejected(library_module):
+    text = """DESIGN t ;
+COMPONENTS 3 ;
+- g0 SPLIT + PLACED ( 0 0 ) N ;
+- g1 DFF + PLACED ( 0 0 ) N ;
+- g2 DFF + PLACED ( 0 0 ) N ;
+END COMPONENTS
+NETS 1 ;
+- n0 ( g0 q0 ) ( g1 d ) ( g2 d ) ;
+END NETS
+"""
+    with pytest.raises(ParseError, match="2-pin"):
+        parse_def(text, library_module)
+
+
+def test_missing_sections_rejected(library_module):
+    with pytest.raises(ParseError, match="no COMPONENTS"):
+        parse_def("DESIGN t ;\n", library_module)
+
+
+def test_comments_and_multiline_statements(library_module):
+    text = """# full-line comment
+DESIGN t ;
+UNITS DISTANCE MICRONS 2000 ;
+COMPONENTS 1 ;
+- g0 DFF
+  + PLACED ( 2000 4000 ) N ;  # trailing comment
+END COMPONENTS
+NETS 0 ;
+END NETS
+"""
+    parsed = parse_def(text, library_module)
+    gate = parsed.gates[0]
+    assert gate.x_um == pytest.approx(1.0)
+    assert gate.y_um == pytest.approx(2.0)
+
+
+def test_writer_rejects_overdriven_gate(library_module):
+    netlist = Netlist("bad", library=library_module)
+    netlist.add_gate("d", library_module["DFF"])
+    netlist.add_gate("x", library_module["DFF"])
+    netlist.add_gate("y", library_module["DFF"])
+    netlist.connect("d", "x")
+    netlist.connect("d", "y")  # DFF has one output pin
+    with pytest.raises(NetlistError, match="output pins"):
+        write_def(netlist)
+
+
+def test_design_name_preserved(ksa4, library_module):
+    parsed = parse_def(write_def(ksa4, design_name="renamed"), library_module)
+    assert parsed.name == "renamed"

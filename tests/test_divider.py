@@ -1,0 +1,73 @@
+"""Tests for repro.circuits.divider."""
+
+import itertools
+
+import pytest
+
+from repro.circuits.divider import restoring_divider
+from repro.utils.errors import SynthesisError
+
+
+def test_id2_exhaustive_within_operating_condition():
+    divider = restoring_divider(2)
+    for v in range(1, 4):
+        for a_high in range(v):  # operating condition: high half < divisor
+            for a_low in range(4):
+                a = (a_high << 2) | a_low
+                out = divider.evaluate_bus({"a": a, "v": v}, ["q", "r"])
+                assert out["q"] == a // v, (a, v)
+                assert out["r"] == a % v, (a, v)
+
+
+def test_id4_sampled(rng):
+    divider = restoring_divider(4)
+    for _ in range(60):
+        v = int(rng.integers(1, 16))
+        a_high = int(rng.integers(0, v))
+        a_low = int(rng.integers(0, 16))
+        a = (a_high << 4) | a_low
+        out = divider.evaluate_bus({"a": a, "v": v}, ["q", "r"])
+        assert out["q"] == a // v and out["r"] == a % v, (a, v)
+
+
+def test_id8_sampled(rng):
+    divider = restoring_divider(8)
+    for _ in range(25):
+        v = int(rng.integers(1, 256))
+        a_high = int(rng.integers(0, v))
+        a_low = int(rng.integers(0, 256))
+        a = (a_high << 8) | a_low
+        out = divider.evaluate_bus({"a": a, "v": v}, ["q", "r"])
+        assert out["q"] == a // v and out["r"] == a % v, (a, v)
+
+
+def test_division_identity(rng):
+    """q * v + r == a and r < v — the definition of integer division."""
+    divider = restoring_divider(4)
+    for _ in range(40):
+        v = int(rng.integers(1, 16))
+        a = (int(rng.integers(0, v)) << 4) | int(rng.integers(0, 16))
+        out = divider.evaluate_bus({"a": a, "v": v}, ["q", "r"])
+        assert out["q"] * v + out["r"] == a
+        assert out["r"] < v
+
+
+def test_divide_by_max_divisor():
+    divider = restoring_divider(4)
+    out = divider.evaluate_bus({"a": (14 << 4) | 9, "v": 15}, ["q", "r"])
+    assert out["q"] == ((14 << 4) | 9) // 15
+    assert out["r"] == ((14 << 4) | 9) % 15
+
+
+def test_exact_division():
+    divider = restoring_divider(4)
+    for v, q in itertools.product(range(1, 8), range(16)):
+        a = v * q
+        if (a >> 4) < v:
+            out = divider.evaluate_bus({"a": a, "v": v}, ["q", "r"])
+            assert out["q"] == q and out["r"] == 0, (a, v)
+
+
+def test_width_one_rejected():
+    with pytest.raises(SynthesisError, match="width"):
+        restoring_divider(1)

@@ -1,0 +1,89 @@
+"""Tests for repro.recycling.dummy."""
+
+import numpy as np
+import pytest
+
+from repro.core.partitioner import partition
+from repro.recycling.dummy import apply_dummies, plan_dummies
+from repro.utils.errors import RecyclingError
+
+
+def test_deficits_match_eq11(mixed_netlist, fast_config):
+    result = partition(mixed_netlist, 4, config=fast_config)
+    plan = plan_dummies(result)
+    per_plane = result.plane_bias_ma()
+    b_max = per_plane.max()
+    assert np.allclose(plan.deficit_ma, b_max - per_plane)
+    assert plan.i_comp_ma == pytest.approx(float((b_max - per_plane).sum()))
+    expected_pct = plan.i_comp_ma / per_plane.sum() * 100
+    assert plan.i_comp_pct == pytest.approx(expected_pct)
+
+
+def test_dummy_counts_cover_deficit(mixed_netlist, fast_config):
+    result = partition(mixed_netlist, 4, config=fast_config)
+    plan = plan_dummies(result)
+    dummy_bias = mixed_netlist.library["DUMMY"].bias_ma
+    covered = plan.count_per_plane * dummy_bias
+    assert (covered >= plan.deficit_ma - 1e-9).all()
+    # and no more than one extra quantum per plane
+    assert (plan.overshoot_ma <= dummy_bias + 1e-9).all()
+
+
+def test_heaviest_plane_needs_no_dummies(mixed_netlist, fast_config):
+    result = partition(mixed_netlist, 4, config=fast_config)
+    plan = plan_dummies(result)
+    heaviest = int(np.argmax(result.plane_bias_ma()))
+    assert plan.count_per_plane[heaviest] == 0
+    assert plan.deficit_ma[heaviest] == 0.0
+
+
+def test_area_accounting(mixed_netlist, fast_config):
+    result = partition(mixed_netlist, 4, config=fast_config)
+    plan = plan_dummies(result)
+    dummy_area = mixed_netlist.library["DUMMY"].area_mm2
+    assert plan.area_mm2 == pytest.approx(plan.total_count * dummy_area)
+
+
+def test_apply_dummies_extends_netlist(mixed_netlist, fast_config):
+    result = partition(mixed_netlist, 4, config=fast_config)
+    plan = plan_dummies(result)
+    extended, labels = apply_dummies(result, plan)
+    assert extended.num_gates == mixed_netlist.num_gates + plan.total_count
+    assert labels.shape == (extended.num_gates,)
+    # dummies carry no connections
+    assert extended.num_connections == mixed_netlist.num_connections
+    # per-plane bias is now equal within one dummy quantum
+    per_plane = np.bincount(labels, weights=extended.bias_vector_ma(), minlength=4)
+    assert per_plane.max() - per_plane.min() <= mixed_netlist.library["DUMMY"].bias_ma + 1e-9
+
+
+def test_apply_dummies_does_not_mutate_original(mixed_netlist, fast_config):
+    result = partition(mixed_netlist, 4, config=fast_config)
+    before = mixed_netlist.num_gates
+    apply_dummies(result)
+    assert mixed_netlist.num_gates == before
+
+
+def test_balanced_partition_needs_no_dummies(library, fast_config):
+    from repro.core.partitioner import PartitionResult
+    from repro.netlist.netlist import Netlist
+
+    netlist = Netlist("balanced", library=library)
+    for i in range(4):
+        netlist.add_gate(f"g{i}", library["DFF"])
+    result = PartitionResult(
+        netlist=netlist, num_planes=2, labels=np.array([0, 0, 1, 1]), config=fast_config
+    )
+    plan = plan_dummies(result)
+    assert plan.total_count == 0
+    assert plan.i_comp_ma == 0.0
+
+
+def test_library_without_dummy_rejected(mixed_netlist, fast_config):
+    from repro.netlist.cell import CellKind, CellType
+    from repro.netlist.library import CellLibrary
+
+    result = partition(mixed_netlist, 2, config=fast_config)
+    bare = CellLibrary("bare", [CellType("DFF", CellKind.STORAGE, 0.7, 70, 60, 6, ("d",), ("q",), True)])
+    with pytest.raises(RecyclingError, match="DUMMY"):
+        plan_dummies(result, library=bare)

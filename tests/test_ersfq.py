@@ -1,0 +1,71 @@
+"""Tests for repro.recycling.ersfq."""
+
+import numpy as np
+import pytest
+
+from repro.core.partitioner import partition
+from repro.recycling.ersfq import (
+    FEEDING_JJ_MARGIN,
+    MAX_FEEDING_JJ_IC_MA,
+    bias_inductance_nh,
+    feeding_jj_count,
+    plan_ersfq_bias,
+)
+from repro.utils.errors import RecyclingError
+
+
+def test_inductance_formula():
+    # L = n * Phi0 / I: 10 quanta at 1 mA -> 10 * 2.068e-15 / 1e-3 H = 20.7 pH
+    value = bias_inductance_nh(1.0)
+    assert value == pytest.approx(10 * 2.067833848e-15 / 1e-3 * 1e9)
+    # halving the current doubles the inductance
+    assert bias_inductance_nh(0.5) == pytest.approx(2 * value)
+
+
+def test_inductance_validation():
+    with pytest.raises(RecyclingError):
+        bias_inductance_nh(0.0)
+
+
+def test_feeding_jj_count():
+    per_jj = MAX_FEEDING_JJ_IC_MA / FEEDING_JJ_MARGIN
+    assert feeding_jj_count(per_jj) == 1
+    assert feeding_jj_count(per_jj * 2.5) == 3
+    assert feeding_jj_count(0.0) == 0
+    with pytest.raises(RecyclingError):
+        feeding_jj_count(-1.0)
+
+
+def test_plan_covers_all_planes(mixed_netlist, fast_config):
+    result = partition(mixed_netlist, 4, config=fast_config)
+    plan = plan_ersfq_bias(result)
+    assert plan.num_planes == 4
+    assert plan.feeding_jjs_per_plane.shape == (4,)
+    assert (plan.feeding_jjs_per_plane > 0).all()
+    assert plan.total_feeding_jjs == int(
+        plan.feeding_jjs_per_plane.sum() + plan.dummy_feeding_jjs_per_plane.sum()
+    )
+
+
+def test_heaviest_plane_needs_no_dummy_jjs(mixed_netlist, fast_config):
+    result = partition(mixed_netlist, 4, config=fast_config)
+    plan = plan_ersfq_bias(result)
+    heaviest = int(np.argmax(result.plane_bias_ma()))
+    # the heaviest plane's dummy deficit is zero up to quantization
+    assert plan.dummy_feeding_jjs_per_plane[heaviest] <= 2
+
+
+def test_feeding_jjs_scale_with_bias(mixed_netlist, fast_config):
+    result = partition(mixed_netlist, 4, config=fast_config)
+    plan = plan_ersfq_bias(result)
+    order_by_bias = np.argsort(plan.plane_bias_ma)
+    order_by_jjs = np.argsort(plan.feeding_jjs_per_plane, kind="stable")
+    # monotone relationship (ties aside): extremes must agree
+    assert plan.feeding_jjs_per_plane[order_by_bias[-1]] >= plan.feeding_jjs_per_plane[order_by_bias[0]]
+    del order_by_jjs
+
+
+def test_as_dict(mixed_netlist, fast_config):
+    result = partition(mixed_netlist, 2, config=fast_config)
+    data = plan_ersfq_bias(result).as_dict()
+    assert set(data) == {"num_planes", "total_feeding_jjs", "total_inductance_nh"}

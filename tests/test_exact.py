@@ -1,0 +1,100 @@
+"""Tests for repro.baselines.exact — the brute-force optimum."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.baselines import exact_partition, fm_partition, greedy_partition
+from repro.core.config import PartitionConfig
+from repro.core.cost import integer_cost
+from repro.core.partitioner import partition
+from repro.netlist.netlist import Netlist
+from repro.utils.errors import PartitionError
+
+
+@pytest.fixture(scope="module")
+def config():
+    return PartitionConfig(restarts=2, max_iterations=300, seed=1)
+
+
+def _tiny_netlist(library, num_gates=9, seed=3):
+    rng = np.random.default_rng(seed)
+    netlist = Netlist(f"tiny{num_gates}", library=library)
+    kinds = ["DFF", "AND2", "SPLIT", "OR2", "XOR2"]
+    for i in range(num_gates):
+        netlist.add_gate(f"g{i}", library[kinds[i % len(kinds)]])
+    for i in range(num_gates - 1):
+        netlist.connect(f"g{i}", f"g{i + 1}")
+    extra = 0
+    while extra < num_gates // 2:
+        u, v = rng.integers(0, num_gates, 2)
+        if u != v and not netlist.has_edge(int(min(u, v)), int(max(u, v))):
+            try:
+                netlist.connect(int(min(u, v)), int(max(u, v)))
+                extra += 1
+            except Exception:
+                pass
+    return netlist
+
+
+def test_exact_matches_manual_enumeration(library, config):
+    """Cross-check the vectorized enumeration against a pure-python
+    loop on a 6-gate instance."""
+    netlist = _tiny_netlist(library, num_gates=6)
+    k = 2
+    result = exact_partition(netlist, k, config=config)
+    edges = netlist.edge_array()
+    bias = netlist.bias_vector_ma()
+    area = netlist.area_vector_um2()
+    best = np.inf
+    for labels in itertools.product(range(k), repeat=6):
+        labels = np.array(labels)
+        if len(set(labels.tolist())) < k:
+            continue
+        best = min(best, integer_cost(labels, k, edges, bias, area, config))
+    assert result.integer_cost() == pytest.approx(best)
+
+
+def test_exact_lower_bounds_all_heuristics(library, config):
+    netlist = _tiny_netlist(library, num_gates=10)
+    k = 3
+    optimum = exact_partition(netlist, k, config=config).integer_cost()
+    for heuristic in (partition, greedy_partition, fm_partition):
+        cost = heuristic(netlist, k, config=config).integer_cost()
+        assert cost >= optimum - 1e-12, heuristic.__name__
+
+
+def test_fm_is_near_optimal_on_tiny_instances(library, config):
+    """FM lands within 20 % of the true optimum on chains with chords."""
+    netlist = _tiny_netlist(library, num_gates=10, seed=7)
+    optimum = exact_partition(netlist, 3, config=config).integer_cost()
+    fm_cost = fm_partition(netlist, 3, config=config).integer_cost()
+    assert fm_cost <= optimum * 1.2 + 1e-9
+
+
+def test_exact_nonempty_planes(library, config):
+    netlist = _tiny_netlist(library, num_gates=8)
+    result = exact_partition(netlist, 3, config=config)
+    assert (result.plane_sizes() > 0).all()
+
+
+def test_exact_rejects_large_instances(library, config):
+    netlist = _tiny_netlist(library, num_gates=10)
+    with pytest.raises(PartitionError, match="exceeds"):
+        exact_partition(netlist, 10, config=config)
+
+
+def test_exact_validation(library, config):
+    netlist = _tiny_netlist(library, num_gates=4)
+    with pytest.raises(PartitionError):
+        exact_partition(netlist, 0, config=config)
+    with pytest.raises(PartitionError):
+        exact_partition(netlist, 9, config=config)
+
+
+def test_exact_single_plane(library, config):
+    netlist = _tiny_netlist(library, num_gates=5)
+    result = exact_partition(netlist, 1, config=config)
+    assert (result.labels == 0).all()
+    assert result.integer_cost() == pytest.approx(0.0)

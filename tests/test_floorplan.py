@@ -1,0 +1,66 @@
+"""Tests for repro.recycling.floorplan."""
+
+import pytest
+
+from repro.core.partitioner import partition
+from repro.recycling.floorplan import build_floorplan
+from repro.utils.errors import RecyclingError
+
+
+@pytest.fixture()
+def plan(mixed_netlist, fast_config):
+    return build_floorplan(partition(mixed_netlist, 4, config=fast_config))
+
+
+def test_stripe_count_and_geometry(plan):
+    assert len(plan.stripes) == 4
+    # stripes tile the die exactly
+    total_height = sum(stripe.height_mm for stripe in plan.stripes)
+    assert total_height == pytest.approx(plan.die_height_mm)
+    for stripe in plan.stripes:
+        assert stripe.width_mm == pytest.approx(plan.die_width_mm)
+
+
+def test_stripes_stacked_in_order(plan):
+    ys = [stripe.y_mm for stripe in plan.stripes]
+    assert ys == sorted(ys)
+    assert plan.stripes[0].y_mm == 0.0
+
+
+def test_fullest_stripe_hits_target_utilization(mixed_netlist, fast_config):
+    result = partition(mixed_netlist, 4, config=fast_config)
+    plan = build_floorplan(result, utilization=0.6)
+    top = max(stripe.utilization for stripe in plan.stripes)
+    assert top == pytest.approx(0.6, rel=1e-6)
+    assert all(stripe.utilization <= 0.6 + 1e-9 for stripe in plan.stripes)
+
+
+def test_gate_accounting(plan, mixed_netlist):
+    assert sum(stripe.gate_count for stripe in plan.stripes) == mixed_netlist.num_gates
+    total_gate_area = sum(stripe.gate_area_mm2 for stripe in plan.stripes)
+    assert total_gate_area == pytest.approx(mixed_netlist.total_area_mm2)
+
+
+def test_aspect_ratio(mixed_netlist, fast_config):
+    result = partition(mixed_netlist, 4, config=fast_config)
+    wide = build_floorplan(result, aspect_ratio=4.0)
+    assert wide.die_width_mm / wide.die_height_mm == pytest.approx(4.0, rel=1e-6)
+
+
+def test_render_mentions_planes_and_couplings(plan):
+    art = plan.render()
+    for plane in range(4):
+        assert f"GP{plane}" in art
+    assert "coupling pairs" in art
+    assert "external supply" in art
+    assert "ground return" in art
+
+
+def test_bad_utilization_rejected(mixed_netlist, fast_config):
+    result = partition(mixed_netlist, 4, config=fast_config)
+    with pytest.raises(RecyclingError, match="utilization"):
+        build_floorplan(result, utilization=0.0)
+
+
+def test_total_area(plan):
+    assert plan.total_area_mm2 == pytest.approx(plan.die_width_mm * plan.die_height_mm)

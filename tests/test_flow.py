@@ -1,0 +1,91 @@
+"""Tests for repro.synth.flow — the end-to-end synthesis pipeline."""
+
+import pytest
+
+from repro.circuits.ksa import kogge_stone_adder
+from repro.netlist.validate import check_sfq_rules
+from repro.synth.flow import SynthesisOptions, synthesize
+from repro.synth.logic import LogicCircuit
+from repro.utils.errors import SynthesisError
+
+
+def test_synthesize_produces_legal_netlist():
+    netlist, stats = synthesize(kogge_stone_adder(4))
+    assert check_sfq_rules(netlist) == []
+    assert stats.total_gates == netlist.num_gates
+    assert stats.connections == netlist.num_connections
+    assert stats.total_gates == stats.logic_gates + stats.balance_dffs + stats.splitters
+
+
+def test_ports_preserved():
+    netlist, _ = synthesize(kogge_stone_adder(4))
+    input_names = {p.name for p in netlist.input_ports()}
+    output_names = {p.name for p in netlist.output_ports()}
+    assert {"a[0]", "a[3]", "b[0]", "b[3]"} <= input_names
+    assert {"sum[0]", "sum[3]", "cout"} <= output_names
+    # all bound ports reference valid gates
+    for port in netlist.ports.values():
+        if port.gate is not None:
+            assert 0 <= port.gate < netlist.num_gates
+
+
+def test_placement_performed_by_default():
+    netlist, _ = synthesize(kogge_stone_adder(2))
+    assert all(gate.placed for gate in netlist.gates)
+
+
+def test_placement_skippable():
+    netlist, _ = synthesize(
+        kogge_stone_adder(2), options=SynthesisOptions(place=False)
+    )
+    assert not any(gate.placed for gate in netlist.gates)
+
+
+def test_clock_tree_option_adds_gates_and_edges():
+    base, base_stats = synthesize(kogge_stone_adder(4))
+    clocked, clocked_stats = synthesize(
+        kogge_stone_adder(4), options=SynthesisOptions(include_clock_tree=True)
+    )
+    assert clocked_stats.clock_splitters > 0
+    assert clocked.num_gates > base.num_gates
+    assert clocked.num_connections > base.num_connections
+    assert "clk" in {p.name for p in clocked.input_ports()}
+
+
+def test_connection_gate_ratio_in_paper_band():
+    """Table I: 1.12 <= connections/gates <= 1.35 for every circuit."""
+    netlist, _ = synthesize(kogge_stone_adder(8))
+    ratio = netlist.num_connections / netlist.num_gates
+    assert 1.05 <= ratio <= 1.40
+
+
+def test_average_bias_and_area_in_paper_band():
+    """Table I: ~0.85 mA and ~4850 um^2 per gate on average."""
+    netlist, _ = synthesize(kogge_stone_adder(8))
+    avg_bias = netlist.total_bias_ma / netlist.num_gates
+    avg_area_um2 = netlist.total_area_mm2 * 1e6 / netlist.num_gates
+    assert 0.70 <= avg_bias <= 1.00
+    assert 4000 <= avg_area_um2 <= 5800
+
+
+def test_no_outputs_rejected():
+    circuit = LogicCircuit("t")
+    circuit.add_input("a")
+    with pytest.raises(SynthesisError, match="no outputs"):
+        synthesize(circuit)
+
+
+def test_stats_as_dict():
+    _, stats = synthesize(kogge_stone_adder(2))
+    data = stats.as_dict()
+    assert set(data) == {
+        "logic_gates", "balance_dffs", "splitters",
+        "clock_splitters", "total_gates", "connections",
+    }
+
+
+def test_synthesized_netlist_is_acyclic():
+    from repro.netlist.graph import is_acyclic
+
+    netlist, _ = synthesize(kogge_stone_adder(4))
+    assert is_acyclic(netlist)

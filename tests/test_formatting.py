@@ -1,0 +1,46 @@
+"""Tests for repro.harness.formatting."""
+
+from repro.harness.formatting import ascii_table, percent
+
+
+def test_basic_table():
+    text = ascii_table(["name", "value"], [["a", 1], ["bb", 22]])
+    lines = text.splitlines()
+    assert lines[0].startswith("+")
+    assert "| name" in lines[1]
+    # all rows same width
+    widths = {len(line) for line in lines}
+    assert len(widths) == 1
+
+
+def test_numeric_right_alignment():
+    text = ascii_table(["n"], [[1], [100]])
+    lines = [line for line in text.splitlines() if line.startswith("|")]
+    assert lines[1] == "|   1 |"
+    assert lines[2] == "| 100 |"
+
+
+def test_text_left_alignment():
+    text = ascii_table(["s"], [["a"], ["long"]])
+    lines = [line for line in text.splitlines() if line.startswith("|")]
+    assert lines[1] == "| a    |"
+
+
+def test_floats_formatted():
+    text = ascii_table(["x"], [[3.14159]])
+    assert "3.14" in text and "3.14159" not in text
+
+
+def test_title_included():
+    assert ascii_table(["a"], [[1]], title="My Table").startswith("My Table")
+
+
+def test_empty_rows():
+    text = ascii_table(["a", "b"], [])
+    assert "| a | b |" in text
+
+
+def test_percent_helper():
+    assert percent(0.746) == "74.6%"
+    assert percent(0.5, digits=0) == "50%"
+    assert percent(1.0) == "100.0%"

@@ -1,0 +1,146 @@
+"""Tests for repro.core.gradients.
+
+The decisive checks are finite-difference comparisons: the analytic
+gradients printed in eq. (10) of the paper must match the numerical
+derivative of the implemented cost terms (they do for F1/F2/F3; for F4
+only the ``exact`` flavor matches — the printed F4 gradient deviates
+from the printed F4 cost, which is exactly the documented discrepancy
+DESIGN.md describes).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import assignment, cost, gradients
+from repro.core.config import PartitionConfig
+
+
+def _numeric_gradient(function, w, epsilon=1e-6):
+    grad = np.zeros_like(w)
+    for i in range(w.shape[0]):
+        for k in range(w.shape[1]):
+            w_plus = w.copy()
+            w_plus[i, k] += epsilon
+            w_minus = w.copy()
+            w_minus[i, k] -= epsilon
+            grad[i, k] = (function(w_plus) - function(w_minus)) / (2 * epsilon)
+    return grad
+
+
+@pytest.fixture()
+def problem():
+    rng = np.random.default_rng(11)
+    w = assignment.random_assignment(7, 4, rng=rng)
+    edges = np.array([[0, 1], [1, 2], [2, 3], [3, 4], [4, 5], [5, 6], [0, 6], [2, 5]])
+    bias = rng.uniform(0.3, 1.5, 7)
+    area = rng.uniform(1800, 7800, 7)
+    return w, edges, bias, area
+
+
+def test_grad_f1_matches_finite_difference(problem):
+    w, edges, _, _ = problem
+    analytic = gradients.grad_interconnection(w, edges)
+    numeric = _numeric_gradient(lambda x: cost.interconnection_cost(x, edges), w)
+    assert np.allclose(analytic, numeric, atol=1e-5)
+
+
+def test_grad_f2_matches_finite_difference(problem):
+    """The paper's F2 gradient treats Bbar (inside N2) as a constant;
+    compare against the numerical derivative with N2 frozen."""
+    w, _, bias, _ = problem
+    num_planes = w.shape[1]
+    per_plane = bias @ w
+    mean = per_plane.mean()
+    frozen_n2 = (num_planes - 1) * mean**2
+
+    def frozen_cost(x):
+        per = bias @ x
+        return float(np.mean((per - per.mean()) ** 2) / frozen_n2)
+
+    analytic = gradients.grad_bias(w, bias)
+    numeric = _numeric_gradient(frozen_cost, w)
+    assert np.allclose(analytic, numeric, atol=1e-6)
+
+
+def test_grad_f3_matches_finite_difference(problem):
+    w, _, _, area = problem
+    num_planes = w.shape[1]
+    per_plane = area @ w
+    frozen_n3 = (num_planes - 1) * per_plane.mean() ** 2
+
+    def frozen_cost(x):
+        per = area @ x
+        return float(np.mean((per - per.mean()) ** 2) / frozen_n3)
+
+    analytic = gradients.grad_area(w, area)
+    numeric = _numeric_gradient(frozen_cost, w)
+    assert np.allclose(analytic, numeric, atol=1e-6)
+
+
+def test_grad_f4_exact_matches_finite_difference(problem):
+    w, _, _, _ = problem
+    analytic = gradients.grad_constraint_exact(w)
+    numeric = _numeric_gradient(cost.constraint_cost, w)
+    assert np.allclose(analytic, numeric, atol=1e-5)
+
+
+def test_grad_f4_paper_deviates_from_cost_derivative(problem):
+    """Documented deviation: eq. (10)'s F4 gradient is NOT the derivative
+    of eq. (9)'s F4 — the reproduction must preserve that fact."""
+    w, _, _, _ = problem
+    paper = gradients.grad_constraint_paper(w)
+    numeric = _numeric_gradient(cost.constraint_cost, w)
+    assert not np.allclose(paper, numeric, atol=1e-4)
+
+
+def test_grad_f4_paper_formula_verbatim():
+    # spot-check eq. (10) line 4 on a tiny matrix
+    w = np.array([[0.2, 0.8], [0.5, 0.5]])
+    num_gates, k = w.shape
+    n4 = num_gates * (k - 1) ** 2
+    row_mean = w.mean(axis=1, keepdims=True)
+    expected = (2.0 / n4) * ((k + 1.0 / k) * (row_mean - w) + (k - 1.0))
+    assert np.allclose(gradients.grad_constraint_paper(w), expected)
+
+
+def test_grad_f1_k_weighting():
+    """eq. (10): dF1/dw[i,k] carries the explicit factor k (one-based)."""
+    w = assignment.random_assignment(4, 3, rng=3)
+    edges = np.array([[0, 1], [1, 2], [2, 3]])
+    grad = gradients.grad_interconnection(w, edges)
+    # columns must be proportional to k = 1, 2, 3 per row
+    for i in range(4):
+        if abs(grad[i, 0]) > 1e-12:
+            assert grad[i, 1] / grad[i, 0] == pytest.approx(2.0)
+            assert grad[i, 2] / grad[i, 0] == pytest.approx(3.0)
+
+
+def test_gradients_zero_for_single_plane():
+    w = np.ones((5, 1))
+    edges = np.array([[0, 1]])
+    assert np.allclose(gradients.grad_interconnection(w, edges), 0.0)
+    assert np.allclose(gradients.grad_bias(w, np.ones(5)), 0.0)
+    assert np.allclose(gradients.grad_constraint_paper(w), 0.0)
+    assert np.allclose(gradients.grad_constraint_exact(w), 0.0)
+
+
+def test_cost_gradient_mode_switch(problem):
+    w, edges, bias, area = problem
+    paper_config = PartitionConfig(gradient_mode="paper")
+    exact_config = PartitionConfig(gradient_mode="exact")
+    grad_paper = gradients.cost_gradient(w, edges, bias, area, paper_config)
+    grad_exact = gradients.cost_gradient(w, edges, bias, area, exact_config)
+    assert not np.allclose(grad_paper, grad_exact)
+    # F1-F3 parts are identical: the difference is exactly c4 * (F4 diff)
+    difference = grad_paper - grad_exact
+    expected = paper_config.c4 * (
+        gradients.grad_constraint_paper(w) - gradients.grad_constraint_exact(w)
+    )
+    assert np.allclose(difference, expected)
+
+
+def test_cost_gradient_weighted_sum(problem):
+    w, edges, bias, area = problem
+    config = PartitionConfig(c1=2.0, c2=0.0, c3=0.0, c4=0.0)
+    grad = gradients.cost_gradient(w, edges, bias, area, config)
+    assert np.allclose(grad, 2.0 * gradients.grad_interconnection(w, edges))

@@ -1,0 +1,100 @@
+"""Tests for repro.netlist.graph."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import graph
+from repro.utils.errors import NetlistError
+
+
+def test_adjacency_directed(diamond_netlist):
+    successors, predecessors = graph.adjacency_lists(diamond_netlist)
+    split = diamond_netlist.gate("split").index
+    left = diamond_netlist.gate("left").index
+    right = diamond_netlist.gate("right").index
+    assert sorted(successors[split]) == sorted([left, right])
+    assert predecessors[left] == [split]
+
+
+def test_adjacency_undirected(diamond_netlist):
+    neighbors = graph.adjacency_lists(diamond_netlist, directed=False)
+    split = diamond_netlist.gate("split").index
+    assert len(neighbors[split]) == 3  # src + left + right
+
+
+def test_degrees_and_fanout(diamond_netlist):
+    degrees = graph.undirected_degrees(diamond_netlist)
+    fanout = graph.fanout_counts(diamond_netlist)
+    fanin = graph.fanin_counts(diamond_netlist)
+    split = diamond_netlist.gate("split").index
+    merge = diamond_netlist.gate("merge").index
+    assert degrees[split] == 3
+    assert fanout[split] == 2
+    assert fanin[merge] == 2
+
+
+def test_raw_pair_input():
+    degrees = graph.undirected_degrees((4, [(0, 1), (1, 2)]))
+    assert degrees.tolist() == [1, 2, 1, 0]
+
+
+def test_edge_endpoints_validated():
+    with pytest.raises(NetlistError, match="out of range"):
+        graph.undirected_degrees((2, [(0, 5)]))
+
+
+def test_connected_components(mixed_netlist):
+    components = graph.connected_components(mixed_netlist)
+    assert components[:30].max() == components[:30].min() == 0
+    assert (components[30:] == 1).all()
+
+
+def test_connected_components_all_isolated():
+    components = graph.connected_components((3, []))
+    assert components.tolist() == [0, 1, 2]
+
+
+def test_bfs_levels(chain_netlist):
+    levels = graph.bfs_levels(chain_netlist, [0])
+    assert levels.tolist() == list(range(10))
+
+
+def test_bfs_levels_unreachable(mixed_netlist):
+    levels = graph.bfs_levels(mixed_netlist, [0])
+    assert (levels[30:] == -1).all()
+
+
+def test_bfs_source_out_of_range(chain_netlist):
+    with pytest.raises(NetlistError, match="out of range"):
+        graph.bfs_levels(chain_netlist, [99])
+
+
+def test_logic_levels_chain(chain_netlist):
+    levels = graph.logic_levels(chain_netlist)
+    assert levels.tolist() == list(range(10))
+
+
+def test_logic_levels_diamond(diamond_netlist):
+    levels = graph.logic_levels(diamond_netlist)
+    merge = diamond_netlist.gate("merge").index
+    src = diamond_netlist.gate("src").index
+    assert levels[src] == 0
+    assert levels[merge] == 3  # src -> split -> left/right -> merge
+
+
+def test_logic_levels_with_cycle_terminates():
+    # 0 -> 1 -> 2 -> 0 plus 3 feeding in
+    levels = graph.logic_levels((4, [(0, 1), (1, 2), (2, 0), (3, 0)]))
+    assert levels.shape == (4,)
+    assert levels[3] == 0  # the only true source
+
+
+def test_is_acyclic(diamond_netlist):
+    assert graph.is_acyclic(diamond_netlist)
+    assert not graph.is_acyclic((3, [(0, 1), (1, 2), (2, 0)]))
+
+
+def test_edge_array_helper(diamond_netlist):
+    edges = graph.edge_array(diamond_netlist)
+    assert edges.shape == (5, 2)
+    assert edges.dtype == np.intp

@@ -1,0 +1,47 @@
+"""Tests for repro.harness.figures."""
+
+import pytest
+
+from repro.core.config import PartitionConfig
+from repro.harness import figures
+
+
+@pytest.fixture(scope="module")
+def cheap_config():
+    return PartitionConfig(restarts=1, max_iterations=200, seed=5)
+
+
+def test_figure1_renders(cheap_config):
+    text, floorplan, result = figures.figure1("KSA4", 5, config=cheap_config)
+    assert "GP0" in text and "GP4" in text
+    assert floorplan.num_planes == 5
+    assert result.num_planes == 5
+
+
+def test_convergence_trace(cheap_config):
+    history, result = figures.convergence_trace("KSA4", 5, config=cheap_config)
+    assert len(history) == len(result.trace.cost_history)
+    assert len(history) >= 2
+
+
+def test_render_convergence():
+    text = figures.render_convergence([10.0, 5.0, 3.0, 2.5, 2.4], width=20, height=5)
+    assert "convergence" in text
+    assert "iterations" in text
+    assert "*" in text
+
+
+def test_render_convergence_empty():
+    assert "<empty trace>" in figures.render_convergence([])
+
+
+def test_render_convergence_constant_trace():
+    text = figures.render_convergence([1.0, 1.0, 1.0])
+    assert "*" in text  # flat line still renders
+
+
+def test_distance_histogram(cheap_config):
+    text, histogram, result = figures.distance_histogram_figure("KSA4", 5, config=cheap_config)
+    assert histogram.shape == (5,)
+    assert histogram.sum() == result.netlist.num_connections
+    assert "d=0" in text and "d=4" in text

@@ -1,0 +1,87 @@
+"""Tests for repro.harness.io (JSON persistence)."""
+
+import json
+
+import pytest
+
+from repro.core.partitioner import partition
+from repro.harness.io import (
+    load_partition,
+    partition_to_dict,
+    report_to_dict,
+    save_partition,
+    save_report,
+)
+from repro.metrics.report import evaluate_partition
+from repro.utils.errors import ReproError
+
+
+@pytest.fixture()
+def result(mixed_netlist, fast_config):
+    return partition(mixed_netlist, 4, config=fast_config)
+
+
+def test_roundtrip_in_memory(result, mixed_netlist):
+    data = partition_to_dict(result)
+    loaded = load_partition(data, mixed_netlist)
+    assert (loaded.labels == result.labels).all()
+    assert loaded.num_planes == result.num_planes
+    assert loaded.config == result.config
+    assert loaded.restart_costs == result.restart_costs
+
+
+def test_roundtrip_via_file(result, mixed_netlist, tmp_path):
+    path = tmp_path / "partition.json"
+    save_partition(result, str(path))
+    loaded = load_partition(str(path), mixed_netlist)
+    assert (loaded.labels == result.labels).all()
+    # the file is honest JSON
+    raw = json.loads(path.read_text())
+    assert raw["kind"] == "partition" and raw["circuit"] == mixed_netlist.name
+
+
+def test_wrong_netlist_rejected(result, chain_netlist):
+    data = partition_to_dict(result)
+    with pytest.raises(ReproError, match="saved for circuit"):
+        load_partition(data, chain_netlist)
+
+
+def test_gate_count_mismatch_rejected(result, mixed_netlist, library):
+    data = partition_to_dict(result)
+    grown = mixed_netlist.copy()
+    grown.add_gate("extra", library["DFF"])
+    with pytest.raises(ReproError, match="gate count"):
+        load_partition(data, grown)
+
+
+def test_gate_name_drift_rejected(result, mixed_netlist, library):
+    data = partition_to_dict(result)
+    data["gate_names"][0] = "renamed"
+    with pytest.raises(ReproError, match="name sequence"):
+        load_partition(data, mixed_netlist)
+
+
+def test_wrong_kind_rejected(result, mixed_netlist):
+    data = partition_to_dict(result)
+    data["kind"] = "sandwich"
+    with pytest.raises(ReproError, match="not a partition"):
+        load_partition(data, mixed_netlist)
+
+
+def test_format_version_checked(result, mixed_netlist):
+    data = partition_to_dict(result)
+    data["format"] = 99
+    with pytest.raises(ReproError, match="unsupported"):
+        load_partition(data, mixed_netlist)
+
+
+def test_report_serialization(result, tmp_path):
+    report = evaluate_partition(result)
+    data = report_to_dict(report)
+    assert data["kind"] == "report"
+    assert len(data["per_plane_bias_ma"]) == result.num_planes
+    path = tmp_path / "report.json"
+    save_report(report, str(path))
+    raw = json.loads(path.read_text())
+    assert raw["circuit"] == report.circuit
+    assert raw["K"] == result.num_planes

@@ -1,0 +1,106 @@
+"""Cross-module integration tests: the full pipelines a user would run."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    PartitionConfig,
+    build_circuit,
+    evaluate_partition,
+    partition,
+    plan_bias_limited,
+    refine_greedy,
+)
+from repro.circuits.ksa import kogge_stone_adder
+from repro.netlist.library import default_library
+from repro.parsers import parse_def, parse_lef, write_def, write_lef
+from repro.recycling import apply_dummies, plan_recycling, verify_recycling
+from repro.synth import SynthesisOptions, synthesize
+
+
+@pytest.fixture(scope="module")
+def config():
+    return PartitionConfig(restarts=2, max_iterations=400, seed=9)
+
+
+def test_logic_to_recycling_pipeline(config):
+    """logic -> SFQ synthesis -> partition -> metrics -> recycling."""
+    netlist, stats = synthesize(kogge_stone_adder(8))
+    assert stats.total_gates == netlist.num_gates
+    result = partition(netlist, 5, config=config)
+    report = evaluate_partition(result)
+    assert 0.4 <= report.frac_d_le_1 <= 1.0
+    plan = plan_recycling(result)
+    assert verify_recycling(plan) == []
+    # the supply equals B_max and the power overhead equals I_comp%
+    assert plan.chain.supply_current_ma == pytest.approx(report.b_max_ma)
+    assert plan.chain.power_overhead_pct == pytest.approx(report.i_comp_pct, rel=1e-6)
+
+
+def test_def_exchange_pipeline(config, tmp_path):
+    """write DEF+LEF -> parse back -> partition the parsed netlist."""
+    library = default_library()
+    netlist = build_circuit("MULT4")
+    def_path = tmp_path / "mult4.def"
+    lef_path = tmp_path / "cells.lef"
+    write_def(netlist, path=str(def_path))
+    write_lef(library, path=str(lef_path))
+
+    parsed_library = parse_lef(lef_path.read_text())
+    parsed = parse_def(def_path.read_text(), parsed_library, filename=str(def_path))
+    assert parsed.num_gates == netlist.num_gates
+
+    result = partition(parsed, 5, config=config)
+    report = evaluate_partition(result)
+    assert report.b_cir_ma == pytest.approx(netlist.total_bias_ma)
+
+
+def test_equalized_netlist_reexport(config, tmp_path):
+    """partition -> dummy insertion -> DEF export of the equalized chip."""
+    netlist = build_circuit("KSA4")
+    result = partition(netlist, 4, config=config)
+    extended, labels = apply_dummies(result)
+    path = tmp_path / "equalized.def"
+    write_def(extended, path=str(path))
+    library = default_library()
+    parsed = parse_def(path.read_text(), library)
+    assert parsed.num_gates == extended.num_gates
+    per_plane = np.bincount(labels, weights=extended.bias_vector_ma(), minlength=4)
+    assert per_plane.max() - per_plane.min() <= library["DUMMY"].bias_ma + 1e-9
+
+
+def test_bias_limited_plan_end_to_end(config):
+    """Table III scenario, then physical verification of the winner."""
+    netlist = build_circuit("KSA8")
+    plan = plan_bias_limited(netlist, bias_limit_ma=100.0, config=config)
+    assert plan.b_max_ma <= 100.0
+    recycling = plan_recycling(plan.result)
+    assert verify_recycling(recycling) == []
+    assert plan.bias_lines_saved >= 1
+
+
+def test_refinement_composes_with_recycling(config):
+    netlist = build_circuit("KSA4")
+    refined = refine_greedy(partition(netlist, 5, config=config))
+    plan = plan_recycling(refined)
+    assert verify_recycling(plan) == []
+
+
+def test_clock_tree_variant_partitions(config):
+    """The optional clock network flows through the whole pipeline."""
+    netlist, stats = synthesize(
+        kogge_stone_adder(4), options=SynthesisOptions(include_clock_tree=True)
+    )
+    assert stats.clock_splitters > 0
+    result = partition(netlist, 4, config=config)
+    report = evaluate_partition(result)
+    assert report.num_connections == netlist.num_connections
+
+
+def test_public_api_surface():
+    """Everything the README promises is importable from `repro`."""
+    import repro
+
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+    assert repro.benchmark_suite()[0] == "KSA4"

@@ -1,0 +1,258 @@
+"""Tests for repro.circuits.iscas — functional reconstructions."""
+
+import random
+
+import pytest
+
+from repro.circuits.iscas import (
+    _position_code,
+    alu,
+    ecc_codec,
+    ecc_secded,
+    interrupt_controller,
+)
+from repro.utils.errors import SynthesisError
+
+
+# ----------------------------------------------------------------------
+# interrupt controller (C432 class)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def controller():
+    return interrupt_controller()
+
+
+def test_no_request_no_valid(controller):
+    out = controller.evaluate_bus(
+        {"req": 0, "isr": 0, "en": 7, "mask": 511}, ["valid", "ack"]
+    )
+    assert out["valid"] == 0 and out["ack"] == 0
+
+
+def test_single_request_granted(controller):
+    out = controller.evaluate_bus(
+        {"req": 1 << 13, "isr": 0, "en": 7, "mask": 511},
+        ["grp", "chan", "valid", "ack"],
+    )
+    assert out["valid"] == 1
+    assert out["grp"] == 1 and out["chan"] == 4  # line 13 = group 1, channel 4
+    assert out["ack"] == 1 << 13
+
+
+def test_group_priority(controller):
+    # lines 2 (group 0) and 13 (group 1): group 0 wins
+    out = controller.evaluate_bus(
+        {"req": (1 << 13) | (1 << 2), "isr": 0, "en": 7, "mask": 511},
+        ["grp", "chan", "ack", "pend"],
+    )
+    assert out["grp"] == 0 and out["chan"] == 2
+    assert out["ack"] == 1 << 2
+    assert out["pend"] == 1 << 13  # loser stays pending
+
+
+def test_channel_priority_within_group(controller):
+    # lines 10 and 13 are both group 1 (channels 1 and 4): channel 1 wins
+    out = controller.evaluate_bus(
+        {"req": (1 << 10) | (1 << 13), "isr": 0, "en": 7, "mask": 511},
+        ["grp", "chan", "ack"],
+    )
+    assert out["grp"] == 1 and out["chan"] == 1
+    assert out["ack"] == 1 << 10
+
+
+def test_isr_blocks_request(controller):
+    out = controller.evaluate_bus(
+        {"req": (1 << 13) | (1 << 2), "isr": 1 << 2, "en": 7, "mask": 511},
+        ["grp", "chan", "ack"],
+    )
+    assert out["grp"] == 1 and out["chan"] == 4  # line 2 blocked by ISR
+
+
+def test_group_enable_masks_group(controller):
+    out = controller.evaluate_bus(
+        {"req": 1 << 2, "isr": 0, "en": 0b110, "mask": 511}, ["valid"]
+    )
+    assert out["valid"] == 0  # group 0 disabled
+
+
+def test_channel_mask(controller):
+    out = controller.evaluate_bus(
+        {"req": 1 << 2, "isr": 0, "en": 7, "mask": 511 & ~(1 << 2)}, ["valid"]
+    )
+    assert out["valid"] == 0
+
+
+def test_controller_validation():
+    with pytest.raises(SynthesisError):
+        interrupt_controller(channels_per_group=1)
+
+
+# ----------------------------------------------------------------------
+# SECDED (C499/C1355 class)
+# ----------------------------------------------------------------------
+def _encode(data, data_bits):
+    codes = [_position_code(i) for i in range(data_bits)]
+    n_check = max(code.bit_length() for code in codes)
+    check = 0
+    for k in range(n_check):
+        bit = 0
+        for i in range(data_bits):
+            if (codes[i] >> k) & 1:
+                bit ^= (data >> i) & 1
+        check |= bit << k
+    parity = 0
+    for i in range(data_bits):
+        parity ^= (data >> i) & 1
+    for k in range(n_check):
+        parity ^= (check >> k) & 1
+    return check, parity
+
+
+@pytest.mark.parametrize("expand_xor", [False, True])
+def test_secded_clean_word(expand_xor):
+    decoder = ecc_secded(16, expand_xor=expand_xor)
+    random.seed(1)
+    for _ in range(8):
+        data = random.getrandbits(16)
+        check, parity = _encode(data, 16)
+        out = decoder.evaluate_bus(
+            {"d": data, "c": check, "p": parity}, ["cor", "serr", "derr"]
+        )
+        assert out["cor"] == data and out["serr"] == 0 and out["derr"] == 0
+
+
+@pytest.mark.parametrize("expand_xor", [False, True])
+def test_secded_corrects_every_single_data_error(expand_xor):
+    decoder = ecc_secded(16, expand_xor=expand_xor)
+    data = 0xBEEF
+    check, parity = _encode(data, 16)
+    for flip in range(16):
+        out = decoder.evaluate_bus(
+            {"d": data ^ (1 << flip), "c": check, "p": parity},
+            ["cor", "serr", "derr"],
+        )
+        assert out["cor"] == data, flip
+        assert out["serr"] == 1 and out["derr"] == 0
+
+
+def test_secded_flags_double_error():
+    decoder = ecc_secded(16)
+    data = 0x1234
+    check, parity = _encode(data, 16)
+    out = decoder.evaluate_bus(
+        {"d": data ^ 0b11, "c": check, "p": parity}, ["derr", "serr"]
+    )
+    assert out["derr"] == 1 and out["serr"] == 0
+
+
+def test_c1355_flavor_larger_than_c499():
+    plain = ecc_secded(32, expand_xor=False)
+    expanded = ecc_secded(32, expand_xor=True)
+    assert expanded.num_nodes > plain.num_nodes
+
+
+def test_position_codes_skip_powers_of_two():
+    codes = [_position_code(i) for i in range(10)]
+    assert codes == [3, 5, 6, 7, 9, 10, 11, 12, 13, 14]
+
+
+# ----------------------------------------------------------------------
+# codec (C1908 class)
+# ----------------------------------------------------------------------
+def test_codec_clean_channel():
+    codec = ecc_codec(16)
+    random.seed(2)
+    for _ in range(8):
+        data = random.getrandbits(16)
+        out = codec.evaluate_bus({"d": data, "e": 0}, ["cor", "serr", "derr"])
+        assert out["cor"] == data and out["serr"] == 0 and out["derr"] == 0
+
+
+def test_codec_corrects_any_single_wire_error():
+    codec = ecc_codec(16)
+    data = 0xA5C3
+    codeword_bits = 16 + 5 + 1  # data + checks + parity for 16 data bits
+    for position in range(codeword_bits):
+        out = codec.evaluate_bus({"d": data, "e": 1 << position}, ["cor", "serr"])
+        assert out["cor"] == data, position
+        assert out["serr"] == 1
+
+
+def test_codec_flags_double_wire_error():
+    codec = ecc_codec(16)
+    out = codec.evaluate_bus({"d": 0x0F0F, "e": 0b101}, ["derr"])
+    assert out["derr"] == 1
+
+
+# ----------------------------------------------------------------------
+# ALU (C3540 class)
+# ----------------------------------------------------------------------
+def _alu_reference(opcode, a, b, cin, width=8):
+    mask = (1 << width) - 1
+    shift = b & 3
+    if opcode == 0:
+        return (a + b + cin) & mask
+    if opcode == 1:
+        return (a - b) & mask
+    if opcode == 2:
+        return a & b
+    if opcode == 3:
+        return a | b
+    if opcode == 4:
+        return a ^ b
+    if opcode == 5:
+        return (a << shift) & mask
+    if opcode == 6:
+        return (a >> shift) & mask
+    if opcode == 7:
+        return (a * b) & mask
+    if opcode == 8:
+        return (~(a & b)) & mask
+    if opcode == 9:
+        return (~(a | b)) & mask
+    if opcode == 10:
+        return (~(a ^ b)) & mask
+    if opcode == 11:
+        return a & (~b) & mask
+    if opcode == 12:
+        return ((a << shift) | (a >> (width - shift))) & mask if shift else a
+    if opcode == 13:
+        return ((a >> shift) | (a << (width - shift))) & mask if shift else a
+    if opcode == 14:
+        return a
+    return (~a) & mask
+
+
+@pytest.fixture(scope="module")
+def alu8():
+    return alu(8)
+
+
+@pytest.mark.parametrize("opcode", list(range(16)))
+def test_alu_all_opcodes(alu8, opcode):
+    random.seed(100 + opcode)
+    for _ in range(12):
+        a = random.getrandbits(8)
+        b = random.getrandbits(8)
+        cin = random.getrandbits(1)
+        out = alu8.evaluate_bus({"a": a, "b": b, "op": opcode, "cin": cin}, ["y"])
+        assert out["y"] == _alu_reference(opcode, a, b, cin), (a, b, cin)
+
+
+def test_alu_flags(alu8):
+    out = alu8.evaluate_bus({"a": 0, "b": 0, "op": 0, "cin": 0}, ["y", "zero", "cout"])
+    assert out["y"] == 0 and out["zero"] == 1 and out["cout"] == 0
+    out = alu8.evaluate_bus({"a": 255, "b": 1, "op": 0, "cin": 0}, ["y", "cout", "zero"])
+    assert out["y"] == 0 and out["cout"] == 1 and out["zero"] == 1
+    out = alu8.evaluate_bus({"a": 128, "b": 0, "op": 0, "cin": 0}, ["neg"])
+    assert out["neg"] == 1
+
+
+def test_alu_parity(alu8):
+    out = alu8.evaluate_bus({"a": 0b1011, "b": 0, "op": 0, "cin": 0}, ["parity"])
+    assert out["parity"] == 1  # three ones
+
+
+def test_alu_width_validated():
+    with pytest.raises(SynthesisError, match="width"):
+        alu(2)

@@ -1,0 +1,63 @@
+"""Tests for repro.circuits.ksa — functional and structural."""
+
+import itertools
+
+import pytest
+
+from repro.circuits.ksa import kogge_stone_adder
+from repro.utils.errors import SynthesisError
+
+
+def test_ksa2_exhaustive():
+    adder = kogge_stone_adder(2)
+    for a, b in itertools.product(range(4), repeat=2):
+        out = adder.evaluate_bus({"a": a, "b": b}, ["sum", "cout"])
+        assert out["sum"] | (out["cout"] << 2) == a + b, (a, b)
+
+
+def test_ksa4_exhaustive():
+    adder = kogge_stone_adder(4)
+    for a, b in itertools.product(range(16), repeat=2):
+        out = adder.evaluate_bus({"a": a, "b": b}, ["sum", "cout"])
+        assert out["sum"] | (out["cout"] << 4) == a + b, (a, b)
+
+
+@pytest.mark.parametrize("width", [8, 16, 32])
+def test_wide_ksa_random(width, rng):
+    adder = kogge_stone_adder(width)
+    mask = (1 << width) - 1
+    for _ in range(25):
+        a = int(rng.integers(0, mask + 1))
+        b = int(rng.integers(0, mask + 1))
+        out = adder.evaluate_bus({"a": a, "b": b}, ["sum", "cout"])
+        assert out["sum"] | (out["cout"] << width) == a + b, (a, b)
+
+
+def test_carry_out_optional():
+    adder = kogge_stone_adder(4, with_carry_out=False)
+    assert "cout" not in adder.outputs
+    out = adder.evaluate_bus({"a": 15, "b": 1}, ["sum"])
+    assert out["sum"] == 0  # wrapped
+
+
+def test_logarithmic_depth():
+    """Kogge-Stone's defining property: prefix depth ~ log2(width),
+    far below the ripple adder's linear depth."""
+    from repro.netlist.graph import logic_levels
+    from repro.synth.flow import SynthesisOptions, synthesize
+
+    netlist, _ = synthesize(
+        kogge_stone_adder(16), options=SynthesisOptions(place=False)
+    )
+    depth = int(logic_levels(netlist).max())
+    assert depth <= 4 * 6  # ~log2(16)+2 clocked stages, each few levels
+
+
+def test_width_one_rejected():
+    with pytest.raises(SynthesisError, match="width"):
+        kogge_stone_adder(1)
+
+
+def test_name_defaults():
+    assert kogge_stone_adder(8).name == "KSA8"
+    assert kogge_stone_adder(8, name="custom").name == "custom"

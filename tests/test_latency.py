@@ -1,0 +1,74 @@
+"""Tests for repro.recycling.latency."""
+
+import numpy as np
+import pytest
+
+from repro.core.partitioner import PartitionResult, partition
+from repro.recycling.latency import (
+    GATE_DELAY_PS,
+    SETUP_MARGIN_PS,
+    WIRE_DELAY_PS,
+    analyze_latency,
+    edge_delays_ps,
+)
+
+_BASE = GATE_DELAY_PS + WIRE_DELAY_PS + SETUP_MARGIN_PS
+
+
+def test_intra_plane_partition_keeps_base_period(chain_netlist, fast_config):
+    result = PartitionResult(
+        netlist=chain_netlist, num_planes=1,
+        labels=np.zeros(10, dtype=int), config=fast_config,
+    )
+    report = analyze_latency(result)
+    assert report.partitioned_period_ps == pytest.approx(_BASE)
+    assert report.slowdown_factor == pytest.approx(1.0)
+    assert report.frequency_loss_pct == pytest.approx(0.0)
+    assert report.crossing_edges == 0
+
+
+def test_distance_d_adds_d_coupling_delays(chain_netlist, fast_config):
+    labels = np.zeros(10, dtype=int)
+    labels[1:] = 3  # edge (0,1) spans distance 3
+    result = PartitionResult(
+        netlist=chain_netlist, num_planes=4, labels=labels, config=fast_config
+    )
+    report = analyze_latency(result, coupling_delay_ps=10.0)
+    assert report.worst_edge_distance == 3
+    assert report.partitioned_period_ps == pytest.approx(_BASE + 30.0)
+    assert report.slowdown_factor > 1.0
+
+
+def test_edge_delays_vector(chain_netlist, fast_config):
+    labels = np.array([0, 1, 1, 1, 1, 1, 1, 1, 1, 2])
+    result = PartitionResult(
+        netlist=chain_netlist, num_planes=3, labels=labels, config=fast_config
+    )
+    delays = edge_delays_ps(result, coupling_delay_ps=12.0)
+    assert delays.shape == (9,)
+    assert delays[0] == pytest.approx(_BASE + 12.0)
+    assert delays[1] == pytest.approx(_BASE)
+
+
+def test_frequency_accessors(mixed_netlist, fast_config):
+    result = partition(mixed_netlist, 4, config=fast_config)
+    report = analyze_latency(result)
+    assert report.base_frequency_ghz == pytest.approx(1000.0 / _BASE)
+    assert report.partitioned_frequency_ghz <= report.base_frequency_ghz + 1e-9
+    assert report.circuit == mixed_netlist.name
+
+
+def test_better_partition_never_slower(chain_netlist, fast_config):
+    """A contiguous split (max d=1) beats an interleaved one (d large)."""
+    contiguous = PartitionResult(
+        netlist=chain_netlist, num_planes=2,
+        labels=np.array([0] * 5 + [1] * 5), config=fast_config,
+    )
+    interleaved = PartitionResult(
+        netlist=chain_netlist, num_planes=2,
+        labels=np.array([0, 1] * 5), config=fast_config,
+    )
+    assert (
+        analyze_latency(contiguous).partitioned_period_ps
+        <= analyze_latency(interleaved).partitioned_period_ps
+    )

@@ -1,0 +1,97 @@
+"""Tests for the LEF writer/parser pair."""
+
+import pytest
+
+from repro.netlist.cell import CellKind
+from repro.netlist.library import default_library
+from repro.parsers.lef_parser import parse_lef, write_lef
+from repro.utils.errors import ParseError
+
+
+@pytest.fixture(scope="module")
+def library():
+    return default_library()
+
+
+def test_roundtrip_full_library(library):
+    parsed = parse_lef(write_lef(library))
+    assert len(parsed) == len(library)
+    for cell in library:
+        twin = parsed[cell.name]
+        assert twin.bias_ma == pytest.approx(cell.bias_ma)
+        assert twin.width_um == pytest.approx(cell.width_um)
+        assert twin.height_um == pytest.approx(cell.height_um)
+        assert twin.jj_count == cell.jj_count
+        assert twin.kind == cell.kind
+        assert twin.clocked == cell.clocked
+        assert twin.inputs == cell.inputs
+        assert twin.outputs == cell.outputs
+
+
+def test_lef_text_has_properties(library):
+    text = write_lef(library)
+    assert "PROPERTY biasCurrentMA" in text
+    assert "PROPERTY jjCount" in text
+    assert "PROPERTY sfqKind" in text
+    assert "MACRO AND2" in text
+    assert "END LIBRARY" in text
+
+
+def test_write_to_file(library, tmp_path):
+    path = tmp_path / "cells.lef"
+    text = write_lef(library, path=str(path))
+    assert path.read_text() == text
+
+
+def test_plain_lef_without_sfq_properties():
+    text = """VERSION 5.8 ;
+MACRO PLAIN
+  CLASS CORE ;
+  SIZE 40 BY 60 ;
+  PIN a
+    DIRECTION INPUT ;
+  END a
+  PIN q
+    DIRECTION OUTPUT ;
+  END q
+END PLAIN
+END LIBRARY
+"""
+    parsed = parse_lef(text)
+    cell = parsed["PLAIN"]
+    assert cell.bias_ma == 0.0
+    assert cell.jj_count == 0
+    assert cell.kind is CellKind.LOGIC
+    assert not cell.clocked
+
+
+def test_macro_without_size_rejected():
+    text = """MACRO BAD
+END BAD
+"""
+    with pytest.raises(ParseError, match="no SIZE"):
+        parse_lef(text)
+
+
+def test_unknown_kind_rejected():
+    text = """MACRO BAD
+  SIZE 10 BY 60 ;
+  PROPERTY sfqKind warpdrive ;
+END BAD
+"""
+    with pytest.raises(ParseError, match="unknown sfqKind"):
+        parse_lef(text)
+
+
+def test_unterminated_macro_rejected():
+    with pytest.raises(ParseError, match="unterminated"):
+        parse_lef("MACRO OOPS\n  SIZE 10 BY 60 ;\n")
+
+
+def test_comments_ignored():
+    text = """# header comment
+MACRO C
+  SIZE 10 BY 60 ; # inline
+END C
+"""
+    assert "C" in parse_lef(text)

@@ -1,0 +1,96 @@
+"""Tests for repro.netlist.library."""
+
+import pytest
+
+from repro.netlist.cell import CellKind, CellType
+from repro.netlist.library import CellLibrary, default_library
+
+
+@pytest.fixture(scope="module")
+def library():
+    return default_library()
+
+
+def test_default_library_has_core_cells(library):
+    for name in ("JTL", "SPLIT", "MERGE", "DFF", "AND2", "OR2", "XOR2", "NOT",
+                  "DCSFQ", "SFQDC", "TXDRV", "RXRCV", "DUMMY"):
+        assert name in library
+
+
+def test_lookup_unknown_cell_raises_with_candidates(library):
+    with pytest.raises(KeyError, match="AND2"):
+        library["NO_SUCH_CELL"]
+
+
+def test_get_returns_default(library):
+    assert library.get("NO_SUCH_CELL") is None
+    assert library.get("AND2").name == "AND2"
+
+
+def test_splitter_property(library):
+    splitter = library.splitter
+    assert splitter.kind is CellKind.SPLITTER
+    assert splitter.max_fanout == 2
+    assert not splitter.clocked
+
+
+def test_balance_dff_property(library):
+    dff = library.balance_dff
+    assert dff.name == "DFF"
+    assert dff.clocked
+
+
+def test_cells_of_kind(library):
+    logic = library.cells_of_kind(CellKind.LOGIC)
+    assert {cell.name for cell in logic} >= {"AND2", "OR2", "XOR2", "NOT"}
+    assert all(cell.clocked for cell in logic)
+
+
+def test_iteration_and_len(library):
+    names = {cell.name for cell in library}
+    assert len(names) == len(library)
+    assert library.names() == sorted(names)
+
+
+def test_duplicate_cell_name_rejected():
+    cell = CellType("X", CellKind.LOGIC, 1.0, 10.0, 60.0, 2)
+    with pytest.raises(ValueError, match="duplicate"):
+        CellLibrary("dup", [cell, cell])
+
+
+def test_library_without_splitter_raises():
+    cell = CellType("X", CellKind.LOGIC, 1.0, 10.0, 60.0, 2)
+    empty = CellLibrary("nosplit", [cell])
+    with pytest.raises(KeyError, match="no splitter"):
+        _ = empty.splitter
+
+
+def test_library_without_storage_raises():
+    cell = CellType("X", CellKind.LOGIC, 1.0, 10.0, 60.0, 2)
+    empty = CellLibrary("nostore", [cell])
+    with pytest.raises(KeyError, match="no storage"):
+        _ = empty.balance_dff
+
+
+def test_calibration_typical_mix_matches_paper_averages(library):
+    """A 25/35/40 splitter/DFF/logic mix must land near the Table I
+    per-gate averages (~0.85 mA, ~4850 um^2) — the library's design
+    target (see module docstring)."""
+    logic = library.cells_of_kind(CellKind.LOGIC)[:4]
+    mix_bias = (
+        0.25 * library["SPLIT"].bias_ma
+        + 0.35 * library["DFF"].bias_ma
+        + 0.40 * sum(cell.bias_ma for cell in logic) / len(logic)
+    )
+    mix_area = (
+        0.25 * library["SPLIT"].area_um2
+        + 0.35 * library["DFF"].area_um2
+        + 0.40 * sum(cell.area_um2 for cell in logic) / len(logic)
+    )
+    assert mix_bias == pytest.approx(0.85, rel=0.10)
+    assert mix_area == pytest.approx(4850.0, rel=0.15)
+
+
+def test_row_height_uniform(library):
+    heights = {cell.height_um for cell in library}
+    assert heights == {60.0}

@@ -1,0 +1,167 @@
+"""Tests for repro.synth.logic — the logic IR and its evaluator."""
+
+import pytest
+
+from repro.synth.logic import LogicCircuit, LogicOp
+from repro.utils.errors import SynthesisError
+
+
+def test_inputs_and_buses():
+    circuit = LogicCircuit("t")
+    a = circuit.add_input("x")
+    bus = circuit.add_inputs("d", 4)
+    assert circuit.node(a).op is LogicOp.INPUT
+    assert len(bus) == 4
+    assert "d[3]" in circuit.inputs
+
+
+def test_duplicate_input_rejected():
+    circuit = LogicCircuit("t")
+    circuit.add_input("x")
+    with pytest.raises(SynthesisError, match="duplicate"):
+        circuit.add_input("x")
+
+
+def test_gate_arity_enforced():
+    circuit = LogicCircuit("t")
+    a = circuit.add_input("a")
+    b = circuit.add_input("b")
+    with pytest.raises(SynthesisError, match=">= 2"):
+        circuit.gate(LogicOp.AND, a)
+    with pytest.raises(SynthesisError, match="takes 1"):
+        circuit.gate(LogicOp.NOT, a, b)
+
+
+def test_fanin_range_checked():
+    circuit = LogicCircuit("t")
+    a = circuit.add_input("a")
+    with pytest.raises(SynthesisError, match="out of range"):
+        circuit.and_(a, 99)
+
+
+def test_basic_evaluation():
+    circuit = LogicCircuit("t")
+    a = circuit.add_input("a")
+    b = circuit.add_input("b")
+    circuit.set_output("and", circuit.and_(a, b))
+    circuit.set_output("or", circuit.or_(a, b))
+    circuit.set_output("xor", circuit.xor(a, b))
+    circuit.set_output("not", circuit.not_(a))
+    for va in (False, True):
+        for vb in (False, True):
+            out = circuit.evaluate({"a": va, "b": vb})
+            assert out["and"] == (va and vb)
+            assert out["or"] == (va or vb)
+            assert out["xor"] == (va != vb)
+            assert out["not"] == (not va)
+
+
+def test_nary_gates():
+    circuit = LogicCircuit("t")
+    bits = [circuit.add_input(f"i{i}") for i in range(5)]
+    circuit.set_output("and", circuit.and_(*bits))
+    circuit.set_output("xor", circuit.xor(*bits))
+    values = {f"i{i}": True for i in range(5)}
+    out = circuit.evaluate(values)
+    assert out["and"] is True and out["xor"] is True
+    values["i2"] = False
+    out = circuit.evaluate(values)
+    assert out["and"] is False and out["xor"] is False
+
+
+def test_dff_buf_identity_in_evaluation():
+    circuit = LogicCircuit("t")
+    a = circuit.add_input("a")
+    circuit.set_output("q", circuit.gate(LogicOp.DFF, circuit.buf(a)))
+    assert circuit.evaluate({"a": True})["q"] is True
+    assert circuit.evaluate({"a": False})["q"] is False
+
+
+def test_consts():
+    circuit = LogicCircuit("t")
+    a = circuit.add_input("a")
+    circuit.set_output("one", circuit.or_(a, circuit.const1()))
+    circuit.set_output("zero", circuit.and_(a, circuit.const0()))
+    out = circuit.evaluate({"a": False})
+    assert out["one"] is True and out["zero"] is False
+
+
+def test_mux():
+    circuit = LogicCircuit("t")
+    s = circuit.add_input("s")
+    a = circuit.add_input("a")
+    b = circuit.add_input("b")
+    circuit.set_output("y", circuit.mux(s, a, b))
+    assert circuit.evaluate({"s": False, "a": True, "b": False})["y"] is True
+    assert circuit.evaluate({"s": True, "a": True, "b": False})["y"] is False
+
+
+def test_adders():
+    circuit = LogicCircuit("t")
+    a = circuit.add_input("a")
+    b = circuit.add_input("b")
+    c = circuit.add_input("c")
+    s_ha, c_ha = circuit.half_adder(a, b)
+    s_fa, c_fa = circuit.full_adder(a, b, c)
+    circuit.set_output("s_ha", s_ha)
+    circuit.set_output("c_ha", c_ha)
+    circuit.set_output("s_fa", s_fa)
+    circuit.set_output("c_fa", c_fa)
+    for va in (0, 1):
+        for vb in (0, 1):
+            for vc in (0, 1):
+                out = circuit.evaluate({"a": va, "b": vb, "c": vc})
+                assert out["s_ha"] == bool((va + vb) & 1)
+                assert out["c_ha"] == bool((va + vb) >> 1)
+                assert out["s_fa"] == bool((va + vb + vc) & 1)
+                assert out["c_fa"] == bool((va + vb + vc) >> 1)
+
+
+def test_missing_input_rejected():
+    circuit = LogicCircuit("t")
+    a = circuit.add_input("a")
+    circuit.set_output("q", circuit.not_(a))
+    with pytest.raises(SynthesisError, match="missing input"):
+        circuit.evaluate({})
+
+
+def test_evaluate_bus():
+    circuit = LogicCircuit("t")
+    a = circuit.add_inputs("a", 3)
+    for i in range(3):
+        circuit.set_output(f"y[{i}]", circuit.not_(a[i]))
+    out = circuit.evaluate_bus({"a": 0b101}, ["y"])
+    assert out["y"] == 0b010
+
+
+def test_evaluate_bus_unknown_names():
+    circuit = LogicCircuit("t")
+    a = circuit.add_input("a")
+    circuit.set_output("q", circuit.not_(a))
+    with pytest.raises(SynthesisError, match="no input"):
+        circuit.evaluate_bus({"zz": 1}, ["q"])
+    with pytest.raises(SynthesisError, match="no output"):
+        circuit.evaluate_bus({"a": 1}, ["zz"])
+
+
+def test_fanout_map_and_stats():
+    circuit = LogicCircuit("t")
+    a = circuit.add_input("a")
+    b = circuit.add_input("b")
+    node = circuit.and_(a, b)
+    circuit.set_output("x", circuit.not_(node))
+    circuit.set_output("y", circuit.not_(node))
+    fanout = circuit.fanout_map()
+    assert len(fanout[node]) == 2
+    stats = circuit.stats()
+    assert stats["and"] == 1 and stats["not"] == 2 and stats["input"] == 2
+    assert circuit.num_logic_nodes() == 3
+
+
+def test_duplicate_output_rejected():
+    circuit = LogicCircuit("t")
+    a = circuit.add_input("a")
+    node = circuit.not_(a)
+    circuit.set_output("q", node)
+    with pytest.raises(SynthesisError, match="duplicate output"):
+        circuit.set_output("q", node)

@@ -1,0 +1,125 @@
+"""Tests for repro.synth.mapping (decompose + cell binding)."""
+
+import itertools
+
+import pytest
+
+from repro.netlist.library import default_library
+from repro.synth.logic import LogicCircuit, LogicOp
+from repro.synth.mapping import decompose, map_circuit
+from repro.utils.errors import SynthesisError
+
+
+@pytest.fixture(scope="module")
+def library():
+    return default_library()
+
+
+def _equivalent(original, transformed, input_names):
+    for values in itertools.product([False, True], repeat=len(input_names)):
+        assignment = dict(zip(input_names, values))
+        assert original.evaluate(assignment) == transformed.evaluate(assignment), assignment
+
+
+def test_decompose_nary_to_binary():
+    circuit = LogicCircuit("t")
+    bits = [circuit.add_input(f"i{i}") for i in range(5)]
+    circuit.set_output("and", circuit.and_(*bits))
+    circuit.set_output("xor", circuit.xor(*bits))
+    simple = decompose(circuit)
+    for node in simple.nodes():
+        if node.op in (LogicOp.AND, LogicOp.OR, LogicOp.XOR):
+            assert len(node.fanins) == 2
+    _equivalent(circuit, simple, [f"i{i}" for i in range(5)])
+
+
+def test_decompose_removes_bufs_and_consts():
+    circuit = LogicCircuit("t")
+    a = circuit.add_input("a")
+    buffered = circuit.buf(circuit.buf(a))
+    folded = circuit.and_(buffered, circuit.const1())
+    circuit.set_output("q", circuit.or_(folded, circuit.const0()))
+    simple = decompose(circuit)
+    ops = {node.op for node in simple.nodes()}
+    assert LogicOp.BUF not in ops
+    assert LogicOp.CONST0 not in ops and LogicOp.CONST1 not in ops
+    _equivalent(circuit, simple, ["a"])
+
+
+def test_decompose_const_folding_rules():
+    circuit = LogicCircuit("t")
+    a = circuit.add_input("a")
+    circuit.set_output("xor1", circuit.xor(a, circuit.const1()))  # -> NOT a
+    circuit.set_output("and0_or", circuit.or_(circuit.and_(a, circuit.const0()), a))
+    simple = decompose(circuit)
+    _equivalent(circuit, simple, ["a"])
+
+
+def test_decompose_balanced_depth():
+    circuit = LogicCircuit("t")
+    bits = [circuit.add_input(f"i{i}") for i in range(8)]
+    circuit.set_output("x", circuit.xor(*bits))
+    simple = decompose(circuit)
+    # balanced tree over 8 leaves: depth 3, i.e. 7 XOR nodes
+    xors = [node for node in simple.nodes() if node.op is LogicOp.XOR]
+    assert len(xors) == 7
+
+
+def test_constant_output_rejected():
+    circuit = LogicCircuit("t")
+    a = circuit.add_input("a")
+    circuit.set_output("q", circuit.and_(a, circuit.const0()))
+    with pytest.raises(SynthesisError, match="constant"):
+        decompose(circuit)
+
+
+def test_input_feedthrough_gets_dff():
+    circuit = LogicCircuit("t")
+    a = circuit.add_input("a")
+    circuit.set_output("q", circuit.buf(a))
+    simple = decompose(circuit)
+    target = simple.node(simple.outputs["q"])
+    assert target.op is LogicOp.DFF
+
+
+def test_map_circuit_binds_cells(library):
+    circuit = LogicCircuit("t")
+    a = circuit.add_input("a")
+    b = circuit.add_input("b")
+    circuit.set_output("q", circuit.and_(a, b))
+    graph = map_circuit(decompose(circuit), library)
+    cell_names = {node.cell_name for node in graph.nodes}
+    assert cell_names == {"AND2"}
+    assert graph.input_ports == ["a", "b"]
+    assert set(graph.output_ports) == {"q"}
+
+
+def test_map_circuit_rejects_unmapped_ops(library):
+    circuit = LogicCircuit("t")
+    a = circuit.add_input("a")
+    circuit.set_output("q", circuit.buf(a))  # BUF has no binding
+    with pytest.raises(SynthesisError, match="no cell binding"):
+        map_circuit(circuit, library)  # not decomposed on purpose
+
+
+def test_mapped_graph_arity_validation(library):
+    circuit = LogicCircuit("t")
+    a = circuit.add_input("a")
+    b = circuit.add_input("b")
+    circuit.set_output("q", circuit.and_(a, b))
+    graph = map_circuit(decompose(circuit), library)
+    graph.nodes[0].fanins.append(("port", "a"))  # corrupt: 3 fanins on AND2
+    with pytest.raises(SynthesisError, match="fanins"):
+        graph.validate_arities()
+
+
+def test_sink_map(library):
+    circuit = LogicCircuit("t")
+    a = circuit.add_input("a")
+    node = circuit.not_(a)
+    circuit.set_output("x", circuit.gate(LogicOp.DFF, node))
+    graph = map_circuit(decompose(circuit), library)
+    sinks = graph.sink_map()
+    assert ("port", "a") in sinks
+    not_id = next(n.id for n in graph.nodes if n.cell_name == "NOT")
+    assert len(sinks[not_id]) == 1

@@ -1,0 +1,40 @@
+"""Tests for repro.metrics.area."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.area import area_metrics, per_plane_area
+
+
+def test_per_plane_area():
+    labels = np.array([0, 1, 1])
+    area = np.array([0.1, 0.2, 0.3])
+    assert np.allclose(per_plane_area(labels, area, 2), [0.1, 0.5])
+
+
+def test_afs_against_paper_ksa4_row():
+    """Table I KSA4: A_cir=0.4512, A_max=0.0972, K=5 -> A_FS = 7.71 %."""
+    per_plane = np.array([0.0972, 0.0900, 0.0880, 0.0890, 0.0870])
+    metrics = area_metrics(np.arange(5), per_plane, 5)
+    assert metrics.total_mm2 == pytest.approx(0.4512)
+    expected = (5 * 0.0972 - 0.4512) / 0.4512 * 100
+    assert metrics.free_space_pct == pytest.approx(expected)
+    assert expected == pytest.approx(7.71, abs=0.02)
+
+
+def test_free_space_zero_when_equal():
+    metrics = area_metrics(np.array([0, 1]), np.array([1.0, 1.0]), 2)
+    assert metrics.free_space_mm2 == 0.0
+    assert metrics.free_space_pct == 0.0
+
+
+def test_chip_area_is_k_times_amax():
+    metrics = area_metrics(np.array([0, 1, 2]), np.array([2.0, 1.0, 1.0]), 3)
+    assert metrics.a_max_mm2 == 2.0
+    assert metrics.chip_area_mm2 == pytest.approx(6.0)
+    assert metrics.a_min_mm2 == 1.0
+
+
+def test_zero_area_circuit():
+    metrics = area_metrics(np.array([0, 1]), np.zeros(2), 2)
+    assert metrics.free_space_pct == 0.0

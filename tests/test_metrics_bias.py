@@ -1,0 +1,57 @@
+"""Tests for repro.metrics.bias — eq. (11) of the paper."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.bias import bias_metrics, per_plane_bias
+
+
+def test_per_plane_bias():
+    labels = np.array([0, 0, 1, 2])
+    bias = np.array([1.0, 2.0, 3.0, 4.0])
+    assert per_plane_bias(labels, bias, 3).tolist() == [3.0, 3.0, 4.0]
+
+
+def test_per_plane_includes_empty_planes():
+    labels = np.array([0, 0])
+    bias = np.array([1.0, 1.0])
+    per_plane = per_plane_bias(labels, bias, 3)
+    assert per_plane.tolist() == [2.0, 0.0, 0.0]
+
+
+def test_eq11_on_paper_ksa4_row():
+    """Verify the I_comp definition against the actual KSA4 row of
+    Table I: B_cir=80.089, B_max=17.50, K=5 -> I_comp = 9.24 %."""
+    # construct per-plane currents consistent with the row
+    per_plane = np.array([17.50, 16.0, 15.8, 15.5, 15.289])
+    labels = np.arange(5)
+    metrics = bias_metrics(labels, per_plane, 5)
+    assert metrics.total_ma == pytest.approx(80.089)
+    assert metrics.b_max_ma == pytest.approx(17.50)
+    expected_pct = (5 * 17.50 - 80.089) / 80.089 * 100
+    assert metrics.i_comp_pct == pytest.approx(expected_pct)
+    assert expected_pct == pytest.approx(9.24, abs=0.02)
+
+
+def test_icomp_zero_when_balanced():
+    labels = np.array([0, 1, 2])
+    bias = np.array([5.0, 5.0, 5.0])
+    metrics = bias_metrics(labels, bias, 3)
+    assert metrics.i_comp_ma == 0.0
+    assert metrics.i_comp_pct == 0.0
+    assert metrics.imbalance_ratio == pytest.approx(1.0)
+
+
+def test_icomp_formula():
+    labels = np.array([0, 1, 2])
+    bias = np.array([10.0, 6.0, 2.0])
+    metrics = bias_metrics(labels, bias, 3)
+    assert metrics.b_max_ma == 10.0
+    assert metrics.i_comp_ma == pytest.approx((10 - 10) + (10 - 6) + (10 - 2))
+    assert metrics.i_comp_pct == pytest.approx(12 / 18 * 100)
+    assert metrics.b_min_ma == 2.0
+
+
+def test_zero_bias_circuit():
+    metrics = bias_metrics(np.array([0, 1]), np.zeros(2), 2)
+    assert metrics.i_comp_pct == 0.0

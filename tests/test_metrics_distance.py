@@ -1,0 +1,59 @@
+"""Tests for repro.metrics.distance."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import distance
+
+
+def test_distances_basic():
+    labels = np.array([0, 1, 3, 3])
+    edges = np.array([[0, 1], [1, 2], [2, 3], [0, 2]])
+    d = distance.connection_distances(labels, edges)
+    assert d.tolist() == [1, 2, 0, 3]
+
+
+def test_distances_empty():
+    assert distance.connection_distances(np.array([0, 1]), np.zeros((0, 2))).size == 0
+
+
+def test_fraction_within():
+    labels = np.array([0, 1, 3, 3])
+    edges = np.array([[0, 1], [1, 2], [2, 3], [0, 2]])
+    assert distance.fraction_within(labels, edges, 0) == pytest.approx(0.25)
+    assert distance.fraction_within(labels, edges, 1) == pytest.approx(0.5)
+    assert distance.fraction_within(labels, edges, 2) == pytest.approx(0.75)
+    assert distance.fraction_within(labels, edges, 3) == pytest.approx(1.0)
+
+
+def test_fraction_within_no_edges_is_one():
+    assert distance.fraction_within(np.array([0]), np.zeros((0, 2)), 1) == 1.0
+
+
+def test_histogram():
+    labels = np.array([0, 1, 3, 3])
+    edges = np.array([[0, 1], [1, 2], [2, 3], [0, 2]])
+    histogram = distance.distance_histogram(labels, edges, 4)
+    assert histogram.tolist() == [1, 1, 1, 1]
+    assert histogram.sum() == edges.shape[0]
+
+
+def test_histogram_truncates_to_k():
+    labels = np.array([0, 1])
+    edges = np.array([[0, 1]])
+    histogram = distance.distance_histogram(labels, edges, 5)
+    assert histogram.shape == (5,)
+
+
+def test_mean_distance():
+    labels = np.array([0, 2])
+    edges = np.array([[0, 1]])
+    assert distance.mean_distance(labels, edges) == pytest.approx(2.0)
+    assert distance.mean_distance(labels, np.zeros((0, 2))) == 0.0
+
+
+def test_coupling_pairs_is_distance_sum():
+    labels = np.array([0, 1, 3, 3])
+    edges = np.array([[0, 1], [1, 2], [2, 3], [0, 2]])
+    # 1 + 2 + 0 + 3 = 6 driver/receiver pairs (one per boundary crossed)
+    assert distance.coupling_pairs_required(labels, edges) == 6

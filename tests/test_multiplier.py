@@ -1,0 +1,49 @@
+"""Tests for repro.circuits.multiplier."""
+
+import itertools
+
+import pytest
+
+from repro.circuits.multiplier import array_multiplier
+from repro.utils.errors import SynthesisError
+
+
+def test_mult2_exhaustive():
+    multiplier = array_multiplier(2)
+    for a, b in itertools.product(range(4), repeat=2):
+        out = multiplier.evaluate_bus({"a": a, "b": b}, ["p"])
+        assert out["p"] == a * b, (a, b)
+
+
+def test_mult4_exhaustive():
+    multiplier = array_multiplier(4)
+    for a, b in itertools.product(range(16), repeat=2):
+        out = multiplier.evaluate_bus({"a": a, "b": b}, ["p"])
+        assert out["p"] == a * b, (a, b)
+
+
+def test_mult8_random(rng):
+    multiplier = array_multiplier(8)
+    for _ in range(40):
+        a = int(rng.integers(0, 256))
+        b = int(rng.integers(0, 256))
+        out = multiplier.evaluate_bus({"a": a, "b": b}, ["p"])
+        assert out["p"] == a * b, (a, b)
+
+
+def test_product_width():
+    multiplier = array_multiplier(4)
+    product_bits = [name for name in multiplier.outputs if name.startswith("p[")]
+    assert len(product_bits) == 8
+
+
+def test_corner_values():
+    multiplier = array_multiplier(8)
+    for a, b in [(0, 0), (0, 255), (255, 0), (255, 255), (1, 255), (128, 2)]:
+        out = multiplier.evaluate_bus({"a": a, "b": b}, ["p"])
+        assert out["p"] == a * b
+
+
+def test_width_one_rejected():
+    with pytest.raises(SynthesisError, match="width"):
+        array_multiplier(1)

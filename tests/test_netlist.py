@@ -1,0 +1,136 @@
+"""Tests for repro.netlist.netlist."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.netlist import Netlist, PortDirection
+from repro.utils.errors import NetlistError
+
+
+def test_add_gate_and_lookup(library):
+    netlist = Netlist("t", library=library)
+    gate = netlist.add_gate("g0", library["AND2"])
+    assert netlist.gate("g0") is gate
+    assert netlist.gate(0) is gate
+    assert netlist.gate(gate) is gate
+    assert netlist.has_gate("g0") and not netlist.has_gate("g1")
+
+
+def test_duplicate_gate_name_rejected(library):
+    netlist = Netlist("t", library=library)
+    netlist.add_gate("g0", library["DFF"])
+    with pytest.raises(NetlistError, match="duplicate"):
+        netlist.add_gate("g0", library["DFF"])
+
+
+def test_non_celltype_rejected(library):
+    netlist = Netlist("t", library=library)
+    with pytest.raises(NetlistError, match="CellType"):
+        netlist.add_gate("g0", "AND2")
+
+
+def test_connect_by_name_index_object(library):
+    netlist = Netlist("t", library=library)
+    a = netlist.add_gate("a", library["DFF"])
+    netlist.add_gate("b", library["DFF"])
+    netlist.add_gate("c", library["DFF"])
+    netlist.connect("a", "b")
+    netlist.connect(1, 2)
+    netlist.connect(a, "c")
+    assert netlist.num_connections == 3
+    assert netlist.has_edge("a", "b")
+    assert netlist.has_edge("b", "c")
+
+
+def test_self_loop_rejected(library):
+    netlist = Netlist("t", library=library)
+    netlist.add_gate("a", library["DFF"])
+    with pytest.raises(NetlistError, match="self-loop"):
+        netlist.connect("a", "a")
+
+
+def test_duplicate_edge_rejected_unless_allowed(library):
+    netlist = Netlist("t", library=library)
+    netlist.add_gate("a", library["DFF"])
+    netlist.add_gate("b", library["DFF"])
+    netlist.connect("a", "b")
+    with pytest.raises(NetlistError, match="duplicate"):
+        netlist.connect("a", "b")
+    netlist.connect("a", "b", allow_duplicate=True)
+    assert netlist.num_connections == 2
+
+
+def test_unknown_gate_reference(library):
+    netlist = Netlist("t", library=library)
+    netlist.add_gate("a", library["DFF"])
+    with pytest.raises(NetlistError, match="unknown gate"):
+        netlist.connect("a", "zzz")
+    with pytest.raises(NetlistError, match="out of range"):
+        netlist.connect(0, 5)
+
+
+def test_gate_from_other_netlist_rejected(library):
+    netlist_a = Netlist("a", library=library)
+    netlist_b = Netlist("b", library=library)
+    gate = netlist_a.add_gate("g", library["DFF"])
+    netlist_b.add_gate("h", library["DFF"])
+    with pytest.raises(NetlistError, match="does not belong"):
+        netlist_b.connect(gate, "h")
+
+
+def test_ports(library):
+    netlist = Netlist("t", library=library)
+    netlist.add_gate("g", library["DFF"])
+    netlist.add_port("in0", "input", "g")
+    netlist.add_port("out0", "output", 0)
+    netlist.add_port("nc", "input")
+    assert netlist.ports["in0"].direction is PortDirection.INPUT
+    assert netlist.ports["out0"].gate == 0
+    assert netlist.ports["nc"].gate is None
+    assert len(netlist.input_ports()) == 2
+    assert len(netlist.output_ports()) == 1
+    with pytest.raises(NetlistError, match="duplicate port"):
+        netlist.add_port("in0", "input")
+
+
+def test_vectors_and_totals(chain_netlist):
+    bias = chain_netlist.bias_vector_ma()
+    area = chain_netlist.area_vector_mm2()
+    assert bias.shape == (10,)
+    assert np.allclose(bias, 0.72)
+    assert chain_netlist.total_bias_ma == pytest.approx(7.2)
+    assert chain_netlist.total_area_mm2 == pytest.approx(area.sum())
+
+
+def test_edge_array_shape(chain_netlist, library):
+    edges = chain_netlist.edge_array()
+    assert edges.shape == (9, 2)
+    empty = Netlist("e", library=library)
+    assert empty.edge_array().shape == (0, 2)
+
+
+def test_cell_histogram(diamond_netlist):
+    histogram = diamond_netlist.cell_histogram()
+    assert histogram == {"DFF": 3, "SPLIT": 1, "MERGE": 1}
+
+
+def test_copy_is_deep_for_structure(chain_netlist):
+    clone = chain_netlist.copy("clone")
+    clone.add_gate("extra", chain_netlist.gates[0].cell)
+    assert clone.num_gates == chain_netlist.num_gates + 1
+    assert clone.name == "clone"
+    assert clone.edges == chain_netlist.edges
+    assert set(clone.ports) == set(chain_netlist.ports)
+
+
+def test_gate_placed_flag(library):
+    netlist = Netlist("t", library=library)
+    unplaced = netlist.add_gate("u", library["DFF"])
+    placed = netlist.add_gate("p", library["DFF"], x_um=10.0, y_um=20.0)
+    assert not unplaced.placed
+    assert placed.placed
+
+
+def test_repr_contains_stats(chain_netlist):
+    text = repr(chain_netlist)
+    assert "gates=10" in text and "connections=9" in text

@@ -1,0 +1,81 @@
+"""Tests for repro.netlist.nx (networkx interop)."""
+
+import pytest
+
+from repro.core.partitioner import partition
+from repro.netlist.nx import from_networkx, to_networkx
+from repro.utils.errors import NetlistError
+
+
+def test_roundtrip(mixed_netlist, library):
+    graph = to_networkx(mixed_netlist)
+    rebuilt = from_networkx(graph, library)
+    assert rebuilt.num_gates == mixed_netlist.num_gates
+    assert rebuilt.num_connections == mixed_netlist.num_connections
+    names = {g.index: g.name for g in mixed_netlist.gates}
+    original_edges = sorted((names[u], names[v]) for u, v in mixed_netlist.edges)
+    rebuilt_names = {g.index: g.name for g in rebuilt.gates}
+    rebuilt_edges = sorted((rebuilt_names[u], rebuilt_names[v]) for u, v in rebuilt.edges)
+    assert original_edges == rebuilt_edges
+
+
+def test_node_attributes(mixed_netlist):
+    graph = to_networkx(mixed_netlist)
+    node = graph.nodes["a0"]
+    gate = mixed_netlist.gate("a0")
+    assert node["cell"] == gate.cell.name
+    assert node["bias_ma"] == pytest.approx(gate.bias_ma)
+    assert node["area_um2"] == pytest.approx(gate.area_um2)
+
+
+def test_partition_attribute(mixed_netlist, fast_config):
+    result = partition(mixed_netlist, 4, config=fast_config)
+    graph = to_networkx(mixed_netlist, result)
+    for gate in mixed_netlist.gates:
+        assert graph.nodes[gate.name]["plane"] == int(result.labels[gate.index])
+
+
+def test_ports_in_graph_metadata(chain_netlist, library):
+    graph = to_networkx(chain_netlist)
+    assert graph.graph["ports"]["in"]["direction"] == "input"
+    assert graph.graph["ports"]["in"]["gate"] == "d0"
+    rebuilt = from_networkx(graph, library)
+    assert set(rebuilt.ports) == set(chain_netlist.ports)
+
+
+def test_placement_attributes_roundtrip(library):
+    from repro.circuits.suite import build_circuit
+
+    netlist = build_circuit("KSA4")
+    rebuilt = from_networkx(to_networkx(netlist), library)
+    gate = netlist.gates[0]
+    twin = rebuilt.gate(gate.name)
+    assert twin.x_um == pytest.approx(gate.x_um)
+
+
+def test_missing_cell_attribute_rejected(library):
+    import networkx as nx
+
+    graph = nx.DiGraph()
+    graph.add_node("g0")
+    with pytest.raises(NetlistError, match="no 'cell'"):
+        from_networkx(graph, library)
+
+
+def test_unknown_cell_rejected(library):
+    import networkx as nx
+
+    graph = nx.DiGraph()
+    graph.add_node("g0", cell="WARP")
+    with pytest.raises(NetlistError, match="unknown cell"):
+        from_networkx(graph, library)
+
+
+def test_networkx_analyses_work(mixed_netlist):
+    """The exported graph is a first-class networkx citizen."""
+    import networkx as nx
+
+    graph = to_networkx(mixed_netlist)
+    undirected = graph.to_undirected()
+    assert nx.number_connected_components(undirected) == 2
+    assert nx.is_directed_acyclic_graph(graph)

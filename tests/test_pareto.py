@@ -1,0 +1,61 @@
+"""Tests for repro.harness.pareto."""
+
+import pytest
+
+from repro.circuits.suite import build_circuit
+from repro.harness.pareto import (
+    SweepPoint,
+    pareto_front,
+    render_frontier,
+    sweep_weights,
+)
+
+
+def _point(x, y):
+    return SweepPoint(
+        c1=1.0, c23=1.0, crossing_fraction=x, i_comp_pct=y, a_fs_pct=y, report=None
+    )
+
+
+def test_pareto_front_filters_dominated():
+    a = _point(0.1, 10.0)
+    b = _point(0.2, 5.0)
+    c = _point(0.3, 20.0)  # dominated by a (0.1 <= 0.3 and 10 <= 20)
+    front = pareto_front([a, b, c])
+    assert a in front and b in front and c not in front
+
+
+def test_pareto_front_sorted():
+    points = [_point(0.3, 1.0), _point(0.1, 3.0), _point(0.2, 2.0)]
+    front = pareto_front(points)
+    xs = [p.crossing_fraction for p in front]
+    assert xs == sorted(xs)
+
+
+def test_pareto_all_equal_points_survive():
+    points = [_point(0.1, 1.0), _point(0.1, 1.0)]
+    assert len(pareto_front(points)) == 2
+
+
+def test_sweep_weights_runs(fast_config):
+    netlist = build_circuit("KSA4")
+    points, front = sweep_weights(
+        netlist, 4, fast_config, ratios=(0.5, 4.0), seed=1
+    )
+    assert len(points) == 2
+    assert 1 <= len(front) <= 2
+    for point in points:
+        assert 0.0 <= point.crossing_fraction <= 1.0
+        assert point.i_comp_pct >= 0.0
+
+
+def test_render_frontier():
+    points = [_point(0.1, 10.0), _point(0.2, 5.0), _point(0.3, 20.0)]
+    front = pareto_front(points)
+    art = render_frontier(points, front)
+    assert "O" in art and "." in art
+    assert "crossing fraction" in art
+
+
+def test_render_empty():
+    assert "<no points>" in render_frontier([], [])

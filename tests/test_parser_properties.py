@@ -1,0 +1,111 @@
+"""Property-based round-trip tests for the parsers (hypothesis).
+
+Random legal SFQ netlists (generated from a strategy that respects
+fanout/fanin budgets) must survive DEF and Verilog round-trips exactly,
+and random logic DAGs must survive the .bench round-trip functionally.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist.library import default_library
+from repro.netlist.netlist import Netlist
+from repro.parsers.bench import parse_bench, write_bench
+from repro.parsers.def_parser import parse_def
+from repro.parsers.def_writer import write_def
+from repro.parsers.verilog import parse_verilog, write_verilog
+from repro.synth.logic import LogicCircuit
+
+_LIBRARY = default_library()
+
+
+@st.composite
+def legal_netlists(draw):
+    """Random netlist honoring SFQ fanout/fanin budgets.
+
+    Construction: a random sequence of SPLIT/DFF/MERGE/JTL cells wired
+    left-to-right, tracking remaining output slots per gate and
+    remaining input slots per gate, so every edge is legal.
+    """
+    num_gates = draw(st.integers(2, 24))
+    kinds = draw(
+        st.lists(
+            st.sampled_from(["DFF", "SPLIT", "MERGE", "JTL", "AND2", "OR2"]),
+            min_size=num_gates,
+            max_size=num_gates,
+        )
+    )
+    netlist = Netlist("prop", library=_LIBRARY)
+    for i, kind in enumerate(kinds):
+        netlist.add_gate(f"g{i}", _LIBRARY[kind])
+    out_slots = {i: _LIBRARY[kinds[i]].max_fanout for i in range(num_gates)}
+    in_slots = {i: _LIBRARY[kinds[i]].num_inputs for i in range(num_gates)}
+    for v in range(1, num_gates):
+        if in_slots[v] == 0:
+            continue
+        candidates = [u for u in range(v) if out_slots[u] > 0]
+        if not candidates:
+            continue
+        wanted = draw(st.integers(0, min(len(candidates), in_slots[v])))
+        for u in candidates[:wanted]:
+            netlist.connect(u, v)
+            out_slots[u] -= 1
+            in_slots[v] -= 1
+    return netlist
+
+
+@given(legal_netlists())
+@settings(max_examples=30, deadline=None)
+def test_def_roundtrip_property(netlist):
+    parsed = parse_def(write_def(netlist), _LIBRARY)
+    assert parsed.num_gates == netlist.num_gates
+    assert sorted(map(tuple, parsed.edges)) == sorted(map(tuple, netlist.edges))
+    for gate in netlist.gates:
+        assert parsed.gate(gate.name).cell.name == gate.cell.name
+
+
+@given(legal_netlists())
+@settings(max_examples=30, deadline=None)
+def test_verilog_roundtrip_property(netlist):
+    parsed = parse_verilog(write_verilog(netlist), _LIBRARY)
+    assert parsed.num_gates == netlist.num_gates
+    names = {g.index: g.name for g in netlist.gates}
+    parsed_names = {g.index: g.name for g in parsed.gates}
+    assert sorted((names[u], names[v]) for u, v in netlist.edges) == sorted(
+        (parsed_names[u], parsed_names[v]) for u, v in parsed.edges
+    )
+
+
+@st.composite
+def logic_dags(draw):
+    """Random small logic circuits with named inputs and one output."""
+    circuit = LogicCircuit("prop")
+    num_inputs = draw(st.integers(1, 4))
+    nodes = [circuit.add_input(f"i{n}") for n in range(num_inputs)]
+    num_ops = draw(st.integers(1, 10))
+    for _ in range(num_ops):
+        op = draw(st.sampled_from(["and", "or", "xor", "not"]))
+        if op == "not":
+            operand = draw(st.sampled_from(nodes))
+            nodes.append(circuit.not_(operand))
+        else:
+            a = draw(st.sampled_from(nodes))
+            b = draw(st.sampled_from(nodes))
+            if a == b:
+                nodes.append(circuit.not_(a))
+            else:
+                nodes.append(circuit.gate(op, a, b))
+    circuit.set_output("y", nodes[-1])
+    return circuit, num_inputs
+
+
+@given(logic_dags())
+@settings(max_examples=30, deadline=None)
+def test_bench_roundtrip_preserves_function(case):
+    circuit, num_inputs = case
+    back = parse_bench(write_bench(circuit))
+    for values in itertools.product([False, True], repeat=num_inputs):
+        assignment = {f"i{n}": value for n, value in enumerate(values)}
+        assert back.evaluate(assignment)["y"] == circuit.evaluate(assignment)["y"]

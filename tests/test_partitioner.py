@@ -1,0 +1,118 @@
+"""Tests for repro.core.partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PartitionConfig
+from repro.core.partitioner import PartitionResult, partition
+from repro.utils.errors import PartitionError
+
+
+def test_basic_partition_shape(mixed_netlist, fast_config):
+    result = partition(mixed_netlist, 4, config=fast_config)
+    assert result.labels.shape == (mixed_netlist.num_gates,)
+    assert result.labels.min() >= 0 and result.labels.max() < 4
+    assert result.num_planes == 4
+
+
+def test_every_plane_nonempty(mixed_netlist, fast_config):
+    result = partition(mixed_netlist, 8, config=fast_config)
+    assert (result.plane_sizes() > 0).all()
+
+
+def test_single_plane_trivial(mixed_netlist, fast_config):
+    result = partition(mixed_netlist, 1, config=fast_config)
+    assert (result.labels == 0).all()
+    assert result.trace is None
+
+
+def test_deterministic_for_seed(mixed_netlist, fast_config):
+    a = partition(mixed_netlist, 4, config=fast_config, seed=77)
+    b = partition(mixed_netlist, 4, config=fast_config, seed=77)
+    assert (a.labels == b.labels).all()
+
+
+def test_seed_overrides_config(mixed_netlist, fast_config):
+    a = partition(mixed_netlist, 4, config=fast_config, seed=1)
+    b = partition(mixed_netlist, 4, config=fast_config, seed=2)
+    # different seeds explore different restarts; labels usually differ
+    assert a.restart_costs != b.restart_costs or not (a.labels == b.labels).all()
+
+
+def test_restart_costs_recorded(mixed_netlist):
+    config = PartitionConfig(restarts=3, max_iterations=150)
+    result = partition(mixed_netlist, 4, config=config)
+    assert len(result.restart_costs) == 3
+    assert result.integer_cost() == pytest.approx(min(result.restart_costs), abs=1.0)
+
+
+def test_best_restart_selected(mixed_netlist):
+    config = PartitionConfig(restarts=4, max_iterations=150, ensure_nonempty=False)
+    result = partition(mixed_netlist, 4, config=config)
+    assert result.integer_cost() == pytest.approx(min(result.restart_costs))
+
+
+def test_plane_accessors_consistent(mixed_netlist, fast_config):
+    result = partition(mixed_netlist, 5, config=fast_config)
+    planes = result.planes()
+    assert sum(len(p) for p in planes) == mixed_netlist.num_gates
+    bias = result.plane_bias_ma()
+    assert bias.sum() == pytest.approx(mixed_netlist.total_bias_ma)
+    area = result.plane_area_mm2()
+    assert area.sum() == pytest.approx(mixed_netlist.total_area_mm2)
+
+
+def test_connection_distances(mixed_netlist, fast_config):
+    result = partition(mixed_netlist, 5, config=fast_config)
+    distances = result.connection_distances()
+    assert distances.shape == (mixed_netlist.num_connections,)
+    assert distances.max() <= 4
+
+
+def test_validation_errors(mixed_netlist, fast_config, library):
+    with pytest.raises(PartitionError, match="num_planes"):
+        partition(mixed_netlist, 0, config=fast_config)
+    with pytest.raises(PartitionError, match="cannot split"):
+        partition(mixed_netlist, mixed_netlist.num_gates + 1, config=fast_config)
+    from repro.netlist.netlist import Netlist
+
+    empty = Netlist("empty", library=library)
+    with pytest.raises(PartitionError, match="no gates"):
+        partition(empty, 2, config=fast_config)
+
+
+def test_result_label_validation(mixed_netlist, fast_config):
+    with pytest.raises(PartitionError, match="labels"):
+        PartitionResult(
+            netlist=mixed_netlist,
+            num_planes=3,
+            labels=np.zeros(5, dtype=int),
+            config=fast_config,
+        )
+    with pytest.raises(PartitionError, match="out of range"):
+        PartitionResult(
+            netlist=mixed_netlist,
+            num_planes=3,
+            labels=np.full(mixed_netlist.num_gates, 7),
+            config=fast_config,
+        )
+
+
+def test_repair_counts_reported(library, fast_config):
+    """With K close to G, rounding usually leaves empty planes; the
+    repair must fill them and report how many gates moved."""
+    from repro.netlist.netlist import Netlist
+
+    netlist = Netlist("tiny", library=library)
+    for i in range(6):
+        netlist.add_gate(f"g{i}", library["DFF"])
+    for i in range(5):
+        netlist.connect(f"g{i}", f"g{i + 1}")
+    result = partition(netlist, 5, config=fast_config)
+    assert (result.plane_sizes() > 0).all()
+    assert result.repaired_gates >= 0
+
+
+def test_repr(mixed_netlist, fast_config):
+    result = partition(mixed_netlist, 3, config=fast_config)
+    assert "K=3" in repr(result)

@@ -1,0 +1,74 @@
+"""Tests for repro.synth.placement."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.netlist import Netlist
+from repro.synth.placement import place_netlist, placement_bbox
+from repro.utils.errors import SynthesisError
+
+
+def test_all_gates_placed(mixed_netlist):
+    place_netlist(mixed_netlist)
+    assert all(gate.placed for gate in mixed_netlist.gates)
+
+
+def test_no_overlaps_within_row(mixed_netlist):
+    place_netlist(mixed_netlist)
+    rows = {}
+    for gate in mixed_netlist.gates:
+        rows.setdefault(gate.y_um, []).append(gate)
+    for gates in rows.values():
+        gates.sort(key=lambda g: g.x_um)
+        for left, right in zip(gates, gates[1:]):
+            assert left.x_um + left.cell.width_um <= right.x_um + 1e-9
+
+
+def test_die_dimensions_returned(mixed_netlist):
+    width, height = place_netlist(mixed_netlist)
+    x_min, y_min, x_max, y_max = placement_bbox(mixed_netlist)
+    assert x_max <= width + 1e-9
+    assert y_max <= height + 1e-9
+    assert x_min >= 0 and y_min >= 0
+
+
+def test_aspect_ratio_influences_shape(mixed_netlist):
+    wide_width, wide_height = place_netlist(mixed_netlist, aspect_ratio=4.0)
+    copy = mixed_netlist.copy()
+    tall_width, tall_height = place_netlist(copy, aspect_ratio=0.25)
+    assert wide_width / wide_height > tall_width / tall_height
+
+
+def test_dataflow_ordering(chain_netlist):
+    """In a pure pipeline, placement must follow level order (gates at
+    later levels never placed at earlier positions)."""
+    place_netlist(chain_netlist)
+    positions = [(g.y_um, g.x_um) for g in chain_netlist.gates]
+    assert positions == sorted(positions)
+
+
+def test_empty_netlist_rejected(library):
+    with pytest.raises(SynthesisError, match="empty"):
+        place_netlist(Netlist("empty", library=library))
+
+
+def test_bad_aspect_ratio_rejected(mixed_netlist):
+    with pytest.raises(SynthesisError, match="aspect_ratio"):
+        place_netlist(mixed_netlist, aspect_ratio=0.0)
+
+
+def test_bbox_requires_placement(library):
+    netlist = Netlist("u", library=library)
+    netlist.add_gate("g", library["DFF"])
+    with pytest.raises(SynthesisError, match="no placed gates"):
+        placement_bbox(netlist)
+
+
+def test_rows_on_pitch_grid(mixed_netlist):
+    from repro.synth.placement import ROW_SPACING_UM
+
+    place_netlist(mixed_netlist)
+    pitch = 60.0 + ROW_SPACING_UM
+    ys = {g.y_um for g in mixed_netlist.gates}
+    for y in ys:
+        assert y % pitch == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,124 @@
+"""Tests for repro.core.planner — the Table III search."""
+
+import math
+
+import pytest
+
+from repro.core.config import PartitionConfig
+from repro.core.planner import lower_bound_planes, plan_bias_limited
+from repro.netlist.netlist import Netlist
+from repro.utils.errors import PartitionError
+
+
+def _make_netlist(library, gates=60):
+    netlist = Netlist("planner_test", library=library)
+    for i in range(gates):
+        netlist.add_gate(f"g{i}", library["DFF"])
+    for i in range(gates - 1):
+        netlist.connect(f"g{i}", f"g{i + 1}")
+    return netlist
+
+
+def test_lower_bound_formula():
+    assert lower_bound_planes(216.72, 100.0) == 3
+    assert lower_bound_planes(99.0, 100.0) == 1
+    assert lower_bound_planes(100.0, 100.0) == 1
+    assert lower_bound_planes(100.1, 100.0) == 2
+
+
+def test_lower_bound_invalid_limit():
+    with pytest.raises(PartitionError):
+        lower_bound_planes(100.0, 0.0)
+
+
+def test_plan_meets_limit(library, fast_config):
+    netlist = _make_netlist(library)
+    limit = 12.0  # B_cir = 60 * 0.72 = 43.2 -> K_LB = 4
+    plan = plan_bias_limited(netlist, bias_limit_ma=limit, config=fast_config)
+    assert plan.k_lb == math.ceil(netlist.total_bias_ma / limit)
+    assert plan.k_res >= plan.k_lb
+    assert plan.b_max_ma <= limit
+    assert plan.result.num_planes == plan.k_res
+
+
+def test_attempts_recorded_in_order(library, fast_config):
+    netlist = _make_netlist(library)
+    plan = plan_bias_limited(netlist, bias_limit_ma=12.0, config=fast_config)
+    ks = [k for k, _ in plan.attempts]
+    assert ks == list(range(plan.k_lb, plan.k_res + 1))
+    # every attempt before the last failed the limit
+    for _, b_max in plan.attempts[:-1]:
+        assert b_max > 12.0
+
+
+def test_bias_line_accounting(library, fast_config):
+    netlist = _make_netlist(library)
+    plan = plan_bias_limited(netlist, bias_limit_ma=12.0, config=fast_config)
+    assert plan.bias_lines_with_recycling == 1
+    assert plan.bias_lines_without_recycling == plan.k_lb
+    assert plan.bias_lines_saved == plan.k_lb - 1
+
+
+def test_single_gate_over_limit_rejected(library, fast_config):
+    netlist = Netlist("hot", library=library)
+    netlist.add_gate("big", library["AND2"])  # 1.42 mA
+    with pytest.raises(PartitionError, match="no partition can help"):
+        plan_bias_limited(netlist, bias_limit_ma=1.0, config=fast_config)
+
+
+def test_search_cap_raises(library):
+    netlist = _make_netlist(library, gates=10)
+    # B_cir = 7.2 mA, limit 1.0 -> K_LB = 8, but 10 gates over 8 planes
+    # always leave some plane with 2 gates (1.44 mA > limit); capping the
+    # search at K_LB must therefore fail.
+    config = PartitionConfig(restarts=1, max_iterations=50)
+    with pytest.raises(PartitionError, match="no K in"):
+        plan_bias_limited(netlist, bias_limit_ma=1.0, config=config, max_extra_planes=0)
+
+
+def test_loose_limit_gives_single_plane(library, fast_config):
+    netlist = _make_netlist(library, gates=10)
+    plan = plan_bias_limited(netlist, bias_limit_ma=1e6, config=fast_config)
+    assert plan.k_lb == 1
+    assert plan.k_res == 1
+
+
+def test_gallop_search_agrees_with_linear(library, fast_config):
+    """On a well-behaved instance both search strategies find the same
+    K_res, gallop with far fewer attempts."""
+    netlist = _make_netlist(library, gates=80)
+    linear = plan_bias_limited(netlist, bias_limit_ma=9.0, config=fast_config)
+    gallop = plan_bias_limited(
+        netlist, bias_limit_ma=9.0, config=fast_config, search="gallop"
+    )
+    assert gallop.k_res == linear.k_res
+    assert gallop.b_max_ma <= 9.0
+    assert len(gallop.attempts) <= len(linear.attempts) + 2
+
+
+def test_gallop_feasible_at_lower_bound(library, fast_config):
+    """When K_LB itself is feasible the gallop stops immediately."""
+    netlist = _make_netlist(library, gates=20)
+    plan = plan_bias_limited(
+        netlist,
+        bias_limit_ma=netlist.total_bias_ma * 1.01,
+        config=fast_config,
+        search="gallop",
+    )
+    assert plan.k_lb == plan.k_res == 1
+    assert len(plan.attempts) == 1
+
+
+def test_gallop_cap_raises(library):
+    netlist = _make_netlist(library, gates=10)
+    config = PartitionConfig(restarts=1, max_iterations=50)
+    with pytest.raises(PartitionError, match="no K in"):
+        plan_bias_limited(
+            netlist, bias_limit_ma=1.0, config=config, max_extra_planes=0, search="gallop"
+        )
+
+
+def test_unknown_search_rejected(library, fast_config):
+    netlist = _make_netlist(library, gates=10)
+    with pytest.raises(PartitionError, match="search"):
+        plan_bias_limited(netlist, bias_limit_ma=10.0, config=fast_config, search="warp")

@@ -1,0 +1,216 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import assignment, cost
+from repro.core.config import PartitionConfig
+from repro.metrics.area import area_metrics
+from repro.metrics.bias import bias_metrics
+from repro.metrics.distance import connection_distances, distance_histogram, fraction_within
+
+CONFIG = PartitionConfig(c1=1.0, c2=1.0, c3=1.0, c4=1.0)
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+@st.composite
+def partition_problem(draw, max_gates=24, max_planes=6):
+    num_gates = draw(st.integers(2, max_gates))
+    num_planes = draw(st.integers(2, min(max_planes, num_gates)))
+    labels = draw(
+        st.lists(st.integers(0, num_planes - 1), min_size=num_gates, max_size=num_gates)
+    )
+    num_edges = draw(st.integers(0, 3 * num_gates))
+    edges = []
+    for _ in range(num_edges):
+        u = draw(st.integers(0, num_gates - 1))
+        v = draw(st.integers(0, num_gates - 1))
+        if u != v:
+            edges.append((u, v))
+    bias = draw(
+        st.lists(
+            st.floats(0.05, 2.0, allow_nan=False), min_size=num_gates, max_size=num_gates
+        )
+    )
+    return (
+        np.array(labels, dtype=np.intp),
+        np.array(edges, dtype=np.intp).reshape(-1, 2),
+        np.array(bias),
+        num_planes,
+    )
+
+
+# ----------------------------------------------------------------------
+# assignment invariants
+# ----------------------------------------------------------------------
+@given(st.integers(1, 40), st.integers(1, 8), st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_random_assignment_always_row_stochastic(num_gates, num_planes, seed):
+    w = assignment.random_assignment(num_gates, num_planes, rng=seed)
+    assert w.shape == (num_gates, num_planes)
+    assert np.allclose(w.sum(axis=1), 1.0)
+    assert (w >= 0).all() and (w <= 1).all()
+
+
+@given(partition_problem())
+@settings(max_examples=60, deadline=None)
+def test_one_hot_roundtrip_property(problem):
+    labels, _, _, num_planes = problem
+    w = assignment.one_hot(labels, num_planes)
+    assert (assignment.round_assignment(w) == labels).all()
+    # relaxed labels of a one-hot matrix are the one-based plane indices
+    relaxed = assignment.labels_from_assignment(w)
+    assert np.allclose(relaxed, labels + 1)
+
+
+@given(
+    st.lists(
+        st.lists(st.floats(0.0, 1.0, allow_nan=False), min_size=3, max_size=3),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_normalize_rows_property(rows):
+    w = assignment.normalize_rows(np.array(rows))
+    assert np.allclose(w.sum(axis=1), 1.0)
+
+
+# ----------------------------------------------------------------------
+# cost invariants
+# ----------------------------------------------------------------------
+@given(partition_problem())
+@settings(max_examples=60, deadline=None)
+def test_cost_terms_bounded_and_nonnegative(problem):
+    labels, edges, bias, num_planes = problem
+    w = assignment.one_hot(labels, num_planes)
+    f1 = cost.interconnection_cost(w, edges)
+    # normalization: every connection contributes at most (K-1)^4 / N1
+    assert 0.0 <= f1 <= 1.0 + 1e-12
+    f2 = cost.bias_cost(w, bias)
+    assert f2 >= 0.0
+    area = bias * 1000.0
+    f3 = cost.area_cost(w, area)
+    assert f3 == pytest.approx(f2)  # proportional weights, same variance ratio
+
+
+@given(partition_problem())
+@settings(max_examples=60, deadline=None)
+def test_integer_cost_invariant_under_plane_reversal(problem):
+    """Relabeling plane k -> K-1-k mirrors the chain; all three cost
+    terms are symmetric under it."""
+    labels, edges, bias, num_planes = problem
+    area = bias * 1000.0
+    mirrored = (num_planes - 1) - labels
+    original = cost.integer_cost(labels, num_planes, edges, bias, area, CONFIG)
+    flipped = cost.integer_cost(mirrored, num_planes, edges, bias, area, CONFIG)
+    assert original == pytest.approx(flipped)
+
+
+@given(partition_problem())
+@settings(max_examples=40, deadline=None)
+def test_f4_nonpositive_on_feasible_assignments(problem):
+    labels, _, _, num_planes = problem
+    w = assignment.one_hot(labels, num_planes)
+    assert cost.constraint_cost(w) <= 1e-12
+
+
+# ----------------------------------------------------------------------
+# metric invariants
+# ----------------------------------------------------------------------
+@given(partition_problem())
+@settings(max_examples=60, deadline=None)
+def test_distance_metrics_consistent(problem):
+    labels, edges, _, num_planes = problem
+    distances = connection_distances(labels, edges)
+    assert (distances >= 0).all()
+    assert (distances <= num_planes - 1).all()
+    histogram = distance_histogram(labels, edges, num_planes)
+    assert histogram.sum() == edges.shape[0]
+    # fraction_within is a CDF: monotone, ends at 1
+    fractions = [fraction_within(labels, edges, d) for d in range(num_planes)]
+    assert all(a <= b + 1e-12 for a, b in zip(fractions, fractions[1:]))
+    assert fractions[-1] == pytest.approx(1.0)
+
+
+@given(partition_problem())
+@settings(max_examples=60, deadline=None)
+def test_bias_metrics_invariants(problem):
+    labels, _, bias, num_planes = problem
+    metrics = bias_metrics(labels, bias, num_planes)
+    assert metrics.total_ma == pytest.approx(float(bias.sum()))
+    assert metrics.b_max_ma >= metrics.per_plane_ma.mean() - 1e-12
+    assert metrics.i_comp_ma == pytest.approx(
+        num_planes * metrics.b_max_ma - metrics.total_ma
+    )
+    assert metrics.i_comp_ma >= -1e-9
+
+
+@given(partition_problem())
+@settings(max_examples=60, deadline=None)
+def test_area_metrics_invariants(problem):
+    labels, _, bias, num_planes = problem
+    area = bias * 4850.0
+    metrics = area_metrics(labels, area, num_planes)
+    assert metrics.free_space_mm2 == pytest.approx(
+        num_planes * metrics.a_max_mm2 - metrics.total_mm2
+    )
+    assert metrics.chip_area_mm2 >= metrics.total_mm2 - 1e-9
+
+
+# ----------------------------------------------------------------------
+# greedy packer property
+# ----------------------------------------------------------------------
+@given(
+    st.lists(st.floats(0.05, 3.0, allow_nan=False), min_size=4, max_size=40),
+    st.integers(2, 4),
+)
+@settings(max_examples=60, deadline=None)
+def test_pack_order_property(bias_values, num_planes):
+    from repro.baselines.greedy import pack_order_by_bias
+
+    bias = np.array(bias_values)
+    if num_planes > bias.shape[0]:
+        num_planes = bias.shape[0]
+    order = np.arange(bias.shape[0])
+    labels = pack_order_by_bias(order, bias, num_planes)
+    # contiguity along the order
+    assert (np.diff(labels[order]) >= 0).all() or (
+        np.bincount(labels, minlength=num_planes) > 0
+    ).all()
+    # all planes used
+    assert (np.bincount(labels, minlength=num_planes) > 0).all()
+    # balance: every plane within one max-gate-bias of the ideal share
+    per_plane = np.bincount(labels, weights=bias, minlength=num_planes)
+    share = bias.sum() / num_planes
+    assert (np.abs(per_plane - share) <= bias.max() + 1e-9).all()
+
+
+# ----------------------------------------------------------------------
+# gradient property: analytic F1 gradient == numeric, on random inputs
+# ----------------------------------------------------------------------
+@given(partition_problem(max_gates=8, max_planes=4), st.integers(0, 10**6))
+@settings(max_examples=25, deadline=None)
+def test_grad_f1_property(problem, seed):
+    from repro.core.gradients import grad_interconnection
+
+    _, edges, _, num_planes = problem
+    num_gates = int(edges.max()) + 1 if edges.size else 2
+    w = assignment.random_assignment(num_gates, num_planes, rng=seed)
+    analytic = grad_interconnection(w, edges)
+    epsilon = 1e-6
+    for i in range(min(num_gates, 3)):
+        for k in range(num_planes):
+            w_plus = w.copy()
+            w_plus[i, k] += epsilon
+            w_minus = w.copy()
+            w_minus[i, k] -= epsilon
+            numeric = (
+                cost.interconnection_cost(w_plus, edges)
+                - cost.interconnection_cost(w_minus, edges)
+            ) / (2 * epsilon)
+            assert analytic[i, k] == pytest.approx(numeric, abs=1e-4)

@@ -1,0 +1,99 @@
+"""Property-based tests over the recycling substrate (hypothesis).
+
+For *any* valid partition of a netlist — not just the optimizer's —
+the physical plan must be feasible and self-consistent.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import PartitionConfig
+from repro.core.partitioner import PartitionResult
+from repro.netlist.library import default_library
+from repro.netlist.netlist import Netlist
+from repro.recycling.bias_network import build_bias_chain
+from repro.recycling.coupling import plan_couplings
+from repro.recycling.dummy import plan_dummies
+from repro.recycling.verify import plan_recycling, verify_recycling
+
+_LIBRARY = default_library()
+_CONFIG = PartitionConfig()
+
+
+@st.composite
+def partitioned_netlists(draw):
+    """A random netlist plus a random valid (non-empty-plane) partition."""
+    num_gates = draw(st.integers(4, 30))
+    kinds = draw(
+        st.lists(
+            st.sampled_from(["DFF", "AND2", "OR2", "SPLIT", "XOR2", "NOT"]),
+            min_size=num_gates,
+            max_size=num_gates,
+        )
+    )
+    netlist = Netlist("prop_recycle", library=_LIBRARY)
+    for i, kind in enumerate(kinds):
+        netlist.add_gate(f"g{i}", _LIBRARY[kind])
+    for i in range(num_gates - 1):
+        if draw(st.booleans()):
+            netlist.connect(i, i + 1)
+    num_planes = draw(st.integers(2, min(5, num_gates)))
+    labels = np.array(
+        draw(
+            st.lists(
+                st.integers(0, num_planes - 1), min_size=num_gates, max_size=num_gates
+            )
+        ),
+        dtype=np.intp,
+    )
+    # force every plane non-empty
+    for plane in range(num_planes):
+        labels[plane] = plane
+    result = PartitionResult(
+        netlist=netlist, num_planes=num_planes, labels=labels, config=_CONFIG
+    )
+    return result
+
+
+@given(partitioned_netlists())
+@settings(max_examples=40, deadline=None)
+def test_any_valid_partition_yields_feasible_plan(result):
+    plan = plan_recycling(result)
+    assert verify_recycling(plan) == []
+
+
+@given(partitioned_netlists())
+@settings(max_examples=40, deadline=None)
+def test_coupling_conservation(result):
+    """Boundary pair counts conserve total connection distance, and no
+    boundary carries more pairs than there are crossing connections."""
+    plan = plan_couplings(result)
+    distances = result.connection_distances()
+    assert int(plan.pairs_per_boundary.sum()) == int(distances.sum())
+    assert plan.crossing_edges == int(np.count_nonzero(distances))
+    assert plan.max_boundary_pairs <= max(plan.crossing_edges, 0) or plan.total_pairs == 0
+
+
+@given(partitioned_netlists())
+@settings(max_examples=40, deadline=None)
+def test_dummies_equalize_within_one_quantum(result):
+    plan = plan_dummies(result)
+    per_plane = result.plane_bias_ma()
+    equalized = per_plane + plan.count_per_plane * _LIBRARY["DUMMY"].bias_ma
+    assert equalized.max() - equalized.min() <= _LIBRARY["DUMMY"].bias_ma + 1e-9
+    # eq. (11): I_comp percentage bounded by K * B_max relation
+    assert plan.i_comp_ma <= result.num_planes * per_plane.max() - per_plane.sum() + 1e-9
+
+
+@given(partitioned_netlists())
+@settings(max_examples=40, deadline=None)
+def test_chain_power_identity(result):
+    """Serial power overhead == I_comp / B_cir, for any partition."""
+    chain = build_bias_chain(result)
+    per_plane = result.plane_bias_ma()
+    i_comp = float((per_plane.max() - per_plane).sum())
+    total = float(per_plane.sum())
+    expected = (i_comp / total * 100.0) if total else 0.0
+    assert chain.power_overhead_pct == pytest.approx(expected, rel=1e-9, abs=1e-9)

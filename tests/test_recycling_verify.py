@@ -1,0 +1,83 @@
+"""Tests for repro.recycling.verify — end-to-end feasibility checks."""
+
+import numpy as np
+import pytest
+
+from repro.core.partitioner import PartitionResult, partition
+from repro.recycling.verify import plan_recycling, verify_recycling
+
+
+def test_real_partition_is_feasible(mixed_netlist, fast_config):
+    result = partition(mixed_netlist, 4, config=fast_config)
+    plan = plan_recycling(result)
+    assert verify_recycling(plan) == []
+
+
+def test_plan_components_present(mixed_netlist, fast_config):
+    result = partition(mixed_netlist, 4, config=fast_config)
+    plan = plan_recycling(result)
+    assert plan.couplings.num_planes == 4
+    assert plan.dummies.num_planes == 4
+    assert plan.chain.num_planes == 4
+    assert plan.floorplan.num_planes == 4
+    assert plan.supply_current_ma == pytest.approx(float(result.plane_bias_ma().max()))
+
+
+def test_summary_text(mixed_netlist, fast_config):
+    result = partition(mixed_netlist, 4, config=fast_config)
+    plan = plan_recycling(result)
+    text = plan.summary()
+    assert "K=4" in text and "coupling pairs" in text and "dummies" in text
+
+
+def test_supply_override_flows_through(mixed_netlist, fast_config):
+    result = partition(mixed_netlist, 4, config=fast_config)
+    b_max = float(result.plane_bias_ma().max())
+    plan = plan_recycling(result, supply_current_ma=b_max + 5.0)
+    assert plan.supply_current_ma == pytest.approx(b_max + 5.0)
+    assert verify_recycling(plan) == []
+
+
+def test_verify_detects_corrupted_couplings(mixed_netlist, fast_config):
+    result = partition(mixed_netlist, 4, config=fast_config)
+    plan = plan_recycling(result)
+    # tamper: drop one boundary's pairs
+    plan.couplings.pairs_per_boundary[0] += 5
+    violations = verify_recycling(plan)
+    assert any("coupling pairs" in violation for violation in violations)
+
+
+def test_verify_detects_empty_plane(mixed_netlist, fast_config):
+    labels = np.zeros(mixed_netlist.num_gates, dtype=int)
+    labels[0] = 2  # plane 1 empty
+    result = PartitionResult(
+        netlist=mixed_netlist, num_planes=3, labels=labels, config=fast_config
+    )
+    plan = plan_recycling(result)
+    violations = verify_recycling(plan)
+    assert any("empty ground planes" in violation for violation in violations)
+
+
+def test_verify_detects_underbias():
+    """Tampering with the chain's supply below B_max must be flagged."""
+    import dataclasses
+
+    from repro.core.config import PartitionConfig
+    from repro.netlist.library import default_library
+    from repro.netlist.netlist import Netlist
+
+    library = default_library()
+    netlist = Netlist("t", library=library)
+    for i in range(6):
+        netlist.add_gate(f"g{i}", library["AND2" if i < 3 else "DFF"])
+    result = PartitionResult(
+        netlist=netlist,
+        num_planes=2,
+        labels=np.array([0, 0, 0, 1, 1, 1]),
+        config=PartitionConfig(),
+    )
+    plan = plan_recycling(result)
+    tampered_chain = dataclasses.replace(plan.chain, supply_current_ma=0.1)
+    tampered = dataclasses.replace(plan, chain=tampered_chain)
+    violations = verify_recycling(tampered)
+    assert any("need more current" in violation for violation in violations)

@@ -1,0 +1,47 @@
+"""Tests for repro.metrics.report."""
+
+import pytest
+
+from repro.core.partitioner import partition
+from repro.metrics.report import evaluate_partition
+
+
+@pytest.fixture()
+def report(mixed_netlist, fast_config):
+    return evaluate_partition(partition(mixed_netlist, 4, config=fast_config))
+
+
+def test_counts_match_netlist(report, mixed_netlist):
+    assert report.num_gates == mixed_netlist.num_gates
+    assert report.num_connections == mixed_netlist.num_connections
+    assert report.circuit == mixed_netlist.name
+    assert report.num_planes == 4
+
+
+def test_fractions_ordered(report):
+    assert 0.0 <= report.frac_d_le_1 <= report.frac_d_le_2 <= 1.0
+    assert report.frac_d_le_half_k <= report.frac_d_le_2  # K//2 = 2 here
+
+
+def test_aliases_consistent(report, mixed_netlist):
+    assert report.b_cir_ma == pytest.approx(mixed_netlist.total_bias_ma)
+    assert report.a_cir_mm2 == pytest.approx(mixed_netlist.total_area_mm2)
+    assert report.b_max_ma == pytest.approx(report.bias.b_max_ma)
+    assert report.i_comp_pct == pytest.approx(report.bias.i_comp_pct)
+    assert report.a_fs_pct == pytest.approx(report.area.free_space_pct)
+
+
+def test_as_dict_columns(report):
+    data = report.as_dict()
+    expected = {
+        "circuit", "K", "gates", "connections", "d<=1", "d<=2", "d<=K/2",
+        "B_cir_mA", "B_max_mA", "I_comp_pct", "A_cir_mm2", "A_max_mm2", "A_FS_pct",
+    }
+    assert set(data) == expected
+
+
+def test_coupling_pairs_equal_distance_sum(report):
+    # coupling pairs = sum of distances = mean distance * |E|
+    assert report.coupling_pairs == pytest.approx(
+        report.mean_distance * report.num_connections
+    )

@@ -1,0 +1,40 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import make_rng, spawn_rngs
+
+
+def test_make_rng_from_seed_is_deterministic():
+    a = make_rng(7).integers(0, 1000, 10)
+    b = make_rng(7).integers(0, 1000, 10)
+    assert (a == b).all()
+
+
+def test_make_rng_passes_generator_through():
+    generator = np.random.default_rng(0)
+    assert make_rng(generator) is generator
+
+
+def test_make_rng_none_gives_generator():
+    assert isinstance(make_rng(None), np.random.Generator)
+
+
+def test_spawn_rngs_deterministic_and_independent():
+    children_a = spawn_rngs(5, 3)
+    children_b = spawn_rngs(5, 3)
+    draws_a = [child.integers(0, 10**9) for child in children_a]
+    draws_b = [child.integers(0, 10**9) for child in children_b]
+    assert draws_a == draws_b
+    # different children produce different streams
+    assert len(set(draws_a)) == 3
+
+
+def test_spawn_rngs_count_zero():
+    assert spawn_rngs(1, 0) == []
+
+
+def test_spawn_rngs_negative_count_raises():
+    with pytest.raises(ValueError):
+        spawn_rngs(1, -1)

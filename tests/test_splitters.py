@@ -1,0 +1,107 @@
+"""Tests for repro.synth.splitters."""
+
+import pytest
+
+from repro.netlist.library import default_library
+from repro.synth.logic import LogicCircuit
+from repro.synth.mapping import decompose, map_circuit
+from repro.synth.splitters import (
+    check_fanout_legal,
+    insert_splitters,
+    splitter_tree_depth,
+    splitter_tree_size,
+)
+
+
+@pytest.fixture(scope="module")
+def library():
+    return default_library()
+
+
+def _fanout_graph(library, sinks):
+    """One NOT driving ``sinks`` DFF outputs."""
+    circuit = LogicCircuit("t")
+    a = circuit.add_input("a")
+    node = circuit.not_(a)
+    from repro.synth.logic import LogicOp
+
+    for i in range(sinks):
+        circuit.set_output(f"q{i}", circuit.gate(LogicOp.DFF, node))
+    return map_circuit(decompose(circuit), library)
+
+
+@pytest.mark.parametrize("sinks", [2, 3, 4, 5, 8])
+def test_tree_size_formula(library, sinks):
+    graph = _fanout_graph(library, sinks)
+    assert check_fanout_legal(graph)  # illegal before
+    graph, inserted = insert_splitters(graph)
+    assert inserted == sinks - 1
+    assert check_fanout_legal(graph) == []
+
+
+def test_splitter_tree_size_helper():
+    assert splitter_tree_size(1) == 0
+    assert splitter_tree_size(2) == 1
+    assert splitter_tree_size(7) == 6
+    assert splitter_tree_size(0) == 0
+
+
+def test_splitter_tree_depth_helper():
+    assert splitter_tree_depth(1) == 0
+    assert splitter_tree_depth(2) == 1
+    assert splitter_tree_depth(4) == 2
+    assert splitter_tree_depth(5) == 3
+
+
+def test_port_fanout_expanded(library):
+    """A primary input feeding two gates must get a splitter tree."""
+    circuit = LogicCircuit("t")
+    a = circuit.add_input("a")
+    b = circuit.add_input("b")
+    circuit.set_output("x", circuit.and_(a, b))
+    circuit.set_output("y", circuit.xor(a, b))
+    graph = map_circuit(decompose(circuit), library)
+    graph, inserted = insert_splitters(graph)
+    # a and b each feed 2 sinks -> 2 splitters
+    assert inserted == 2
+    assert check_fanout_legal(graph) == []
+    # after splitting, each port feeds exactly one node
+    port_sinks = {}
+    for node in graph.nodes:
+        for fanin in node.fanins:
+            if not isinstance(fanin, int):
+                port_sinks[fanin[1]] = port_sinks.get(fanin[1], 0) + 1
+    assert port_sinks == {"a": 1, "b": 1}
+
+
+def test_output_port_counts_as_sink(library):
+    """A gate that feeds logic AND a primary output needs a splitter."""
+    circuit = LogicCircuit("t")
+    a = circuit.add_input("a")
+    node = circuit.not_(a)
+    circuit.set_output("direct", node)
+    circuit.set_output("inverted", circuit.not_(node))
+    graph = map_circuit(decompose(circuit), library)
+    graph, inserted = insert_splitters(graph)
+    assert inserted == 1
+    assert check_fanout_legal(graph) == []
+
+
+def test_legal_graph_untouched(library):
+    circuit = LogicCircuit("t")
+    a = circuit.add_input("a")
+    circuit.set_output("q", circuit.not_(a))
+    graph = map_circuit(decompose(circuit), library)
+    graph, inserted = insert_splitters(graph)
+    assert inserted == 0
+
+
+def test_splitters_preserve_balance(library):
+    """Splitters are transparent to the clock stage: inserting them
+    must not create balancing violations."""
+    from repro.synth.balancing import balance, check_balanced
+
+    graph = _fanout_graph(library, 6)
+    graph, _ = balance(graph)
+    graph, _ = insert_splitters(graph)
+    assert check_balanced(graph) == []

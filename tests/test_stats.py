@@ -1,0 +1,63 @@
+"""Tests for repro.netlist.stats."""
+
+import pytest
+
+from repro.circuits.suite import build_circuit
+from repro.netlist.stats import (
+    degree_histogram,
+    locality_index,
+    netlist_stats,
+    stage_population,
+)
+
+
+def test_chain_stats(chain_netlist):
+    stats = netlist_stats(chain_netlist)
+    assert stats.num_gates == 10
+    assert stats.num_connections == 9
+    assert stats.connections_per_gate == pytest.approx(0.9)
+    assert stats.pipeline_depth == 9
+    assert stats.locality == 1.0
+    assert stats.dff_fraction == 1.0
+    assert stats.max_degree == 2
+
+
+def test_suite_calibration_via_stats():
+    """The reconstructed KSA8 must hit the Table I calibration bands."""
+    stats = netlist_stats(build_circuit("KSA8"))
+    assert 1.05 <= stats.connections_per_gate <= 1.40
+    assert 0.70 <= stats.avg_bias_ma <= 1.00
+    assert 4000 <= stats.avg_area_um2 <= 5800
+    assert 0.15 <= stats.splitter_fraction <= 0.35
+    assert stats.splitter_fraction + stats.dff_fraction + stats.logic_fraction <= 1.0 + 1e-9
+
+
+def test_locality_high_on_balanced_netlists():
+    """Path-balanced SFQ netlists are stage-local by construction —
+    the structural reason the contiguous baselines win.  (Unclocked
+    splitter trees stretch some level gaps past 1, so the index sits a
+    little below the clocked-stage ideal of 1.0.)"""
+    assert locality_index(build_circuit("KSA8")) >= 0.80
+
+
+def test_degree_histogram(diamond_netlist):
+    histogram = degree_histogram(diamond_netlist)
+    assert sum(histogram.values()) == diamond_netlist.num_gates
+    assert histogram[3] == 1  # the splitter (1 in + 2 out)
+    assert histogram[2] == 3  # left, right, and the unloaded merger
+
+
+def test_stage_population(chain_netlist):
+    population = stage_population(chain_netlist)
+    assert population.tolist() == [1] * 10
+
+
+def test_stats_as_dict(mixed_netlist):
+    data = netlist_stats(mixed_netlist).as_dict()
+    assert data["gates"] == mixed_netlist.num_gates
+    assert "locality" in data and "pipeline_depth" in data
+
+
+def test_cell_mix_matches_histogram(mixed_netlist):
+    stats = netlist_stats(mixed_netlist)
+    assert stats.cell_mix == mixed_netlist.cell_histogram()

@@ -1,0 +1,66 @@
+"""Tests for repro.recycling.stripe_placement."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.suite import build_circuit
+from repro.core.partitioner import partition
+from repro.recycling.stripe_placement import place_stripes
+from repro.utils.errors import RecyclingError
+
+
+@pytest.fixture(scope="module")
+def placed():
+    netlist = build_circuit("KSA8")
+    result = partition(netlist, 4, seed=3)
+    return result, place_stripes(result, utilization=0.5)
+
+
+def test_every_gate_inside_its_stripe(placed):
+    result, placement = placed
+    floorplan = placement.floorplan
+    for stripe in floorplan.stripes:
+        members = np.flatnonzero(result.labels == stripe.plane)
+        ys = placement.positions_mm[members, 1]
+        assert (ys >= stripe.y_mm - 1e-9).all()
+        assert (ys <= stripe.y_mm + stripe.height_mm + 1e-9).all()
+        xs = placement.positions_mm[members, 0]
+        assert (xs >= 0).all() and (xs <= floorplan.die_width_mm + 1e-9).all()
+
+
+def test_coupler_sites_on_boundaries(placed):
+    result, placement = placed
+    stripe_height = placement.floorplan.stripes[0].height_mm
+    for site in placement.coupler_sites:
+        assert site.y_mm == pytest.approx((site.boundary + 1) * stripe_height)
+        assert 0 <= site.x_mm <= placement.floorplan.die_width_mm
+        u, v = site.edge
+        low, high = sorted((result.labels[u], result.labels[v]))
+        assert low <= site.boundary < high
+
+
+def test_coupler_count_matches_distance_sum(placed):
+    result, placement = placed
+    assert len(placement.coupler_sites) == int(result.connection_distances().sum())
+
+
+def test_hpwl_positive_and_overhead_reported(placed):
+    _, placement = placed
+    assert placement.hpwl_mm > 0
+    assert placement.flat_hpwl_mm > 0
+    assert placement.wirelength_overhead > 0
+
+
+def test_overfull_stripe_rejected():
+    netlist = build_circuit("KSA4")
+    result = partition(netlist, 3, seed=1)
+    with pytest.raises(RecyclingError, match="stripe height|utilization"):
+        place_stripes(result, utilization=0.999)
+
+
+def test_single_plane_placement():
+    netlist = build_circuit("KSA4")
+    result = partition(netlist, 1)
+    placement = place_stripes(result, utilization=0.5)
+    assert placement.coupler_sites == ()
+    assert placement.hpwl_mm > 0

@@ -1,0 +1,86 @@
+"""Tests for repro.circuits.suite — the Table I benchmark registry."""
+
+import pytest
+
+from repro.circuits.suite import (
+    PAPER_TABLE1,
+    SUITE_NAMES,
+    build_circuit,
+    build_logic,
+    build_suite,
+    paper_row,
+)
+from repro.netlist.validate import check_sfq_rules
+from repro.utils.errors import ReproError
+
+
+def test_all_thirteen_circuits_registered():
+    assert len(SUITE_NAMES) == 13
+    assert set(SUITE_NAMES) == set(PAPER_TABLE1)
+
+
+def test_paper_row_lookup():
+    row = paper_row("KSA4")
+    assert row.gates == 93 and row.connections == 118
+    assert row.b_cir_ma == pytest.approx(80.089)
+    with pytest.raises(KeyError):
+        paper_row("NOPE")
+
+
+def test_unknown_circuit_rejected():
+    with pytest.raises(ReproError, match="unknown benchmark"):
+        build_logic("KSA3")
+
+
+def test_build_circuit_caches():
+    first = build_circuit("KSA4")
+    second = build_circuit("KSA4")
+    assert first is second
+    uncached = build_circuit("KSA4", use_cache=False)
+    assert uncached is not first
+    assert uncached.num_gates == first.num_gates
+
+
+@pytest.mark.parametrize("name", ["KSA4", "KSA8", "MULT4", "ID4", "C499"])
+def test_reconstructions_are_sfq_legal(name):
+    netlist = build_circuit(name)
+    assert check_sfq_rules(netlist) == []
+
+
+@pytest.mark.parametrize("name", ["KSA4", "KSA8", "KSA16", "MULT4", "C499", "C1355"])
+def test_reconstruction_sizes_near_paper(name):
+    """Reconstructed gate counts within 35 % of the published counts for
+    the circuits whose synthesis matches the original flow closely
+    (dividers and MULT8 are documented exceptions, see DESIGN.md)."""
+    netlist = build_circuit(name)
+    published = PAPER_TABLE1[name].gates
+    assert abs(netlist.num_gates - published) / published < 0.35
+
+
+@pytest.mark.parametrize("name", SUITE_NAMES)
+def test_connection_ratio_in_band(name):
+    netlist = build_circuit(name)
+    ratio = netlist.num_connections / netlist.num_gates
+    assert 1.05 <= ratio <= 1.40
+
+
+def test_size_ordering_matches_paper():
+    """Relative sizes must be preserved: KSA4 < KSA8 < ... and C3540 the
+    largest non-divider circuit."""
+    sizes = {name: build_circuit(name).num_gates for name in SUITE_NAMES}
+    assert sizes["KSA4"] < sizes["KSA8"] < sizes["KSA16"] < sizes["KSA32"]
+    assert sizes["MULT4"] < sizes["MULT8"]
+    assert sizes["ID4"] < sizes["ID8"]
+    assert sizes["C499"] < sizes["C1355"]
+
+
+def test_build_suite_subset():
+    subset = build_suite(["KSA4", "MULT4"])
+    assert set(subset) == {"KSA4", "MULT4"}
+
+
+def test_total_bias_tracks_gate_count():
+    for name in ("KSA8", "C499"):
+        netlist = build_circuit(name)
+        average = netlist.total_bias_ma / netlist.num_gates
+        assert 0.7 <= average <= 1.0

@@ -1,0 +1,48 @@
+"""Tests for repro.utils.units."""
+
+import numpy as np
+import pytest
+
+from repro.utils import units
+
+
+def test_phi0_value():
+    # h / 2e in webers, to the precision quoted in eq. (1) of the paper
+    assert units.PHI0_WB == pytest.approx(2.07e-15, rel=1e-2)
+
+
+def test_bias_bus_voltage_default():
+    assert units.BIAS_BUS_VOLTAGE_MV == 2.5
+
+
+def test_microamps_to_milliamps():
+    assert units.microamps(350.0) == pytest.approx(0.35)
+
+
+def test_milliamps_identity():
+    assert units.milliamps(17.5) == 17.5
+
+
+def test_um2_mm2_roundtrip_scalar():
+    assert units.um2_to_mm2(1.0e6) == pytest.approx(1.0)
+    assert units.mm2_to_um2(units.um2_to_mm2(4850.0)) == pytest.approx(4850.0)
+
+
+def test_um2_to_mm2_accepts_arrays():
+    areas = np.array([1.0e6, 2.0e6, 0.5e6])
+    converted = units.um2_to_mm2(areas)
+    assert np.allclose(converted, [1.0, 2.0, 0.5])
+
+
+def test_format_current_matches_paper_style():
+    assert units.format_current_ma(17.5) == "17.50"
+    assert units.format_current_ma(80.089, digits=3) == "80.089"
+
+
+def test_format_area_matches_paper_style():
+    assert units.format_area_mm2(0.0972) == "0.0972"
+
+
+def test_mm2_um2_markers_are_floats():
+    assert units.mm2(3) == 3.0
+    assert units.um2("2.5") == 2.5

@@ -1,0 +1,88 @@
+"""Tests for repro.netlist.validate."""
+
+import pytest
+
+from repro.netlist.netlist import Netlist
+from repro.netlist.validate import check_sfq_rules, validate_netlist
+from repro.utils.errors import NetlistError
+
+
+def test_validate_ok(diamond_netlist):
+    assert validate_netlist(diamond_netlist) is diamond_netlist
+
+
+def test_sfq_rules_clean_on_legal_netlist(diamond_netlist):
+    assert check_sfq_rules(diamond_netlist) == []
+
+
+def test_fanout_violation_detected(library):
+    netlist = Netlist("t", library=library)
+    netlist.add_gate("d", library["DFF"])  # max fanout 1
+    netlist.add_gate("x", library["DFF"])
+    netlist.add_gate("y", library["DFF"])
+    netlist.connect("d", "x")
+    netlist.connect("d", "y")
+    issues = check_sfq_rules(netlist)
+    assert any(issue.rule == "fanout" and issue.gate == "d" for issue in issues)
+
+
+def test_splitter_fanout_two_is_legal(library):
+    netlist = Netlist("t", library=library)
+    netlist.add_gate("s", library["SPLIT"])
+    netlist.add_gate("x", library["DFF"])
+    netlist.add_gate("y", library["DFF"])
+    netlist.connect("s", "x")
+    netlist.connect("s", "y")
+    assert check_sfq_rules(netlist) == []
+
+
+def test_fanin_violation_detected(library):
+    netlist = Netlist("t", library=library)
+    netlist.add_gate("d", library["DFF"])  # one input
+    netlist.add_gate("x", library["DFF"])
+    netlist.add_gate("y", library["DFF"])
+    netlist.connect("x", "d")
+    netlist.connect("y", "d")
+    issues = check_sfq_rules(netlist)
+    assert any(issue.rule == "fanin" and issue.gate == "d" for issue in issues)
+
+
+def test_dummy_with_signal_flagged(library):
+    netlist = Netlist("t", library=library)
+    netlist.add_gate("dummy", library["DUMMY"])
+    netlist.add_gate("d", library["DFF"])
+    netlist.connect("dummy", "d")
+    issues = check_sfq_rules(netlist)
+    assert any(issue.rule == "dummy-signal" for issue in issues)
+
+
+def test_cycle_flagged_and_optional(library):
+    netlist = Netlist("t", library=library)
+    netlist.add_gate("a", library["MERGE"])
+    netlist.add_gate("b", library["SPLIT"])
+    netlist.connect("a", "b")
+    netlist.connect("b", "a")
+    issues = check_sfq_rules(netlist)
+    assert any(issue.rule == "acyclic" for issue in issues)
+    issues_no_cycle_check = check_sfq_rules(netlist, require_acyclic=False)
+    assert not any(issue.rule == "acyclic" for issue in issues_no_cycle_check)
+
+
+def test_issue_str_readable(library):
+    netlist = Netlist("t", library=library)
+    netlist.add_gate("d", library["DFF"])
+    netlist.add_gate("x", library["DFF"])
+    netlist.add_gate("y", library["DFF"])
+    netlist.connect("d", "x")
+    netlist.connect("d", "y")
+    issue = check_sfq_rules(netlist)[0]
+    assert "fanout" in str(issue) and "d" in str(issue)
+
+
+def test_validate_catches_bad_port_binding(library):
+    netlist = Netlist("t", library=library)
+    netlist.add_gate("g", library["DFF"])
+    port = netlist.add_port("p", "input", "g")
+    port.gate = 42  # corrupt it
+    with pytest.raises(NetlistError, match="invalid gate"):
+        validate_netlist(netlist)

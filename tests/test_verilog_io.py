@@ -1,0 +1,128 @@
+"""Tests for the structural Verilog writer/parser pair."""
+
+import pytest
+
+from repro.circuits.suite import build_circuit
+from repro.netlist.library import default_library
+from repro.parsers.verilog import parse_verilog, write_verilog
+from repro.utils.errors import ParseError
+
+
+@pytest.fixture(scope="module")
+def library():
+    return default_library()
+
+
+def test_roundtrip_ksa4(library):
+    netlist = build_circuit("KSA4")
+    parsed = parse_verilog(write_verilog(netlist), library)
+    assert parsed.num_gates == netlist.num_gates
+    assert parsed.num_connections == netlist.num_connections
+    # edges carry over by gate name
+    names = {g.index: g.name for g in netlist.gates}
+    original = sorted((names[u], names[v]) for u, v in netlist.edges)
+    parsed_names = {g.index: g.name for g in parsed.gates}
+    recovered = sorted((parsed_names[u], parsed_names[v]) for u, v in parsed.edges)
+    assert original == recovered
+
+
+def test_ports_roundtrip(library):
+    netlist = build_circuit("KSA4")
+    parsed = parse_verilog(write_verilog(netlist), library)
+    originals = {name.replace("[", "_").replace("]", "_"): p for name, p in netlist.ports.items()}
+    assert len(parsed.input_ports()) == len(netlist.input_ports())
+    assert len(parsed.output_ports()) == len(netlist.output_ports())
+    del originals
+
+
+def test_verilog_text_shape(library):
+    netlist = build_circuit("KSA4")
+    text = write_verilog(netlist, module_name="ksa4_mod")
+    assert text.startswith("module ksa4_mod (")
+    assert "endmodule" in text
+    assert ".a(" in text or ".d(" in text
+
+
+def test_write_to_file(library, tmp_path):
+    netlist = build_circuit("KSA4")
+    path = tmp_path / "netlist.v"
+    text = write_verilog(netlist, path=str(path))
+    assert path.read_text() == text
+
+
+def test_parse_hand_written(library):
+    text = """
+// a tiny two-gate module
+module tiny (in0, out0);
+  input in0;
+  output out0;
+  wire n1;
+  NOT g0 (.a(in0), .q(n1));
+  DFF g1 (.d(n1), .q(out0));
+endmodule
+"""
+    netlist = parse_verilog(text, library)
+    assert netlist.num_gates == 2
+    assert netlist.num_connections == 1
+    assert netlist.has_edge("g0", "g1")
+    assert netlist.name == "tiny"
+
+
+def test_block_comments_stripped(library):
+    text = """
+module t (x, y);
+  input x; output y;
+  /* multi
+     line comment DFF bogus (.d(x)); */
+  DFF g (.d(x), .q(y));
+endmodule
+"""
+    netlist = parse_verilog(text, library)
+    assert netlist.num_gates == 1
+
+
+def test_unknown_cell_rejected(library):
+    text = "module t (x); input x; FOO g (.a(x)); endmodule"
+    with pytest.raises(ParseError, match="unknown cell"):
+        parse_verilog(text, library)
+
+
+def test_unknown_pin_rejected(library):
+    text = "module t (x); input x; DFF g (.zz(x)); endmodule"
+    with pytest.raises(ParseError, match="not on cell"):
+        parse_verilog(text, library)
+
+
+def test_multi_sink_net_rejected(library):
+    text = """
+module t (x);
+  input x;
+  wire n;
+  NOT g0 (.a(x), .q(n));
+  DFF g1 (.d(n));
+  DFF g2 (.d(n));
+endmodule
+"""
+    with pytest.raises(ParseError, match="point-to-point"):
+        parse_verilog(text, library)
+
+
+def test_driven_input_port_rejected(library):
+    text = """
+module t (x);
+  input x;
+  NOT g0 (.a(x), .q(x));
+endmodule
+"""
+    with pytest.raises(ParseError, match="driven inside"):
+        parse_verilog(text, library)
+
+
+def test_no_module_rejected(library):
+    with pytest.raises(ParseError, match="no module"):
+        parse_verilog("wire x;", library)
+
+
+def test_missing_endmodule_rejected(library):
+    with pytest.raises(ParseError, match="endmodule"):
+        parse_verilog("module t (x); input x;", library)

@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""Partitioner engine benchmark: batched fused-kernel vs. legacy loop.
+
+Times :func:`repro.partition` on reconstructed Table I circuits for both
+solver engines (``PartitionConfig.engine``), verifies that the engines
+produce bitwise-identical rounded labels for the same seed, and writes
+the results to ``BENCH_partitioner.json`` so later PRs inherit a
+comparable perf trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_partitioner.py
+    PYTHONPATH=src python benchmarks/perf/bench_partitioner.py --quick
+
+``--quick`` is the CI smoke mode: one small circuit, one repeat, a
+reduced iteration cap — it exists to prove the harness runs, not to
+produce meaningful timings.
+
+JSON schema (one entry per circuit in ``results``)::
+
+    {
+      "meta":    {timestamp, python, numpy, platform, quick, planes,
+                  restarts, repeats, max_iterations, seed},
+      "results": [{circuit, gates, connections, planes, restarts,
+                   loop_s, batched_s, speedup, labels_identical,
+                   loop_iterations, batched_iterations}],
+      "summary": {geomean_speedup, all_labels_identical}
+    }
+
+Timings are the best (minimum) of ``--repeats`` runs of a full
+``partition()`` call — restarts, rounding, restart scoring and repair
+included — in a single process on one machine.
+"""
+
+import argparse
+import json
+import math
+import os
+import platform
+import sys
+import time
+
+import numpy as np
+
+DEFAULT_CIRCUITS = ("KSA8", "KSA16", "MULT8")
+DEFAULT_OUTPUT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_partitioner.json")
+
+
+def _time_partition(netlist, num_planes, config, repeats):
+    """Best-of-``repeats`` wall time of one full partition() call."""
+    from repro.core.partitioner import partition
+
+    best = math.inf
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = partition(netlist, num_planes, config=config)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, result
+
+
+def run_benchmark(circuits, planes, restarts, repeats, max_iterations, seed, quick):
+    from repro.circuits.suite import build_circuit
+    from repro.core.config import PartitionConfig
+
+    base = PartitionConfig(seed=seed, restarts=restarts, max_iterations=max_iterations)
+    rows = []
+    for name in circuits:
+        netlist = build_circuit(name)
+        loop_s, loop_result = _time_partition(
+            netlist, planes, base.with_(engine="loop"), repeats
+        )
+        batched_s, batched_result = _time_partition(
+            netlist, planes, base.with_(engine="batched"), repeats
+        )
+        identical = bool(np.array_equal(loop_result.labels, batched_result.labels))
+        rows.append(
+            {
+                "circuit": name,
+                "gates": netlist.num_gates,
+                "connections": netlist.num_connections,
+                "planes": planes,
+                "restarts": restarts,
+                "loop_s": round(loop_s, 6),
+                "batched_s": round(batched_s, 6),
+                "speedup": round(loop_s / batched_s, 3) if batched_s > 0 else math.inf,
+                "labels_identical": identical,
+                "loop_iterations": loop_result.trace.iterations,
+                "batched_iterations": batched_result.trace.iterations,
+            }
+        )
+        print(
+            f"{name:>8}  G={netlist.num_gates:<5} E={netlist.num_connections:<5} "
+            f"loop {loop_s * 1e3:8.1f} ms   batched {batched_s * 1e3:8.1f} ms   "
+            f"speedup {rows[-1]['speedup']:5.2f}x   labels identical: {identical}"
+        )
+
+    speedups = [r["speedup"] for r in rows if math.isfinite(r["speedup"])]
+    geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups)) if speedups else 0.0
+    return {
+        "meta": {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "quick": quick,
+            "planes": planes,
+            "restarts": restarts,
+            "repeats": repeats,
+            "max_iterations": max_iterations,
+            "seed": seed,
+        },
+        "results": rows,
+        "summary": {
+            "geomean_speedup": round(geomean, 3),
+            "all_labels_identical": all(r["labels_identical"] for r in rows),
+        },
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--circuits", nargs="+", default=list(DEFAULT_CIRCUITS))
+    parser.add_argument("--planes", type=int, default=5)
+    parser.add_argument("--restarts", type=int, default=8)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--max-iterations", type=int, default=2000)
+    parser.add_argument("--seed", type=int, default=2020)
+    parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: KSA8 only, 1 repeat, 4 restarts, 300-iteration cap",
+    )
+    args = parser.parse_args(argv)
+
+    if args.planes < 2:
+        parser.error("--planes must be >= 2 (K = 1 is the trivial single-plane partition)")
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+    if args.restarts < 1:
+        parser.error("--restarts must be >= 1")
+
+    if args.quick:
+        args.circuits = ["KSA8"]
+        args.repeats = 1
+        args.restarts = 4
+        args.max_iterations = 300
+
+    report = run_benchmark(
+        circuits=args.circuits,
+        planes=args.planes,
+        restarts=args.restarts,
+        repeats=args.repeats,
+        max_iterations=args.max_iterations,
+        seed=args.seed,
+        quick=args.quick,
+    )
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"\ngeomean speedup {report['summary']['geomean_speedup']}x  ->  {args.output}")
+    if not report["summary"]["all_labels_identical"]:
+        print("ERROR: engines disagreed on rounded labels", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

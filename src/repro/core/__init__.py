@@ -19,7 +19,12 @@ from repro.core.assignment import (
 )
 from repro.core.cost import CostTerms, cost_terms, total_cost, integer_cost
 from repro.core.gradients import cost_gradient
-from repro.core.optimizer import GradientDescentTrace, minimize_assignment
+from repro.core.kernel import BatchedCostTerms, EdgeIncidence, FusedKernel
+from repro.core.optimizer import (
+    GradientDescentTrace,
+    minimize_assignment,
+    minimize_assignment_batch,
+)
 from repro.core.partitioner import PartitionResult, partition
 from repro.core.planner import BiasLimitedPlan, plan_bias_limited
 from repro.core.refinement import refine_greedy
@@ -37,8 +42,12 @@ __all__ = [
     "total_cost",
     "integer_cost",
     "cost_gradient",
+    "BatchedCostTerms",
+    "EdgeIncidence",
+    "FusedKernel",
     "GradientDescentTrace",
     "minimize_assignment",
+    "minimize_assignment_batch",
     "PartitionResult",
     "partition",
     "BiasLimitedPlan",

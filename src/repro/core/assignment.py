@@ -38,24 +38,38 @@ def random_assignment(num_gates, num_planes, rng=None):
 
 
 def normalize_rows(w):
-    """Divide each row by its sum (rows with zero sum become uniform)."""
+    """Divide each row by its sum (rows with zero sum become uniform).
+
+    Accepts any ``(..., K)`` stack of assignment matrices; the batched
+    solver normalizes all restarts at once with the same arithmetic a
+    single ``(G, K)`` call uses.
+    """
     w = np.asarray(w, dtype=float)
-    if w.ndim != 2:
+    if w.ndim < 2:
         raise PartitionError(f"assignment matrix must be 2-D, got shape {w.shape}")
-    sums = w.sum(axis=1, keepdims=True)
-    out = np.empty_like(w)
-    zero = (sums <= 0.0).ravel()
-    nonzero = ~zero
-    out[nonzero] = w[nonzero] / sums[nonzero]
-    if zero.any():
-        out[zero] = 1.0 / w.shape[1]
-    return out
+    sums = w.sum(axis=-1, keepdims=True)
+    if np.all(sums > 0.0):
+        # Fast path (the overwhelmingly common case in the solver loop):
+        # bitwise-identical to the general branch below, which would
+        # select exactly these already-divided values.
+        return w / sums
+    safe = np.where(sums > 0.0, sums, 1.0)
+    return np.where(sums > 0.0, w / safe, 1.0 / w.shape[-1])
 
 
 def labels_from_assignment(w):
-    """Relaxed labels ``l_i = sum_k k * w[i,k]`` (eq. (3)), shape ``(G,)``."""
+    """Relaxed labels ``l_i = sum_k k * w[i,k]`` (eq. (3)).
+
+    Shape ``(G,)`` for a ``(G, K)`` matrix; batched ``(..., G, K)``
+    input yields ``(..., G)`` labels via the same per-slice matvec (a
+    batched ``matmul`` runs one identically-sized gemv per restart, so
+    batched and single evaluations are bitwise identical — part of the
+    engine-equivalence contract, see :mod:`repro.core.kernel`).
+    """
     w = np.asarray(w, dtype=float)
-    return w @ plane_coefficients(w.shape[1])
+    if w.ndim < 2:
+        raise PartitionError(f"assignment matrix must be (..., K), got shape {w.shape}")
+    return w @ plane_coefficients(w.shape[-1])
 
 
 def round_assignment(w):

@@ -15,6 +15,9 @@ from repro.utils.errors import PartitionError
 #: Gradient flavors, see :mod:`repro.core.gradients`.
 GRADIENT_MODES = ("paper", "exact")
 
+#: Solver engines, see :mod:`repro.core.optimizer`.
+ENGINES = ("batched", "loop")
+
 
 @dataclass(frozen=True)
 class PartitionConfig:
@@ -58,6 +61,14 @@ class PartitionConfig:
         Repair empty planes after rounding by moving in the loosest
         gates from the heaviest plane (post-processing; keeps the
         serial bias chain well-defined).
+    engine:
+        Solver engine used by :func:`~repro.core.partitioner.partition`.
+        ``"batched"`` (default) runs all restarts in lockstep through
+        the fused ``(R, G, K)`` cost/gradient kernel with per-restart
+        convergence masking; ``"loop"`` runs them serially through the
+        legacy two-pass reference solver.  Both produce bit-identical
+        rounded labels for the same seed (see
+        :mod:`repro.core.kernel`).
     seed:
         Default RNG seed used when the caller does not pass one.
     """
@@ -73,6 +84,7 @@ class PartitionConfig:
     gradient_mode: str = "paper"
     renormalize_rows: bool = True
     ensure_nonempty: bool = True
+    engine: str = "batched"
     seed: int = 2020
     extra: dict = field(default_factory=dict, compare=False)
 
@@ -92,6 +104,8 @@ class PartitionConfig:
             raise PartitionError(
                 f"gradient_mode must be one of {GRADIENT_MODES}, got {self.gradient_mode!r}"
             )
+        if self.engine not in ENGINES:
+            raise PartitionError(f"engine must be one of {ENGINES}, got {self.engine!r}")
 
     @property
     def weights(self):

@@ -15,6 +15,24 @@ Additions over the pseudo-code, all off by default or harmless:
 an iteration safety cap, an explicit learning rate (the paper folds it
 into ``c1..c4``), an optional row re-normalization projection, and a
 recorded cost trace for the convergence figure.
+
+Two solver engines implement the same loop:
+
+* :func:`minimize_assignment` — the legacy per-restart reference: one
+  descent per call, cost and gradient evaluated as two separate passes
+  through :func:`repro.core.cost.cost_terms` /
+  :func:`repro.core.gradients.cost_gradient`, each re-validating the
+  problem and rebuilding kernel state per call.
+* :func:`minimize_assignment_batch` — the production engine: all ``R``
+  restarts advance in lockstep on an ``(R, G, K)`` stack through the
+  fused one-pass :class:`~repro.core.kernel.FusedKernel`, with
+  per-restart convergence masking (a restart that satisfies the margin
+  criterion freezes — its ``w``, history and final terms stop changing —
+  while the remaining restarts keep iterating on a compacted stack).
+
+Both engines perform bitwise-identical float arithmetic per restart
+(see the equivalence contract in :mod:`repro.core.kernel`), so for the
+same seeds they yield the same traces and the same rounded labels.
 """
 
 from dataclasses import dataclass, field
@@ -24,8 +42,9 @@ import numpy as np
 from repro.core.assignment import normalize_rows, random_assignment
 from repro.core.cost import cost_terms
 from repro.core.gradients import cost_gradient
+from repro.core.kernel import FusedKernel
 from repro.utils.errors import PartitionError
-from repro.utils.rng import make_rng
+from repro.utils.rng import make_rng, spawn_rngs
 
 
 @dataclass
@@ -45,7 +64,8 @@ class GradientDescentTrace:
     iterations:
         Number of gradient steps actually taken.
     final_terms:
-        :class:`~repro.core.cost.CostTerms` at the final ``w``.
+        :class:`~repro.core.cost.CostTerms` at the final evaluated ``w``
+        (reused from the last loop evaluation, never recomputed).
     """
 
     w: np.ndarray
@@ -59,8 +79,40 @@ class GradientDescentTrace:
         return self.cost_history[-1] if self.cost_history else float("nan")
 
 
+def _validate_problem(num_planes, bias, pinned):
+    """Shared solver-input validation; returns ``(bias, pinned dict)``."""
+    bias = np.asarray(bias, dtype=float)
+    num_gates = bias.shape[0]
+    if num_planes < 1:
+        raise PartitionError(f"num_planes must be >= 1, got {num_planes}")
+    if num_planes > num_gates:
+        raise PartitionError(
+            f"cannot split {num_gates} gates into {num_planes} planes "
+            "(every plane needs at least one gate)"
+        )
+    pinned = dict(pinned or {})
+    for gate, plane in pinned.items():
+        if not 0 <= gate < num_gates:
+            raise PartitionError(f"pinned gate index {gate} out of range")
+        if not 0 <= plane < num_planes:
+            raise PartitionError(f"pinned gate {gate}: plane {plane} out of range")
+    return bias, pinned
+
+
+def _clamp_pinned(w, pinned):
+    """Hold pinned rows one-hot; works on ``(G, K)`` and ``(R, G, K)``."""
+    for gate, plane in pinned.items():
+        w[..., gate, :] = 0.0
+        w[..., gate, plane] = 1.0
+    return w
+
+
 def minimize_assignment(num_planes, edges, bias, area, config, rng=None, w0=None, pinned=None):
     """Run Algorithm 1 once and return a :class:`GradientDescentTrace`.
+
+    This is the legacy ``engine="loop"`` reference implementation; the
+    batched engine (:func:`minimize_assignment_batch`) produces
+    bit-identical results for the same initialization.
 
     Parameters
     ----------
@@ -83,21 +135,8 @@ def minimize_assignment(num_planes, edges, bias, area, config, rng=None, w0=None
         motivated by I/O: pads share the common perimeter ground, so
         gates wired to I/O must sit on a plane the designer chooses.
     """
-    bias = np.asarray(bias, dtype=float)
+    bias, pinned = _validate_problem(num_planes, bias, pinned)
     num_gates = bias.shape[0]
-    if num_planes < 1:
-        raise PartitionError(f"num_planes must be >= 1, got {num_planes}")
-    if num_planes > num_gates:
-        raise PartitionError(
-            f"cannot split {num_gates} gates into {num_planes} planes "
-            "(every plane needs at least one gate)"
-        )
-    pinned = dict(pinned or {})
-    for gate, plane in pinned.items():
-        if not 0 <= gate < num_gates:
-            raise PartitionError(f"pinned gate index {gate} out of range")
-        if not 0 <= plane < num_planes:
-            raise PartitionError(f"pinned gate {gate}: plane {plane} out of range")
 
     if w0 is None:
         w = random_assignment(num_gates, num_planes, rng=make_rng(rng))
@@ -106,13 +145,7 @@ def minimize_assignment(num_planes, edges, bias, area, config, rng=None, w0=None
         if w.shape != (num_gates, num_planes):
             raise PartitionError(f"w0 must have shape ({num_gates}, {num_planes}), got {w.shape}")
 
-    def clamp_pinned(matrix):
-        for gate, plane in pinned.items():
-            matrix[gate, :] = 0.0
-            matrix[gate, plane] = 1.0
-        return matrix
-
-    w = clamp_pinned(w)
+    w = _clamp_pinned(w, pinned)
 
     trace = GradientDescentTrace(w=w)
     cost_old = np.inf
@@ -120,6 +153,9 @@ def minimize_assignment(num_planes, edges, bias, area, config, rng=None, w0=None
         terms = cost_terms(w, edges, bias, area, config)
         cost_new = terms.total
         trace.cost_history.append(cost_new)
+        # final_terms always mirrors the last loop evaluation, so no
+        # post-loop recomputation is ever needed (max_iterations >= 1 is
+        # enforced by the config, so at least one evaluation happens).
         trace.final_terms = terms
         # Algorithm 1 line 14. cost_old is inf on the first pass, so the
         # ratio is 0 and the loop never stops before taking one step.
@@ -134,11 +170,142 @@ def minimize_assignment(num_planes, edges, bias, area, config, rng=None, w0=None
         if config.renormalize_rows:
             w = normalize_rows(w)
         if pinned:
-            w = clamp_pinned(w)
+            w = _clamp_pinned(w, pinned)
         trace.iterations += 1
         cost_old = cost_new
 
     trace.w = w
-    if trace.final_terms is None:  # max_iterations == 0 cannot happen (validated), defensive
-        trace.final_terms = cost_terms(w, edges, bias, area, config)
     return trace
+
+
+def minimize_assignment_batch(
+    num_planes, edges, bias, area, config, rngs=None, w0=None, pinned=None, restarts=None
+):
+    """Run Algorithm 1 from several restarts in lockstep (``engine="batched"``).
+
+    All restarts advance together as one ``(R, G, K)`` tensor through
+    the fused cost/gradient kernel: labels, edge differences, per-plane
+    sums and row means are computed once per iteration for the whole
+    batch, inputs are validated once up front, and the F1 gradient
+    scatter uses the kernel's precomputed segment-sum.
+
+    Convergence masking: a restart whose margin criterion fires is
+    frozen — its matrix, cost history, iteration count and final terms
+    stop changing — and the remaining restarts continue on a compacted
+    stack, so late iterations only pay for the restarts still live.
+
+    Parameters
+    ----------
+    num_planes, edges, bias, area, config:
+        As in :func:`minimize_assignment`.
+    rngs:
+        Per-restart seeds/generators (a sequence — its length defines
+        ``R``), or a single seed/generator from which ``restarts``
+        (default ``config.restarts``) independent streams are spawned.
+        Ignored when ``w0`` is given.
+    w0:
+        Optional explicit initial stack ``(R, G, K)``; a single
+        ``(G, K)`` matrix is broadcast to all restarts.
+    pinned:
+        Hard ``{gate index: plane}`` constraints applied to every
+        restart.
+    restarts:
+        Batch size when ``rngs`` is not a sequence; defaults to
+        ``config.restarts``.
+
+    Returns
+    -------
+    list of :class:`GradientDescentTrace`, one per restart, each
+    bit-identical to what :func:`minimize_assignment` returns for the
+    same initialization.
+    """
+    bias, pinned = _validate_problem(num_planes, bias, pinned)
+    num_gates = bias.shape[0]
+    kernel = FusedKernel(num_planes, edges, bias, area)
+
+    if w0 is not None:
+        w0 = np.array(w0, dtype=float)
+        if w0.ndim == 2:
+            w0 = np.repeat(w0[None], 1 if restarts is None else int(restarts), axis=0)
+        if w0.ndim != 3 or w0.shape[1:] != (num_gates, num_planes):
+            raise PartitionError(
+                f"w0 must have shape (R, {num_gates}, {num_planes}), got {w0.shape}"
+            )
+        stack = w0
+    else:
+        if rngs is None or isinstance(rngs, (int, np.integer, np.random.Generator)):
+            count = int(restarts if restarts is not None else config.restarts)
+            rngs = spawn_rngs(make_rng(rngs), count)
+        rngs = list(rngs)
+        if not rngs:
+            raise PartitionError("minimize_assignment_batch needs at least one restart")
+        stack = np.stack(
+            [random_assignment(num_gates, num_planes, rng=make_rng(r)) for r in rngs]
+        )
+
+    num_restarts = stack.shape[0]
+    stack = _clamp_pinned(np.ascontiguousarray(stack), pinned)
+
+    traces = [GradientDescentTrace(w=stack[r]) for r in range(num_restarts)]
+    final_w = [None] * num_restarts
+    # (BatchedCostTerms, row) of each restart's latest evaluation; the
+    # scalar CostTerms is materialized once after the loop instead of on
+    # every iteration.
+    last_eval = [None] * num_restarts
+    # Restart indices still descending, and their compacted stack.
+    active = np.arange(num_restarts)
+    live = stack
+    cost_old = np.full(num_restarts, np.inf)
+
+    for _ in range(config.max_iterations):
+        if active.size == 0:
+            break
+        terms, gradient = kernel.cost_and_gradient(live, config)
+        cost_new = terms.total
+        for j, r in enumerate(active):
+            traces[r].cost_history.append(float(cost_new[j]))
+            last_eval[r] = (terms, j)
+
+        # Algorithm 1 line 14, vectorized per restart (cost_old is inf on
+        # each restart's first pass, so nothing stops before one step).
+        old = cost_old[active]
+        finite = np.isfinite(old) & (old != 0.0)
+        ratio = np.abs(np.where(finite, cost_new, 0.0) / np.where(finite, old, 1.0) - 1.0)
+        stop = (finite & (ratio <= config.margin)) | ((old == 0.0) & (cost_new == 0.0))
+
+        if stop.any():
+            for j in np.flatnonzero(stop):
+                r = int(active[j])
+                traces[r].converged = True
+                final_w[r] = live[j]
+            keep = ~stop
+            active = active[keep]
+            if active.size == 0:
+                break
+            live = np.ascontiguousarray(live[keep])
+            gradient = gradient[keep]
+            cost_new = cost_new[keep]
+
+        # In-place descent step reusing the gradient buffer.  Bitwise
+        # identical to ``clip(live - lr * gradient)``: IEEE multiply by
+        # ``-lr`` flips sign exactly and ``a + (-b) == a - b``.
+        gradient *= -config.learning_rate
+        gradient += live
+        live = np.clip(gradient, 0.0, 1.0, out=gradient)
+        if config.renormalize_rows:
+            live = normalize_rows(live)
+        if pinned:
+            live = _clamp_pinned(live, pinned)
+        for r in active:
+            traces[r].iterations += 1
+        cost_old[active] = cost_new
+
+    # Restarts stopped by the iteration cap keep their last stepped w,
+    # exactly like the sequential loop.
+    for j, r in enumerate(active):
+        final_w[int(r)] = live[j]
+    for r in range(num_restarts):
+        traces[r].w = np.ascontiguousarray(final_w[r])
+        terms_r, row = last_eval[r]
+        traces[r].final_terms = terms_r.term(row)
+    return traces

@@ -13,7 +13,7 @@ import numpy as np
 from repro.core.assignment import round_assignment
 from repro.core.config import PartitionConfig
 from repro.core.cost import integer_cost
-from repro.core.optimizer import minimize_assignment
+from repro.core.optimizer import minimize_assignment, minimize_assignment_batch
 from repro.netlist.graph import undirected_degrees
 from repro.utils.errors import PartitionError
 from repro.utils.rng import make_rng, spawn_rngs
@@ -136,7 +136,10 @@ def partition(netlist, num_planes, config=None, seed=None, pinned=None):
 
     Runs ``config.restarts`` independent gradient-descent solves
     (Algorithm 1) and keeps the rounded solution with the lowest integer
-    cost.  See :class:`~repro.core.config.PartitionConfig` for knobs.
+    cost.  The solves run through the batched fused-kernel engine by
+    default, or serially when ``config.engine == "loop"``; both engines
+    yield bit-identical labels for the same seed.  See
+    :class:`~repro.core.config.PartitionConfig` for knobs.
 
     Parameters
     ----------
@@ -189,14 +192,23 @@ def partition(netlist, num_planes, config=None, seed=None, pinned=None):
     rng = make_rng(config.seed if seed is None else seed)
     streams = spawn_rngs(rng, config.restarts)
 
+    if config.engine == "batched":
+        traces = minimize_assignment_batch(
+            num_planes, edges, bias, area, config, rngs=streams, pinned=pinned_index
+        )
+    else:
+        traces = [
+            minimize_assignment(
+                num_planes, edges, bias, area, config, rng=stream, pinned=pinned_index
+            )
+            for stream in streams
+        ]
+
     best = None
     best_cost = np.inf
     best_labels = None
     restart_costs = []
-    for stream in streams:
-        trace = minimize_assignment(
-            num_planes, edges, bias, area, config, rng=stream, pinned=pinned_index
-        )
+    for trace in traces:
         labels = round_assignment(trace.w)
         cost = integer_cost(labels, num_planes, edges, bias, area, config)
         restart_costs.append(cost)

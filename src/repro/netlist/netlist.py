@@ -88,6 +88,21 @@ class Netlist:
         self._edges = []
         self._edge_set = set()
         self._ports = {}
+        # Lazily-built optimizer vectors (edge array, bias, area); every
+        # structural mutation drops them.  Cached arrays are handed out
+        # read-only so no caller can corrupt a shared copy.
+        self._vector_cache = {}
+
+    def _invalidate_vectors(self):
+        self._vector_cache.clear()
+
+    def _cached_vector(self, key, build):
+        array = self._vector_cache.get(key)
+        if array is None:
+            array = build()
+            array.flags.writeable = False
+            self._vector_cache[key] = array
+        return array
 
     # ------------------------------------------------------------------
     # construction
@@ -105,6 +120,7 @@ class Netlist:
         gate = Gate(name=name, cell=cell, index=len(self._gates), x_um=x_um, y_um=y_um, attributes=dict(attributes))
         self._gates.append(gate)
         self._gate_index[name] = gate.index
+        self._invalidate_vectors()
         return gate
 
     def connect(self, driver, sink, allow_duplicate=False):
@@ -127,6 +143,7 @@ class Netlist:
             )
         self._edges.append((u, v))
         self._edge_set.add((u, v))
+        self._invalidate_vectors()
         return (u, v)
 
     def add_port(self, name, direction, gate=None):
@@ -201,22 +218,36 @@ class Netlist:
     # vectors for the optimizer (paper's b_i, a_i per gate)
     # ------------------------------------------------------------------
     def bias_vector_ma(self):
-        """Per-gate bias currents ``b_i`` in mA, shape ``(G,)``."""
-        return np.array([g.bias_ma for g in self._gates], dtype=float)
+        """Per-gate bias currents ``b_i`` in mA, shape ``(G,)``.
+
+        Cached (read-only) until the netlist gains a gate or an edge;
+        the partitioner and metrics layers call this on every restart.
+        """
+        return self._cached_vector(
+            "bias", lambda: np.array([g.bias_ma for g in self._gates], dtype=float)
+        )
 
     def area_vector_um2(self):
-        """Per-gate areas ``a_i`` in um^2, shape ``(G,)``."""
-        return np.array([g.area_um2 for g in self._gates], dtype=float)
+        """Per-gate areas ``a_i`` in um^2, shape ``(G,)`` (cached, read-only)."""
+        return self._cached_vector(
+            "area", lambda: np.array([g.area_um2 for g in self._gates], dtype=float)
+        )
 
     def area_vector_mm2(self):
-        """Per-gate areas ``a_i`` in mm^2, shape ``(G,)``."""
-        return um2_to_mm2(self.area_vector_um2())
+        """Per-gate areas ``a_i`` in mm^2, shape ``(G,)`` (cached, read-only)."""
+        return self._cached_vector("area_mm2", lambda: um2_to_mm2(self.area_vector_um2()))
 
     def edge_array(self):
-        """Connections as an ``(|E|, 2)`` int array (empty-safe)."""
-        if not self._edges:
-            return np.zeros((0, 2), dtype=np.intp)
-        return np.asarray(self._edges, dtype=np.intp)
+        """Connections as an ``(|E|, 2)`` int array (empty-safe).
+
+        Cached (read-only) until the netlist mutates.
+        """
+        return self._cached_vector(
+            "edges",
+            lambda: np.asarray(self._edges, dtype=np.intp)
+            if self._edges
+            else np.zeros((0, 2), dtype=np.intp),
+        )
 
     # ------------------------------------------------------------------
     # aggregate circuit properties (Table I columns B_cir, A_cir)

@@ -134,3 +134,60 @@ def test_gate_placed_flag(library):
 def test_repr_contains_stats(chain_netlist):
     text = repr(chain_netlist)
     assert "gates=10" in text and "connections=9" in text
+
+
+# ----------------------------------------------------------------------
+# vector caching
+# ----------------------------------------------------------------------
+def test_vectors_cached_and_read_only(library):
+    netlist = Netlist("cache", library=library)
+    netlist.add_gate("a", library["DFF"])
+    netlist.add_gate("b", library["AND2"])
+    netlist.connect("a", "b")
+    # Repeated calls return the identical cached array, marked read-only
+    # so callers cannot corrupt the cache in place.
+    for getter in (
+        netlist.bias_vector_ma,
+        netlist.area_vector_um2,
+        netlist.area_vector_mm2,
+        netlist.edge_array,
+    ):
+        first = getter()
+        assert getter() is first
+        assert not first.flags.writeable
+        with pytest.raises(ValueError):
+            first[...] = 0
+
+
+def test_vector_cache_invalidated_on_add_gate(library):
+    netlist = Netlist("cache", library=library)
+    netlist.add_gate("a", library["DFF"])
+    bias_before = netlist.bias_vector_ma()
+    netlist.add_gate("b", library["DFF"])
+    bias_after = netlist.bias_vector_ma()
+    assert bias_after is not bias_before
+    assert bias_after.shape == (2,)
+    assert netlist.area_vector_um2().shape == (2,)
+
+
+def test_vector_cache_invalidated_on_connect(library):
+    netlist = Netlist("cache", library=library)
+    netlist.add_gate("a", library["DFF"])
+    netlist.add_gate("b", library["DFF"])
+    edges_before = netlist.edge_array()
+    assert edges_before.shape == (0, 2)
+    netlist.connect("a", "b")
+    edges_after = netlist.edge_array()
+    assert edges_after is not edges_before
+    assert edges_after.shape == (1, 2)
+    assert netlist.has_edge("a", "b")
+
+
+def test_cached_vectors_match_fresh_computation(library):
+    netlist = Netlist("cache", library=library)
+    for i in range(4):
+        netlist.add_gate(f"g{i}", library["DFF"])
+    netlist.connect("g0", "g1")
+    cached = netlist.bias_vector_ma()
+    expected = np.array([g.cell.bias_ma for g in netlist.gates])
+    assert np.array_equal(cached, expected)

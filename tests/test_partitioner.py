@@ -116,3 +116,38 @@ def test_repair_counts_reported(library, fast_config):
 def test_repr(mixed_netlist, fast_config):
     result = partition(mixed_netlist, 3, config=fast_config)
     assert "K=3" in repr(result)
+
+
+def test_repair_donor_exhaustion_raises(library):
+    """Regression: repair must fail loudly (not loop forever or move a
+    pinned gate) when every potential donor gate is pinned."""
+    from repro.core.partitioner import _repair_empty_planes
+    from repro.netlist.netlist import Netlist
+
+    netlist = Netlist("pinned3", library=library)
+    for i in range(3):
+        netlist.add_gate(f"g{i}", library["DFF"])
+    netlist.connect("g0", "g1")
+    netlist.connect("g1", "g2")
+    labels = np.array([0, 0, 1], dtype=np.intp)
+    # Plane 2 is empty; the only multi-gate plane's members are pinned.
+    with pytest.raises(PartitionError, match="cannot repair"):
+        _repair_empty_planes(labels, 3, netlist, pinned={0: 0, 1: 0})
+    # With the pins lifted the same labels repair fine.
+    repaired, moved = _repair_empty_planes(labels, 3, netlist)
+    assert moved == 1
+    assert (np.bincount(repaired, minlength=3) > 0).all()
+
+
+def test_repair_never_moves_pinned_gates(library):
+    from repro.netlist.netlist import Netlist
+
+    netlist = Netlist("tiny6", library=library)
+    for i in range(6):
+        netlist.add_gate(f"g{i}", library["DFF"])
+    for i in range(5):
+        netlist.connect(f"g{i}", f"g{i + 1}")
+    config = PartitionConfig(restarts=2, max_iterations=120, seed=4)
+    result = partition(netlist, 5, config=config, pinned={"g0": 0})
+    assert (result.plane_sizes() > 0).all()
+    assert result.labels[0] == 0

@@ -23,9 +23,19 @@ JSON schema (one entry per circuit in ``results``)::
                   restarts, repeats, max_iterations, seed},
       "results": [{circuit, gates, connections, planes, restarts,
                    loop_s, batched_s, speedup, labels_identical,
-                   loop_iterations, batched_iterations}],
+                   loop_iterations, batched_iterations,
+                   loop_restart_iterations, batched_restart_iterations,
+                   loop_total_iterations, batched_total_iterations,
+                   loop_converged_fraction, batched_converged_fraction}],
       "summary": {geomean_speedup, all_labels_identical}
     }
+
+    ``*_iterations`` is the winning restart; ``*_restart_iterations``
+    lists every restart and ``*_total_iterations`` sums them, so a
+    speedup can be checked against equal work per engine rather than
+    conflated with early convergence.  ``*_converged_fraction`` is the
+    share of restarts whose margin criterion fired before the iteration
+    cap.
 
 Timings are the best (minimum) of ``--repeats`` runs of a full
 ``partition()`` call — restarts, rounding, restart scoring and repair
@@ -75,6 +85,10 @@ def run_benchmark(circuits, planes, restarts, repeats, max_iterations, seed, qui
             netlist, planes, base.with_(engine="batched"), repeats
         )
         identical = bool(np.array_equal(loop_result.labels, batched_result.labels))
+        loop_iters = [s["iterations"] for s in loop_result.restart_stats]
+        batched_iters = [s["iterations"] for s in batched_result.restart_stats]
+        loop_conv = [s["converged"] for s in loop_result.restart_stats]
+        batched_conv = [s["converged"] for s in batched_result.restart_stats]
         rows.append(
             {
                 "circuit": name,
@@ -88,12 +102,20 @@ def run_benchmark(circuits, planes, restarts, repeats, max_iterations, seed, qui
                 "labels_identical": identical,
                 "loop_iterations": loop_result.trace.iterations,
                 "batched_iterations": batched_result.trace.iterations,
+                "loop_restart_iterations": loop_iters,
+                "batched_restart_iterations": batched_iters,
+                "loop_total_iterations": sum(loop_iters),
+                "batched_total_iterations": sum(batched_iters),
+                "loop_converged_fraction": sum(loop_conv) / len(loop_conv),
+                "batched_converged_fraction": sum(batched_conv) / len(batched_conv),
             }
         )
         print(
             f"{name:>8}  G={netlist.num_gates:<5} E={netlist.num_connections:<5} "
             f"loop {loop_s * 1e3:8.1f} ms   batched {batched_s * 1e3:8.1f} ms   "
-            f"speedup {rows[-1]['speedup']:5.2f}x   labels identical: {identical}"
+            f"speedup {rows[-1]['speedup']:5.2f}x   labels identical: {identical}   "
+            f"iters {sum(loop_iters)}/{sum(batched_iters)}   "
+            f"converged {sum(batched_conv)}/{len(batched_conv)}"
         )
 
     speedups = [r["speedup"] for r in rows if math.isfinite(r["speedup"])]
@@ -115,6 +137,12 @@ def run_benchmark(circuits, planes, restarts, repeats, max_iterations, seed, qui
         "summary": {
             "geomean_speedup": round(geomean, 3),
             "all_labels_identical": all(r["labels_identical"] for r in rows),
+            # Bitwise engine equivalence implies identical per-restart
+            # iteration counts; a False here means a speedup figure is
+            # comparing unequal amounts of work.
+            "iteration_counts_identical": all(
+                r["loop_restart_iterations"] == r["batched_restart_iterations"] for r in rows
+            ),
         },
     }
 

@@ -19,6 +19,7 @@ from repro.baselines.greedy import greedy_partition
 from repro.core.config import PartitionConfig
 from repro.core.partitioner import PartitionResult
 from repro.core.refinement import _IncrementalCost
+from repro.obs import OBS
 from repro.utils.errors import PartitionError
 from repro.utils.rng import make_rng
 
@@ -100,19 +101,28 @@ def annealing_partition(
     best_cost = 0.0
     current_cost = 0.0  # relative to the seed; only deltas matter
 
-    while temperature > initial_temperature * min_temperature_ratio:
-        for _ in range(moves_per_temperature):
-            move = propose()
-            if move is None:
-                continue
-            delta = state.move_delta(*move)
-            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
-                state.apply_move(*move)
-                current_cost += delta
-                if current_cost < best_cost:
-                    best_cost = current_cost
-                    best_labels = state.labels.copy()
-        temperature *= cooling
+    temperature_steps = 0
+    accepted = 0
+    with OBS.trace.span("annealing", gates=netlist.num_gates, planes=num_planes) as span:
+        while temperature > initial_temperature * min_temperature_ratio:
+            for _ in range(moves_per_temperature):
+                move = propose()
+                if move is None:
+                    continue
+                delta = state.move_delta(*move)
+                if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                    state.apply_move(*move)
+                    accepted += 1
+                    current_cost += delta
+                    if current_cost < best_cost:
+                        best_cost = current_cost
+                        best_labels = state.labels.copy()
+            temperature *= cooling
+            temperature_steps += 1
+        span.set(temperature_steps=temperature_steps, accepted_moves=accepted)
+    if OBS.enabled:
+        OBS.metrics.counter("baseline.annealing.temperature_steps").inc(temperature_steps)
+        OBS.metrics.counter("baseline.annealing.accepted_moves").inc(accepted)
 
     return PartitionResult(
         netlist=netlist, num_planes=num_planes, labels=best_labels, config=config

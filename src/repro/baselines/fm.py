@@ -20,6 +20,7 @@ from repro.baselines.greedy import greedy_partition
 from repro.core.config import PartitionConfig
 from repro.core.partitioner import PartitionResult
 from repro.core.refinement import _IncrementalCost
+from repro.obs import OBS
 from repro.utils.errors import PartitionError
 
 
@@ -114,10 +115,19 @@ def fm_partition(netlist, num_planes, seed=None, config=None, seed_partition=Non
         netlist.area_vector_um2(),
         config,
     )
-    for _ in range(max_passes):
-        gain, kept_moves = _run_pass(state, state.adjacency, num_planes)
-        if not kept_moves or gain >= -1e-15:
-            break
+    passes = 0
+    moves_kept = 0
+    with OBS.trace.span("fm", gates=netlist.num_gates, planes=num_planes) as span:
+        for _ in range(max_passes):
+            gain, kept_moves = _run_pass(state, state.adjacency, num_planes)
+            passes += 1
+            moves_kept += len(kept_moves)
+            if not kept_moves or gain >= -1e-15:
+                break
+        span.set(passes=passes, moves=moves_kept)
+    if OBS.enabled:
+        OBS.metrics.counter("baseline.fm.passes").inc(passes)
+        OBS.metrics.counter("baseline.fm.moves_kept").inc(moves_kept)
     return PartitionResult(
         netlist=netlist, num_planes=num_planes, labels=state.labels.copy(), config=config
     )

@@ -28,6 +28,7 @@ from repro.core.config import PartitionConfig
 from repro.core.optimizer import minimize_assignment
 from repro.core.partitioner import PartitionResult, _repair_empty_planes
 from repro.core.refinement import _IncrementalCost, greedy_improve
+from repro.obs import OBS
 from repro.utils.errors import PartitionError
 from repro.utils.rng import make_rng
 
@@ -114,43 +115,49 @@ def multilevel_partition(netlist, num_planes, seed=None, config=None, coarsest_n
     maps = []  # fine -> coarse per level
     levels = [(bias, area, edges, weights)]
     num_nodes = netlist.num_gates
-    while num_nodes > coarsest_nodes:
-        coarse_count, fine_to_coarse = _heavy_edge_matching(
-            num_nodes, levels[-1][2], levels[-1][3], rng
-        )
-        if coarse_count >= num_nodes:  # no matching progress (no edges left)
-            break
-        coarse_bias = np.bincount(fine_to_coarse, weights=levels[-1][0], minlength=coarse_count)
-        coarse_area = np.bincount(fine_to_coarse, weights=levels[-1][1], minlength=coarse_count)
-        coarse_edges, coarse_weights = _project_edges(
-            levels[-1][2], levels[-1][3], fine_to_coarse
-        )
-        maps.append(fine_to_coarse)
-        levels.append((coarse_bias, coarse_area, coarse_edges, coarse_weights))
-        num_nodes = coarse_count
+    with OBS.trace.span("multilevel_coarsen", gates=netlist.num_gates) as span:
+        while num_nodes > coarsest_nodes:
+            coarse_count, fine_to_coarse = _heavy_edge_matching(
+                num_nodes, levels[-1][2], levels[-1][3], rng
+            )
+            if coarse_count >= num_nodes:  # no matching progress (no edges left)
+                break
+            coarse_bias = np.bincount(fine_to_coarse, weights=levels[-1][0], minlength=coarse_count)
+            coarse_area = np.bincount(fine_to_coarse, weights=levels[-1][1], minlength=coarse_count)
+            coarse_edges, coarse_weights = _project_edges(
+                levels[-1][2], levels[-1][3], fine_to_coarse
+            )
+            maps.append(fine_to_coarse)
+            levels.append((coarse_bias, coarse_area, coarse_edges, coarse_weights))
+            num_nodes = coarse_count
+        span.set(levels=len(maps), coarsest_nodes=num_nodes)
+    if OBS.enabled:
+        OBS.metrics.counter("baseline.multilevel.coarsen_levels").inc(len(maps))
 
     # ---- initial partition on the coarsest level --------------------
     coarse_bias, coarse_area, coarse_edges, coarse_weights = levels[-1]
     # expand weighted edges to repeated rows so F1 keeps multiplicity
     repeated = np.repeat(coarse_edges, coarse_weights.astype(int), axis=0) if coarse_edges.size else coarse_edges
-    trace = minimize_assignment(
-        num_planes, repeated, coarse_bias, coarse_area, config, rng=rng
-    )
-    labels = round_assignment(trace.w)
+    with OBS.trace.span("multilevel_initial", nodes=int(coarse_bias.shape[0])):
+        trace = minimize_assignment(
+            num_planes, repeated, coarse_bias, coarse_area, config, rng=rng
+        )
+        labels = round_assignment(trace.w)
 
     # ---- uncoarsen + refine -----------------------------------------
-    for level_index in range(len(maps) - 1, -1, -1):
-        fine_to_coarse = maps[level_index]
-        labels = labels[fine_to_coarse]
-        fine_bias, fine_area, fine_edges, fine_weights = levels[level_index]
-        expanded = (
-            np.repeat(fine_edges, fine_weights.astype(int), axis=0)
-            if fine_edges.size
-            else fine_edges
-        )
-        state = _IncrementalCost(labels, num_planes, expanded, fine_bias, fine_area, config)
-        greedy_improve(state, num_planes, max_passes=refine_passes)
-        labels = state.labels
+    with OBS.trace.span("multilevel_refine", levels=len(maps)):
+        for level_index in range(len(maps) - 1, -1, -1):
+            fine_to_coarse = maps[level_index]
+            labels = labels[fine_to_coarse]
+            fine_bias, fine_area, fine_edges, fine_weights = levels[level_index]
+            expanded = (
+                np.repeat(fine_edges, fine_weights.astype(int), axis=0)
+                if fine_edges.size
+                else fine_edges
+            )
+            state = _IncrementalCost(labels, num_planes, expanded, fine_bias, fine_area, config)
+            greedy_improve(state, num_planes, max_passes=refine_passes)
+            labels = state.labels
 
     if not maps:
         # graph was already at/below the coarsest size: the loop above

@@ -19,6 +19,7 @@ from repro.baselines.greedy import pack_order_by_bias
 from repro.core.config import PartitionConfig
 from repro.core.partitioner import PartitionResult
 from repro.netlist.graph import connected_components
+from repro.obs import OBS
 from repro.utils.errors import PartitionError
 
 _DENSE_LIMIT = 1200
@@ -82,8 +83,10 @@ def spectral_partition(netlist, num_planes, seed=None, config=None):
     if num_planes < 1:
         raise PartitionError(f"num_planes must be >= 1, got {num_planes}")
     config = config or PartitionConfig()
-    order = fiedler_order(netlist)
-    labels = pack_order_by_bias(order, netlist.bias_vector_ma(), num_planes)
+    with OBS.trace.span("spectral", gates=netlist.num_gates, planes=num_planes):
+        with OBS.trace.span("fiedler"):
+            order = fiedler_order(netlist)
+        labels = pack_order_by_bias(order, netlist.bias_vector_ma(), num_planes)
     return PartitionResult(
         netlist=netlist, num_planes=num_planes, labels=labels, config=config
     )

@@ -50,6 +50,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.assignment import plane_coefficients
+from repro.obs import OBS
 from repro.utils.errors import PartitionError
 
 
@@ -235,6 +236,13 @@ class FusedKernel:
         w = self.check_w(w)
         num_restarts = w.shape[0]
         num_planes = self.num_planes
+        if OBS.enabled:
+            # The hottest call site in the package: keep the disabled
+            # path to the single attribute check above.
+            OBS.metrics.counter("kernel.evaluations").inc()
+            OBS.metrics.counter("kernel.restart_evaluations").inc(num_restarts)
+            if not want_gradient:
+                OBS.metrics.counter("kernel.cost_only_evaluations").inc()
         zeros_r = np.zeros(num_restarts)
 
         if num_planes == 1:

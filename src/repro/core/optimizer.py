@@ -43,6 +43,7 @@ from repro.core.assignment import normalize_rows, random_assignment
 from repro.core.cost import cost_terms
 from repro.core.gradients import cost_gradient
 from repro.core.kernel import FusedKernel
+from repro.obs import OBS
 from repro.utils.errors import PartitionError
 from repro.utils.rng import make_rng, spawn_rngs
 
@@ -66,6 +67,11 @@ class GradientDescentTrace:
     final_terms:
         :class:`~repro.core.cost.CostTerms` at the final evaluated ``w``
         (reused from the last loop evaluation, never recomputed).
+    telemetry:
+        Per-iteration observability records (cost-term breakdown,
+        relative change, gradient norm — see
+        :mod:`repro.obs.telemetry`).  ``None`` unless observability was
+        enabled (:func:`repro.obs.enable`) during the solve.
     """
 
     w: np.ndarray
@@ -73,6 +79,7 @@ class GradientDescentTrace:
     converged: bool = False
     iterations: int = 0
     final_terms: object = None
+    telemetry: list = None
 
     @property
     def final_cost(self):
@@ -147,32 +154,55 @@ def minimize_assignment(num_planes, edges, bias, area, config, rng=None, w0=None
 
     w = _clamp_pinned(w, pinned)
 
-    trace = GradientDescentTrace(w=w)
+    obs = OBS if OBS.enabled else None
+    if obs is not None:
+        run = obs.telemetry.begin_run("loop", 1)
+
+    trace = GradientDescentTrace(w=w, telemetry=[] if obs is not None else None)
     cost_old = np.inf
-    for _ in range(config.max_iterations):
-        terms = cost_terms(w, edges, bias, area, config)
-        cost_new = terms.total
-        trace.cost_history.append(cost_new)
-        # final_terms always mirrors the last loop evaluation, so no
-        # post-loop recomputation is ever needed (max_iterations >= 1 is
-        # enforced by the config, so at least one evaluation happens).
-        trace.final_terms = terms
-        # Algorithm 1 line 14. cost_old is inf on the first pass, so the
-        # ratio is 0 and the loop never stops before taking one step.
-        if np.isfinite(cost_old) and cost_old != 0.0 and abs(cost_new / cost_old - 1.0) <= config.margin:
-            trace.converged = True
-            break
-        if cost_old == 0.0 and cost_new == 0.0:
-            trace.converged = True
-            break
-        step = config.learning_rate * cost_gradient(w, edges, bias, area, config)
-        w = np.clip(w - step, 0.0, 1.0)
-        if config.renormalize_rows:
-            w = normalize_rows(w)
-        if pinned:
-            w = _clamp_pinned(w, pinned)
-        trace.iterations += 1
-        cost_old = cost_new
+    with OBS.trace.span("descent", engine="loop"):
+        for _ in range(config.max_iterations):
+            terms = cost_terms(w, edges, bias, area, config)
+            cost_new = terms.total
+            trace.cost_history.append(cost_new)
+            # final_terms always mirrors the last loop evaluation, so no
+            # post-loop recomputation is ever needed (max_iterations >= 1 is
+            # enforced by the config, so at least one evaluation happens).
+            trace.final_terms = terms
+            finite_old = np.isfinite(cost_old) and cost_old != 0.0
+            rel_change = abs(cost_new / cost_old - 1.0) if finite_old else None
+            # Algorithm 1 line 14. cost_old is inf on the first pass, so the
+            # ratio is 0 and the loop never stops before taking one step.
+            stopping = (finite_old and rel_change <= config.margin) or (
+                cost_old == 0.0 and cost_new == 0.0
+            )
+            if stopping:
+                trace.converged = True
+                if obs is not None:
+                    trace.telemetry.append(
+                        obs.telemetry.record(
+                            run, 0, trace.iterations, terms.f1, terms.f2, terms.f3,
+                            terms.f4, cost_new, rel_change, None, 1,
+                        )
+                    )
+                break
+            gradient = cost_gradient(w, edges, bias, area, config)
+            if obs is not None:
+                trace.telemetry.append(
+                    obs.telemetry.record(
+                        run, 0, trace.iterations, terms.f1, terms.f2, terms.f3,
+                        terms.f4, cost_new, rel_change,
+                        float(np.sqrt(np.sum(gradient * gradient))), 1,
+                    )
+                )
+            step = config.learning_rate * gradient
+            w = np.clip(w - step, 0.0, 1.0)
+            if config.renormalize_rows:
+                w = normalize_rows(w)
+            if pinned:
+                w = _clamp_pinned(w, pinned)
+            trace.iterations += 1
+            cost_old = cost_new
 
     trace.w = w
     return trace
@@ -246,7 +276,14 @@ def minimize_assignment_batch(
     num_restarts = stack.shape[0]
     stack = _clamp_pinned(np.ascontiguousarray(stack), pinned)
 
-    traces = [GradientDescentTrace(w=stack[r]) for r in range(num_restarts)]
+    obs = OBS if OBS.enabled else None
+    if obs is not None:
+        run = obs.telemetry.begin_run("batched", num_restarts)
+
+    traces = [
+        GradientDescentTrace(w=stack[r], telemetry=[] if obs is not None else None)
+        for r in range(num_restarts)
+    ]
     final_w = [None] * num_restarts
     # (BatchedCostTerms, row) of each restart's latest evaluation; the
     # scalar CostTerms is materialized once after the loop instead of on
@@ -257,6 +294,26 @@ def minimize_assignment_batch(
     live = stack
     cost_old = np.full(num_restarts, np.inf)
 
+    with OBS.trace.span("descent_batch", restarts=num_restarts):
+        _descend_batch(
+            kernel, config, traces, final_w, last_eval, active, live, cost_old,
+            pinned, obs, run if obs is not None else None,
+        )
+
+    for r in range(num_restarts):
+        traces[r].w = np.ascontiguousarray(final_w[r])
+        terms_r, row = last_eval[r]
+        traces[r].final_terms = terms_r.term(row)
+    return traces
+
+
+def _descend_batch(kernel, config, traces, final_w, last_eval, active, live, cost_old, pinned, obs, run):
+    """The batched descent loop of :func:`minimize_assignment_batch`.
+
+    Split out so the timing span around it stays exception-safe without
+    indenting the whole loop; mutates ``traces``/``final_w``/
+    ``last_eval`` in place.
+    """
     for _ in range(config.max_iterations):
         if active.size == 0:
             break
@@ -272,6 +329,24 @@ def minimize_assignment_batch(
         finite = np.isfinite(old) & (old != 0.0)
         ratio = np.abs(np.where(finite, cost_new, 0.0) / np.where(finite, old, 1.0) - 1.0)
         stop = (finite & (ratio <= config.margin)) | ((old == 0.0) & (cost_new == 0.0))
+
+        if obs is not None:
+            # Read-only pass over this iteration's evaluation, taken
+            # before the in-place descent step reuses the gradient
+            # buffer.  A restart stopping this iteration never computes
+            # a step, so (matching the loop engine) its grad_norm is
+            # recorded as None.
+            grad_norms = np.sqrt(np.einsum("rgk,rgk->r", gradient, gradient))
+            alive = int(active.size)
+            for j, r in enumerate(active):
+                record = obs.telemetry.record(
+                    run, int(r), traces[r].iterations,
+                    float(terms.f1[j]), float(terms.f2[j]), float(terms.f3[j]),
+                    float(terms.f4[j]), float(cost_new[j]),
+                    float(ratio[j]) if finite[j] else None,
+                    None if stop[j] else float(grad_norms[j]), alive,
+                )
+                traces[r].telemetry.append(record)
 
         if stop.any():
             for j in np.flatnonzero(stop):
@@ -304,8 +379,3 @@ def minimize_assignment_batch(
     # exactly like the sequential loop.
     for j, r in enumerate(active):
         final_w[int(r)] = live[j]
-    for r in range(num_restarts):
-        traces[r].w = np.ascontiguousarray(final_w[r])
-        terms_r, row = last_eval[r]
-        traces[r].final_terms = terms_r.term(row)
-    return traces

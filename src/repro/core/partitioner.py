@@ -15,6 +15,7 @@ from repro.core.config import PartitionConfig
 from repro.core.cost import integer_cost
 from repro.core.optimizer import minimize_assignment, minimize_assignment_batch
 from repro.netlist.graph import undirected_degrees
+from repro.obs import OBS
 from repro.utils.errors import PartitionError
 from repro.utils.rng import make_rng, spawn_rngs
 
@@ -36,6 +37,12 @@ class PartitionResult:
     restart_costs: list = field(default_factory=list)
     repaired_gates: int = 0
     pinned: dict = field(default_factory=dict)
+    #: Per-restart solver diagnostics: one dict per restart with
+    #: ``restart``, ``iterations``, ``converged``, ``relaxed_cost`` (the
+    #: final descent cost) and ``integer_cost`` (the post-rounding score
+    #: that picks the winner).  Lets benchmarks separate genuine speed
+    #: from early convergence.  Empty for the trivial K == 1 partition.
+    restart_stats: list = field(default_factory=list)
 
     def __post_init__(self):
         self.labels = np.asarray(self.labels, dtype=np.intp)
@@ -192,34 +199,67 @@ def partition(netlist, num_planes, config=None, seed=None, pinned=None):
     rng = make_rng(config.seed if seed is None else seed)
     streams = spawn_rngs(rng, config.restarts)
 
-    if config.engine == "batched":
-        traces = minimize_assignment_batch(
-            num_planes, edges, bias, area, config, rngs=streams, pinned=pinned_index
-        )
-    else:
-        traces = [
-            minimize_assignment(
-                num_planes, edges, bias, area, config, rng=stream, pinned=pinned_index
+    with OBS.trace.span(
+        "partition", circuit=netlist.name, planes=num_planes,
+        gates=netlist.num_gates, engine=config.engine,
+    ):
+        if OBS.enabled:
+            OBS.metrics.counter("partition.calls").inc()
+            OBS.metrics.counter("partition.restarts").inc(config.restarts)
+
+        with OBS.trace.span("solve"):
+            if config.engine == "batched":
+                traces = minimize_assignment_batch(
+                    num_planes, edges, bias, area, config, rngs=streams, pinned=pinned_index
+                )
+            else:
+                traces = [
+                    minimize_assignment(
+                        num_planes, edges, bias, area, config, rng=stream, pinned=pinned_index
+                    )
+                    for stream in streams
+                ]
+
+        with OBS.trace.span("score"):
+            best = None
+            best_cost = np.inf
+            best_labels = None
+            restart_costs = []
+            restart_stats = []
+            for index, trace in enumerate(traces):
+                labels = round_assignment(trace.w)
+                cost = integer_cost(labels, num_planes, edges, bias, area, config)
+                restart_costs.append(cost)
+                restart_stats.append(
+                    {
+                        "restart": index,
+                        "iterations": trace.iterations,
+                        "converged": trace.converged,
+                        "relaxed_cost": trace.final_cost,
+                        "integer_cost": cost,
+                    }
+                )
+                if cost < best_cost:
+                    best, best_cost, best_labels = trace, cost, labels
+
+        repaired = 0
+        if config.ensure_nonempty:
+            with OBS.trace.span("repair"):
+                best_labels, repaired = _repair_empty_planes(
+                    best_labels, num_planes, netlist, pinned=pinned_index
+                )
+        if OBS.enabled:
+            OBS.metrics.counter("partition.converged_restarts").inc(
+                sum(1 for s in restart_stats if s["converged"])
             )
-            for stream in streams
-        ]
-
-    best = None
-    best_cost = np.inf
-    best_labels = None
-    restart_costs = []
-    for trace in traces:
-        labels = round_assignment(trace.w)
-        cost = integer_cost(labels, num_planes, edges, bias, area, config)
-        restart_costs.append(cost)
-        if cost < best_cost:
-            best, best_cost, best_labels = trace, cost, labels
-
-    repaired = 0
-    if config.ensure_nonempty:
-        best_labels, repaired = _repair_empty_planes(
-            best_labels, num_planes, netlist, pinned=pinned_index
-        )
+            OBS.metrics.counter("partition.repaired_gates").inc(repaired)
+            OBS.metrics.histogram(
+                "partition.restart_iterations", buckets=(10, 25, 50, 100, 250, 500, 1000, 2000)
+            )
+            for stats in restart_stats:
+                OBS.metrics.histogram("partition.restart_iterations").observe(
+                    stats["iterations"]
+                )
 
     return PartitionResult(
         netlist=netlist,
@@ -230,4 +270,5 @@ def partition(netlist, num_planes, config=None, seed=None, pinned=None):
         restart_costs=restart_costs,
         repaired_gates=repaired,
         pinned=pinned_index,
+        restart_stats=restart_stats,
     )

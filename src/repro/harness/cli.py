@@ -10,12 +10,21 @@ Subcommands::
     repro-gpp table3                     # regenerate Table III
     repro-gpp figure1 KSA4 -k 5          # Fig. 1 floorplan
     repro-gpp convergence KSA8 -k 5      # convergence figure
+    repro-gpp convergence-report KSA8    # per-iteration F1..F4 telemetry
+
+Observability (see docs/observability.md): every partitioning
+subcommand accepts ``--trace FILE`` (write a JSONL trace with spans,
+metrics and per-iteration solver telemetry) and ``--profile`` (print
+span-timing and metrics tables after the command).  The ``REPRO_TRACE``
+environment variable enables the same capture without flags; when its
+value is a path, the trace is written there.
 """
 
 import argparse
 import os
 import sys
 
+from repro import obs
 from repro.circuits.suite import PAPER_TABLE1, SUITE_NAMES, build_circuit
 from repro.core.config import PartitionConfig
 from repro.harness import figures, tables
@@ -50,6 +59,21 @@ def _add_common(parser):
         help="partitioning algorithm",
     )
     parser.add_argument("--refine", action="store_true", help="greedy post-refinement")
+    _add_obs(parser)
+
+
+def _add_obs(parser):
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a JSONL observability trace (spans, metrics, solver telemetry)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print span-timing and metrics tables after the command",
+    )
 
 
 def _cmd_suite(_args):
@@ -216,6 +240,79 @@ def _cmd_convergence(args):
     return 0
 
 
+def _cmd_convergence_report(args):
+    """Per-iteration cost-term telemetry of a partition run."""
+    from repro.core.partitioner import partition
+    from repro.obs import SolverTelemetry, write_telemetry_csv, write_trace_jsonl
+
+    netlist = _load_netlist(args.circuit)
+    was_enabled = obs.enabled()
+    obs.enable()  # the report needs solver telemetry regardless of flags
+    try:
+        config = PartitionConfig(engine=args.engine)
+        result = partition(netlist, args.planes, config=config, seed=args.seed)
+        records = result.trace.telemetry or []
+        if not records:
+            raise ReproError("solver produced no telemetry (trivial K=1 partition?)")
+
+        if args.output:
+            # Export the full run (all restarts), not just the winner.
+            run_id = records[0]["run"]
+            subset = SolverTelemetry()
+            subset.runs = [r for r in obs.OBS.telemetry.runs if r["run"] == run_id]
+            subset.records = obs.OBS.telemetry.run_records(run_id)
+            if args.format == "csv":
+                write_telemetry_csv(args.output, subset)
+            else:
+                write_trace_jsonl(
+                    args.output,
+                    telemetry=subset,
+                    meta={"command": "convergence-report", "circuit": netlist.name,
+                          "planes": args.planes, "engine": args.engine},
+                )
+            print(f"telemetry written to {args.output} ({len(subset.records)} records)")
+
+        def fmt(value, spec=".6f"):
+            return "-" if value is None else format(value, spec)
+
+        shown = records
+        if len(records) > args.max_rows > 0:
+            # Even subsample that always keeps the first and last iteration.
+            step = (len(records) - 1) / (args.max_rows - 1)
+            shown = [records[round(i * step)] for i in range(args.max_rows)]
+        rows = [
+            [
+                r["iteration"], fmt(r["f1"]), fmt(r["f2"]), fmt(r["f3"]), fmt(r["f4"]),
+                fmt(r["total"]), fmt(r["rel_change"], ".3e"), fmt(r["grad_norm"], ".4f"),
+                r["active_restarts"],
+            ]
+            for r in shown
+        ]
+        print(
+            ascii_table(
+                ["iter", "F1", "F2", "F3", "F4", "total", "rel change", "|grad|", "active"],
+                rows,
+                title=f"convergence report: {netlist.name}, K={args.planes}, "
+                f"engine={args.engine} (winning restart)",
+            )
+        )
+        converged = sum(1 for s in result.restart_stats if s["converged"])
+        total = len(result.restart_stats)
+        print(
+            f"winning restart: {records[0]['restart']} | "
+            f"iterations: {result.trace.iterations}, converged: {result.trace.converged}"
+        )
+        print(
+            f"restarts: {total}, converged: {converged}/{total} "
+            f"({100.0 * converged / total:.0f}%), iterations per restart: "
+            + ", ".join(str(s["iterations"]) for s in result.restart_stats)
+        )
+        return 0
+    finally:
+        if not was_enabled:
+            obs.disable(reset=True)
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro-gpp",
@@ -271,6 +368,28 @@ def build_parser():
     convergence_parser.add_argument("circuit", nargs="?", default="KSA8")
     _add_common(convergence_parser)
 
+    report_parser = subparsers.add_parser(
+        "convergence-report",
+        help="per-iteration F1..F4 solver telemetry of a partition run",
+    )
+    report_parser.add_argument("circuit", nargs="?", default="KSA8")
+    report_parser.add_argument("-k", "--planes", type=int, default=5)
+    report_parser.add_argument("--seed", type=int, default=None)
+    report_parser.add_argument(
+        "--engine", choices=("batched", "loop"), default="batched", help="solver engine"
+    )
+    report_parser.add_argument(
+        "--format", choices=("jsonl", "csv"), default="jsonl", help="--output file format"
+    )
+    report_parser.add_argument(
+        "--output", metavar="FILE", default=None, help="write full telemetry (all restarts)"
+    )
+    report_parser.add_argument(
+        "--max-rows", type=int, default=24,
+        help="cap on printed iteration rows (0 = print all)",
+    )
+    _add_obs(report_parser)
+
     return parser
 
 
@@ -285,16 +404,40 @@ _COMMANDS = {
     "table3": _cmd_table3,
     "figure1": _cmd_figure1,
     "convergence": _cmd_convergence,
+    "convergence-report": _cmd_convergence_report,
 }
 
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
+    trace_path = getattr(args, "trace", None) or obs.env_trace_path()
+    profile = getattr(args, "profile", False)
+    capture = bool(trace_path) or profile or obs.apply_env()
+    if capture:
+        obs.enable()
     try:
-        return _COMMANDS[args.command](args)
+        code = _COMMANDS[args.command](args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        code = 2
+    finally:
+        if capture:
+            if profile:
+                print()
+                print(obs.OBS.trace.render_table())
+                print()
+                print(obs.OBS.metrics.render_table())
+            if trace_path:
+                lines = obs.write_trace_jsonl(
+                    trace_path,
+                    tracer=obs.OBS.trace,
+                    metrics=obs.OBS.metrics,
+                    telemetry=obs.OBS.telemetry,
+                    meta={"command": args.command, "circuit": getattr(args, "circuit", None)},
+                )
+                print(f"trace written to {trace_path} ({lines} records)")
+            obs.disable(reset=True)
+    return code
 
 
 if __name__ == "__main__":

@@ -1,0 +1,181 @@
+"""repro.obs — dependency-free observability: spans, metrics, telemetry.
+
+One process-wide :class:`Observability` singleton, :data:`OBS`, bundles
+
+* ``OBS.trace`` — the hierarchical span timer
+  (:class:`~repro.obs.tracer.Tracer`);
+* ``OBS.metrics`` — the counters/gauges/histograms registry
+  (:class:`~repro.obs.metrics.MetricsRegistry`);
+* ``OBS.telemetry`` — per-iteration solver records
+  (:class:`~repro.obs.telemetry.SolverTelemetry`).
+
+Everything is **off by default** and instrumented call sites are
+written so the disabled path costs one attribute check (``if
+OBS.enabled:``) or one no-op context manager — see
+``tests/test_obs_overhead.py`` for the enforced budget.  Turn capture
+on with :func:`enable` / the ``REPRO_TRACE`` environment variable /
+the CLI ``--trace`` / ``--profile`` flags, and read results via
+``OBS.trace.render_table()``, ``OBS.metrics.as_dict()`` or
+:func:`repro.obs.export.write_trace_jsonl`.
+
+``REPRO_TRACE`` semantics (checked at import and again by the CLI so
+monkeypatched environments behave):
+
+* unset / ``""`` / ``"0"`` — disabled;
+* ``"1"``, ``"true"``, ``"yes"``, ``"on"`` (any case) — capture
+  enabled, nothing auto-written;
+* anything else — treated as an output path: capture enabled and the
+  CLI writes the JSONL trace there on exit.
+
+Typical library use::
+
+    from repro.obs import OBS, enable, disable
+
+    enable()
+    result = partition(netlist, 5)
+    print(OBS.trace.render_table())
+    print(result.trace.telemetry[:3])   # per-iteration F1..F4 records
+    disable(reset=True)
+"""
+
+import functools
+import os
+
+from repro.obs.export import read_trace_jsonl, write_telemetry_csv, write_trace_jsonl
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.telemetry import ITERATION_FIELDS, TRACE_SCHEMA_VERSION, SolverTelemetry
+from repro.obs.tracer import NOOP_SPAN, Span, Tracer
+
+__all__ = [
+    "OBS",
+    "Observability",
+    "Tracer",
+    "Span",
+    "NOOP_SPAN",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "SolverTelemetry",
+    "TRACE_SCHEMA_VERSION",
+    "ITERATION_FIELDS",
+    "enable",
+    "disable",
+    "enabled",
+    "reset",
+    "env_trace_path",
+    "apply_env",
+    "traced",
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+    "write_telemetry_csv",
+]
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+class Observability:
+    """Bundle of tracer + metrics + telemetry with one master switch."""
+
+    __slots__ = ("enabled", "trace", "metrics", "telemetry")
+
+    def __init__(self):
+        self.enabled = False
+        self.trace = Tracer()
+        self.metrics = MetricsRegistry()
+        self.telemetry = SolverTelemetry()
+
+    def enable(self):
+        self.enabled = True
+        self.trace.enabled = True
+        return self
+
+    def disable(self, reset=False):
+        self.enabled = False
+        self.trace.enabled = False
+        if reset:
+            self.reset()
+        return self
+
+    def reset(self):
+        self.trace.reset()
+        self.metrics.reset()
+        self.telemetry.reset()
+        return self
+
+
+#: The process-wide observability singleton.
+OBS = Observability()
+
+
+def enable():
+    """Turn on span, metric and solver-telemetry capture."""
+    return OBS.enable()
+
+
+def disable(reset=False):
+    """Turn capture off; optionally drop everything recorded so far."""
+    return OBS.disable(reset=reset)
+
+
+def enabled():
+    return OBS.enabled
+
+
+def reset():
+    return OBS.reset()
+
+
+def traced(name, result_attrs=None):
+    """Decorator: run the function under a span named ``name``.
+
+    When capture is disabled the wrapper adds one attribute check and a
+    plain call — suitable for cool paths (parsers, planners), not for
+    per-iteration hot loops (those check ``OBS.enabled`` inline).
+
+    ``result_attrs``, when given, maps the function's return value to a
+    dict of span attributes (e.g. ``lambda netlist: {"gates":
+    netlist.num_gates}``); it only runs while capture is enabled.  A
+    ``<name>.calls`` counter is incremented per traced call.
+    """
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not OBS.enabled:
+                return fn(*args, **kwargs)
+            OBS.metrics.counter(f"{name}.calls").inc()
+            with OBS.trace.span(name) as span:
+                result = fn(*args, **kwargs)
+                if result_attrs is not None:
+                    span.set(**result_attrs(result))
+                return result
+
+        return wrapper
+
+    return decorate
+
+
+def env_trace_path(environ=None):
+    """The output path carried by ``REPRO_TRACE``, or ``None``.
+
+    A bare truthy toggle (``1``/``true``/...) enables capture without
+    naming a file, so this returns ``None`` for it.
+    """
+    value = (environ if environ is not None else os.environ).get("REPRO_TRACE", "").strip()
+    if not value or value == "0" or value.lower() in _TRUTHY:
+        return None
+    return value
+
+
+def apply_env(environ=None):
+    """Honor ``REPRO_TRACE`` (see the module docstring); returns whether
+    capture ended up enabled."""
+    value = (environ if environ is not None else os.environ).get("REPRO_TRACE", "").strip()
+    if value and value != "0":
+        OBS.enable()
+        return True
+    return OBS.enabled
+
+
+apply_env()

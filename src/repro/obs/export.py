@@ -1,0 +1,118 @@
+"""Trace export/import: JSONL trace files and CSV telemetry dumps.
+
+Trace file format (JSON Lines, schema versioned by
+:data:`~repro.obs.telemetry.TRACE_SCHEMA_VERSION`): one JSON object per
+line, discriminated by ``"type"``:
+
+``header``
+    First line; carries ``schema_version`` and free-form ``meta``.
+``run``
+    One per solver call (engine, restart count, attributes).
+``iteration``
+    One per restart per descent iteration; the fields of
+    :data:`~repro.obs.telemetry.ITERATION_FIELDS`.
+``span``
+    One per completed tracer span (path, start, duration, attrs).
+``metrics``
+    Single snapshot of the metrics registry
+    (:meth:`~repro.obs.metrics.MetricsRegistry.as_dict`).
+
+:func:`read_trace_jsonl` inverts :func:`write_trace_jsonl` section by
+section, so a write→read round trip is lossless (modulo float
+formatting, which ``json`` preserves exactly anyway).
+"""
+
+import csv
+import json
+
+from repro.obs.telemetry import ITERATION_FIELDS, TRACE_SCHEMA_VERSION
+
+
+def write_trace_jsonl(path_or_file, tracer=None, metrics=None, telemetry=None, meta=None):
+    """Write one JSONL trace file; returns the number of lines written.
+
+    Any of ``tracer`` / ``metrics`` / ``telemetry`` may be ``None`` to
+    omit that section; the header line is always written.
+    """
+    own = isinstance(path_or_file, str)
+    handle = open(path_or_file, "w") if own else path_or_file
+    lines = 0
+    try:
+        header = {"type": "header", "schema_version": TRACE_SCHEMA_VERSION}
+        if meta:
+            header["meta"] = meta
+        handle.write(json.dumps(header) + "\n")
+        lines += 1
+        if telemetry is not None:
+            for run in telemetry.runs:
+                handle.write(json.dumps({"type": "run", **run}) + "\n")
+                lines += 1
+            for record in telemetry.records:
+                handle.write(json.dumps({"type": "iteration", **record}) + "\n")
+                lines += 1
+        if tracer is not None:
+            for event in tracer.events:
+                handle.write(json.dumps({"type": "span", **event}) + "\n")
+                lines += 1
+        if metrics is not None and len(metrics):
+            handle.write(json.dumps({"type": "metrics", "metrics": metrics.as_dict()}) + "\n")
+            lines += 1
+    finally:
+        if own:
+            handle.close()
+    return lines
+
+
+def read_trace_jsonl(path_or_file):
+    """Parse a trace file back into its sections.
+
+    Returns ``{"header": dict, "runs": [...], "iterations": [...],
+    "spans": [...], "metrics": dict}`` (missing sections come back
+    empty).  Raises ``ValueError`` on a malformed file or an unknown
+    record type, so schema drift fails loudly.
+    """
+    own = isinstance(path_or_file, str)
+    handle = open(path_or_file) if own else path_or_file
+    out = {"header": None, "runs": [], "iterations": [], "spans": [], "metrics": {}}
+    try:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.pop("type", None)
+            if line_number == 1:
+                if kind != "header":
+                    raise ValueError("trace file must start with a header record")
+                out["header"] = record
+            elif kind == "run":
+                out["runs"].append(record)
+            elif kind == "iteration":
+                out["iterations"].append(record)
+            elif kind == "span":
+                out["spans"].append(record)
+            elif kind == "metrics":
+                out["metrics"] = record["metrics"]
+            else:
+                raise ValueError(f"unknown trace record type {kind!r} on line {line_number}")
+    finally:
+        if own:
+            handle.close()
+    if out["header"] is None:
+        raise ValueError("empty trace file (missing header)")
+    return out
+
+
+def write_telemetry_csv(path_or_file, telemetry):
+    """Dump iteration records as CSV in :data:`ITERATION_FIELDS` order."""
+    own = isinstance(path_or_file, str)
+    handle = open(path_or_file, "w", newline="") if own else path_or_file
+    try:
+        writer = csv.writer(handle)
+        writer.writerow(ITERATION_FIELDS)
+        for record in telemetry.records:
+            writer.writerow(["" if record[f] is None else record[f] for f in ITERATION_FIELDS])
+    finally:
+        if own:
+            handle.close()
+    return len(telemetry.records) + 1

@@ -1,0 +1,213 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Three instrument kinds, mirroring the usual time-series vocabulary:
+
+* :class:`Counter` — monotonically increasing count (``inc``);
+* :class:`Gauge` — a point-in-time value (``set``); merge keeps the
+  most recently written value;
+* :class:`Histogram` — distribution summary: count/sum/min/max plus
+  cumulative bucket counts over fixed upper bounds.
+
+Instruments are created lazily by name through the registry
+(``metrics.counter("kernel.evaluations").inc()``); names are
+dot-separated ``subsystem.metric`` strings (see docs/observability.md
+for conventions).  The registry exports as a JSON-ready dict
+(:meth:`MetricsRegistry.as_dict`), renders a human-readable table
+(:meth:`MetricsRegistry.render_table`), and supports :meth:`merge`
+(fold another registry in, e.g. from a worker) and :meth:`reset`.
+
+Standard library only; not thread-safe by design (single process,
+single thread — the solver's own batching is the concurrency story).
+"""
+
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0)
+
+
+class Counter:
+    __slots__ = ("name", "value")
+
+    kind = "counter"
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount=1):
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        self.value += amount
+        return self
+
+    def as_dict(self):
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    __slots__ = ("name", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name):
+        self.name = name
+        self.value = None
+
+    def set(self, value):
+        self.value = value
+        return self
+
+    def as_dict(self):
+        return {"kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    __slots__ = ("name", "buckets", "bucket_counts", "count", "sum", "min", "max")
+
+    kind = "histogram"
+
+    def __init__(self, name, buckets=DEFAULT_BUCKETS):
+        self.name = name
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError(f"histogram {self.name!r} needs at least one bucket bound")
+        self.bucket_counts = [0] * (len(self.buckets) + 1)  # last = +inf overflow
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value):
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return self
+        self.bucket_counts[-1] += 1
+        return self
+
+    @property
+    def mean(self):
+        return self.sum / self.count if self.count else 0.0
+
+    def as_dict(self):
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "buckets": {
+                **{str(b): c for b, c in zip(self.buckets, self.bucket_counts)},
+                "+inf": self.bucket_counts[-1],
+            },
+        }
+
+
+class MetricsRegistry:
+    """Name-keyed store of instruments; see the module docstring."""
+
+    def __init__(self):
+        self._instruments = {}
+
+    # -- instrument access ---------------------------------------------
+    def _get(self, name, factory, kind):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = self._instruments[name] = factory()
+        elif instrument.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {instrument.kind}, not {kind}"
+            )
+        return instrument
+
+    def counter(self, name):
+        return self._get(name, lambda: Counter(name), "counter")
+
+    def gauge(self, name):
+        return self._get(name, lambda: Gauge(name), "gauge")
+
+    def histogram(self, name, buckets=DEFAULT_BUCKETS):
+        return self._get(name, lambda: Histogram(name, buckets), "histogram")
+
+    def __contains__(self, name):
+        return name in self._instruments
+
+    def __len__(self):
+        return len(self._instruments)
+
+    # -- lifecycle -----------------------------------------------------
+    def reset(self):
+        """Drop every instrument."""
+        self._instruments = {}
+
+    def merge(self, other):
+        """Fold another registry into this one.
+
+        Counters add, gauges take the other registry's value when it has
+        one, histograms combine count/sum/min/max and (when the bucket
+        bounds agree) the bucket counts; mismatched bounds fall back to
+        this registry's overflow bucket.
+        """
+        for name, theirs in other._instruments.items():
+            if name not in self._instruments:
+                if theirs.kind == "counter":
+                    self.counter(name).inc(theirs.value)
+                elif theirs.kind == "gauge":
+                    self.gauge(name).set(theirs.value)
+                else:
+                    mine = self.histogram(name, theirs.buckets)
+                    mine.bucket_counts = list(theirs.bucket_counts)
+                    mine.count, mine.sum = theirs.count, theirs.sum
+                    mine.min, mine.max = theirs.min, theirs.max
+                continue
+            mine = self._get(name, lambda: None, theirs.kind)
+            if theirs.kind == "counter":
+                mine.value += theirs.value
+            elif theirs.kind == "gauge":
+                if theirs.value is not None:
+                    mine.value = theirs.value
+            else:
+                mine.count += theirs.count
+                mine.sum += theirs.sum
+                mine.min = min(mine.min, theirs.min)
+                mine.max = max(mine.max, theirs.max)
+                if mine.buckets == theirs.buckets:
+                    for i, c in enumerate(theirs.bucket_counts):
+                        mine.bucket_counts[i] += c
+                else:
+                    mine.bucket_counts[-1] += theirs.count
+        return self
+
+    # -- export --------------------------------------------------------
+    def as_dict(self):
+        return {name: inst.as_dict() for name, inst in sorted(self._instruments.items())}
+
+    def render_table(self, title="metrics"):
+        if not self._instruments:
+            return f"{title}: <no metrics recorded>"
+        rows = []
+        for name in sorted(self._instruments):
+            inst = self._instruments[name]
+            if inst.kind == "histogram":
+                value = (
+                    f"count={inst.count} mean={inst.mean:.6g} "
+                    f"min={inst.min:.6g} max={inst.max:.6g}"
+                    if inst.count
+                    else "count=0"
+                )
+            else:
+                value = f"{inst.value}"
+            rows.append((name, inst.kind, value))
+        widths = [max(len(r[i]) for r in rows + [("metric", "kind", "value")]) for i in range(3)]
+        lines = [title]
+        lines.append(
+            "  ".join(h.ljust(widths[i]) for i, h in enumerate(("metric", "kind", "value")))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rows:
+            lines.append("  ".join(row[i].ljust(widths[i]) for i in range(3)))
+        return "\n".join(lines)

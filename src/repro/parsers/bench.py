@@ -16,6 +16,7 @@ AND/OR + NOT; ``DFF`` is accepted for ISCAS89-style inputs.
 
 import re
 
+from repro.obs import traced
 from repro.synth.logic import LogicCircuit, LogicOp
 from repro.utils.errors import ParseError
 
@@ -35,6 +36,7 @@ _OPS = {
 _NEGATED = {"NAND": LogicOp.AND, "NOR": LogicOp.OR, "XNOR": LogicOp.XOR}
 
 
+@traced("parse_bench")
 def parse_bench(text, name="bench", filename="<bench>"):
     """Parse ``.bench`` text into a :class:`LogicCircuit`."""
     inputs = []

@@ -11,6 +11,7 @@ circuits"; this module is that substrate.
 """
 
 from repro.netlist.netlist import Netlist
+from repro.obs import traced
 from repro.utils.errors import ParseError
 
 
@@ -69,6 +70,7 @@ def _parse_groups(tokens):
     return groups
 
 
+@traced("parse_def", result_attrs=lambda n: {"gates": n.num_gates, "connections": n.num_connections})
 def parse_def(text, library, filename="<def>"):
     """Parse DEF text into a :class:`~repro.netlist.netlist.Netlist`.
 

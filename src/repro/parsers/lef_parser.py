@@ -10,6 +10,7 @@ round-trip through an industry-standard container.
 
 from repro.netlist.cell import CellKind, CellType
 from repro.netlist.library import CellLibrary
+from repro.obs import traced
 from repro.utils.errors import ParseError
 
 
@@ -48,6 +49,7 @@ def write_lef(library, path=None):
     return text
 
 
+@traced("parse_lef", result_attrs=lambda lib: {"cells": len(lib)})
 def parse_lef(text, library_name="lef-library", filename="<lef>"):
     """Parse LEF text into a :class:`~repro.netlist.library.CellLibrary`.
 

@@ -19,6 +19,7 @@ pin is an output pin of its cell drives the net.
 import re
 
 from repro.netlist.netlist import Netlist
+from repro.obs import traced
 from repro.utils.errors import ParseError
 
 _IDENT = r"[A-Za-z_][A-Za-z0-9_$\[\]]*"
@@ -97,6 +98,7 @@ def write_verilog(netlist, path=None, module_name=None):
     return text
 
 
+@traced("parse_verilog", result_attrs=lambda n: {"gates": n.num_gates, "connections": n.num_connections})
 def parse_verilog(text, library, filename="<verilog>"):
     """Parse flat structural Verilog into a Netlist.
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import OBS
 from repro.recycling.bias_network import build_bias_chain
 from repro.recycling.coupling import plan_couplings
 from repro.recycling.dummy import plan_dummies
@@ -59,10 +60,16 @@ class RecyclingPlan:
 
 def plan_recycling(result, utilization=0.72, supply_current_ma=None):
     """Build the full :class:`RecyclingPlan` for a partition result."""
-    couplings = plan_couplings(result)
-    dummies = plan_dummies(result)
-    chain = build_bias_chain(result, supply_current_ma=supply_current_ma)
-    floorplan = build_floorplan(result, utilization=utilization)
+    with OBS.trace.span(
+        "recycling_plan", circuit=result.netlist.name, planes=result.num_planes
+    ) as span:
+        couplings = plan_couplings(result)
+        dummies = plan_dummies(result)
+        chain = build_bias_chain(result, supply_current_ma=supply_current_ma)
+        floorplan = build_floorplan(result, utilization=utilization)
+        span.set(coupling_pairs=int(couplings.total_pairs), dummies=int(dummies.total_count))
+    if OBS.enabled:
+        OBS.metrics.counter("recycling.plans").inc()
     return RecyclingPlan(
         result=result, couplings=couplings, dummies=dummies, chain=chain, floorplan=floorplan
     )
@@ -74,6 +81,16 @@ def verify_recycling(plan, dummy_step_tolerance=1.0):
     ``dummy_step_tolerance`` scales the allowed per-plane residual to
     that many dummy-cell bias quanta.
     """
+    with OBS.trace.span("recycling_verify", circuit=plan.result.netlist.name) as span:
+        violations = _verify_recycling(plan, dummy_step_tolerance)
+        span.set(violations=len(violations))
+    if OBS.enabled:
+        OBS.metrics.counter("recycling.verifications").inc()
+        OBS.metrics.counter("recycling.violations").inc(len(violations))
+    return violations
+
+
+def _verify_recycling(plan, dummy_step_tolerance):
     violations = []
     result = plan.result
     k = result.num_planes

@@ -2,7 +2,15 @@
 
 import pytest
 
+from repro import obs
 from repro.harness.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.disable(reset=True)
+    yield
+    obs.disable(reset=True)
 
 
 def test_suite_command(capsys):
@@ -120,3 +128,83 @@ def test_stats_command(capsys):
     assert "netlist statistics" in out
     assert "locality index" in out
     assert "cell mix:" in out
+
+
+def test_partition_trace_writes_jsonl(tmp_path, capsys):
+    target = tmp_path / "trace.jsonl"
+    assert main(["partition", "KSA4", "-k", "3", "--seed", "1",
+                 "--trace", str(target)]) == 0
+    out = capsys.readouterr().out
+    assert str(target) in out
+    parsed = obs.read_trace_jsonl(str(target))
+    assert parsed["header"]["meta"]["command"] == "partition"
+    assert parsed["header"]["meta"]["circuit"] == "KSA4"
+    assert parsed["iterations"], "trace must carry per-iteration telemetry"
+    first = parsed["iterations"][0]
+    for field in ("f1", "f2", "f3", "f4", "total", "rel_change", "grad_norm"):
+        assert field in first
+    span_paths = {s["path"] for s in parsed["spans"]}
+    assert "partition" in span_paths and "partition/solve" in span_paths
+    assert parsed["metrics"]["kernel.evaluations"]["value"] > 0
+    # capture is torn down after the command
+    assert not obs.enabled()
+    assert obs.OBS.trace.aggregates == {}
+
+
+def test_partition_profile_prints_tables(capsys):
+    assert main(["partition", "KSA4", "-k", "3", "--seed", "1", "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "span" in out and "total ms" in out
+    assert "partition" in out and "solve" in out
+    assert "kernel.evaluations" in out
+    assert not obs.enabled()
+
+
+def test_repro_trace_env_writes_jsonl(tmp_path, capsys, monkeypatch):
+    target = tmp_path / "env_trace.jsonl"
+    monkeypatch.setenv("REPRO_TRACE", str(target))
+    assert main(["partition", "KSA4", "-k", "3", "--seed", "1"]) == 0
+    parsed = obs.read_trace_jsonl(str(target))
+    assert parsed["iterations"]
+    assert not obs.enabled()
+
+
+def test_convergence_report_command(capsys):
+    assert main(["convergence-report", "KSA4", "-k", "3", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "F1" in out and "F4" in out and "rel change" in out
+    assert "winning restart" in out
+    assert "converged" in out
+    assert not obs.enabled()
+
+
+def test_convergence_report_loop_engine_matches_batched(capsys):
+    assert main(["convergence-report", "KSA4", "-k", "3", "--seed", "1",
+                 "--engine", "batched"]) == 0
+    batched = capsys.readouterr().out
+    assert main(["convergence-report", "KSA4", "-k", "3", "--seed", "1",
+                 "--engine", "loop"]) == 0
+    loop = capsys.readouterr().out
+    # Bitwise engine equivalence: the per-iteration numbers must agree.
+    # The trailing "active" column is engine-specific (live restarts in
+    # the batch vs. always 1 for the sequential loop), so drop it.
+    def table(text):
+        rows = [l for l in text.splitlines() if l.lstrip().startswith("|")]
+        return [r.rsplit("|", 2)[0] for r in rows]
+
+    assert table(batched) == table(loop)
+
+
+def test_convergence_report_export(tmp_path, capsys):
+    jsonl = tmp_path / "report.jsonl"
+    assert main(["convergence-report", "KSA4", "-k", "3", "--seed", "1",
+                 "--output", str(jsonl)]) == 0
+    parsed = obs.read_trace_jsonl(str(jsonl))
+    assert parsed["iterations"]
+    capsys.readouterr()
+
+    csv_path = tmp_path / "report.csv"
+    assert main(["convergence-report", "KSA4", "-k", "3", "--seed", "1",
+                 "--output", str(csv_path), "--format", "csv"]) == 0
+    header = csv_path.read_text().splitlines()[0]
+    assert header.split(",")[:4] == ["run", "restart", "iteration", "f1"]

@@ -24,6 +24,7 @@ which the multilevel framework accepts without complaint.
 import numpy as np
 
 from repro.core.assignment import round_assignment
+from repro.core.coarsening import coarsen_problem
 from repro.core.config import PartitionConfig
 from repro.core.optimizer import minimize_assignment
 from repro.core.partitioner import PartitionResult, _repair_empty_planes
@@ -31,51 +32,6 @@ from repro.core.refinement import _IncrementalCost, greedy_improve
 from repro.obs import OBS
 from repro.utils.errors import PartitionError
 from repro.utils.rng import make_rng
-
-
-def _heavy_edge_matching(num_nodes, edges, weights, rng):
-    """One coarsening step: match each node with its heaviest unmatched
-    neighbor.  Returns ``(coarse_count, fine_to_coarse)``."""
-    order = rng.permutation(num_nodes)
-    # neighbor weights
-    neighbor_weight = [dict() for _ in range(num_nodes)]
-    for (u, v), weight in zip(edges, weights):
-        if u == v:
-            continue
-        neighbor_weight[u][v] = neighbor_weight[u].get(v, 0.0) + weight
-        neighbor_weight[v][u] = neighbor_weight[v].get(u, 0.0) + weight
-
-    match = np.full(num_nodes, -1, dtype=np.intp)
-    for node in order:
-        if match[node] != -1:
-            continue
-        best, best_weight = -1, 0.0
-        for neighbor, weight in neighbor_weight[node].items():
-            if match[neighbor] == -1 and weight > best_weight:
-                best, best_weight = neighbor, weight
-        if best != -1:
-            match[node] = best
-            match[best] = node
-
-    fine_to_coarse = np.full(num_nodes, -1, dtype=np.intp)
-    next_id = 0
-    for node in range(num_nodes):
-        if fine_to_coarse[node] != -1:
-            continue
-        fine_to_coarse[node] = next_id
-        if match[node] != -1:
-            fine_to_coarse[match[node]] = next_id
-        next_id += 1
-    return next_id, fine_to_coarse
-
-
-def _project_edges(edges, weights, fine_to_coarse):
-    """Map edges through a coarsening; drop self-loops, keep multiplicity."""
-    if edges.shape[0] == 0:
-        return edges, weights
-    mapped = fine_to_coarse[edges]
-    keep = mapped[:, 0] != mapped[:, 1]
-    return mapped[keep], weights[keep]
 
 
 def multilevel_partition(netlist, num_planes, seed=None, config=None, coarsest_nodes=None, refine_passes=6):
@@ -107,30 +63,16 @@ def multilevel_partition(netlist, num_planes, seed=None, config=None, coarsest_n
             config=config,
         )
 
-    # ---- coarsening -------------------------------------------------
+    # ---- coarsening (shared with the engine="multilevel" accelerator,
+    # see repro.core.coarsening) ---------------------------------------
     bias = netlist.bias_vector_ma()
     area = netlist.area_vector_um2()
     edges = netlist.edge_array()
-    weights = np.ones(edges.shape[0])
-    maps = []  # fine -> coarse per level
-    levels = [(bias, area, edges, weights)]
-    num_nodes = netlist.num_gates
     with OBS.trace.span("multilevel_coarsen", gates=netlist.num_gates) as span:
-        while num_nodes > coarsest_nodes:
-            coarse_count, fine_to_coarse = _heavy_edge_matching(
-                num_nodes, levels[-1][2], levels[-1][3], rng
-            )
-            if coarse_count >= num_nodes:  # no matching progress (no edges left)
-                break
-            coarse_bias = np.bincount(fine_to_coarse, weights=levels[-1][0], minlength=coarse_count)
-            coarse_area = np.bincount(fine_to_coarse, weights=levels[-1][1], minlength=coarse_count)
-            coarse_edges, coarse_weights = _project_edges(
-                levels[-1][2], levels[-1][3], fine_to_coarse
-            )
-            maps.append(fine_to_coarse)
-            levels.append((coarse_bias, coarse_area, coarse_edges, coarse_weights))
-            num_nodes = coarse_count
-        span.set(levels=len(maps), coarsest_nodes=num_nodes)
+        levels, maps = coarsen_problem(
+            netlist.num_gates, edges, bias, area, coarsest_nodes, rng
+        )
+        span.set(levels=len(maps), coarsest_nodes=int(levels[-1][0].shape[0]))
     if OBS.enabled:
         OBS.metrics.counter("baseline.multilevel.coarsen_levels").inc(len(maps))
 

@@ -1,0 +1,133 @@
+"""repro.cache — persistent, content-keyed artifact cache.
+
+Synthesizing a benchmark netlist (logic generation, mapping, path
+balancing, splitter insertion, placement, rule checks) dominates the
+cold start of every table/bench regeneration — ID8 alone is ~7k gates.
+The artifacts are pure functions of (generator, parameters, cell
+library, code schema version), so they cache perfectly: this package
+stores the serialized netlist plus the solver's edge/bias/area vectors
+on disk keyed by a sha256 over exactly those inputs
+(:func:`repro.cache.store.cache_key`).
+
+High-level API used by :func:`repro.circuits.suite.build_circuit`::
+
+    from repro.cache import default_cache, netlist_key
+
+    key = netlist_key(["kogge_stone_adder", {"width": 8}], options_dict, library)
+    netlist = load_cached_netlist(default_cache(), key, library)
+    if netlist is None:
+        netlist = ...synthesize...
+        store_netlist(default_cache(), key, netlist)
+
+Environment knobs: ``REPRO_CACHE_DIR`` moves the store,
+``REPRO_CACHE=0`` disables it.  ``repro-gpp cache info|clear`` inspects
+and clears the ``repro`` namespace (and only it).
+"""
+
+import numpy as np
+
+from repro.cache.store import (
+    CACHE_SCHEMA_VERSION,
+    ArtifactCache,
+    cache_enabled,
+    cache_key,
+    default_cache_root,
+)
+from repro.netlist.serialize import library_fingerprint, netlist_from_dict, netlist_to_dict
+
+__all__ = [
+    "ArtifactCache",
+    "CACHE_SCHEMA_VERSION",
+    "cache_key",
+    "cache_enabled",
+    "default_cache_root",
+    "default_cache",
+    "reset_default_cache",
+    "netlist_key",
+    "store_netlist",
+    "load_cached_netlist",
+]
+
+_DEFAULT_CACHE = None
+
+
+def default_cache():
+    """The process-wide :class:`ArtifactCache` (namespace ``repro``).
+
+    Created on first use so ``REPRO_CACHE_DIR`` set by a test fixture or
+    a CLI wrapper is honored; :func:`reset_default_cache` re-reads the
+    environment.
+    """
+    global _DEFAULT_CACHE
+    if _DEFAULT_CACHE is None:
+        _DEFAULT_CACHE = ArtifactCache()
+    return _DEFAULT_CACHE
+
+
+def reset_default_cache():
+    """Drop the cached singleton (e.g. after changing ``REPRO_CACHE_DIR``)."""
+    global _DEFAULT_CACHE
+    _DEFAULT_CACHE = None
+
+
+def netlist_key(generator, params, library):
+    """Cache key for a synthesized netlist.
+
+    ``generator`` describes the circuit generator and its parameters
+    (JSON-able), ``params`` the synthesis options, ``library`` the
+    :class:`~repro.netlist.library.CellLibrary` instance (fingerprinted,
+    so editing any cell invalidates every dependent netlist).
+    """
+    return cache_key("netlist", generator, params, library_fingerprint(library))
+
+
+def store_netlist(cache, key, netlist):
+    """Serialize ``netlist`` (plus its solver vectors) into ``cache``."""
+    arrays = {
+        "edges": np.asarray(netlist.edge_array()),
+        "bias_ma": np.asarray(netlist.bias_vector_ma()),
+        "area_um2": np.asarray(netlist.area_vector_um2()),
+    }
+    return cache.put(
+        key,
+        "netlist",
+        netlist_to_dict(netlist),
+        arrays=arrays,
+        meta={"circuit": netlist.name, "gates": netlist.num_gates},
+    )
+
+
+def load_cached_netlist(cache, key, library):
+    """Rebuild a cached netlist, or ``None`` on miss.
+
+    The stored edge/bias/area solver vectors are cross-checked against
+    the rebuilt netlist (which leaves them primed in its vector cache,
+    so the first solver call pays nothing extra).  Any mismatch — a
+    corrupt or stale sidecar — is treated as corruption: the entry is
+    dropped and the caller regenerates.
+    """
+    found = cache.get(key, "netlist")
+    if found is None:
+        return None
+    payload, arrays = found
+    try:
+        netlist = netlist_from_dict(payload, library)
+    except Exception:
+        cache._count("corrupt")
+        cache._drop_entry(key)
+        return None
+    edges = arrays.get("edges")
+    bias = arrays.get("bias_ma")
+    area = arrays.get("area_um2")
+    if (
+        edges is None
+        or bias is None
+        or area is None
+        or not np.array_equal(edges, netlist.edge_array())
+        or not np.array_equal(bias, netlist.bias_vector_ma())
+        or not np.array_equal(area, netlist.area_vector_um2())
+    ):
+        cache._count("corrupt")
+        cache._drop_entry(key)
+        return None
+    return netlist

@@ -1,0 +1,245 @@
+"""Content-keyed on-disk artifact store.
+
+Layout (all inside one *namespace* directory, so :meth:`ArtifactCache.clear`
+can never touch anything else)::
+
+    <root>/<namespace>/<key[:2]>/<key>.json   # schema + meta + payload
+    <root>/<namespace>/<key[:2]>/<key>.npz    # optional numpy arrays
+
+``root`` defaults to ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-gpp``;
+setting ``REPRO_CACHE=0`` (or ``off``/``false``/``no``) disables every
+read and write so a run can be forced cold.  Keys come from
+:func:`cache_key` — a sha256 over canonical JSON of the artifact kind,
+its generator + parameters, the cell-library fingerprint and
+:data:`CACHE_SCHEMA_VERSION`, so any input that could change the bytes
+of the artifact changes the key.
+
+Every entry carries a payload checksum; a corrupted entry (truncated
+file, bad JSON, schema drift, checksum or array mismatch) is counted,
+deleted and reported as a miss — callers regenerate and overwrite.
+Hit/miss/write/corrupt counts are kept on :attr:`ArtifactCache.stats`
+and mirrored into the process metrics registry (``cache.*``) whenever
+observability is enabled.
+"""
+
+import hashlib
+import io
+import json
+import os
+import shutil
+import uuid
+
+import numpy as np
+
+from repro.obs import OBS
+
+#: Version of the on-disk entry layout *and* of the artifact-producing
+#: code. Part of every cache key: bump it whenever synthesis, placement
+#: or serialization output changes so stale artifacts can never be
+#: replayed into newer code.
+CACHE_SCHEMA_VERSION = 1
+
+_DISABLED_VALUES = {"0", "off", "false", "no"}
+
+
+def cache_enabled(environ=None):
+    """Whether the on-disk cache is globally enabled (``REPRO_CACHE``)."""
+    value = (environ if environ is not None else os.environ).get("REPRO_CACHE", "").strip()
+    return value.lower() not in _DISABLED_VALUES
+
+
+def default_cache_root(environ=None):
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-gpp``."""
+    env = (environ if environ is not None else os.environ).get("REPRO_CACHE_DIR", "").strip()
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-gpp")
+
+
+def cache_key(kind, generator, params, library_hash):
+    """Content key: sha256 over canonical JSON of every input.
+
+    Parameters
+    ----------
+    kind:
+        Artifact kind (``"netlist"``, ...); namespaces the key space.
+    generator:
+        What produced the artifact (e.g. ``["kogge_stone_adder",
+        {"width": 16}]``) — JSON-able, canonicalized with sorted keys.
+    params:
+        Remaining knobs (e.g. the synthesis options) — JSON-able.
+    library_hash:
+        :func:`repro.netlist.serialize.library_fingerprint` of the cell
+        library the artifact was built against.
+    """
+    blob = json.dumps(
+        {
+            "schema": CACHE_SCHEMA_VERSION,
+            "kind": kind,
+            "generator": generator,
+            "params": params,
+            "library": library_hash,
+        },
+        sort_keys=True,
+    ).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _payload_checksum(payload):
+    return hashlib.sha256(json.dumps(payload, sort_keys=True).encode()).hexdigest()
+
+
+class ArtifactCache:
+    """One namespace of the on-disk store; see the module docstring."""
+
+    def __init__(self, root=None, namespace="repro"):
+        if not namespace or os.sep in namespace or namespace in (".", ".."):
+            raise ValueError(f"invalid cache namespace {namespace!r}")
+        self.root = root if root is not None else default_cache_root()
+        self.namespace = namespace
+        self.stats = {"hits": 0, "misses": 0, "writes": 0, "corrupt": 0}
+
+    @property
+    def path(self):
+        """The namespace directory every entry lives under."""
+        return os.path.join(self.root, self.namespace)
+
+    @property
+    def enabled(self):
+        return cache_enabled()
+
+    def _count(self, event, amount=1):
+        self.stats[event] += amount
+        if OBS.enabled:
+            OBS.metrics.counter(f"cache.{event}").inc(amount)
+
+    def _entry_paths(self, key):
+        shard = os.path.join(self.path, key[:2])
+        return os.path.join(shard, f"{key}.json"), os.path.join(shard, f"{key}.npz")
+
+    def _drop_entry(self, key):
+        for path in self._entry_paths(key):
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    def put(self, key, kind, payload, arrays=None, meta=None):
+        """Store a JSON payload (and optional numpy arrays) under ``key``.
+
+        Writes are atomic (per-writer temp file + rename) so a crashed
+        writer leaves no half-entry behind and concurrent workers
+        racing on the same key each complete their own rename — last
+        writer wins with identical content, since keys are content
+        addresses.  A reader that still catches a torn entry falls back
+        to regeneration via the corruption path.
+        """
+        if not self.enabled:
+            return None
+        json_path, npz_path = self._entry_paths(key)
+        os.makedirs(os.path.dirname(json_path), exist_ok=True)
+        suffix = f".{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp"
+        if arrays:
+            buffer = io.BytesIO()
+            np.savez(buffer, **arrays)
+            tmp = npz_path + suffix
+            with open(tmp, "wb") as handle:
+                handle.write(buffer.getvalue())
+            os.replace(tmp, npz_path)
+        entry = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "kind": kind,
+            "key": key,
+            "meta": meta or {},
+            "checksum": _payload_checksum(payload),
+            "arrays": sorted(arrays) if arrays else [],
+            "payload": payload,
+        }
+        tmp = json_path + suffix
+        with open(tmp, "w") as handle:
+            json.dump(entry, handle)
+        os.replace(tmp, json_path)
+        self._count("writes")
+        return json_path
+
+    def get(self, key, kind):
+        """Load ``(payload, arrays)`` for ``key`` or ``None`` on miss.
+
+        Any corruption — unreadable JSON, schema or kind drift, payload
+        checksum mismatch, missing/undecodable array file — deletes the
+        entry and reports a miss, so callers always regenerate cleanly.
+        """
+        if not self.enabled:
+            return None
+        json_path, npz_path = self._entry_paths(key)
+        try:
+            with open(json_path) as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            self._count("misses")
+            return None
+        except (OSError, ValueError):
+            self._count("corrupt")
+            self._count("misses")
+            self._drop_entry(key)
+            return None
+        try:
+            if entry["schema"] != CACHE_SCHEMA_VERSION or entry["kind"] != kind:
+                raise ValueError("schema or kind drift")
+            payload = entry["payload"]
+            if entry["checksum"] != _payload_checksum(payload):
+                raise ValueError("payload checksum mismatch")
+            arrays = {}
+            if entry.get("arrays"):
+                with np.load(npz_path) as data:
+                    for name in entry["arrays"]:
+                        arrays[name] = np.array(data[name])
+        except (KeyError, ValueError, OSError):
+            self._count("corrupt")
+            self._count("misses")
+            self._drop_entry(key)
+            return None
+        self._count("hits")
+        return payload, arrays
+
+    # ------------------------------------------------------------------
+    def info(self):
+        """Entry count, total bytes and per-kind breakdown of the namespace."""
+        entries = 0
+        total_bytes = 0
+        kinds = {}
+        if os.path.isdir(self.path):
+            for dirpath, _dirnames, filenames in os.walk(self.path):
+                for filename in filenames:
+                    full = os.path.join(dirpath, filename)
+                    try:
+                        total_bytes += os.path.getsize(full)
+                    except OSError:
+                        continue
+                    if filename.endswith(".json"):
+                        entries += 1
+                        try:
+                            with open(full) as handle:
+                                kind = json.load(handle).get("kind", "?")
+                        except (OSError, ValueError):
+                            kind = "corrupt"
+                        kinds[kind] = kinds.get(kind, 0) + 1
+        return {
+            "path": self.path,
+            "enabled": self.enabled,
+            "entries": entries,
+            "bytes": total_bytes,
+            "kinds": kinds,
+            "stats": dict(self.stats),
+        }
+
+    def clear(self):
+        """Remove the namespace directory (and nothing outside it).
+
+        Returns the number of entries removed.  The cache root itself —
+        which other tools may share — is left untouched.
+        """
+        removed = self.info()["entries"]
+        shutil.rmtree(self.path, ignore_errors=True)
+        return removed

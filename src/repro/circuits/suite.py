@@ -8,12 +8,13 @@ flow, see DESIGN.md substitution 1), but they are the same circuit
 classes at the same scale.
 """
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.circuits.divider import restoring_divider
 from repro.circuits.iscas import alu, ecc_codec, ecc_secded, interrupt_controller
 from repro.circuits.ksa import kogge_stone_adder
 from repro.circuits.multiplier import array_multiplier
+from repro.netlist.library import default_library
 from repro.synth.flow import SynthesisOptions, synthesize
 from repro.utils.errors import ReproError
 
@@ -72,7 +73,48 @@ _GENERATORS = {
     "C3540": lambda: alu(8, name="C3540"),
 }
 
+#: circuit name -> (generator function name, parameters); the
+#: content-key description of each reconstruction, fed into the on-disk
+#: artifact cache so a parameter change invalidates cached netlists.
+_GENERATOR_SPECS = {
+    "KSA4": ("kogge_stone_adder", {"width": 4}),
+    "KSA8": ("kogge_stone_adder", {"width": 8}),
+    "KSA16": ("kogge_stone_adder", {"width": 16}),
+    "KSA32": ("kogge_stone_adder", {"width": 32}),
+    "MULT4": ("array_multiplier", {"width": 4}),
+    "MULT8": ("array_multiplier", {"width": 8}),
+    "ID4": ("restoring_divider", {"width": 4}),
+    "ID8": ("restoring_divider", {"width": 8}),
+    "C432": ("interrupt_controller", {}),
+    "C499": ("ecc_secded", {"width": 32, "expand_xor": False}),
+    "C1355": ("ecc_secded", {"width": 32, "expand_xor": True}),
+    "C1908": ("ecc_codec", {"width": 32}),
+    "C3540": ("alu", {"width": 8}),
+}
+
 _NETLIST_CACHE = {}
+
+
+def netlist_cache_key(name, library=None, options=None):
+    """On-disk cache key of one benchmark netlist.
+
+    Covers the generator and its parameters, the synthesis options, the
+    cell-library fingerprint and the cache schema version — changing any
+    of them changes the key (see ``tests/test_cache.py``).
+    """
+    from repro.cache import netlist_key
+
+    try:
+        generator_name, params = _GENERATOR_SPECS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown benchmark circuit {name!r}; available: {', '.join(SUITE_NAMES)}"
+        ) from None
+    return netlist_key(
+        [generator_name, params, {"name": name}],
+        {"synthesis": asdict(options or SynthesisOptions())},
+        library if library is not None else default_library(),
+    )
 
 
 def paper_row(name):
@@ -94,18 +136,40 @@ def build_logic(name):
 def build_circuit(name, library=None, options=None, use_cache=True):
     """Build one benchmark as a synthesized, placed SFQ netlist.
 
-    Results for the default library/options are cached per process (the
-    generators are deterministic); pass ``use_cache=False`` or custom
-    options to bypass.  Returned netlists are shared when cached — treat
-    them as read-only or copy() first.
+    Two cache layers, both keyed on content and both skipped with
+    ``use_cache=False``:
+
+    * a per-process memory cache (default library/options only; the
+      generators are deterministic).  Returned netlists are shared when
+      cached — treat them as read-only or ``copy()`` first;
+    * the persistent on-disk artifact cache (:mod:`repro.cache`), which
+      skips synthesis entirely across processes and sessions.  A cached
+      netlist rebuilds bit-identically (same gate/edge/port order), so
+      fixed-seed partitions are unaffected.  Disable with
+      ``REPRO_CACHE=0``.
     """
-    cache_key = name if (library is None and options is None and use_cache) else None
-    if cache_key is not None and cache_key in _NETLIST_CACHE:
-        return _NETLIST_CACHE[cache_key]
+    memory_key = name if (library is None and options is None and use_cache) else None
+    if memory_key is not None and memory_key in _NETLIST_CACHE:
+        return _NETLIST_CACHE[memory_key]
+
+    from repro.cache import default_cache, load_cached_netlist, store_netlist
+
+    disk_cache = default_cache() if use_cache and name in _GENERATOR_SPECS else None
+    if disk_cache is not None and disk_cache.enabled:
+        key = netlist_cache_key(name, library=library, options=options)
+        resolved_library = library if library is not None else default_library()
+        netlist = load_cached_netlist(disk_cache, key, resolved_library)
+        if netlist is not None:
+            if memory_key is not None:
+                _NETLIST_CACHE[memory_key] = netlist
+            return netlist
+
     circuit = build_logic(name)
     netlist, _stats = synthesize(circuit, library=library, options=options or SynthesisOptions())
-    if cache_key is not None:
-        _NETLIST_CACHE[cache_key] = netlist
+    if disk_cache is not None and disk_cache.enabled:
+        store_netlist(disk_cache, key, netlist)
+    if memory_key is not None:
+        _NETLIST_CACHE[memory_key] = netlist
     return netlist
 
 

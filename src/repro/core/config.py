@@ -15,8 +15,9 @@ from repro.utils.errors import PartitionError
 #: Gradient flavors, see :mod:`repro.core.gradients`.
 GRADIENT_MODES = ("paper", "exact")
 
-#: Solver engines, see :mod:`repro.core.optimizer`.
-ENGINES = ("batched", "loop")
+#: Solver engines, see :mod:`repro.core.optimizer` (``batched``/``loop``)
+#: and :mod:`repro.core.multilevel` (``multilevel``).
+ENGINES = ("batched", "loop", "multilevel")
 
 
 @dataclass(frozen=True)
@@ -68,7 +69,31 @@ class PartitionConfig:
         convergence masking; ``"loop"`` runs them serially through the
         legacy two-pass reference solver.  Both produce bit-identical
         rounded labels for the same seed (see
-        :mod:`repro.core.kernel`).
+        :mod:`repro.core.kernel`).  ``"multilevel"`` accelerates large
+        circuits by heavy-edge coarsening, solving the coarse problem
+        with the batched kernel and warm-starting the standard fine
+        descent from the interpolated solution
+        (:mod:`repro.core.multilevel`); its final refinement is the
+        paper's descent with a short iteration budget
+        (``multilevel_fine_iterations``) and a capacity-aware rounding,
+        so its labels are not bit-identical to the cold-start engines.
+    multilevel_coarsest_nodes:
+        Coarsening floor for ``engine="multilevel"``; 0 (default) means
+        the automatic ``max(40, 6 K)``.
+    multilevel_fine_iterations:
+        Per-restart cap on the warm-started *fine-level* descent of
+        ``engine="multilevel"``.  A warm start from a converged coarse
+        solution sits in a gentle valley where the relative-change
+        margin keeps firing for hundreds of polish iterations that no
+        longer change the rounded labels; a short fixed budget (default
+        20) keeps the quality win while cutting fine-level work well
+        below a cold-start solve.  Clamped to ``max_iterations``.
+    multilevel_round_slack:
+        Per-plane bias head-room of the capacity-aware rounding used by
+        ``engine="multilevel"`` (see
+        :func:`~repro.core.assignment.round_assignment_balanced`); the
+        rounded partition's ``I_comp`` is bounded by roughly this
+        fraction.
     seed:
         Default RNG seed used when the caller does not pass one.
     """
@@ -85,6 +110,9 @@ class PartitionConfig:
     renormalize_rows: bool = True
     ensure_nonempty: bool = True
     engine: str = "batched"
+    multilevel_coarsest_nodes: int = 0
+    multilevel_fine_iterations: int = 20
+    multilevel_round_slack: float = 0.02
     seed: int = 2020
     extra: dict = field(default_factory=dict, compare=False)
 
@@ -106,6 +134,18 @@ class PartitionConfig:
             )
         if self.engine not in ENGINES:
             raise PartitionError(f"engine must be one of {ENGINES}, got {self.engine!r}")
+        if self.multilevel_coarsest_nodes < 0:
+            raise PartitionError(
+                f"multilevel_coarsest_nodes must be >= 0, got {self.multilevel_coarsest_nodes}"
+            )
+        if self.multilevel_fine_iterations < 1:
+            raise PartitionError(
+                f"multilevel_fine_iterations must be >= 1, got {self.multilevel_fine_iterations}"
+            )
+        if not math.isfinite(self.multilevel_round_slack) or self.multilevel_round_slack < 0:
+            raise PartitionError(
+                f"multilevel_round_slack must be >= 0, got {self.multilevel_round_slack}"
+            )
 
     @property
     def weights(self):

@@ -10,7 +10,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.assignment import round_assignment
+from repro.core.assignment import round_assignment, round_assignment_balanced
 from repro.core.config import PartitionConfig
 from repro.core.cost import integer_cost
 from repro.core.optimizer import minimize_assignment, minimize_assignment_batch
@@ -145,8 +145,10 @@ def partition(netlist, num_planes, config=None, seed=None, pinned=None):
     (Algorithm 1) and keeps the rounded solution with the lowest integer
     cost.  The solves run through the batched fused-kernel engine by
     default, or serially when ``config.engine == "loop"``; both engines
-    yield bit-identical labels for the same seed.  See
-    :class:`~repro.core.config.PartitionConfig` for knobs.
+    yield bit-identical labels for the same seed.  ``config.engine ==
+    "multilevel"`` warm-starts the same descent from a coarsened solve
+    (faster on >1k-gate circuits, same validity guarantees, different
+    labels).  See :class:`~repro.core.config.PartitionConfig` for knobs.
 
     Parameters
     ----------
@@ -212,6 +214,13 @@ def partition(netlist, num_planes, config=None, seed=None, pinned=None):
                 traces = minimize_assignment_batch(
                     num_planes, edges, bias, area, config, rngs=streams, pinned=pinned_index
                 )
+            elif config.engine == "multilevel":
+                from repro.core.multilevel import minimize_assignment_multilevel
+
+                traces = minimize_assignment_multilevel(
+                    num_planes, edges, bias, area, config, rngs=streams,
+                    pinned=pinned_index, coarsen_rng=rng,
+                )
             else:
                 traces = [
                     minimize_assignment(
@@ -227,18 +236,33 @@ def partition(netlist, num_planes, config=None, seed=None, pinned=None):
             restart_costs = []
             restart_stats = []
             for index, trace in enumerate(traces):
-                labels = round_assignment(trace.w)
+                if config.engine == "multilevel":
+                    # Interpolated warm starts have supernode-constant
+                    # rows; argmax would round whole clusters onto one
+                    # plane, so use the capacity-aware rounding instead.
+                    labels = round_assignment_balanced(
+                        trace.w, bias,
+                        slack=config.multilevel_round_slack,
+                        pinned=pinned_index,
+                    )
+                else:
+                    labels = round_assignment(trace.w)
                 cost = integer_cost(labels, num_planes, edges, bias, area, config)
                 restart_costs.append(cost)
-                restart_stats.append(
-                    {
-                        "restart": index,
-                        "iterations": trace.iterations,
-                        "converged": trace.converged,
-                        "relaxed_cost": trace.final_cost,
-                        "integer_cost": cost,
-                    }
-                )
+                stats = {
+                    "restart": index,
+                    "iterations": trace.iterations,
+                    "converged": trace.converged,
+                    "relaxed_cost": trace.final_cost,
+                    "integer_cost": cost,
+                }
+                coarse_iterations = getattr(trace, "coarse_iterations", None)
+                if coarse_iterations is not None:
+                    # engine="multilevel": cheap coarse-solve effort,
+                    # reported separately from the fine iterations above.
+                    stats["coarse_iterations"] = coarse_iterations
+                    stats["coarse_converged"] = trace.coarse_converged
+                restart_stats.append(stats)
                 if cost < best_cost:
                     best, best_cost, best_labels = trace, cost, labels
 

@@ -11,6 +11,12 @@ Subcommands::
     repro-gpp figure1 KSA4 -k 5          # Fig. 1 floorplan
     repro-gpp convergence KSA8 -k 5      # convergence figure
     repro-gpp convergence-report KSA8    # per-iteration F1..F4 telemetry
+    repro-gpp cache info                 # on-disk artifact cache status
+    repro-gpp cache clear                # drop the repro cache namespace
+
+The table subcommands accept ``--jobs N`` to fan the independent
+per-circuit solves out over a process pool (results are
+bitwise-identical to ``--jobs 1``; see docs/performance.md).
 
 Observability (see docs/observability.md): every partitioning
 subcommand accepts ``--trace FILE`` (write a JSONL trace with spans,
@@ -59,7 +65,24 @@ def _add_common(parser):
         help="partitioning algorithm",
     )
     parser.add_argument("--refine", action="store_true", help="greedy post-refinement")
+    parser.add_argument(
+        "--engine",
+        choices=("batched", "loop", "multilevel"),
+        default="batched",
+        help="gradient solver engine (multilevel = coarse-to-fine warm start)",
+    )
     _add_obs(parser)
+
+
+def _add_jobs(parser):
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: REPRO_JOBS env, else min(cpus, 8); "
+        "1 = run inline; results identical for any value)",
+    )
 
 
 def _add_obs(parser):
@@ -93,7 +116,8 @@ def _cmd_suite(_args):
 def _cmd_partition(args):
     netlist = _load_netlist(args.circuit)
     result = tables._partition_with(
-        args.method, netlist, args.planes, seed=args.seed, refine=args.refine
+        args.method, netlist, args.planes,
+        config=PartitionConfig(engine=args.engine), seed=args.seed, refine=args.refine,
     )
     report = evaluate_partition(result)
     if getattr(args, "save", None):
@@ -139,7 +163,8 @@ def _cmd_partition(args):
 
 def _cmd_table1(args):
     rows = tables.run_table1(
-        num_planes=args.planes, seed=args.seed, method=args.method, refine=args.refine
+        num_planes=args.planes, config=PartitionConfig(engine=args.engine),
+        seed=args.seed, method=args.method, refine=args.refine, jobs=args.jobs,
     )
     print(tables.format_table1(rows, compare_paper=not args.no_paper))
     return 0
@@ -147,15 +172,39 @@ def _cmd_table1(args):
 
 def _cmd_table2(args):
     reports = tables.run_table2(
-        circuit=args.circuit, seed=args.seed, method=args.method, refine=args.refine
+        circuit=args.circuit, config=PartitionConfig(engine=args.engine),
+        seed=args.seed, method=args.method, refine=args.refine, jobs=args.jobs,
     )
     print(tables.format_table2(reports, compare_paper=not args.no_paper))
     return 0
 
 
 def _cmd_table3(args):
-    rows = tables.run_table3(bias_limit_ma=args.limit, seed=args.seed)
+    rows = tables.run_table3(bias_limit_ma=args.limit, seed=args.seed, jobs=args.jobs)
     print(tables.format_table3(rows, compare_paper=not args.no_paper))
+    return 0
+
+
+def _cmd_cache(args):
+    from repro.cache import default_cache
+
+    cache = default_cache()
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cache cleared: {removed} entries removed from {cache.path}")
+        return 0
+    info = cache.info()
+    rows = [
+        ["path", info["path"]],
+        ["enabled", "yes" if info["enabled"] else "no (REPRO_CACHE=0)"],
+        ["entries", info["entries"]],
+        ["size", f"{info['bytes'] / 1024:.1f} KiB"],
+    ]
+    for kind, count in sorted(info["kinds"].items()):
+        rows.append([f"entries[{kind}]", count])
+    for event, count in sorted(info["stats"].items()):
+        rows.append([f"session {event}", count])
+    print(ascii_table(["field", "value"], rows, title="on-disk artifact cache"))
     return 0
 
 
@@ -313,6 +362,16 @@ def _cmd_convergence_report(args):
             obs.disable(reset=True)
 
 
+_JOBS_EPILOG = (
+    "Parallelism: --jobs N runs the independent per-circuit solves in N "
+    "worker processes (default: the REPRO_JOBS environment variable, else "
+    "min(cpus, 8)).  Every jobs value produces bitwise-identical results; "
+    "workers share the on-disk artifact cache (REPRO_CACHE_DIR / "
+    "REPRO_CACHE=0) and their observability data is merged into the "
+    "parent trace.  See docs/performance.md."
+)
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro-gpp",
@@ -346,19 +405,38 @@ def build_parser():
         "--outputs", nargs="*", metavar="BUS", help="output buses to report (default: all pins)"
     )
 
-    table1_parser = subparsers.add_parser("table1", help="regenerate Table I")
+    table1_parser = subparsers.add_parser(
+        "table1", help="regenerate Table I", epilog=_JOBS_EPILOG
+    )
     _add_common(table1_parser)
+    _add_jobs(table1_parser)
     table1_parser.add_argument("--no-paper", action="store_true", help="omit paper rows")
 
-    table2_parser = subparsers.add_parser("table2", help="regenerate Table II")
+    table2_parser = subparsers.add_parser(
+        "table2", help="regenerate Table II", epilog=_JOBS_EPILOG
+    )
     table2_parser.add_argument("--circuit", default="KSA4")
     _add_common(table2_parser)
+    _add_jobs(table2_parser)
     table2_parser.add_argument("--no-paper", action="store_true")
 
-    table3_parser = subparsers.add_parser("table3", help="regenerate Table III")
+    table3_parser = subparsers.add_parser(
+        "table3", help="regenerate Table III", epilog=_JOBS_EPILOG
+    )
     table3_parser.add_argument("--limit", type=float, default=100.0, help="pad current limit (mA)")
     table3_parser.add_argument("--seed", type=int, default=None)
+    _add_jobs(table3_parser)
     table3_parser.add_argument("--no-paper", action="store_true")
+
+    cache_parser = subparsers.add_parser(
+        "cache",
+        help="inspect or clear the on-disk artifact cache",
+        epilog="Environment: REPRO_CACHE_DIR overrides the cache root "
+        "(default ~/.cache/repro-gpp); REPRO_CACHE=0 disables the cache "
+        "entirely.  'clear' only removes the repro namespace directory, "
+        "never anything else under the root.",
+    )
+    cache_parser.add_argument("action", choices=("info", "clear"), help="what to do")
 
     figure1_parser = subparsers.add_parser("figure1", help="render the Fig. 1 floorplan")
     figure1_parser.add_argument("circuit", nargs="?", default="KSA4")
@@ -376,7 +454,8 @@ def build_parser():
     report_parser.add_argument("-k", "--planes", type=int, default=5)
     report_parser.add_argument("--seed", type=int, default=None)
     report_parser.add_argument(
-        "--engine", choices=("batched", "loop"), default="batched", help="solver engine"
+        "--engine", choices=("batched", "loop", "multilevel"), default="batched",
+        help="solver engine",
     )
     report_parser.add_argument(
         "--format", choices=("jsonl", "csv"), default="jsonl", help="--output file format"
@@ -402,6 +481,7 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "table2": _cmd_table2,
     "table3": _cmd_table3,
+    "cache": _cmd_cache,
     "figure1": _cmd_figure1,
     "convergence": _cmd_convergence,
     "convergence-report": _cmd_convergence_report,

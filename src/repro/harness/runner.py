@@ -1,0 +1,178 @@
+"""Process-parallel suite runner.
+
+The table/benchmark drivers all share one shape of work: a list of
+independent ``(circuit, K, method, seed)`` solves whose outputs are
+deterministic functions of their inputs (every solve builds a fresh RNG
+from its seed; no state crosses items).  This module decomposes that
+shape into :class:`SuiteJob` descriptions and fans them out over a
+``ProcessPoolExecutor``:
+
+* **bitwise determinism** — a worker executes *exactly* the code the
+  sequential loop runs (:func:`execute_job` is the single
+  implementation; ``--jobs 1`` calls it inline, ``--jobs N`` calls it in
+  a pool), so reports and labels are bit-identical for any jobs count.
+  The CI determinism job and ``tests/test_runner.py`` enforce this.
+* **observability across processes** — when capture is on, each worker
+  resets the process-local :data:`repro.obs.OBS` singleton, records the
+  job, and ships a :func:`repro.obs.snapshot` back with its payload; the
+  parent folds snapshots in job-index order via
+  :func:`repro.obs.merge_snapshot` (exactly-once per origin, so retries
+  or repeated merges never double-count).
+* **caching synergy** — workers build netlists through
+  :func:`repro.circuits.suite.build_circuit`, so they share the on-disk
+  artifact cache (:mod:`repro.cache`); a warm cache turns each worker's
+  synthesis step into a cheap load.
+
+The jobs count resolves as: explicit argument > ``REPRO_JOBS``
+environment variable > ``min(os.cpu_count(), 8)``.
+"""
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from functools import partial
+
+from repro.obs import OBS, merge_snapshot
+from repro.utils.errors import ReproError
+
+#: Upper bound of the automatic jobs default; beyond this the suite is
+#: typically cache/IO bound and extra workers only add startup cost.
+DEFAULT_MAX_JOBS = 8
+
+
+def resolve_jobs(jobs=None, environ=None):
+    """Resolve an effective worker count (always >= 1).
+
+    ``jobs=None`` (or 0) consults the ``REPRO_JOBS`` environment
+    variable, then falls back to ``min(os.cpu_count(), 8)``.
+    """
+    if jobs in (None, 0):
+        value = (environ if environ is not None else os.environ).get(
+            "REPRO_JOBS", ""
+        ).strip()
+        if value:
+            try:
+                jobs = int(value)
+            except ValueError:
+                raise ReproError(f"REPRO_JOBS must be an integer, got {value!r}") from None
+        else:
+            jobs = min(os.cpu_count() or 1, DEFAULT_MAX_JOBS)
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ReproError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+@dataclass(frozen=True)
+class SuiteJob:
+    """One independent unit of suite work.
+
+    ``kind="partition"`` partitions ``circuit`` into ``num_planes``
+    planes with ``method`` (the table1/table2 item);
+    ``kind="plan"`` searches the smallest feasible K under
+    ``bias_limit_ma`` (the table3 item).
+    """
+
+    kind: str
+    circuit: str
+    num_planes: int = None
+    method: str = "gradient"
+    seed: object = None
+    config: object = None
+    refine: bool = False
+    bias_limit_ma: float = 100.0
+
+    def __post_init__(self):
+        if self.kind not in ("partition", "plan"):
+            raise ReproError(f"unknown job kind {self.kind!r}")
+        if self.kind == "partition" and self.num_planes is None:
+            raise ReproError("partition jobs need num_planes")
+
+
+def execute_job(job):
+    """Run one job in this process; returns a plain payload dict.
+
+    This is the *only* implementation of a job — the sequential path and
+    the pool workers both call it, which is what makes ``--jobs N``
+    bitwise-identical to ``--jobs 1``.
+    """
+    # Deferred imports: keep worker startup light and avoid an import
+    # cycle (tables imports this module for run_jobs).
+    from repro.circuits.suite import build_circuit
+    from repro.metrics.report import evaluate_partition
+
+    netlist = build_circuit(job.circuit)
+    if job.kind == "plan":
+        from repro.core.planner import plan_bias_limited
+
+        plan = plan_bias_limited(
+            netlist,
+            bias_limit_ma=job.bias_limit_ma,
+            config=job.config,
+            seed=job.seed,
+        )
+        return {
+            "circuit": job.circuit,
+            "report": evaluate_partition(plan.result),
+            "labels": plan.result.labels,
+            "k_lb": plan.k_lb,
+            "k_res": plan.k_res,
+            "bias_lines_saved": plan.bias_lines_saved,
+        }
+
+    from repro.harness.tables import _partition_with
+
+    result = _partition_with(
+        job.method,
+        netlist,
+        job.num_planes,
+        config=job.config,
+        seed=job.seed,
+        refine=job.refine,
+    )
+    return {
+        "circuit": job.circuit,
+        "report": evaluate_partition(result),
+        "labels": result.labels,
+    }
+
+
+def _worker_run(capture, job):
+    """Pool entry point: execute one job with a fresh obs window."""
+    OBS.reset()
+    if capture:
+        OBS.enable()
+    payload = execute_job(job)
+    snap = OBS.snapshot() if capture else None
+    return payload, snap
+
+
+def run_jobs(job_list, jobs=None):
+    """Execute jobs (inline or in a process pool); payloads in job order.
+
+    With an effective worker count of 1 — or a single job — everything
+    runs inline in this process and observability flows straight into
+    the live singleton.  Otherwise a ``ProcessPoolExecutor`` runs
+    :func:`execute_job` per job and worker obs snapshots are merged into
+    the parent registry in job-index order.
+    """
+    job_list = list(job_list)
+    jobs = resolve_jobs(jobs)
+    if OBS.enabled:
+        OBS.metrics.counter("runner.jobs_submitted").inc(len(job_list))
+        OBS.metrics.gauge("runner.workers").set(min(jobs, max(len(job_list), 1)))
+    if jobs == 1 or len(job_list) <= 1:
+        return [execute_job(job) for job in job_list]
+
+    capture = OBS.enabled
+    with OBS.trace.span("runner.pool", jobs=min(jobs, len(job_list)), items=len(job_list)):
+        with ProcessPoolExecutor(max_workers=min(jobs, len(job_list))) as pool:
+            # map() preserves submission order, so payloads line up with
+            # job_list and snapshots merge deterministically.
+            results = list(pool.map(partial(_worker_run, capture), job_list, chunksize=1))
+    payloads = []
+    for payload, snap in results:
+        payloads.append(payload)
+        if snap is not None:
+            merge_snapshot(snap)
+    return payloads

@@ -5,6 +5,12 @@ netlists, partitions them (with the paper's gradient method by default,
 or any baseline via ``method=``) and returns structured rows; the
 ``format_table*`` companions render them next to the paper's published
 numbers so the reproduction gap is visible at a glance.
+
+Every row is an independent deterministic solve, so all three drivers
+decompose into :class:`~repro.harness.runner.SuiteJob` items and run
+through :func:`~repro.harness.runner.run_jobs` — pass ``jobs=N`` to fan
+out over a process pool (results are bitwise-identical to ``jobs=1``;
+see :mod:`repro.harness.runner`).
 """
 
 from dataclasses import dataclass
@@ -17,12 +23,11 @@ from repro.baselines import (
     random_partition,
     spectral_partition,
 )
-from repro.circuits.suite import PAPER_TABLE1, SUITE_NAMES, build_circuit
+from repro.circuits.suite import PAPER_TABLE1, SUITE_NAMES
 from repro.core.partitioner import partition
-from repro.core.planner import plan_bias_limited
 from repro.core.refinement import refine_greedy
 from repro.harness.formatting import ascii_table, percent
-from repro.metrics.report import evaluate_partition
+from repro.harness.runner import SuiteJob, run_jobs
 from repro.utils.errors import ReproError
 
 #: method name -> callable(netlist, K, seed=..., config=...) -> PartitionResult
@@ -74,14 +79,29 @@ class Table3Row:
 # ----------------------------------------------------------------------
 # Table I — full suite at K = 5
 # ----------------------------------------------------------------------
-def run_table1(circuits=None, num_planes=5, config=None, seed=None, method="gradient", refine=False):
-    """Partition every suite circuit at K=5 and report Table I columns."""
-    rows = []
-    for name in circuits or SUITE_NAMES:
-        netlist = build_circuit(name)
-        result = _partition_with(method, netlist, num_planes, config=config, seed=seed, refine=refine)
-        rows.append(Table1Row(report=evaluate_partition(result), paper=PAPER_TABLE1.get(name)))
-    return rows
+def run_table1(circuits=None, num_planes=5, config=None, seed=None, method="gradient",
+               refine=False, jobs=1):
+    """Partition every suite circuit at K=5 and report Table I columns.
+
+    ``jobs`` fans the per-circuit solves out over a process pool
+    (``None`` = auto: ``REPRO_JOBS`` env, else ``min(cpus, 8)``); the
+    rows are bitwise-identical for every jobs value.
+    """
+    names = list(circuits or SUITE_NAMES)
+    payloads = run_jobs(
+        [
+            SuiteJob(
+                kind="partition", circuit=name, num_planes=num_planes,
+                method=method, seed=seed, config=config, refine=refine,
+            )
+            for name in names
+        ],
+        jobs=jobs,
+    )
+    return [
+        Table1Row(report=payload["report"], paper=PAPER_TABLE1.get(name))
+        for name, payload in zip(names, payloads)
+    ]
 
 
 def format_table1(rows, compare_paper=True):
@@ -124,14 +144,23 @@ PAPER_TABLE2 = {
 }
 
 
-def run_table2(circuit="KSA4", k_values=tuple(range(5, 11)), config=None, seed=None, method="gradient", refine=False):
-    """Sweep the plane count on one circuit (paper: KSA4, K = 5..10)."""
-    netlist = build_circuit(circuit)
-    reports = []
-    for k in k_values:
-        result = _partition_with(method, netlist, k, config=config, seed=seed, refine=refine)
-        reports.append(evaluate_partition(result))
-    return reports
+def run_table2(circuit="KSA4", k_values=tuple(range(5, 11)), config=None, seed=None,
+               method="gradient", refine=False, jobs=1):
+    """Sweep the plane count on one circuit (paper: KSA4, K = 5..10).
+
+    ``jobs`` parallelizes over the K values (see :func:`run_table1`).
+    """
+    payloads = run_jobs(
+        [
+            SuiteJob(
+                kind="partition", circuit=circuit, num_planes=k,
+                method=method, seed=seed, config=config, refine=refine,
+            )
+            for k in k_values
+        ],
+        jobs=jobs,
+    )
+    return [payload["report"] for payload in payloads]
 
 
 def format_table2(reports, compare_paper=True):
@@ -169,21 +198,32 @@ PAPER_TABLE3 = {
 TABLE3_CIRCUITS = tuple(name for name in SUITE_NAMES if name != "KSA4")
 
 
-def run_table3(circuits=None, bias_limit_ma=100.0, config=None, seed=None):
-    """Find K_res under the pad-current limit for each circuit."""
+def run_table3(circuits=None, bias_limit_ma=100.0, config=None, seed=None, jobs=1):
+    """Find K_res under the pad-current limit for each circuit.
+
+    ``jobs`` parallelizes over the circuits (see :func:`run_table1`).
+    """
+    names = list(circuits or TABLE3_CIRCUITS)
+    payloads = run_jobs(
+        [
+            SuiteJob(
+                kind="plan", circuit=name, bias_limit_ma=bias_limit_ma,
+                seed=seed, config=config,
+            )
+            for name in names
+        ],
+        jobs=jobs,
+    )
     rows = []
-    for name in circuits or TABLE3_CIRCUITS:
-        netlist = build_circuit(name)
-        plan = plan_bias_limited(netlist, bias_limit_ma=bias_limit_ma, config=config, seed=seed)
-        report = evaluate_partition(plan.result)
+    for name, payload in zip(names, payloads):
         paper = PAPER_TABLE3.get(name)
         rows.append(
             Table3Row(
                 circuit=name,
-                k_lb=plan.k_lb,
-                k_res=plan.k_res,
-                report=report,
-                bias_lines_saved=plan.bias_lines_saved,
+                k_lb=payload["k_lb"],
+                k_res=payload["k_res"],
+                report=payload["report"],
+                bias_lines_saved=payload["bias_lines_saved"],
                 paper_k_lb=paper[0] if paper else None,
                 paper_k_res=paper[1] if paper else None,
             )

@@ -20,6 +20,14 @@ from repro.netlist.graph import (
 )
 from repro.netlist.validate import ValidationIssue, validate_netlist, check_sfq_rules
 from repro.netlist.stats import NetlistStats, netlist_stats, locality_index
+from repro.netlist.serialize import (
+    NETLIST_FORMAT_VERSION,
+    library_fingerprint,
+    load_netlist,
+    netlist_from_dict,
+    netlist_to_dict,
+    save_netlist,
+)
 
 __all__ = [
     "CellKind",
@@ -43,4 +51,10 @@ __all__ = [
     "NetlistStats",
     "netlist_stats",
     "locality_index",
+    "NETLIST_FORMAT_VERSION",
+    "library_fingerprint",
+    "netlist_to_dict",
+    "netlist_from_dict",
+    "save_netlist",
+    "load_netlist",
 ]

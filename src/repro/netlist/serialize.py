@@ -1,0 +1,131 @@
+"""Whole-netlist JSON serialization.
+
+:mod:`repro.harness.io` persists *partitions* (label vectors referencing
+a netlist by name); this module persists the netlist body itself —
+gates, connections, ports and placement — so the artifact cache
+(:mod:`repro.cache`) can skip re-synthesizing a benchmark entirely.
+
+Cells are referenced by name and re-bound against a
+:class:`~repro.netlist.library.CellLibrary` on load;
+:func:`library_fingerprint` hashes every electrical/geometric cell
+parameter so a cache key built from it changes whenever the library
+does (a netlist deserialized against a different library would silently
+change ``b_i``/``a_i``).
+"""
+
+import hashlib
+import json
+import math
+
+from repro.netlist.netlist import Netlist
+from repro.utils.errors import NetlistError
+
+#: Serialization format version; bump on breaking layout changes.
+NETLIST_FORMAT_VERSION = 1
+
+
+def library_fingerprint(library):
+    """Stable hex digest of every cell parameter in a library.
+
+    Two libraries with the same fingerprint produce identical netlists
+    from :func:`netlist_from_dict` (cell lookup is by name; bias, area
+    and port lists all enter the digest).
+    """
+    payload = [
+        (
+            cell.name,
+            cell.kind.value,
+            cell.bias_ma,
+            cell.width_um,
+            cell.height_um,
+            cell.jj_count,
+            list(cell.inputs),
+            list(cell.outputs),
+            cell.clocked,
+        )
+        for cell in sorted(library, key=lambda c: c.name)
+    ]
+    blob = json.dumps([library.name, payload], sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _coord(value):
+    """NaN-safe placement coordinate for strict-JSON round trips."""
+    return None if value is None or math.isnan(value) else float(value)
+
+
+def netlist_to_dict(netlist):
+    """Serialize a :class:`~repro.netlist.netlist.Netlist` to plain data."""
+    return {
+        "format": NETLIST_FORMAT_VERSION,
+        "kind": "netlist",
+        "name": netlist.name,
+        "library": netlist.library.name if netlist.library is not None else None,
+        "gates": [
+            {
+                "name": gate.name,
+                "cell": gate.cell.name,
+                "x_um": _coord(gate.x_um),
+                "y_um": _coord(gate.y_um),
+                **({"attributes": gate.attributes} if gate.attributes else {}),
+            }
+            for gate in netlist.gates
+        ],
+        "edges": [[int(u), int(v)] for u, v in netlist.edges],
+        "ports": [
+            {"name": port.name, "direction": port.direction.value, "gate": port.gate}
+            for port in netlist.ports.values()
+        ],
+    }
+
+
+def netlist_from_dict(data, library):
+    """Rebuild a netlist from :func:`netlist_to_dict` output.
+
+    Gate order, edge order and port order are preserved exactly, so the
+    rebuilt netlist's optimizer vectors (edge array, bias, area) are
+    bitwise identical to the original's — positional labels, saved
+    partitions and fixed-seed solver runs all transfer unchanged.
+    """
+    if data.get("kind") != "netlist":
+        raise NetlistError("not a serialized netlist")
+    if data.get("format") != NETLIST_FORMAT_VERSION:
+        raise NetlistError(
+            f"unsupported netlist format {data.get('format')} "
+            f"(this build reads {NETLIST_FORMAT_VERSION})"
+        )
+    netlist = Netlist(data["name"], library=library)
+    for entry in data["gates"]:
+        cell_name = entry["cell"]
+        if cell_name not in library:
+            raise NetlistError(
+                f"serialized netlist {data['name']!r} uses cell {cell_name!r} "
+                f"missing from library {library.name!r}"
+            )
+        x = entry.get("x_um")
+        y = entry.get("y_um")
+        netlist.add_gate(
+            entry["name"],
+            library[cell_name],
+            float("nan") if x is None else float(x),
+            float("nan") if y is None else float(y),
+            **entry.get("attributes", {}),
+        )
+    for u, v in data["edges"]:
+        netlist.connect(int(u), int(v), allow_duplicate=True)
+    for entry in data.get("ports", ()):
+        netlist.add_port(entry["name"], entry["direction"], entry.get("gate"))
+    return netlist
+
+
+def save_netlist(netlist, path):
+    """Write a netlist to a JSON file; returns the path."""
+    with open(path, "w") as handle:
+        json.dump(netlist_to_dict(netlist), handle)
+    return path
+
+
+def load_netlist(path, library):
+    """Read a netlist JSON file back against ``library``."""
+    with open(path) as handle:
+        return netlist_from_dict(json.load(handle), library)

@@ -40,6 +40,7 @@ Typical library use::
 
 import functools
 import os
+import uuid
 
 from repro.obs.export import read_trace_jsonl, write_telemetry_csv, write_trace_jsonl
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -63,6 +64,8 @@ __all__ = [
     "disable",
     "enabled",
     "reset",
+    "snapshot",
+    "merge_snapshot",
     "env_trace_path",
     "apply_env",
     "traced",
@@ -77,13 +80,14 @@ _TRUTHY = {"1", "true", "yes", "on"}
 class Observability:
     """Bundle of tracer + metrics + telemetry with one master switch."""
 
-    __slots__ = ("enabled", "trace", "metrics", "telemetry")
+    __slots__ = ("enabled", "trace", "metrics", "telemetry", "_merged_origins")
 
     def __init__(self):
         self.enabled = False
         self.trace = Tracer()
         self.metrics = MetricsRegistry()
         self.telemetry = SolverTelemetry()
+        self._merged_origins = set()
 
     def enable(self):
         self.enabled = True
@@ -101,7 +105,64 @@ class Observability:
         self.trace.reset()
         self.metrics.reset()
         self.telemetry.reset()
+        self._merged_origins = set()
         return self
+
+    # -- cross-process aggregation -------------------------------------
+    def snapshot(self, origin=None):
+        """Export everything recorded so far as plain JSON-able data.
+
+        ``origin`` uniquely identifies the producing capture window (a
+        fresh uuid per call by default); :meth:`merge_snapshot` uses it
+        to guarantee each snapshot is folded in exactly once.  Workers
+        of the parallel suite runner call this after each job and ship
+        the result back over the process boundary (no live instrument
+        objects are pickled).
+        """
+        if origin is None:
+            origin = f"{os.getpid()}-{uuid.uuid4().hex}"
+        return {
+            "origin": origin,
+            "metrics": self.metrics.as_dict(),
+            "spans": self.trace.as_dict(),
+            "events": list(self.trace.events),
+            "events_dropped": self.trace.events_dropped,
+            "telemetry": {
+                "runs": [dict(r) for r in self.telemetry.runs],
+                "records": [dict(r) for r in self.telemetry.records],
+            },
+        }
+
+    def merge_snapshot(self, snap):
+        """Fold a :meth:`snapshot` into this process's collectors.
+
+        Returns True when merged, False when the snapshot's origin was
+        already merged (so repeated merges never silently double-count).
+        Telemetry run ids are re-based onto this process's run counter
+        so records from different workers never collide.
+        """
+        origin = snap.get("origin")
+        if origin is not None and origin in self._merged_origins:
+            return False
+        self.metrics.merge_dict(snap.get("metrics", {}))
+        self.trace.merge_dict(
+            snap.get("spans", {}),
+            events=snap.get("events", ()),
+            events_dropped=snap.get("events_dropped", 0),
+        )
+        telemetry = snap.get("telemetry") or {}
+        run_offset = len(self.telemetry.runs)
+        for run in telemetry.get("runs", ()):
+            run = dict(run)
+            run["run"] = run.get("run", 0) + run_offset
+            self.telemetry.runs.append(run)
+        for record in telemetry.get("records", ()):
+            record = dict(record)
+            record["run"] = record.get("run", 0) + run_offset
+            self.telemetry.records.append(record)
+        if origin is not None:
+            self._merged_origins.add(origin)
+        return True
 
 
 #: The process-wide observability singleton.
@@ -124,6 +185,16 @@ def enabled():
 
 def reset():
     return OBS.reset()
+
+
+def snapshot(origin=None):
+    """Export the singleton's recorded state as plain JSON-able data."""
+    return OBS.snapshot(origin=origin)
+
+
+def merge_snapshot(snap):
+    """Fold a worker snapshot into the singleton (exactly once per origin)."""
+    return OBS.merge_snapshot(snap)
 
 
 def traced(name, result_attrs=None):

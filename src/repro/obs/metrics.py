@@ -144,6 +144,47 @@ class MetricsRegistry:
         """Drop every instrument."""
         self._instruments = {}
 
+    def merge_dict(self, data):
+        """Fold an :meth:`as_dict`-shaped mapping into this registry.
+
+        This is the cross-process path: a worker exports ``as_dict()``
+        (plain JSON-able data, no live instrument objects cross the
+        process boundary) and the parent folds it in.  Counters add,
+        gauges take the incoming value when set, histograms combine
+        count/sum/min/max and — when the bucket bounds agree — the
+        per-bucket counts; mismatched bounds fold the incoming count
+        into this registry's overflow bucket.
+        """
+        for name, entry in data.items():
+            kind = entry.get("kind")
+            if kind == "counter":
+                self.counter(name).inc(entry["value"])
+            elif kind == "gauge":
+                if entry["value"] is not None:
+                    self.gauge(name).set(entry["value"])
+            elif kind == "histogram":
+                buckets = entry.get("buckets", {})
+                bounds = tuple(sorted(float(b) for b in buckets if b != "+inf"))
+                mine = self.histogram(name, bounds or DEFAULT_BUCKETS)
+                count = int(entry.get("count", 0))
+                if not count:
+                    continue
+                mine.count += count
+                mine.sum += float(entry.get("sum", 0.0))
+                if entry.get("min") is not None:
+                    mine.min = min(mine.min, float(entry["min"]))
+                if entry.get("max") is not None:
+                    mine.max = max(mine.max, float(entry["max"]))
+                if mine.buckets == bounds:
+                    for i, bound in enumerate(mine.buckets):
+                        mine.bucket_counts[i] += int(buckets.get(str(bound), 0))
+                    mine.bucket_counts[-1] += int(buckets.get("+inf", 0))
+                else:
+                    mine.bucket_counts[-1] += count
+            else:
+                raise ValueError(f"metric {name!r}: unknown kind {kind!r} in snapshot")
+        return self
+
     def merge(self, other):
         """Fold another registry into this one.
 

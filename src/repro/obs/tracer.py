@@ -185,6 +185,34 @@ class Tracer:
         self.events_dropped += other.events_dropped + max(0, len(other.events) - room)
         return self
 
+    def merge_dict(self, aggregates, events=(), events_dropped=0):
+        """Fold an :meth:`as_dict`-shaped aggregate mapping (plus raw
+        event records) into this tracer.
+
+        The cross-process counterpart of :meth:`merge`: worker tracers
+        export plain dicts, the parent folds them in.  Event ``start_s``
+        values stay relative to the worker's epoch — aggregate totals
+        are the meaningful cross-process quantity.
+        """
+        for path, theirs in aggregates.items():
+            mine = self.aggregates.get(path)
+            if mine is None:
+                mine = self.aggregates[path] = SpanAggregate(path)
+            count = int(theirs.get("count", 0))
+            mine.count += count
+            mine.total_s += float(theirs.get("total_s", 0.0))
+            if count:
+                mine.min_s = min(mine.min_s, float(theirs.get("min_s", float("inf"))))
+            mine.max_s = max(mine.max_s, float(theirs.get("max_s", 0.0)))
+            mine.failures += int(theirs.get("failures", 0))
+            if theirs.get("attrs"):
+                mine.attrs = dict(theirs["attrs"])
+        events = list(events)
+        room = self.max_events - len(self.events)
+        self.events.extend(events[:room])
+        self.events_dropped += int(events_dropped) + max(0, len(events) - room)
+        return self
+
     # -- export --------------------------------------------------------
     def as_dict(self):
         return {path: agg.as_dict() for path, agg in sorted(self.aggregates.items())}

@@ -3,9 +3,11 @@
 import numpy as np
 import pytest
 
+from repro.core.coarsening import (
+    heavy_edge_matching as _heavy_edge_matching,
+    project_edges as _project_edges,
+)
 from repro.baselines.multilevel import (
-    _heavy_edge_matching,
-    _project_edges,
     multilevel_partition,
 )
 from repro.circuits.suite import build_circuit

@@ -324,3 +324,75 @@ def test_read_trace_rejects_malformed_files():
     good_header = '{"type": "header", "schema_version": 1}\n'
     with pytest.raises(ValueError):
         read_trace_jsonl(io.StringIO(good_header + '{"type": "martian"}\n'))
+
+
+# ---------------------------------------------------------------------------
+# cross-process snapshots
+
+
+def _record_some_activity():
+    obs.enable()
+    with OBS.trace.span("work"):
+        OBS.metrics.counter("jobs").inc(3)
+    run = OBS.telemetry.begin_run("batched", 2)
+    OBS.telemetry.record(run, 0, 0, 1, 2, 3, 4, 5, None, 6.0, 1)
+
+
+def test_snapshot_is_plain_data():
+    import json
+
+    _record_some_activity()
+    snap = obs.snapshot()
+    json.dumps(snap)  # must ship over a process boundary as-is
+    assert snap["metrics"]["jobs"]["value"] == 3
+    assert "work" in snap["spans"]
+    assert snap["telemetry"]["records"][0]["run"] == 0
+
+
+def test_merge_snapshot_exactly_once_per_origin():
+    _record_some_activity()
+    snap = obs.snapshot(origin="worker-1")
+    obs.disable(reset=True)
+    obs.enable()
+
+    assert obs.merge_snapshot(snap) is True
+    assert obs.merge_snapshot(snap) is False  # repeated merge is a no-op
+    assert OBS.metrics.counter("jobs").value == 3  # not 6
+    assert OBS.trace.aggregates["work"].count == 1
+
+
+def test_merge_snapshot_distinct_origins_accumulate():
+    _record_some_activity()
+    snap_a = obs.snapshot(origin="worker-a")
+    snap_b = dict(snap_a, origin="worker-b")
+    obs.disable(reset=True)
+    obs.enable()
+
+    assert obs.merge_snapshot(snap_a) and obs.merge_snapshot(snap_b)
+    assert OBS.metrics.counter("jobs").value == 6
+
+
+def test_merge_snapshot_rebases_telemetry_runs():
+    _record_some_activity()
+    snap = obs.snapshot(origin="worker-1")
+    obs.disable(reset=True)
+    obs.enable()
+
+    # The parent already holds one run; the worker's run 0 must not collide.
+    parent_run = OBS.telemetry.begin_run("loop", 1)
+    assert parent_run == 0
+    obs.merge_snapshot(snap)
+    assert [run["run"] for run in OBS.telemetry.runs] == [0, 1]
+    assert OBS.telemetry.records[-1]["run"] == 1
+
+
+def test_reset_forgets_merged_origins():
+    _record_some_activity()
+    snap = obs.snapshot(origin="worker-1")
+    obs.disable(reset=True)
+    obs.enable()
+
+    assert obs.merge_snapshot(snap) is True
+    obs.reset()
+    assert obs.merge_snapshot(snap) is True  # a fresh window merges again
+    assert OBS.metrics.counter("jobs").value == 3

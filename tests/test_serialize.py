@@ -1,0 +1,114 @@
+"""Round-trip tests for whole-netlist JSON serialization."""
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+
+from repro.netlist.library import CellLibrary, default_library
+from repro.netlist.serialize import (
+    NETLIST_FORMAT_VERSION,
+    library_fingerprint,
+    load_netlist,
+    netlist_from_dict,
+    netlist_to_dict,
+    save_netlist,
+)
+from repro.utils.errors import NetlistError
+
+
+def _roundtrip(netlist):
+    return netlist_from_dict(netlist_to_dict(netlist), netlist.library)
+
+
+def test_roundtrip_preserves_structure(mixed_netlist):
+    rebuilt = _roundtrip(mixed_netlist)
+    assert rebuilt.name == mixed_netlist.name
+    assert rebuilt.num_gates == mixed_netlist.num_gates
+    assert [g.name for g in rebuilt.gates] == [g.name for g in mixed_netlist.gates]
+    assert [g.cell.name for g in rebuilt.gates] == \
+        [g.cell.name for g in mixed_netlist.gates]
+    assert list(rebuilt.edges) == list(mixed_netlist.edges)
+
+
+def test_roundtrip_preserves_solver_vectors(mixed_netlist):
+    rebuilt = _roundtrip(mixed_netlist)
+    assert np.array_equal(rebuilt.edge_array(), mixed_netlist.edge_array())
+    assert np.array_equal(rebuilt.bias_vector_ma(), mixed_netlist.bias_vector_ma())
+    assert np.array_equal(rebuilt.area_vector_um2(), mixed_netlist.area_vector_um2())
+
+
+def test_roundtrip_preserves_ports(chain_netlist):
+    rebuilt = _roundtrip(chain_netlist)
+    assert set(rebuilt.ports) == set(chain_netlist.ports)
+    for name, port in chain_netlist.ports.items():
+        other = rebuilt.ports[name]
+        assert other.direction == port.direction
+        assert other.gate == port.gate
+
+
+def test_roundtrip_preserves_placement_and_nan(chain_netlist):
+    chain_netlist.gates[0].x_um = 12.5
+    chain_netlist.gates[0].y_um = 60.0
+    chain_netlist.gates[1].x_um = float("nan")
+    rebuilt = _roundtrip(chain_netlist)
+    assert rebuilt.gates[0].x_um == 12.5
+    assert rebuilt.gates[0].y_um == 60.0
+    assert math.isnan(rebuilt.gates[1].x_um)
+    # NaN must survive via null, not a non-strict-JSON NaN literal.
+    data = netlist_to_dict(chain_netlist)
+    assert data["gates"][1]["x_um"] is None
+
+
+def test_roundtrip_preserves_duplicate_edges(library):
+    from repro.netlist.netlist import Netlist
+
+    netlist = Netlist("dup", library=library)
+    netlist.add_gate("a", library["SPLIT"])
+    netlist.add_gate("b", library["MERGE"])
+    netlist.connect("a", "b")
+    netlist.connect("a", "b", allow_duplicate=True)
+    rebuilt = _roundtrip(netlist)
+    assert list(rebuilt.edges) == [(0, 1), (0, 1)]
+
+
+def test_file_roundtrip(tmp_path, diamond_netlist):
+    path = save_netlist(diamond_netlist, str(tmp_path / "net.json"))
+    rebuilt = load_netlist(path, diamond_netlist.library)
+    assert [g.name for g in rebuilt.gates] == [g.name for g in diamond_netlist.gates]
+    assert list(rebuilt.edges) == list(diamond_netlist.edges)
+
+
+def test_rejects_wrong_kind_and_format(chain_netlist, library):
+    with pytest.raises(NetlistError, match="not a serialized netlist"):
+        netlist_from_dict({"kind": "partition"}, library)
+    data = netlist_to_dict(chain_netlist)
+    data["format"] = NETLIST_FORMAT_VERSION + 1
+    with pytest.raises(NetlistError, match="unsupported netlist format"):
+        netlist_from_dict(data, library)
+
+
+def test_rejects_missing_cell(chain_netlist, library):
+    data = netlist_to_dict(chain_netlist)
+    data["gates"][0]["cell"] = "NOT_A_CELL"
+    with pytest.raises(NetlistError, match="missing from library"):
+        netlist_from_dict(data, library)
+
+
+def test_library_fingerprint_sensitivity(library):
+    base = library_fingerprint(library)
+    assert library_fingerprint(default_library()) == base  # deterministic
+
+    tweaked = CellLibrary(
+        library.name,
+        [
+            dataclasses.replace(cell, bias_ma=cell.bias_ma + 0.01)
+            if cell.name == "DFF" else cell
+            for cell in library
+        ],
+    )
+    assert library_fingerprint(tweaked) != base
+
+    renamed = CellLibrary("other-name", list(library))
+    assert library_fingerprint(renamed) != base

@@ -31,6 +31,7 @@ from repro.cache.store import (
     ArtifactCache,
     cache_enabled,
     cache_key,
+    canonical_jsonable,
     default_cache_root,
 )
 from repro.netlist.serialize import library_fingerprint, netlist_from_dict, netlist_to_dict
@@ -40,6 +41,7 @@ __all__ = [
     "CACHE_SCHEMA_VERSION",
     "cache_key",
     "cache_enabled",
+    "canonical_jsonable",
     "default_cache_root",
     "default_cache",
     "reset_default_cache",

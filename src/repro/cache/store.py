@@ -56,6 +56,36 @@ def default_cache_root(environ=None):
     return os.path.join(os.path.expanduser("~"), ".cache", "repro-gpp")
 
 
+def canonical_jsonable(value):
+    """Recursively convert ``value`` into plain JSON-able Python types.
+
+    Sweep and benchmark code routinely builds generator parameters out
+    of numpy scalars (``np.int64`` widths from ``np.arange``, ``np.
+    float64`` knobs) which ``json.dumps`` rejects with ``TypeError``.
+    This canonicalization maps numpy integers/floats/bools to their
+    Python equivalents (so ``np.int64(16)`` and ``16`` produce the same
+    cache key), arrays to nested lists, tuples to lists, and applies the
+    same treatment to dictionary keys.
+    """
+    if isinstance(value, dict):
+        return {
+            canonical_jsonable(key) if not isinstance(key, str) else key:
+                canonical_jsonable(item)
+            for key, item in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [canonical_jsonable(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return canonical_jsonable(value.tolist())
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
 def cache_key(kind, generator, params, library_hash):
     """Content key: sha256 over canonical JSON of every input.
 
@@ -65,7 +95,10 @@ def cache_key(kind, generator, params, library_hash):
         Artifact kind (``"netlist"``, ...); namespaces the key space.
     generator:
         What produced the artifact (e.g. ``["kogge_stone_adder",
-        {"width": 16}]``) — JSON-able, canonicalized with sorted keys.
+        {"width": 16}]``) — JSON-able, canonicalized with sorted keys
+        (numpy scalars/arrays are converted via
+        :func:`canonical_jsonable`, so e.g. an ``np.int64`` width yields
+        the same key as the plain ``int``).
     params:
         Remaining knobs (e.g. the synthesis options) — JSON-able.
     library_hash:
@@ -73,13 +106,15 @@ def cache_key(kind, generator, params, library_hash):
         library the artifact was built against.
     """
     blob = json.dumps(
-        {
-            "schema": CACHE_SCHEMA_VERSION,
-            "kind": kind,
-            "generator": generator,
-            "params": params,
-            "library": library_hash,
-        },
+        canonical_jsonable(
+            {
+                "schema": CACHE_SCHEMA_VERSION,
+                "kind": kind,
+                "generator": generator,
+                "params": params,
+                "library": library_hash,
+            }
+        ),
         sort_keys=True,
     ).encode()
     return hashlib.sha256(blob).hexdigest()

@@ -101,6 +101,14 @@ def round_assignment_balanced(w, bias, slack=0.02, pinned=None):
 
     ``pinned`` gates ({index: plane}) keep their plane and consume
     budget first.  Fully deterministic (stable sorts, no RNG).
+
+    Degenerate inputs — a single gate whose bias exceeds the whole
+    per-plane budget (so *no* plane can take it within ``slack``), or a
+    non-finite bias vector — make the capacity walk meaningless: every
+    heavy gate would land on the currently-lightest plane regardless of
+    ``w``, scrambling confident assignments.  Those cases fall back to
+    plain :func:`round_assignment` (with ``pinned`` still applied) and
+    bump the ``rounding.balanced_fallback`` metrics counter.
     """
     w = np.asarray(w, dtype=float)
     if w.ndim != 2 or w.shape[1] < 1:
@@ -114,6 +122,15 @@ def round_assignment_balanced(w, bias, slack=0.02, pinned=None):
         raise PartitionError(f"slack must be >= 0, got {slack}")
     num_gates, num_planes = w.shape
     budget = bias.sum() / num_planes * (1.0 + slack)
+    if not np.isfinite(budget) or (bias.size and bias.max() > budget):
+        from repro.obs import OBS
+
+        if OBS.enabled:
+            OBS.metrics.counter("rounding.balanced_fallback").inc()
+        labels = round_assignment(w)
+        for gate, plane in (pinned or {}).items():
+            labels[gate] = plane
+        return labels
     labels = np.full(num_gates, -1, dtype=np.intp)
     load = np.zeros(num_planes)
     for gate, plane in (pinned or {}).items():

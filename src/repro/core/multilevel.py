@@ -43,7 +43,11 @@ partitioner still applies the capacity-aware rounding).
 import numpy as np
 
 from repro.core.coarsening import compose_maps, coarsen_problem, expand_weighted_edges
-from repro.core.optimizer import minimize_assignment_batch, _validate_problem
+from repro.core.optimizer import (
+    _reseed_assignment,
+    _validate_problem,
+    minimize_assignment_batch,
+)
 from repro.obs import OBS
 from repro.utils.rng import make_rng, spawn_rngs
 
@@ -125,6 +129,18 @@ def minimize_assignment_multilevel(
     # Rows sum to 1 at the coarse level, so the fine stack needs no
     # re-normalization before the descent takes over.
     stack = np.stack([trace.w for trace in coarse_traces])[:, composed, :]
+
+    # A coarse restart that ended quarantined (or otherwise produced a
+    # non-finite w) would poison the fine-level batch through its warm
+    # start; replace such rows with a fresh deterministic cold start.
+    bad_rows = ~np.isfinite(stack.reshape(stack.shape[0], -1)).all(axis=1)
+    if bad_rows.any():
+        for r in np.flatnonzero(bad_rows):
+            stack[r] = _reseed_assignment(
+                num_gates, num_planes, r, 0, pinned
+            )
+        if OBS.enabled:
+            OBS.metrics.counter("multilevel.stack_reseeded").inc(int(bad_rows.sum()))
 
     fine_config = config.with_(
         max_iterations=min(config.multilevel_fine_iterations, config.max_iterations)

@@ -47,6 +47,20 @@ from repro.obs import OBS
 from repro.utils.errors import PartitionError
 from repro.utils.rng import make_rng, spawn_rngs
 
+#: How often the batched engine restarts a poisoned trajectory (non-finite
+#: cost/gradient, runaway divergence) from a fresh deterministic
+#: initialization before freezing ("quarantining") the restart.
+MAX_RESEEDS = 2
+
+#: A restart whose cost exceeds its first finite cost by this factor is
+#: treated as diverging (a blown-up learning rate produces exactly this
+#: signature before overflowing to inf).
+DIVERGENCE_FACTOR = 1e6
+
+#: SeedSequence prefix of the deterministic reseed streams, so recovery
+#: initializations never collide with user-provided restart seeds.
+_RESEED_TAG = 0x5EED
+
 
 @dataclass
 class GradientDescentTrace:
@@ -72,6 +86,15 @@ class GradientDescentTrace:
         relative change, gradient norm — see
         :mod:`repro.obs.telemetry`).  ``None`` unless observability was
         enabled (:func:`repro.obs.enable`) during the solve.
+    reseeds:
+        How many times the batched engine threw this restart's
+        trajectory away (non-finite cost/gradient or divergence) and
+        restarted it from a fresh deterministic initialization.  Always
+        0 on the finite path.
+    quarantined:
+        True when the restart kept producing non-finite/diverging
+        evaluations after :data:`MAX_RESEEDS` reseeds and was frozen
+        (``converged=False``) so it could not poison the batch.
     """
 
     w: np.ndarray
@@ -80,6 +103,8 @@ class GradientDescentTrace:
     iterations: int = 0
     final_terms: object = None
     telemetry: list = None
+    reseeds: int = 0
+    quarantined: bool = False
 
     @property
     def final_cost(self):
@@ -164,6 +189,15 @@ def minimize_assignment(num_planes, edges, bias, area, config, rng=None, w0=None
         for _ in range(config.max_iterations):
             terms = cost_terms(w, edges, bias, area, config)
             cost_new = terms.total
+            if not np.isfinite(cost_new):
+                # A poisoned trajectory (non-finite input, blown-up step)
+                # can never satisfy the margin criterion; stop instead of
+                # spinning to the iteration cap on garbage.
+                trace.quarantined = True
+                if obs is not None:
+                    obs.metrics.counter("solver.nonfinite_detected").inc()
+                    obs.metrics.counter("solver.restarts_quarantined").inc()
+                break
             trace.cost_history.append(cost_new)
             # final_terms always mirrors the last loop evaluation, so no
             # post-loop recomputation is ever needed (max_iterations >= 1 is
@@ -302,9 +336,25 @@ def minimize_assignment_batch(
 
     for r in range(num_restarts):
         traces[r].w = np.ascontiguousarray(final_w[r])
-        terms_r, row = last_eval[r]
-        traces[r].final_terms = terms_r.term(row)
+        if last_eval[r] is not None:
+            # A quarantined restart that never produced a finite
+            # evaluation has no terms to materialize.
+            terms_r, row = last_eval[r]
+            traces[r].final_terms = terms_r.term(row)
     return traces
+
+
+def _reseed_assignment(num_gates, num_planes, restart, attempt, pinned):
+    """Deterministic fresh initialization of a poisoned restart.
+
+    Seeded by (tag, restart index, reseed attempt), so recovery is
+    reproducible and independent of the original restart streams.
+    """
+    rng = np.random.default_rng(
+        np.random.SeedSequence([_RESEED_TAG, int(restart), int(attempt)])
+    )
+    w = random_assignment(num_gates, num_planes, rng=rng)
+    return _clamp_pinned(w, pinned)
 
 
 def _descend_batch(kernel, config, traces, final_w, last_eval, active, live, cost_old, pinned, obs, run):
@@ -313,18 +363,84 @@ def _descend_batch(kernel, config, traces, final_w, last_eval, active, live, cos
     Split out so the timing span around it stays exception-safe without
     indenting the whole loop; mutates ``traces``/``final_w``/
     ``last_eval`` in place.
+
+    Graceful degradation: an evaluation that produces a non-finite cost
+    or gradient — or a cost more than :data:`DIVERGENCE_FACTOR` above
+    the restart's first finite cost — marks that restart's trajectory as
+    poisoned.  Instead of letting NaNs propagate through the shared
+    stack bookkeeping (or letting one runaway restart spin every
+    iteration to the cap), the restart is reseeded from a deterministic
+    fresh initialization (up to :data:`MAX_RESEEDS` times) and after
+    that quarantined: frozen with ``converged=False`` on a uniform
+    assignment, while the healthy restarts keep descending untouched.
+    On a fully finite problem none of this triggers and the arithmetic
+    is bitwise identical to the sequential engine.
     """
+    num_restarts = len(traces)
+    num_gates, num_planes = live.shape[1], live.shape[2]
+    first_cost = np.full(num_restarts, np.nan)
+
     for _ in range(config.max_iterations):
         if active.size == 0:
             break
         terms, gradient = kernel.cost_and_gradient(live, config)
         cost_new = terms.total
+
+        # --- poisoned-trajectory detection.  Only O(R) scalar checks
+        # per iteration: a non-finite gradient drives w non-finite
+        # through the update and surfaces as a non-finite *cost* on the
+        # next evaluation, so the cost check covers both one iteration
+        # late at worst (the cap-exit path below catches the final
+        # iteration's stragglers).
+        cost_bad = ~np.isfinite(cost_new)
+        baseline = first_cost[active]
+        diverged = (
+            ~cost_bad
+            & np.isfinite(baseline)
+            & (baseline > 0.0)
+            & (cost_new > baseline * DIVERGENCE_FACTOR)
+        )
+        bad = cost_bad | diverged
+        quarantine = np.zeros(active.size, dtype=bool)
+        if bad.any():
+            for j in np.flatnonzero(bad):
+                r = int(active[j])
+                if obs is not None:
+                    name = "solver.diverged" if diverged[j] else "solver.nonfinite_detected"
+                    obs.metrics.counter(name).inc()
+                attempt = traces[r].reseeds + 1
+                if attempt <= MAX_RESEEDS:
+                    traces[r].reseeds = attempt
+                    live[j] = _reseed_assignment(num_gates, num_planes, r, attempt, pinned)
+                    first_cost[r] = np.nan
+                    if obs is not None:
+                        obs.metrics.counter("solver.restarts_reseeded").inc()
+                else:
+                    # Frozen on a uniform (finite, never-winning)
+                    # assignment so downstream rounding stays valid.
+                    traces[r].quarantined = True
+                    live[j] = np.full((num_gates, num_planes), 1.0 / num_planes)
+                    _clamp_pinned(live[j], pinned)
+                    quarantine[j] = True
+                    if obs is not None:
+                        obs.metrics.counter("solver.restarts_quarantined").inc()
+                # Neutralize this row for the shared step below; a
+                # reseeded restart takes its first real step next
+                # iteration, from cost_old = inf like any fresh start.
+                gradient[j] = 0.0
+            cost_new = np.where(bad, np.inf, cost_new)
+
+        good = ~bad
         for j, r in enumerate(active):
-            traces[r].cost_history.append(float(cost_new[j]))
-            last_eval[r] = (terms, j)
+            if good[j]:
+                traces[r].cost_history.append(float(cost_new[j]))
+                last_eval[r] = (terms, j)
+                if not np.isfinite(first_cost[r]):
+                    first_cost[r] = cost_new[j]
 
         # Algorithm 1 line 14, vectorized per restart (cost_old is inf on
-        # each restart's first pass, so nothing stops before one step).
+        # each restart's first pass, so nothing stops before one step;
+        # poisoned rows carry cost_new = inf, so they never stop here).
         old = cost_old[active]
         finite = np.isfinite(old) & (old != 0.0)
         ratio = np.abs(np.where(finite, cost_new, 0.0) / np.where(finite, old, 1.0) - 1.0)
@@ -335,10 +451,14 @@ def _descend_batch(kernel, config, traces, final_w, last_eval, active, live, cos
             # before the in-place descent step reuses the gradient
             # buffer.  A restart stopping this iteration never computes
             # a step, so (matching the loop engine) its grad_norm is
-            # recorded as None.
+            # recorded as None.  Poisoned rows are skipped — their term
+            # values are non-finite and the restart restarts from
+            # scratch anyway.
             grad_norms = np.sqrt(np.einsum("rgk,rgk->r", gradient, gradient))
             alive = int(active.size)
             for j, r in enumerate(active):
+                if bad[j]:
+                    continue
                 record = obs.telemetry.record(
                     run, int(r), traces[r].iterations,
                     float(terms.f1[j]), float(terms.f2[j]), float(terms.f3[j]),
@@ -348,22 +468,26 @@ def _descend_batch(kernel, config, traces, final_w, last_eval, active, live, cos
                 )
                 traces[r].telemetry.append(record)
 
-        if stop.any():
-            for j in np.flatnonzero(stop):
+        drop = stop | quarantine
+        if drop.any():
+            for j in np.flatnonzero(drop):
                 r = int(active[j])
-                traces[r].converged = True
+                traces[r].converged = bool(stop[j])
                 final_w[r] = live[j]
-            keep = ~stop
+            keep = ~drop
             active = active[keep]
             if active.size == 0:
                 break
             live = np.ascontiguousarray(live[keep])
             gradient = gradient[keep]
             cost_new = cost_new[keep]
+            bad = bad[keep]
 
         # In-place descent step reusing the gradient buffer.  Bitwise
         # identical to ``clip(live - lr * gradient)``: IEEE multiply by
-        # ``-lr`` flips sign exactly and ``a + (-b) == a - b``.
+        # ``-lr`` flips sign exactly and ``a + (-b) == a - b``.  Rows
+        # reseeded this iteration carry a zeroed gradient, so the step
+        # leaves their fresh initialization untouched.
         gradient *= -config.learning_rate
         gradient += live
         live = np.clip(gradient, 0.0, 1.0, out=gradient)
@@ -371,11 +495,24 @@ def _descend_batch(kernel, config, traces, final_w, last_eval, active, live, cos
             live = normalize_rows(live)
         if pinned:
             live = _clamp_pinned(live, pinned)
-        for r in active:
-            traces[r].iterations += 1
+        for j, r in enumerate(active):
+            if not bad[j]:
+                traces[r].iterations += 1
         cost_old[active] = cost_new
 
     # Restarts stopped by the iteration cap keep their last stepped w,
-    # exactly like the sequential loop.
+    # exactly like the sequential loop.  A gradient that went non-finite
+    # on the very last iteration leaves w poisoned with no further cost
+    # evaluation to flag it, so quarantine those rows here.
     for j, r in enumerate(active):
-        final_w[int(r)] = live[j]
+        r = int(r)
+        if np.isfinite(live[j]).all():
+            final_w[r] = live[j]
+        else:
+            traces[r].quarantined = True
+            final_w[r] = np.full((num_gates, num_planes), 1.0 / num_planes)
+            _clamp_pinned(final_w[r], pinned)
+            last_eval[r] = None
+            if obs is not None:
+                obs.metrics.counter("solver.nonfinite_detected").inc()
+                obs.metrics.counter("solver.restarts_quarantined").inc()

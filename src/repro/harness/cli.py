@@ -74,15 +74,102 @@ def _add_common(parser):
     _add_obs(parser)
 
 
+def _positive_int(value):
+    """argparse type for ``--jobs``/``--retries``-style counts.
+
+    Rejecting bad values here (instead of deep inside the executor)
+    turns ``--jobs 0`` into a one-line usage error.
+    """
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}") from None
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"expected an integer >= 1, got {value!r}")
+    return parsed
+
+
+def _nonnegative_int(value):
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}") from None
+    if parsed < 0:
+        raise argparse.ArgumentTypeError(f"expected an integer >= 0, got {value!r}")
+    return parsed
+
+
+def _positive_float(value):
+    try:
+        parsed = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {value!r}") from None
+    if not parsed > 0:
+        raise argparse.ArgumentTypeError(f"expected a number > 0, got {value!r}")
+    return parsed
+
+
 def _add_jobs(parser):
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=_positive_int,
         default=None,
         metavar="N",
         help="worker processes (default: REPRO_JOBS env, else min(cpus, 8); "
         "1 = run inline; results identical for any value)",
     )
+    parser.add_argument(
+        "--timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock limit (default: REPRO_JOB_TIMEOUT env, else "
+        "unlimited); a timed-out job is retried, see docs/robustness.md",
+    )
+    parser.add_argument(
+        "--retries",
+        type=_nonnegative_int,
+        default=None,
+        metavar="N",
+        help="retries per failed job with exponential backoff "
+        "(default: REPRO_RETRIES env, else 2)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        default=None,
+        help="stream completed job results to a JSONL checkpoint",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --checkpoint: skip jobs already completed in the "
+        "checkpoint file (rows stay bitwise identical)",
+    )
+
+
+def _run_opts(args):
+    """The run_jobs pass-through kwargs of a table subcommand."""
+    if args.resume and not args.checkpoint:
+        raise ReproError("--resume requires --checkpoint FILE")
+    return {
+        "timeout": args.timeout,
+        "retries": args.retries,
+        "checkpoint": args.checkpoint,
+        "resume": args.resume,
+    }
+
+
+def _print_run_summary(file=None):
+    """One stderr line when the run retried, resumed or skipped corrupt
+    checkpoint lines — silent for a plain clean run."""
+    from repro.harness.runner import last_report
+
+    report = last_report()
+    if report is None:
+        return
+    if report.retries or report.from_checkpoint or report.checkpoint_corrupt_lines:
+        print(report.summary(), file=file if file is not None else sys.stderr)
 
 
 def _add_obs(parser):
@@ -165,8 +252,10 @@ def _cmd_table1(args):
     rows = tables.run_table1(
         num_planes=args.planes, config=PartitionConfig(engine=args.engine),
         seed=args.seed, method=args.method, refine=args.refine, jobs=args.jobs,
+        **_run_opts(args),
     )
     print(tables.format_table1(rows, compare_paper=not args.no_paper))
+    _print_run_summary()
     return 0
 
 
@@ -174,14 +263,19 @@ def _cmd_table2(args):
     reports = tables.run_table2(
         circuit=args.circuit, config=PartitionConfig(engine=args.engine),
         seed=args.seed, method=args.method, refine=args.refine, jobs=args.jobs,
+        **_run_opts(args),
     )
     print(tables.format_table2(reports, compare_paper=not args.no_paper))
+    _print_run_summary()
     return 0
 
 
 def _cmd_table3(args):
-    rows = tables.run_table3(bias_limit_ma=args.limit, seed=args.seed, jobs=args.jobs)
+    rows = tables.run_table3(
+        bias_limit_ma=args.limit, seed=args.seed, jobs=args.jobs, **_run_opts(args)
+    )
     print(tables.format_table3(rows, compare_paper=not args.no_paper))
+    _print_run_summary()
     return 0
 
 
@@ -368,7 +462,11 @@ _JOBS_EPILOG = (
     "min(cpus, 8)).  Every jobs value produces bitwise-identical results; "
     "workers share the on-disk artifact cache (REPRO_CACHE_DIR / "
     "REPRO_CACHE=0) and their observability data is merged into the "
-    "parent trace.  See docs/performance.md."
+    "parent trace.  See docs/performance.md.  Robustness: failed or "
+    "timed-out jobs are retried with exponential backoff (--retries / "
+    "--timeout, or REPRO_RETRIES / REPRO_JOB_TIMEOUT); --checkpoint FILE "
+    "streams completed rows to a JSONL checkpoint and --resume skips them "
+    "on a rerun.  See docs/robustness.md."
 )
 
 
@@ -499,6 +597,8 @@ def main(argv=None):
         code = _COMMANDS[args.command](args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
+        if args.command.startswith("table"):
+            _print_run_summary()
         code = 2
     finally:
         if capture:

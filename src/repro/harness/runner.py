@@ -1,4 +1,4 @@
-"""Process-parallel suite runner.
+"""Process-parallel suite runner with fault tolerance.
 
 The table/benchmark drivers all share one shape of work: a list of
 independent ``(circuit, K, method, seed)`` solves whose outputs are
@@ -12,32 +12,74 @@ shape into :class:`SuiteJob` descriptions and fans them out over a
   implementation; ``--jobs 1`` calls it inline, ``--jobs N`` calls it in
   a pool), so reports and labels are bit-identical for any jobs count.
   The CI determinism job and ``tests/test_runner.py`` enforce this.
+* **fault tolerance** — a production-scale suite is thousands of jobs;
+  a single crashed, hung or corrupted worker must degrade the run, not
+  destroy it.  Every job attempt is classified into a structured error
+  taxonomy (:data:`JOB_ERROR_KINDS`: ``crashed`` / ``timed-out`` /
+  ``invalid-result`` / ``cache-corrupt``), retried up to ``retries``
+  times with exponential backoff, and recorded in the
+  :class:`RunReport` plus the obs metrics registry
+  (``runner.failures.*``, ``runner.retries``).  A per-job ``timeout``
+  tears the pool down (terminating the hung worker) and resubmits the
+  survivors; only jobs that exhaust their retries raise
+  :class:`JobError`.  See docs/robustness.md.
+* **checkpoint/resume** — validated payloads stream to a JSONL
+  checkpoint (:mod:`repro.harness.checkpoint`, content-keyed like the
+  artifact cache) as they complete, so an interrupted run resumed with
+  ``--resume`` re-executes only the missing jobs and assembles rows
+  bitwise identical to an uninterrupted run.
+* **deterministic fault injection** — the ``REPRO_FAULT`` environment
+  variable / the :class:`~repro.harness.faults.FaultPlan` test API
+  make chosen job attempts crash, hang, hard-exit or return corrupt
+  payloads, so the recovery paths above are exercised by tests and the
+  CI chaos job, not just by real failures.
 * **observability across processes** — when capture is on, each worker
   resets the process-local :data:`repro.obs.OBS` singleton, records the
   job, and ships a :func:`repro.obs.snapshot` back with its payload; the
-  parent folds snapshots in job-index order via
-  :func:`repro.obs.merge_snapshot` (exactly-once per origin, so retries
-  or repeated merges never double-count).
+  parent folds the snapshot of each job's *successful* attempt in
+  job-index order via :func:`repro.obs.merge_snapshot` (exactly-once
+  per origin, so retries or repeated merges never double-count).
 * **caching synergy** — workers build netlists through
   :func:`repro.circuits.suite.build_circuit`, so they share the on-disk
   artifact cache (:mod:`repro.cache`); a warm cache turns each worker's
   synthesis step into a cheap load.
 
 The jobs count resolves as: explicit argument > ``REPRO_JOBS``
-environment variable > ``min(os.cpu_count(), 8)``.
+environment variable > ``min(os.cpu_count(), 8)``.  Retry/timeout knobs
+resolve the same way: explicit argument > ``REPRO_RETRIES`` /
+``REPRO_JOB_TIMEOUT`` / ``REPRO_RETRY_BACKOFF`` > defaults (2 retries,
+no timeout, 0.05 s backoff base).
 """
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from functools import partial
+import time
+import uuid
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 
+import numpy as np
+
+from repro.harness import faults as fault_mod
+from repro.harness.checkpoint import SuiteCheckpoint, job_key
 from repro.obs import OBS, merge_snapshot
-from repro.utils.errors import ReproError
+from repro.utils.errors import CacheCorruptError, ReproError
 
 #: Upper bound of the automatic jobs default; beyond this the suite is
 #: typically cache/IO bound and extra workers only add startup cost.
 DEFAULT_MAX_JOBS = 8
+
+#: Default number of retries per job (additional attempts after the first).
+DEFAULT_RETRIES = 2
+
+#: Default exponential-backoff base delay in seconds: a job's n-th retry
+#: waits ``backoff * 2**(n-1)`` before resubmission.
+DEFAULT_BACKOFF = 0.05
+
+#: The structured error taxonomy of job-attempt failures.
+JOB_ERROR_KINDS = ("crashed", "timed-out", "invalid-result", "cache-corrupt")
 
 
 def resolve_jobs(jobs=None, environ=None):
@@ -54,13 +96,68 @@ def resolve_jobs(jobs=None, environ=None):
             try:
                 jobs = int(value)
             except ValueError:
-                raise ReproError(f"REPRO_JOBS must be an integer, got {value!r}") from None
+                raise ReproError(
+                    f"REPRO_JOBS must be an integer >= 1, got {value!r}"
+                ) from None
+            if jobs < 1:
+                raise ReproError(f"REPRO_JOBS must be an integer >= 1, got {value!r}")
         else:
             jobs = min(os.cpu_count() or 1, DEFAULT_MAX_JOBS)
     jobs = int(jobs)
     if jobs < 1:
         raise ReproError(f"jobs must be >= 1, got {jobs}")
     return jobs
+
+
+def _env_number(name, parse, check, message, environ=None):
+    value = (environ if environ is not None else os.environ).get(name, "").strip()
+    if not value:
+        return None
+    try:
+        parsed = parse(value)
+    except ValueError:
+        raise ReproError(f"{name} must be {message}, got {value!r}") from None
+    if not check(parsed):
+        raise ReproError(f"{name} must be {message}, got {value!r}")
+    return parsed
+
+
+def resolve_timeout(timeout=None, environ=None):
+    """Per-job timeout in seconds: explicit > ``REPRO_JOB_TIMEOUT`` > None."""
+    if timeout is not None:
+        timeout = float(timeout)
+        if not timeout > 0:
+            raise ReproError(f"timeout must be > 0 seconds, got {timeout}")
+        return timeout
+    return _env_number(
+        "REPRO_JOB_TIMEOUT", float, lambda v: v > 0, "a number of seconds > 0", environ
+    )
+
+
+def resolve_retries(retries=None, environ=None):
+    """Retries per job: explicit > ``REPRO_RETRIES`` > ``DEFAULT_RETRIES``."""
+    if retries is not None:
+        retries = int(retries)
+        if retries < 0:
+            raise ReproError(f"retries must be >= 0, got {retries}")
+        return retries
+    value = _env_number(
+        "REPRO_RETRIES", int, lambda v: v >= 0, "an integer >= 0", environ
+    )
+    return DEFAULT_RETRIES if value is None else value
+
+
+def resolve_backoff(backoff=None, environ=None):
+    """Backoff base seconds: explicit > ``REPRO_RETRY_BACKOFF`` > default."""
+    if backoff is not None:
+        backoff = float(backoff)
+        if backoff < 0:
+            raise ReproError(f"backoff must be >= 0 seconds, got {backoff}")
+        return backoff
+    value = _env_number(
+        "REPRO_RETRY_BACKOFF", float, lambda v: v >= 0, "a number of seconds >= 0", environ
+    )
+    return DEFAULT_BACKOFF if value is None else value
 
 
 @dataclass(frozen=True)
@@ -87,6 +184,93 @@ class SuiteJob:
             raise ReproError(f"unknown job kind {self.kind!r}")
         if self.kind == "partition" and self.num_planes is None:
             raise ReproError("partition jobs need num_planes")
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """One failed attempt of one job, classified into the taxonomy.
+
+    ``index`` is the job's position in the submitted list (``-1`` for
+    failures not attributable to a job, e.g. corrupt checkpoint lines);
+    ``attempt`` is 1-based.
+    """
+
+    index: int
+    kind: str
+    attempt: int
+    message: str
+
+    def __post_init__(self):
+        if self.kind not in JOB_ERROR_KINDS:
+            raise ReproError(
+                f"unknown failure kind {self.kind!r}; expected one of {JOB_ERROR_KINDS}"
+            )
+
+
+class JobError(ReproError):
+    """Raised when at least one job exhausted its retries.
+
+    ``failures`` carries every recorded :class:`JobFailure` of the run
+    (including those of jobs that eventually recovered), so callers can
+    inspect the full history.
+    """
+
+    def __init__(self, message, failures=()):
+        super().__init__(message)
+        self.failures = tuple(failures)
+
+
+@dataclass
+class RunReport:
+    """Outcome summary of one :func:`run_jobs` call.
+
+    ``failures`` lists every failed attempt (recovered or not);
+    ``failed_jobs`` the indices that exhausted retries (empty on a
+    successful run — :func:`run_jobs` raises before returning
+    otherwise).
+    """
+
+    total: int = 0
+    executed: int = 0
+    from_checkpoint: int = 0
+    retries: int = 0
+    failures: list = field(default_factory=list)
+    failed_jobs: list = field(default_factory=list)
+    checkpoint_path: str = None
+    checkpoint_corrupt_lines: int = 0
+
+    def failure_counts(self):
+        """``{kind: count}`` over :attr:`failures`."""
+        counts = {}
+        for failure in self.failures:
+            counts[failure.kind] = counts.get(failure.kind, 0) + 1
+        return counts
+
+    def summary(self):
+        """One human line: totals, checkpoint reuse, retry/failure mix."""
+        parts = [f"{self.total} jobs"]
+        if self.from_checkpoint:
+            parts.append(f"{self.from_checkpoint} from checkpoint")
+        if self.retries:
+            mix = ", ".join(
+                f"{kind} x{count}" for kind, count in sorted(self.failure_counts().items())
+            )
+            parts.append(f"{self.retries} retried ({mix})")
+        if self.checkpoint_corrupt_lines:
+            parts.append(f"{self.checkpoint_corrupt_lines} corrupt checkpoint lines skipped")
+        if self.failed_jobs:
+            parts.append(f"{len(self.failed_jobs)} FAILED")
+        return "suite run: " + ", ".join(parts)
+
+
+#: The report of the most recent :func:`run_jobs` call in this process
+#: (successful or not); the CLI uses it to print a run summary.
+_LAST_REPORT = None
+
+
+def last_report():
+    """The :class:`RunReport` of the most recent run, or ``None``."""
+    return _LAST_REPORT
 
 
 def execute_job(job):
@@ -137,17 +321,305 @@ def execute_job(job):
     }
 
 
-def _worker_run(capture, job):
-    """Pool entry point: execute one job with a fresh obs window."""
+def validate_payload(job, payload):
+    """Why ``payload`` is structurally invalid for ``job``, or ``None``.
+
+    A worker returning garbage (bit-flip, fault injection, version
+    skew) must surface as an ``invalid-result`` failure — and be
+    retried — rather than crash the table assembly later.
+    """
+    if not isinstance(payload, dict):
+        return f"payload is {type(payload).__name__}, not a dict"
+    if payload.get("circuit") != job.circuit:
+        return f"payload circuit {payload.get('circuit')!r} != job circuit {job.circuit!r}"
+    report = payload.get("report")
+    if report is None:
+        return "payload has no report"
+    try:
+        labels = np.asarray(payload.get("labels"), dtype=np.intp)
+    except (TypeError, ValueError):
+        return "payload labels are not an integer array"
+    num_gates = getattr(report, "num_gates", None)
+    if labels.ndim != 1 or labels.shape[0] != num_gates:
+        return f"payload labels shape {labels.shape} does not match report gates {num_gates}"
+    if job.kind == "plan":
+        for name in ("k_lb", "k_res", "bias_lines_saved"):
+            if not isinstance(payload.get(name), (int, np.integer)):
+                return f"plan payload field {name!r} missing or not an integer"
+    return None
+
+
+def _classify_exception(exc):
+    """Map a worker exception onto the error taxonomy."""
+    if isinstance(exc, CacheCorruptError):
+        return "cache-corrupt"
+    return "crashed"
+
+
+def _worker_run(capture, plan, run_id, index, attempt, job):
+    """Pool entry point: execute one job attempt with a fresh obs window."""
     OBS.reset()
     if capture:
         OBS.enable()
+    kind = plan.fault_for(index, attempt) if plan is not None else None
+    if kind is not None and kind != "corrupt":
+        fault_mod.raise_fault(kind)
     payload = execute_job(job)
-    snap = OBS.snapshot() if capture else None
+    if kind == "corrupt":
+        payload = fault_mod.corrupt_payload(payload)
+    snap = OBS.snapshot(origin=f"{run_id}/job{index}/a{attempt}") if capture else None
     return payload, snap
 
 
-def run_jobs(job_list, jobs=None):
+def _shutdown_pool(pool, kill=False):
+    """Shut a pool down without waiting; optionally terminate its workers.
+
+    ``cancel_futures=True`` drops everything still queued, so a
+    ``KeyboardInterrupt`` (or a timeout teardown) never leaves orphaned
+    work behind; ``kill=True`` additionally terminates the worker
+    processes — the only way to stop a hung worker.
+    """
+    if not kill:
+        pool.shutdown(wait=True, cancel_futures=True)
+        return
+    # ProcessPoolExecutor offers no public kill switch; terminating the
+    # private process table is the accepted escape hatch for abandoning
+    # hung workers.  Grab it before shutdown() — which nulls the
+    # attribute — and the short join reaps them so no zombies linger.
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    for process in processes:
+        try:
+            process.join(timeout=5)
+        except Exception:
+            pass
+
+
+class _RunState:
+    """Mutable bookkeeping of one :func:`run_jobs` call."""
+
+    def __init__(self, job_list, retries, backoff, report):
+        self.job_list = job_list
+        self.retries = retries
+        self.backoff = backoff
+        self.report = report
+        self.results = {}      # index -> validated payload
+        self.snaps = {}        # index -> obs snapshot of the successful attempt
+        self.attempts = {}     # index -> failed-attempt count so far
+        self.keys = None       # index -> job key (when checkpointing)
+        self.checkpoint = None
+
+    def record_failure(self, index, kind, message):
+        """Charge one failed attempt; returns the backoff delay for a
+        retry, or ``None`` when the job just exhausted its retries."""
+        attempt = self.attempts.get(index, 0) + 1
+        self.attempts[index] = attempt
+        self.report.failures.append(
+            JobFailure(index=index, kind=kind, attempt=attempt, message=str(message))
+        )
+        if OBS.enabled:
+            OBS.metrics.counter(
+                "runner.failures." + kind.replace("-", "_")
+            ).inc()
+        if attempt <= self.retries:
+            self.report.retries += 1
+            if OBS.enabled:
+                OBS.metrics.counter("runner.retries").inc()
+            return self.backoff * (2.0 ** (attempt - 1))
+        self.report.failed_jobs.append(index)
+        return None
+
+    def accept(self, index, payload, snap=None):
+        """Record a validated payload (and checkpoint it)."""
+        self.results[index] = payload
+        if snap is not None:
+            self.snaps[index] = snap
+        self.report.executed += 1
+        if self.checkpoint is not None:
+            self.checkpoint.append(self.keys[index], payload)
+            if OBS.enabled:
+                OBS.metrics.counter("runner.checkpoint.appended").inc()
+
+    def next_attempt(self, index):
+        return self.attempts.get(index, 0) + 1
+
+
+def _run_inline(state, pending, plan):
+    """Sequential execution with the same retry/validation semantics.
+
+    Timeouts are not enforced inline (there is no second process to
+    watch the clock); an injected ``hang`` is recorded as a
+    ``timed-out`` failure without sleeping so inline fault tests stay
+    fast, and ``kill`` degrades to ``crash`` (hard-exiting the caller's
+    process would be worse than the fault being simulated).
+    """
+    for index in pending:
+        job = state.job_list[index]
+        while True:
+            attempt = state.next_attempt(index)
+            kind = plan.fault_for(index, attempt) if plan is not None else None
+            delay = None
+            if kind in ("hang",):
+                delay = state.record_failure(index, "timed-out", "injected hang (inline)")
+            else:
+                try:
+                    if kind in ("crash", "kill"):
+                        raise fault_mod.InjectedFault(f"injected {kind} (inline)")
+                    if kind == "interrupt":
+                        raise KeyboardInterrupt("injected interrupt")
+                    payload = execute_job(job)
+                    if kind == "corrupt":
+                        payload = fault_mod.corrupt_payload(payload)
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    delay = state.record_failure(index, _classify_exception(exc), exc)
+                else:
+                    reason = validate_payload(job, payload)
+                    if reason is None:
+                        state.accept(index, payload)
+                        break
+                    delay = state.record_failure(index, "invalid-result", reason)
+            if delay is None:
+                break  # retries exhausted; finalization raises
+            if delay > 0:
+                time.sleep(delay)
+
+
+def _run_pool(state, pending, max_workers, capture, timeout, plan):
+    """The fault-tolerant pool loop.
+
+    Invariants: with a per-job ``timeout``, at most ``max_workers``
+    futures are in flight, so a submitted job starts immediately and
+    its deadline is honest (without one, every due job is queued on the
+    executor up front and workers pull work with no per-job round-trip
+    through this loop); a failure charges exactly one attempt to
+    exactly one job, except for a broken pool, which charges every
+    in-flight job (the culprit is indistinguishable); innocent jobs
+    displaced by a teardown are resubmitted without being charged.
+    """
+    run_id = uuid.uuid4().hex
+    ready = deque((index, 0.0) for index in pending)  # (index, not-before)
+    in_flight = {}  # future -> (index, deadline or None)
+    pool = None
+
+    def ensure_pool():
+        nonlocal pool
+        if pool is None:
+            pool = ProcessPoolExecutor(max_workers=max_workers)
+        return pool
+
+    def kill_pool():
+        nonlocal pool
+        if pool is not None:
+            _shutdown_pool(pool, kill=True)
+            pool = None
+            if OBS.enabled:
+                OBS.metrics.counter("runner.pool_rebuilds").inc()
+
+    def schedule(index, delay):
+        if delay is not None:
+            ready.append((index, time.monotonic() + delay))
+
+    try:
+        while ready or in_flight:
+            now = time.monotonic()
+            # Submit every due job; the in-flight cap only exists to
+            # keep deadlines honest, so it only applies with a timeout.
+            deferred = deque()
+            while ready and (not timeout or len(in_flight) < max_workers):
+                index, not_before = ready.popleft()
+                if not_before > now:
+                    deferred.append((index, not_before))
+                    continue
+                job = state.job_list[index]
+                attempt = state.next_attempt(index)
+                future = ensure_pool().submit(
+                    _worker_run, capture, plan, run_id, index, attempt, job
+                )
+                in_flight[future] = (index, now + timeout if timeout else None)
+            ready.extendleft(reversed(deferred))
+
+            if not in_flight:
+                # Everything is waiting out a backoff delay.
+                wake = min(not_before for _, not_before in ready)
+                time.sleep(max(0.0, wake - time.monotonic()))
+                continue
+
+            wait_for = None
+            deadlines = [dl for _, dl in in_flight.values() if dl is not None]
+            if deadlines:
+                wait_for = max(0.0, min(deadlines) - time.monotonic())
+            if ready:
+                wake = max(0.0, min(nb for _, nb in ready) - time.monotonic())
+                wait_for = wake if wait_for is None else min(wait_for, wake)
+            done, _ = futures_wait(
+                set(in_flight), timeout=wait_for, return_when=FIRST_COMPLETED
+            )
+
+            pool_broken = False
+            for future in done:
+                index, _deadline = in_flight.pop(future)
+                job = state.job_list[index]
+                try:
+                    payload, snap = future.result()
+                except KeyboardInterrupt:
+                    raise
+                except BrokenProcessPool as exc:
+                    pool_broken = True
+                    schedule(index, state.record_failure(index, "crashed", exc))
+                except Exception as exc:
+                    schedule(index, state.record_failure(index, _classify_exception(exc), exc))
+                else:
+                    reason = validate_payload(job, payload)
+                    if reason is None:
+                        state.accept(index, payload, snap)
+                    else:
+                        schedule(index, state.record_failure(index, "invalid-result", reason))
+
+            if pool_broken:
+                # The surviving in-flight futures are doomed with the
+                # pool; resubmit them without charging an attempt.
+                for future, (index, _deadline) in in_flight.items():
+                    ready.append((index, 0.0))
+                in_flight.clear()
+                kill_pool()
+                continue
+
+            if timeout:
+                now = time.monotonic()
+                expired = [
+                    (future, index)
+                    for future, (index, deadline) in in_flight.items()
+                    if deadline is not None and deadline <= now
+                ]
+                if expired:
+                    expired_futures = {future for future, _ in expired}
+                    for future, index in expired:
+                        schedule(
+                            index,
+                            state.record_failure(
+                                index, "timed-out", f"no result within {timeout} s"
+                            ),
+                        )
+                    # Innocent bystanders ride along in the teardown.
+                    for future, (index, _deadline) in in_flight.items():
+                        if future not in expired_futures:
+                            ready.append((index, 0.0))
+                    in_flight.clear()
+                    kill_pool()
+    finally:
+        if pool is not None:
+            _shutdown_pool(pool, kill=bool(in_flight))
+
+
+def run_jobs(job_list, jobs=None, timeout=None, retries=None, backoff=None,
+             checkpoint=None, resume=False, fault_plan=None, return_report=False):
     """Execute jobs (inline or in a process pool); payloads in job order.
 
     With an effective worker count of 1 — or a single job — everything
@@ -155,24 +627,116 @@ def run_jobs(job_list, jobs=None):
     the live singleton.  Otherwise a ``ProcessPoolExecutor`` runs
     :func:`execute_job` per job and worker obs snapshots are merged into
     the parent registry in job-index order.
+
+    Parameters
+    ----------
+    jobs:
+        Worker count (``None``/0 = ``REPRO_JOBS`` env, else
+        ``min(cpus, 8)``).
+    timeout:
+        Per-job-attempt wall-clock limit in seconds (pool mode only;
+        default ``REPRO_JOB_TIMEOUT`` env, else unlimited).  A timed-out
+        attempt terminates the worker pool — the only way to stop a hung
+        worker — and resubmits the unaffected in-flight jobs without
+        charging them an attempt.
+    retries:
+        Failed attempts are retried up to this many times per job with
+        exponential backoff (``backoff * 2**(n-1)`` before the n-th
+        retry).  Default ``REPRO_RETRIES`` env, else 2.
+    checkpoint / resume:
+        Path of a JSONL checkpoint (:mod:`repro.harness.checkpoint`).
+        Completed payloads are appended as they arrive; with
+        ``resume=True`` previously completed jobs are loaded instead of
+        re-executed.  Rows are bitwise identical either way.
+    fault_plan:
+        A :class:`~repro.harness.faults.FaultPlan` for deterministic
+        fault injection (default: parsed from ``REPRO_FAULT``).
+    return_report:
+        When true, return ``(payloads, RunReport)`` instead of just the
+        payload list.  The report of the latest run is also available
+        via :func:`last_report`.
+
+    Raises
+    ------
+    JobError
+        When any job exhausted its retries; every completed payload is
+        still in the checkpoint (when one was given), so a rerun with
+        ``resume=True`` picks up from there.
     """
+    global _LAST_REPORT
     job_list = list(job_list)
     jobs = resolve_jobs(jobs)
+    timeout = resolve_timeout(timeout)
+    retries = resolve_retries(retries)
+    backoff = resolve_backoff(backoff)
+    if fault_plan is None:
+        fault_plan = fault_mod.plan_from_env()
+
+    report = RunReport(total=len(job_list), checkpoint_path=checkpoint)
+    _LAST_REPORT = report
+    state = _RunState(job_list, retries, backoff, report)
+
+    if checkpoint:
+        state.checkpoint = SuiteCheckpoint(checkpoint)
+        state.keys = [job_key(job) for job in job_list]
+        if resume:
+            stored = state.checkpoint.load()
+            report.checkpoint_corrupt_lines = state.checkpoint.corrupt_lines
+            if state.checkpoint.corrupt_lines:
+                for _ in range(state.checkpoint.corrupt_lines):
+                    report.failures.append(JobFailure(
+                        index=-1, kind="cache-corrupt", attempt=1,
+                        message="corrupt checkpoint line skipped",
+                    ))
+                if OBS.enabled:
+                    OBS.metrics.counter("runner.failures.cache_corrupt").inc(
+                        state.checkpoint.corrupt_lines
+                    )
+            for index, key in enumerate(state.keys):
+                if key in stored:
+                    payload = stored[key]
+                    if validate_payload(job_list[index], payload) is None:
+                        state.results[index] = payload
+                        report.from_checkpoint += 1
+            if OBS.enabled and report.from_checkpoint:
+                OBS.metrics.counter("runner.checkpoint.loaded").inc(report.from_checkpoint)
+
+    pending = [index for index in range(len(job_list)) if index not in state.results]
+
     if OBS.enabled:
         OBS.metrics.counter("runner.jobs_submitted").inc(len(job_list))
-        OBS.metrics.gauge("runner.workers").set(min(jobs, max(len(job_list), 1)))
-    if jobs == 1 or len(job_list) <= 1:
-        return [execute_job(job) for job in job_list]
+        OBS.metrics.gauge("runner.workers").set(min(jobs, max(len(pending), 1)))
 
-    capture = OBS.enabled
-    with OBS.trace.span("runner.pool", jobs=min(jobs, len(job_list)), items=len(job_list)):
-        with ProcessPoolExecutor(max_workers=min(jobs, len(job_list))) as pool:
-            # map() preserves submission order, so payloads line up with
-            # job_list and snapshots merge deterministically.
-            results = list(pool.map(partial(_worker_run, capture), job_list, chunksize=1))
-    payloads = []
-    for payload, snap in results:
-        payloads.append(payload)
-        if snap is not None:
-            merge_snapshot(snap)
-    return payloads
+    if pending:
+        if jobs == 1 or len(pending) <= 1:
+            _run_inline(state, pending, fault_plan)
+        else:
+            capture = OBS.enabled
+            max_workers = min(jobs, len(pending))
+            with OBS.trace.span("runner.pool", jobs=max_workers, items=len(pending)):
+                _run_pool(state, pending, max_workers, capture, timeout, fault_plan)
+
+    # Snapshots merge after the run, in job-index order, so parallel
+    # completion order never changes the aggregated metrics.
+    for index in sorted(state.snaps):
+        merge_snapshot(state.snaps[index])
+
+    if report.failed_jobs:
+        details = []
+        for index in sorted(set(report.failed_jobs)):
+            job_failures = [f for f in report.failures if f.index == index]
+            detail = (
+                f"job {index} ({job_list[index].circuit}): "
+                + ", ".join(f.kind for f in job_failures)
+            )
+            if job_failures and job_failures[-1].message:
+                detail += f" [{job_failures[-1].message}]"
+            details.append(detail)
+        raise JobError(
+            f"{len(set(report.failed_jobs))} of {len(job_list)} suite jobs failed "
+            f"after {retries} retries — " + "; ".join(details),
+            failures=report.failures,
+        )
+
+    payloads = [state.results[index] for index in range(len(job_list))]
+    return (payloads, report) if return_report else payloads

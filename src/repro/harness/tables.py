@@ -80,12 +80,15 @@ class Table3Row:
 # Table I — full suite at K = 5
 # ----------------------------------------------------------------------
 def run_table1(circuits=None, num_planes=5, config=None, seed=None, method="gradient",
-               refine=False, jobs=1):
+               refine=False, jobs=1, **run_opts):
     """Partition every suite circuit at K=5 and report Table I columns.
 
     ``jobs`` fans the per-circuit solves out over a process pool
     (``None`` = auto: ``REPRO_JOBS`` env, else ``min(cpus, 8)``); the
-    rows are bitwise-identical for every jobs value.
+    rows are bitwise-identical for every jobs value.  Extra keyword
+    arguments (``timeout``, ``retries``, ``backoff``, ``checkpoint``,
+    ``resume``, ``fault_plan``) pass through to
+    :func:`~repro.harness.runner.run_jobs`.
     """
     names = list(circuits or SUITE_NAMES)
     payloads = run_jobs(
@@ -97,6 +100,7 @@ def run_table1(circuits=None, num_planes=5, config=None, seed=None, method="grad
             for name in names
         ],
         jobs=jobs,
+        **run_opts,
     )
     return [
         Table1Row(report=payload["report"], paper=PAPER_TABLE1.get(name))
@@ -145,10 +149,11 @@ PAPER_TABLE2 = {
 
 
 def run_table2(circuit="KSA4", k_values=tuple(range(5, 11)), config=None, seed=None,
-               method="gradient", refine=False, jobs=1):
+               method="gradient", refine=False, jobs=1, **run_opts):
     """Sweep the plane count on one circuit (paper: KSA4, K = 5..10).
 
-    ``jobs`` parallelizes over the K values (see :func:`run_table1`).
+    ``jobs`` parallelizes over the K values (see :func:`run_table1`);
+    extra keyword arguments pass through to ``run_jobs``.
     """
     payloads = run_jobs(
         [
@@ -159,6 +164,7 @@ def run_table2(circuit="KSA4", k_values=tuple(range(5, 11)), config=None, seed=N
             for k in k_values
         ],
         jobs=jobs,
+        **run_opts,
     )
     return [payload["report"] for payload in payloads]
 
@@ -198,10 +204,12 @@ PAPER_TABLE3 = {
 TABLE3_CIRCUITS = tuple(name for name in SUITE_NAMES if name != "KSA4")
 
 
-def run_table3(circuits=None, bias_limit_ma=100.0, config=None, seed=None, jobs=1):
+def run_table3(circuits=None, bias_limit_ma=100.0, config=None, seed=None, jobs=1,
+               **run_opts):
     """Find K_res under the pad-current limit for each circuit.
 
-    ``jobs`` parallelizes over the circuits (see :func:`run_table1`).
+    ``jobs`` parallelizes over the circuits (see :func:`run_table1`);
+    extra keyword arguments pass through to ``run_jobs``.
     """
     names = list(circuits or TABLE3_CIRCUITS)
     payloads = run_jobs(
@@ -213,6 +221,7 @@ def run_table3(circuits=None, bias_limit_ma=100.0, config=None, seed=None, jobs=
             for name in names
         ],
         jobs=jobs,
+        **run_opts,
     )
     rows = []
     for name, payload in zip(names, payloads):

@@ -44,6 +44,14 @@ class SynthesisError(ReproError):
     unbalanced path that cannot be legalized, fanout bound violations)."""
 
 
+class CacheCorruptError(ReproError):
+    """Raised when a content-keyed artifact (cache entry, checkpoint
+    line) fails its checksum or schema validation.  The stores normally
+    self-heal — they drop the entry and regenerate — so this surfaces
+    only through the suite runner's error taxonomy (``cache-corrupt``)
+    and in tests."""
+
+
 class RecyclingError(ReproError):
     """Raised by the current-recycling planner (infeasible serial bias
     chain, coupling between non-adjacent planes, dummy sizing failure)."""

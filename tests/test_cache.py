@@ -254,3 +254,14 @@ def test_store_and_load_via_explicit_cache(tmp_path):
     loaded = load_cached_netlist(cache, key, library)
     assert loaded is not None
     assert np.array_equal(loaded.edge_array(), netlist.edge_array())
+
+
+def test_cache_key_canonicalizes_numpy_scalars():
+    # A width that arrives as np.int64 (e.g. from an array index or a
+    # sweep over np.arange) must hit the same disk entry as a plain int.
+    plain = cache_key("netlist", ["gen", {"width": 4}], {"opt": 1.5}, "h")
+    assert cache_key("netlist", ["gen", {"width": np.int64(4)}], {"opt": 1.5}, "h") == plain
+    assert cache_key("netlist", ["gen", {"width": 4}], {"opt": np.float64(1.5)}, "h") == plain
+    assert cache_key("netlist", ["gen", {"width": np.uint8(4)}], {"opt": 1.5}, "h") == plain
+    # ... while a genuinely different value still changes the key.
+    assert cache_key("netlist", ["gen", {"width": np.int64(5)}], {"opt": 1.5}, "h") != plain

@@ -208,3 +208,47 @@ def test_convergence_report_export(tmp_path, capsys):
                  "--output", str(csv_path), "--format", "csv"]) == 0
     header = csv_path.read_text().splitlines()[0]
     assert header.split(",")[:4] == ["run", "restart", "iteration", "f1"]
+
+
+# ----------------------------------------------------------------------
+# Robustness flags: --jobs/--timeout/--retries validation at the CLI edge
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("value", ["0", "-2", "x", "1.5"])
+def test_jobs_flag_rejects_non_positive_and_non_integer(value, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["table2", "--jobs", value])
+    assert excinfo.value.code == 2
+    assert "--jobs" in capsys.readouterr().err
+
+
+def test_repro_jobs_env_rejected_at_run_time(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_JOBS", "lots")
+    assert main(["table2", "--seed", "2"]) == 2
+    err = capsys.readouterr().err
+    assert "REPRO_JOBS" in err
+
+
+@pytest.mark.parametrize("flag,value", [("--timeout", "0"), ("--timeout", "-1"),
+                                        ("--timeout", "soon"), ("--retries", "-1"),
+                                        ("--retries", "2.5")])
+def test_timeout_and_retries_flags_validated(flag, value):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["table2", flag, value])
+    assert excinfo.value.code == 2
+
+
+def test_resume_requires_checkpoint(capsys):
+    assert main(["table2", "--seed", "2", "--resume"]) == 2
+    assert "--checkpoint" in capsys.readouterr().err
+
+
+def test_table2_checkpoint_and_resume(tmp_path, capsys):
+    cp = tmp_path / "t2.jsonl"
+    assert main(["table2", "--seed", "2", "--checkpoint", str(cp)]) == 0
+    first = capsys.readouterr().out
+    assert cp.exists() and cp.read_text().strip()
+    # Re-running with --resume reuses every row bit for bit.
+    assert main(["table2", "--seed", "2", "--checkpoint", str(cp), "--resume"]) == 0
+    captured = capsys.readouterr()
+    assert captured.out == first
+    assert "from checkpoint" in captured.err

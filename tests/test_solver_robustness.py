@@ -1,0 +1,194 @@
+"""Graceful-degradation tests for the solver engines: non-finite
+quarantine, deterministic reseeding, multilevel warm-start guards, and
+the balanced-rounding fallback."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.assignment import round_assignment, round_assignment_balanced
+from repro.core.config import PartitionConfig
+from repro.core.multilevel import minimize_assignment_multilevel
+from repro.core.optimizer import (
+    MAX_RESEEDS,
+    minimize_assignment,
+    minimize_assignment_batch,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.disable(reset=True)
+    yield
+    obs.disable(reset=True)
+
+
+def _ring_problem(num_gates=16, num_planes=3):
+    edges = np.array([[i, (i + 1) % num_gates] for i in range(num_gates)])
+    return edges, np.ones(num_gates), np.ones(num_gates)
+
+
+def _stack(num_restarts, num_gates, num_planes, seed=0):
+    rng = np.random.default_rng(seed)
+    stack = rng.random((num_restarts, num_gates, num_planes))
+    return stack / stack.sum(axis=2, keepdims=True)
+
+
+CFG = PartitionConfig(restarts=3, max_iterations=120)
+
+
+# ----------------------------------------------------------------------
+# Batched engine: reseed and quarantine
+# ----------------------------------------------------------------------
+def test_nan_restart_is_reseeded_and_batch_survives():
+    edges, bias, area = _ring_problem()
+    stack = _stack(3, 16, 3)
+    stack[1, 0, 0] = np.nan  # poisons restart 1's first evaluation
+    obs.enable()
+    traces = minimize_assignment_batch(3, edges, bias, area, CFG, w0=stack)
+    assert [t.reseeds for t in traces] == [0, 1, 0]
+    assert not any(t.quarantined for t in traces)
+    assert all(np.isfinite(t.w).all() for t in traces)
+    assert all(np.isfinite(t.cost_history).all() for t in traces)
+    metrics = obs.OBS.metrics.as_dict()
+    assert metrics["solver.nonfinite_detected"]["value"] == 1
+    assert metrics["solver.restarts_reseeded"]["value"] == 1
+
+
+def test_inf_gradient_restart_quarantines_after_reseeds():
+    # A NaN bias entry poisons *every* evaluation, so reseeds exhaust.
+    edges, bias, area = _ring_problem()
+    bias = bias.copy()
+    bias[3] = np.nan
+    obs.enable()
+    traces = minimize_assignment_batch(3, edges, bias, area, CFG, rngs=3)
+    assert all(t.reseeds == MAX_RESEEDS for t in traces)
+    assert all(t.quarantined for t in traces)
+    assert all(not t.converged for t in traces)
+    assert all(t.final_terms is None for t in traces)
+    # Quarantined restarts freeze on a finite uniform assignment, so
+    # downstream rounding cannot blow up.
+    assert all(np.isfinite(t.w).all() for t in traces)
+    metrics = obs.OBS.metrics.as_dict()
+    assert metrics["solver.restarts_quarantined"]["value"] == 3
+    assert metrics["solver.restarts_reseeded"]["value"] == 3 * MAX_RESEEDS
+
+
+def test_healthy_restarts_unaffected_by_poisoned_sibling():
+    edges, bias, area = _ring_problem()
+    clean = _stack(3, 16, 3)
+    poisoned = clean.copy()
+    poisoned[1] = np.nan
+    clean_traces = minimize_assignment_batch(3, edges, bias, area, CFG, w0=clean)
+    mixed_traces = minimize_assignment_batch(3, edges, bias, area, CFG, w0=poisoned)
+    for r in (0, 2):
+        assert np.array_equal(clean_traces[r].w, mixed_traces[r].w)
+        assert clean_traces[r].cost_history == mixed_traces[r].cost_history
+        assert clean_traces[r].iterations == mixed_traces[r].iterations
+
+
+@pytest.mark.filterwarnings("ignore:invalid value:RuntimeWarning")
+def test_reseeding_is_deterministic():
+    edges, bias, area = _ring_problem()
+    stack = _stack(3, 16, 3)
+    stack[2] = np.inf
+    a = minimize_assignment_batch(3, edges, bias, area, CFG, w0=stack.copy())
+    b = minimize_assignment_batch(3, edges, bias, area, CFG, w0=stack.copy())
+    assert np.array_equal(a[2].w, b[2].w)
+    assert a[2].cost_history == b[2].cost_history
+    assert a[2].reseeds == b[2].reseeds == 1
+
+
+def test_finite_path_records_no_recovery_metrics():
+    edges, bias, area = _ring_problem()
+    obs.enable()
+    traces = minimize_assignment_batch(3, edges, bias, area, CFG, rngs=3)
+    assert all(t.reseeds == 0 and not t.quarantined for t in traces)
+    metrics = obs.OBS.metrics.as_dict()
+    assert "solver.nonfinite_detected" not in metrics
+    assert "solver.restarts_reseeded" not in metrics
+
+
+# ----------------------------------------------------------------------
+# Loop engine guard
+# ----------------------------------------------------------------------
+@pytest.mark.filterwarnings("ignore:invalid value:RuntimeWarning")
+def test_loop_engine_stops_on_nonfinite_cost():
+    edges, bias, area = _ring_problem()
+    bias = bias.copy()
+    bias[0] = np.inf
+    obs.enable()
+    trace = minimize_assignment(3, edges, bias, area, CFG, rng=0)
+    assert trace.quarantined
+    assert not trace.converged
+    assert trace.iterations == 0  # stopped on the first poisoned evaluation
+    assert obs.OBS.metrics.as_dict()["solver.nonfinite_detected"]["value"] == 1
+
+
+# ----------------------------------------------------------------------
+# Multilevel warm-start guard
+# ----------------------------------------------------------------------
+def test_multilevel_reseeds_nonfinite_prolongated_stack(monkeypatch):
+    from repro.core import multilevel as ml
+
+    edges, bias, area = _ring_problem(200, 3)
+    config = PartitionConfig(restarts=2, max_iterations=60,
+                             multilevel_coarsest_nodes=40)
+
+    real_batch = ml.minimize_assignment_batch
+    calls = {"n": 0}
+
+    def poisoning_batch(*args, **kwargs):
+        calls["n"] += 1
+        traces = real_batch(*args, **kwargs)
+        if calls["n"] == 1:  # the coarse solve: poison restart 0's w
+            traces[0].w = np.full_like(traces[0].w, np.nan)
+        return traces
+
+    monkeypatch.setattr(ml, "minimize_assignment_batch", poisoning_batch)
+    obs.enable()
+    traces = minimize_assignment_multilevel(3, edges, bias, area, config, rngs=2)
+    assert calls["n"] == 2  # coarse + fine (coarsening actually happened)
+    assert all(np.isfinite(t.w).all() for t in traces)
+    metrics = obs.OBS.metrics.as_dict()
+    assert metrics["multilevel.stack_reseeded"]["value"] == 1
+
+
+# ----------------------------------------------------------------------
+# Balanced rounding fallback
+# ----------------------------------------------------------------------
+def test_balanced_rounding_falls_back_when_one_gate_dominates():
+    # Gate 0 carries more bias than a whole plane's budget: the capacity
+    # walk is meaningless, so plain argmax rounding must take over.
+    w = np.tile([0.8, 0.1, 0.1], (6, 1))
+    bias = np.array([100.0, 1.0, 1.0, 1.0, 1.0, 1.0])
+    obs.enable()
+    labels = round_assignment_balanced(w, bias, slack=0.02)
+    assert np.array_equal(labels, round_assignment(w))
+    assert obs.OBS.metrics.as_dict()["rounding.balanced_fallback"]["value"] == 1
+
+
+def test_balanced_rounding_fallback_respects_pinned():
+    w = np.tile([0.8, 0.1, 0.1], (6, 1))
+    bias = np.array([100.0, 1.0, 1.0, 1.0, 1.0, 1.0])
+    labels = round_assignment_balanced(w, bias, slack=0.02, pinned={2: 1})
+    assert labels[2] == 1
+    assert labels[0] == 0
+
+
+def test_balanced_rounding_falls_back_on_nonfinite_bias():
+    w = np.tile([0.6, 0.2, 0.2], (4, 1))
+    bias = np.array([1.0, np.nan, 1.0, 1.0])
+    obs.enable()
+    labels = round_assignment_balanced(w, bias, slack=0.02)
+    assert np.array_equal(labels, round_assignment(w))
+    assert obs.OBS.metrics.as_dict()["rounding.balanced_fallback"]["value"] == 1
+
+
+def test_balanced_rounding_unchanged_on_feasible_inputs():
+    rng = np.random.default_rng(5)
+    w = rng.dirichlet(np.ones(4), size=40)
+    bias = rng.uniform(0.5, 1.5, size=40)
+    obs.enable()
+    round_assignment_balanced(w, bias, slack=0.05)
+    assert "rounding.balanced_fallback" not in obs.OBS.metrics.as_dict()

@@ -1,0 +1,266 @@
+#!/usr/bin/env python
+"""Partitioning-service benchmark: concurrent clients vs one server.
+
+Boots a real :mod:`repro.service` HTTP server (ephemeral port, private
+temporary result store) and drives it with 1, 4 and 16 concurrent
+clients, measuring two scenarios per concurrency level:
+
+* **solve** — every request is unique (distinct seeds), so each one
+  runs a real partition through the worker pool.  Reports end-to-end
+  throughput and per-request latency percentiles.
+* **cached** — every client repeats one identical request, so after the
+  first solve the content-keyed result store answers everything.
+  Reports the same figures plus the store hit count; the acceptance
+  check asserts the cached scenario is faster than the solve scenario
+  and that every response is bitwise-identical to a local run.
+
+Results go to ``BENCH_service.json``.  Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_service.py
+    PYTHONPATH=src python benchmarks/perf/bench_service.py --quick
+
+``--quick`` is the CI smoke mode: the smallest suite circuit and fewer
+requests — it proves the server, queue, store and client plumbing under
+concurrency, not absolute numbers.
+"""
+
+import argparse
+import json
+import os
+import platform
+import shutil
+import statistics
+import sys
+import tempfile
+import threading
+import time
+
+import numpy as np
+
+DEFAULT_OUTPUT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_service.json"
+)
+CONCURRENCY_LEVELS = (1, 4, 16)
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _drive(client_factory, concurrency, bodies_per_client):
+    """Run one scenario; returns (wall_s, latencies, failures).
+
+    ``bodies_per_client(worker_index)`` yields the request bodies one
+    client thread submits sequentially (each waits for completion —
+    closed-loop load, the standard service-benchmark shape).
+    """
+    latencies = []
+    failures = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(concurrency + 1)
+
+    def worker(index):
+        client = client_factory()
+        bodies = bodies_per_client(index)
+        barrier.wait()
+        for body in bodies:
+            start = time.perf_counter()
+            try:
+                payload = client.partition(body, timeout=600.0)
+            except Exception as error:  # noqa: BLE001 - recorded, not raised
+                with lock:
+                    failures.append(str(error))
+                continue
+            elapsed = time.perf_counter() - start
+            with lock:
+                latencies.append((elapsed, body, payload))
+
+    threads = [
+        threading.Thread(target=worker, args=(index,), daemon=True)
+        for index in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    return wall, latencies, failures
+
+
+def bench_level(server, concurrency, requests_per_client, base_request):
+    """One concurrency level: the solve scenario then the cached one."""
+    from repro.service.client import ServiceClient
+
+    def client_factory():
+        return ServiceClient(server.url, timeout=120.0)
+
+    # -- solve: all-unique seeds, every request is a real partition ----
+    def unique_bodies(index):
+        return [
+            dict(base_request, seed=10_000 + concurrency * 1000
+                 + index * requests_per_client + i)
+            for i in range(requests_per_client)
+        ]
+
+    solve_wall, solve_done, solve_failures = _drive(
+        client_factory, concurrency, unique_bodies
+    )
+
+    # -- cached: one identical request, the store answers the repeats --
+    cached_request = dict(base_request, seed=4242)
+    before_hits = server.service.store.snapshot_stats()["hits"]
+
+    def repeated_bodies(_index):
+        return [dict(cached_request) for _ in range(requests_per_client)]
+
+    cached_wall, cached_done, cached_failures = _drive(
+        client_factory, concurrency, repeated_bodies
+    )
+    store_hits = server.service.store.snapshot_stats()["hits"] - before_hits
+
+    def stats(wall, done, total):
+        samples = [entry[0] for entry in done]
+        return {
+            "requests": total,
+            "completed": len(done),
+            "wall_s": round(wall, 4),
+            "throughput_rps": round(len(done) / wall, 3) if wall > 0 else 0.0,
+            "latency_mean_s": round(statistics.mean(samples), 4) if samples else 0.0,
+            "latency_p50_s": round(_percentile(samples, 0.50), 4),
+            "latency_p95_s": round(_percentile(samples, 0.95), 4),
+            "latency_max_s": round(max(samples), 4) if samples else 0.0,
+        }
+
+    total = concurrency * requests_per_client
+    # Bitwise check: every cached-scenario response equals the local solve.
+    from repro.harness.runner import execute_job
+    from repro.service.api import request_to_job, validate_request
+
+    local = execute_job(request_to_job(validate_request(cached_request)))
+    identical = all(
+        np.array_equal(payload["labels"], local["labels"])
+        for _elapsed, _body, payload in cached_done
+    )
+
+    level = {
+        "concurrency": concurrency,
+        "requests_per_client": requests_per_client,
+        "solve": stats(solve_wall, solve_done, total),
+        "cached": stats(cached_wall, cached_done, total),
+        "store_hits": store_hits,
+        "failures": solve_failures + cached_failures,
+        "cached_bitwise_identical": identical,
+        "cached_faster": cached_wall < solve_wall,
+    }
+    print(
+        f"clients {concurrency:>2}: solve {level['solve']['throughput_rps']:7.2f} rps "
+        f"(p95 {level['solve']['latency_p95_s'] * 1e3:7.1f} ms)   "
+        f"cached {level['cached']['throughput_rps']:7.2f} rps "
+        f"(p95 {level['cached']['latency_p95_s'] * 1e3:7.1f} ms)   "
+        f"store hits {store_hits}   identical={identical}"
+    )
+    return level
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--circuit", default="KSA8")
+    parser.add_argument("--planes", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=8,
+                        help="requests per client per scenario")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="service worker threads (default min(cpus, 4))")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: smallest circuit, 2 requests per client")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.circuit = "KSA4"
+        args.planes = 3
+        args.requests = 2
+
+    # Isolate from the user's real artifact cache (netlist synthesis AND
+    # the service result store both live under REPRO_CACHE_DIR).
+    bench_cache = tempfile.mkdtemp(prefix="repro-bench-service-")
+    saved = {k: os.environ.get(k) for k in ("REPRO_CACHE_DIR", "REPRO_CACHE")}
+    os.environ["REPRO_CACHE_DIR"] = bench_cache
+    os.environ.pop("REPRO_CACHE", None)
+
+    from repro.cache import reset_default_cache
+    from repro.service.server import build_server
+    from repro.service.store import ResultStore
+
+    reset_default_cache()
+    base_request = {"circuit": args.circuit, "num_planes": args.planes}
+    levels = []
+    try:
+        server = build_server(
+            host="127.0.0.1", port=0,
+            workers=args.workers,
+            queue_size=max(64, 16 * args.requests),
+            store=ResultStore(root=bench_cache, enabled=True),
+        )
+        serve_thread = threading.Thread(target=server.serve_forever, daemon=True)
+        serve_thread.start()
+        print(f"benchmarking {server.url}  circuit={args.circuit} "
+              f"K={args.planes}  workers={server.service.manager.workers}")
+        try:
+            for concurrency in CONCURRENCY_LEVELS:
+                levels.append(
+                    bench_level(server, concurrency, args.requests, base_request)
+                )
+        finally:
+            server.shutdown()
+            server.server_close()
+            serve_thread.join(5)
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        shutil.rmtree(bench_cache, ignore_errors=True)
+        reset_default_cache()
+
+    report = {
+        "meta": {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+            "quick": args.quick,
+            "circuit": args.circuit,
+            "planes": args.planes,
+            "requests_per_client": args.requests,
+            "concurrency_levels": list(CONCURRENCY_LEVELS),
+        },
+        "levels": levels,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"\n-> {args.output}")
+
+    ok = all(
+        not level["failures"]
+        and level["cached_bitwise_identical"]
+        and level["solve"]["completed"] == level["solve"]["requests"]
+        and level["cached"]["completed"] == level["cached"]["requests"]
+        for level in levels
+    ) and any(level["cached_faster"] for level in levels)
+    if not ok:
+        print("ERROR: acceptance criteria not met", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

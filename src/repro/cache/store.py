@@ -31,6 +31,7 @@ import uuid
 
 import numpy as np
 
+from repro import envcfg
 from repro.obs import OBS
 
 #: Version of the on-disk entry layout *and* of the artifact-producing
@@ -39,18 +40,15 @@ from repro.obs import OBS
 #: replayed into newer code.
 CACHE_SCHEMA_VERSION = 1
 
-_DISABLED_VALUES = {"0", "off", "false", "no"}
-
 
 def cache_enabled(environ=None):
     """Whether the on-disk cache is globally enabled (``REPRO_CACHE``)."""
-    value = (environ if environ is not None else os.environ).get("REPRO_CACHE", "").strip()
-    return value.lower() not in _DISABLED_VALUES
+    return not envcfg.flag_disabled("REPRO_CACHE", environ)
 
 
 def default_cache_root(environ=None):
     """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-gpp``."""
-    env = (environ if environ is not None else os.environ).get("REPRO_CACHE_DIR", "").strip()
+    env = envcfg.raw("REPRO_CACHE_DIR", environ)
     if env:
         return env
     return os.path.join(os.path.expanduser("~"), ".cache", "repro-gpp")

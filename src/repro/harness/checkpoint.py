@@ -59,22 +59,26 @@ def job_key(job):
     config = job.config
     if dataclasses.is_dataclass(config) and not isinstance(config, type):
         config = dataclasses.asdict(config)
-    blob = json.dumps(
-        canonical_jsonable(
-            {
-                "v": CHECKPOINT_SCHEMA_VERSION,
-                "kind": job.kind,
-                "circuit": job.circuit,
-                "num_planes": job.num_planes,
-                "method": job.method,
-                "seed": job.seed,
-                "config": config,
-                "refine": job.refine,
-                "bias_limit_ma": job.bias_limit_ma,
-            }
-        ),
-        sort_keys=True,
-    ).encode()
+    fields = {
+        "v": CHECKPOINT_SCHEMA_VERSION,
+        "kind": job.kind,
+        "circuit": job.circuit,
+        "num_planes": job.num_planes,
+        "method": job.method,
+        "seed": job.seed,
+        "config": config,
+        "refine": job.refine,
+        "bias_limit_ma": job.bias_limit_ma,
+    }
+    # Only present when set, so keys of classic suite jobs are unchanged
+    # across the schema's life (old checkpoints stay resumable).
+    netlist_json = getattr(job, "netlist_json", None)
+    if netlist_json is not None:
+        fields["netlist"] = netlist_json
+    pinned = getattr(job, "pinned", None)
+    if pinned:
+        fields["pinned"] = pinned
+    blob = json.dumps(canonical_jsonable(fields), sort_keys=True).encode()
     return hashlib.sha256(blob).hexdigest()
 
 

@@ -288,6 +288,15 @@ def _cmd_cache(args):
         print(f"cache cleared: {removed} entries removed from {cache.path}")
         return 0
     info = cache.info()
+    if getattr(args, "json", False):
+        import json
+
+        from repro.service.api import schema_versions
+
+        info = dict(info)
+        info["versions"] = schema_versions()
+        print(json.dumps(info, indent=2))
+        return 0
     rows = [
         ["path", info["path"]],
         ["enabled", "yes" if info["enabled"] else "no (REPRO_CACHE=0)"],
@@ -299,6 +308,36 @@ def _cmd_cache(args):
     for event, count in sorted(info["stats"].items()):
         rows.append([f"session {event}", count])
     print(ascii_table(["field", "value"], rows, title="on-disk artifact cache"))
+    return 0
+
+
+def _cmd_version(args):
+    from repro.service.api import schema_versions
+
+    versions = schema_versions()
+    if getattr(args, "json", False):
+        import json
+
+        print(json.dumps(versions, indent=2))
+        return 0
+    rows = [[name, str(value)] for name, value in versions.items()]
+    print(ascii_table(["component", "version"], rows, title="repro-gpp versions"))
+    return 0
+
+
+def _cmd_serve(args):
+    from repro.service.server import serve
+
+    serve(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        timeout=args.timeout,
+        retries=args.retries,
+        isolation=args.isolation,
+        verbose=args.verbose,
+    )
     return 0
 
 
@@ -535,6 +574,53 @@ def build_parser():
         "never anything else under the root.",
     )
     cache_parser.add_argument("action", choices=("info", "clear"), help="what to do")
+    cache_parser.add_argument(
+        "--json", action="store_true",
+        help="emit 'info' as JSON (includes every data-format schema version)",
+    )
+
+    version_parser = subparsers.add_parser(
+        "version", help="package version and data-format schema versions"
+    )
+    version_parser.add_argument("--json", action="store_true", help="emit as JSON")
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the partitioning HTTP service",
+        epilog="Environment: REPRO_SERVICE_HOST/PORT/WORKERS/QUEUE/"
+        "RETRY_AFTER/STORE/ISOLATION configure the service (flags win); "
+        "see docs/service.md for the API and the full knob table.",
+    )
+    serve_parser.add_argument("--host", default=None, help="bind address (default 127.0.0.1)")
+    serve_parser.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port (default 8731; 0 = pick a free port)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="job-executing worker threads (default min(cpus, 4))",
+    )
+    serve_parser.add_argument(
+        "--queue-size", type=int, default=None,
+        help="max queued jobs before 429 backpressure (default 64)",
+    )
+    serve_parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-job-attempt wall-clock limit in seconds "
+        "(enforced in --isolation process mode)",
+    )
+    serve_parser.add_argument(
+        "--retries", type=int, default=None,
+        help="retries per failed job (default REPRO_RETRIES, else 2)",
+    )
+    serve_parser.add_argument(
+        "--isolation", choices=("inline", "process"), default=None,
+        help="run solves in the worker thread (inline) or a worker "
+        "process (crash isolation + hard deadlines)",
+    )
+    serve_parser.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
 
     figure1_parser = subparsers.add_parser("figure1", help="render the Fig. 1 floorplan")
     figure1_parser.add_argument("circuit", nargs="?", default="KSA4")
@@ -580,6 +666,8 @@ _COMMANDS = {
     "table2": _cmd_table2,
     "table3": _cmd_table3,
     "cache": _cmd_cache,
+    "version": _cmd_version,
+    "serve": _cmd_serve,
     "figure1": _cmd_figure1,
     "convergence": _cmd_convergence,
     "convergence-report": _cmd_convergence_report,

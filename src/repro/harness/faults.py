@@ -41,6 +41,7 @@ import re
 import time
 from dataclasses import dataclass
 
+from repro import envcfg
 from repro.utils.errors import ReproError
 
 #: Recognized fault kinds (``timeout`` is accepted as an alias of ``hang``).
@@ -114,7 +115,7 @@ class FaultPlan:
 
 def plan_from_env(environ=None):
     """The :class:`FaultPlan` described by ``REPRO_FAULT``, or ``None``."""
-    value = (environ if environ is not None else os.environ).get("REPRO_FAULT", "").strip()
+    value = envcfg.raw("REPRO_FAULT", environ)
     if not value:
         return None
     plan = FaultPlan.parse(value)
@@ -123,9 +124,7 @@ def plan_from_env(environ=None):
 
 def hang_seconds(environ=None):
     """Sleep length of an injected hang (``REPRO_FAULT_HANG_SECONDS``)."""
-    value = (environ if environ is not None else os.environ).get(
-        "REPRO_FAULT_HANG_SECONDS", ""
-    ).strip()
+    value = envcfg.raw("REPRO_FAULT_HANG_SECONDS", environ)
     if not value:
         return DEFAULT_HANG_SECONDS
     try:

@@ -62,6 +62,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import envcfg
 from repro.harness import faults as fault_mod
 from repro.harness.checkpoint import SuiteCheckpoint, job_key
 from repro.obs import OBS, merge_snapshot
@@ -89,37 +90,14 @@ def resolve_jobs(jobs=None, environ=None):
     variable, then falls back to ``min(os.cpu_count(), 8)``.
     """
     if jobs in (None, 0):
-        value = (environ if environ is not None else os.environ).get(
-            "REPRO_JOBS", ""
-        ).strip()
-        if value:
-            try:
-                jobs = int(value)
-            except ValueError:
-                raise ReproError(
-                    f"REPRO_JOBS must be an integer >= 1, got {value!r}"
-                ) from None
-            if jobs < 1:
-                raise ReproError(f"REPRO_JOBS must be an integer >= 1, got {value!r}")
-        else:
-            jobs = min(os.cpu_count() or 1, DEFAULT_MAX_JOBS)
+        value = envcfg.number(
+            "REPRO_JOBS", int, lambda v: v >= 1, "an integer >= 1", environ
+        )
+        jobs = value if value is not None else min(os.cpu_count() or 1, DEFAULT_MAX_JOBS)
     jobs = int(jobs)
     if jobs < 1:
         raise ReproError(f"jobs must be >= 1, got {jobs}")
     return jobs
-
-
-def _env_number(name, parse, check, message, environ=None):
-    value = (environ if environ is not None else os.environ).get(name, "").strip()
-    if not value:
-        return None
-    try:
-        parsed = parse(value)
-    except ValueError:
-        raise ReproError(f"{name} must be {message}, got {value!r}") from None
-    if not check(parsed):
-        raise ReproError(f"{name} must be {message}, got {value!r}")
-    return parsed
 
 
 def resolve_timeout(timeout=None, environ=None):
@@ -129,7 +107,7 @@ def resolve_timeout(timeout=None, environ=None):
         if not timeout > 0:
             raise ReproError(f"timeout must be > 0 seconds, got {timeout}")
         return timeout
-    return _env_number(
+    return envcfg.number(
         "REPRO_JOB_TIMEOUT", float, lambda v: v > 0, "a number of seconds > 0", environ
     )
 
@@ -141,7 +119,7 @@ def resolve_retries(retries=None, environ=None):
         if retries < 0:
             raise ReproError(f"retries must be >= 0, got {retries}")
         return retries
-    value = _env_number(
+    value = envcfg.number(
         "REPRO_RETRIES", int, lambda v: v >= 0, "an integer >= 0", environ
     )
     return DEFAULT_RETRIES if value is None else value
@@ -154,7 +132,7 @@ def resolve_backoff(backoff=None, environ=None):
         if backoff < 0:
             raise ReproError(f"backoff must be >= 0 seconds, got {backoff}")
         return backoff
-    value = _env_number(
+    value = envcfg.number(
         "REPRO_RETRY_BACKOFF", float, lambda v: v >= 0, "a number of seconds >= 0", environ
     )
     return DEFAULT_BACKOFF if value is None else value
@@ -168,6 +146,17 @@ class SuiteJob:
     planes with ``method`` (the table1/table2 item);
     ``kind="plan"`` searches the smallest feasible K under
     ``bias_limit_ma`` (the table3 item).
+
+    ``circuit`` normally names a suite generator (resolved through
+    :func:`repro.circuits.suite.build_circuit`); a job may instead carry
+    a whole serialized netlist in ``netlist_json`` (the
+    :func:`repro.netlist.serialize.netlist_to_dict` form, rebuilt
+    against the default library) — the partitioning service uses this
+    for inline-netlist submissions.  ``circuit`` must then equal the
+    serialized netlist's name.
+
+    ``pinned`` optionally maps gate names to plane indices (hard
+    constraints; gradient method only).
     """
 
     kind: str
@@ -178,12 +167,22 @@ class SuiteJob:
     config: object = None
     refine: bool = False
     bias_limit_ma: float = 100.0
+    netlist_json: object = None
+    pinned: object = None
 
     def __post_init__(self):
         if self.kind not in ("partition", "plan"):
             raise ReproError(f"unknown job kind {self.kind!r}")
         if self.kind == "partition" and self.num_planes is None:
             raise ReproError("partition jobs need num_planes")
+        if self.pinned is not None and self.kind != "partition":
+            raise ReproError("pinned gates only apply to partition jobs")
+        if self.netlist_json is not None:
+            name = self.netlist_json.get("name") if isinstance(self.netlist_json, dict) else None
+            if name != self.circuit:
+                raise ReproError(
+                    f"job circuit {self.circuit!r} != inline netlist name {name!r}"
+                )
 
 
 @dataclass(frozen=True)
@@ -285,7 +284,13 @@ def execute_job(job):
     from repro.circuits.suite import build_circuit
     from repro.metrics.report import evaluate_partition
 
-    netlist = build_circuit(job.circuit)
+    if job.netlist_json is not None:
+        from repro.netlist.library import default_library
+        from repro.netlist.serialize import netlist_from_dict
+
+        netlist = netlist_from_dict(job.netlist_json, default_library())
+    else:
+        netlist = build_circuit(job.circuit)
     if job.kind == "plan":
         from repro.core.planner import plan_bias_limited
 
@@ -313,6 +318,7 @@ def execute_job(job):
         config=job.config,
         seed=job.seed,
         refine=job.refine,
+        pinned=job.pinned,
     )
     return {
         "circuit": job.circuit,
@@ -619,7 +625,8 @@ def _run_pool(state, pending, max_workers, capture, timeout, plan):
 
 
 def run_jobs(job_list, jobs=None, timeout=None, retries=None, backoff=None,
-             checkpoint=None, resume=False, fault_plan=None, return_report=False):
+             checkpoint=None, resume=False, fault_plan=None, return_report=False,
+             force_pool=False):
     """Execute jobs (inline or in a process pool); payloads in job order.
 
     With an effective worker count of 1 — or a single job — everything
@@ -655,6 +662,12 @@ def run_jobs(job_list, jobs=None, timeout=None, retries=None, backoff=None,
         When true, return ``(payloads, RunReport)`` instead of just the
         payload list.  The report of the latest run is also available
         via :func:`last_report`.
+    force_pool:
+        Run through the process pool even for a single job / single
+        worker.  The pool path is what provides crash isolation and
+        enforceable per-job deadlines (a hung inline job cannot be
+        interrupted), so the partitioning service uses this for its
+        ``REPRO_SERVICE_ISOLATION=process`` mode.
 
     Raises
     ------
@@ -708,11 +721,12 @@ def run_jobs(job_list, jobs=None, timeout=None, retries=None, backoff=None,
         OBS.metrics.gauge("runner.workers").set(min(jobs, max(len(pending), 1)))
 
     if pending:
-        if jobs == 1 or len(pending) <= 1:
+        use_pool = force_pool or (jobs > 1 and len(pending) > 1)
+        if not use_pool:
             _run_inline(state, pending, fault_plan)
         else:
             capture = OBS.enabled
-            max_workers = min(jobs, len(pending))
+            max_workers = max(1, min(jobs, len(pending)))
             with OBS.trace.span("runner.pool", jobs=max_workers, items=len(pending)):
                 _run_pool(state, pending, max_workers, capture, timeout, fault_plan)
 

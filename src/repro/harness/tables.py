@@ -42,14 +42,22 @@ PARTITION_METHODS = {
 }
 
 
-def _partition_with(method, netlist, num_planes, config=None, seed=None, refine=False):
+def _partition_with(method, netlist, num_planes, config=None, seed=None, refine=False,
+                    pinned=None):
     try:
         runner = PARTITION_METHODS[method]
     except KeyError:
         raise ReproError(
             f"unknown partition method {method!r}; available: {sorted(PARTITION_METHODS)}"
         ) from None
-    result = runner(netlist, num_planes, config=config, seed=seed)
+    if pinned:
+        if method != "gradient":
+            raise ReproError(
+                f"pinned gates are only supported by the 'gradient' method, not {method!r}"
+            )
+        result = runner(netlist, num_planes, config=config, seed=seed, pinned=pinned)
+    else:
+        result = runner(netlist, num_planes, config=config, seed=seed)
     if refine:
         result = refine_greedy(result)
     return result

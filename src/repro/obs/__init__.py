@@ -42,6 +42,7 @@ import functools
 import os
 import uuid
 
+from repro import envcfg
 from repro.obs.export import read_trace_jsonl, write_telemetry_csv, write_trace_jsonl
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.telemetry import ITERATION_FIELDS, TRACE_SCHEMA_VERSION, SolverTelemetry
@@ -74,7 +75,7 @@ __all__ = [
     "write_telemetry_csv",
 ]
 
-_TRUTHY = {"1", "true", "yes", "on"}
+_TRUTHY = set(envcfg.TRUTHY_VALUES)
 
 
 class Observability:
@@ -233,7 +234,7 @@ def env_trace_path(environ=None):
     A bare truthy toggle (``1``/``true``/...) enables capture without
     naming a file, so this returns ``None`` for it.
     """
-    value = (environ if environ is not None else os.environ).get("REPRO_TRACE", "").strip()
+    value = envcfg.raw("REPRO_TRACE", environ)
     if not value or value == "0" or value.lower() in _TRUTHY:
         return None
     return value
@@ -242,7 +243,7 @@ def env_trace_path(environ=None):
 def apply_env(environ=None):
     """Honor ``REPRO_TRACE`` (see the module docstring); returns whether
     capture ended up enabled."""
-    value = (environ if environ is not None else os.environ).get("REPRO_TRACE", "").strip()
+    value = envcfg.raw("REPRO_TRACE", environ)
     if value and value != "0":
         OBS.enable()
         return True

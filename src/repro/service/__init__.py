@@ -1,0 +1,62 @@
+"""repro.service — partitioning-as-a-service.
+
+A long-running, dependency-free HTTP server that accepts partition and
+plan requests (suite circuits by name or whole serialized netlists),
+executes them through the fault-tolerant suite runner on a bounded
+worker pool, and serves results from a content-keyed store so repeated
+requests never re-solve.  See ``docs/service.md`` for the API and
+deployment knobs, and :mod:`repro.service.server` for the route table.
+
+Quick start::
+
+    repro-gpp serve --port 8731
+
+    from repro.service.client import ServiceClient
+    client = ServiceClient("http://127.0.0.1:8731")
+    payload = client.partition(
+        {"circuit": "KSA16", "num_planes": 4, "seed": 2020}
+    )
+    payload["labels"]          # numpy plane assignment, bitwise equal
+                               # to the same repro-gpp partition run
+"""
+
+from repro.service.api import (
+    SERVICE_API_VERSION,
+    request_key,
+    request_to_job,
+    schema_versions,
+    validate_request,
+)
+from repro.service.client import ServiceClient, ServiceHTTPError
+from repro.service.errors import (
+    BadRequestError,
+    ConflictError,
+    JobFailedError,
+    NotFoundError,
+    QueueFullError,
+    ServiceError,
+)
+from repro.service.jobs import JobManager
+from repro.service.server import PartitionService, build_server, serve
+from repro.service.store import ResultStore
+
+__all__ = [
+    "SERVICE_API_VERSION",
+    "schema_versions",
+    "validate_request",
+    "request_key",
+    "request_to_job",
+    "ServiceClient",
+    "ServiceHTTPError",
+    "ServiceError",
+    "BadRequestError",
+    "NotFoundError",
+    "ConflictError",
+    "QueueFullError",
+    "JobFailedError",
+    "JobManager",
+    "ResultStore",
+    "PartitionService",
+    "build_server",
+    "serve",
+]

@@ -1,0 +1,226 @@
+"""Request schema, validation and content keys of the service API.
+
+A partition request is a JSON object::
+
+    {
+      "kind":       "partition" | "plan",        # default "partition"
+      "circuit":    "KSA16",                     # suite generator name,
+      "netlist":    {...},                       #   OR a serialized netlist
+      "num_planes": 4,                           # required for "partition"
+      "method":     "gradient",                  # any PARTITION_METHODS key
+      "engine":     "batched",                   # gradient engines only
+      "seed":       0,                           # integer, default 0
+      "refine":     false,
+      "pinned":     {"gate name": plane, ...},   # gradient method only
+      "bias_limit_ma": 100.0                     # "plan" jobs only
+    }
+
+    exactly one of ``circuit`` / ``netlist`` must be present.
+
+Validation (:func:`validate_request`) normalizes this into a canonical
+dict; :func:`request_key` hashes the canonical form together with every
+schema version that could change the produced bytes, which makes the
+key safe to use as a result-store address; :func:`request_to_job`
+builds the *same* :class:`~repro.harness.runner.SuiteJob` the CLI
+builds, which is what makes a served result bitwise-identical to a
+local ``repro-gpp partition`` run.
+
+``seed`` must be an integer and defaults to 0 (no "give me whatever"
+mode): the result store deduplicates by content key, so every knob that
+influences the answer must be pinned by the request.
+"""
+
+import hashlib
+import json
+
+from repro import __version__
+from repro.cache.store import CACHE_SCHEMA_VERSION, canonical_jsonable
+from repro.circuits.suite import SUITE_NAMES
+from repro.core.config import ENGINES, PartitionConfig
+from repro.harness.checkpoint import CHECKPOINT_SCHEMA_VERSION
+from repro.netlist.serialize import NETLIST_FORMAT_VERSION
+from repro.obs import TRACE_SCHEMA_VERSION
+from repro.service.errors import BadRequestError
+
+#: Version of the request/response JSON shapes described above.
+SERVICE_API_VERSION = 1
+
+#: Request fields the validator recognizes; anything else is rejected
+#: (typos like "numplanes" must not silently fall back to a default and
+#: then dedup against the wrong result).
+REQUEST_FIELDS = (
+    "kind", "circuit", "netlist", "num_planes", "method", "engine",
+    "seed", "refine", "pinned", "bias_limit_ma",
+)
+
+JOB_KINDS = ("partition", "plan")
+
+
+def schema_versions():
+    """Every version stamp of the data formats this build speaks."""
+    return {
+        "package": __version__,
+        "api": SERVICE_API_VERSION,
+        "trace_schema": TRACE_SCHEMA_VERSION,
+        "cache_schema": CACHE_SCHEMA_VERSION,
+        "checkpoint_schema": CHECKPOINT_SCHEMA_VERSION,
+        "netlist_format": NETLIST_FORMAT_VERSION,
+    }
+
+
+def _methods():
+    # Deferred: repro.harness.tables imports the runner at module scope.
+    from repro.harness.tables import PARTITION_METHODS
+
+    return PARTITION_METHODS
+
+
+def validate_request(data):
+    """Normalize a request body into its canonical dict, or raise 400."""
+    if not isinstance(data, dict):
+        raise BadRequestError(f"request body must be a JSON object, got {type(data).__name__}")
+    unknown = sorted(set(data) - set(REQUEST_FIELDS))
+    if unknown:
+        raise BadRequestError(
+            f"unknown request field(s) {', '.join(unknown)}; "
+            f"recognized: {', '.join(REQUEST_FIELDS)}"
+        )
+
+    kind = data.get("kind", "partition")
+    if kind not in JOB_KINDS:
+        raise BadRequestError(f"kind must be one of {JOB_KINDS}, got {kind!r}")
+
+    circuit = data.get("circuit")
+    netlist = data.get("netlist")
+    if (circuit is None) == (netlist is None):
+        raise BadRequestError("exactly one of 'circuit' and 'netlist' is required")
+    if circuit is not None:
+        if circuit not in SUITE_NAMES:
+            raise BadRequestError(
+                f"unknown circuit {circuit!r}; available: {', '.join(SUITE_NAMES)}"
+            )
+    else:
+        if not isinstance(netlist, dict) or netlist.get("kind") != "netlist":
+            raise BadRequestError("'netlist' must be a serialized netlist object")
+        if netlist.get("format") != NETLIST_FORMAT_VERSION:
+            raise BadRequestError(
+                f"unsupported netlist format {netlist.get('format')!r} "
+                f"(this build reads {NETLIST_FORMAT_VERSION})"
+            )
+        if not isinstance(netlist.get("name"), str) or not netlist["name"]:
+            raise BadRequestError("serialized netlist must carry a non-empty 'name'")
+
+    method = data.get("method", "gradient")
+    if method not in _methods():
+        raise BadRequestError(
+            f"unknown method {method!r}; available: {sorted(_methods())}"
+        )
+
+    engine = data.get("engine", "batched")
+    if engine not in ENGINES:
+        raise BadRequestError(f"engine must be one of {ENGINES}, got {engine!r}")
+
+    seed = data.get("seed", 0)
+    if isinstance(seed, bool) or not isinstance(seed, int):
+        raise BadRequestError(
+            f"seed must be an integer (results are content-addressed), got {seed!r}"
+        )
+
+    refine = data.get("refine", False)
+    if not isinstance(refine, bool):
+        raise BadRequestError(f"refine must be a boolean, got {refine!r}")
+
+    normalized = {
+        "kind": kind,
+        "method": method,
+        "engine": engine,
+        "seed": seed,
+        "refine": refine,
+    }
+    if circuit is not None:
+        normalized["circuit"] = circuit
+    else:
+        normalized["netlist"] = netlist
+
+    if kind == "partition":
+        num_planes = data.get("num_planes")
+        if isinstance(num_planes, bool) or not isinstance(num_planes, int) or num_planes < 1:
+            raise BadRequestError(
+                f"num_planes must be an integer >= 1, got {num_planes!r}"
+            )
+        normalized["num_planes"] = num_planes
+    elif data.get("num_planes") is not None:
+        raise BadRequestError("num_planes does not apply to plan jobs (K is searched)")
+
+    pinned = data.get("pinned")
+    if pinned is not None:
+        if kind != "partition":
+            raise BadRequestError("pinned gates only apply to partition jobs")
+        if method != "gradient":
+            raise BadRequestError(
+                f"pinned gates are only supported by the 'gradient' method, not {method!r}"
+            )
+        if not isinstance(pinned, dict) or not pinned:
+            raise BadRequestError("pinned must be a non-empty object of gate -> plane")
+        for gate, plane in pinned.items():
+            if isinstance(plane, bool) or not isinstance(plane, int) or plane < 0:
+                raise BadRequestError(
+                    f"pinned plane for gate {gate!r} must be an integer >= 0, got {plane!r}"
+                )
+            if plane >= normalized["num_planes"]:
+                raise BadRequestError(
+                    f"pinned plane {plane} for gate {gate!r} out of range "
+                    f"for num_planes={normalized['num_planes']}"
+                )
+        normalized["pinned"] = {str(gate): int(plane) for gate, plane in pinned.items()}
+
+    if kind == "plan":
+        bias_limit = data.get("bias_limit_ma", 100.0)
+        if isinstance(bias_limit, bool) or not isinstance(bias_limit, (int, float)) \
+                or not bias_limit > 0:
+            raise BadRequestError(
+                f"bias_limit_ma must be a number > 0, got {bias_limit!r}"
+            )
+        normalized["bias_limit_ma"] = float(bias_limit)
+    elif data.get("bias_limit_ma") is not None:
+        raise BadRequestError("bias_limit_ma only applies to plan jobs")
+
+    return normalized
+
+
+def request_key(normalized):
+    """Content address of a validated request.
+
+    sha256 over the canonical request plus every schema version in
+    :func:`schema_versions` — any code change that could alter the
+    produced bytes bumps a version and thereby invalidates stored
+    results.
+    """
+    blob = json.dumps(
+        canonical_jsonable({"request": normalized, "versions": schema_versions()}),
+        sort_keys=True,
+    ).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def request_to_job(normalized):
+    """The :class:`~repro.harness.runner.SuiteJob` of a validated request.
+
+    Field-for-field identical to the job the CLI path builds for the
+    same inputs — the bitwise-parity guarantee lives here.
+    """
+    from repro.harness.runner import SuiteJob
+
+    netlist = normalized.get("netlist")
+    return SuiteJob(
+        kind=normalized["kind"],
+        circuit=normalized["circuit"] if netlist is None else netlist["name"],
+        num_planes=normalized.get("num_planes"),
+        method=normalized["method"],
+        seed=normalized["seed"],
+        config=PartitionConfig(engine=normalized["engine"]),
+        refine=normalized["refine"],
+        bias_limit_ma=normalized.get("bias_limit_ma", 100.0),
+        netlist_json=netlist,
+        pinned=normalized.get("pinned"),
+    )

@@ -1,0 +1,129 @@
+"""Stdlib HTTP client for the partitioning service.
+
+:class:`ServiceClient` speaks the JSON API of
+:mod:`repro.service.server` using only ``urllib`` — scripts, tests and
+the benchmark load generator all share it.  The high-level
+:meth:`ServiceClient.partition` submits, waits (honoring 429
+``Retry-After`` backpressure with capped retries) and returns the
+decoded payload dict with numpy labels restored — the same shape
+:func:`repro.harness.runner.execute_job` returns locally.
+"""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.harness.checkpoint import payload_from_jsonable
+from repro.service.errors import QueueFullError, ServiceError
+from repro.utils.errors import ReproError
+
+
+class ServiceHTTPError(ServiceError):
+    """A non-2xx response, carrying the decoded error body."""
+
+    def __init__(self, status, body):
+        self.status = status
+        self.body = body if isinstance(body, dict) else {}
+        message = self.body.get("message") or str(body)
+        super().__init__(f"HTTP {status}: {message}")
+
+
+class ServiceClient:
+    """Talk to one server at ``base_url`` (e.g. ``http://127.0.0.1:8731``)."""
+
+    def __init__(self, base_url, timeout=30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+    def _request(self, method, path, body=None):
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.status, json.loads(response.read() or b"{}")
+        except urllib.error.HTTPError as error:
+            try:
+                decoded = json.loads(error.read() or b"{}")
+            except ValueError:
+                decoded = {}
+            if error.code == 429:
+                retry_after = decoded.get("retry_after") \
+                    or error.headers.get("Retry-After") or 1
+                raise QueueFullError(
+                    decoded.get("message", "queue full"),
+                    retry_after=float(retry_after),
+                ) from None
+            raise ServiceHTTPError(error.code, decoded) from None
+        except urllib.error.URLError as error:
+            raise ReproError(
+                f"cannot reach service at {self.base_url}: {error.reason}"
+            ) from None
+
+    # -- raw API -------------------------------------------------------
+    def submit(self, request_body):
+        """POST the request; returns the job status dict (raises on 4xx/5xx)."""
+        _status, payload = self._request("POST", "/v1/jobs", request_body)
+        return payload
+
+    def status(self, job_id):
+        return self._request("GET", f"/v1/jobs/{job_id}")[1]
+
+    def result(self, job_id):
+        return self._request("GET", f"/v1/jobs/{job_id}/result")[1]
+
+    def cancel(self, job_id):
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel")[1]
+
+    def jobs(self):
+        return self._request("GET", "/v1/jobs")[1]["jobs"]
+
+    def health(self):
+        return self._request("GET", "/healthz")[1]
+
+    def metrics(self):
+        return self._request("GET", "/metrics")[1]
+
+    # -- high level ----------------------------------------------------
+    def submit_with_backpressure(self, request_body, max_attempts=20):
+        """Submit, sleeping out 429 responses up to ``max_attempts`` times."""
+        for attempt in range(max_attempts):
+            try:
+                return self.submit(request_body)
+            except QueueFullError as error:
+                if attempt == max_attempts - 1:
+                    raise
+                time.sleep(min(float(error.retry_after), 5.0))
+        raise AssertionError("unreachable")
+
+    def wait(self, job_id, timeout=300.0, poll_interval=0.05):
+        """Poll until the job finishes; returns its final status dict."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in ("done", "failed", "cancelled"):
+                return status
+            if time.monotonic() >= deadline:
+                raise ReproError(
+                    f"job {job_id} still {status['state']} after {timeout} s"
+                )
+            time.sleep(poll_interval)
+
+    def partition(self, request_body, timeout=300.0, max_attempts=20):
+        """Submit + wait + fetch; returns the decoded payload dict.
+
+        The returned dict has live numpy ``labels`` — the same shape a
+        local :func:`repro.harness.runner.execute_job` call returns, so
+        callers can diff the two bitwise.
+        """
+        job = self.submit_with_backpressure(request_body, max_attempts=max_attempts)
+        if job["state"] != "done":
+            self.wait(job["id"], timeout=timeout)
+        result = self.result(job["id"])
+        return payload_from_jsonable(result["result"])

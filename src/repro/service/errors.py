@@ -1,0 +1,60 @@
+"""Error taxonomy of the partitioning service.
+
+Every error maps to one HTTP status, so the server's translation layer
+is a single ``except ServiceError`` clause — see
+:meth:`ServiceError.status`.  All of them derive from
+:class:`~repro.utils.errors.ReproError`, keeping ``except ReproError``
+a valid catch-all throughout the codebase.
+"""
+
+from repro.utils.errors import ReproError
+
+
+class ServiceError(ReproError):
+    """Base class; concrete subclasses fix the HTTP status code."""
+
+    status = 500
+    code = "internal"
+
+
+class BadRequestError(ServiceError):
+    """The request body failed validation (HTTP 400)."""
+
+    status = 400
+    code = "bad-request"
+
+
+class NotFoundError(ServiceError):
+    """No such job / route (HTTP 404)."""
+
+    status = 404
+    code = "not-found"
+
+
+class ConflictError(ServiceError):
+    """The job exists but is not in a state the request needs (HTTP 409)."""
+
+    status = 409
+    code = "conflict"
+
+
+class QueueFullError(ServiceError):
+    """Backpressure: the bounded job queue is at capacity (HTTP 429).
+
+    ``retry_after`` is the whole-seconds hint advertised in the
+    ``Retry-After`` response header.
+    """
+
+    status = 429
+    code = "queue-full"
+
+    def __init__(self, message, retry_after=1):
+        super().__init__(message)
+        self.retry_after = max(1, int(retry_after))
+
+
+class JobFailedError(ServiceError):
+    """Fetching the result of a job whose execution failed (HTTP 500)."""
+
+    status = 500
+    code = "job-failed"

@@ -1,0 +1,330 @@
+"""Bounded job queue, worker pool and job lifecycle of the service.
+
+:class:`JobManager` owns everything between "request validated" and
+"payload available":
+
+* a bounded FIFO of admitted jobs — at capacity, :meth:`submit` raises
+  :class:`~repro.service.errors.QueueFullError` and the server answers
+  HTTP 429 with a ``Retry-After`` header (backpressure, never unbounded
+  memory);
+* in-flight dedup — a second request with the same content key while
+  the first is queued/running attaches to the existing job instead of
+  solving twice;
+* a result-store fast path — a stored payload turns the submit into an
+  immediately-``done`` job without touching the queue;
+* worker threads executing each job through the fault-tolerant
+  :func:`repro.harness.runner.run_jobs` path (retries + failure
+  taxonomy; ``isolation="process"`` additionally forces the process
+  pool for crash isolation and enforceable deadlines);
+* best-effort cancellation: a queued job is dropped before it runs, a
+  running job finishes (inline solves cannot be interrupted).
+
+Thread-safety: all job/queue state is guarded by one condition
+variable.  Solver observability (the process-wide ``OBS`` singleton) is
+not thread-safe, so when capture is enabled job execution is
+additionally serialized by a dedicated lock — trace capture costs
+concurrency, which is fine for its debugging use; with capture off
+(the default) workers run fully in parallel.
+"""
+
+import itertools
+import threading
+import time
+import uuid
+from collections import deque
+
+from repro.harness import faults as fault_mod
+from repro.harness.checkpoint import payload_to_jsonable
+from repro.harness.runner import run_jobs
+from repro.obs import OBS
+from repro.service.api import request_to_job
+from repro.service.errors import NotFoundError, QueueFullError
+from repro.utils.errors import ReproError
+
+#: Job lifecycle states.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: Finished jobs beyond this many are evicted oldest-first, so a
+#: long-running server's job table cannot grow without bound.
+MAX_FINISHED_JOBS = 1024
+
+
+class Job:
+    """One submitted request's lifecycle record."""
+
+    __slots__ = ("id", "key", "request", "state", "payload", "error",
+                 "submitted_at", "started_at", "finished_at", "cached",
+                 "cancel_requested", "done_event", "seq")
+
+    _seq = itertools.count()
+
+    def __init__(self, key, request):
+        self.id = uuid.uuid4().hex[:16]
+        self.key = key
+        self.request = request
+        self.state = "queued"
+        self.payload = None
+        self.error = None
+        self.submitted_at = time.time()
+        self.started_at = None
+        self.finished_at = None
+        self.cached = False
+        self.cancel_requested = False
+        self.done_event = threading.Event()
+        self.seq = next(Job._seq)
+
+    @property
+    def finished(self):
+        return self.state in ("done", "failed", "cancelled")
+
+    def to_dict(self):
+        """The status JSON of this job (no payload; see the result route)."""
+        out = {
+            "id": self.id,
+            "key": self.key,
+            "state": self.state,
+            "request": self.request,
+            "cached": self.cached,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+class JobManager:
+    """See the module docstring."""
+
+    def __init__(self, workers=1, queue_size=64, timeout=None, retries=None,
+                 backoff=None, isolation="inline", store=None, retry_after=1,
+                 fault_plan=None, metrics=None):
+        if workers < 1:
+            raise ReproError(f"workers must be >= 1, got {workers}")
+        if queue_size < 1:
+            raise ReproError(f"queue_size must be >= 1, got {queue_size}")
+        if isolation not in ("inline", "process"):
+            raise ReproError(
+                f"isolation must be 'inline' or 'process', got {isolation!r}"
+            )
+        self.workers = workers
+        self.queue_size = queue_size
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.isolation = isolation
+        self.store = store
+        self.retry_after = retry_after
+        self.fault_plan = fault_plan
+        self.metrics = metrics
+
+        self._cond = threading.Condition()
+        self._queue = deque()           # Jobs admitted but not yet running
+        self._jobs = {}                 # id -> Job (bounded; see _evict)
+        self._inflight = {}             # key -> queued/running Job
+        self._finished_order = deque()  # ids of finished jobs, oldest first
+        self._running = False
+        self._threads = []
+        self._obs_lock = threading.Lock()
+
+    # -- metrics -------------------------------------------------------
+    def _inc(self, name, amount=1):
+        if self.metrics is not None:
+            with self._cond:
+                self.metrics.counter(name).inc(amount)
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self):
+        with self._cond:
+            if self._running:
+                return self
+            self._running = True
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"repro-service-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self, timeout=5.0):
+        """Stop accepting work and join the worker threads.
+
+        Queued jobs are marked cancelled; a job already running finishes
+        (inline execution cannot be interrupted) but its worker exits
+        right after.
+        """
+        with self._cond:
+            self._running = False
+            while self._queue:
+                job = self._queue.popleft()
+                self._finish_locked(job, "cancelled",
+                                    error="server shutting down")
+            self._cond.notify_all()
+        deadline = time.time() + timeout
+        for thread in self._threads:
+            thread.join(max(0.0, deadline - time.time()))
+        self._threads = []
+        return self
+
+    # -- submission ----------------------------------------------------
+    def submit(self, key, normalized):
+        """Admit a validated request; returns ``(job, outcome)``.
+
+        ``outcome`` is ``"cached"`` (payload served from the result
+        store, job born ``done``), ``"deduped"`` (attached to an
+        in-flight job with the same key) or ``"queued"``.  Raises
+        :class:`QueueFullError` at capacity.
+        """
+        stored = self.store.get(key) if self.store is not None else None
+        if stored is not None:
+            with self._cond:
+                job = Job(key, normalized)
+                job.state = "done"
+                job.cached = True
+                job.payload = stored
+                job.finished_at = time.time()
+                job.done_event.set()
+                self._jobs[job.id] = job
+                self._record_finished_locked(job)
+            self._inc("service.store.hits")
+            self._inc("service.jobs.completed")
+            return job, "cached"
+
+        with self._cond:
+            existing = self._inflight.get(key)
+            if existing is not None:
+                self._inc_locked("service.jobs.deduped")
+                return existing, "deduped"
+            if len(self._queue) >= self.queue_size:
+                self._inc_locked("service.queue.rejections")
+                raise QueueFullError(
+                    f"job queue is full ({self.queue_size} queued); retry later",
+                    retry_after=self.retry_after,
+                )
+            job = Job(key, normalized)
+            self._jobs[job.id] = job
+            self._inflight[key] = job
+            self._queue.append(job)
+            self._inc_locked("service.jobs.submitted")
+            self._cond.notify()
+            return job, "queued"
+
+    def _inc_locked(self, name, amount=1):
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount)
+
+    # -- queries -------------------------------------------------------
+    def get(self, job_id):
+        with self._cond:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise NotFoundError(f"no such job {job_id!r}") from None
+
+    def list_jobs(self):
+        with self._cond:
+            return sorted(self._jobs.values(), key=lambda job: job.seq)
+
+    def queue_depth(self):
+        with self._cond:
+            return len(self._queue)
+
+    def cancel(self, job_id):
+        """Best-effort cancel; returns the job.
+
+        A queued job is dropped and marked ``cancelled``.  A running job
+        only gets its flag set — inline execution cannot be interrupted
+        — and completes normally.  Finished jobs are left untouched.
+        """
+        with self._cond:
+            try:
+                job = self._jobs[job_id]
+            except KeyError:
+                raise NotFoundError(f"no such job {job_id!r}") from None
+            if job.state == "queued":
+                try:
+                    self._queue.remove(job)
+                except ValueError:
+                    pass
+                self._finish_locked(job, "cancelled", error="cancelled by client")
+                self._inc_locked("service.jobs.cancelled")
+            elif job.state == "running":
+                job.cancel_requested = True
+            return job
+
+    # -- worker internals ----------------------------------------------
+    def _finish_locked(self, job, state, payload=None, error=None):
+        job.state = state
+        job.payload = payload
+        job.error = error
+        job.finished_at = time.time()
+        if self._inflight.get(job.key) is job:
+            del self._inflight[job.key]
+        self._record_finished_locked(job)
+        job.done_event.set()
+        self._cond.notify_all()
+
+    def _record_finished_locked(self, job):
+        self._finished_order.append(job.id)
+        while len(self._finished_order) > MAX_FINISHED_JOBS:
+            evicted = self._finished_order.popleft()
+            if evicted != job.id:
+                self._jobs.pop(evicted, None)
+
+    def _next_job(self):
+        with self._cond:
+            while self._running and not self._queue:
+                self._cond.wait(timeout=0.2)
+            if not self._running:
+                return None
+            job = self._queue.popleft()
+            job.state = "running"
+            job.started_at = time.time()
+            return job
+
+    def _worker_loop(self):
+        while True:
+            job = self._next_job()
+            if job is None:
+                return
+            self._execute(job)
+
+    def _execute(self, job):
+        fault_plan = self.fault_plan
+        if fault_plan is None:
+            fault_plan = fault_mod.plan_from_env()
+        try:
+            suite_job = request_to_job(job.request)
+            serialize = OBS.enabled
+            if serialize:
+                # The OBS singleton (tracer span stack) is single-threaded.
+                self._obs_lock.acquire()
+            try:
+                payloads = run_jobs(
+                    [suite_job],
+                    jobs=1,
+                    timeout=self.timeout,
+                    retries=self.retries,
+                    backoff=self.backoff,
+                    fault_plan=fault_plan,
+                    force_pool=(self.isolation == "process"),
+                )
+            finally:
+                if serialize:
+                    self._obs_lock.release()
+            payload = payload_to_jsonable(payloads[0])
+        except ReproError as error:
+            with self._cond:
+                self._finish_locked(job, "failed", error=str(error))
+                self._inc_locked("service.jobs.failed")
+            return
+        if self.store is not None:
+            self.store.put(job.key, payloads[0],
+                           meta={"request": job.request})
+            self._inc("service.store.writes")
+        with self._cond:
+            self._finish_locked(job, "done", payload=payload)
+            self._inc_locked("service.jobs.completed")

@@ -1,0 +1,362 @@
+"""The partitioning HTTP server (stdlib ``ThreadingHTTPServer``).
+
+Routes (all JSON in, JSON out)::
+
+    POST /v1/jobs              submit a partition/plan request
+                               202 queued / deduped, 200 result-store hit,
+                               400 invalid, 429 + Retry-After when full
+    GET  /v1/jobs              list known jobs (status dicts)
+    GET  /v1/jobs/<id>         one job's status
+    GET  /v1/jobs/<id>/result  the payload: 200 done, 409 not finished,
+                               500 failed (body carries the error)
+    POST /v1/jobs/<id>/cancel  best-effort cancel
+    GET  /healthz              liveness + schema versions + queue state
+    GET  /metrics              service counters, result-store stats and
+                               per-route span timings
+
+Observability: the server owns a private
+:class:`~repro.obs.metrics.MetricsRegistry` and
+:class:`~repro.obs.tracer.Tracer` — the process singleton ``OBS`` stays
+untouched (it is single-threaded by design; see
+:mod:`repro.service.jobs` for how solver-side capture is handled).
+Request handler threads record each request into a short-lived private
+tracer and merge it into the server tracer under a lock.
+
+Determinism: the server never mutates a request — the job built from it
+is field-for-field the one the CLI builds (see
+:func:`repro.service.api.request_to_job`), so a served assignment is
+bitwise-identical to a local run with the same inputs.
+"""
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro import envcfg
+from repro.obs import MetricsRegistry, Tracer
+from repro.service.api import request_key, schema_versions, validate_request
+from repro.service.errors import (
+    BadRequestError,
+    ConflictError,
+    JobFailedError,
+    NotFoundError,
+    QueueFullError,
+    ServiceError,
+)
+from repro.service.jobs import JobManager
+from repro.service.store import ResultStore
+
+#: Hard cap on accepted request bodies (a serialized netlist of the
+#: largest suite circuit is ~1.5 MB; 32 MB leaves ample headroom).
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8731
+DEFAULT_QUEUE_SIZE = 64
+DEFAULT_RETRY_AFTER = 1
+DEFAULT_MAX_WORKERS = 4
+
+
+def resolve_host(host=None, environ=None):
+    if host:
+        return host
+    return envcfg.raw("REPRO_SERVICE_HOST", environ) or DEFAULT_HOST
+
+
+def resolve_port(port=None, environ=None):
+    if port is not None:
+        return int(port)
+    value = envcfg.number(
+        "REPRO_SERVICE_PORT", int, lambda v: v >= 0, "an integer >= 0", environ
+    )
+    return DEFAULT_PORT if value is None else value
+
+
+def resolve_workers(workers=None, environ=None):
+    import os
+
+    if workers is not None:
+        return max(1, int(workers))
+    value = envcfg.number(
+        "REPRO_SERVICE_WORKERS", int, lambda v: v >= 1, "an integer >= 1", environ
+    )
+    if value is not None:
+        return value
+    return min(os.cpu_count() or 1, DEFAULT_MAX_WORKERS)
+
+
+def resolve_queue_size(queue_size=None, environ=None):
+    if queue_size is not None:
+        return max(1, int(queue_size))
+    value = envcfg.number(
+        "REPRO_SERVICE_QUEUE", int, lambda v: v >= 1, "an integer >= 1", environ
+    )
+    return DEFAULT_QUEUE_SIZE if value is None else value
+
+
+def resolve_retry_after(retry_after=None, environ=None):
+    if retry_after is not None:
+        return max(1, int(retry_after))
+    value = envcfg.number(
+        "REPRO_SERVICE_RETRY_AFTER", float, lambda v: v > 0,
+        "a number of seconds > 0", environ,
+    )
+    return DEFAULT_RETRY_AFTER if value is None else max(1, int(value))
+
+
+def resolve_isolation(isolation=None, environ=None):
+    if isolation is not None:
+        return isolation
+    return envcfg.choice(
+        "REPRO_SERVICE_ISOLATION", ("inline", "process"), "inline", environ
+    )
+
+
+class PartitionService:
+    """Everything one server instance owns: manager, store, telemetry."""
+
+    def __init__(self, workers=None, queue_size=None, timeout=None,
+                 retries=None, backoff=None, isolation=None, store=None,
+                 retry_after=None, fault_plan=None):
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer()
+        self.tracer.enabled = True
+        self._telemetry_lock = threading.Lock()
+        self.store = store if store is not None else ResultStore()
+        self.manager = JobManager(
+            workers=resolve_workers(workers),
+            queue_size=resolve_queue_size(queue_size),
+            timeout=timeout,
+            retries=retries,
+            backoff=backoff,
+            isolation=resolve_isolation(isolation),
+            store=self.store,
+            retry_after=resolve_retry_after(retry_after),
+            fault_plan=fault_plan,
+            metrics=self.metrics,
+        )
+        self.started_at = time.time()
+
+    def start(self):
+        self.manager.start()
+        return self
+
+    def stop(self):
+        self.manager.stop()
+        return self
+
+    def record_request(self, tracer, status):
+        """Merge a request-scoped tracer + count the response status."""
+        with self._telemetry_lock:
+            self.tracer.merge(tracer)
+            self.metrics.counter("service.http.requests").inc()
+            self.metrics.counter(f"service.http.status.{status}").inc()
+
+    # -- route logic (transport-free; the handler is a thin shell) -----
+    def submit(self, body):
+        normalized = validate_request(body)
+        key = request_key(normalized)
+        job, outcome = self.manager.submit(key, normalized)
+        status = 200 if outcome == "cached" else 202
+        payload = job.to_dict()
+        payload["outcome"] = outcome
+        return status, payload
+
+    def job_status(self, job_id):
+        return 200, self.manager.get(job_id).to_dict()
+
+    def job_list(self):
+        return 200, {"jobs": [job.to_dict() for job in self.manager.list_jobs()]}
+
+    def job_result(self, job_id):
+        job = self.manager.get(job_id)
+        if job.state in ("queued", "running"):
+            raise ConflictError(
+                f"job {job_id} is {job.state}; poll status until it finishes"
+            )
+        if job.state == "cancelled":
+            raise ConflictError(f"job {job_id} was cancelled")
+        if job.state == "failed":
+            raise JobFailedError(f"job {job_id} failed: {job.error}")
+        return 200, {
+            "id": job.id,
+            "key": job.key,
+            "state": job.state,
+            "cached": job.cached,
+            "result": job.payload,
+        }
+
+    def job_cancel(self, job_id):
+        return 200, self.manager.cancel(job_id).to_dict()
+
+    def health(self):
+        return 200, {
+            "status": "ok",
+            "versions": schema_versions(),
+            "uptime_s": time.time() - self.started_at,
+            "workers": self.manager.workers,
+            "isolation": self.manager.isolation,
+            "queue_depth": self.manager.queue_depth(),
+            "queue_size": self.manager.queue_size,
+            "store_enabled": self.store.enabled,
+        }
+
+    def metrics_payload(self):
+        with self._telemetry_lock:
+            metrics = self.metrics.as_dict()
+            spans = self.tracer.as_dict()
+        return 200, {
+            "metrics": metrics,
+            "spans": spans,
+            "store": self.store.snapshot_stats(),
+            "queue_depth": self.manager.queue_depth(),
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin JSON shell around :class:`PartitionService` route logic."""
+
+    server_version = "repro-gpp-service"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self):
+        return self.server.service
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    # -- JSON plumbing -------------------------------------------------
+    def _read_body(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise BadRequestError(
+                f"request body of {length} bytes exceeds the {MAX_BODY_BYTES} limit"
+            )
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise BadRequestError("request body must be a JSON object")
+        try:
+            return json.loads(raw)
+        except ValueError as error:
+            raise BadRequestError(f"request body is not valid JSON: {error}") from None
+
+    def _send_json(self, status, payload, headers=()):
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+        return status
+
+    def _dispatch(self, method):
+        tracer = Tracer()
+        tracer.enabled = True
+        route = f"{method} {self.path.split('?')[0]}"
+        status = 500
+        try:
+            with tracer.span("service.request", route=route):
+                status = self._route(method)
+        except QueueFullError as error:
+            status = self._send_json(
+                error.status,
+                {"error": error.code, "message": str(error),
+                 "retry_after": error.retry_after},
+                headers=(("Retry-After", str(error.retry_after)),),
+            )
+        except ServiceError as error:
+            status = self._send_json(
+                error.status, {"error": error.code, "message": str(error)}
+            )
+        except BrokenPipeError:
+            status = 499  # client went away mid-response; nothing to send
+        except Exception as error:  # noqa: BLE001 - last-resort shield
+            # The server must keep serving no matter what a request did.
+            try:
+                status = self._send_json(
+                    500, {"error": "internal", "message": str(error)}
+                )
+            except Exception:
+                status = 500
+        finally:
+            self.service.record_request(tracer, status)
+
+    def _route(self, method):
+        path = self.path.split("?")[0].rstrip("/") or "/"
+        parts = [part for part in path.split("/") if part]
+
+        if method == "GET":
+            if path == "/healthz":
+                return self._send_json(*self.service.health())
+            if path == "/metrics":
+                return self._send_json(*self.service.metrics_payload())
+            if parts == ["v1", "jobs"]:
+                return self._send_json(*self.service.job_list())
+            if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+                return self._send_json(*self.service.job_status(parts[2]))
+            if len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "result":
+                return self._send_json(*self.service.job_result(parts[2]))
+        elif method == "POST":
+            if parts == ["v1", "jobs"]:
+                return self._send_json(*self.service.submit(self._read_body()))
+            if len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "cancel":
+                return self._send_json(*self.service.job_cancel(parts[2]))
+        raise NotFoundError(f"no route {method} {path}")
+
+    def do_GET(self):
+        self._dispatch("GET")
+
+    def do_POST(self):
+        self._dispatch("POST")
+
+
+class PartitionHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer bound to one :class:`PartitionService`."""
+
+    daemon_threads = True
+    # The stdlib default listen backlog of 5 drops connections under a
+    # modest burst (the 16-client benchmark hits it); job-level load is
+    # bounded separately by the job queue, so accept generously here.
+    request_queue_size = 128
+
+    def __init__(self, address, service, verbose=False):
+        self.service = service
+        self.verbose = verbose
+        super().__init__(address, _Handler)
+
+    @property
+    def url(self):
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def shutdown(self):
+        super().shutdown()
+        self.service.stop()
+
+
+def build_server(host=None, port=None, verbose=False, **service_opts):
+    """A ready (not yet serving) server; ``port=0`` picks a free port."""
+    service = PartitionService(**service_opts).start()
+    return PartitionHTTPServer(
+        (resolve_host(host), resolve_port(port)), service, verbose=verbose
+    )
+
+
+def serve(host=None, port=None, verbose=False, ready_line=True, **service_opts):
+    """Run the server in this thread until interrupted (the CLI path)."""
+    server = build_server(host=host, port=port, verbose=verbose, **service_opts)
+    if ready_line:
+        print(f"repro-gpp service listening on {server.url}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+    return server

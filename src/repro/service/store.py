@@ -1,0 +1,87 @@
+"""Content-keyed result store of the partitioning service.
+
+A thin layer over :class:`repro.cache.ArtifactCache` (namespace
+``service``): entries are keyed by :func:`repro.service.api.request_key`
+— which covers the full canonical request plus every schema version —
+and hold the JSON-able job payload
+(:func:`repro.harness.checkpoint.payload_to_jsonable` form).  Because
+requests pin their seed, a stored payload is *the* answer for its key,
+so serving it is indistinguishable from re-solving.
+
+Disabled along with the whole artifact cache (``REPRO_CACHE=0``) or on
+its own (``REPRO_SERVICE_STORE=0``); disabled means every request
+re-solves.
+"""
+
+import threading
+
+from repro import envcfg
+from repro.cache import ArtifactCache
+from repro.harness.checkpoint import payload_to_jsonable
+
+#: Artifact kind of stored service results.
+RESULT_KIND = "service-result"
+
+
+def store_enabled(environ=None):
+    """Whether the result store is on (``REPRO_SERVICE_STORE`` + cache)."""
+    from repro.cache.store import cache_enabled
+
+    return cache_enabled(environ) and not envcfg.flag_disabled(
+        "REPRO_SERVICE_STORE", environ
+    )
+
+
+class ResultStore:
+    """Get/put JSON-able job payloads under request content keys.
+
+    Thread-safe: the underlying cache does atomic per-entry writes, and
+    the stats counters are guarded by a lock (many server threads write
+    concurrently).
+    """
+
+    def __init__(self, root=None, enabled=None):
+        self._cache = ArtifactCache(root=root, namespace="service")
+        self._forced_enabled = enabled
+        self._lock = threading.Lock()
+        self.stats = {"hits": 0, "misses": 0, "writes": 0}
+
+    @property
+    def enabled(self):
+        if self._forced_enabled is not None:
+            return self._forced_enabled
+        return store_enabled()
+
+    @property
+    def path(self):
+        return self._cache.path
+
+    def _count(self, event):
+        with self._lock:
+            self.stats[event] += 1
+
+    def get(self, key):
+        """The stored JSON-able payload for ``key``, or ``None``."""
+        if not self.enabled:
+            return None
+        entry = self._cache.get(key, RESULT_KIND)
+        if entry is None:
+            self._count("misses")
+            return None
+        payload, _arrays = entry
+        self._count("hits")
+        return payload
+
+    def put(self, key, payload, meta=None):
+        """Store an ``execute_job`` payload (converted to plain JSON)."""
+        if not self.enabled:
+            return None
+        jsonable = payload_to_jsonable(payload)
+        path = self._cache.put(key, RESULT_KIND, jsonable, meta=meta or {})
+        if path is not None:
+            self._count("writes")
+        return path
+
+    def snapshot_stats(self):
+        with self._lock:
+            return dict(self.stats)

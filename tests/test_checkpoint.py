@@ -146,3 +146,29 @@ def test_checkpoint_schema_version_invalidates(tmp_path):
 def test_checkpoint_rejects_empty_path():
     with pytest.raises(ReproError, match="checkpoint path"):
         SuiteCheckpoint("")
+
+
+def test_job_key_covers_inline_netlist_and_pinned():
+    """Service-only fields change the key only when actually set."""
+    base = SuiteJob(kind="partition", circuit="KSA4", num_planes=3, seed=1)
+    explicit_defaults = SuiteJob(
+        kind="partition", circuit="KSA4", num_planes=3, seed=1,
+        netlist_json=None, pinned=None,
+    )
+    assert job_key(base) == job_key(explicit_defaults)
+
+    pinned = SuiteJob(kind="partition", circuit="KSA4", num_planes=3, seed=1,
+                      pinned={"g0": 0})
+    assert job_key(pinned) != job_key(base)
+
+    from repro.circuits.suite import build_circuit
+    from repro.netlist.serialize import netlist_to_dict
+
+    data = netlist_to_dict(build_circuit("KSA4"))
+    inline = SuiteJob(kind="partition", circuit=data["name"], num_planes=3,
+                      seed=1, netlist_json=data)
+    assert job_key(inline) != job_key(base)
+    tweaked = dict(data, edges=list(data["edges"][:-1]))
+    inline_tweaked = SuiteJob(kind="partition", circuit=data["name"],
+                              num_planes=3, seed=1, netlist_json=tweaked)
+    assert job_key(inline_tweaked) != job_key(inline)

@@ -252,3 +252,52 @@ def test_table2_checkpoint_and_resume(tmp_path, capsys):
     captured = capsys.readouterr()
     assert captured.out == first
     assert "from checkpoint" in captured.err
+
+
+def test_version_command(capsys):
+    assert main(["version"]) == 0
+    out = capsys.readouterr().out
+    assert "package" in out
+    assert "netlist_format" in out
+
+
+def test_version_json(capsys):
+    import json
+
+    assert main(["version", "--json"]) == 0
+    versions = json.loads(capsys.readouterr().out)
+    assert versions["api"] == 1
+    assert set(versions) == {
+        "package", "api", "trace_schema", "cache_schema",
+        "checkpoint_schema", "netlist_format",
+    }
+
+
+def test_cache_info_json(tmp_path, monkeypatch, capsys):
+    import json
+
+    from repro.cache import reset_default_cache
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    reset_default_cache()
+    try:
+        assert main(["cache", "info", "--json"]) == 0
+    finally:
+        monkeypatch.undo()
+        reset_default_cache()
+    info = json.loads(capsys.readouterr().out)
+    assert info["entries"] == 0
+    assert info["versions"]["cache_schema"] == 1
+    assert info["versions"]["checkpoint_schema"] == 1
+
+
+def test_serve_parser_accepts_service_flags():
+    args = build_parser().parse_args(
+        ["serve", "--port", "0", "--workers", "2", "--queue-size", "3",
+         "--isolation", "process"]
+    )
+    assert args.command == "serve"
+    assert args.port == 0
+    assert args.workers == 2
+    assert args.queue_size == 3
+    assert args.isolation == "process"

@@ -1,0 +1,175 @@
+"""Tests for the consolidated environment-variable registry."""
+
+import os
+import re
+
+import pytest
+
+from repro import envcfg
+from repro.cache.store import cache_enabled, default_cache_root
+from repro.harness.faults import hang_seconds, plan_from_env
+from repro.harness.runner import (
+    resolve_backoff,
+    resolve_jobs,
+    resolve_retries,
+    resolve_timeout,
+)
+from repro.obs import apply_env, env_trace_path
+from repro.utils.errors import ReproError
+
+SRC_ROOT = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+# ---------------------------------------------------------------------------
+# registry basics
+# ---------------------------------------------------------------------------
+
+def test_every_declared_name_is_repro_prefixed_and_unique():
+    names = [var.name for var in envcfg.ENV_VARS]
+    assert len(names) == len(set(names))
+    for name in names:
+        assert name.startswith("REPRO_")
+
+
+def test_declared_returns_entry_and_rejects_unknown():
+    entry = envcfg.declared("REPRO_JOBS")
+    assert entry.name == "REPRO_JOBS"
+    assert entry.doc
+    with pytest.raises(ReproError, match="REPRO_BOGUS.*not declared"):
+        envcfg.declared("REPRO_BOGUS")
+
+
+def test_raw_refuses_undeclared_names_even_when_set():
+    with pytest.raises(ReproError, match="not declared"):
+        envcfg.raw("REPRO_BOGUS", {"REPRO_BOGUS": "1"})
+
+
+def test_raw_strips_and_defaults_to_empty():
+    assert envcfg.raw("REPRO_JOBS", {}) == ""
+    assert envcfg.raw("REPRO_JOBS", {"REPRO_JOBS": "  4  "}) == "4"
+
+
+def test_render_table_lists_every_variable():
+    table = envcfg.render_table()
+    for var in envcfg.ENV_VARS:
+        assert var.name in table
+
+
+# ---------------------------------------------------------------------------
+# typed accessors
+# ---------------------------------------------------------------------------
+
+def test_number_unset_returns_none():
+    assert envcfg.number("REPRO_JOBS", int, lambda v: v >= 1,
+                         "an integer >= 1", {}) is None
+
+
+def test_number_parses_and_validates():
+    assert envcfg.number("REPRO_JOBS", int, lambda v: v >= 1,
+                         "an integer >= 1", {"REPRO_JOBS": "3"}) == 3
+    with pytest.raises(ReproError,
+                       match=r"REPRO_JOBS must be an integer >= 1, got 'nope'"):
+        envcfg.number("REPRO_JOBS", int, lambda v: v >= 1,
+                      "an integer >= 1", {"REPRO_JOBS": "nope"})
+    with pytest.raises(ReproError,
+                       match=r"REPRO_JOBS must be an integer >= 1, got '0'"):
+        envcfg.number("REPRO_JOBS", int, lambda v: v >= 1,
+                      "an integer >= 1", {"REPRO_JOBS": "0"})
+
+
+def test_flag_disabled_conventions():
+    for value in ("0", "off", "OFF", "False", "no"):
+        assert envcfg.flag_disabled("REPRO_CACHE", {"REPRO_CACHE": value})
+    for value in ("", "1", "yes", "anything"):
+        assert not envcfg.flag_disabled("REPRO_CACHE", {"REPRO_CACHE": value})
+    assert not envcfg.flag_disabled("REPRO_CACHE", {})
+
+
+def test_choice_accepts_allowed_rejects_rest():
+    environ = {"REPRO_SERVICE_ISOLATION": "Process"}
+    assert envcfg.choice("REPRO_SERVICE_ISOLATION", ("inline", "process"),
+                         "inline", environ) == "process"
+    assert envcfg.choice("REPRO_SERVICE_ISOLATION", ("inline", "process"),
+                         "inline", {}) == "inline"
+    with pytest.raises(ReproError,
+                       match="REPRO_SERVICE_ISOLATION must be one of inline, process"):
+        envcfg.choice("REPRO_SERVICE_ISOLATION", ("inline", "process"),
+                      "inline", {"REPRO_SERVICE_ISOLATION": "container"})
+
+
+# ---------------------------------------------------------------------------
+# subsystem resolvers still behave exactly as before the consolidation
+# ---------------------------------------------------------------------------
+
+def test_runner_resolvers_round_trip_through_envcfg():
+    assert resolve_jobs(environ={"REPRO_JOBS": "2"}) == 2
+    assert resolve_timeout(environ={"REPRO_JOB_TIMEOUT": "1.5"}) == 1.5
+    assert resolve_retries(environ={"REPRO_RETRIES": "0"}) == 0
+    assert resolve_backoff(environ={"REPRO_RETRY_BACKOFF": "0"}) == 0.0
+    with pytest.raises(ReproError, match="REPRO_JOBS must be an integer >= 1"):
+        resolve_jobs(environ={"REPRO_JOBS": "0"})
+    with pytest.raises(ReproError,
+                       match="REPRO_JOB_TIMEOUT must be a number of seconds > 0"):
+        resolve_timeout(environ={"REPRO_JOB_TIMEOUT": "-1"})
+    with pytest.raises(ReproError, match="REPRO_RETRIES must be an integer >= 0"):
+        resolve_retries(environ={"REPRO_RETRIES": "-2"})
+    with pytest.raises(ReproError,
+                       match="REPRO_RETRY_BACKOFF must be a number of seconds >= 0"):
+        resolve_backoff(environ={"REPRO_RETRY_BACKOFF": "oops"})
+
+
+def test_cache_switches_round_trip_through_envcfg(tmp_path):
+    assert cache_enabled({})
+    assert not cache_enabled({"REPRO_CACHE": "off"})
+    assert default_cache_root({"REPRO_CACHE_DIR": str(tmp_path)}) == str(tmp_path)
+    assert default_cache_root({}).endswith(os.path.join(".cache", "repro-gpp"))
+
+
+def test_obs_trace_round_trips_through_envcfg(tmp_path):
+    assert env_trace_path({"REPRO_TRACE": "1"}) is None
+    assert env_trace_path({"REPRO_TRACE": str(tmp_path / "t.jsonl")}) == str(
+        tmp_path / "t.jsonl"
+    )
+    from repro.obs import OBS
+
+    was = OBS.enabled
+    try:
+        OBS.disable()
+        assert not apply_env({"REPRO_TRACE": "0"})
+        assert apply_env({"REPRO_TRACE": "yes"})
+    finally:
+        OBS.disable()
+        if was:
+            OBS.enable()
+
+
+def test_fault_readers_round_trip_through_envcfg():
+    assert plan_from_env({}) is None
+    plan = plan_from_env({"REPRO_FAULT": "crash@0"})
+    assert plan.fault_for(0, 1) == "crash"
+    assert hang_seconds({"REPRO_FAULT_HANG_SECONDS": "2.5"}) == 2.5
+    with pytest.raises(ReproError,
+                       match="REPRO_FAULT_HANG_SECONDS must be a number, got 'x'"):
+        hang_seconds({"REPRO_FAULT_HANG_SECONDS": "x"})
+
+
+# ---------------------------------------------------------------------------
+# no stray knobs: every REPRO_* referenced in the source tree is declared
+# ---------------------------------------------------------------------------
+
+def test_every_repro_variable_in_source_is_declared():
+    # trailing [A-Z0-9] so prose wildcards like ``REPRO_SERVICE_*`` don't match
+    pattern = re.compile(r"\bREPRO_[A-Z][A-Z0-9_]*[A-Z0-9]\b")
+    declared = {var.name for var in envcfg.ENV_VARS}
+    strays = {}
+    for dirpath, _dirnames, filenames in os.walk(SRC_ROOT):
+        for filename in filenames:
+            if not filename.endswith(".py"):
+                continue
+            full = os.path.join(dirpath, filename)
+            with open(full) as handle:
+                text = handle.read()
+            for name in set(pattern.findall(text)):
+                if name not in declared:
+                    strays.setdefault(name, []).append(os.path.relpath(full, SRC_ROOT))
+    assert not strays, f"undeclared REPRO_* variables referenced in src: {strays}"

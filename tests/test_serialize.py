@@ -6,6 +6,7 @@ import math
 import numpy as np
 import pytest
 
+from repro.core.config import PartitionConfig
 from repro.netlist.library import CellLibrary, default_library
 from repro.netlist.serialize import (
     NETLIST_FORMAT_VERSION,
@@ -112,3 +113,94 @@ def test_library_fingerprint_sensitivity(library):
 
     renamed = CellLibrary("other-name", list(library))
     assert library_fingerprint(renamed) != base
+
+
+# ---------------------------------------------------------------------------
+# Round-trips with pinned-gate constraints
+# ---------------------------------------------------------------------------
+
+def test_roundtrip_preserves_pinned_gate_attributes(library):
+    """Pin constraints stored as gate attributes survive serialization."""
+    from repro.netlist.netlist import Netlist
+
+    netlist = Netlist("pinned-attrs", library=library)
+    for i in range(6):
+        netlist.add_gate(f"g{i}", library["DFF"],
+                         **({"pinned_plane": i % 2} if i < 2 else {}))
+    for i in range(5):
+        netlist.connect(f"g{i}", f"g{i + 1}")
+    rebuilt = _roundtrip(netlist)
+    assert rebuilt.gates[0].attributes == {"pinned_plane": 0}
+    assert rebuilt.gates[1].attributes == {"pinned_plane": 1}
+    assert rebuilt.gates[2].attributes == {}
+
+
+def test_pinned_partition_bitwise_identical_on_rebuilt_netlist(mixed_netlist):
+    """A pinned solve transfers bitwise across a JSON round-trip.
+
+    Labels are positional and gate order is preserved exactly, so the
+    same pinned constraints on the rebuilt netlist must reproduce the
+    original assignment bit for bit — this is what lets the service
+    solve a client-serialized netlist and return labels the client can
+    apply directly.
+    """
+    from repro.core.partitioner import partition
+
+    pinned = {"a0": 0, "b0": 2, "a15": 1}
+    config = PartitionConfig(restarts=2, max_iterations=200)
+    original = partition(mixed_netlist, 3, config=config, seed=11, pinned=pinned)
+    rebuilt_netlist = _roundtrip(mixed_netlist)
+    rebuilt = partition(rebuilt_netlist, 3, config=config, seed=11, pinned=pinned)
+    assert np.array_equal(original.labels, rebuilt.labels)
+    for gate, plane in pinned.items():
+        assert rebuilt.labels[rebuilt_netlist.gate(gate).index] == plane
+
+
+# ---------------------------------------------------------------------------
+# Round-trips against non-default libraries
+# ---------------------------------------------------------------------------
+
+def _tweaked_library(library, name="tweaked"):
+    return CellLibrary(
+        name,
+        [
+            dataclasses.replace(cell, bias_ma=cell.bias_ma + 0.05)
+            if cell.name == "DFF" else cell
+            for cell in library
+        ],
+    )
+
+
+def test_roundtrip_against_non_default_library(library):
+    """A netlist built on a tweaked library round-trips bitwise on it."""
+    from repro.netlist.netlist import Netlist
+
+    tweaked = _tweaked_library(library)
+    netlist = Netlist("tweaked-net", library=tweaked)
+    for i in range(8):
+        netlist.add_gate(f"g{i}", tweaked["DFF"])
+    for i in range(7):
+        netlist.connect(f"g{i}", f"g{i + 1}")
+
+    data = netlist_to_dict(netlist)
+    assert data["library"] == "tweaked"
+    rebuilt = netlist_from_dict(data, tweaked)
+    assert np.array_equal(rebuilt.bias_vector_ma(), netlist.bias_vector_ma())
+    assert library_fingerprint(rebuilt.library) == library_fingerprint(tweaked)
+
+    # Rebuilding against the default library resolves cells by name, so
+    # it succeeds — but the solver vectors (and the fingerprint) differ,
+    # which is exactly what content keys must detect.
+    on_default = netlist_from_dict(data, library)
+    assert not np.array_equal(on_default.bias_vector_ma(), netlist.bias_vector_ma())
+    assert library_fingerprint(on_default.library) != library_fingerprint(tweaked)
+
+
+def test_fingerprint_distinguishes_equal_shape_libraries(library):
+    """Two libraries with identical cell names but different physics
+    must never share a fingerprint (cache keys include it)."""
+    fingerprints = {
+        library_fingerprint(library),
+        library_fingerprint(_tweaked_library(library, name=library.name)),
+    }
+    assert len(fingerprints) == 2

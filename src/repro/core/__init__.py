@@ -9,6 +9,13 @@ Public entry points:
   (Table III experiment).
 """
 
+from repro.core.backend import (
+    ArrayBackend,
+    NumpyBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from repro.core.config import PartitionConfig
 from repro.core.assignment import (
     random_assignment,
@@ -19,18 +26,31 @@ from repro.core.assignment import (
 )
 from repro.core.cost import CostTerms, cost_terms, total_cost, integer_cost
 from repro.core.gradients import cost_gradient
-from repro.core.kernel import BatchedCostTerms, EdgeIncidence, FusedKernel
+from repro.core.kernel import (
+    SPARSE_INCIDENCE_THRESHOLD,
+    BatchedCostTerms,
+    EdgeIncidence,
+    FusedKernel,
+    SparseEdgeIncidence,
+    build_incidence,
+)
+from repro.core.megabatch import SolveSpec, partition_packed
 from repro.core.optimizer import (
     GradientDescentTrace,
     minimize_assignment,
     minimize_assignment_batch,
 )
-from repro.core.partitioner import PartitionResult, partition
+from repro.core.partitioner import PartitionResult, finalize_traces, partition
 from repro.core.planner import BiasLimitedPlan, plan_bias_limited
 from repro.core.refinement import refine_greedy
 from repro.core.scipy_optimizer import minimize_assignment_lbfgs, partition_lbfgs
 
 __all__ = [
+    "ArrayBackend",
+    "NumpyBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     "PartitionConfig",
     "random_assignment",
     "normalize_rows",
@@ -44,12 +64,18 @@ __all__ = [
     "cost_gradient",
     "BatchedCostTerms",
     "EdgeIncidence",
+    "SparseEdgeIncidence",
+    "build_incidence",
+    "SPARSE_INCIDENCE_THRESHOLD",
     "FusedKernel",
+    "SolveSpec",
+    "partition_packed",
     "GradientDescentTrace",
     "minimize_assignment",
     "minimize_assignment_batch",
     "PartitionResult",
     "partition",
+    "finalize_traces",
     "BiasLimitedPlan",
     "plan_bias_limited",
     "refine_greedy",

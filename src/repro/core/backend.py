@@ -1,0 +1,226 @@
+"""Pluggable array backends for the solver kernels.
+
+The fused kernel, the batched descent loop and the multilevel engine
+are, arithmetically, a small set of array operations: batched matmuls,
+einsum contractions, segment sums, elementwise selection and norms.
+This module puts exactly that set behind a minimal protocol
+(:class:`ArrayBackend`) so the hot path can later run on cupy/torch by
+registering one more implementation — without touching a line of solver
+code.
+
+Design rules, in order of importance:
+
+* **The numpy path is the ground truth.**  :class:`NumpyBackend`
+  delegates every operation straight to the same numpy calls the
+  kernels made before this layer existed, so routing through the
+  backend is bitwise-invisible: the loop/batched/mega-batch equivalence
+  gates (see :mod:`repro.core.kernel`) hold unchanged.
+* **Host/device seam at the batch boundary.**  Problem construction
+  (netlists, RNG initialization, rounding) stays host-side numpy;
+  a backend only executes the per-iteration descent arithmetic.
+  ``from_host``/``to_host`` mark the two crossing points.
+* **Selection is one environment knob.**  ``REPRO_BACKEND`` (declared
+  in :mod:`repro.envcfg`) names the registered backend; the default is
+  ``numpy``.  An unregistered name fails loudly at first use — there is
+  no silent fallback, because a benchmark that quietly ran on the wrong
+  backend is worse than one that crashed.
+
+Third-party backends register through :func:`register_backend`; the
+factory is only called on first use, so registering e.g. a cupy backend
+does not import cupy until someone selects it.
+"""
+
+import numpy as np
+
+from repro import envcfg
+from repro.utils import rng as rng_mod
+from repro.utils.errors import ReproError
+
+#: Environment variable naming the active backend.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: Name of the default (and reference) backend.
+DEFAULT_BACKEND = "numpy"
+
+
+class ArrayBackend:
+    """The minimal operation set the solver kernels need.
+
+    ``xp`` is the backing array module (numpy for the reference
+    implementation; cupy exposes the same surface), used for generic
+    elementwise/reduction calls; the named methods below are the
+    operations whose implementation genuinely differs between array
+    libraries (segment sums, RNG, host transfer) plus the handful the
+    kernels call in their inner loop.
+    """
+
+    #: Registry name; subclasses must set it.
+    name = None
+
+    #: Array namespace (numpy-compatible module).
+    xp = None
+
+    #: Default floating dtype of solver arrays.
+    float_dtype = None
+
+    # -- hot-loop operations -------------------------------------------
+    def matmul(self, a, b):
+        raise NotImplementedError
+
+    def einsum(self, spec, *operands):
+        raise NotImplementedError
+
+    def segment_sum(self, values, starts):
+        """Sum ``values`` along the last axis over segments at ``starts``."""
+        raise NotImplementedError
+
+    def where(self, condition, a, b):
+        raise NotImplementedError
+
+    def clip(self, a, lo, hi, out=None):
+        raise NotImplementedError
+
+    def norm(self, a):
+        """Euclidean norm over all entries of ``a`` (a 0-d array/float)."""
+        raise NotImplementedError
+
+    # -- dtype / RNG helpers -------------------------------------------
+    def asarray(self, a, dtype=None):
+        raise NotImplementedError
+
+    def ascontiguousarray(self, a):
+        raise NotImplementedError
+
+    def make_rng(self, seed_or_rng=None):
+        """A host-side generator for problem initialization."""
+        raise NotImplementedError
+
+    def spawn_rngs(self, seed_or_rng, count):
+        """``count`` independent child generators from one seed."""
+        raise NotImplementedError
+
+    # -- host/device seam ----------------------------------------------
+    def from_host(self, a):
+        """Move a host (numpy) array onto this backend."""
+        raise NotImplementedError
+
+    def to_host(self, a):
+        """Move a backend array back to host numpy."""
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class NumpyBackend(ArrayBackend):
+    """The reference backend: every call is the plain numpy call.
+
+    This class is deliberately free of any arithmetic of its own — the
+    bitwise-equivalence contract of :mod:`repro.core.kernel` reduces to
+    "these are the same functions the kernel called before".
+    """
+
+    name = "numpy"
+    xp = np
+    float_dtype = np.float64
+
+    def matmul(self, a, b):
+        return np.matmul(a, b)
+
+    def einsum(self, spec, *operands):
+        return np.einsum(spec, *operands)
+
+    def segment_sum(self, values, starts):
+        return np.add.reduceat(values, starts, axis=-1)
+
+    def where(self, condition, a, b):
+        return np.where(condition, a, b)
+
+    def clip(self, a, lo, hi, out=None):
+        return np.clip(a, lo, hi, out=out)
+
+    def norm(self, a):
+        return np.sqrt(np.sum(a * a))
+
+    def asarray(self, a, dtype=None):
+        return np.asarray(a, dtype=dtype)
+
+    def ascontiguousarray(self, a):
+        return np.ascontiguousarray(a)
+
+    def make_rng(self, seed_or_rng=None):
+        return rng_mod.make_rng(seed_or_rng)
+
+    def spawn_rngs(self, seed_or_rng, count):
+        return rng_mod.spawn_rngs(seed_or_rng, count)
+
+    def from_host(self, a):
+        return np.asarray(a)
+
+    def to_host(self, a):
+        return np.asarray(a)
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+_FACTORIES = {}
+_INSTANCES = {}
+
+
+def register_backend(name, factory):
+    """Register a backend factory under ``name`` (lazily instantiated).
+
+    Re-registering a name replaces the factory and drops any cached
+    instance — test suites use this to install instrumented fakes.
+    """
+    if not name or not isinstance(name, str):
+        raise ReproError(f"backend name must be a non-empty string, got {name!r}")
+    _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def available_backends():
+    """Sorted tuple of registered backend names."""
+    return tuple(sorted(_FACTORIES))
+
+
+def resolve_backend_name(name=None, environ=None):
+    """Effective backend name: explicit > ``REPRO_BACKEND`` > numpy."""
+    if name is not None:
+        return name
+    return envcfg.choice(
+        BACKEND_ENV_VAR, available_backends(), DEFAULT_BACKEND, environ
+    )
+
+
+def get_backend(backend=None, environ=None):
+    """The active :class:`ArrayBackend` instance.
+
+    ``backend`` may be an instance (returned unchanged), a registered
+    name, or ``None`` (consult ``REPRO_BACKEND``, default ``numpy``).
+    Instances are cached per name, so the hot path pays one dict lookup.
+    """
+    if isinstance(backend, ArrayBackend):
+        return backend
+    name = resolve_backend_name(backend, environ)
+    instance = _INSTANCES.get(name)
+    if instance is None:
+        try:
+            factory = _FACTORIES[name]
+        except KeyError:
+            raise ReproError(
+                f"unknown array backend {name!r}; registered: "
+                f"{', '.join(available_backends()) or '(none)'}"
+            ) from None
+        instance = _INSTANCES[name] = factory()
+        if instance.name != name:
+            raise ReproError(
+                f"backend factory for {name!r} produced a backend named "
+                f"{instance.name!r}"
+            )
+    return instance
+
+
+register_backend(DEFAULT_BACKEND, NumpyBackend)

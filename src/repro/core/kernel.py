@@ -43,6 +43,28 @@ on that slice alone.  That holds because
   reduction, keeping the layout part of the contract true.
 
 The ``engine="batched" | "loop"`` equivalence tests pin this down.
+Because each batch slice is self-contained, the contract extends across
+*jobs*: restarts from many compatible jobs concatenated into one stack
+(:mod:`repro.core.megabatch`) evaluate bitwise identically to each
+job's solo stack.
+
+Array backend
+-------------
+All array arithmetic is routed through a pluggable
+:class:`~repro.core.backend.ArrayBackend` (selected via
+``REPRO_BACKEND``; default numpy).  The numpy backend delegates to the
+exact calls this module made before the layer existed, so the numpy
+path — the reference — is bitwise unchanged.
+
+Incidence variants
+------------------
+:class:`EdgeIncidence` (dense signed-buffer) materializes a
+``(..., 2E)`` concatenated ``[values, -values]`` temporary per gradient
+evaluation; :class:`SparseEdgeIncidence` replaces it with precomputed
+CSR-style index/sign arrays and a single gather, cutting the temporary
+count in half while staying bitwise identical.  :func:`build_incidence`
+selects the sparse variant automatically above
+:data:`SPARSE_INCIDENCE_THRESHOLD` gates (the >10k-gate regime).
 """
 
 from dataclasses import dataclass
@@ -50,8 +72,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.assignment import plane_coefficients
+from repro.core.backend import get_backend
 from repro.obs import OBS
 from repro.utils.errors import PartitionError
+
+#: Gate count above which :func:`build_incidence` picks the sparse
+#: (index-array) incidence variant automatically.
+SPARSE_INCIDENCE_THRESHOLD = 10_000
 
 
 class EdgeIncidence:
@@ -63,22 +90,36 @@ class EdgeIncidence:
 
     ``out[i] = sum_{e: u_e == i} vals[e] - sum_{e: v_e == i} vals[e]``
 
-    with one ``np.add.reduceat`` instead of two ``np.add.at`` scatters.
-    The summation order within a gate's segment is fixed by the
-    precomputed permutation, so results are reproducible and identical
-    for batched and single evaluations.
+    with one segment-sum (``np.add.reduceat`` on the numpy backend)
+    instead of two ``np.add.at`` scatters.  The summation order within a
+    gate's segment is fixed by the precomputed permutation, so results
+    are reproducible and identical for batched and single evaluations.
     """
 
-    __slots__ = ("num_gates", "num_edges", "u", "v", "_order", "_starts", "_touched")
+    __slots__ = (
+        "backend",
+        "num_gates",
+        "num_edges",
+        "u",
+        "v",
+        "_order",
+        "_starts",
+        "_touched",
+    )
 
-    def __init__(self, edges, num_gates):
+    #: Human-readable variant tag (benchmarks and repr).
+    variant = "dense"
+
+    def __init__(self, edges, num_gates, backend=None):
+        self.backend = get_backend(backend)
         edges = np.asarray(edges, dtype=np.intp).reshape(-1, 2)
         if edges.size and (edges.min() < 0 or edges.max() >= num_gates):
             raise PartitionError("edge endpoints out of range")
         self.num_gates = int(num_gates)
         self.num_edges = int(edges.shape[0])
-        self.u = np.ascontiguousarray(edges[:, 0])
-        self.v = np.ascontiguousarray(edges[:, 1])
+        xp = self.backend.xp
+        self.u = xp.ascontiguousarray(self.backend.from_host(edges[:, 0]))
+        self.v = xp.ascontiguousarray(self.backend.from_host(edges[:, 1]))
         # The grouping permutation is only needed by scatter_signed (the
         # gradient path); built lazily so cost-only users skip the sort.
         self._order = None
@@ -88,14 +129,15 @@ class EdgeIncidence:
     def _ensure_permutation(self):
         if self._order is not None:
             return
-        endpoints = np.concatenate([self.u, self.v])
+        xp = self.backend.xp
+        endpoints = xp.concatenate([self.u, self.v])
         # Stable sort keeps a deterministic within-gate order (all +u
         # occurrences in edge order, then all -v occurrences).
-        self._order = np.argsort(endpoints, kind="stable")
-        counts = np.bincount(endpoints, minlength=self.num_gates)
-        self._touched = np.flatnonzero(counts > 0)
-        starts = np.zeros(self.num_gates + 1, dtype=np.intp)
-        np.cumsum(counts, out=starts[1:])
+        self._order = xp.argsort(endpoints, kind="stable")
+        counts = xp.bincount(endpoints, minlength=self.num_gates)
+        self._touched = xp.flatnonzero(counts > 0)
+        starts = xp.zeros(self.num_gates + 1, dtype=np.intp)
+        xp.cumsum(counts, out=starts[1:])
         self._starts = starts[:-1][self._touched]
 
     def scatter_signed(self, values):
@@ -103,17 +145,87 @@ class EdgeIncidence:
 
         Returns shape ``(..., G)``; gates with no incident edge get 0.
         """
-        values = np.asarray(values, dtype=float)
-        out = np.zeros(values.shape[:-1] + (self.num_gates,), dtype=float)
+        backend = self.backend
+        xp = backend.xp
+        values = backend.asarray(values, dtype=float)
+        out = xp.zeros(values.shape[:-1] + (self.num_gates,), dtype=float)
         if self.num_edges == 0:
             return out
         self._ensure_permutation()
         if self._touched.size == 0:
             return out
-        signed = np.concatenate([values, -values], axis=-1)
-        signed = np.ascontiguousarray(signed[..., self._order])
-        out[..., self._touched] = np.add.reduceat(signed, self._starts, axis=-1)
+        signed = xp.concatenate([values, -values], axis=-1)
+        signed = backend.ascontiguousarray(signed[..., self._order])
+        out[..., self._touched] = backend.segment_sum(signed, self._starts)
         return out
+
+
+class SparseEdgeIncidence(EdgeIncidence):
+    """Index-array incidence variant for large edge lists.
+
+    The dense variant materializes two full ``(..., 2E)`` temporaries
+    per gradient evaluation: the concatenated ``[values, -values]``
+    buffer and its permuted copy.  This variant precomputes, for each
+    permutation slot, which *edge* it reads (``_edge_of``) and with
+    which sign (``+1.0`` for a ``u`` endpoint, ``-1.0`` for a ``v``
+    endpoint), so one fancy gather straight from the raw values plus an
+    in-place sign multiply produces the identical ordered buffer with a
+    single temporary — the memory-traffic win that matters in the
+    >10k-gate regime :func:`build_incidence` gates on.
+
+    Bitwise identity with the dense variant: multiplying by ``±1.0`` is
+    exact in IEEE-754 (``x * 1.0 == x`` and ``x * -1.0 == -x`` bit for
+    bit), so the per-slot summands — and therefore the segment sums,
+    which run over the same order with the same starts — are identical.
+    """
+
+    __slots__ = ("_edge_of", "_signs")
+
+    variant = "sparse"
+
+    def __init__(self, edges, num_gates, backend=None):
+        super().__init__(edges, num_gates, backend=backend)
+        self._edge_of = None
+        self._signs = None
+
+    def _ensure_permutation(self):
+        if self._order is not None:
+            return
+        super()._ensure_permutation()
+        in_u = self._order < self.num_edges
+        self._edge_of = self.backend.where(in_u, self._order, self._order - self.num_edges)
+        self._signs = self.backend.where(in_u, 1.0, -1.0)
+
+    def scatter_signed(self, values):
+        """Identical contract (and bits) as the dense variant."""
+        backend = self.backend
+        xp = backend.xp
+        values = backend.asarray(values, dtype=float)
+        out = xp.zeros(values.shape[:-1] + (self.num_gates,), dtype=float)
+        if self.num_edges == 0:
+            return out
+        self._ensure_permutation()
+        if self._touched.size == 0:
+            return out
+        gathered = backend.ascontiguousarray(values[..., self._edge_of])
+        gathered *= self._signs
+        out[..., self._touched] = backend.segment_sum(gathered, self._starts)
+        return out
+
+
+def build_incidence(edges, num_gates, backend=None, sparse=None):
+    """The incidence structure for ``edges`` over ``num_gates`` gates.
+
+    ``sparse=None`` (the default) selects the sparse variant
+    automatically when ``num_gates`` exceeds
+    :data:`SPARSE_INCIDENCE_THRESHOLD`; pass True/False to force a
+    variant.  Both variants are bitwise-identical; only memory traffic
+    differs.
+    """
+    if sparse is None:
+        sparse = num_gates > SPARSE_INCIDENCE_THRESHOLD
+    cls = SparseEdgeIncidence if sparse else EdgeIncidence
+    return cls(edges, num_gates, backend=backend)
 
 
 @dataclass(frozen=True)
@@ -150,22 +262,26 @@ class FusedKernel:
     is purely array arithmetic on the ``(R, G, K)`` assignment stack.
     """
 
-    def __init__(self, num_planes, edges, bias, area):
+    def __init__(self, num_planes, edges, bias, area, backend=None, sparse=None):
         if num_planes < 1:
             raise PartitionError(f"num_planes must be >= 1, got {num_planes}")
-        bias = np.ascontiguousarray(np.asarray(bias, dtype=float))
-        area = np.ascontiguousarray(np.asarray(area, dtype=float))
+        self.backend = get_backend(backend)
+        xp = self.backend.xp
+        bias = np.asarray(bias, dtype=float)
+        area = np.asarray(area, dtype=float)
         if bias.ndim != 1 or area.shape != bias.shape:
             raise PartitionError(
                 f"bias/area must be equal-length 1-D vectors, got {bias.shape} and {area.shape}"
             )
         self.num_planes = int(num_planes)
         self.num_gates = int(bias.shape[0])
-        self.bias = bias
-        self.area = area
-        self.incidence = EdgeIncidence(edges, self.num_gates)
+        self.bias = xp.ascontiguousarray(self.backend.from_host(bias))
+        self.area = xp.ascontiguousarray(self.backend.from_host(area))
+        self.incidence = build_incidence(
+            edges, self.num_gates, backend=self.backend, sparse=sparse
+        )
         self.num_edges = self.incidence.num_edges
-        self.coeff = plane_coefficients(self.num_planes)
+        self.coeff = self.backend.from_host(plane_coefficients(self.num_planes))
         # F1/F4 normalizers (zero when degenerate; guarded at use sites).
         self.n1 = self.num_edges * (self.num_planes - 1) ** 4
         self.n4 = self.num_gates * (self.num_planes - 1) ** 2
@@ -176,7 +292,7 @@ class FusedKernel:
 
         A 2-D ``(G, K)`` input is promoted to a single-restart batch.
         """
-        w = np.asarray(w, dtype=float)
+        w = self.backend.asarray(w, dtype=float)
         if w.ndim == 2:
             w = w[None]
         if w.ndim != 3 or w.shape[1:] != (self.num_gates, self.num_planes):
@@ -184,7 +300,7 @@ class FusedKernel:
                 f"w must have shape (R, {self.num_gates}, {self.num_planes}) "
                 f"or ({self.num_gates}, {self.num_planes}), got {w.shape}"
             )
-        return np.ascontiguousarray(w)
+        return self.backend.ascontiguousarray(w)
 
     # ------------------------------------------------------------------
     def _variance_pieces(self, w, per_gate_weights):
@@ -199,15 +315,16 @@ class FusedKernel:
         """
         # Batched vec-mat product: one identically-sized gemv per restart,
         # bitwise equal to a single-restart ``weights @ w``.
-        per_plane = np.matmul(per_gate_weights, w)  # (R, K)
+        backend = self.backend
+        per_plane = backend.matmul(per_gate_weights, w)  # (R, K)
         mean = per_plane.mean(axis=-1)  # (R,)
         degenerate = mean == 0.0
-        safe_mean = np.where(degenerate, 1.0, mean)
+        safe_mean = backend.where(degenerate, 1.0, mean)
         deviation = per_plane - mean[:, None]
-        variance = np.mean(deviation * deviation, axis=-1)
+        variance = (deviation * deviation).mean(axis=-1)
         normalizer = (self.num_planes - 1) * safe_mean**2
-        term = np.where(degenerate, 0.0, variance / normalizer)
-        scale = np.where(degenerate, 0.0, 2.0 / (self.num_planes * normalizer))
+        term = backend.where(degenerate, 0.0, variance / normalizer)
+        scale = backend.where(degenerate, 0.0, 2.0 / (self.num_planes * normalizer))
         return term, deviation, scale
 
     # ------------------------------------------------------------------
@@ -236,6 +353,8 @@ class FusedKernel:
         w = self.check_w(w)
         num_restarts = w.shape[0]
         num_planes = self.num_planes
+        backend = self.backend
+        xp = backend.xp
         if OBS.enabled:
             # The hottest call site in the package: keep the disabled
             # path to the single attribute check above.
@@ -243,16 +362,16 @@ class FusedKernel:
             OBS.metrics.counter("kernel.restart_evaluations").inc(num_restarts)
             if not want_gradient:
                 OBS.metrics.counter("kernel.cost_only_evaluations").inc()
-        zeros_r = np.zeros(num_restarts)
+        zeros_r = xp.zeros(num_restarts)
 
         if num_planes == 1:
             # A single plane has no inter-plane cost, no imbalance and no
             # relaxed integer constraint; everything is exactly zero.
             terms = BatchedCostTerms(zeros_r, zeros_r, zeros_r, zeros_r, zeros_r.copy())
-            return terms, (np.zeros_like(w) if want_gradient else None)
+            return terms, (xp.zeros_like(w) if want_gradient else None)
 
         # Shared intermediates, computed once per evaluation.
-        labels = w @ self.coeff  # (R, G), batched gemv
+        labels = backend.matmul(w, self.coeff)  # (R, G), batched gemv
         row_mean = w.mean(axis=-1)  # (R, G)
 
         # --- F1 (eq. (4)) cost ----------------------------------------
@@ -263,7 +382,7 @@ class FusedKernel:
             # Advanced indexing may return Fortran-ordered buffers whose
             # last-axis reduction order differs from the 1-D case; force
             # C order to keep the bitwise equivalence contract.
-            diff = np.ascontiguousarray(
+            diff = backend.ascontiguousarray(
                 labels[:, self.incidence.u] - labels[:, self.incidence.v]
             )  # (R, E)
             # Pow-free factorization: diff^4 = (diff^2)^2 and
@@ -320,21 +439,22 @@ class FusedKernel:
         else:  # pragma: no cover - config validates this
             raise PartitionError(f"unknown gradient mode {config.gradient_mode!r}")
 
-        left = np.empty((num_restarts, self.num_gates, 4))
+        left = xp.empty((num_restarts, self.num_gates, 4))
         if per_gate is None:
             left[..., 0] = 0.0
         else:
-            np.multiply(per_gate, config.c1 * (4.0 / self.n1), out=left[..., 0])
+            xp.multiply(per_gate, config.c1 * (4.0 / self.n1), out=left[..., 0])
         left[..., 1] = self.bias
         left[..., 2] = self.area
         left[..., 3] = a4 * row_mean + b4
 
-        right = np.empty((num_restarts, 4, num_planes))
+        right = xp.empty((num_restarts, 4, num_planes))
         right[:, 0, :] = self.coeff
         right[:, 1, :] = config.c2 * scale2[:, None] * dev2
         right[:, 2, :] = config.c3 * scale3[:, None] * dev3
         right[:, 3, :] = 1.0
 
-        gradient = left @ right  # one (G, 4) x (4, K) gemm per restart
+        # One (G, 4) x (4, K) gemm per restart.
+        gradient = backend.matmul(left, right)
         gradient += cw * w
         return terms, gradient

@@ -30,14 +30,19 @@ The interpolated rows are constant within each supernode, so plain
 argmax rounding would commit whole clusters to one plane and wreck the
 integer-level bias balance; :func:`~repro.core.partitioner.partition`
 therefore rounds this engine's traces with the capacity-aware
-:func:`~repro.core.assignment.round_assignment_balanced` instead.
+:func:`~repro.core.assignment.round_assignment_balanced` — but only
+when coarsening actually ran (``trace.coarse_levels`` is set).
 
 Pinned gates stay singleton supernodes through every level, so hard
 constraints hold on the coarse problem too.  When the problem is small
 (within 2x of the coarsest size) or has no contractible edges, this
 degrades gracefully to the plain *uncapped* batched solve — cold start,
-same iterations and relaxed solution as ``engine="batched"`` (the
-partitioner still applies the capacity-aware rounding).
+same iterations and relaxed solution as ``engine="batched"``.  Those
+fall-through traces carry no ``coarse_*`` attributes, and the
+partitioner rounds them with the plain argmax, so small circuits get
+*exactly* the batched engine's labels and metrics (previously the
+capacity-aware rounding applied anyway and cost measurable quality on
+sub-floor circuits, e.g. KSA4 in BENCH_suite.json).
 """
 
 import numpy as np
@@ -59,11 +64,12 @@ def default_coarsest_nodes(num_planes):
 
 def minimize_assignment_multilevel(
     num_planes, edges, bias, area, config, rngs=None, pinned=None, restarts=None,
-    coarsen_rng=None,
+    coarsen_rng=None, backend=None,
 ):
     """Run warm-started coarse-to-fine solves for all restarts.
 
-    Parameters match :func:`repro.core.optimizer.minimize_assignment_batch`;
+    Parameters match :func:`repro.core.optimizer.minimize_assignment_batch`
+    (``backend`` selects the array backend for every level's solve);
     ``coarsen_rng`` seeds the heavy-edge matching order (one extra
     deterministic stream so restart initializations stay identical to
     the other engines' for the same seed).
@@ -88,7 +94,8 @@ def minimize_assignment_multilevel(
         # would be barely smaller than the fine one): run the plain
         # uncapped batched solve instead.
         return minimize_assignment_batch(
-            num_planes, edges, bias_arr, area, config, rngs=rngs, pinned=pinned
+            num_planes, edges, bias_arr, area, config, rngs=rngs, pinned=pinned,
+            backend=backend,
         )
     with OBS.trace.span("multilevel_coarsen", gates=num_gates) as span:
         levels, maps = coarsen_problem(
@@ -107,7 +114,8 @@ def minimize_assignment_multilevel(
         # start would just be a second cold solve, so skip straight to
         # the plain batched engine.
         return minimize_assignment_batch(
-            num_planes, edges, bias_arr, area, config, rngs=rngs, pinned=pinned
+            num_planes, edges, bias_arr, area, config, rngs=rngs, pinned=pinned,
+            backend=backend,
         )
 
     composed = compose_maps(maps)
@@ -123,6 +131,7 @@ def minimize_assignment_multilevel(
             config,
             rngs=rngs,
             pinned=coarse_pinned,
+            backend=backend,
         )
 
     # Prolongation: every fine gate takes its supernode's relaxed row.
@@ -147,7 +156,8 @@ def minimize_assignment_multilevel(
     )
     with OBS.trace.span("multilevel_fine_solve", gates=num_gates):
         traces = minimize_assignment_batch(
-            num_planes, edges, bias_arr, area, fine_config, w0=stack, pinned=pinned
+            num_planes, edges, bias_arr, area, fine_config, w0=stack, pinned=pinned,
+            backend=backend,
         )
 
     if OBS.enabled:

@@ -243,7 +243,17 @@ def minimize_assignment(num_planes, edges, bias, area, config, rng=None, w0=None
 
 
 def minimize_assignment_batch(
-    num_planes, edges, bias, area, config, rngs=None, w0=None, pinned=None, restarts=None
+    num_planes,
+    edges,
+    bias,
+    area,
+    config,
+    rngs=None,
+    w0=None,
+    pinned=None,
+    restarts=None,
+    restart_tags=None,
+    backend=None,
 ):
     """Run Algorithm 1 from several restarts in lockstep (``engine="batched"``).
 
@@ -276,6 +286,15 @@ def minimize_assignment_batch(
     restarts:
         Batch size when ``rngs`` is not a sequence; defaults to
         ``config.restarts``.
+    restart_tags:
+        Optional per-restart integers keying the deterministic reseed
+        streams of poisoned trajectories (default: the batch index).
+        The mega-batch packer passes each job's *local* restart indices
+        here so a packed restart reseeds from exactly the stream its
+        solo solve would use.
+    backend:
+        Array backend (instance or registered name) executing the
+        descent; ``None`` consults ``REPRO_BACKEND`` (default numpy).
 
     Returns
     -------
@@ -285,7 +304,7 @@ def minimize_assignment_batch(
     """
     bias, pinned = _validate_problem(num_planes, bias, pinned)
     num_gates = bias.shape[0]
-    kernel = FusedKernel(num_planes, edges, bias, area)
+    kernel = FusedKernel(num_planes, edges, bias, area, backend=backend)
 
     if w0 is not None:
         w0 = np.array(w0, dtype=float)
@@ -308,7 +327,18 @@ def minimize_assignment_batch(
         )
 
     num_restarts = stack.shape[0]
-    stack = _clamp_pinned(np.ascontiguousarray(stack), pinned)
+    stack = _clamp_pinned(
+        kernel.backend.ascontiguousarray(kernel.backend.from_host(stack)), pinned
+    )
+    if restart_tags is None:
+        tags = np.arange(num_restarts)
+    else:
+        tags = np.asarray(restart_tags, dtype=np.intp)
+        if tags.shape != (num_restarts,):
+            raise PartitionError(
+                f"restart_tags must have one entry per restart "
+                f"({num_restarts}), got shape {tags.shape}"
+            )
 
     obs = OBS if OBS.enabled else None
     if obs is not None:
@@ -331,11 +361,11 @@ def minimize_assignment_batch(
     with OBS.trace.span("descent_batch", restarts=num_restarts):
         _descend_batch(
             kernel, config, traces, final_w, last_eval, active, live, cost_old,
-            pinned, obs, run if obs is not None else None,
+            pinned, obs, run if obs is not None else None, tags,
         )
 
     for r in range(num_restarts):
-        traces[r].w = np.ascontiguousarray(final_w[r])
+        traces[r].w = np.ascontiguousarray(kernel.backend.to_host(final_w[r]))
         if last_eval[r] is not None:
             # A quarantined restart that never produced a finite
             # evaluation has no terms to materialize.
@@ -349,6 +379,9 @@ def _reseed_assignment(num_gates, num_planes, restart, attempt, pinned):
 
     Seeded by (tag, restart index, reseed attempt), so recovery is
     reproducible and independent of the original restart streams.
+    ``restart`` is the restart's *tag* — its local index within the
+    owning job — so a mega-batched restart recovers from exactly the
+    stream its solo solve would.
     """
     rng = np.random.default_rng(
         np.random.SeedSequence([_RESEED_TAG, int(restart), int(attempt)])
@@ -357,7 +390,7 @@ def _reseed_assignment(num_gates, num_planes, restart, attempt, pinned):
     return _clamp_pinned(w, pinned)
 
 
-def _descend_batch(kernel, config, traces, final_w, last_eval, active, live, cost_old, pinned, obs, run):
+def _descend_batch(kernel, config, traces, final_w, last_eval, active, live, cost_old, pinned, obs, run, tags):
     """The batched descent loop of :func:`minimize_assignment_batch`.
 
     Split out so the timing span around it stays exception-safe without
@@ -376,9 +409,11 @@ def _descend_batch(kernel, config, traces, final_w, last_eval, active, live, cos
     On a fully finite problem none of this triggers and the arithmetic
     is bitwise identical to the sequential engine.
     """
+    backend = kernel.backend
+    xp = backend.xp
     num_restarts = len(traces)
     num_gates, num_planes = live.shape[1], live.shape[2]
-    first_cost = np.full(num_restarts, np.nan)
+    first_cost = xp.full(num_restarts, np.nan)
 
     for _ in range(config.max_iterations):
         if active.size == 0:
@@ -392,11 +427,11 @@ def _descend_batch(kernel, config, traces, final_w, last_eval, active, live, cos
         # next evaluation, so the cost check covers both one iteration
         # late at worst (the cap-exit path below catches the final
         # iteration's stragglers).
-        cost_bad = ~np.isfinite(cost_new)
+        cost_bad = ~xp.isfinite(cost_new)
         baseline = first_cost[active]
         diverged = (
             ~cost_bad
-            & np.isfinite(baseline)
+            & xp.isfinite(baseline)
             & (baseline > 0.0)
             & (cost_new > baseline * DIVERGENCE_FACTOR)
         )
@@ -411,7 +446,9 @@ def _descend_batch(kernel, config, traces, final_w, last_eval, active, live, cos
                 attempt = traces[r].reseeds + 1
                 if attempt <= MAX_RESEEDS:
                     traces[r].reseeds = attempt
-                    live[j] = _reseed_assignment(num_gates, num_planes, r, attempt, pinned)
+                    live[j] = _reseed_assignment(
+                        num_gates, num_planes, tags[r], attempt, pinned
+                    )
                     first_cost[r] = np.nan
                     if obs is not None:
                         obs.metrics.counter("solver.restarts_reseeded").inc()
@@ -428,7 +465,7 @@ def _descend_batch(kernel, config, traces, final_w, last_eval, active, live, cos
                 # reseeded restart takes its first real step next
                 # iteration, from cost_old = inf like any fresh start.
                 gradient[j] = 0.0
-            cost_new = np.where(bad, np.inf, cost_new)
+            cost_new = xp.where(bad, np.inf, cost_new)
 
         good = ~bad
         for j, r in enumerate(active):
@@ -442,8 +479,10 @@ def _descend_batch(kernel, config, traces, final_w, last_eval, active, live, cos
         # each restart's first pass, so nothing stops before one step;
         # poisoned rows carry cost_new = inf, so they never stop here).
         old = cost_old[active]
-        finite = np.isfinite(old) & (old != 0.0)
-        ratio = np.abs(np.where(finite, cost_new, 0.0) / np.where(finite, old, 1.0) - 1.0)
+        finite = xp.isfinite(old) & (old != 0.0)
+        ratio = xp.abs(
+            xp.where(finite, cost_new, 0.0) / xp.where(finite, old, 1.0) - 1.0
+        )
         stop = (finite & (ratio <= config.margin)) | ((old == 0.0) & (cost_new == 0.0))
 
         if obs is not None:
@@ -454,7 +493,7 @@ def _descend_batch(kernel, config, traces, final_w, last_eval, active, live, cos
             # recorded as None.  Poisoned rows are skipped — their term
             # values are non-finite and the restart restarts from
             # scratch anyway.
-            grad_norms = np.sqrt(np.einsum("rgk,rgk->r", gradient, gradient))
+            grad_norms = xp.sqrt(backend.einsum("rgk,rgk->r", gradient, gradient))
             alive = int(active.size)
             for j, r in enumerate(active):
                 if bad[j]:
@@ -478,7 +517,7 @@ def _descend_batch(kernel, config, traces, final_w, last_eval, active, live, cos
             active = active[keep]
             if active.size == 0:
                 break
-            live = np.ascontiguousarray(live[keep])
+            live = backend.ascontiguousarray(live[keep])
             gradient = gradient[keep]
             cost_new = cost_new[keep]
             bad = bad[keep]
@@ -490,7 +529,7 @@ def _descend_batch(kernel, config, traces, final_w, last_eval, active, live, cos
         # leaves their fresh initialization untouched.
         gradient *= -config.learning_rate
         gradient += live
-        live = np.clip(gradient, 0.0, 1.0, out=gradient)
+        live = backend.clip(gradient, 0.0, 1.0, out=gradient)
         if config.renormalize_rows:
             live = normalize_rows(live)
         if pinned:
@@ -506,7 +545,7 @@ def _descend_batch(kernel, config, traces, final_w, last_eval, active, live, cos
     # evaluation to flag it, so quarantine those rows here.
     for j, r in enumerate(active):
         r = int(r)
-        if np.isfinite(live[j]).all():
+        if xp.isfinite(live[j]).all():
             final_w[r] = live[j]
         else:
             traces[r].quarantined = True

@@ -229,61 +229,80 @@ def partition(netlist, num_planes, config=None, seed=None, pinned=None):
                     for stream in streams
                 ]
 
-        with OBS.trace.span("score"):
-            best = None
-            best_cost = np.inf
-            best_labels = None
-            restart_costs = []
-            restart_stats = []
-            for index, trace in enumerate(traces):
-                if config.engine == "multilevel":
-                    # Interpolated warm starts have supernode-constant
-                    # rows; argmax would round whole clusters onto one
-                    # plane, so use the capacity-aware rounding instead.
-                    labels = round_assignment_balanced(
-                        trace.w, bias,
-                        slack=config.multilevel_round_slack,
-                        pinned=pinned_index,
-                    )
-                else:
-                    labels = round_assignment(trace.w)
-                cost = integer_cost(labels, num_planes, edges, bias, area, config)
-                restart_costs.append(cost)
-                stats = {
-                    "restart": index,
-                    "iterations": trace.iterations,
-                    "converged": trace.converged,
-                    "relaxed_cost": trace.final_cost,
-                    "integer_cost": cost,
-                }
-                coarse_iterations = getattr(trace, "coarse_iterations", None)
-                if coarse_iterations is not None:
-                    # engine="multilevel": cheap coarse-solve effort,
-                    # reported separately from the fine iterations above.
-                    stats["coarse_iterations"] = coarse_iterations
-                    stats["coarse_converged"] = trace.coarse_converged
-                restart_stats.append(stats)
-                if cost < best_cost:
-                    best, best_cost, best_labels = trace, cost, labels
+        return finalize_traces(
+            netlist, num_planes, config, traces, pinned_index, edges, bias, area
+        )
 
-        repaired = 0
-        if config.ensure_nonempty:
-            with OBS.trace.span("repair"):
-                best_labels, repaired = _repair_empty_planes(
-                    best_labels, num_planes, netlist, pinned=pinned_index
+
+def finalize_traces(netlist, num_planes, config, traces, pinned_index, edges, bias, area):
+    """Score, round and repair solved traces into a :class:`PartitionResult`.
+
+    The shared tail of :func:`partition` and the mega-batch packer
+    (:mod:`repro.core.megabatch`): given per-restart descent traces this
+    performs exactly the rounding, integer-cost scoring, empty-plane
+    repair and observability accounting a solo :func:`partition` call
+    would — which is what makes packed jobs finish bitwise identically
+    to solo ones.
+    """
+    with OBS.trace.span("score"):
+        best = None
+        best_cost = np.inf
+        best_labels = None
+        restart_costs = []
+        restart_stats = []
+        for index, trace in enumerate(traces):
+            if config.engine == "multilevel" and getattr(trace, "coarse_levels", 0):
+                # Interpolated warm starts have supernode-constant
+                # rows; argmax would round whole clusters onto one
+                # plane, so use the capacity-aware rounding instead.
+                # Traces without coarse_levels fell through to the
+                # plain batched solve (sub-floor circuit or edgeless
+                # graph); round those with the plain argmax so small
+                # circuits match engine="batched" exactly.
+                labels = round_assignment_balanced(
+                    trace.w, bias,
+                    slack=config.multilevel_round_slack,
+                    pinned=pinned_index,
                 )
-        if OBS.enabled:
-            OBS.metrics.counter("partition.converged_restarts").inc(
-                sum(1 for s in restart_stats if s["converged"])
+            else:
+                labels = round_assignment(trace.w)
+            cost = integer_cost(labels, num_planes, edges, bias, area, config)
+            restart_costs.append(cost)
+            stats = {
+                "restart": index,
+                "iterations": trace.iterations,
+                "converged": trace.converged,
+                "relaxed_cost": trace.final_cost,
+                "integer_cost": cost,
+            }
+            coarse_iterations = getattr(trace, "coarse_iterations", None)
+            if coarse_iterations is not None:
+                # engine="multilevel": cheap coarse-solve effort,
+                # reported separately from the fine iterations above.
+                stats["coarse_iterations"] = coarse_iterations
+                stats["coarse_converged"] = trace.coarse_converged
+            restart_stats.append(stats)
+            if cost < best_cost:
+                best, best_cost, best_labels = trace, cost, labels
+
+    repaired = 0
+    if config.ensure_nonempty:
+        with OBS.trace.span("repair"):
+            best_labels, repaired = _repair_empty_planes(
+                best_labels, num_planes, netlist, pinned=pinned_index
             )
-            OBS.metrics.counter("partition.repaired_gates").inc(repaired)
-            OBS.metrics.histogram(
-                "partition.restart_iterations", buckets=(10, 25, 50, 100, 250, 500, 1000, 2000)
+    if OBS.enabled:
+        OBS.metrics.counter("partition.converged_restarts").inc(
+            sum(1 for s in restart_stats if s["converged"])
+        )
+        OBS.metrics.counter("partition.repaired_gates").inc(repaired)
+        OBS.metrics.histogram(
+            "partition.restart_iterations", buckets=(10, 25, 50, 100, 250, 500, 1000, 2000)
+        )
+        for stats in restart_stats:
+            OBS.metrics.histogram("partition.restart_iterations").observe(
+                stats["iterations"]
             )
-            for stats in restart_stats:
-                OBS.metrics.histogram("partition.restart_iterations").observe(
-                    stats["iterations"]
-                )
 
     return PartitionResult(
         netlist=netlist,

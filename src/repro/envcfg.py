@@ -13,7 +13,8 @@ exist.  This module is that place:
   cannot ship undocumented (``tests/test_envcfg.py`` additionally
   greps the source tree for strays).
 * Typed accessors — :func:`raw`, :func:`number`, :func:`flag_disabled`,
-  :func:`choice` — with the exact parsing/validation semantics the
+  :func:`flag_enabled`, :func:`choice` — with the exact
+  parsing/validation semantics the
   subsystems used before (error message format included; several tests
   assert on those messages).
 
@@ -62,6 +63,13 @@ class EnvVar:
 #: Every recognized ``REPRO_*`` variable.  Keep sorted by name within
 #: each subsystem block; docs/service.md renders this table.
 ENV_VARS = (
+    # -- core solver ---------------------------------------------------
+    EnvVar("REPRO_BACKEND", "backend name", "numpy",
+           "repro.core.backend",
+           "Array backend executing the solver kernels (matmul/einsum/"
+           "segment-sum).  Must be a name registered with "
+           "repro.core.backend.register_backend; only 'numpy' ships "
+           "built in."),
     # -- cache ---------------------------------------------------------
     EnvVar("REPRO_CACHE", "flag", "enabled",
            "repro.cache",
@@ -84,6 +92,15 @@ ENV_VARS = (
            "repro.harness.runner",
            "Per-job-attempt wall-clock limit; a timed-out attempt "
            "terminates the worker pool and is retried."),
+    EnvVar("REPRO_MEGABATCH", "flag", "disabled",
+           "repro.harness.megabatch",
+           "1/true/yes/on packs compatible queued partition jobs into "
+           "one batched kernel invocation (suite runner and service "
+           "drain loop).  Per-job results are bitwise-identical to solo "
+           "solves."),
+    EnvVar("REPRO_MEGABATCH_LIMIT", "int >= 1", "16",
+           "repro.harness.megabatch",
+           "Maximum number of jobs packed into one mega-batch group."),
     EnvVar("REPRO_RETRIES", "int >= 0", "2",
            "repro.harness.runner",
            "Retries per failed job (additional attempts after the "
@@ -184,6 +201,17 @@ def flag_disabled(name, environ=None):
     turned off deliberately.
     """
     return raw(name, environ).lower() in DISABLED_VALUES
+
+
+def flag_enabled(name, environ=None):
+    """True when the variable is explicitly one of 1/true/yes/on.
+
+    Unset (or any other value) means *disabled* — the mirror image of
+    :func:`flag_disabled`, for opt-in switches such as
+    ``REPRO_MEGABATCH`` that default off and are only turned on
+    deliberately.
+    """
+    return raw(name, environ).lower() in TRUTHY_VALUES
 
 
 def choice(name, allowed, default, environ=None):

@@ -624,9 +624,47 @@ def _run_pool(state, pending, max_workers, capture, timeout, plan):
             _shutdown_pool(pool, kill=bool(in_flight))
 
 
+def _run_megabatch(state, pending, megabatch_mod):
+    """Execute packable groups inline before normal dispatch.
+
+    Strictly best-effort: a group whose packed solve or validation
+    fails is abandoned wholesale — its jobs stay pending for the
+    retrying per-job path and are not charged an attempt, because the
+    failure belongs to the packing optimization, not to any job.
+    Accepted payloads flow through :meth:`_RunState.accept`, so they
+    checkpoint and count exactly like per-job results.
+    """
+    groups = megabatch_mod.find_groups(state.job_list, pending)
+    if not groups:
+        return
+    with OBS.trace.span("runner.megabatch", groups=len(groups)):
+        for group in groups:
+            jobs = [state.job_list[index] for index in group]
+            try:
+                payloads = megabatch_mod.execute_group(jobs)
+            except KeyboardInterrupt:
+                raise
+            except Exception:
+                if OBS.enabled:
+                    OBS.metrics.counter("runner.megabatch.fallbacks").inc()
+                continue
+            if any(
+                validate_payload(job, payload) is not None
+                for job, payload in zip(jobs, payloads)
+            ):
+                if OBS.enabled:
+                    OBS.metrics.counter("runner.megabatch.fallbacks").inc()
+                continue
+            for index, payload in zip(group, payloads):
+                state.accept(index, payload)
+            if OBS.enabled:
+                OBS.metrics.counter("runner.megabatch.groups").inc()
+                OBS.metrics.counter("runner.megabatch.packed_jobs").inc(len(group))
+
+
 def run_jobs(job_list, jobs=None, timeout=None, retries=None, backoff=None,
              checkpoint=None, resume=False, fault_plan=None, return_report=False,
-             force_pool=False):
+             force_pool=False, megabatch=None):
     """Execute jobs (inline or in a process pool); payloads in job order.
 
     With an effective worker count of 1 — or a single job — everything
@@ -668,6 +706,14 @@ def run_jobs(job_list, jobs=None, timeout=None, retries=None, backoff=None,
         enforceable per-job deadlines (a hung inline job cannot be
         interrupted), so the partitioning service uses this for its
         ``REPRO_SERVICE_ISOLATION=process`` mode.
+    megabatch:
+        Pack compatible partition jobs into shared kernel invocations
+        before normal dispatch (:mod:`repro.harness.megabatch`).
+        ``None`` consults ``REPRO_MEGABATCH`` (default off).  Packed
+        payloads are bitwise-identical to solo execution; a group that
+        fails for any reason falls back to the per-job path without
+        charging attempts.  Skipped entirely when a fault plan is
+        active — chaos semantics are defined per job attempt.
 
     Raises
     ------
@@ -715,6 +761,13 @@ def run_jobs(job_list, jobs=None, timeout=None, retries=None, backoff=None,
                 OBS.metrics.counter("runner.checkpoint.loaded").inc(report.from_checkpoint)
 
     pending = [index for index in range(len(job_list)) if index not in state.results]
+
+    if pending and fault_plan is None:
+        from repro.harness import megabatch as megabatch_mod
+
+        if megabatch_mod.megabatch_enabled(megabatch):
+            _run_megabatch(state, pending, megabatch_mod)
+            pending = [index for index in pending if index not in state.results]
 
     if OBS.enabled:
         OBS.metrics.counter("runner.jobs_submitted").inc(len(job_list))

@@ -34,10 +34,11 @@ import uuid
 from collections import deque
 
 from repro.harness import faults as fault_mod
+from repro.harness import megabatch as megabatch_mod
 from repro.harness.checkpoint import payload_to_jsonable
 from repro.harness.runner import run_jobs
 from repro.obs import OBS
-from repro.service.api import request_to_job
+from repro.service.api import pack_signature, request_to_job
 from repro.service.errors import NotFoundError, QueueFullError
 from repro.utils.errors import ReproError
 
@@ -99,7 +100,8 @@ class JobManager:
 
     def __init__(self, workers=1, queue_size=64, timeout=None, retries=None,
                  backoff=None, isolation="inline", store=None, retry_after=1,
-                 fault_plan=None, metrics=None):
+                 fault_plan=None, metrics=None, megabatch=None,
+                 megabatch_limit=None):
         if workers < 1:
             raise ReproError(f"workers must be >= 1, got {workers}")
         if queue_size < 1:
@@ -118,6 +120,13 @@ class JobManager:
         self.retry_after = retry_after
         self.fault_plan = fault_plan
         self.metrics = metrics
+        # Mega-batching is inline-only: the packed solve runs in the
+        # worker thread, which would silently bypass the crash
+        # isolation and enforceable deadlines process isolation buys.
+        self.megabatch = (
+            megabatch_mod.megabatch_enabled(megabatch) and isolation == "inline"
+        )
+        self.megabatch_limit = megabatch_mod.resolve_megabatch_limit(megabatch_limit)
 
         self._cond = threading.Condition()
         self._queue = deque()           # Jobs admitted but not yet running
@@ -232,6 +241,13 @@ class JobManager:
         with self._cond:
             return len(self._queue)
 
+    def running_count(self):
+        """Jobs currently executing on a worker thread."""
+        with self._cond:
+            return sum(
+                1 for job in self._inflight.values() if job.state == "running"
+            )
+
     def cancel(self, job_id):
         """Best-effort cancel; returns the job.
 
@@ -285,12 +301,96 @@ class JobManager:
             job.started_at = time.time()
             return job
 
+    def _next_batch(self):
+        """Pop the next job plus any queued jobs packable with it.
+
+        With mega-batching off this degenerates to a one-job batch.
+        With it on, the queue is drained of jobs whose
+        :func:`~repro.service.api.pack_signature` matches the head
+        job's (up to ``megabatch_limit``); non-matching jobs keep
+        their relative order at the front of the queue.
+        """
+        job = self._next_job()
+        if job is None:
+            return None
+        batch = [job]
+        if self.megabatch:
+            with self._cond:
+                signature = pack_signature(job.request)
+                if signature is not None and self._queue:
+                    keep = deque()
+                    while self._queue and len(batch) < self.megabatch_limit:
+                        candidate = self._queue.popleft()
+                        if pack_signature(candidate.request) == signature:
+                            candidate.state = "running"
+                            candidate.started_at = time.time()
+                            batch.append(candidate)
+                        else:
+                            keep.append(candidate)
+                    while keep:
+                        self._queue.appendleft(keep.pop())
+        return batch
+
     def _worker_loop(self):
         while True:
-            job = self._next_job()
-            if job is None:
+            batch = self._next_batch()
+            if batch is None:
                 return
-            self._execute(job)
+            if len(batch) == 1:
+                self._execute(batch[0])
+            else:
+                self._execute_batch(batch)
+
+    def _execute_batch(self, jobs):
+        """Run a packed group of compatible jobs as one solve.
+
+        Per-job payloads are bitwise-identical to solo execution (the
+        runner's mega-batch contract), so the result store and clients
+        never observe the difference.  When a fault plan is active
+        (chaos semantics are per-job) or the packed run fails for any
+        reason, every job re-runs through the solo :meth:`_execute`
+        path — nothing has been finished at that point, so the
+        fallback is clean.
+        """
+        fault_plan = self.fault_plan
+        if fault_plan is None:
+            fault_plan = fault_mod.plan_from_env()
+        if fault_plan is not None:
+            for job in jobs:
+                self._execute(job)
+            return
+        try:
+            suite_jobs = [request_to_job(job.request) for job in jobs]
+            serialize = OBS.enabled
+            if serialize:
+                self._obs_lock.acquire()
+            try:
+                payloads = run_jobs(
+                    suite_jobs,
+                    jobs=1,
+                    timeout=self.timeout,
+                    retries=self.retries,
+                    backoff=self.backoff,
+                    megabatch=True,
+                )
+            finally:
+                if serialize:
+                    self._obs_lock.release()
+            jsonables = [payload_to_jsonable(payload) for payload in payloads]
+        except Exception:
+            self._inc("service.megabatch.fallbacks")
+            for job in jobs:
+                self._execute(job)
+            return
+        self._inc("service.megabatch.groups")
+        self._inc("service.megabatch.packed_jobs", len(jobs))
+        for job, payload, jsonable in zip(jobs, payloads, jsonables):
+            if self.store is not None:
+                self.store.put(job.key, payload, meta={"request": job.request})
+                self._inc("service.store.writes")
+            with self._cond:
+                self._finish_locked(job, "done", payload=jsonable)
+                self._inc_locked("service.jobs.completed")
 
     def _execute(self, job):
         fault_plan = self.fault_plan

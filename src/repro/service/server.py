@@ -118,7 +118,8 @@ class PartitionService:
 
     def __init__(self, workers=None, queue_size=None, timeout=None,
                  retries=None, backoff=None, isolation=None, store=None,
-                 retry_after=None, fault_plan=None):
+                 retry_after=None, fault_plan=None, megabatch=None,
+                 megabatch_limit=None):
         self.metrics = MetricsRegistry()
         self.tracer = Tracer()
         self.tracer.enabled = True
@@ -135,6 +136,8 @@ class PartitionService:
             retry_after=resolve_retry_after(retry_after),
             fault_plan=fault_plan,
             metrics=self.metrics,
+            megabatch=megabatch,
+            megabatch_limit=megabatch_limit,
         )
         self.started_at = time.time()
 
@@ -199,11 +202,21 @@ class PartitionService:
             "isolation": self.manager.isolation,
             "queue_depth": self.manager.queue_depth(),
             "queue_size": self.manager.queue_size,
+            "running": self.manager.running_count(),
+            "megabatch": self.manager.megabatch,
             "store_enabled": self.store.enabled,
         }
 
     def metrics_payload(self):
         with self._telemetry_lock:
+            # Live gauges, sampled at scrape time so the route reports
+            # the instantaneous queue/worker state, not a stale value.
+            self.metrics.gauge("service.queue.depth").set(
+                self.manager.queue_depth()
+            )
+            self.metrics.gauge("service.jobs.inflight").set(
+                self.manager.running_count()
+            )
             metrics = self.metrics.as_dict()
             spans = self.tracer.as_dict()
         return 200, {

@@ -1,0 +1,240 @@
+"""Tests for repro.core.backend — the pluggable array-backend layer.
+
+Covers the registry/resolution rules (explicit > ``REPRO_BACKEND`` >
+numpy, loud failure on unknown names), the NumpyBackend's op-for-op
+equivalence with plain numpy, and the dense-vs-sparse
+:class:`EdgeIncidence` variants (bitwise identity, automatic threshold
+selection).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.backend import (
+    BACKEND_ENV_VAR,
+    ArrayBackend,
+    NumpyBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend_name,
+)
+from repro.core.kernel import (
+    SPARSE_INCIDENCE_THRESHOLD,
+    EdgeIncidence,
+    FusedKernel,
+    SparseEdgeIncidence,
+    build_incidence,
+)
+from repro.utils.errors import ReproError
+
+
+# ----------------------------------------------------------------------
+# Registry and resolution
+# ----------------------------------------------------------------------
+def test_numpy_backend_registered_by_default():
+    assert "numpy" in available_backends()
+    backend = get_backend()
+    assert isinstance(backend, NumpyBackend)
+    assert backend.name == "numpy"
+    assert backend.xp is np
+
+
+def test_get_backend_passes_instances_through():
+    backend = NumpyBackend()
+    assert get_backend(backend) is backend
+
+
+def test_get_backend_caches_per_name():
+    assert get_backend("numpy") is get_backend("numpy")
+
+
+def test_resolve_backend_name_precedence():
+    assert resolve_backend_name("numpy", {BACKEND_ENV_VAR: "other"}) == "numpy"
+    assert resolve_backend_name(None, {BACKEND_ENV_VAR: "numpy"}) == "numpy"
+    assert resolve_backend_name(None, {}) == "numpy"
+
+
+def test_env_selects_unknown_backend_fails_loudly():
+    with pytest.raises(ReproError, match=BACKEND_ENV_VAR):
+        get_backend(None, {BACKEND_ENV_VAR: "cupy"})
+
+
+def test_get_backend_unknown_name_fails_loudly():
+    with pytest.raises(ReproError, match="unknown array backend"):
+        get_backend("no-such-backend")
+
+
+def test_register_backend_rejects_bad_names():
+    with pytest.raises(ReproError, match="non-empty string"):
+        register_backend("", NumpyBackend)
+    with pytest.raises(ReproError, match="non-empty string"):
+        register_backend(None, NumpyBackend)
+
+
+def test_register_backend_replaces_and_validates_name():
+    class Misnamed(NumpyBackend):
+        name = "wrong"
+
+    register_backend("fake-backend", Misnamed)
+    try:
+        with pytest.raises(ReproError, match="named"):
+            get_backend("fake-backend")
+    finally:
+        # The registry is process-global; leave no trace for other tests.
+        from repro.core import backend as backend_mod
+
+        backend_mod._FACTORIES.pop("fake-backend", None)
+        backend_mod._INSTANCES.pop("fake-backend", None)
+    assert "fake-backend" not in available_backends()
+
+
+def test_register_backend_allows_instrumented_fakes():
+    calls = []
+
+    class Counting(NumpyBackend):
+        name = "counting"
+
+        def matmul(self, a, b):
+            calls.append("matmul")
+            return super().matmul(a, b)
+
+    register_backend("counting", Counting)
+    try:
+        backend = get_backend("counting")
+        backend.matmul(np.eye(2), np.eye(2))
+        assert calls == ["matmul"]
+    finally:
+        from repro.core import backend as backend_mod
+
+        backend_mod._FACTORIES.pop("counting", None)
+        backend_mod._INSTANCES.pop("counting", None)
+
+
+# ----------------------------------------------------------------------
+# NumpyBackend op equivalence (the "same calls as before" contract)
+# ----------------------------------------------------------------------
+def test_numpy_backend_ops_match_numpy():
+    backend = get_backend("numpy")
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(3, 4, 5))
+    b = rng.normal(size=(5, 5))
+    assert np.array_equal(backend.matmul(a, b), np.matmul(a, b))
+    assert np.array_equal(
+        backend.einsum("rgk,rgk->r", a, a), np.einsum("rgk,rgk->r", a, a)
+    )
+    values = rng.normal(size=(2, 12))
+    starts = np.array([0, 3, 7])
+    assert np.array_equal(
+        backend.segment_sum(values, starts),
+        np.add.reduceat(values, starts, axis=-1),
+    )
+    cond = a > 0
+    assert np.array_equal(backend.where(cond, a, -a), np.where(cond, a, -a))
+    assert np.array_equal(backend.clip(a, 0.0, 1.0), np.clip(a, 0.0, 1.0))
+    assert backend.norm(a) == np.sqrt(np.sum(a * a))
+    assert np.array_equal(backend.from_host(a), a)
+    assert np.array_equal(backend.to_host(a), a)
+
+
+def test_numpy_backend_clip_supports_out():
+    backend = get_backend("numpy")
+    a = np.array([-1.0, 0.5, 2.0])
+    out = backend.clip(a, 0.0, 1.0, out=a)
+    assert out is a
+    assert np.array_equal(a, [0.0, 0.5, 1.0])
+
+
+def test_numpy_backend_rng_matches_utils():
+    from repro.utils.rng import make_rng, spawn_rngs
+
+    backend = get_backend("numpy")
+    ours = backend.spawn_rngs(backend.make_rng(7), 3)
+    theirs = spawn_rngs(make_rng(7), 3)
+    for mine, ref in zip(ours, theirs):
+        assert np.array_equal(mine.normal(size=4), ref.normal(size=4))
+
+
+def test_base_backend_is_abstract():
+    backend = ArrayBackend()
+    with pytest.raises(NotImplementedError):
+        backend.matmul(np.eye(2), np.eye(2))
+
+
+# ----------------------------------------------------------------------
+# Dense vs sparse EdgeIncidence
+# ----------------------------------------------------------------------
+def _random_edges(num_gates, num_edges, seed):
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, num_gates, size=(num_edges * 2, 2))
+    edges = edges[edges[:, 0] != edges[:, 1]][:num_edges]
+    return np.ascontiguousarray(edges)
+
+
+@pytest.mark.parametrize("batch_shape", [(), (1,), (7,), (3, 4)])
+def test_sparse_incidence_bitwise_matches_dense(batch_shape):
+    edges = _random_edges(50, 120, seed=2)
+    dense = EdgeIncidence(edges, 50)
+    sparse = SparseEdgeIncidence(edges, 50)
+    values = np.random.default_rng(3).normal(size=batch_shape + (edges.shape[0],))
+    assert np.array_equal(
+        dense.scatter_signed(values), sparse.scatter_signed(values)
+    )
+
+
+def test_sparse_incidence_no_edges():
+    sparse = SparseEdgeIncidence(np.zeros((0, 2), dtype=np.intp), 4)
+    assert np.array_equal(sparse.scatter_signed(np.zeros(0)), np.zeros(4))
+
+
+def test_build_incidence_threshold_selection():
+    edges = np.array([[0, 1], [1, 2]], dtype=np.intp)
+    assert build_incidence(edges, 10).variant == "dense"
+    assert build_incidence(edges, 10, sparse=True).variant == "sparse"
+    assert build_incidence(edges, 10, sparse=False).variant == "dense"
+    big = SPARSE_INCIDENCE_THRESHOLD + 1
+    assert build_incidence(edges, big).variant == "sparse"
+    assert build_incidence(edges, SPARSE_INCIDENCE_THRESHOLD).variant == "dense"
+
+
+def test_fused_kernel_sparse_bitwise_identical():
+    rng = np.random.default_rng(9)
+    num_gates, num_planes = 40, 4
+    edges = _random_edges(num_gates, 90, seed=11)
+    bias = rng.uniform(0.05, 2.0, size=num_gates)
+    area = rng.uniform(10.0, 500.0, size=num_gates)
+    w = rng.dirichlet(np.ones(num_planes), size=(5, num_gates))
+    from repro.core.config import PartitionConfig
+
+    config = PartitionConfig()
+    dense_k = FusedKernel(num_planes, edges, bias, area, sparse=False)
+    sparse_k = FusedKernel(num_planes, edges, bias, area, sparse=True)
+    assert dense_k.incidence.variant == "dense"
+    assert sparse_k.incidence.variant == "sparse"
+    dense_terms, dense_grad = dense_k.cost_and_gradient(w, config)
+    sparse_terms, sparse_grad = sparse_k.cost_and_gradient(w, config)
+    for name in ("f1", "f2", "f3", "f4", "total"):
+        assert np.array_equal(
+            getattr(dense_terms, name), getattr(sparse_terms, name)
+        )
+    assert np.array_equal(dense_grad, sparse_grad)
+
+
+def test_partition_sparse_matches_dense_end_to_end(
+    mixed_netlist, fast_config, monkeypatch
+):
+    """A full solve above the sparse threshold lands on identical labels.
+
+    Lowering the threshold makes the 40-gate fixture take the sparse
+    incidence path inside :func:`minimize_assignment_batch`; the result
+    must be bitwise the dense run's.
+    """
+    from repro.core import kernel as kernel_mod
+    from repro.core.partitioner import partition
+
+    dense = partition(mixed_netlist, 3, config=fast_config, seed=5)
+    monkeypatch.setattr(kernel_mod, "SPARSE_INCIDENCE_THRESHOLD", 1)
+    sparse = partition(mixed_netlist, 3, config=fast_config, seed=5)
+    assert np.array_equal(dense.trace.w, sparse.trace.w)
+    assert np.array_equal(dense.labels, sparse.labels)
+    assert dense.restart_costs == sparse.restart_costs

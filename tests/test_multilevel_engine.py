@@ -180,12 +180,16 @@ def test_multilevel_fine_iterations_capped(mixed_netlist):
 
 
 def test_multilevel_small_circuit_falls_back_to_batched(diamond_netlist):
-    # 5 gates <= 2x the coarsest floor: the relaxed solves must be the
-    # plain batched ones (bitwise), only the rounding differs.
+    # 5 gates <= 2x the coarsest floor: the fall-through must reproduce
+    # engine="batched" entirely — the relaxed solves bitwise AND the
+    # plain argmax rounding (balanced rounding only applies to traces
+    # that actually coarsened).
     config = PartitionConfig(restarts=2, max_iterations=100)
     batched = partition(diamond_netlist, 2, config=config.with_(engine="batched"), seed=4)
     multi = partition(diamond_netlist, 2, config=config.with_(engine="multilevel"), seed=4)
     assert np.array_equal(batched.trace.w, multi.trace.w)
+    assert np.array_equal(batched.labels, multi.labels)
+    assert batched.restart_costs == multi.restart_costs
     _assert_valid_partition(multi, 2)
 
 

@@ -15,6 +15,13 @@ user deploys), then proves the three service-level guarantees:
    (``REPRO_FAULT``) the job fails *cleanly*: the job status reports the
    failure, the result route returns a 5xx JSON error, and the server
    keeps serving (``/healthz`` stays ok).
+4. **Observability** — a ``--trace-requests`` server with process
+   isolation yields a connected request→worker span tree on
+   ``/v1/trace``, a lifecycle event log on ``/v1/jobs/<id>/events``,
+   and ``/metrics?format=prometheus`` output that passes
+   ``lint_exposition``. The scraped exposition, the trace and the
+   event log are written to ``service_smoke_artifacts/`` (override
+   with ``SMOKE_ARTIFACT_DIR``) for CI upload.
 
 Usage::
 
@@ -152,7 +159,71 @@ def probe_chaos(cache_dir):
         check(client.health()["status"] == "ok", "server keeps serving after the fault")
 
 
+def probe_observability(cache_dir, artifact_dir):
+    import io
+
+    from repro.obs import lint_exposition
+    from repro.obs.export import read_trace_jsonl
+    from repro.obs.report import render_waterfall, span_trees
+
+    os.makedirs(artifact_dir, exist_ok=True)
+    events_path = os.path.join(artifact_dir, "events.jsonl")
+    env = {
+        "REPRO_CACHE_DIR": cache_dir,
+        "REPRO_CACHE": "0",  # force a real solve so solver spans exist
+        "REPRO_EVENTS": events_path,
+    }
+    with ServerProcess("--workers", "2", "--isolation", "process",
+                       "--trace-requests", env=env) as server:
+        client = ServiceClient(server.url, timeout=120.0)
+        job = client.submit({"circuit": "KSA4", "num_planes": 3, "seed": 11})
+        request_id = job["trace"]["request_id"]
+        client.wait(job["id"], timeout=300.0)
+
+        events = client.job_events(job["id"])["events"]
+        names = [event["event"] for event in events]
+        check(names[0] == "queued" and names[-1] == "done"
+              and "solving" in names,
+              f"event log tells the lifecycle story ({' -> '.join(names)})")
+
+        exposition = client.metrics_text()
+        problems = lint_exposition(exposition)
+        check(problems == [],
+              f"/metrics exposition passes the format lint ({problems or 'clean'})")
+        check("repro_service_job_solve_seconds_bucket" in exposition,
+              "exposition carries the job-phase latency histograms")
+
+        trace_text = client.trace_text()
+
+    parsed = read_trace_jsonl(io.StringIO(trace_text))
+    requests, _ = span_trees(parsed["spans"])
+    check(request_id in requests and len(requests[request_id]) == 1,
+          "one POST produced one connected span tree on /v1/trace")
+
+    def paths(node):
+        yield node["path"]
+        for child in node["children"]:
+            yield from paths(child)
+
+    tree_paths = set(paths(requests[request_id][0]))
+    check(any(p.startswith("partition") for p in tree_paths),
+          "worker-side solver spans re-parented into the request tree")
+
+    with open(os.path.join(artifact_dir, "metrics.prom"), "w") as handle:
+        handle.write(exposition)
+    with open(os.path.join(artifact_dir, "trace.jsonl"), "w") as handle:
+        handle.write(trace_text)
+    with open(os.path.join(artifact_dir, "waterfall.txt"), "w") as handle:
+        handle.write(render_waterfall(parsed, request=request_id))
+    check(os.path.getsize(events_path) > 0,
+          f"sample artifacts written to {artifact_dir}")
+
+
 def main():
+    artifact_dir = os.environ.get(
+        "SMOKE_ARTIFACT_DIR",
+        os.path.join(os.getcwd(), "service_smoke_artifacts"),
+    )
     with tempfile.TemporaryDirectory(prefix="repro-service-smoke-") as cache_dir:
         print("== parity + result store ==")
         probe_parity(cache_dir)
@@ -160,6 +231,8 @@ def main():
         probe_backpressure(cache_dir)
         print("== chaos ==")
         probe_chaos(cache_dir)
+        print("== observability ==")
+        probe_observability(cache_dir, artifact_dir)
     print("service smoke: all checks passed")
     return 0
 

@@ -79,11 +79,24 @@ ENV_VARS = (
            "repro.cache",
            "Root directory of the on-disk artifact cache."),
     # -- observability -------------------------------------------------
+    EnvVar("REPRO_EVENTS", "flag or path", "service on, CLI off",
+           "repro.obs.events",
+           "Job-lifecycle event log: 0/off/false/no disables it "
+           "everywhere, 1/true/yes/on enables in-memory capture (the "
+           "CLI/runner default is off; the service always keeps its "
+           "in-memory log unless disabled), any other value also names "
+           "a JSONL file every event is appended to."),
     EnvVar("REPRO_TRACE", "flag or path", "disabled",
            "repro.obs",
            "1/true/yes/on enables span+metric+telemetry capture; any "
            "other non-empty value also names the JSONL trace output "
            "path written by the CLI on exit."),
+    EnvVar("REPRO_TRACE_CONTEXT", "flag", "enabled",
+           "repro.obs.context",
+           "Set to 0/off/false/no to stop the service/CLI from "
+           "attaching trace contexts (request/trace/span ids) to "
+           "spans; with it off, span events record exactly the v1 "
+           "shape."),
     # -- suite runner --------------------------------------------------
     EnvVar("REPRO_JOBS", "int >= 1", "min(cpus, 8)",
            "repro.harness.runner",

@@ -13,6 +13,9 @@ Subcommands::
     repro-gpp convergence-report KSA8    # per-iteration F1..F4 telemetry
     repro-gpp cache info                 # on-disk artifact cache status
     repro-gpp cache clear                # drop the repro cache namespace
+    repro-gpp serve --trace-requests     # HTTP service with deep tracing
+    repro-gpp obs report TRACE.jsonl     # per-request span waterfall
+    repro-gpp obs events events.jsonl    # pretty-print a job event log
 
 The table subcommands accept ``--jobs N`` to fan the independent
 per-circuit solves out over a process pool (results are
@@ -337,8 +340,33 @@ def _cmd_serve(args):
         retries=args.retries,
         isolation=args.isolation,
         verbose=args.verbose,
+        tracing=args.trace_requests,
     )
     return 0
+
+
+def _cmd_obs(args):
+    import json
+
+    if args.obs_command == "report":
+        from repro.obs.export import read_trace_jsonl
+        from repro.obs.report import render_waterfall
+
+        parsed = read_trace_jsonl(args.trace_file)
+        print(render_waterfall(parsed, request=args.request, width=args.width))
+        return 0
+    if args.obs_command == "events":
+        from repro.obs.events import read_events
+
+        events, corrupt = read_events(args.events_file)
+        if args.job:
+            events = [e for e in events if e.get("job_id") == args.job]
+        for event in events:
+            print(json.dumps(event, sort_keys=True))
+        if corrupt:
+            print(f"({corrupt} corrupt line(s) skipped)", file=sys.stderr)
+        return 0
+    raise ReproError(f"unknown obs subcommand {args.obs_command!r}")
 
 
 def _cmd_figure1(args):
@@ -621,6 +649,38 @@ def build_parser():
     serve_parser.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
+    serve_parser.add_argument(
+        "--trace-requests", action="store_true",
+        help="record per-job phase spans and solver spans under each "
+        "request's trace context (serializes solves; debugging aid)",
+    )
+
+    obs_parser = subparsers.add_parser(
+        "obs",
+        help="inspect exported observability artifacts",
+        epilog="See docs/observability.md for the trace-file and "
+        "event-log schemas.",
+    )
+    obs_subparsers = obs_parser.add_subparsers(dest="obs_command", required=True)
+    obs_report_parser = obs_subparsers.add_parser(
+        "report", help="render per-request span waterfalls from a JSONL trace"
+    )
+    obs_report_parser.add_argument("trace_file", help="JSONL trace path")
+    obs_report_parser.add_argument(
+        "--request", default=None, metavar="ID",
+        help="only render this request id",
+    )
+    obs_report_parser.add_argument(
+        "--width", type=_positive_int, default=48,
+        help="character width of the time axis (default 48)",
+    )
+    obs_events_parser = obs_subparsers.add_parser(
+        "events", help="pretty-print a JSONL job event log"
+    )
+    obs_events_parser.add_argument("events_file", help="JSONL event-log path")
+    obs_events_parser.add_argument(
+        "--job", default=None, metavar="ID", help="only print this job's events"
+    )
 
     figure1_parser = subparsers.add_parser("figure1", help="render the Fig. 1 floorplan")
     figure1_parser.add_argument("circuit", nargs="?", default="KSA4")
@@ -668,6 +728,7 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "version": _cmd_version,
     "serve": _cmd_serve,
+    "obs": _cmd_obs,
     "figure1": _cmd_figure1,
     "convergence": _cmd_convergence,
     "convergence-report": _cmd_convergence_report,
@@ -681,6 +742,10 @@ def main(argv=None):
     capture = bool(trace_path) or profile or obs.apply_env()
     if capture:
         obs.enable()
+        if obs.context_enabled() and obs.OBS.trace.context is None:
+            # Root every span of this invocation in one trace so the
+            # exported JSONL replays as a single connected tree.
+            obs.OBS.trace.context = obs.TraceContext.new()
     try:
         code = _COMMANDS[args.command](args)
     except ReproError as error:

@@ -65,7 +65,8 @@ import numpy as np
 from repro import envcfg
 from repro.harness import faults as fault_mod
 from repro.harness.checkpoint import SuiteCheckpoint, job_key
-from repro.obs import OBS, merge_snapshot
+from repro.obs import OBS, TraceContext, merge_snapshot
+from repro.obs import events as obs_events
 from repro.utils.errors import CacheCorruptError, ReproError
 
 #: Upper bound of the automatic jobs default; beyond this the suite is
@@ -157,6 +158,14 @@ class SuiteJob:
 
     ``pinned`` optionally maps gate names to plane indices (hard
     constraints; gradient method only).
+
+    ``trace_context`` optionally carries a
+    :meth:`repro.obs.context.TraceContext.to_wire` dict into the pool
+    worker executing this job, so worker-side spans re-parent under the
+    originating request's span tree (the partitioning service sets it).
+    It never participates in content keys (checkpoint ``job_key`` and
+    mega-batch ``job_pack_key`` enumerate their fields explicitly) and
+    never influences the produced payload.
     """
 
     kind: str
@@ -169,6 +178,7 @@ class SuiteJob:
     bias_limit_ma: float = 100.0
     netlist_json: object = None
     pinned: object = None
+    trace_context: object = None
 
     def __post_init__(self):
         if self.kind not in ("partition", "plan"):
@@ -362,18 +372,39 @@ def _classify_exception(exc):
     return "crashed"
 
 
-def _worker_run(capture, plan, run_id, index, attempt, job):
-    """Pool entry point: execute one job attempt with a fresh obs window."""
+def _worker_run(capture, plan, run_id, index, attempt, job, base_ctx=None):
+    """Pool entry point: execute one job attempt with a fresh obs window.
+
+    ``base_ctx`` is the parent process's trace-context wire dict (when
+    it had one); a job's own ``trace_context`` wins over it.  An active
+    context is namespaced by ``job<index>/a<attempt>`` so concurrent
+    workers (and retried attempts) derive disjoint span ids that all
+    parent back to the carried span — and it force-enables capture even
+    when the parent had tracing off, because a context is only ever
+    attached by a caller that wants the worker's spans back.
+    """
     OBS.reset()
-    if capture:
+    wire = job.trace_context if job.trace_context is not None else base_ctx
+    ctx = TraceContext.from_wire(wire) if wire is not None else None
+    if ctx is not None:
+        ctx = ctx.namespaced(f"job{index}/a{attempt}")
+    if capture or ctx is not None:
         OBS.enable()
+        if ctx is not None:
+            OBS.trace.context = ctx
+    else:
+        OBS.disable()
     kind = plan.fault_for(index, attempt) if plan is not None else None
     if kind is not None and kind != "corrupt":
         fault_mod.raise_fault(kind)
     payload = execute_job(job)
     if kind == "corrupt":
         payload = fault_mod.corrupt_payload(payload)
-    snap = OBS.snapshot(origin=f"{run_id}/job{index}/a{attempt}") if capture else None
+    snap = (
+        OBS.snapshot(origin=f"{run_id}/job{index}/a{attempt}")
+        if OBS.enabled
+        else None
+    )
     return payload, snap
 
 
@@ -432,7 +463,15 @@ class _RunState:
             OBS.metrics.counter(
                 "runner.failures." + kind.replace("-", "_")
             ).inc()
-        if attempt <= self.retries:
+        log = obs_events.default_events()
+        retrying = attempt <= self.retries
+        if log.enabled:
+            log.emit(
+                "runner.attempt_failed" if retrying else "runner.job_failed",
+                circuit=self.job_list[index].circuit,
+                index=index, kind=kind, attempt=attempt,
+            )
+        if retrying:
             self.report.retries += 1
             if OBS.enabled:
                 OBS.metrics.counter("runner.retries").inc()
@@ -446,6 +485,13 @@ class _RunState:
         if snap is not None:
             self.snaps[index] = snap
         self.report.executed += 1
+        log = obs_events.default_events()
+        if log.enabled:
+            log.emit(
+                "runner.job_completed",
+                circuit=self.job_list[index].circuit,
+                index=index, attempt=self.attempts.get(index, 0) + 1,
+            )
         if self.checkpoint is not None:
             self.checkpoint.append(self.keys[index], payload)
             if OBS.enabled:
@@ -497,7 +543,7 @@ def _run_inline(state, pending, plan):
                 time.sleep(delay)
 
 
-def _run_pool(state, pending, max_workers, capture, timeout, plan):
+def _run_pool(state, pending, max_workers, capture, timeout, plan, base_ctx=None):
     """The fault-tolerant pool loop.
 
     Invariants: with a per-job ``timeout``, at most ``max_workers``
@@ -546,7 +592,8 @@ def _run_pool(state, pending, max_workers, capture, timeout, plan):
                 job = state.job_list[index]
                 attempt = state.next_attempt(index)
                 future = ensure_pool().submit(
-                    _worker_run, capture, plan, run_id, index, attempt, job
+                    _worker_run, capture, plan, run_id, index, attempt, job,
+                    base_ctx,
                 )
                 in_flight[future] = (index, now + timeout if timeout else None)
             ready.extendleft(reversed(deferred))
@@ -664,7 +711,7 @@ def _run_megabatch(state, pending, megabatch_mod):
 
 def run_jobs(job_list, jobs=None, timeout=None, retries=None, backoff=None,
              checkpoint=None, resume=False, fault_plan=None, return_report=False,
-             force_pool=False, megabatch=None):
+             force_pool=False, megabatch=None, snapshot_sink=None):
     """Execute jobs (inline or in a process pool); payloads in job order.
 
     With an effective worker count of 1 — or a single job — everything
@@ -714,6 +761,12 @@ def run_jobs(job_list, jobs=None, timeout=None, retries=None, backoff=None,
         fails for any reason falls back to the per-job path without
         charging attempts.  Skipped entirely when a fault plan is
         active — chaos semantics are defined per job attempt.
+    snapshot_sink:
+        A callable receiving each worker obs snapshot (in job-index
+        order) *instead of* merging it into the process-wide ``OBS``
+        singleton.  The partitioning service uses this to route worker
+        spans into its private per-server tracer without touching the
+        singleton.
 
     Raises
     ------
@@ -779,14 +832,25 @@ def run_jobs(job_list, jobs=None, timeout=None, retries=None, backoff=None,
             _run_inline(state, pending, fault_plan)
         else:
             capture = OBS.enabled
+            # The parent's live trace context (when capture is on)
+            # rides into every worker that doesn't carry its own, so a
+            # CLI `--trace --jobs N` run still yields one connected
+            # span tree.
+            base_ctx = None
+            if capture and OBS.trace.context is not None:
+                base_ctx = OBS.trace.context.to_wire()
             max_workers = max(1, min(jobs, len(pending)))
             with OBS.trace.span("runner.pool", jobs=max_workers, items=len(pending)):
-                _run_pool(state, pending, max_workers, capture, timeout, fault_plan)
+                _run_pool(state, pending, max_workers, capture, timeout,
+                          fault_plan, base_ctx)
 
     # Snapshots merge after the run, in job-index order, so parallel
     # completion order never changes the aggregated metrics.
     for index in sorted(state.snaps):
-        merge_snapshot(state.snaps[index])
+        if snapshot_sink is not None:
+            snapshot_sink(state.snaps[index])
+        else:
+            merge_snapshot(state.snaps[index])
 
     if report.failed_jobs:
         details = []

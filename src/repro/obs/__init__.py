@@ -43,8 +43,17 @@ import os
 import uuid
 
 from repro import envcfg
+from repro.obs.context import TRACE_HEADER, TraceContext, context_enabled
+from repro.obs.events import (
+    EVENT_SCHEMA_VERSION,
+    EventLog,
+    default_events,
+    read_events,
+    set_default_events,
+)
 from repro.obs.export import read_trace_jsonl, write_telemetry_csv, write_trace_jsonl
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.promtext import lint_exposition, render_exposition, render_metrics
 from repro.obs.telemetry import ITERATION_FIELDS, TRACE_SCHEMA_VERSION, SolverTelemetry
 from repro.obs.tracer import NOOP_SPAN, Span, Tracer
 
@@ -61,6 +70,17 @@ __all__ = [
     "SolverTelemetry",
     "TRACE_SCHEMA_VERSION",
     "ITERATION_FIELDS",
+    "TRACE_HEADER",
+    "TraceContext",
+    "context_enabled",
+    "EVENT_SCHEMA_VERSION",
+    "EventLog",
+    "default_events",
+    "set_default_events",
+    "read_events",
+    "render_metrics",
+    "render_exposition",
+    "lint_exposition",
     "enable",
     "disable",
     "enabled",

@@ -1,0 +1,194 @@
+"""Structured job-lifecycle event log (JSONL, schema-versioned).
+
+Spans answer "how long did it take"; the event log answers "what
+happened to this job, in order": ``queued`` → ``leased`` → ``solving``
+→ ``solved`` → ``stored`` → ``done`` (or ``failed`` / ``cancelled`` /
+``rejected``), each record stamped with the wall clock, the job id and
+— when trace context is active — the trace/request/span ids that tie
+the event to the span tree.
+
+:class:`EventLog` keeps a bounded in-memory ring (what the service's
+``GET /v1/jobs/<id>/events`` route serves) and optionally appends each
+record as one JSON line to a file.  Appends are atomic at the line
+level exactly like :mod:`repro.harness.checkpoint`: a single
+``write()`` of one ``\\n``-terminated line followed by a flush, so
+concurrent writers interleave whole records and a reader never sees a
+torn line.  :func:`read_events` skips corrupt lines (counting them)
+instead of failing, mirroring the checkpoint loader.
+
+``REPRO_EVENTS`` semantics (see :func:`EventLog.from_env`):
+
+* unset — CLI/runner emission disabled, service keeps its in-memory
+  log (the service constructs its log explicitly; events are cheap and
+  the route should work out of the box);
+* ``0/off/false/no`` — disabled everywhere;
+* ``1/true/yes/on`` — in-memory capture enabled;
+* anything else — treated as an output path: capture enabled **and**
+  every record is appended to that file.
+
+Disabled-path contract: :meth:`EventLog.emit` on a disabled log is one
+attribute check and a return — cheap enough for unconditional call
+sites (the <2 % budget of ``tests/test_obs_overhead.py`` covers it).
+"""
+
+import json
+import os
+import threading
+import time
+from collections import deque
+
+from repro import envcfg
+
+#: Version of the event-record shape below; bump on breaking changes.
+EVENT_SCHEMA_VERSION = 1
+
+#: Keys every event record carries (extra per-event attributes ride
+#: alongside; reserved keys cannot be overridden by attributes).
+RESERVED_KEYS = ("v", "ts", "event", "job_id", "trace", "request", "span")
+
+#: Default in-memory ring size; beyond it the oldest records drop.
+DEFAULT_MAX_EVENTS = 10_000
+
+_DISABLED = set(envcfg.DISABLED_VALUES)
+_TRUTHY = set(envcfg.TRUTHY_VALUES)
+
+
+def env_events_path(environ=None):
+    """The output path carried by ``REPRO_EVENTS``, or ``None``."""
+    value = envcfg.raw("REPRO_EVENTS", environ)
+    if not value or value.lower() in _DISABLED or value.lower() in _TRUTHY:
+        return None
+    return value
+
+
+def events_disabled(environ=None):
+    """True when ``REPRO_EVENTS`` explicitly turns event capture off."""
+    return envcfg.raw("REPRO_EVENTS", environ).lower() in _DISABLED
+
+
+class EventLog:
+    """Thread-safe bounded event ring with optional JSONL persistence."""
+
+    def __init__(self, path=None, enabled=True, max_events=DEFAULT_MAX_EVENTS):
+        self.enabled = bool(enabled)
+        self.path = path
+        self.max_events = int(max_events)
+        self.events = deque(maxlen=self.max_events)
+        self.emitted = 0
+        self._lock = threading.Lock()
+
+    @classmethod
+    def from_env(cls, environ=None, max_events=DEFAULT_MAX_EVENTS):
+        """The CLI/runner policy: off unless ``REPRO_EVENTS`` opts in."""
+        value = envcfg.raw("REPRO_EVENTS", environ)
+        enabled = bool(value) and value.lower() not in _DISABLED
+        return cls(path=env_events_path(environ), enabled=enabled,
+                   max_events=max_events)
+
+    @classmethod
+    def service_default(cls, environ=None, max_events=DEFAULT_MAX_EVENTS):
+        """The service policy: on unless ``REPRO_EVENTS`` opts out."""
+        return cls(path=env_events_path(environ),
+                   enabled=not events_disabled(environ),
+                   max_events=max_events)
+
+    def emit(self, event, job_id=None, ctx=None, **attrs):
+        """Record one event; a no-op (one attribute check) when disabled.
+
+        ``ctx`` is an optional :class:`~repro.obs.context.TraceContext`
+        whose trace/request/span ids are stamped onto the record.
+        Returns the record dict, or ``None`` when disabled.
+        """
+        if not self.enabled:
+            return None
+        record = {
+            "v": EVENT_SCHEMA_VERSION,
+            "ts": time.time(),
+            "event": str(event),
+        }
+        if job_id is not None:
+            record["job_id"] = job_id
+        if ctx is not None:
+            record["trace"] = ctx.trace_id
+            record["request"] = ctx.request_id
+            record["span"] = ctx.span_id
+        for key, value in attrs.items():
+            if key not in RESERVED_KEYS:
+                record[key] = value
+        line = None
+        if self.path is not None:
+            # Serialize outside the lock; one write + flush inside it
+            # (the checkpoint.py atomic line-append idiom).
+            line = json.dumps(record, sort_keys=True) + "\n"
+        with self._lock:
+            self.events.append(record)
+            self.emitted += 1
+            if line is not None:
+                directory = os.path.dirname(self.path)
+                if directory:
+                    os.makedirs(directory, exist_ok=True)
+                with open(self.path, "a") as handle:
+                    handle.write(line)
+                    handle.flush()
+        return record
+
+    def for_job(self, job_id):
+        """Events of one job, oldest first (from the in-memory ring)."""
+        with self._lock:
+            return [dict(e) for e in self.events if e.get("job_id") == job_id]
+
+    def snapshot(self):
+        """Every in-memory event, oldest first."""
+        with self._lock:
+            return [dict(e) for e in self.events]
+
+    def __len__(self):
+        with self._lock:
+            return len(self.events)
+
+
+def read_events(path):
+    """Parse a JSONL event file; returns ``(events, corrupt_lines)``.
+
+    Corrupt lines (torn writes, truncation) are skipped and counted,
+    never fatal — mirroring the checkpoint loader's posture.
+    """
+    events = []
+    corrupt = 0
+    try:
+        with open(path) as handle:
+            lines = handle.readlines()
+    except FileNotFoundError:
+        return events, corrupt
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            corrupt += 1
+            continue
+        if not isinstance(record, dict) or "event" not in record:
+            corrupt += 1
+            continue
+        events.append(record)
+    return events, corrupt
+
+
+_DEFAULT = None
+
+
+def default_events():
+    """The process-wide :class:`EventLog` (CLI/runner policy, lazy)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = EventLog.from_env()
+    return _DEFAULT
+
+
+def set_default_events(log):
+    """Replace the process-wide log (tests; ``None`` re-resolves lazily)."""
+    global _DEFAULT
+    _DEFAULT = log
+    return log

@@ -20,7 +20,19 @@ Standard library only; not thread-safe by design (single process,
 single thread — the solver's own batching is the concurrency story).
 """
 
-DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0)
+#: Default histogram bounds, in seconds.  Prometheus-style latency
+#: ladder spanning sub-millisecond route handlers through multi-second
+#: solves: the original solver-iteration bounds (1 ms .. 10 s) lacked
+#: resolution below 1 ms (every HTTP status/health route landed in the
+#: first bucket) and above 10 s (a slow process-isolated solve was
+#: indistinguishable from a hung one).  Call sites with different
+#: ranges pass explicit ``buckets=`` to
+#: :meth:`MetricsRegistry.histogram` — e.g. the iteration-count
+#: histogram of repro/core/partitioner.py.
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0,
+)
 
 
 class Counter:

@@ -1,0 +1,251 @@
+"""Prometheus text exposition of the metrics registry and span tables.
+
+:func:`render_metrics` turns a
+:class:`~repro.obs.metrics.MetricsRegistry` into the Prometheus text
+format (version 0.0.4): dot-separated repro names are sanitized to
+``[a-zA-Z0-9_]`` and prefixed with a namespace, counters gain the
+conventional ``_total`` suffix, and histograms emit **cumulative**
+``_bucket{le="..."}`` series (the registry stores per-bucket counts, so
+this module does the running sum), a ``+Inf`` bucket equal to
+``_count``, plus ``_sum``/``_count`` samples.
+
+:func:`render_exposition` is the ``GET /metrics`` body: registry
+metrics plus the span aggregate table as two labeled families
+(``<ns>_span_calls_total{path=...}`` / ``<ns>_span_seconds_total``) and
+optional result-store stats.
+
+:func:`lint_exposition` is the format check used by tests and the CI
+service-smoke job: every sample must be preceded by a ``# TYPE`` line
+of its family, histogram buckets must be cumulative (non-decreasing in
+``le`` order) with ``+Inf`` present and equal to ``_count``, and names
+must match the Prometheus grammar.  It returns a list of problem
+strings (empty = clean) so callers can print them all, not just the
+first.
+
+Standard library only, like the rest of :mod:`repro.obs`.
+"""
+
+import math
+import re
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Sample line: name, optional {labels}, value (no timestamps emitted).
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)$"
+)
+
+
+def metric_name(name, namespace="repro"):
+    """Sanitize a dot-separated repro metric name for Prometheus."""
+    cleaned = _SANITIZE.sub("_", name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = f"_{cleaned}"
+    return f"{namespace}_{cleaned}" if namespace else cleaned
+
+
+def _format_value(value):
+    if value is None:
+        return "NaN"
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_bound(bound):
+    return f"{bound:g}"
+
+
+def escape_label(value):
+    """Escape a label value per the exposition format grammar."""
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace("\n", r"\n")
+        .replace('"', r'\"')
+    )
+
+
+def render_metrics(registry, namespace="repro"):
+    """The registry as exposition-format text (ends with a newline)."""
+    lines = []
+    for name, entry in sorted(registry.as_dict().items()):
+        kind = entry["kind"]
+        base = metric_name(name, namespace)
+        if kind == "counter":
+            if not base.endswith("_total"):
+                base += "_total"
+            lines.append(f"# TYPE {base} counter")
+            lines.append(f"{base} {_format_value(entry['value'])}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {base} gauge")
+            lines.append(f"{base} {_format_value(entry['value'])}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {base} histogram")
+            buckets = entry.get("buckets", {})
+            bounds = sorted(float(b) for b in buckets if b != "+inf")
+            cumulative = 0
+            for bound in bounds:
+                cumulative += int(buckets.get(str(bound), 0))
+                lines.append(
+                    f'{base}_bucket{{le="{_format_bound(bound)}"}} {cumulative}'
+                )
+            count = int(entry.get("count", 0))
+            lines.append(f'{base}_bucket{{le="+Inf"}} {count}')
+            lines.append(f"{base}_sum {_format_value(entry.get('sum', 0.0))}")
+            lines.append(f"{base}_count {count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_spans(tracer, namespace="repro"):
+    """Span aggregates as two labeled counter families."""
+    aggregates = tracer.as_dict()
+    if not aggregates:
+        return ""
+    calls = metric_name("span.calls", namespace) + "_total"
+    seconds = metric_name("span.seconds", namespace) + "_total"
+    lines = [f"# TYPE {calls} counter"]
+    for path, agg in sorted(aggregates.items()):
+        lines.append(f'{calls}{{path="{escape_label(path)}"}} {agg["count"]}')
+    lines.append(f"# TYPE {seconds} counter")
+    for path, agg in sorted(aggregates.items()):
+        lines.append(
+            f'{seconds}{{path="{escape_label(path)}"}} '
+            f"{_format_value(agg['total_s'])}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def render_store_stats(stats, namespace="repro"):
+    """Result-store session stats as counters (hits/misses/writes/...)."""
+    if not stats:
+        return ""
+    lines = []
+    for key, value in sorted(stats.items()):
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        base = metric_name(f"store.{key}", namespace) + "_total"
+        lines.append(f"# TYPE {base} counter")
+        lines.append(f"{base} {_format_value(value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_exposition(registry, tracer=None, store_stats=None, namespace="repro"):
+    """The full ``GET /metrics`` text body."""
+    parts = [render_metrics(registry, namespace)]
+    if tracer is not None:
+        parts.append(render_spans(tracer, namespace))
+    if store_stats:
+        parts.append(render_store_stats(store_stats, namespace))
+    return "".join(part for part in parts if part)
+
+
+def _parse_value(text):
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)
+
+
+def lint_exposition(text):
+    """Format problems of an exposition body (empty list = clean)."""
+    problems = []
+    typed = {}          # family name -> declared type
+    histograms = {}     # family -> {"buckets": [(le, value)], "count": v}
+    seen_samples = False
+
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                problems.append(f"line {number}: malformed TYPE line {line!r}")
+                continue
+            _, _, family, kind = parts
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                problems.append(f"line {number}: unknown metric type {kind!r}")
+            if family in typed:
+                problems.append(f"line {number}: duplicate TYPE for {family!r}")
+            typed[family] = kind
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal
+        match = _SAMPLE.match(line)
+        if match is None:
+            problems.append(f"line {number}: unparsable sample {line!r}")
+            continue
+        seen_samples = True
+        name = match.group("name")
+        if not _NAME_OK.match(name):
+            problems.append(f"line {number}: bad metric name {name!r}")
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError:
+            problems.append(f"line {number}: bad sample value {line!r}")
+            continue
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                family = name[: -len(suffix)]
+                break
+        if family not in typed:
+            problems.append(f"line {number}: sample {name!r} has no # TYPE line")
+            continue
+        if typed.get(family) == "histogram":
+            hist = histograms.setdefault(family, {"buckets": [], "count": None})
+            if name == f"{family}_bucket":
+                labels = match.group("labels") or ""
+                le_match = re.search(r'le="([^"]*)"', labels)
+                if le_match is None:
+                    problems.append(
+                        f"line {number}: histogram bucket of {family!r} "
+                        "has no le label"
+                    )
+                    continue
+                try:
+                    bound = _parse_value(le_match.group(1))
+                except ValueError:
+                    problems.append(
+                        f"line {number}: bad le value {le_match.group(1)!r}"
+                    )
+                    continue
+                hist["buckets"].append((bound, value))
+            elif name == f"{family}_count":
+                hist["count"] = value
+
+    if not seen_samples:
+        problems.append("no samples found")
+
+    for family, hist in sorted(histograms.items()):
+        buckets = sorted(hist["buckets"], key=lambda item: item[0])
+        if not buckets:
+            problems.append(f"histogram {family!r} has no buckets")
+            continue
+        if not math.isinf(buckets[-1][0]):
+            problems.append(f"histogram {family!r} is missing a +Inf bucket")
+        previous = None
+        for bound, value in buckets:
+            if previous is not None and value < previous:
+                problems.append(
+                    f"histogram {family!r} buckets are not cumulative at "
+                    f"le={_format_bound(bound) if not math.isinf(bound) else '+Inf'}"
+                )
+                break
+            previous = value
+        if hist["count"] is not None and math.isinf(buckets[-1][0]) \
+                and buckets[-1][1] != hist["count"]:
+            problems.append(
+                f"histogram {family!r}: +Inf bucket {buckets[-1][1]:g} "
+                f"!= count {hist['count']:g}"
+            )
+    return problems

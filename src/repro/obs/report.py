@@ -1,0 +1,129 @@
+"""Per-request waterfall rendering of an exported JSONL trace.
+
+``repro-gpp obs report TRACE.jsonl`` feeds a parsed trace
+(:func:`repro.obs.export.read_trace_jsonl`) through this module: span
+events that carry a ``ctx`` block (see :mod:`repro.obs.context`) are
+linked into trees by span/parent id, grouped by request id, and each
+request is rendered as an indented waterfall — one line per span, its
+bar positioned on a shared wall-clock axis (``start_unix``), children
+under parents.
+
+Spans recorded without context (plain ``OBS`` capture) have no tree
+identity and are simply not part of any waterfall; the CLI prints how
+many were skipped so a contextless trace does not silently render
+empty.
+"""
+
+
+def span_trees(spans):
+    """Group context-carrying span events into per-request trees.
+
+    Returns ``(requests, skipped)`` where ``requests`` maps request id
+    to a list of root nodes (children nested under ``"children"``,
+    sorted by start time) and ``skipped`` counts spans without a ctx
+    block.  A span whose parent id is absent from the file is a root —
+    cross-process traces legitimately start mid-tree when only one
+    side was exported.
+    """
+    skipped = 0
+    nodes = {}       # span id -> node
+    by_request = {}  # request id -> [span ids]
+    for event in spans:
+        ctx = event.get("ctx")
+        if not isinstance(ctx, dict) or not ctx.get("span"):
+            skipped += 1
+            continue
+        node = dict(event)
+        node["children"] = []
+        # Duplicate span ids (a retried attempt re-deriving the same
+        # position) keep the first occurrence; later ones nest as extra
+        # children so nothing is lost.
+        if ctx["span"] in nodes:
+            nodes[ctx["span"]]["children"].append(node)
+            continue
+        nodes[ctx["span"]] = node
+        by_request.setdefault(ctx.get("request"), []).append(ctx["span"])
+
+    def start_key(node):
+        return (node.get("start_unix") or 0.0, node.get("path") or "")
+
+    requests = {}
+    for request_id, span_ids in by_request.items():
+        roots = []
+        for span_id in span_ids:
+            node = nodes[span_id]
+            parent = nodes.get(node["ctx"].get("parent"))
+            if parent is not None and parent is not node:
+                parent["children"].append(node)
+            else:
+                roots.append(node)
+        for span_id in span_ids:
+            nodes[span_id]["children"].sort(key=start_key)
+        roots.sort(key=start_key)
+        requests[request_id] = roots
+    return requests, skipped
+
+
+def _walk(roots):
+    stack = [(node, 0) for node in reversed(roots)]
+    while stack:
+        node, depth = stack.pop()
+        yield node, depth
+        for child in reversed(node["children"]):
+            stack.append((child, depth + 1))
+
+
+def render_waterfall(parsed, request=None, width=48):
+    """Render waterfalls from a :func:`read_trace_jsonl` result.
+
+    ``request`` restricts output to one request id; ``width`` is the
+    character width of the time axis.  Returns the rendered text (one
+    block per request, separated by blank lines).
+    """
+    requests, skipped = span_trees(parsed.get("spans", ()))
+    if request is not None:
+        if request not in requests:
+            known = ", ".join(sorted(str(r) for r in requests)) or "<none>"
+            return f"no spans for request {request!r} (known requests: {known})"
+        requests = {request: requests[request]}
+    if not requests:
+        return (
+            f"no context-carrying spans in this trace "
+            f"({skipped} plain spans skipped); capture with trace context "
+            "enabled (REPRO_TRACE_CONTEXT) to get a waterfall"
+        )
+
+    blocks = []
+    for request_id in sorted(requests, key=str):
+        flat = list(_walk(requests[request_id]))
+        starts = [n.get("start_unix") for n, _ in flat if n.get("start_unix")]
+        if not starts:
+            continue
+        t0 = min(starts)
+        t1 = max(
+            (n.get("start_unix") or t0) + (n.get("duration_s") or 0.0)
+            for n, _ in flat
+        )
+        window = max(t1 - t0, 1e-9)
+        label_width = max(
+            len("  " * depth + (n.get("name") or "?")) for n, depth in flat
+        )
+        lines = [
+            f"request {request_id} — {len(flat)} spans, "
+            f"{window * 1e3:.2f} ms wall"
+        ]
+        for node, depth in flat:
+            start = node.get("start_unix") or t0
+            duration = node.get("duration_s") or 0.0
+            left = int((start - t0) / window * width)
+            bar = max(1, int(round(duration / window * width)))
+            bar = min(bar, width - min(left, width - 1))
+            label = ("  " * depth + (node.get("name") or "?")).ljust(label_width)
+            axis = " " * min(left, width - 1) + "█" * bar
+            lines.append(
+                f"  {label}  |{axis.ljust(width)}| {duration * 1e3:9.3f} ms"
+            )
+        if skipped:
+            lines.append(f"  ({skipped} spans without trace context not shown)")
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)

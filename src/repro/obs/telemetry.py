@@ -39,7 +39,11 @@ same change (CI cross-checks the two).
 
 #: Version of the JSONL/CSV trace schema. CI asserts that
 #: docs/observability.md documents exactly this version.
-TRACE_SCHEMA_VERSION = 1
+#: v2: span records may carry ``start_unix`` and a ``ctx`` block
+#: (trace/span/parent/request ids) when trace context is active; see
+#: repro/obs/context.py.  v1 files remain readable (both fields are
+#: simply absent).
+TRACE_SCHEMA_VERSION = 2
 
 #: Column order of iteration records in CSV export (and the full key
 #: set of each JSONL iteration record).

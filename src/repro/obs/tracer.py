@@ -22,6 +22,16 @@ The tracer is deliberately dependency-free (standard library only) and
 single-threaded: the span stack is one plain list.  Instrument
 thread-pool workers with their own ``Tracer`` instance and
 :meth:`merge` the results if that ever becomes necessary.
+
+Trace context (:mod:`repro.obs.context`): a tracer may carry a
+:class:`~repro.obs.context.TraceContext` in :attr:`Tracer.context`.
+While one is set, every completed span event additionally records a
+``ctx`` dict (``trace``/``span``/``parent``/``request`` ids) plus a
+``start_unix`` wall-clock stamp, and entering a span derives a child
+context (restored on exit) so nested spans link into one tree that
+survives process boundaries.  With no context set — the default —
+events record exactly as before and the per-span overhead is one
+``None`` check.
 """
 
 import time
@@ -48,15 +58,19 @@ NOOP_SPAN = _NoopSpan()
 class Span:
     """One live span; records itself into the tracer on exit."""
 
-    __slots__ = ("tracer", "name", "attrs", "path", "start", "duration_s")
+    __slots__ = ("tracer", "name", "attrs", "path", "start", "duration_s",
+                 "ctx", "start_unix", "_saved_ctx")
 
-    def __init__(self, tracer, name, attrs):
+    def __init__(self, tracer, name, attrs, ctx=None):
         self.tracer = tracer
         self.name = name
         self.attrs = attrs
         self.path = None
         self.start = None
         self.duration_s = None
+        self.ctx = ctx
+        self.start_unix = None
+        self._saved_ctx = None
 
     def set(self, **attrs):
         """Attach (or update) attributes on the live span."""
@@ -68,11 +82,21 @@ class Span:
         parent = stack[-1] if stack else None
         self.path = f"{parent.path}/{self.name}" if parent is not None else self.name
         stack.append(self)
+        self._saved_ctx = self.tracer.context
+        if self._saved_ctx is not None:
+            if self.ctx is None:
+                self.ctx = self._saved_ctx.child()
+            self.tracer.context = self.ctx
+        elif self.ctx is not None:
+            self.tracer.context = self.ctx
+        self.start_unix = time.time()
         self.start = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb):
         self.duration_s = time.perf_counter() - self.start
+        if self.ctx is not None:
+            self.tracer.context = self._saved_ctx
         stack = self.tracer._stack
         if stack and stack[-1] is self:
             stack.pop()
@@ -131,14 +155,21 @@ class Tracer:
         self.aggregates = {}
         self.events = []
         self.events_dropped = 0
+        self.context = None  # optional repro.obs.context.TraceContext
         self._epoch = time.perf_counter()
 
     # -- capture -------------------------------------------------------
-    def span(self, name, **attrs):
-        """Open a span; returns :data:`NOOP_SPAN` while disabled."""
+    def span(self, name, ctx=None, **attrs):
+        """Open a span; returns :data:`NOOP_SPAN` while disabled.
+
+        ``ctx`` pins the span to an explicit
+        :class:`~repro.obs.context.TraceContext` (e.g. one carried over
+        a process boundary) instead of deriving a child of the tracer's
+        current context.
+        """
         if not self.enabled:
             return NOOP_SPAN
-        return Span(self, name, attrs)
+        return Span(self, name, attrs, ctx=ctx)
 
     def _record(self, span, failed):
         aggregate = self.aggregates.get(span.path)
@@ -146,15 +177,22 @@ class Tracer:
             aggregate = self.aggregates[span.path] = SpanAggregate(span.path)
         aggregate.add(span.duration_s, span.attrs, failed)
         if len(self.events) < self.max_events:
-            self.events.append(
-                {
-                    "path": span.path,
-                    "name": span.name,
-                    "start_s": span.start - self._epoch,
-                    "duration_s": span.duration_s,
-                    "attrs": dict(span.attrs),
+            event = {
+                "path": span.path,
+                "name": span.name,
+                "start_s": span.start - self._epoch,
+                "duration_s": span.duration_s,
+                "attrs": dict(span.attrs),
+            }
+            if span.ctx is not None:
+                event["start_unix"] = span.start_unix
+                event["ctx"] = {
+                    "trace": span.ctx.trace_id,
+                    "span": span.ctx.span_id,
+                    "parent": span.ctx.parent_id,
+                    "request": span.ctx.request_id,
                 }
-            )
+            self.events.append(event)
         else:
             self.events_dropped += 1
 
@@ -165,6 +203,7 @@ class Tracer:
         self.aggregates = {}
         self.events = []
         self.events_dropped = 0
+        self.context = None
         self._epoch = time.perf_counter()
 
     def merge(self, other):

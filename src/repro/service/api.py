@@ -39,7 +39,7 @@ from repro.circuits.suite import SUITE_NAMES
 from repro.core.config import ENGINES, PartitionConfig
 from repro.harness.checkpoint import CHECKPOINT_SCHEMA_VERSION
 from repro.netlist.serialize import NETLIST_FORMAT_VERSION
-from repro.obs import TRACE_SCHEMA_VERSION
+from repro.obs import EVENT_SCHEMA_VERSION, TRACE_SCHEMA_VERSION
 from repro.service.errors import BadRequestError
 
 #: Version of the request/response JSON shapes described above.
@@ -65,6 +65,7 @@ def schema_versions():
         "cache_schema": CACHE_SCHEMA_VERSION,
         "checkpoint_schema": CHECKPOINT_SCHEMA_VERSION,
         "netlist_format": NETLIST_FORMAT_VERSION,
+        "events_schema": EVENT_SCHEMA_VERSION,
     }
 
 

@@ -25,8 +25,30 @@ not thread-safe, so when capture is enabled job execution is
 additionally serialized by a dedicated lock — trace capture costs
 concurrency, which is fine for its debugging use; with capture off
 (the default) workers run fully in parallel.
+
+Observability (this PR's substrate; see docs/observability.md):
+
+* every lifecycle transition emits into the server's
+  :class:`~repro.obs.events.EventLog` (``queued`` → ``leased`` →
+  ``solving`` → ``solved`` → ``stored`` → ``done`` / ``failed`` /
+  ``cancelled``), stamped with the job's trace context when one was
+  attached at submit;
+* per-phase latency histograms (``service.job.queue_wait_seconds`` /
+  ``solve_seconds`` / ``finalize_seconds`` / ``store_seconds``) feed
+  the Prometheus exposition of ``GET /metrics``;
+* with ``tracing`` on (``repro-gpp serve --trace-requests``), each job
+  records phase spans into a private tracer parented under the
+  originating request's span, and the solver itself is captured —
+  inline isolation borrows the ``OBS`` singleton for a serialized
+  window (under ``_obs_lock``), process isolation ships the context
+  into the pool worker via ``SuiteJob.trace_context`` and routes the
+  worker snapshot back through ``run_jobs(snapshot_sink=...)``.  Both
+  paths feed ``trace_sink`` (the server's absorb hook) so one request
+  yields one connected span tree.  Deep tracing serializes solves and
+  is strictly opt-in.
 """
 
+import dataclasses
 import itertools
 import threading
 import time
@@ -37,7 +59,7 @@ from repro.harness import faults as fault_mod
 from repro.harness import megabatch as megabatch_mod
 from repro.harness.checkpoint import payload_to_jsonable
 from repro.harness.runner import run_jobs
-from repro.obs import OBS
+from repro.obs import NOOP_SPAN, OBS, TraceContext, Tracer
 from repro.service.api import pack_signature, request_to_job
 from repro.service.errors import NotFoundError, QueueFullError
 from repro.utils.errors import ReproError
@@ -55,7 +77,7 @@ class Job:
 
     __slots__ = ("id", "key", "request", "state", "payload", "error",
                  "submitted_at", "started_at", "finished_at", "cached",
-                 "cancel_requested", "done_event", "seq")
+                 "cancel_requested", "done_event", "seq", "trace")
 
     _seq = itertools.count()
 
@@ -73,6 +95,7 @@ class Job:
         self.cancel_requested = False
         self.done_event = threading.Event()
         self.seq = next(Job._seq)
+        self.trace = None  # TraceContext wire dict of the job's span
 
     @property
     def finished(self):
@@ -92,6 +115,11 @@ class Job:
         }
         if self.error is not None:
             out["error"] = self.error
+        if self.trace is not None:
+            out["trace"] = {
+                "trace_id": self.trace.get("trace"),
+                "request_id": self.trace.get("request"),
+            }
         return out
 
 
@@ -101,7 +129,8 @@ class JobManager:
     def __init__(self, workers=1, queue_size=64, timeout=None, retries=None,
                  backoff=None, isolation="inline", store=None, retry_after=1,
                  fault_plan=None, metrics=None, megabatch=None,
-                 megabatch_limit=None):
+                 megabatch_limit=None, events=None, tracing=False,
+                 trace_sink=None):
         if workers < 1:
             raise ReproError(f"workers must be >= 1, got {workers}")
         if queue_size < 1:
@@ -120,11 +149,18 @@ class JobManager:
         self.retry_after = retry_after
         self.fault_plan = fault_plan
         self.metrics = metrics
+        self.events = events          # EventLog (or None: no event emission)
+        self.tracing = bool(tracing)  # deep solver tracing (serializes solves)
+        self.trace_sink = trace_sink  # callable(tracer=, snapshot=) per job
         # Mega-batching is inline-only: the packed solve runs in the
         # worker thread, which would silently bypass the crash
         # isolation and enforceable deadlines process isolation buys.
+        # Deep tracing also disables it — a packed group has no single
+        # originating request to parent its spans under.
         self.megabatch = (
-            megabatch_mod.megabatch_enabled(megabatch) and isolation == "inline"
+            megabatch_mod.megabatch_enabled(megabatch)
+            and isolation == "inline"
+            and not self.tracing
         )
         self.megabatch_limit = megabatch_mod.resolve_megabatch_limit(megabatch_limit)
 
@@ -137,11 +173,24 @@ class JobManager:
         self._threads = []
         self._obs_lock = threading.Lock()
 
-    # -- metrics -------------------------------------------------------
+    # -- metrics / events ----------------------------------------------
     def _inc(self, name, amount=1):
         if self.metrics is not None:
             with self._cond:
                 self.metrics.counter(name).inc(amount)
+
+    def _observe(self, name, value):
+        """Record one phase-latency histogram sample (seconds)."""
+        if self.metrics is not None:
+            with self._cond:
+                self.metrics.histogram(name).observe(value)
+
+    def _emit(self, job, event, **attrs):
+        """One lifecycle event, stamped with the job's trace context."""
+        if self.events is None:
+            return
+        ctx = TraceContext.from_wire(job.trace) if job.trace else None
+        self.events.emit(event, job_id=job.id, ctx=ctx, **attrs)
 
     # -- lifecycle -----------------------------------------------------
     def start(self):
@@ -165,13 +214,17 @@ class JobManager:
         (inline execution cannot be interrupted) but its worker exits
         right after.
         """
+        dropped = []
         with self._cond:
             self._running = False
             while self._queue:
                 job = self._queue.popleft()
                 self._finish_locked(job, "cancelled",
                                     error="server shutting down")
+                dropped.append(job)
             self._cond.notify_all()
+        for job in dropped:
+            self._emit(job, "cancelled", reason="server shutting down")
         deadline = time.time() + timeout
         for thread in self._threads:
             thread.join(max(0.0, deadline - time.time()))
@@ -179,18 +232,25 @@ class JobManager:
         return self
 
     # -- submission ----------------------------------------------------
-    def submit(self, key, normalized):
+    def submit(self, key, normalized, ctx=None):
         """Admit a validated request; returns ``(job, outcome)``.
 
         ``outcome`` is ``"cached"`` (payload served from the result
         store, job born ``done``), ``"deduped"`` (attached to an
         in-flight job with the same key) or ``"queued"``.  Raises
         :class:`QueueFullError` at capacity.
+
+        ``ctx`` is the request's :class:`~repro.obs.context.TraceContext`
+        (when the server attached one): the job's own span context is
+        derived from it, so everything the job records parents under
+        the originating request.
         """
         stored = self.store.get(key) if self.store is not None else None
         if stored is not None:
             with self._cond:
                 job = Job(key, normalized)
+                if ctx is not None:
+                    job.trace = ctx.child("job").to_wire()
                 job.state = "done"
                 job.cached = True
                 job.payload = stored
@@ -200,26 +260,44 @@ class JobManager:
                 self._record_finished_locked(job)
             self._inc("service.store.hits")
             self._inc("service.jobs.completed")
+            self._emit(job, "cached")
+            self._emit(job, "done", cached=True)
             return job, "cached"
 
         with self._cond:
             existing = self._inflight.get(key)
             if existing is not None:
                 self._inc_locked("service.jobs.deduped")
-                return existing, "deduped"
-            if len(self._queue) >= self.queue_size:
-                self._inc_locked("service.queue.rejections")
-                raise QueueFullError(
-                    f"job queue is full ({self.queue_size} queued); retry later",
-                    retry_after=self.retry_after,
-                )
-            job = Job(key, normalized)
-            self._jobs[job.id] = job
-            self._inflight[key] = job
-            self._queue.append(job)
-            self._inc_locked("service.jobs.submitted")
-            self._cond.notify()
-            return job, "queued"
+                deduped = existing
+            else:
+                deduped = None
+                if len(self._queue) >= self.queue_size:
+                    self._inc_locked("service.queue.rejections")
+                    rejection = QueueFullError(
+                        f"job queue is full ({self.queue_size} queued); retry later",
+                        retry_after=self.retry_after,
+                    )
+                else:
+                    rejection = None
+                    job = Job(key, normalized)
+                    if ctx is not None:
+                        job.trace = ctx.child("job").to_wire()
+                    self._jobs[job.id] = job
+                    self._inflight[key] = job
+                    self._queue.append(job)
+                    depth = len(self._queue)
+                    self._inc_locked("service.jobs.submitted")
+                    self._cond.notify()
+        if deduped is not None:
+            self._emit(deduped, "deduped")
+            return deduped, "deduped"
+        if rejection is not None:
+            if self.events is not None:
+                self.events.emit("rejected", ctx=ctx, key=key,
+                                 queue_size=self.queue_size)
+            raise rejection
+        self._emit(job, "queued", queue_depth=depth)
+        return job, "queued"
 
     def _inc_locked(self, name, amount=1):
         if self.metrics is not None:
@@ -255,6 +333,7 @@ class JobManager:
         only gets its flag set — inline execution cannot be interrupted
         — and completes normally.  Finished jobs are left untouched.
         """
+        cancelled = False
         with self._cond:
             try:
                 job = self._jobs[job_id]
@@ -267,9 +346,12 @@ class JobManager:
                     pass
                 self._finish_locked(job, "cancelled", error="cancelled by client")
                 self._inc_locked("service.jobs.cancelled")
+                cancelled = True
             elif job.state == "running":
                 job.cancel_requested = True
-            return job
+        if cancelled:
+            self._emit(job, "cancelled", reason="cancelled by client")
+        return job
 
     # -- worker internals ----------------------------------------------
     def _finish_locked(self, job, state, payload=None, error=None):
@@ -359,6 +441,12 @@ class JobManager:
             for job in jobs:
                 self._execute(job)
             return
+        for job in jobs:
+            queue_wait = max(
+                0.0, (job.started_at or time.time()) - job.submitted_at)
+            self._observe("service.job.queue_wait_seconds", queue_wait)
+            self._emit(job, "leased", queue_wait_s=round(queue_wait, 6))
+            self._emit(job, "solving", batched=True, group_size=len(jobs))
         try:
             suite_jobs = [request_to_job(job.request) for job in jobs]
             serialize = OBS.enabled
@@ -388,43 +476,140 @@ class JobManager:
             if self.store is not None:
                 self.store.put(job.key, payload, meta={"request": job.request})
                 self._inc("service.store.writes")
+                self._emit(job, "stored")
             with self._cond:
                 self._finish_locked(job, "done", payload=jsonable)
                 self._inc_locked("service.jobs.completed")
+            self._emit(job, "done", batched=True)
+
+    def _job_tracer(self, job):
+        """Deep-tracing setup of one job: ``(private Tracer, ctx)``.
+
+        Returns ``(None, None)`` unless tracing is on, a sink exists and
+        the job carries a trace context — the plain path records
+        nothing per job.
+        """
+        if not self.tracing or self.trace_sink is None or job.trace is None:
+            return None, None
+        ctx = TraceContext.from_wire(job.trace)
+        if ctx is None:
+            return None, None
+        tracer = Tracer()
+        tracer.enabled = True
+        return tracer, ctx
+
+    def _absorb(self, tracer, snap):
+        """Hand a job's phase spans + solver snapshot to the trace sink."""
+        if self.trace_sink is None:
+            return
+        if tracer is None and snap is None:
+            return
+        self.trace_sink(tracer=tracer, snapshot=snap)
+
+    def _solve(self, suite_job, fault_plan, solve_ctx, job):
+        """One job's solve; returns ``(payloads, solver snapshot | None)``.
+
+        ``solve_ctx`` (deep tracing only) parents the solver's spans
+        under the job's phase tree: process isolation ships it into the
+        pool worker via ``SuiteJob.trace_context`` and collects the
+        worker snapshot through ``snapshot_sink``; inline isolation
+        borrows the ``OBS`` singleton for a serialized capture window.
+        The partition payloads are bitwise-identical either way — the
+        context never enters a content key.
+        """
+        force_pool = self.isolation == "process"
+        kwargs = dict(jobs=1, timeout=self.timeout, retries=self.retries,
+                      backoff=self.backoff, fault_plan=fault_plan)
+        if solve_ctx is not None and force_pool:
+            shipped = dataclasses.replace(
+                suite_job, trace_context=solve_ctx.to_wire())
+            snaps = []
+            serialize = OBS.enabled
+            if serialize:
+                self._obs_lock.acquire()
+            try:
+                payloads = run_jobs([shipped], force_pool=True,
+                                    snapshot_sink=snaps.append, **kwargs)
+            finally:
+                if serialize:
+                    self._obs_lock.release()
+            return payloads, (snaps[0] if snaps else None)
+        if solve_ctx is not None:
+            with self._obs_lock:
+                if OBS.enabled:
+                    # A user capture (REPRO_TRACE) owns the singleton;
+                    # don't reset it — run plainly inside that capture.
+                    payloads = run_jobs([suite_job], force_pool=force_pool,
+                                        **kwargs)
+                    return payloads, None
+                OBS.reset()
+                OBS.enable()
+                OBS.trace.context = solve_ctx
+                try:
+                    payloads = run_jobs([suite_job], force_pool=force_pool,
+                                        **kwargs)
+                    snap = OBS.snapshot(origin=f"service/{job.id}")
+                finally:
+                    OBS.disable(reset=True)
+                return payloads, snap
+        serialize = OBS.enabled
+        if serialize:
+            # The OBS singleton (tracer span stack) is single-threaded.
+            self._obs_lock.acquire()
+        try:
+            payloads = run_jobs([suite_job], force_pool=force_pool, **kwargs)
+        finally:
+            if serialize:
+                self._obs_lock.release()
+        return payloads, None
 
     def _execute(self, job):
         fault_plan = self.fault_plan
         if fault_plan is None:
             fault_plan = fault_mod.plan_from_env()
+        queue_wait = max(0.0, (job.started_at or time.time()) - job.submitted_at)
+        self._observe("service.job.queue_wait_seconds", queue_wait)
+        self._emit(job, "leased", queue_wait_s=round(queue_wait, 6))
+        tracer, ctx = self._job_tracer(job)
+        snap = None
         try:
-            suite_job = request_to_job(job.request)
-            serialize = OBS.enabled
-            if serialize:
-                # The OBS singleton (tracer span stack) is single-threaded.
-                self._obs_lock.acquire()
-            try:
-                payloads = run_jobs(
-                    [suite_job],
-                    jobs=1,
-                    timeout=self.timeout,
-                    retries=self.retries,
-                    backoff=self.backoff,
-                    fault_plan=fault_plan,
-                    force_pool=(self.isolation == "process"),
-                )
-            finally:
-                if serialize:
-                    self._obs_lock.release()
-            payload = payload_to_jsonable(payloads[0])
+            root = (tracer.span("service.job", ctx=ctx, job=job.id,
+                                circuit=job.request.get("circuit"))
+                    if tracer is not None else NOOP_SPAN)
+            with root:
+                suite_job = request_to_job(job.request)
+                self._emit(job, "solving")
+                started = time.perf_counter()
+                with (tracer.span("solve") if tracer is not None else NOOP_SPAN):
+                    solve_ctx = tracer.context if tracer is not None else None
+                    payloads, snap = self._solve(
+                        suite_job, fault_plan, solve_ctx, job)
+                solve_s = time.perf_counter() - started
+                self._observe("service.job.solve_seconds", solve_s)
+                self._emit(job, "solved", solve_s=round(solve_s, 6))
+                started = time.perf_counter()
+                with (tracer.span("finalize") if tracer is not None else NOOP_SPAN):
+                    payload = payload_to_jsonable(payloads[0])
+                self._observe("service.job.finalize_seconds",
+                              time.perf_counter() - started)
+                if self.store is not None:
+                    started = time.perf_counter()
+                    with (tracer.span("store") if tracer is not None else NOOP_SPAN):
+                        self.store.put(job.key, payloads[0],
+                                       meta={"request": job.request})
+                    store_s = time.perf_counter() - started
+                    self._observe("service.job.store_seconds", store_s)
+                    self._inc("service.store.writes")
+                    self._emit(job, "stored", store_s=round(store_s, 6))
         except ReproError as error:
             with self._cond:
                 self._finish_locked(job, "failed", error=str(error))
                 self._inc_locked("service.jobs.failed")
+            self._emit(job, "failed", error=str(error))
+            self._absorb(tracer, snap)
             return
-        if self.store is not None:
-            self.store.put(job.key, payloads[0],
-                           meta={"request": job.request})
-            self._inc("service.store.writes")
         with self._cond:
             self._finish_locked(job, "done", payload=payload)
             self._inc_locked("service.jobs.completed")
+        self._emit(job, "done")
+        self._absorb(tracer, snap)

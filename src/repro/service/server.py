@@ -10,9 +10,16 @@ Routes (all JSON in, JSON out)::
     GET  /v1/jobs/<id>/result  the payload: 200 done, 409 not finished,
                                500 failed (body carries the error)
     POST /v1/jobs/<id>/cancel  best-effort cancel
+    GET  /v1/jobs/<id>/events  the job's lifecycle event records
     GET  /healthz              liveness + schema versions + queue state
     GET  /metrics              service counters, result-store stats and
-                               per-route span timings
+                               per-route span timings (JSON by default;
+                               ``?format=prometheus`` or an Accept
+                               header preferring text/plain switches to
+                               Prometheus text exposition)
+    GET  /v1/trace             the server's span/metric state as a
+                               JSONL trace file (replayable with
+                               repro.obs.export.read_trace_jsonl)
 
 Observability: the server owns a private
 :class:`~repro.obs.metrics.MetricsRegistry` and
@@ -22,19 +29,40 @@ untouched (it is single-threaded by design; see
 Request handler threads record each request into a short-lived private
 tracer and merge it into the server tracer under a lock.
 
+Trace context: unless ``REPRO_TRACE_CONTEXT`` is off, every request
+gets a :class:`~repro.obs.context.TraceContext` — continued from an
+``X-Repro-Trace`` header when the client sent one, fresh otherwise —
+that is echoed on the response, pinned to the request span and carried
+into the job (:meth:`JobManager.submit`), so one POST yields one
+connected span tree whose root carries the request id.  Per-route
+latency lands in bounded ``service.http.seconds.<route>`` histograms
+(ids collapse into the route label, so label cardinality stays fixed).
+
 Determinism: the server never mutates a request — the job built from it
 is field-for-field the one the CLI builds (see
 :func:`repro.service.api.request_to_job`), so a served assignment is
 bitwise-identical to a local run with the same inputs.
 """
 
+import io
 import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs
 
-from repro import envcfg
-from repro.obs import MetricsRegistry, Tracer
+from repro import __version__, envcfg
+from repro.obs import (
+    EVENT_SCHEMA_VERSION,
+    TRACE_HEADER,
+    EventLog,
+    MetricsRegistry,
+    TraceContext,
+    Tracer,
+    context_enabled,
+    render_exposition,
+    write_trace_jsonl,
+)
 from repro.service.api import request_key, schema_versions, validate_request
 from repro.service.errors import (
     BadRequestError,
@@ -113,18 +141,51 @@ def resolve_isolation(isolation=None, environ=None):
     )
 
 
+def route_label(method, path):
+    """Bounded route label of a request (job ids collapse away).
+
+    Histogram/counter labels must come from a fixed set — one label per
+    distinct URL would grow the registry without bound — so unknown
+    paths all fold into ``"other"``.
+    """
+    parts = [part for part in path.split("/") if part]
+    if method == "GET":
+        if path == "/healthz":
+            return "healthz"
+        if path == "/metrics":
+            return "metrics"
+        if parts == ["v1", "trace"]:
+            return "trace"
+        if parts == ["v1", "jobs"]:
+            return "jobs.list"
+        if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+            return "jobs.status"
+        if len(parts) == 4 and parts[:2] == ["v1", "jobs"]:
+            if parts[3] == "result":
+                return "jobs.result"
+            if parts[3] == "events":
+                return "jobs.events"
+    elif method == "POST":
+        if parts == ["v1", "jobs"]:
+            return "jobs.submit"
+        if len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "cancel":
+            return "jobs.cancel"
+    return "other"
+
+
 class PartitionService:
     """Everything one server instance owns: manager, store, telemetry."""
 
     def __init__(self, workers=None, queue_size=None, timeout=None,
                  retries=None, backoff=None, isolation=None, store=None,
                  retry_after=None, fault_plan=None, megabatch=None,
-                 megabatch_limit=None):
+                 megabatch_limit=None, events=None, tracing=False):
         self.metrics = MetricsRegistry()
         self.tracer = Tracer()
         self.tracer.enabled = True
         self._telemetry_lock = threading.Lock()
         self.store = store if store is not None else ResultStore()
+        self.events = events if events is not None else EventLog.service_default()
         self.manager = JobManager(
             workers=resolve_workers(workers),
             queue_size=resolve_queue_size(queue_size),
@@ -138,6 +199,9 @@ class PartitionService:
             metrics=self.metrics,
             megabatch=megabatch,
             megabatch_limit=megabatch_limit,
+            events=self.events if self.events.enabled else None,
+            tracing=tracing,
+            trace_sink=self.absorb,
         )
         self.started_at = time.time()
 
@@ -149,18 +213,41 @@ class PartitionService:
         self.manager.stop()
         return self
 
-    def record_request(self, tracer, status):
+    def record_request(self, tracer, status, route=None, duration_s=None):
         """Merge a request-scoped tracer + count the response status."""
         with self._telemetry_lock:
             self.tracer.merge(tracer)
             self.metrics.counter("service.http.requests").inc()
             self.metrics.counter(f"service.http.status.{status}").inc()
+            if route is not None and duration_s is not None:
+                self.metrics.histogram(
+                    f"service.http.seconds.{route}"
+                ).observe(duration_s)
+
+    def absorb(self, tracer=None, snapshot=None):
+        """The job manager's trace sink (deep tracing only).
+
+        Folds a job's phase tracer and the solver-side snapshot into
+        the server tracer/metrics; solver telemetry records are dropped
+        — per-iteration dumps belong to CLI trace files, not a
+        long-running server's memory.
+        """
+        with self._telemetry_lock:
+            if tracer is not None:
+                self.tracer.merge(tracer)
+            if snapshot is not None:
+                self.metrics.merge_dict(snapshot.get("metrics", {}))
+                self.tracer.merge_dict(
+                    snapshot.get("spans", {}),
+                    events=snapshot.get("events", ()),
+                    events_dropped=snapshot.get("events_dropped", 0),
+                )
 
     # -- route logic (transport-free; the handler is a thin shell) -----
-    def submit(self, body):
+    def submit(self, body, ctx=None):
         normalized = validate_request(body)
         key = request_key(normalized)
-        job, outcome = self.manager.submit(key, normalized)
+        job, outcome = self.manager.submit(key, normalized, ctx=ctx)
         status = 200 if outcome == "cached" else 202
         payload = job.to_dict()
         payload["outcome"] = outcome
@@ -193,9 +280,21 @@ class PartitionService:
     def job_cancel(self, job_id):
         return 200, self.manager.cancel(job_id).to_dict()
 
+    def job_events(self, job_id):
+        """The lifecycle event records of one job (404 when unknown)."""
+        job = self.manager.get(job_id)
+        events = self.events.for_job(job.id) if self.events.enabled else []
+        return 200, {
+            "id": job.id,
+            "schema_version": EVENT_SCHEMA_VERSION,
+            "count": len(events),
+            "events": events,
+        }
+
     def health(self):
         return 200, {
             "status": "ok",
+            "version": __version__,
             "versions": schema_versions(),
             "uptime_s": time.time() - self.started_at,
             "workers": self.manager.workers,
@@ -205,6 +304,8 @@ class PartitionService:
             "running": self.manager.running_count(),
             "megabatch": self.manager.megabatch,
             "store_enabled": self.store.enabled,
+            "tracing": self.manager.tracing,
+            "events_enabled": self.events.enabled,
         }
 
     def metrics_payload(self):
@@ -226,12 +327,45 @@ class PartitionService:
             "queue_depth": self.manager.queue_depth(),
         }
 
+    def metrics_exposition(self):
+        """The same state as :meth:`metrics_payload`, rendered in
+        Prometheus text exposition format."""
+        with self._telemetry_lock:
+            self.metrics.gauge("service.queue.depth").set(
+                self.manager.queue_depth()
+            )
+            self.metrics.gauge("service.jobs.inflight").set(
+                self.manager.running_count()
+            )
+            text = render_exposition(
+                self.metrics,
+                tracer=self.tracer,
+                store_stats=self.store.snapshot_stats(),
+            )
+        return 200, text
+
+    def trace_export(self):
+        """The server's spans + metrics as a JSONL trace document."""
+        buffer = io.StringIO()
+        with self._telemetry_lock:
+            write_trace_jsonl(
+                buffer,
+                tracer=self.tracer,
+                metrics=self.metrics,
+                meta={
+                    "source": "repro-gpp service",
+                    "uptime_s": time.time() - self.started_at,
+                },
+            )
+        return 200, buffer.getvalue()
+
 
 class _Handler(BaseHTTPRequestHandler):
     """Thin JSON shell around :class:`PartitionService` route logic."""
 
     server_version = "repro-gpp-service"
     protocol_version = "HTTP/1.1"
+    _trace_ctx = None  # set per request by _dispatch
 
     @property
     def service(self):
@@ -261,20 +395,51 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self._trace_ctx is not None:
+            self.send_header(TRACE_HEADER, self._trace_ctx.to_header())
         for name, value in headers:
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
         return status
 
+    def _send_text(self, status, text, content_type="text/plain; charset=utf-8"):
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        if self._trace_ctx is not None:
+            self.send_header(TRACE_HEADER, self._trace_ctx.to_header())
+        self.end_headers()
+        self.wfile.write(body)
+        return status
+
+    def _request_context(self):
+        """This request's trace context (``None`` with contexts off).
+
+        Continues the caller's context when an ``X-Repro-Trace`` header
+        parses, otherwise roots a fresh trace — so every request has a
+        request id even when the client sent nothing.
+        """
+        if not context_enabled():
+            return None
+        incoming = TraceContext.from_header(self.headers.get(TRACE_HEADER))
+        if incoming is not None:
+            return incoming.child("request")
+        return TraceContext.new()
+
     def _dispatch(self, method):
         tracer = Tracer()
         tracer.enabled = True
-        route = f"{method} {self.path.split('?')[0]}"
+        path = self.path.split("?")[0].rstrip("/") or "/"
+        route = route_label(method, path)
+        self._trace_ctx = self._request_context()
         status = 500
+        started = time.perf_counter()
         try:
-            with tracer.span("service.request", route=route):
-                status = self._route(method)
+            with tracer.span("service.request", ctx=self._trace_ctx,
+                             route=route, path=f"{method} {path}"):
+                status = self._route(method, path)
         except QueueFullError as error:
             status = self._send_json(
                 error.status,
@@ -297,26 +462,56 @@ class _Handler(BaseHTTPRequestHandler):
             except Exception:
                 status = 500
         finally:
-            self.service.record_request(tracer, status)
+            self.service.record_request(
+                tracer, status, route=route,
+                duration_s=time.perf_counter() - started,
+            )
 
-    def _route(self, method):
-        path = self.path.split("?")[0].rstrip("/") or "/"
+    def _wants_exposition(self):
+        """Content negotiation of ``GET /metrics``.
+
+        ``?format=prometheus`` (or ``text``) forces the text exposition,
+        ``?format=json`` forces JSON; otherwise an Accept header that
+        asks for ``text/plain`` without also accepting JSON wins.  The
+        default stays JSON — existing clients see no change.
+        """
+        query = self.path.split("?", 1)[1] if "?" in self.path else ""
+        fmt = (parse_qs(query).get("format") or [""])[0].lower()
+        if fmt in ("prometheus", "text", "exposition"):
+            return True
+        if fmt == "json":
+            return False
+        accept = self.headers.get("Accept") or ""
+        return "text/plain" in accept and "application/json" not in accept
+
+    def _route(self, method, path):
         parts = [part for part in path.split("/") if part]
 
         if method == "GET":
             if path == "/healthz":
                 return self._send_json(*self.service.health())
             if path == "/metrics":
+                if self._wants_exposition():
+                    return self._send_text(*self.service.metrics_exposition())
                 return self._send_json(*self.service.metrics_payload())
+            if parts == ["v1", "trace"]:
+                return self._send_text(
+                    *self.service.trace_export(),
+                    content_type="application/x-ndjson",
+                )
             if parts == ["v1", "jobs"]:
                 return self._send_json(*self.service.job_list())
             if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
                 return self._send_json(*self.service.job_status(parts[2]))
             if len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "result":
                 return self._send_json(*self.service.job_result(parts[2]))
+            if len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "events":
+                return self._send_json(*self.service.job_events(parts[2]))
         elif method == "POST":
             if parts == ["v1", "jobs"]:
-                return self._send_json(*self.service.submit(self._read_body()))
+                return self._send_json(
+                    *self.service.submit(self._read_body(), ctx=self._trace_ctx)
+                )
             if len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "cancel":
                 return self._send_json(*self.service.job_cancel(parts[2]))
         raise NotFoundError(f"no route {method} {path}")

@@ -269,7 +269,7 @@ def test_version_json(capsys):
     assert versions["api"] == 1
     assert set(versions) == {
         "package", "api", "trace_schema", "cache_schema",
-        "checkpoint_schema", "netlist_format",
+        "checkpoint_schema", "netlist_format", "events_schema",
     }
 
 

@@ -1,0 +1,159 @@
+"""The structured job event log: ring, JSONL persistence, env policy."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import TraceContext
+from repro.obs.events import (
+    EVENT_SCHEMA_VERSION,
+    EventLog,
+    default_events,
+    env_events_path,
+    events_disabled,
+    read_events,
+    set_default_events,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_default_log():
+    set_default_events(None)
+    yield
+    set_default_events(None)
+
+
+def test_emit_records_schema_timestamp_and_attrs():
+    log = EventLog()
+    record = log.emit("queued", job_id="j1", queue_depth=3)
+    assert record["v"] == EVENT_SCHEMA_VERSION
+    assert record["event"] == "queued"
+    assert record["job_id"] == "j1"
+    assert record["queue_depth"] == 3
+    assert isinstance(record["ts"], float)
+    assert log.snapshot() == [record]
+
+
+def test_disabled_log_is_a_cheap_no_op():
+    log = EventLog(enabled=False)
+    assert log.emit("queued", job_id="j1") is None
+    assert len(log) == 0
+    assert log.snapshot() == []
+
+
+def test_ctx_stamps_trace_request_span_ids():
+    ctx = TraceContext.new()
+    log = EventLog()
+    record = log.emit("leased", job_id="j1", ctx=ctx)
+    assert record["trace"] == ctx.trace_id
+    assert record["request"] == ctx.request_id
+    assert record["span"] == ctx.span_id
+
+
+def test_attrs_cannot_shadow_reserved_keys():
+    log = EventLog()
+    record = log.emit("done", job_id="real", **{"v": 99, "ts": 0, "trace": "fake"})
+    assert record["v"] == EVENT_SCHEMA_VERSION
+    assert record["event"] == "done"
+    assert record["job_id"] == "real"
+    assert "trace" not in record
+
+
+def test_ring_is_bounded():
+    log = EventLog(max_events=3)
+    for index in range(5):
+        log.emit("tick", job_id=str(index))
+    assert len(log) == 3
+    assert [e["job_id"] for e in log.snapshot()] == ["2", "3", "4"]
+    assert log.emitted == 5
+
+
+def test_for_job_filters_in_order():
+    log = EventLog()
+    log.emit("queued", job_id="a")
+    log.emit("queued", job_id="b")
+    log.emit("done", job_id="a")
+    assert [e["event"] for e in log.for_job("a")] == ["queued", "done"]
+
+
+def test_jsonl_persistence_round_trips(tmp_path):
+    path = str(tmp_path / "events.jsonl")
+    log = EventLog(path=path)
+    log.emit("queued", job_id="j1", ctx=TraceContext.new())
+    log.emit("done", job_id="j1")
+    events, corrupt = read_events(path)
+    assert corrupt == 0
+    assert [e["event"] for e in events] == ["queued", "done"]
+    assert events[0]["v"] == EVENT_SCHEMA_VERSION
+
+
+def test_read_events_skips_corrupt_lines(tmp_path):
+    path = tmp_path / "events.jsonl"
+    path.write_text(
+        json.dumps({"v": 1, "ts": 0.0, "event": "ok"}) + "\n"
+        + "{torn line\n"
+        + json.dumps({"not-an-event": True}) + "\n"
+        + json.dumps({"v": 1, "ts": 1.0, "event": "also-ok"}) + "\n"
+    )
+    events, corrupt = read_events(str(path))
+    assert [e["event"] for e in events] == ["ok", "also-ok"]
+    assert corrupt == 2
+
+
+def test_read_events_missing_file_is_empty():
+    assert read_events("/nonexistent/events.jsonl") == ([], 0)
+
+
+def test_concurrent_emitters_never_tear_lines(tmp_path):
+    path = str(tmp_path / "events.jsonl")
+    log = EventLog(path=path)
+
+    def worker(tag):
+        for index in range(50):
+            log.emit("tick", job_id=f"{tag}-{index}", payload="x" * 64)
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    events, corrupt = read_events(path)
+    assert corrupt == 0
+    assert len(events) == 200
+
+
+# ---------------------------------------------------------------------------
+# REPRO_EVENTS policy
+
+
+def test_env_path_and_disable_parsing():
+    assert env_events_path({}) is None
+    assert env_events_path({"REPRO_EVENTS": "1"}) is None
+    assert env_events_path({"REPRO_EVENTS": "0"}) is None
+    assert env_events_path({"REPRO_EVENTS": "/tmp/e.jsonl"}) == "/tmp/e.jsonl"
+    assert events_disabled({"REPRO_EVENTS": "off"})
+    assert not events_disabled({})
+
+
+def test_from_env_is_opt_in():
+    assert not EventLog.from_env({}).enabled
+    assert not EventLog.from_env({"REPRO_EVENTS": "0"}).enabled
+    assert EventLog.from_env({"REPRO_EVENTS": "1"}).enabled
+    log = EventLog.from_env({"REPRO_EVENTS": "/tmp/e.jsonl"})
+    assert log.enabled and log.path == "/tmp/e.jsonl"
+
+
+def test_service_default_is_opt_out():
+    assert EventLog.service_default({}).enabled
+    assert not EventLog.service_default({"REPRO_EVENTS": "no"}).enabled
+    log = EventLog.service_default({"REPRO_EVENTS": "/tmp/e.jsonl"})
+    assert log.enabled and log.path == "/tmp/e.jsonl"
+
+
+def test_default_events_is_process_wide_and_replaceable():
+    first = default_events()
+    assert default_events() is first
+    mine = EventLog()
+    assert set_default_events(mine) is mine
+    assert default_events() is mine

@@ -1,0 +1,147 @@
+"""Prometheus text exposition rendering and the format linter."""
+
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.metrics import DEFAULT_BUCKETS
+from repro.obs.promtext import (
+    escape_label,
+    lint_exposition,
+    metric_name,
+    render_exposition,
+    render_metrics,
+    render_spans,
+    render_store_stats,
+)
+
+
+def _registry():
+    registry = MetricsRegistry()
+    registry.counter("service.http.requests").inc(7)
+    registry.gauge("service.queue.depth").set(3)
+    hist = registry.histogram("service.job.solve_seconds")
+    for value in (0.0007, 0.004, 0.004, 0.08, 2.0):
+        hist.observe(value)
+    return registry
+
+
+def test_metric_name_sanitizes_and_namespaces():
+    assert metric_name("service.http.requests") == "repro_service_http_requests"
+    assert metric_name("a-b c", namespace="ns") == "ns_a_b_c"
+    assert metric_name("9lives", namespace="") == "_9lives"
+
+
+def test_escape_label():
+    assert escape_label('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+
+def test_counters_gain_total_suffix_and_type_lines():
+    text = render_metrics(_registry())
+    assert "# TYPE repro_service_http_requests_total counter" in text
+    assert "repro_service_http_requests_total 7" in text
+    assert "# TYPE repro_service_queue_depth gauge" in text
+    assert "repro_service_queue_depth 3" in text
+
+
+def test_histogram_buckets_are_cumulative_with_inf_and_sum():
+    text = render_metrics(_registry())
+    lines = [l for l in text.splitlines()
+             if l.startswith("repro_service_job_solve_seconds")]
+    buckets = [l for l in lines if "_bucket" in l]
+    counts = [int(l.rsplit(" ", 1)[1]) for l in buckets]
+    assert counts == sorted(counts), "bucket counts must be cumulative"
+    assert buckets[-1].startswith(
+        'repro_service_job_solve_seconds_bucket{le="+Inf"}'
+    )
+    assert counts[-1] == 5
+    assert "repro_service_job_solve_seconds_count 5" in text
+    assert any(l.startswith("repro_service_job_solve_seconds_sum") for l in lines)
+
+
+def test_default_buckets_cover_http_latency_range():
+    # Sub-millisecond through tens of seconds, strictly increasing.
+    assert DEFAULT_BUCKETS[0] <= 0.001
+    assert DEFAULT_BUCKETS[-1] >= 10.0
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+    assert len(set(DEFAULT_BUCKETS)) == len(DEFAULT_BUCKETS)
+
+
+def test_per_metric_bucket_override():
+    registry = MetricsRegistry()
+    hist = registry.histogram("custom", buckets=(1.0, 2.0))
+    hist.observe(1.5)
+    text = render_metrics(registry)
+    assert 'repro_custom_bucket{le="1"} 0' in text
+    assert 'repro_custom_bucket{le="2"} 1' in text
+
+
+def test_render_spans_emits_labeled_families():
+    tracer = Tracer()
+    tracer.enabled = True
+    with tracer.span("request"):
+        with tracer.span("solve"):
+            pass
+    text = render_spans(tracer)
+    assert "# TYPE repro_span_calls_total counter" in text
+    assert 'repro_span_calls_total{path="request/solve"} 1' in text
+    assert 'repro_span_seconds_total{path="request"}' in text
+
+
+def test_render_store_stats_keeps_numeric_values_only():
+    text = render_store_stats({"hits": 2, "path": "/tmp/x", "enabled": True})
+    assert "repro_store_hits_total 2" in text
+    assert "path" not in text
+    assert "enabled" not in text
+
+
+def test_full_exposition_passes_its_own_lint():
+    tracer = Tracer()
+    tracer.enabled = True
+    with tracer.span("request"):
+        pass
+    text = render_exposition(_registry(), tracer=tracer,
+                             store_stats={"hits": 1, "misses": 0})
+    assert lint_exposition(text) == []
+
+
+def test_empty_registry_renders_empty():
+    assert render_metrics(MetricsRegistry()) == ""
+
+
+# ---------------------------------------------------------------------------
+# the linter itself must catch real violations
+
+
+def test_lint_flags_missing_type_line():
+    assert any("no # TYPE" in p for p in lint_exposition("orphan_metric 1\n"))
+
+
+def test_lint_flags_non_cumulative_buckets():
+    text = (
+        "# TYPE h histogram\n"
+        'h_bucket{le="1"} 5\n'
+        'h_bucket{le="2"} 3\n'
+        'h_bucket{le="+Inf"} 5\n'
+        "h_sum 4\n"
+        "h_count 5\n"
+    )
+    assert any("not cumulative" in p for p in lint_exposition(text))
+
+
+def test_lint_flags_missing_inf_bucket():
+    text = "# TYPE h histogram\n" 'h_bucket{le="1"} 1\n' "h_sum 1\nh_count 1\n"
+    assert any("+Inf" in p for p in lint_exposition(text))
+
+
+def test_lint_flags_inf_count_mismatch():
+    text = (
+        "# TYPE h histogram\n"
+        'h_bucket{le="+Inf"} 4\n'
+        "h_sum 1\n"
+        "h_count 5\n"
+    )
+    assert any("!= count" in p for p in lint_exposition(text))
+
+
+def test_lint_flags_bad_names_and_empty_bodies():
+    assert lint_exposition("") == ["no samples found"]
+    problems = lint_exposition("# TYPE x counter\nx 1\n# TYPE x counter\nx 2\n")
+    assert any("duplicate TYPE" in p for p in problems)

@@ -139,7 +139,7 @@ def test_schema_versions_fields():
     versions = schema_versions()
     assert set(versions) == {
         "package", "api", "trace_schema", "cache_schema",
-        "checkpoint_schema", "netlist_format",
+        "checkpoint_schema", "netlist_format", "events_schema",
     }
 
 

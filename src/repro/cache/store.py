@@ -203,6 +203,19 @@ class ArtifactCache:
         checksum mismatch, missing/undecodable array file — deletes the
         entry and reports a miss, so callers always regenerate cleanly.
         """
+        entry = self.get_entry(key, kind)
+        if entry is None:
+            return None
+        payload, arrays, _meta = entry
+        return payload, arrays
+
+    def get_entry(self, key, kind):
+        """Like :meth:`get` but returns ``(payload, arrays, meta)``.
+
+        ``meta`` is whatever dict :meth:`put` stored alongside the
+        payload — the service's ECO route uses it to recover the
+        canonical request a stored result answered.
+        """
         if not self.enabled:
             return None
         json_path, npz_path = self._entry_paths(key)
@@ -234,7 +247,7 @@ class ArtifactCache:
             self._drop_entry(key)
             return None
         self._count("hits")
-        return payload, arrays
+        return payload, arrays, entry.get("meta", {})
 
     # ------------------------------------------------------------------
     def info(self):

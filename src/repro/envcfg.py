@@ -122,6 +122,25 @@ ENV_VARS = (
            "repro.harness.runner",
            "Exponential-backoff base delay: the n-th retry waits "
            "backoff * 2**(n-1) seconds."),
+    # -- incremental (ECO) re-partitioning -----------------------------
+    EnvVar("REPRO_ECO_HALO", "int >= 0", "2",
+           "repro.core.incremental",
+           "Radius (in undirected hops) of the halo grown around the "
+           "gates an ECO diff touches; gates inside the halo are "
+           "re-solved, everything outside stays pinned to its previous "
+           "plane."),
+    EnvVar("REPRO_ECO_QUALITY_EPS", "float >= 0", "0.05",
+           "repro.core.incremental",
+           "Quality guard of the warm-start path: the warm result's "
+           "integer cost must stay within (1 + eps) of the "
+           "carried-forward reference assignment, otherwise the solve "
+           "falls back to a cold multi-restart run."),
+    EnvVar("REPRO_ECO_THRESHOLD", "fraction in (0, 1]", "0.25",
+           "repro.core.incremental",
+           "Maximum perturbed-region size (touched gates + halo) as a "
+           "fraction of the netlist before the warm-start path gives "
+           "up and solves cold; large edits gain nothing from "
+           "warm-starting."),
     # -- fault injection -----------------------------------------------
     EnvVar("REPRO_FAULT", "spec", "none",
            "repro.harness.faults",

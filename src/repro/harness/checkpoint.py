@@ -78,6 +78,12 @@ def job_key(job):
     pinned = getattr(job, "pinned", None)
     if pinned:
         fields["pinned"] = pinned
+    prev_labels = getattr(job, "prev_labels", None)
+    if prev_labels is not None:
+        fields["prev_labels"] = list(prev_labels)
+    eco = getattr(job, "eco", None)
+    if eco is not None:
+        fields["eco"] = eco
     blob = json.dumps(canonical_jsonable(fields), sort_keys=True).encode()
     return hashlib.sha256(blob).hexdigest()
 

@@ -5,6 +5,7 @@ Subcommands::
     repro-gpp suite                      # list reconstructed benchmarks
     repro-gpp partition KSA8 -k 5        # partition one circuit
     repro-gpp partition my.def -k 5      # ... or any DEF file
+    repro-gpp eco BASE EDITED -k 5       # incremental ECO re-partition
     repro-gpp table1 [--method greedy]   # regenerate Table I
     repro-gpp table2                     # regenerate Table II
     repro-gpp table3                     # regenerate Table III
@@ -46,15 +47,26 @@ from repro.utils.errors import ReproError
 
 
 def _load_netlist(source):
-    """Resolve a CLI circuit argument: suite name or DEF file path."""
+    """Resolve a CLI circuit argument: suite name, DEF or netlist JSON."""
     if source in SUITE_NAMES:
         return build_circuit(source)
     if os.path.exists(source):
         with open(source) as handle:
-            return parse_def(handle.read(), default_library(), filename=source)
+            text = handle.read()
+        if text.lstrip().startswith("{"):
+            import json
+
+            from repro.netlist.serialize import netlist_from_dict
+
+            try:
+                data = json.loads(text)
+            except ValueError as error:
+                raise ReproError(f"{source}: invalid JSON: {error}") from None
+            return netlist_from_dict(data, library=default_library())
+        return parse_def(text, default_library(), filename=source)
     raise ReproError(
         f"{source!r} is neither a benchmark name ({', '.join(SUITE_NAMES)}) "
-        "nor an existing DEF file"
+        "nor an existing DEF or netlist-JSON file"
     )
 
 
@@ -248,6 +260,85 @@ def _cmd_partition(args):
             print(f"  - {violation}")
         return 1
     print("recycling plan verified: feasible")
+    return 0
+
+
+def _cmd_eco(args):
+    """Diff BASE vs EDITED, warm-start from the base solve, compare to cold."""
+    import json
+    import time
+
+    from repro.core.incremental import align_labels, incremental_partition
+    from repro.core.partitioner import partition
+    from repro.netlist.diff import diff_key, diff_netlists, touched_gate_names
+
+    base = _load_netlist(args.base)
+    edited = _load_netlist(args.edited)
+    diff = diff_netlists(base, edited)
+    touched = touched_gate_names(diff)
+    config = PartitionConfig(engine=args.engine)
+
+    start = time.perf_counter()
+    base_result = partition(base, args.planes, config, seed=args.seed)
+    base_s = time.perf_counter() - start
+
+    prev = align_labels([g.name for g in base.gates], base_result.labels, edited)
+    start = time.perf_counter()
+    warm_result, info = incremental_partition(
+        edited, args.planes, prev, touched, config=config, seed=args.seed,
+        halo=args.halo, threshold=args.threshold, quality_eps=args.eps,
+    )
+    warm_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    cold_result = partition(edited, args.planes, config, seed=args.seed)
+    cold_s = time.perf_counter() - start
+    cold_cost = float(cold_result.integer_cost())
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    delta_pct = (
+        (info["cost"] - cold_cost) / cold_cost * 100.0 if cold_cost else 0.0
+    )
+    summary = {
+        "base": base.name,
+        "edited": edited.name,
+        "diff_key": diff_key(diff),
+        "added_gates": len(diff["added_gates"]),
+        "removed_gates": len(diff["removed_gates"]),
+        "modified_gates": len(diff["modified_gates"]),
+        "added_connections": len(diff["added_connections"]),
+        "removed_connections": len(diff["removed_connections"]),
+        "touched_gates": len(touched),
+        "eco": info,
+        "base_solve_s": base_s,
+        "warm_solve_s": warm_s,
+        "cold_solve_s": cold_s,
+        "speedup": speedup,
+        "warm_cost": info["cost"],
+        "cold_cost": cold_cost,
+        "quality_delta_pct": delta_pct,
+    }
+    if getattr(args, "json", False):
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    rows = [
+        ["base / edited", f"{base.name} -> {edited.name}"],
+        ["edit", f"+{summary['added_gates']}g -{summary['removed_gates']}g "
+                 f"~{summary['modified_gates']}g "
+                 f"+{summary['added_connections']}c "
+                 f"-{summary['removed_connections']}c"],
+        ["touched gates", summary["touched_gates"]],
+        ["mode", info["mode"] + (
+            f" (fallback: {info['fallback_reason']})" if info["fallback_reason"] else ""
+        )],
+        ["region", f"{info.get('region_gates', 0)} gates "
+                   f"({info.get('region_fraction', 0.0) * 100:.1f}%)"],
+        ["warm solve", f"{warm_s * 1000:.1f} ms (cost {info['cost']:.6g})"],
+        ["cold solve", f"{cold_s * 1000:.1f} ms (cost {cold_cost:.6g})"],
+        ["speedup", f"{speedup:.1f}x"],
+        ["quality delta", f"{delta_pct:+.2f}% vs cold"],
+    ]
+    print(ascii_table(["metric", "value"], rows, title="incremental ECO re-partition"))
     return 0
 
 
@@ -553,6 +644,35 @@ def build_parser():
     partition_parser.add_argument("--json", action="store_true", help="emit the report as JSON")
     partition_parser.add_argument("--save", metavar="PATH", help="save the partition as JSON")
 
+    eco_parser = subparsers.add_parser(
+        "eco",
+        help="incremental re-partition of an edited netlist (warm start)",
+        epilog="Environment: REPRO_ECO_HALO/THRESHOLD/QUALITY_EPS set the "
+        "incremental-solver knobs (flags win); see docs/eco.md.",
+    )
+    eco_parser.add_argument("base", help="base circuit: benchmark name, DEF or netlist JSON")
+    eco_parser.add_argument("edited", help="edited circuit: benchmark name, DEF or netlist JSON")
+    eco_parser.add_argument("-k", "--planes", type=int, default=5, help="number of ground planes")
+    eco_parser.add_argument("--seed", type=int, default=None, help="RNG seed")
+    eco_parser.add_argument(
+        "--engine", choices=("batched", "loop", "multilevel"), default="batched",
+        help="gradient solver engine for the cold solves",
+    )
+    eco_parser.add_argument(
+        "--halo", type=_nonnegative_int, default=None,
+        help="BFS hops around touched gates to re-solve (default 2)",
+    )
+    eco_parser.add_argument(
+        "--threshold", type=float, default=None,
+        help="region fraction above which to fall back to a cold solve (default 0.25)",
+    )
+    eco_parser.add_argument(
+        "--eps", type=float, default=None,
+        help="quality guard: warm cost may exceed carried cost by this fraction (default 0.05)",
+    )
+    eco_parser.add_argument("--json", action="store_true", help="emit the comparison as JSON")
+    _add_obs(eco_parser)
+
     stats_parser = subparsers.add_parser("stats", help="structural statistics of a circuit")
     stats_parser.add_argument("circuit", help="benchmark name or DEF path")
 
@@ -719,6 +839,7 @@ def build_parser():
 _COMMANDS = {
     "suite": _cmd_suite,
     "partition": _cmd_partition,
+    "eco": _cmd_eco,
     "stats": _cmd_stats,
     "latency": _cmd_latency,
     "simulate": _cmd_simulate,

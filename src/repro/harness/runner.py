@@ -146,7 +146,13 @@ class SuiteJob:
     ``kind="partition"`` partitions ``circuit`` into ``num_planes``
     planes with ``method`` (the table1/table2 item);
     ``kind="plan"`` searches the smallest feasible K under
-    ``bias_limit_ma`` (the table3 item).
+    ``bias_limit_ma`` (the table3 item); ``kind="eco"`` re-partitions an
+    edited netlist warm-started from a previous assignment
+    (:func:`repro.core.incremental.incremental_partition`) — it requires
+    ``netlist_json`` (the edited netlist), ``prev_labels`` (previous
+    plane per gate in edited gate order, ``-1`` for new gates) and an
+    ``eco`` dict carrying ``touched`` gate names plus optional
+    ``halo``/``threshold``/``quality_eps`` knob overrides.
 
     ``circuit`` normally names a suite generator (resolved through
     :func:`repro.circuits.suite.build_circuit`); a job may instead carry
@@ -179,14 +185,25 @@ class SuiteJob:
     netlist_json: object = None
     pinned: object = None
     trace_context: object = None
+    prev_labels: object = None
+    eco: object = None
 
     def __post_init__(self):
-        if self.kind not in ("partition", "plan"):
+        if self.kind not in ("partition", "plan", "eco"):
             raise ReproError(f"unknown job kind {self.kind!r}")
-        if self.kind == "partition" and self.num_planes is None:
-            raise ReproError("partition jobs need num_planes")
-        if self.pinned is not None and self.kind != "partition":
+        if self.kind in ("partition", "eco") and self.num_planes is None:
+            raise ReproError(f"{self.kind} jobs need num_planes")
+        if self.pinned is not None and self.kind not in ("partition", "eco"):
             raise ReproError("pinned gates only apply to partition jobs")
+        if self.kind == "eco":
+            if self.netlist_json is None:
+                raise ReproError("eco jobs need the edited netlist in netlist_json")
+            if self.prev_labels is None:
+                raise ReproError("eco jobs need prev_labels")
+            if not isinstance(self.eco, dict):
+                raise ReproError("eco jobs need an eco parameter dict")
+        elif self.prev_labels is not None or self.eco is not None:
+            raise ReproError("prev_labels/eco only apply to eco jobs")
         if self.netlist_json is not None:
             name = self.netlist_json.get("name") if isinstance(self.netlist_json, dict) else None
             if name != self.circuit:
@@ -298,7 +315,12 @@ def execute_job(job):
         from repro.netlist.library import default_library
         from repro.netlist.serialize import netlist_from_dict
 
-        netlist = netlist_from_dict(job.netlist_json, default_library())
+        # validate=False: every netlist_json reaching a job was already
+        # structurally validated at its entry boundary (the service API
+        # validates POST bodies; PATCH edits come out of apply_diff).
+        netlist = netlist_from_dict(
+            job.netlist_json, default_library(), validate=False
+        )
     else:
         netlist = build_circuit(job.circuit)
     if job.kind == "plan":
@@ -317,6 +339,29 @@ def execute_job(job):
             "k_lb": plan.k_lb,
             "k_res": plan.k_res,
             "bias_lines_saved": plan.bias_lines_saved,
+        }
+
+    if job.kind == "eco":
+        from repro.core.incremental import incremental_partition
+
+        params = job.eco
+        result, info = incremental_partition(
+            netlist,
+            job.num_planes,
+            prev_labels=np.asarray(job.prev_labels, dtype=np.intp),
+            touched=params.get("touched", ()),
+            config=job.config,
+            seed=job.seed,
+            pinned=job.pinned,
+            halo=params.get("halo"),
+            threshold=params.get("threshold"),
+            quality_eps=params.get("quality_eps"),
+        )
+        return {
+            "circuit": job.circuit,
+            "report": evaluate_partition(result),
+            "labels": result.labels,
+            "eco": info,
         }
 
     from repro.harness.tables import _partition_with
@@ -362,6 +407,12 @@ def validate_payload(job, payload):
         for name in ("k_lb", "k_res", "bias_lines_saved"):
             if not isinstance(payload.get(name), (int, np.integer)):
                 return f"plan payload field {name!r} missing or not an integer"
+    if job.kind == "eco":
+        info = payload.get("eco")
+        if not isinstance(info, dict):
+            return "eco payload has no eco info dict"
+        if info.get("mode") not in ("warm", "cold"):
+            return f"eco payload mode {info.get('mode')!r} is not warm|cold"
     return None
 
 

@@ -1,0 +1,414 @@
+"""Canonical netlist diffs for incremental (ECO) re-partitioning.
+
+A real design loop edits a handful of gates between solves; shipping the
+whole edited netlist to the partitioning service for every tweak wastes
+bandwidth and — more importantly — destroys the content-keyed identity
+an incremental solver needs.  This module defines the diff between two
+serialized netlists (:func:`repro.netlist.serialize.netlist_to_dict`
+form): added / removed / modified gates (a re-typed or moved gate is
+"modified"; a renamed gate is a remove + add, names are gate identity),
+added / removed connections (name pairs, multiset semantics — the
+netlist allows parallel connections), and the edited port list when it
+changed.
+
+Identity: :func:`diff_key` hashes the canonical diff JSON, so an edit is
+content-addressed by the pair ``(base request key, diff key)`` — the
+service's ``PATCH /v1/jobs/<request_key>`` route dedupes warm re-solves
+on exactly that pair (see docs/eco.md).
+
+Library safety: both netlists must be serialized against libraries with
+the same :func:`~repro.netlist.serialize.library_fingerprint` — a diff
+across library revisions would silently change every gate's bias and
+area, so :func:`diff_netlists` refuses, and the fingerprint is embedded
+in the diff for the consumer to re-check.
+
+Ordering: :func:`apply_diff` preserves the base netlist's gate and edge
+order, replaces modified gates in place and appends added gates and
+connections at the end.  When the edit itself appended (the natural ECO
+shape, and what :func:`netlist_diff` of such an edit round-trips), the
+applied dict equals the edited dict byte for byte; an edit that
+*inserted* in the middle applies to an equivalent netlist in this
+canonical append order.
+"""
+
+import hashlib
+import json
+from collections import Counter
+
+from repro.netlist.serialize import (
+    NETLIST_FORMAT_VERSION,
+    library_fingerprint,
+    netlist_to_dict,
+)
+from repro.utils.errors import NetlistError
+
+#: Diff layout version; part of every diff key, so a layout change
+#: silently invalidates stored warm results (they re-solve).
+DIFF_FORMAT_VERSION = 1
+
+DIFF_KIND = "netlist-diff"
+
+#: The gate-entry fields compared (and carried) by a diff.
+_GATE_FIELDS = ("name", "cell", "x_um", "y_um", "attributes")
+
+
+def _gate_entry(entry):
+    """Normalized copy of one serialized gate entry."""
+    out = {
+        "name": entry["name"],
+        "cell": entry["cell"],
+        "x_um": entry.get("x_um"),
+        "y_um": entry.get("y_um"),
+    }
+    if entry.get("attributes"):
+        out["attributes"] = entry["attributes"]
+    return out
+
+
+def _require_netlist_dict(data, role):
+    if not isinstance(data, dict) or data.get("kind") != "netlist":
+        raise NetlistError(f"{role} is not a serialized netlist")
+    if data.get("format") != NETLIST_FORMAT_VERSION:
+        raise NetlistError(
+            f"{role} has unsupported netlist format {data.get('format')!r} "
+            f"(this build reads {NETLIST_FORMAT_VERSION})"
+        )
+
+
+def _edge_name_pairs(data):
+    """Edges of a serialized netlist as ``(driver name, sink name)``."""
+    names = [gate["name"] for gate in data["gates"]]
+    return [(names[int(u)], names[int(v)]) for u, v in data["edges"]]
+
+
+def _port_triples(data):
+    """Ports as order-independent ``(name, direction, gate name)``."""
+    names = [gate["name"] for gate in data["gates"]]
+    triples = []
+    for port in data.get("ports", ()):
+        gate = port.get("gate")
+        triples.append({
+            "name": port["name"],
+            "direction": port["direction"],
+            "gate": None if gate is None else names[int(gate)],
+        })
+    return triples
+
+
+def netlist_diff(base, edited, fingerprint):
+    """The canonical diff turning serialized ``base`` into ``edited``.
+
+    ``fingerprint`` is the shared library fingerprint of both netlists
+    (the caller's responsibility to verify — :func:`diff_netlists` does).
+    """
+    _require_netlist_dict(base, "diff base")
+    _require_netlist_dict(edited, "diff target")
+
+    base_gates = {gate["name"]: _gate_entry(gate) for gate in base["gates"]}
+    edited_gates = {gate["name"]: _gate_entry(gate) for gate in edited["gates"]}
+    if len(base_gates) != len(base["gates"]):
+        raise NetlistError(f"diff base {base['name']!r} has duplicate gate names")
+    if len(edited_gates) != len(edited["gates"]):
+        raise NetlistError(f"diff target {edited['name']!r} has duplicate gate names")
+
+    added = [g for g in edited["gates"] if g["name"] not in base_gates]
+    removed = sorted(name for name in base_gates if name not in edited_gates)
+    modified = [
+        g for g in edited["gates"]
+        if g["name"] in base_gates and _gate_entry(g) != base_gates[g["name"]]
+    ]
+
+    base_pairs = _edge_name_pairs(base)
+    edited_pairs = _edge_name_pairs(edited)
+    surplus = Counter(edited_pairs)
+    surplus.subtract(Counter(base_pairs))
+    removed_conns, added_conns = [], []
+    deficit = Counter()
+    for pair, count in surplus.items():
+        if count < 0:
+            deficit[pair] = -count
+    for pair in base_pairs:  # base order, first occurrences removed
+        if deficit.get(pair, 0) > 0:
+            deficit[pair] -= 1
+            removed_conns.append(list(pair))
+    extra = Counter({pair: count for pair, count in surplus.items() if count > 0})
+    # Added connections keep edited order; take the trailing occurrences
+    # of each surplus pair so an append round-trips exactly.
+    remaining = Counter(extra)
+    added_rev = []
+    for pair in reversed(edited_pairs):
+        if remaining.get(pair, 0) > 0:
+            remaining[pair] -= 1
+            added_rev.append(list(pair))
+    added_conns = list(reversed(added_rev))
+
+    diff = {
+        "kind": DIFF_KIND,
+        "format": DIFF_FORMAT_VERSION,
+        "base_name": base["name"],
+        "name": edited["name"],
+        "library_fingerprint": fingerprint,
+        "added_gates": [_gate_entry(g) for g in added],
+        "removed_gates": removed,
+        "modified_gates": [_gate_entry(g) for g in modified],
+        "added_connections": added_conns,
+        "removed_connections": removed_conns,
+    }
+    base_ports = _port_triples(base)
+    edited_ports = _port_triples(edited)
+    # Ports bound to removed gates drop implicitly on apply; only carry
+    # the edited list when it differs from that implicit remap.
+    implied = [p for p in base_ports if p["gate"] not in set(removed)]
+    if edited_ports != implied:
+        diff["ports"] = edited_ports
+    return diff
+
+
+def diff_netlists(base, edited):
+    """Diff two live :class:`~repro.netlist.netlist.Netlist` objects.
+
+    Refuses (:class:`NetlistError`) when the two netlists are bound to
+    libraries with different fingerprints — their bias/area vectors
+    would not be comparable gate for gate.
+    """
+    if base.library is None or edited.library is None:
+        raise NetlistError("cannot diff netlists without a bound cell library")
+    base_fp = library_fingerprint(base.library)
+    edited_fp = library_fingerprint(edited.library)
+    if base_fp != edited_fp:
+        raise NetlistError(
+            f"refusing to diff {base.name!r} against {edited.name!r}: "
+            f"library fingerprints differ ({base_fp[:12]} != {edited_fp[:12]}); "
+            "re-serialize both netlists against one library revision"
+        )
+    return netlist_diff(netlist_to_dict(base), netlist_to_dict(edited), base_fp)
+
+
+def validate_diff(data):
+    """Raise :class:`NetlistError` unless ``data`` is a well-formed diff."""
+    if not isinstance(data, dict) or data.get("kind") != DIFF_KIND:
+        raise NetlistError("not a serialized netlist diff")
+    if data.get("format") != DIFF_FORMAT_VERSION:
+        raise NetlistError(
+            f"unsupported netlist diff format {data.get('format')!r} "
+            f"(this build reads {DIFF_FORMAT_VERSION})"
+        )
+    for field in ("base_name", "name", "library_fingerprint"):
+        if not isinstance(data.get(field), str) or not data[field]:
+            raise NetlistError(f"netlist diff is missing {field!r}")
+    for field in ("added_gates", "modified_gates"):
+        entries = data.get(field)
+        if not isinstance(entries, list):
+            raise NetlistError(f"netlist diff field {field!r} must be a list")
+        for entry in entries:
+            if not isinstance(entry, dict) or not isinstance(entry.get("name"), str) \
+                    or not isinstance(entry.get("cell"), str):
+                raise NetlistError(
+                    f"netlist diff field {field!r} carries a malformed gate entry"
+                )
+    if not isinstance(data.get("removed_gates"), list) or any(
+        not isinstance(name, str) for name in data["removed_gates"]
+    ):
+        raise NetlistError("netlist diff field 'removed_gates' must be a list of names")
+    for field in ("added_connections", "removed_connections"):
+        pairs = data.get(field)
+        if not isinstance(pairs, list):
+            raise NetlistError(f"netlist diff field {field!r} must be a list")
+        for pair in pairs:
+            if (
+                not isinstance(pair, (list, tuple)) or len(pair) != 2
+                or not all(isinstance(name, str) for name in pair)
+            ):
+                raise NetlistError(
+                    f"netlist diff field {field!r} must hold [driver, sink] name pairs"
+                )
+    if "ports" in data:
+        if not isinstance(data["ports"], list):
+            raise NetlistError("netlist diff field 'ports' must be a list")
+        for port in data["ports"]:
+            if not isinstance(port, dict) or not isinstance(port.get("name"), str):
+                raise NetlistError("netlist diff carries a malformed port entry")
+    return data
+
+
+def is_empty_diff(diff):
+    """True when applying ``diff`` is the identity edit."""
+    return (
+        not diff["added_gates"]
+        and not diff["removed_gates"]
+        and not diff["modified_gates"]
+        and not diff["added_connections"]
+        and not diff["removed_connections"]
+        and "ports" not in diff
+    )
+
+
+def diff_key(diff):
+    """Content address of a diff (sha256 over its canonical JSON)."""
+    blob = json.dumps(diff, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def touched_gate_names(diff):
+    """Gate names the edit perturbs, in deterministic sorted order.
+
+    Added and modified gates, plus every endpoint of an added or
+    removed connection.  Removed gates are *not* touched — they no
+    longer exist — but their former neighbors are (through the removed
+    connections that referenced them).
+    """
+    names = set()
+    for entry in diff["added_gates"]:
+        names.add(entry["name"])
+    for entry in diff["modified_gates"]:
+        names.add(entry["name"])
+    for pair in diff["added_connections"]:
+        names.update(pair)
+    for pair in diff["removed_connections"]:
+        names.update(pair)
+    names -= set(diff["removed_gates"])
+    return sorted(names)
+
+
+def apply_diff(base, diff):
+    """Apply ``diff`` to serialized ``base``; returns the edited dict.
+
+    Gate and edge order follow the canonical append order described in
+    the module docstring, so the result is deterministic — the same
+    ``(base, diff)`` pair always produces the identical serialized
+    netlist, which is what makes warm results content-addressable.
+
+    The returned dict *shares* unmodified gate/edge/port entries with
+    ``base`` and ``diff`` rather than deep-copying them (copying
+    dominated apply time on large netlists).  Treat the result as
+    read-only, or copy before mutating.
+    """
+    _require_netlist_dict(base, "diff base")
+    validate_diff(diff)
+    if diff["base_name"] != base["name"]:
+        raise NetlistError(
+            f"diff targets base netlist {diff['base_name']!r}, got {base['name']!r}"
+        )
+
+    base_names = [gate["name"] for gate in base["gates"]]
+    base_set = set(base_names)
+    if len(base_set) != len(base_names):
+        raise NetlistError(f"diff base {base['name']!r} has duplicate gate names")
+    removed = set(diff["removed_gates"])
+    modified = {entry["name"]: entry for entry in diff["modified_gates"]}
+    for name in sorted(removed | set(modified)):
+        if name not in base_set:
+            raise NetlistError(
+                f"diff edits gate {name!r} which does not exist in base "
+                f"{base['name']!r}"
+            )
+
+    gates = []
+    for gate in base["gates"]:
+        if gate["name"] in removed:
+            continue
+        # Entries are shared, not copied: a validated base entry is
+        # already in serialized shape, and per-gate copying was the
+        # hottest line of ECO edit application.  Nothing downstream
+        # mutates gate entries (see docstring).
+        gates.append(modified.get(gate["name"], gate))
+    for entry in diff["added_gates"]:
+        if entry["name"] in base_set and entry["name"] not in removed:
+            raise NetlistError(
+                f"diff adds gate {entry['name']!r} which already exists in base"
+            )
+        gates.append(entry)
+    index = {}
+    for position, gate in enumerate(gates):
+        if gate["name"] in index:
+            raise NetlistError(f"diff produces duplicate gate name {gate['name']!r}")
+        index[gate["name"]] = position
+
+    if not removed and not diff["removed_connections"]:
+        # Fast path for the dominant ECO shape (retype/move/add only):
+        # no gate leaves, so every base gate keeps its index and the
+        # base edge list passes through untouched — skipping the
+        # name-pair round trip that dominates apply time on large
+        # netlists.  Only the added connections need name resolution.
+        edges = list(base["edges"])
+        for u_name, v_name in diff["added_connections"]:
+            if u_name not in index or v_name not in index:
+                missing = u_name if u_name not in index else v_name
+                raise NetlistError(
+                    f"diff connection references unknown gate {missing!r}"
+                )
+            edges.append([index[u_name], index[v_name]])
+    else:
+        to_remove = Counter(tuple(pair) for pair in diff["removed_connections"])
+        pairs = []
+        for pair in _edge_name_pairs(base):
+            if to_remove.get(pair, 0) > 0:
+                to_remove[pair] -= 1
+                continue
+            if pair[0] in removed or pair[1] in removed:
+                raise NetlistError(
+                    f"diff removes gate(s) of connection {pair[0]!r} -> {pair[1]!r} "
+                    "without removing the connection"
+                )
+            pairs.append(pair)
+        leftover = +to_remove
+        if leftover:
+            pair = next(iter(leftover))
+            raise NetlistError(
+                f"diff removes connection {pair[0]!r} -> {pair[1]!r} "
+                "which does not exist in base"
+            )
+        for pair in diff["added_connections"]:
+            pairs.append(tuple(pair))
+
+        edges = []
+        for u_name, v_name in pairs:
+            if u_name not in index or v_name not in index:
+                missing = u_name if u_name not in index else v_name
+                raise NetlistError(
+                    f"diff connection references unknown gate {missing!r}"
+                )
+            edges.append([index[u_name], index[v_name]])
+
+    if "ports" not in diff and not removed:
+        # Same fast path: indices unchanged, base ports pass through.
+        # Entry lists/dicts are shared with base, never mutated here.
+        ports = list(base.get("ports", ()))
+        return {
+            "format": NETLIST_FORMAT_VERSION,
+            "kind": "netlist",
+            "name": diff["name"],
+            "library": base.get("library"),
+            "gates": gates,
+            "edges": edges,
+            "ports": ports,
+        }
+    if "ports" in diff:
+        port_triples = diff["ports"]
+    else:
+        port_triples = [
+            triple for triple in _port_triples(base)
+            if triple["gate"] is None or triple["gate"] not in removed
+        ]
+    ports = []
+    for triple in port_triples:
+        gate = triple.get("gate")
+        if gate is not None and gate not in index:
+            raise NetlistError(
+                f"diff port {triple['name']!r} references unknown gate {gate!r}"
+            )
+        ports.append({
+            "name": triple["name"],
+            "direction": triple["direction"],
+            "gate": None if gate is None else index[gate],
+        })
+
+    return {
+        "format": NETLIST_FORMAT_VERSION,
+        "kind": "netlist",
+        "name": diff["name"],
+        "library": base.get("library"),
+        "gates": gates,
+        "edges": edges,
+        "ports": ports,
+    }

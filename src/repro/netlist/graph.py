@@ -129,6 +129,41 @@ def bfs_levels(netlist_or_pair, sources):
     return level
 
 
+def bounded_bfs_levels(netlist_or_pair, sources, max_level):
+    """Undirected BFS distance, cut off beyond ``max_level`` hops.
+
+    Same contract as :func:`bfs_levels` except gates farther than
+    ``max_level`` report ``-1`` like unreachable ones.  Runs whole-array
+    frontier expansions over the edge array instead of building Python
+    adjacency lists, so a small-halo query on a large netlist costs
+    ``O(max_level * |E|)`` numpy work rather than ``O(G + E)`` Python
+    work — the hot path of incremental (ECO) region expansion.
+    """
+    num_gates, edges = _as_graph(netlist_or_pair)
+    if max_level < 0:
+        raise NetlistError(f"max_level must be >= 0, got {max_level}")
+    level = np.full(num_gates, -1, dtype=np.intp)
+    sources = np.asarray(sorted(int(s) for s in sources), dtype=np.intp)
+    if sources.size and (sources.min() < 0 or sources.max() >= num_gates):
+        bad = sources[0] if sources[0] < 0 else sources[-1]
+        raise NetlistError(f"BFS source {int(bad)} out of range")
+    level[sources] = 0
+    if not edges.size:
+        return level
+    frontier = np.zeros(num_gates, dtype=bool)
+    frontier[sources] = True
+    u, v = edges[:, 0], edges[:, 1]
+    for depth in range(1, max_level + 1):
+        if not frontier.any():
+            break
+        reached = np.zeros(num_gates, dtype=bool)
+        reached[v[frontier[u]]] = True
+        reached[u[frontier[v]]] = True
+        frontier = reached & (level < 0)
+        level[frontier] = depth
+    return level
+
+
 def logic_levels(netlist_or_pair):
     """Longest-path logic level of every gate (sources at level 0).
 

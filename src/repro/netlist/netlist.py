@@ -46,7 +46,7 @@ class Port:
     gate: int = None
 
 
-@dataclass
+@dataclass(slots=True)
 class Gate:
     """One placed gate instance.
 
@@ -85,6 +85,13 @@ class Netlist:
         self.library = library
         self._gates = []
         self._gate_index = {}
+        # Per-gate b_i / a_i accumulated at insertion (gates are
+        # append-only and cells immutable), so the optimizer vectors
+        # build as one ``np.array(list)`` with no per-gate property
+        # chain — that chain dominated netlist construction time on the
+        # incremental (ECO) path.
+        self._bias_ma = []
+        self._area_um2 = []
         self._edges = []
         self._edge_set = set()
         self._ports = {}
@@ -120,6 +127,8 @@ class Netlist:
         gate = Gate(name=name, cell=cell, index=len(self._gates), x_um=x_um, y_um=y_um, attributes=dict(attributes))
         self._gates.append(gate)
         self._gate_index[name] = gate.index
+        self._bias_ma.append(cell.bias_ma)
+        self._area_um2.append(cell.area_um2)
         self._invalidate_vectors()
         return gate
 
@@ -145,6 +154,74 @@ class Netlist:
         self._edge_set.add((u, v))
         self._invalidate_vectors()
         return (u, v)
+
+    def extend_gates(self, entries):
+        """Bulk :meth:`add_gate` over ``(name, cell, x_um, y_um, attrs)``.
+
+        The deserialization fast path: one duplicate/type check pass,
+        one vector-cache invalidation.  Raises on the first offending
+        entry; earlier entries are already appended (callers construct
+        fresh netlists, discarded on error).
+        """
+        gates = self._gates
+        gate_index = self._gate_index
+        bias_ma = self._bias_ma
+        area_um2 = self._area_um2
+        for name, cell, x_um, y_um, attributes in entries:
+            if name in gate_index:
+                raise NetlistError(
+                    f"duplicate gate name {name!r} in netlist {self.name!r}"
+                )
+            if not isinstance(cell, CellType):
+                raise NetlistError(
+                    f"gate {name!r}: cell must be a CellType, got {type(cell).__name__}"
+                )
+            gate = Gate(name, cell, len(gates), x_um, y_um, attributes)
+            gates.append(gate)
+            gate_index[name] = gate.index
+            bias_ma.append(cell.bias_ma)
+            area_um2.append(cell.area_um2)
+        self._invalidate_vectors()
+        return gates
+
+    def extend_connections(self, pairs, allow_duplicate=False):
+        """Bulk :meth:`connect` over gate-index pairs.
+
+        The fast path for deserialization: endpoints must already be
+        integer gate indices (names are not resolved here), the
+        self-loop/duplicate policies match :meth:`connect`, and the
+        vector cache is invalidated once instead of per edge.  Raises on
+        the first offending pair with the same message ``connect`` would
+        have produced; pairs before it are already appended (callers are
+        constructing a fresh netlist, which is discarded on error).
+        """
+        pairs = np.asarray(pairs, dtype=np.intp).reshape(-1, 2)
+        if pairs.size:
+            if pairs.min() < 0 or pairs.max() >= len(self._gates):
+                bad = pairs[(pairs < 0).any(axis=1) | (pairs >= len(self._gates)).any(axis=1)][0]
+                raise NetlistError(
+                    f"gate index {int(bad.max())} out of range (0..{len(self._gates) - 1})"
+                )
+            loops = pairs[:, 0] == pairs[:, 1]
+            if loops.any():
+                u = int(pairs[np.flatnonzero(loops)[0], 0])
+                raise NetlistError(f"self-loop on gate {self._gates[u].name!r}")
+        new_edges = list(map(tuple, pairs.tolist()))
+        if not allow_duplicate:
+            for u, v in new_edges:
+                if (u, v) in self._edge_set:
+                    self._invalidate_vectors()
+                    raise NetlistError(
+                        f"duplicate connection {self._gates[u].name!r} -> "
+                        f"{self._gates[v].name!r}"
+                    )
+                self._edge_set.add((u, v))
+                self._edges.append((u, v))
+        else:
+            self._edges.extend(new_edges)
+            self._edge_set.update(new_edges)
+        self._invalidate_vectors()
+        return new_edges
 
     def add_port(self, name, direction, gate=None):
         """Declare a primary input/output, optionally bound to a gate."""
@@ -224,13 +301,13 @@ class Netlist:
         the partitioner and metrics layers call this on every restart.
         """
         return self._cached_vector(
-            "bias", lambda: np.array([g.bias_ma for g in self._gates], dtype=float)
+            "bias", lambda: np.array(self._bias_ma, dtype=float)
         )
 
     def area_vector_um2(self):
         """Per-gate areas ``a_i`` in um^2, shape ``(G,)`` (cached, read-only)."""
         return self._cached_vector(
-            "area", lambda: np.array([g.area_um2 for g in self._gates], dtype=float)
+            "area", lambda: np.array(self._area_um2, dtype=float)
         )
 
     def area_vector_mm2(self):

@@ -79,40 +79,135 @@ def netlist_to_dict(netlist):
     }
 
 
-def netlist_from_dict(data, library):
-    """Rebuild a netlist from :func:`netlist_to_dict` output.
+def validate_netlist_dict(data):
+    """Structural validation of a serialized netlist dict.
 
-    Gate order, edge order and port order are preserved exactly, so the
-    rebuilt netlist's optimizer vectors (edge array, bias, area) are
-    bitwise identical to the original's — positional labels, saved
-    partitions and fixed-seed solver runs all transfer unchanged.
+    Catches the malformed payloads a client can actually send — duplicate
+    gate names, connections referencing gates that do not exist, ports
+    bound to unknown gates — and reports them as a single clear
+    :class:`NetlistError` instead of the KeyError/IndexError that used
+    to escape from deep inside graph construction.  Returns ``data`` so
+    callers can validate-and-pass-through in one expression.
     """
-    if data.get("kind") != "netlist":
+    if not isinstance(data, dict) or data.get("kind") != "netlist":
         raise NetlistError("not a serialized netlist")
     if data.get("format") != NETLIST_FORMAT_VERSION:
         raise NetlistError(
             f"unsupported netlist format {data.get('format')} "
             f"(this build reads {NETLIST_FORMAT_VERSION})"
         )
-    netlist = Netlist(data["name"], library=library)
-    for entry in data["gates"]:
-        cell_name = entry["cell"]
-        if cell_name not in library:
+    if not isinstance(data.get("name"), str) or not data["name"]:
+        raise NetlistError("serialized netlist is missing its name")
+    gates = data.get("gates")
+    if not isinstance(gates, list):
+        raise NetlistError(f"serialized netlist {data['name']!r}: 'gates' must be a list")
+    seen = set()
+    for position, entry in enumerate(gates):
+        if not isinstance(entry, dict) or not isinstance(entry.get("name"), str):
             raise NetlistError(
-                f"serialized netlist {data['name']!r} uses cell {cell_name!r} "
-                f"missing from library {library.name!r}"
+                f"serialized netlist {data['name']!r}: gate #{position} is malformed"
             )
-        x = entry.get("x_um")
-        y = entry.get("y_um")
-        netlist.add_gate(
+        if not isinstance(entry.get("cell"), str):
+            raise NetlistError(
+                f"serialized netlist {data['name']!r}: gate {entry['name']!r} "
+                "has no cell reference"
+            )
+        if entry["name"] in seen:
+            raise NetlistError(
+                f"serialized netlist {data['name']!r} has duplicate gate "
+                f"name {entry['name']!r}"
+            )
+        seen.add(entry["name"])
+    num_gates = len(gates)
+    edges = data.get("edges")
+    if not isinstance(edges, list):
+        raise NetlistError(f"serialized netlist {data['name']!r}: 'edges' must be a list")
+    for position, pair in enumerate(edges):
+        if (
+            not isinstance(pair, (list, tuple)) or len(pair) != 2
+            or any(isinstance(end, bool) or not isinstance(end, int) for end in pair)
+        ):
+            raise NetlistError(
+                f"serialized netlist {data['name']!r}: connection #{position} "
+                "must be a [driver, sink] pair of gate indices"
+            )
+        for end in pair:
+            if not 0 <= end < num_gates:
+                raise NetlistError(
+                    f"serialized netlist {data['name']!r}: connection #{position} "
+                    f"references unknown gate index {end} "
+                    f"(netlist has {num_gates} gates)"
+                )
+    ports = data.get("ports", [])
+    if not isinstance(ports, list):
+        raise NetlistError(f"serialized netlist {data['name']!r}: 'ports' must be a list")
+    for entry in ports:
+        if not isinstance(entry, dict) or not isinstance(entry.get("name"), str):
+            raise NetlistError(
+                f"serialized netlist {data['name']!r} carries a malformed port entry"
+            )
+        gate = entry.get("gate")
+        if gate is not None and (
+            isinstance(gate, bool) or not isinstance(gate, int)
+            or not 0 <= gate < num_gates
+        ):
+            raise NetlistError(
+                f"serialized netlist {data['name']!r}: port {entry['name']!r} "
+                f"references unknown gate {gate!r}"
+            )
+    return data
+
+
+def netlist_from_dict(data, library, validate=True):
+    """Rebuild a netlist from :func:`netlist_to_dict` output.
+
+    Gate order, edge order and port order are preserved exactly, so the
+    rebuilt netlist's optimizer vectors (edge array, bias, area) are
+    bitwise identical to the original's — positional labels, saved
+    partitions and fixed-seed solver runs all transfer unchanged.
+
+    The dict is passed through :func:`validate_netlist_dict` first, so
+    malformed payloads fail with one clear :class:`NetlistError`.
+    ``validate=False`` skips that pass for dicts a machine produced and
+    already guarantees well-formed (the service validates request
+    netlists at the API boundary; :func:`repro.netlist.diff.apply_diff`
+    output is structurally sound by construction) — the hot path of
+    incremental (ECO) re-partitioning, where validation would otherwise
+    rival the solve itself.
+    """
+    if validate:
+        validate_netlist_dict(data)
+    netlist = Netlist(data["name"], library=library)
+    cells = {}
+    nan = float("nan")
+
+    def resolve_cell(cell_name):
+        cell = cells.get(cell_name)
+        if cell is None:
+            if cell_name not in library:
+                raise NetlistError(
+                    f"serialized netlist {data['name']!r} uses cell {cell_name!r} "
+                    f"missing from library {library.name!r}"
+                )
+            cell = cells[cell_name] = library[cell_name]
+        return cell
+
+    # Bulk gate/edge load: the per-item checks of add_gate()/connect()
+    # are either redundant with the validator or repeated here once,
+    # and the per-mutation vector-cache invalidation collapses to one —
+    # deserialization of multi-thousand-gate payloads was dominated by
+    # exactly that overhead.
+    netlist.extend_gates(
+        (
             entry["name"],
-            library[cell_name],
-            float("nan") if x is None else float(x),
-            float("nan") if y is None else float(y),
-            **entry.get("attributes", {}),
+            resolve_cell(entry["cell"]),
+            nan if entry.get("x_um") is None else float(entry["x_um"]),
+            nan if entry.get("y_um") is None else float(entry["y_um"]),
+            dict(entry.get("attributes", ())),
         )
-    for u, v in data["edges"]:
-        netlist.connect(int(u), int(v), allow_duplicate=True)
+        for entry in data["gates"]
+    )
+    netlist.extend_connections(data["edges"], allow_duplicate=True)
     for entry in data.get("ports", ()):
         netlist.add_port(entry["name"], entry["direction"], entry.get("gate"))
     return netlist

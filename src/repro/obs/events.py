@@ -132,6 +132,24 @@ class EventLog:
                     handle.flush()
         return record
 
+    def flush(self):
+        """Force the path-backed sink to stable storage (fsync).
+
+        Per-record appends already ``flush()`` the stream; this
+        additionally fsyncs the file so a process exiting right after
+        (the graceful-shutdown path of ``repro-gpp serve``) cannot lose
+        the tail to the OS page cache.  A no-op for in-memory logs.
+        """
+        if not self.enabled or self.path is None:
+            return
+        with self._lock:
+            try:
+                with open(self.path, "a") as handle:
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            except OSError:
+                pass  # best-effort: shutdown must not fail on a sink error
+
     def for_job(self, job_id):
         """Events of one job, oldest first (from the in-memory ring)."""
         with self._lock:

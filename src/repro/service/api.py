@@ -38,9 +38,11 @@ from repro.cache.store import CACHE_SCHEMA_VERSION, canonical_jsonable
 from repro.circuits.suite import SUITE_NAMES
 from repro.core.config import ENGINES, PartitionConfig
 from repro.harness.checkpoint import CHECKPOINT_SCHEMA_VERSION
-from repro.netlist.serialize import NETLIST_FORMAT_VERSION
+from repro.netlist.diff import DIFF_FORMAT_VERSION, validate_diff
+from repro.netlist.serialize import NETLIST_FORMAT_VERSION, validate_netlist_dict
 from repro.obs import EVENT_SCHEMA_VERSION, TRACE_SCHEMA_VERSION
 from repro.service.errors import BadRequestError
+from repro.utils.errors import NetlistError
 
 #: Version of the request/response JSON shapes described above.
 SERVICE_API_VERSION = 1
@@ -66,6 +68,7 @@ def schema_versions():
         "checkpoint_schema": CHECKPOINT_SCHEMA_VERSION,
         "netlist_format": NETLIST_FORMAT_VERSION,
         "events_schema": EVENT_SCHEMA_VERSION,
+        "diff_format": DIFF_FORMAT_VERSION,
     }
 
 
@@ -103,13 +106,13 @@ def validate_request(data):
     else:
         if not isinstance(netlist, dict) or netlist.get("kind") != "netlist":
             raise BadRequestError("'netlist' must be a serialized netlist object")
-        if netlist.get("format") != NETLIST_FORMAT_VERSION:
-            raise BadRequestError(
-                f"unsupported netlist format {netlist.get('format')!r} "
-                f"(this build reads {NETLIST_FORMAT_VERSION})"
-            )
-        if not isinstance(netlist.get("name"), str) or not netlist["name"]:
-            raise BadRequestError("serialized netlist must carry a non-empty 'name'")
+        try:
+            # Full structural validation (duplicate gate names, edges or
+            # ports referencing unknown gates) up front, so a malformed
+            # netlist is a clear 400 instead of a worker-side crash.
+            validate_netlist_dict(netlist)
+        except NetlistError as error:
+            raise BadRequestError(str(error)) from None
 
     method = data.get("method", "gradient")
     if method not in _methods():
@@ -246,4 +249,84 @@ def request_to_job(normalized):
         bias_limit_ma=normalized.get("bias_limit_ma", 100.0),
         netlist_json=netlist,
         pinned=normalized.get("pinned"),
+        prev_labels=tuple(normalized["prev_labels"]) if normalized.get("kind") == "eco" else None,
+        eco=normalized.get("eco") if normalized.get("kind") == "eco" else None,
     )
+
+
+# ----------------------------------------------------------------------
+# Incremental (ECO) re-partitioning: PATCH /v1/jobs/<request_key>
+# ----------------------------------------------------------------------
+
+#: Fields of a PATCH body; ``diff`` is required, the rest override the
+#: ``REPRO_ECO_*`` knobs for this one edit.
+ECO_FIELDS = ("diff", "halo", "threshold", "quality_eps")
+
+
+def validate_eco_body(data):
+    """Normalize a ``PATCH /v1/jobs/<key>`` body, or raise 400.
+
+    Returns ``{"diff": <validated netlist diff>, "halo"?, "threshold"?,
+    "quality_eps"?}`` with only the explicitly-given knobs present (the
+    absent ones resolve from ``REPRO_ECO_*`` at solve time — and stay
+    out of the content key, see :func:`eco_request_key`).
+    """
+    if not isinstance(data, dict):
+        raise BadRequestError(
+            f"request body must be a JSON object, got {type(data).__name__}"
+        )
+    unknown = sorted(set(data) - set(ECO_FIELDS))
+    if unknown:
+        raise BadRequestError(
+            f"unknown request field(s) {', '.join(unknown)}; "
+            f"recognized: {', '.join(ECO_FIELDS)}"
+        )
+    try:
+        diff = validate_diff(data.get("diff"))
+    except NetlistError as error:
+        raise BadRequestError(str(error)) from None
+    normalized = {"diff": diff}
+    halo = data.get("halo")
+    if halo is not None:
+        if isinstance(halo, bool) or not isinstance(halo, int) or halo < 0:
+            raise BadRequestError(f"halo must be an integer >= 0, got {halo!r}")
+        normalized["halo"] = halo
+    threshold = data.get("threshold")
+    if threshold is not None:
+        if isinstance(threshold, bool) or not isinstance(threshold, (int, float)) \
+                or not 0 < threshold <= 1:
+            raise BadRequestError(
+                f"threshold must be a fraction in (0, 1], got {threshold!r}"
+            )
+        normalized["threshold"] = float(threshold)
+    eps = data.get("quality_eps")
+    if eps is not None:
+        if isinstance(eps, bool) or not isinstance(eps, (int, float)) or eps < 0:
+            raise BadRequestError(
+                f"quality_eps must be a number >= 0, got {eps!r}"
+            )
+        normalized["quality_eps"] = float(eps)
+    return normalized
+
+
+def eco_request_key(base_key, diff_digest, params):
+    """Content address of one ECO edit: ``(base, diff, knobs, versions)``.
+
+    Hashing the *base key* (not the base request) chains edits — an edit
+    of an edit keys off the warm result it patched — while the knob
+    overrides and schema versions keep results from different halo or
+    guard settings apart.
+    """
+    knobs = {
+        name: params[name]
+        for name in ("halo", "threshold", "quality_eps")
+        if name in params
+    }
+    blob = json.dumps(
+        canonical_jsonable({
+            "eco": {"base": base_key, "diff": diff_digest, "knobs": knobs},
+            "versions": schema_versions(),
+        }),
+        sort_keys=True,
+    ).encode()
+    return hashlib.sha256(blob).hexdigest()

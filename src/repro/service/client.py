@@ -133,6 +133,32 @@ class ServiceClient:
         _status, payload = self._request("POST", "/v1/jobs", request_body, ctx=ctx)
         return payload
 
+    def eco_submit(self, request_key, body, ctx=None):
+        """PATCH an edit (netlist diff) against a stored result.
+
+        ``body`` is ``{"diff": <netlist diff>, "halo"?, "threshold"?,
+        "quality_eps"?}``; returns the job status dict (raises on
+        4xx/5xx — notably 404 when no result is stored under
+        ``request_key``).
+        """
+        _status, payload = self._request(
+            "PATCH", f"/v1/jobs/{request_key}", body, ctx=ctx
+        )
+        return payload
+
+    def eco(self, request_key, body, timeout=300.0, ctx=None):
+        """PATCH + wait + fetch; returns the decoded payload dict.
+
+        The eco payload carries ``labels`` (numpy) plus an ``eco`` info
+        dict (``mode`` warm|cold, region size, costs) from
+        :func:`repro.core.incremental.incremental_partition`.
+        """
+        job = self.eco_submit(request_key, body, ctx=ctx)
+        if job["state"] != "done":
+            self.wait(job["id"], timeout=timeout)
+        result = self.result(job["id"])
+        return payload_from_jsonable(result["result"])
+
     def status(self, job_id):
         return self._request("GET", f"/v1/jobs/{job_id}")[1]
 

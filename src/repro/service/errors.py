@@ -53,6 +53,13 @@ class QueueFullError(ServiceError):
         self.retry_after = max(1, int(retry_after))
 
 
+class ServiceUnavailableError(ServiceError):
+    """The server is draining for shutdown and takes no new work (HTTP 503)."""
+
+    status = 503
+    code = "draining"
+
+
 class JobFailedError(ServiceError):
     """Fetching the result of a job whose execution failed (HTTP 500)."""
 

@@ -61,7 +61,11 @@ from repro.harness.checkpoint import payload_to_jsonable
 from repro.harness.runner import run_jobs
 from repro.obs import NOOP_SPAN, OBS, TraceContext, Tracer
 from repro.service.api import pack_signature, request_to_job
-from repro.service.errors import NotFoundError, QueueFullError
+from repro.service.errors import (
+    NotFoundError,
+    QueueFullError,
+    ServiceUnavailableError,
+)
 from repro.utils.errors import ReproError
 
 #: Job lifecycle states.
@@ -170,6 +174,7 @@ class JobManager:
         self._inflight = {}             # key -> queued/running Job
         self._finished_order = deque()  # ids of finished jobs, oldest first
         self._running = False
+        self._draining = False
         self._threads = []
         self._obs_lock = threading.Lock()
 
@@ -206,6 +211,44 @@ class JobManager:
             thread.start()
             self._threads.append(thread)
         return self
+
+    @property
+    def draining(self):
+        """True once :meth:`begin_drain` ran; new submits answer 503."""
+        with self._cond:
+            return self._draining
+
+    def begin_drain(self):
+        """Stop admitting work; already-admitted jobs keep running.
+
+        The graceful-shutdown entry point of ``repro-gpp serve``
+        (SIGTERM/SIGINT): after this every :meth:`submit` raises
+        :class:`ServiceUnavailableError` (HTTP 503) while the queue and
+        the in-flight jobs drain normally — follow with :meth:`drain`
+        to wait for them.
+        """
+        with self._cond:
+            self._draining = True
+
+    def drain(self, timeout=None):
+        """Wait until no job is queued or running; True when drained.
+
+        ``timeout`` bounds the wait in seconds (``None`` waits forever
+        — callers bound it by REPRO_JOB_TIMEOUT).  Does not stop the
+        workers; call :meth:`stop` after for that.
+        """
+        deadline = None if timeout is None else time.time() + timeout
+        with self._cond:
+            while self._queue or any(
+                job.state in ("queued", "running")
+                for job in self._inflight.values()
+            ):
+                remaining = None if deadline is None else deadline - time.time()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cond.wait(timeout=0.2 if remaining is None
+                                else min(0.2, remaining))
+            return True
 
     def stop(self, timeout=5.0):
         """Stop accepting work and join the worker threads.
@@ -245,6 +288,11 @@ class JobManager:
         derived from it, so everything the job records parents under
         the originating request.
         """
+        with self._cond:
+            if self._draining:
+                raise ServiceUnavailableError(
+                    "server is draining for shutdown; not accepting new jobs"
+                )
         stored = self.store.get(key) if self.store is not None else None
         if stored is not None:
             with self._cond:
@@ -587,6 +635,15 @@ class JobManager:
                 solve_s = time.perf_counter() - started
                 self._observe("service.job.solve_seconds", solve_s)
                 self._emit(job, "solved", solve_s=round(solve_s, 6))
+                if job.request.get("kind") == "eco":
+                    # Edit-to-answer phase histogram + warm/cold split
+                    # of the incremental path (docs/eco.md).
+                    self._observe("service.job.eco_seconds", solve_s)
+                    info = (payloads[0] or {}).get("eco") or {}
+                    if info.get("mode") == "warm":
+                        self._inc("service.eco.warm")
+                    elif info.get("mode") == "cold":
+                        self._inc("service.eco.cold_fallbacks")
                 started = time.perf_counter()
                 with (tracer.span("finalize") if tracer is not None else NOOP_SPAN):
                     payload = payload_to_jsonable(payloads[0])

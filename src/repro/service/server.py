@@ -63,7 +63,13 @@ from repro.obs import (
     render_exposition,
     write_trace_jsonl,
 )
-from repro.service.api import request_key, schema_versions, validate_request
+from repro.service.api import (
+    eco_request_key,
+    request_key,
+    schema_versions,
+    validate_eco_body,
+    validate_request,
+)
 from repro.service.errors import (
     BadRequestError,
     ConflictError,
@@ -74,6 +80,7 @@ from repro.service.errors import (
 )
 from repro.service.jobs import JobManager
 from repro.service.store import ResultStore
+from repro.utils.errors import NetlistError
 
 #: Hard cap on accepted request bodies (a serialized netlist of the
 #: largest suite circuit is ~1.5 MB; 32 MB leaves ample headroom).
@@ -170,6 +177,9 @@ def route_label(method, path):
             return "jobs.submit"
         if len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "cancel":
             return "jobs.cancel"
+    elif method == "PATCH":
+        if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+            return "jobs.eco"
     return "other"
 
 
@@ -253,6 +263,162 @@ class PartitionService:
         payload["outcome"] = outcome
         return status, payload
 
+    def eco_submit(self, base_key, body, ctx=None):
+        """``PATCH /v1/jobs/<request_key>``: re-partition an edited netlist.
+
+        ``base_key`` addresses a stored result; the body carries a
+        netlist diff (:mod:`repro.netlist.diff`) plus optional
+        halo/threshold/quality_eps overrides.  The edit flows through
+        the normal :class:`JobManager` machinery as a ``kind="eco"``
+        job content-keyed on ``(base_key, diff_key, knobs)`` — so a
+        repeated identical edit is answered from the result store, and
+        an *empty* diff short-circuits to the stored base payload,
+        bitwise, counted as a cache hit.
+        """
+        from repro.netlist.diff import (
+            apply_diff,
+            diff_key,
+            is_empty_diff,
+            touched_gate_names,
+        )
+        from repro.netlist.library import default_library
+        from repro.netlist.serialize import library_fingerprint, netlist_to_dict
+
+        with self._telemetry_lock:
+            self.metrics.counter("service.eco.requests").inc()
+        params = validate_eco_body(body)
+        diff = params["diff"]
+
+        if self.store is None or not self.store.enabled:
+            raise NotFoundError(
+                "the result store is disabled; ECO edits need the stored "
+                "base result to warm-start from"
+            )
+        entry = self.store.get_with_meta(base_key)
+        if entry is None:
+            raise NotFoundError(
+                f"no stored result for request key {base_key!r}; "
+                "submit the base job first"
+            )
+        _stored_payload, meta = entry
+        base_request = (meta or {}).get("request")
+        if not isinstance(base_request, dict):
+            raise ConflictError(
+                "stored result carries no request metadata; re-submit the "
+                "base job to refresh it"
+            )
+        if (
+            base_request.get("kind") != "partition"
+            or base_request.get("method") != "gradient"
+            or base_request.get("refine")
+        ):
+            raise BadRequestError(
+                "ECO edits only apply to unrefined gradient partition "
+                f"results; the stored base is kind={base_request.get('kind')!r} "
+                f"method={base_request.get('method')!r} "
+                f"refine={base_request.get('refine')!r}"
+            )
+
+        if "netlist" in base_request:
+            base_netlist = base_request["netlist"]
+        else:
+            from repro.circuits.suite import build_circuit
+
+            base_netlist = netlist_to_dict(build_circuit(base_request["circuit"]))
+
+        fingerprint = library_fingerprint(default_library())
+        if diff["library_fingerprint"] != fingerprint:
+            raise BadRequestError(
+                f"diff library fingerprint {diff['library_fingerprint'][:12]} "
+                f"does not match this server's library ({fingerprint[:12]}); "
+                "re-diff against the current library revision"
+            )
+        if diff["base_name"] != base_netlist["name"]:
+            raise BadRequestError(
+                f"diff targets base netlist {diff['base_name']!r} but the "
+                f"stored result partitioned {base_netlist['name']!r}"
+            )
+
+        if is_empty_diff(diff):
+            # Identity edit: the stored base payload IS the answer.
+            # Re-submitting the base request hits the store fast path,
+            # which returns the stored bytes untouched.
+            with self._telemetry_lock:
+                self.metrics.counter("service.eco.empty_diffs").inc()
+                self.metrics.counter("service.eco.cache_hits").inc()
+            job, outcome = self.manager.submit(base_key, base_request, ctx=ctx)
+            status = 200 if outcome == "cached" else 202
+            payload = job.to_dict()
+            payload["outcome"] = outcome
+            payload["eco"] = {"base_key": base_key, "empty_diff": True}
+            return status, payload
+
+        try:
+            edited = apply_diff(base_netlist, diff)
+        except NetlistError as error:
+            raise BadRequestError(str(error)) from None
+
+        num_planes = base_request["num_planes"]
+        if num_planes > len(edited["gates"]):
+            raise BadRequestError(
+                f"the edit leaves {len(edited['gates'])} gates, fewer than "
+                f"the base partition's {num_planes} planes"
+            )
+
+        # Previous plane per *edited* gate, by gate name (-1 for added).
+        base_names = [gate["name"] for gate in base_netlist["gates"]]
+        stored_labels = _stored_payload.get("labels") or []
+        if len(stored_labels) != len(base_names):
+            raise ConflictError(
+                "stored base payload does not match the base netlist "
+                f"({len(stored_labels)} labels for {len(base_names)} gates)"
+            )
+        by_name = dict(zip(base_names, (int(l) for l in stored_labels)))
+        prev_labels = [by_name.get(gate["name"], -1) for gate in edited["gates"]]
+
+        # Base pins survive only for gates the edit kept.
+        pinned = None
+        if base_request.get("pinned"):
+            surviving = {gate["name"] for gate in edited["gates"]}
+            pinned = {
+                name: plane
+                for name, plane in base_request["pinned"].items()
+                if name in surviving
+            } or None
+
+        digest = diff_key(diff)
+        eco_params = {"touched": touched_gate_names(diff)}
+        for name in ("halo", "threshold", "quality_eps"):
+            if name in params:
+                eco_params[name] = params[name]
+        normalized = {
+            "kind": "eco",
+            "netlist": edited,
+            "num_planes": num_planes,
+            "method": "gradient",
+            "engine": base_request.get("engine", "batched"),
+            "seed": base_request.get("seed", 0),
+            "refine": False,
+            "prev_labels": prev_labels,
+            "eco": eco_params,
+            "base_key": base_key,
+            "diff_key": digest,
+        }
+        if pinned:
+            normalized["pinned"] = pinned
+
+        key = eco_request_key(base_key, digest, params)
+        job, outcome = self.manager.submit(key, normalized, ctx=ctx)
+        if outcome == "cached":
+            with self._telemetry_lock:
+                self.metrics.counter("service.eco.cache_hits").inc()
+        status = 200 if outcome == "cached" else 202
+        payload = job.to_dict()
+        payload["outcome"] = outcome
+        payload["eco"] = {"base_key": base_key, "diff_key": digest,
+                          "empty_diff": False}
+        return status, payload
+
     def job_status(self, job_id):
         return 200, self.manager.get(job_id).to_dict()
 
@@ -293,7 +459,7 @@ class PartitionService:
 
     def health(self):
         return 200, {
-            "status": "ok",
+            "status": "draining" if self.manager.draining else "ok",
             "version": __version__,
             "versions": schema_versions(),
             "uptime_s": time.time() - self.started_at,
@@ -302,6 +468,7 @@ class PartitionService:
             "queue_depth": self.manager.queue_depth(),
             "queue_size": self.manager.queue_size,
             "running": self.manager.running_count(),
+            "draining": self.manager.draining,
             "megabatch": self.manager.megabatch,
             "store_enabled": self.store.enabled,
             "tracing": self.manager.tracing,
@@ -514,6 +681,13 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             if len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "cancel":
                 return self._send_json(*self.service.job_cancel(parts[2]))
+        elif method == "PATCH":
+            if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+                return self._send_json(
+                    *self.service.eco_submit(
+                        parts[2], self._read_body(), ctx=self._trace_ctx
+                    )
+                )
         raise NotFoundError(f"no route {method} {path}")
 
     def do_GET(self):
@@ -521,6 +695,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self):
         self._dispatch("POST")
+
+    def do_PATCH(self):
+        self._dispatch("PATCH")
 
 
 class PartitionHTTPServer(ThreadingHTTPServer):
@@ -555,9 +732,75 @@ def build_server(host=None, port=None, verbose=False, **service_opts):
     )
 
 
-def serve(host=None, port=None, verbose=False, ready_line=True, **service_opts):
-    """Run the server in this thread until interrupted (the CLI path)."""
+#: Drain bound when neither ``drain_timeout`` nor REPRO_JOB_TIMEOUT is
+#: set: long enough for any admitted suite job, short enough that an
+#: orchestrator's kill grace period is not exhausted by a hung solve.
+DEFAULT_DRAIN_TIMEOUT = 30.0
+
+
+def serve(host=None, port=None, verbose=False, ready_line=True,
+          drain_timeout=None, **service_opts):
+    """Run the server in this thread until interrupted (the CLI path).
+
+    SIGTERM/SIGINT trigger a *graceful* shutdown: new submits are
+    rejected with HTTP 503 (``draining``), admitted jobs finish —
+    bounded by ``drain_timeout``, else ``REPRO_JOB_TIMEOUT``, else
+    :data:`DEFAULT_DRAIN_TIMEOUT` seconds — the event log is flushed,
+    and only then does the listener stop.  A second signal skips the
+    drain and shuts down immediately.  Signal handlers only install in
+    the main thread; elsewhere (tests embedding serve()) the behavior
+    is unchanged.
+    """
+    import signal
+
     server = build_server(host=host, port=port, verbose=verbose, **service_opts)
+    service = server.service
+    draining = threading.Event()
+
+    def _drain_and_stop():
+        service.manager.begin_drain()
+        bound = drain_timeout
+        if bound is None:
+            from repro.harness.runner import resolve_timeout
+
+            bound = resolve_timeout(None)
+        if bound is None:
+            bound = DEFAULT_DRAIN_TIMEOUT
+        drained = service.manager.drain(timeout=bound)
+        if service.events is not None and service.events.enabled:
+            service.events.emit(
+                "server.shutdown", drained=drained,
+                drain_timeout_s=float(bound),
+            )
+            service.events.flush()
+        print(
+            "repro-gpp service drained cleanly" if drained
+            else f"repro-gpp service drain timed out after {bound}s",
+            flush=True,
+        )
+        server.shutdown()
+
+    def _handle_signal(signum, _frame):
+        if draining.is_set():
+            # Second signal: the operator means it — stop now.
+            threading.Thread(target=server.shutdown, daemon=True).start()
+            return
+        draining.set()
+        print(
+            f"repro-gpp service draining (signal {signum}); "
+            "new submits answer 503",
+            flush=True,
+        )
+        # Drain on a helper thread: signal handlers run on the main
+        # thread, which is busy inside serve_forever().
+        threading.Thread(target=_drain_and_stop, daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _handle_signal)
+        signal.signal(signal.SIGINT, _handle_signal)
+    except ValueError:
+        pass  # not the main thread; no signal-driven shutdown
+
     if ready_line:
         print(f"repro-gpp service listening on {server.url}", flush=True)
     try:

@@ -72,6 +72,24 @@ class ResultStore:
         self._count("hits")
         return payload
 
+    def get_with_meta(self, key):
+        """``(payload, meta)`` for ``key``, or ``None``.
+
+        Same hit/miss accounting as :meth:`get`; ``meta`` is the dict
+        stored at :meth:`put` time (the job server stores the canonical
+        request there, which is how a ``PATCH`` edit recovers the base
+        request a stored result answered).
+        """
+        if not self.enabled:
+            return None
+        entry = self._cache.get_entry(key, RESULT_KIND)
+        if entry is None:
+            self._count("misses")
+            return None
+        payload, _arrays, meta = entry
+        self._count("hits")
+        return payload, meta
+
     def put(self, key, payload, meta=None):
         """Store an ``execute_job`` payload (converted to plain JSON)."""
         if not self.enabled:

@@ -1,0 +1,334 @@
+"""Canonical netlist diffs: round trips, refusals and edge cases."""
+
+import json
+
+import pytest
+
+from repro.netlist.diff import (
+    DIFF_FORMAT_VERSION,
+    apply_diff,
+    diff_key,
+    diff_netlists,
+    is_empty_diff,
+    netlist_diff,
+    touched_gate_names,
+    validate_diff,
+)
+from repro.netlist.library import CellLibrary, default_library
+from repro.netlist.serialize import (
+    library_fingerprint,
+    netlist_from_dict,
+    netlist_to_dict,
+)
+from repro.utils.errors import NetlistError
+
+FP = library_fingerprint(default_library())
+
+
+def _canon(data):
+    return json.dumps(data, sort_keys=True)
+
+
+def _name_edges(data):
+    names = [gate["name"] for gate in data["gates"]]
+    return sorted((names[u], names[v]) for u, v in data["edges"])
+
+
+@pytest.fixture()
+def base_dict(mixed_netlist):
+    return netlist_to_dict(mixed_netlist)
+
+
+# ---------------------------------------------------------------------------
+# Round trips
+# ---------------------------------------------------------------------------
+
+def test_append_shaped_edit_round_trips_bitwise(base_dict, library):
+    """Retype + move + append: apply(diff(base, edited)) == edited, byte
+    for byte — the canonical ECO shape the service content-keys on."""
+    edited = dict(base_dict)
+    edited["name"] = base_dict["name"] + "_eco"
+    edited["gates"] = [dict(g) for g in base_dict["gates"]]
+    edited["gates"][0]["cell"] = "OR2"          # retype a0 (AND2 -> OR2)
+    edited["gates"][7]["x_um"] = 123.5          # move a7
+    edited["gates"].append(
+        {"name": "extra", "cell": "DFF", "x_um": None, "y_um": None}
+    )
+    edited["edges"] = list(base_dict["edges"]) + [[3, len(base_dict["gates"])]]
+
+    diff = netlist_diff(base_dict, edited, FP)
+    assert [g["name"] for g in diff["added_gates"]] == ["extra"]
+    assert [g["name"] for g in diff["modified_gates"]] == ["a0", "a7"]
+    assert diff["removed_gates"] == []
+    assert diff["added_connections"] == [["a3", "extra"]]
+    assert "ports" not in diff
+
+    applied = apply_diff(base_dict, diff)
+    assert _canon(applied) == _canon(edited)
+
+
+def test_rename_is_remove_plus_add(base_dict):
+    """Gate names are identity: a rename shows up as remove + add, and
+    every connection touching the old name is rewritten."""
+    rebuilt = netlist_from_dict(base_dict, default_library())
+    edited = netlist_to_dict(rebuilt)
+    edited["name"] = "renamed"
+    edited["gates"] = [dict(g) for g in edited["gates"]]
+    edited["gates"][5]["name"] = "a5_new"       # a5 -> a5_new
+
+    diff = netlist_diff(base_dict, edited, FP)
+    assert diff["removed_gates"] == ["a5"]
+    assert [g["name"] for g in diff["added_gates"]] == ["a5_new"]
+    assert diff["modified_gates"] == []
+    # a5 sits on the a4->a5->a6 chain plus the a0->a5 chord.
+    assert sorted(tuple(p) for p in diff["removed_connections"]) == [
+        ("a0", "a5"), ("a4", "a5"), ("a5", "a6"),
+    ]
+    assert sorted(tuple(p) for p in diff["added_connections"]) == [
+        ("a0", "a5_new"), ("a4", "a5_new"), ("a5_new", "a6"),
+    ]
+
+    applied = apply_diff(base_dict, diff)
+    # The rename replays as an equivalent netlist in canonical append
+    # order: same gate set, same connection multiset by name.
+    assert sorted(g["name"] for g in applied["gates"]) == \
+        sorted(g["name"] for g in edited["gates"])
+    assert _name_edges(applied) == _name_edges(edited)
+
+
+def test_removal_edit_round_trips_structurally(base_dict):
+    """Removing a gate removes its connections through the slow path."""
+    edited = dict(base_dict)
+    edited["name"] = "pruned"
+    keep = [g for g in base_dict["gates"] if g["name"] != "b5"]
+    names = [g["name"] for g in base_dict["gates"]]
+    index = {name: i for i, name in enumerate(g["name"] for g in keep)}
+    edited["gates"] = keep
+    edited["edges"] = [
+        [index[names[u]], index[names[v]]]
+        for u, v in base_dict["edges"]
+        if names[u] != "b5" and names[v] != "b5"
+    ]
+
+    diff = netlist_diff(base_dict, edited, FP)
+    assert diff["removed_gates"] == ["b5"]
+    assert sorted(tuple(p) for p in diff["removed_connections"]) == [
+        ("b4", "b5"), ("b5", "b6"),
+    ]
+    applied = apply_diff(base_dict, diff)
+    assert sorted(g["name"] for g in applied["gates"]) == \
+        sorted(g["name"] for g in edited["gates"])
+    assert _name_edges(applied) == _name_edges(edited)
+    # The rebuilt netlist is actually loadable.
+    rebuilt = netlist_from_dict(applied, default_library())
+    assert rebuilt.num_gates == len(base_dict["gates"]) - 1
+
+
+def test_port_changes_are_carried_and_implicit_drops_are_not(chain_netlist):
+    base = netlist_to_dict(chain_netlist)
+
+    # Re-binding a port must carry the edited port list.
+    edited = json.loads(json.dumps(base))
+    edited["name"] = "rebound"
+    edited["ports"][0]["gate"] = 1
+    diff = netlist_diff(base, edited, FP)
+    assert "ports" in diff
+    applied = apply_diff(base, diff)
+    assert applied["ports"] == edited["ports"]
+
+    # Removing the gate a port is bound to drops the port implicitly —
+    # no "ports" key needed in the diff.
+    pruned = json.loads(json.dumps(base))
+    pruned["name"] = "portless"
+    pruned["gates"] = pruned["gates"][:-1]
+    pruned["edges"] = [[u, v] for u, v in pruned["edges"] if u < 9 and v < 9]
+    pruned["ports"] = [p for p in pruned["ports"] if p["name"] != "out"]
+    diff = netlist_diff(base, pruned, FP)
+    assert diff["removed_gates"] == ["d9"]
+    assert "ports" not in diff
+    applied = apply_diff(base, diff)
+    assert [p["name"] for p in applied["ports"]] == ["in"]
+
+
+def test_duplicate_parallel_connections_diff_as_a_multiset(library):
+    """The edge set is a multiset: adding a second parallel copy of an
+    existing connection is a real diff, and it round-trips."""
+    from repro.netlist.netlist import Netlist
+
+    netlist = Netlist("dup", library=library)
+    netlist.add_gate("a", library["SPLIT"])
+    netlist.add_gate("b", library["MERGE"])
+    netlist.connect("a", "b")
+    base = netlist_to_dict(netlist)
+    edited = json.loads(json.dumps(base))
+    edited["name"] = "dup2"
+    edited["edges"].append([0, 1])
+
+    diff = netlist_diff(base, edited, FP)
+    assert diff["added_connections"] == [["a", "b"]]
+    assert diff["removed_connections"] == []
+    applied = apply_diff(base, diff)
+    assert applied["edges"] == [[0, 1], [0, 1]]
+
+
+# ---------------------------------------------------------------------------
+# Identity, refusals and keys
+# ---------------------------------------------------------------------------
+
+def test_empty_diff_of_identical_netlists(mixed_netlist):
+    diff = diff_netlists(mixed_netlist, mixed_netlist)
+    assert is_empty_diff(diff)
+    assert touched_gate_names(diff) == []
+    base = netlist_to_dict(mixed_netlist)
+    assert _canon(apply_diff(base, diff)) == _canon(base)
+
+
+def test_diff_refuses_mismatched_library_fingerprints(mixed_netlist, library):
+    import dataclasses
+
+    from repro.netlist.netlist import Netlist
+
+    tweaked = CellLibrary(
+        library.name,
+        [
+            dataclasses.replace(cell, bias_ma=cell.bias_ma + 0.01)
+            if cell.name == "DFF" else cell
+            for cell in library
+        ],
+    )
+    other = Netlist("other", library=tweaked)
+    other.add_gate("g", tweaked["DFF"])
+    with pytest.raises(NetlistError, match="library fingerprints differ"):
+        diff_netlists(mixed_netlist, other)
+
+
+def test_diff_refuses_unbound_netlists(library):
+    from repro.netlist.netlist import Netlist
+
+    bound = Netlist("bound", library=library)
+    bound.add_gate("g", library["DFF"])
+    unbound = Netlist("unbound")
+    with pytest.raises(NetlistError, match="without a bound cell library"):
+        diff_netlists(bound, unbound)
+    with pytest.raises(NetlistError, match="without a bound cell library"):
+        diff_netlists(unbound, bound)
+
+
+def test_diff_key_is_content_addressed(base_dict):
+    edited = dict(base_dict)
+    edited["name"] = "edited"
+    edited["gates"] = [dict(g) for g in base_dict["gates"]]
+    edited["gates"][0]["cell"] = "OR2"
+    diff = netlist_diff(base_dict, edited, FP)
+    again = netlist_diff(base_dict, edited, FP)
+    assert diff_key(diff) == diff_key(again)
+
+    edited["gates"][1]["cell"] = "AND2"
+    other = netlist_diff(base_dict, edited, FP)
+    assert diff_key(other) != diff_key(diff)
+
+
+def test_touched_gate_names_excludes_removed_but_keeps_neighbors(base_dict):
+    edited = dict(base_dict)
+    edited["name"] = "pruned"
+    names = [g["name"] for g in base_dict["gates"]]
+    keep = [g for g in base_dict["gates"] if g["name"] != "b5"]
+    index = {g["name"]: i for i, g in enumerate(keep)}
+    edited["gates"] = keep
+    edited["edges"] = [
+        [index[names[u]], index[names[v]]]
+        for u, v in base_dict["edges"]
+        if names[u] != "b5" and names[v] != "b5"
+    ]
+    diff = netlist_diff(base_dict, edited, FP)
+    touched = touched_gate_names(diff)
+    # b5 no longer exists; its former neighbors are the perturbation.
+    assert "b5" not in touched
+    assert "b4" in touched and "b6" in touched
+
+
+# ---------------------------------------------------------------------------
+# Validation and apply errors
+# ---------------------------------------------------------------------------
+
+def _minimal_diff(**overrides):
+    diff = {
+        "kind": "netlist-diff",
+        "format": DIFF_FORMAT_VERSION,
+        "base_name": "mixed40",
+        "name": "edited",
+        "library_fingerprint": FP,
+        "added_gates": [],
+        "removed_gates": [],
+        "modified_gates": [],
+        "added_connections": [],
+        "removed_connections": [],
+    }
+    diff.update(overrides)
+    return diff
+
+
+def test_validate_diff_rejects_malformed_payloads():
+    with pytest.raises(NetlistError, match="not a serialized netlist diff"):
+        validate_diff({"kind": "netlist"})
+    with pytest.raises(NetlistError, match="unsupported netlist diff format"):
+        validate_diff(_minimal_diff(format=DIFF_FORMAT_VERSION + 1))
+    with pytest.raises(NetlistError, match="missing 'base_name'"):
+        validate_diff(_minimal_diff(base_name=""))
+    with pytest.raises(NetlistError, match="malformed gate entry"):
+        validate_diff(_minimal_diff(added_gates=[{"name": "x"}]))
+    with pytest.raises(NetlistError, match="list of names"):
+        validate_diff(_minimal_diff(removed_gates=[3]))
+    with pytest.raises(NetlistError, match=r"\[driver, sink\] name pairs"):
+        validate_diff(_minimal_diff(added_connections=[["a"]]))
+    with pytest.raises(NetlistError, match="malformed port entry"):
+        validate_diff(_minimal_diff(ports=[{"direction": "input"}]))
+
+
+def test_apply_rejects_wrong_base(base_dict):
+    diff = _minimal_diff(base_name="some-other-netlist")
+    with pytest.raises(NetlistError, match="targets base netlist"):
+        apply_diff(base_dict, diff)
+    with pytest.raises(NetlistError, match="not a serialized netlist"):
+        apply_diff({"kind": "partition"}, _minimal_diff())
+
+
+def test_apply_rejects_edits_of_unknown_gates(base_dict):
+    diff = _minimal_diff(removed_gates=["nope"])
+    with pytest.raises(NetlistError, match="does not exist in base"):
+        apply_diff(base_dict, diff)
+    diff = _minimal_diff(
+        modified_gates=[{"name": "nope", "cell": "DFF"}]
+    )
+    with pytest.raises(NetlistError, match="does not exist in base"):
+        apply_diff(base_dict, diff)
+
+
+def test_apply_rejects_adding_an_existing_gate(base_dict):
+    diff = _minimal_diff(added_gates=[{"name": "a0", "cell": "DFF"}])
+    with pytest.raises(NetlistError, match="already exists in base"):
+        apply_diff(base_dict, diff)
+
+
+def test_apply_rejects_dangling_connections(base_dict):
+    # Fast path (no removals): unknown endpoint of an added connection.
+    diff = _minimal_diff(added_connections=[["a0", "ghost"]])
+    with pytest.raises(NetlistError, match="unknown gate 'ghost'"):
+        apply_diff(base_dict, diff)
+    # Slow path: removing a connection that does not exist in base.
+    diff = _minimal_diff(removed_connections=[["a0", "a9"]])
+    with pytest.raises(NetlistError, match="does not exist in base"):
+        apply_diff(base_dict, diff)
+    # Removing a gate without removing its connections.
+    diff = _minimal_diff(removed_gates=["a5"])
+    with pytest.raises(NetlistError, match="without removing the connection"):
+        apply_diff(base_dict, diff)
+
+
+def test_apply_shares_entries_instead_of_copying(base_dict):
+    """The documented contract: unmodified entries of the result ARE the
+    base's entries (the deep-copy was the hot line of ECO apply)."""
+    diff = _minimal_diff(added_gates=[{"name": "extra", "cell": "DFF"}])
+    applied = apply_diff(base_dict, diff)
+    assert applied["gates"][0] is base_dict["gates"][0]
+    assert applied["edges"][0] is base_dict["edges"][0]

@@ -204,3 +204,83 @@ def test_fingerprint_distinguishes_equal_shape_libraries(library):
         library_fingerprint(_tweaked_library(library, name=library.name)),
     }
     assert len(fingerprints) == 2
+
+
+# ---------------------------------------------------------------------------
+# Structural validation and the validate=False fast path
+# ---------------------------------------------------------------------------
+
+def test_validator_reports_malformed_payloads_clearly(chain_netlist, library):
+    """Each malformed shape a client can send fails with one NetlistError
+    naming the offending entry — never a KeyError from graph guts."""
+    def corrupt(mutate):
+        data = netlist_to_dict(chain_netlist)
+        mutate(data)
+        return data
+
+    cases = [
+        (lambda d: d.pop("name"), "missing its name"),
+        (lambda d: d.update(gates="nope"), "'gates' must be a list"),
+        (lambda d: d["gates"].append({"cell": "DFF"}), "is malformed"),
+        (lambda d: d["gates"][0].pop("cell"), "has no cell reference"),
+        (lambda d: d["gates"].append(dict(d["gates"][0])),
+         "duplicate gate name 'd0'"),
+        (lambda d: d["edges"].append([0]), r"\[driver, sink\] pair"),
+        (lambda d: d["edges"].append([0, True]), r"\[driver, sink\] pair"),
+        (lambda d: d["edges"].append([0, 99]), "unknown gate index 99"),
+        (lambda d: d.update(ports={"in": 0}), "'ports' must be a list"),
+        (lambda d: d["ports"].append({"direction": "input"}),
+         "malformed port entry"),
+        (lambda d: d["ports"].append(
+            {"name": "p", "direction": "input", "gate": 42}),
+         "references unknown gate 42"),
+    ]
+    for mutate, message in cases:
+        with pytest.raises(NetlistError, match=message):
+            netlist_from_dict(corrupt(mutate), library)
+
+
+def test_validate_false_skips_the_structural_pass(chain_netlist, library):
+    """The ECO hot path rebuilds machine-produced dicts unvalidated; the
+    result must still be bitwise identical to a validated rebuild."""
+    data = netlist_to_dict(chain_netlist)
+    checked = netlist_from_dict(data, library)
+    unchecked = netlist_from_dict(data, library, validate=False)
+    assert netlist_to_dict(unchecked) == netlist_to_dict(checked)
+
+    # Proof the pass is actually skipped: a payload the validator rejects
+    # reaches graph construction, which raises its own (still clean)
+    # NetlistError rather than the validator's.
+    bad = netlist_to_dict(chain_netlist)
+    bad["edges"].append([0, 99])
+    with pytest.raises(NetlistError, match="unknown gate index 99"):
+        netlist_from_dict(bad, library)
+    with pytest.raises(NetlistError, match="out of range"):
+        netlist_from_dict(bad, library, validate=False)
+
+
+def test_bulk_loaders_enforce_connect_policies(library):
+    """extend_gates/extend_connections keep add_gate/connect semantics:
+    self-loops and (by default) duplicate connections are rejected with
+    the same messages, and allow_duplicate opts back in."""
+    from repro.netlist.netlist import Netlist
+
+    netlist = Netlist("bulk", library=library)
+    nan = float("nan")
+    netlist.extend_gates(
+        (f"g{i}", library["DFF"], nan, nan, {}) for i in range(3)
+    )
+    with pytest.raises(NetlistError, match="duplicate gate name 'g0'"):
+        netlist.extend_gates([("g0", library["DFF"], nan, nan, {})])
+    with pytest.raises(NetlistError, match="cell must be a CellType"):
+        netlist.extend_gates([("g9", "DFF", nan, nan, {})])
+
+    netlist.extend_connections([[0, 1], [1, 2]])
+    with pytest.raises(NetlistError, match="self-loop on gate 'g1'"):
+        netlist.extend_connections([[1, 1]])
+    with pytest.raises(NetlistError, match="duplicate connection"):
+        netlist.extend_connections([[0, 1]])
+    with pytest.raises(NetlistError, match="out of range"):
+        netlist.extend_connections([[0, 7]])
+    netlist.extend_connections([[0, 1]], allow_duplicate=True)
+    assert list(netlist.edges).count((0, 1)) == 2

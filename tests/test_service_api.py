@@ -140,6 +140,7 @@ def test_schema_versions_fields():
     assert set(versions) == {
         "package", "api", "trace_schema", "cache_schema",
         "checkpoint_schema", "netlist_format", "events_schema",
+        "diff_format",
     }
 
 

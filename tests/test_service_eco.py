@@ -1,0 +1,189 @@
+"""End-to-end HTTP tests of the ECO (``PATCH /v1/jobs/<key>``) route."""
+
+import contextlib
+import json
+import threading
+
+import pytest
+
+from repro.circuits.suite import build_circuit
+from repro.netlist.diff import diff_netlists, netlist_diff
+from repro.netlist.library import default_library
+from repro.netlist.serialize import library_fingerprint, netlist_to_dict
+from repro.service import ServiceClient, ServiceHTTPError, build_server
+from repro.service.store import ResultStore
+
+REQ = {"circuit": "KSA8", "num_planes": 3, "seed": 2020}
+
+#: Port-count-preserving swaps for synthetic edits.
+CELL_SWAP = {
+    "AND2": "OR2", "OR2": "AND2",
+    "XOR2": "XNOR2", "XNOR2": "XOR2",
+    "NAND2": "NOR2", "NOR2": "NAND2",
+}
+
+
+@contextlib.contextmanager
+def running_server(tmp_path, **opts):
+    opts.setdefault("workers", 2)
+    opts.setdefault("queue_size", 8)
+    opts.setdefault("retries", 0)
+    opts.setdefault("backoff", 0.0)
+    opts.setdefault("store", ResultStore(root=str(tmp_path), enabled=True))
+    server = build_server(host="127.0.0.1", port=0, **opts)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server, ServiceClient(server.url, timeout=60.0)
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(5)
+
+
+def two_gate_diff(circuit="KSA8"):
+    base = netlist_to_dict(build_circuit(circuit))
+    edited = dict(base)
+    edited["gates"] = [dict(gate) for gate in base["gates"]]
+    swapped = 0
+    for gate in edited["gates"]:
+        if gate["cell"] in CELL_SWAP:
+            gate["cell"] = CELL_SWAP[gate["cell"]]
+            swapped += 1
+            if swapped == 2:
+                break
+    assert swapped == 2
+    edited["name"] = base["name"] + "_eco"
+    return netlist_diff(base, edited, library_fingerprint(default_library()))
+
+
+def _solve_base(client):
+    job = client.submit(REQ)
+    client.wait(job["id"], timeout=120.0)
+    return job["key"], client.result(job["id"])["result"]
+
+
+def test_patch_resolves_a_small_edit_warm(tmp_path):
+    with running_server(tmp_path) as (_server, client):
+        base_key, base_result = _solve_base(client)
+        eco = client.eco_submit(base_key, {"diff": two_gate_diff()})
+        assert eco["eco"]["base_key"] == base_key
+        assert eco["eco"]["empty_diff"] is False
+        if eco["state"] != "done":
+            client.wait(eco["id"], timeout=120.0)
+        result = client.result(eco["id"])["result"]
+        info = result["eco"]
+        assert info["mode"] == "warm"
+        assert info["fallback_reason"] is None
+        assert 0 < info["region_gates"] < len(base_result["labels"])
+        assert len(result["labels"]) == len(base_result["labels"])
+
+
+def test_repeated_patch_is_served_from_the_store(tmp_path):
+    with running_server(tmp_path) as (_server, client):
+        base_key, _ = _solve_base(client)
+        diff = two_gate_diff()
+        first = client.eco_submit(base_key, {"diff": diff})
+        if first["state"] != "done":
+            client.wait(first["id"], timeout=120.0)
+        repeat = client.eco_submit(base_key, {"diff": diff})
+        assert repeat["outcome"] == "cached"
+        assert repeat["state"] == "done"
+        assert repeat["eco"]["diff_key"] == first["eco"]["diff_key"]
+        metrics = client.metrics()["metrics"]
+        assert metrics["service.eco.cache_hits"]["value"] >= 1
+        first_result = client.result(first["id"])["result"]
+        repeat_result = client.result(repeat["id"])["result"]
+        assert json.dumps(first_result, sort_keys=True) == \
+            json.dumps(repeat_result, sort_keys=True)
+
+
+def test_knob_overrides_key_separately_and_can_force_cold(tmp_path):
+    with running_server(tmp_path) as (_server, client):
+        base_key, _ = _solve_base(client)
+        diff = two_gate_diff()
+        warm = client.eco_submit(base_key, {"diff": diff})
+        if warm["state"] != "done":
+            client.wait(warm["id"], timeout=120.0)
+        # A tiny threshold forces the region-threshold cold fallback —
+        # and the knob enters the content key, so this is a new job,
+        # not a cache hit on the warm result.
+        cold = client.eco_submit(
+            base_key, {"diff": diff, "threshold": 0.001}
+        )
+        assert cold["outcome"] != "cached"
+        if cold["state"] != "done":
+            client.wait(cold["id"], timeout=120.0)
+        info = client.result(cold["id"])["result"]["eco"]
+        assert info["mode"] == "cold"
+        assert info["fallback_reason"] == "region-threshold"
+
+
+def test_empty_diff_returns_the_stored_base_bitwise(tmp_path):
+    with running_server(tmp_path) as (_server, client):
+        base_key, base_result = _solve_base(client)
+        netlist = build_circuit("KSA8")
+        identity = client.eco_submit(
+            base_key, {"diff": diff_netlists(netlist, netlist)}
+        )
+        assert identity["eco"]["empty_diff"] is True
+        assert identity["outcome"] == "cached"
+        result = client.result(identity["id"])["result"]
+        assert json.dumps(result, sort_keys=True) == \
+            json.dumps(base_result, sort_keys=True)
+        metrics = client.metrics()["metrics"]
+        assert metrics["service.eco.empty_diffs"]["value"] == 1
+        assert metrics["service.eco.cache_hits"]["value"] >= 1
+
+
+def test_patch_without_a_stored_base_is_404(tmp_path):
+    with running_server(tmp_path) as (_server, client):
+        with pytest.raises(ServiceHTTPError) as excinfo:
+            client.eco_submit("0" * 64, {"diff": two_gate_diff()})
+        assert excinfo.value.status == 404
+        assert "submit the base job first" in str(excinfo.value)
+
+
+def test_patch_with_a_disabled_store_is_404(tmp_path):
+    store = ResultStore(root=str(tmp_path), enabled=False)
+    with running_server(tmp_path, store=store) as (_server, client):
+        job = client.submit(REQ)
+        client.wait(job["id"], timeout=120.0)
+        with pytest.raises(ServiceHTTPError) as excinfo:
+            client.eco_submit(job["key"], {"diff": two_gate_diff()})
+        assert excinfo.value.status == 404
+        assert "store is disabled" in str(excinfo.value)
+
+
+def test_patch_validation_errors_are_400(tmp_path):
+    with running_server(tmp_path) as (_server, client):
+        base_key, _ = _solve_base(client)
+
+        # Library fingerprint mismatch must be refused.
+        tampered = dict(two_gate_diff())
+        tampered["library_fingerprint"] = "f" * 64
+        with pytest.raises(ServiceHTTPError) as excinfo:
+            client.eco_submit(base_key, {"diff": tampered})
+        assert excinfo.value.status == 400
+        assert "fingerprint" in str(excinfo.value)
+
+        # Diff against a different base netlist.
+        wrong_base = dict(two_gate_diff())
+        wrong_base["base_name"] = "not-the-stored-circuit"
+        with pytest.raises(ServiceHTTPError) as excinfo:
+            client.eco_submit(base_key, {"diff": wrong_base})
+        assert excinfo.value.status == 400
+        assert "stored result partitioned" in str(excinfo.value)
+
+        # Structurally broken diffs and unknown fields.
+        with pytest.raises(ServiceHTTPError) as excinfo:
+            client.eco_submit(base_key, {"diff": {"kind": "nope"}})
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceHTTPError) as excinfo:
+            client.eco_submit(base_key, {"diff": two_gate_diff(),
+                                         "surprise": 1})
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceHTTPError) as excinfo:
+            client.eco_submit(base_key, {"diff": two_gate_diff(),
+                                         "halo": -1})
+        assert excinfo.value.status == 400

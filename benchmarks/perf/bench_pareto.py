@@ -1,0 +1,309 @@
+#!/usr/bin/env python
+"""Pareto sweep benchmark: warm sweep-to-answer vs cold, with bitwise parity.
+
+For each circuit, submits one ``kind="sweep"`` request (a K x weight-ratio
+grid) to an in-process :class:`~repro.service.server.PartitionService`
+backed by a temporary result store and times the full submit-to-answer
+chain twice:
+
+* **cold** — every grid point is solved through the job runner;
+* **warm** — the identical request resubmitted: the whole sweep payload
+  must come back from the result store (outcome ``cached``).
+
+The gate is ``warm >= 5x cold`` per circuit.  After timing, every grid
+point's stored artifact is compared **bitwise** against a solo
+:func:`repro.harness.runner.execute_job` run of the point's own
+canonical partition request — the dedupe contract that lets sweeps and
+solo jobs share results in both directions.  Two more gates ride along:
+every frontier point must carry finite RSFQ/ERSFQ energy numbers, and a
+K far past the gate count must land in ``skipped_k`` instead of failing
+the sweep (the zero-bias-plane regression).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_pareto.py
+    PYTHONPATH=src python benchmarks/perf/bench_pareto.py --quick
+
+``--quick`` is the CI smoke mode: one small circuit and a 2x2 grid — it
+proves the harness and the parity contract, not the timings.
+
+JSON schema::
+
+    {
+      "meta":    {timestamp, python, numpy, platform, quick, seed,
+                  k_values, ratios},
+      "results": [{circuit, gates, grid_points, skipped_k, frontier_size,
+                   cold_s, warm_s, speedup, cache_outcome,
+                   points_bitwise_identical, energies_finite}],
+      "infeasible_probe": {circuit, requested_k, skipped_k, completed},
+      "summary": {all_points_bitwise_identical, warm_speedup_min,
+                  meets_5x_target, all_energies_finite,
+                  infeasible_k_skipped}
+    }
+
+Timings are single-process, single-machine wall clock.
+"""
+
+import argparse
+import json
+import math
+import os
+import platform
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+DEFAULT_CIRCUITS = ("KSA8", "MULT8", "C3540")
+DEFAULT_K = (4, 5, 6)
+DEFAULT_RATIOS = (0.2, 1.0, 4.0, 16.0)
+DEFAULT_OUTPUT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_pareto.json"
+)
+
+QUICK_CIRCUITS = ("KSA4",)
+QUICK_K = (2, 3)
+QUICK_RATIOS = (1.0, 4.0)
+
+
+def _wait_done(service, job_id, timeout=600.0):
+    deadline = time.time() + timeout
+    while True:
+        _status, payload = service.job_status(job_id)
+        if payload["state"] not in ("queued", "running"):
+            return payload
+        if time.time() > deadline:
+            raise RuntimeError(f"job {job_id} did not finish in {timeout} s")
+        time.sleep(0.01)
+
+
+def _timed_sweep(service, body):
+    """Submit ``body``, wait, return (elapsed_s, status, payload)."""
+    start = time.perf_counter()
+    _code, submitted = service.sweep_submit(dict(body))
+    status = submitted if submitted["state"] == "done" \
+        else _wait_done(service, submitted["id"])
+    if status["state"] != "done":
+        raise RuntimeError(f"sweep failed: {status.get('error')}")
+    _code, result = service.job_result(submitted["id"])
+    return time.perf_counter() - start, status, result["result"]
+
+
+def verify_point_parity(store, payload, body):
+    """Bitwise-compare every stored grid point with a solo run of it."""
+    from repro.harness.checkpoint import payload_to_jsonable
+    from repro.harness.runner import execute_job
+    from repro.service.api import (
+        request_to_job,
+        sweep_point_request,
+        validate_request,
+    )
+
+    normalized = validate_request(dict(body))
+    for point in payload["points"]:
+        point_request = sweep_point_request(
+            normalized, point["num_planes"], point["ratio"]
+        )
+        solo = payload_to_jsonable(execute_job(request_to_job(point_request)))
+        stored = store.get(point["request_key"])
+        if json.dumps(stored, sort_keys=True) != json.dumps(solo, sort_keys=True):
+            return False
+    return True
+
+
+def energies_finite(payload):
+    return all(
+        math.isfinite(value)
+        for point in payload["points"]
+        for value in point["energy"].values()
+    )
+
+
+def bench_circuit(service, store, circuit, k_values, ratios, seed):
+    from repro.circuits.suite import build_circuit
+
+    body = {
+        "kind": "sweep",
+        "circuit": circuit,
+        "k_values": list(k_values),
+        "weight_ratios": list(ratios),
+        "seed": seed,
+    }
+    cold_s, _status, payload = _timed_sweep(service, body)
+    warm_s, warm_status, _warm = _timed_sweep(service, body)
+
+    parity = verify_point_parity(store, payload, body)
+    finite = energies_finite(payload)
+    row = {
+        "circuit": circuit,
+        "gates": len(build_circuit(circuit).gates),
+        "grid_points": len(payload["points"]),
+        "skipped_k": payload["skipped_k"],
+        "frontier_size": len(payload["frontier"]),
+        "cold_s": round(cold_s, 6),
+        "warm_s": round(warm_s, 6),
+        "speedup": round(cold_s / warm_s, 3) if warm_s > 0 else math.inf,
+        "cache_outcome": warm_status.get("outcome"),
+        "points_bitwise_identical": parity,
+        "energies_finite": finite,
+    }
+    print(
+        f"{circuit:>8}  points={row['grid_points']:<3} "
+        f"cold {cold_s * 1e3:8.1f} ms   warm {warm_s * 1e3:7.1f} ms   "
+        f"speedup {row['speedup']:7.1f}x   parity: {parity}   "
+        f"finite energy: {finite}"
+    )
+    return row, payload
+
+
+def infeasible_k_probe(service, circuit, seed):
+    """A K far past the gate count must be skipped, not fail the sweep."""
+    from repro.circuits.suite import build_circuit
+
+    requested = 10 * len(build_circuit(circuit).gates)
+    body = {
+        "kind": "sweep",
+        "circuit": circuit,
+        "k_values": [2, requested],
+        "weight_ratios": [1.0],
+        "seed": seed,
+    }
+    try:
+        _elapsed, _status, payload = _timed_sweep(service, body)
+    except RuntimeError:
+        return {"circuit": circuit, "requested_k": requested,
+                "skipped_k": [], "completed": False}
+    return {
+        "circuit": circuit,
+        "requested_k": requested,
+        "skipped_k": payload["skipped_k"],
+        "completed": requested in payload["skipped_k"],
+    }
+
+
+def run_benchmark(circuits, k_values, ratios, seed, quick, render_out):
+    from repro.harness.pareto import render_sweep
+    from repro.obs.events import EventLog
+    from repro.service.server import PartitionService
+    from repro.service.store import ResultStore
+
+    rows, renders = [], []
+    with tempfile.TemporaryDirectory(prefix="bench-pareto-store-") as root:
+        store = ResultStore(root=root, enabled=True)
+        service = PartitionService(
+            workers=1, store=store, events=EventLog(enabled=False)
+        ).start()
+        try:
+            for circuit in circuits:
+                row, payload = bench_circuit(
+                    service, store, circuit, k_values, ratios, seed
+                )
+                rows.append(row)
+                renders.append(render_sweep(payload))
+            probe = infeasible_k_probe(service, circuits[0], seed)
+        finally:
+            service.stop()
+
+    print(
+        f"\ninfeasible-K probe ({probe['circuit']}, K={probe['requested_k']}): "
+        f"skipped cleanly: {probe['completed']}"
+    )
+    if render_out:
+        with open(render_out, "w") as handle:
+            handle.write("\n\n".join(renders) + "\n")
+        print(f"[frontier renders written to {render_out}]")
+
+    speedups = [r["speedup"] for r in rows]
+    return {
+        "meta": {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "quick": quick,
+            "seed": seed,
+            "k_values": list(k_values),
+            "ratios": list(ratios),
+        },
+        "results": rows,
+        "infeasible_probe": probe,
+        "summary": {
+            "all_points_bitwise_identical": all(
+                r["points_bitwise_identical"] for r in rows
+            ),
+            "warm_speedup_min": round(min(speedups), 3),
+            "meets_5x_target": all(s >= 5.0 for s in speedups),
+            "all_energies_finite": all(r["energies_finite"] for r in rows),
+            "infeasible_k_skipped": probe["completed"],
+        },
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--circuits", nargs="+", default=None)
+    parser.add_argument("--k-values", nargs="+", type=int, default=None)
+    parser.add_argument("--ratios", nargs="+", type=float, default=None)
+    parser.add_argument("--seed", type=int, default=2020)
+    parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--render-out", default=None,
+        help="also write the ASCII frontier renders to this path",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: KSA4 on a 2x2 grid — proves the harness and "
+             "the bitwise dedupe contract, not the timings",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.circuits = args.circuits or list(QUICK_CIRCUITS)
+        args.k_values = args.k_values or list(QUICK_K)
+        args.ratios = args.ratios or list(QUICK_RATIOS)
+    args.circuits = args.circuits or list(DEFAULT_CIRCUITS)
+    args.k_values = args.k_values or list(DEFAULT_K)
+    args.ratios = args.ratios or list(DEFAULT_RATIOS)
+    if any(k < 1 for k in args.k_values):
+        parser.error("--k-values must be integers >= 1")
+    if any(not r > 0 for r in args.ratios):
+        parser.error("--ratios must be > 0")
+
+    report = run_benchmark(
+        circuits=args.circuits,
+        k_values=args.k_values,
+        ratios=args.ratios,
+        seed=args.seed,
+        quick=args.quick,
+        render_out=args.render_out,
+    )
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    summary = report["summary"]
+    print(
+        f"\nwarm speedup min {summary['warm_speedup_min']}x "
+        f"(target >= 5x: {summary['meets_5x_target']})  ->  {args.output}"
+    )
+    failed = False
+    if not summary["all_points_bitwise_identical"]:
+        print("ERROR: a sweep grid point differs from its solo run",
+              file=sys.stderr)
+        failed = True
+    if not summary["meets_5x_target"]:
+        print("ERROR: warm sweep repeat under the 5x target", file=sys.stderr)
+        failed = True
+    if not summary["all_energies_finite"]:
+        print("ERROR: non-finite energy on a sweep point", file=sys.stderr)
+        failed = True
+    if not summary["infeasible_k_skipped"]:
+        print("ERROR: infeasible K failed the sweep instead of being skipped",
+              file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

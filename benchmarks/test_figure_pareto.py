@@ -51,7 +51,6 @@ def test_figure_pareto(benchmark, bench_config, output_dir):
             if a is b:
                 continue
             assert not (
-                a.crossing_fraction <= b.crossing_fraction
-                and a.i_comp_pct <= b.i_comp_pct
+                all(ao <= bo for ao, bo in zip(a.objectives, b.objectives))
                 and a.objectives != b.objectives
             )

@@ -149,6 +149,22 @@ ENV_VARS = (
     EnvVar("REPRO_FAULT_HANG_SECONDS", "seconds >= 0", "3600",
            "repro.harness.faults",
            "Sleep length of an injected hang fault."),
+    # -- Pareto sweep planning -----------------------------------------
+    EnvVar("REPRO_SWEEP_CLOCK_GHZ", "GHz > 0", "20",
+           "repro.harness.pareto",
+           "Default clock frequency of the per-point ERSFQ dynamic-power "
+           "estimate attached to sweep results; an explicit clock_ghz "
+           "field in the sweep request wins (and is what enters the "
+           "content key)."),
+    EnvVar("REPRO_SWEEP_JOBS", "int >= 1", "1",
+           "repro.harness.pareto",
+           "Worker processes a sweep fans its uncached grid points over "
+           "(through the parallel suite runner)."),
+    EnvVar("REPRO_SWEEP_MAX_POINTS", "int >= 1", "256",
+           "repro.harness.pareto",
+           "Upper bound on K x weight-ratio grid points per sweep "
+           "request; larger grids are rejected at validation (HTTP "
+           "400)."),
     # -- partitioning service ------------------------------------------
     EnvVar("REPRO_SERVICE_HOST", "host", "127.0.0.1",
            "repro.service",

@@ -6,6 +6,7 @@ Subcommands::
     repro-gpp partition KSA8 -k 5        # partition one circuit
     repro-gpp partition my.def -k 5      # ... or any DEF file
     repro-gpp eco BASE EDITED -k 5       # incremental ECO re-partition
+    repro-gpp sweep KSA8 -k 3,4,5        # K x weight Pareto sweep + energy
     repro-gpp table1 [--method greedy]   # regenerate Table I
     repro-gpp table2                     # regenerate Table II
     repro-gpp table3                     # regenerate Table III
@@ -124,6 +125,32 @@ def _positive_float(value):
     return parsed
 
 
+def _int_list(value):
+    """argparse type for comma-separated integer grids (``-k 3,4,5``)."""
+    try:
+        parsed = [int(part) for part in value.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {value!r}"
+        ) from None
+    if not parsed:
+        raise argparse.ArgumentTypeError(f"expected at least one integer, got {value!r}")
+    return parsed
+
+
+def _float_list(value):
+    """argparse type for comma-separated number grids (``--ratios 0.2,1,4``)."""
+    try:
+        parsed = [float(part) for part in value.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated numbers, got {value!r}"
+        ) from None
+    if not parsed:
+        raise argparse.ArgumentTypeError(f"expected at least one number, got {value!r}")
+    return parsed
+
+
 def _add_jobs(parser):
     parser.add_argument(
         "--jobs",
@@ -217,9 +244,16 @@ def _cmd_suite(_args):
 
 def _cmd_partition(args):
     netlist = _load_netlist(args.circuit)
+    weights = {
+        name: value
+        for name, value in (("c1", getattr(args, "c1", None)), ("c2", getattr(args, "c2", None)),
+                            ("c3", getattr(args, "c3", None)), ("c4", getattr(args, "c4", None)))
+        if value is not None
+    }
     result = tables._partition_with(
         args.method, netlist, args.planes,
-        config=PartitionConfig(engine=args.engine), seed=args.seed, refine=args.refine,
+        config=PartitionConfig(engine=args.engine, **weights),
+        seed=args.seed, refine=args.refine,
     )
     report = evaluate_partition(result)
     if getattr(args, "save", None):
@@ -339,6 +373,73 @@ def _cmd_eco(args):
         ["quality delta", f"{delta_pct:+.2f}% vs cold"],
     ]
     print(ascii_table(["metric", "value"], rows, title="incremental ECO re-partition"))
+    return 0
+
+
+def _cmd_sweep(args):
+    """K x weight-ratio Pareto sweep with the ASCII frontier render.
+
+    Validates through the same :func:`repro.service.api.validate_request`
+    path the service uses and runs the same
+    :func:`repro.harness.pareto.execute_sweep`, so a local sweep's grid
+    points are by construction bitwise-identical to served ones.
+    """
+    import json
+
+    from repro.harness.pareto import execute_sweep, render_sweep
+    from repro.service.api import validate_request
+    from repro.service.errors import BadRequestError
+
+    body = {
+        "kind": "sweep",
+        "k_values": args.k_values,
+        "weight_ratios": args.ratios,
+        "seed": args.seed,
+        "engine": args.engine,
+    }
+    if args.clock_ghz is not None:
+        body["clock_ghz"] = args.clock_ghz
+    if args.circuit in SUITE_NAMES:
+        body["circuit"] = args.circuit
+    else:
+        from repro.netlist.serialize import netlist_to_dict
+
+        body["netlist"] = netlist_to_dict(_load_netlist(args.circuit))
+    try:
+        normalized = validate_request(body)
+    except BadRequestError as error:
+        raise ReproError(str(error)) from None
+
+    payload, stats = execute_sweep(normalized, jobs=args.jobs, run_kwargs=_run_opts(args))
+
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    headers = ["K", "ratio", "c1", "d<=1", "I_comp", "A_FS",
+               "P_rsfq uW", "P_ersfq uW", "saving", "front"]
+    rows = []
+    for point in payload["points"]:
+        metrics, energy = point["metrics"], point["energy"]
+        rows.append([
+            point["num_planes"], f"{point['ratio']:g}", f"{point['weights']['c1']:g}",
+            percent(metrics["frac_d_le_1"]), f"{metrics['i_comp_pct']:.2f}%",
+            f"{metrics['a_fs_pct']:.2f}%", f"{energy['energy_uw_rsfq']:.2f}",
+            f"{energy['energy_uw_ersfq']:.4f}", f"{energy['saving_pct']:.2f}%",
+            "*" if point["on_frontier"] else "",
+        ])
+    print(ascii_table(
+        headers, rows,
+        title=f"Pareto sweep: {payload['circuit']} at {payload['clock_ghz']:g} GHz "
+        f"({stats['points']} points, {stats['cache_hits']} cached)",
+    ))
+    print()
+    print(render_sweep(payload, width=args.width))
+    if payload["skipped_k"]:
+        print(
+            f"skipped infeasible K (more planes than the {payload['num_gates']} "
+            "gates): " + ", ".join(str(k) for k in payload["skipped_k"])
+        )
+    _print_run_summary()
     return 0
 
 
@@ -643,6 +744,52 @@ def build_parser():
     _add_common(partition_parser)
     partition_parser.add_argument("--json", action="store_true", help="emit the report as JSON")
     partition_parser.add_argument("--save", metavar="PATH", help="save the partition as JSON")
+    for weight, role in (("c1", "interconnect (d<=1)"), ("c2", "bias balance"),
+                         ("c3", "area balance"), ("c4", "plane emptiness")):
+        partition_parser.add_argument(
+            f"--{weight}", type=float, default=None, metavar="W",
+            help=f"eq. (8) {role} weight override (gradient method)",
+        )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="K x weight-ratio Pareto sweep with per-point energy estimates",
+        epilog="Environment: REPRO_SWEEP_CLOCK_GHZ/JOBS/MAX_POINTS set the "
+        "sweep knobs (flags win); see docs/planning.md for the sweep "
+        "schema, energy model and frontier semantics.",
+    )
+    sweep_parser.add_argument("circuit", help="benchmark name or DEF path")
+    sweep_parser.add_argument(
+        "-k", "--k-values", type=_int_list, default=[2, 3, 4, 5], metavar="K1,K2,...",
+        help="comma-separated plane counts (default 2,3,4,5); K beyond the "
+        "gate count is reported as skipped, not an error",
+    )
+    sweep_parser.add_argument(
+        "--ratios", type=_float_list, default=[0.2, 1.0, 4.0, 16.0], metavar="R1,R2,...",
+        help="comma-separated c1 weight multipliers (default 0.2,1,4,16)",
+    )
+    sweep_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="RNG seed (default 0; sweeps are content-addressed, so the "
+        "seed must be pinned)",
+    )
+    sweep_parser.add_argument(
+        "--engine", choices=("batched", "loop", "multilevel"), default="batched",
+        help="gradient solver engine",
+    )
+    sweep_parser.add_argument(
+        "--clock-ghz", type=_positive_float, default=None, metavar="GHZ",
+        help="ERSFQ energy-model clock (default REPRO_SWEEP_CLOCK_GHZ, else 20)",
+    )
+    sweep_parser.add_argument(
+        "--width", type=_positive_int, default=52,
+        help="character width of the frontier render (default 52)",
+    )
+    sweep_parser.add_argument(
+        "--json", action="store_true", help="emit the sweep payload as JSON"
+    )
+    _add_jobs(sweep_parser)
+    _add_obs(sweep_parser)
 
     eco_parser = subparsers.add_parser(
         "eco",
@@ -840,6 +987,7 @@ _COMMANDS = {
     "suite": _cmd_suite,
     "partition": _cmd_partition,
     "eco": _cmd_eco,
+    "sweep": _cmd_sweep,
     "stats": _cmd_stats,
     "latency": _cmd_latency,
     "simulate": _cmd_simulate,

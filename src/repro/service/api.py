@@ -3,7 +3,7 @@
 A partition request is a JSON object::
 
     {
-      "kind":       "partition" | "plan",        # default "partition"
+      "kind":       "partition" | "plan" | "sweep",  # default "partition"
       "circuit":    "KSA16",                     # suite generator name,
       "netlist":    {...},                       #   OR a serialized netlist
       "num_planes": 4,                           # required for "partition"
@@ -12,7 +12,11 @@ A partition request is a JSON object::
       "seed":       0,                           # integer, default 0
       "refine":     false,
       "pinned":     {"gate name": plane, ...},   # gradient method only
-      "bias_limit_ma": 100.0                     # "plan" jobs only
+      "bias_limit_ma": 100.0,                    # "plan" jobs only
+      "weights":    {"c1": 160.0, ...},          # eq. (8) overrides (not "plan")
+      "k_values":   [3, 4, 5],                   # "sweep" jobs: plane-count grid
+      "weight_ratios": [0.2, 1.0, 4.0],          # "sweep" jobs: c1 multipliers
+      "clock_ghz":  20.0                         # "sweep" jobs: energy-model clock
     }
 
     exactly one of ``circuit`` / ``netlist`` must be present.
@@ -32,6 +36,7 @@ influences the answer must be pinned by the request.
 
 import hashlib
 import json
+import math
 
 from repro import __version__
 from repro.cache.store import CACHE_SCHEMA_VERSION, canonical_jsonable
@@ -52,10 +57,24 @@ SERVICE_API_VERSION = 1
 #: then dedup against the wrong result).
 REQUEST_FIELDS = (
     "kind", "circuit", "netlist", "num_planes", "method", "engine",
-    "seed", "refine", "pinned", "bias_limit_ma",
+    "seed", "refine", "pinned", "bias_limit_ma", "weights",
+    "k_values", "weight_ratios", "clock_ghz",
 )
 
-JOB_KINDS = ("partition", "plan")
+JOB_KINDS = ("partition", "plan", "sweep")
+
+_DEFAULT_CONFIG = PartitionConfig()
+
+#: The paper's eq. (8) default weight tuple.  A request's ``weights``
+#: field is dropped at normalization when it matches these, so the
+#: weighted and unweighted spellings of the same request share one
+#: content key (and therefore one stored result).
+DEFAULT_WEIGHTS = {
+    "c1": _DEFAULT_CONFIG.c1,
+    "c2": _DEFAULT_CONFIG.c2,
+    "c3": _DEFAULT_CONFIG.c3,
+    "c4": _DEFAULT_CONFIG.c4,
+}
 
 
 def schema_versions():
@@ -146,6 +165,30 @@ def validate_request(data):
     else:
         normalized["netlist"] = netlist
 
+    weights = data.get("weights")
+    if weights is not None:
+        if kind == "plan":
+            raise BadRequestError("weights only apply to partition and sweep jobs")
+        if not isinstance(weights, dict) or not weights:
+            raise BadRequestError("weights must be a non-empty object of c1..c4 -> number")
+        unknown_weights = sorted(set(weights) - set(DEFAULT_WEIGHTS))
+        if unknown_weights:
+            raise BadRequestError(
+                f"unknown weight(s) {', '.join(unknown_weights)}; "
+                f"recognized: {', '.join(sorted(DEFAULT_WEIGHTS))}"
+            )
+        full = dict(DEFAULT_WEIGHTS)
+        for name in sorted(weights):
+            value = weights[name]
+            if isinstance(value, bool) or not isinstance(value, (int, float)) \
+                    or not (value >= 0 and math.isfinite(value)):
+                raise BadRequestError(
+                    f"weight {name} must be a finite number >= 0, got {value!r}"
+                )
+            full[name] = float(value)
+        if full != DEFAULT_WEIGHTS:
+            normalized["weights"] = full
+
     if kind == "partition":
         num_planes = data.get("num_planes")
         if isinstance(num_planes, bool) or not isinstance(num_planes, int) or num_planes < 1:
@@ -154,7 +197,68 @@ def validate_request(data):
             )
         normalized["num_planes"] = num_planes
     elif data.get("num_planes") is not None:
+        if kind == "sweep":
+            raise BadRequestError(
+                "num_planes does not apply to sweep jobs (the K grid comes from k_values)"
+            )
         raise BadRequestError("num_planes does not apply to plan jobs (K is searched)")
+
+    if kind == "sweep":
+        # Deferred: repro.harness.pareto pulls in the solver stack.
+        from repro.harness.pareto import (
+            DEFAULT_RATIOS, resolve_sweep_clock, resolve_sweep_max_points,
+        )
+
+        if method != "gradient":
+            raise BadRequestError(
+                "sweep jobs require the 'gradient' method (the c1..c4 weights "
+                f"only parameterize its cost), got {method!r}"
+            )
+        k_values = data.get("k_values")
+        if not isinstance(k_values, (list, tuple)) or not k_values:
+            raise BadRequestError("k_values must be a non-empty array of integers >= 1")
+        for k in k_values:
+            if isinstance(k, bool) or not isinstance(k, int) or k < 1:
+                raise BadRequestError(
+                    f"k_values entries must be integers >= 1, got {k!r}"
+                )
+        normalized["k_values"] = sorted({int(k) for k in k_values})
+
+        ratios = data.get("weight_ratios")
+        if ratios is None:
+            ratios = list(DEFAULT_RATIOS)
+        if not isinstance(ratios, (list, tuple)) or not ratios:
+            raise BadRequestError("weight_ratios must be a non-empty array of numbers > 0")
+        cleaned = set()
+        for ratio in ratios:
+            if isinstance(ratio, bool) or not isinstance(ratio, (int, float)) \
+                    or not (ratio > 0 and math.isfinite(ratio)):
+                raise BadRequestError(
+                    f"weight_ratios entries must be finite numbers > 0, got {ratio!r}"
+                )
+            cleaned.add(float(ratio))
+        normalized["weight_ratios"] = sorted(cleaned)
+
+        clock = data.get("clock_ghz")
+        if clock is not None and (
+            isinstance(clock, bool) or not isinstance(clock, (int, float))
+            or not (clock > 0 and math.isfinite(clock))
+        ):
+            raise BadRequestError(f"clock_ghz must be a number > 0, got {clock!r}")
+        # Resolved at validation time so the content key pins the clock
+        # the energy numbers were computed at.
+        normalized["clock_ghz"] = resolve_sweep_clock(clock)
+
+        max_points = resolve_sweep_max_points()
+        total = len(normalized["k_values"]) * len(normalized["weight_ratios"])
+        if total > max_points:
+            raise BadRequestError(
+                f"sweep grid of {total} points exceeds REPRO_SWEEP_MAX_POINTS={max_points}"
+            )
+    else:
+        for field in ("k_values", "weight_ratios", "clock_ghz"):
+            if data.get(field) is not None:
+                raise BadRequestError(f"{field} only applies to sweep jobs")
 
     pinned = data.get("pinned")
     if pinned is not None:
@@ -244,7 +348,7 @@ def request_to_job(normalized):
         num_planes=normalized.get("num_planes"),
         method=normalized["method"],
         seed=normalized["seed"],
-        config=PartitionConfig(engine=normalized["engine"]),
+        config=PartitionConfig(engine=normalized["engine"], **normalized.get("weights", {})),
         refine=normalized["refine"],
         bias_limit_ma=normalized.get("bias_limit_ma", 100.0),
         netlist_json=netlist,
@@ -252,6 +356,46 @@ def request_to_job(normalized):
         prev_labels=tuple(normalized["prev_labels"]) if normalized.get("kind") == "eco" else None,
         eco=normalized.get("eco") if normalized.get("kind") == "eco" else None,
     )
+
+
+# ----------------------------------------------------------------------
+# Pareto sweeps: POST /v1/sweeps (or kind="sweep" on /v1/jobs)
+# ----------------------------------------------------------------------
+
+
+def resolve_weights(normalized):
+    """Full ``c1..c4`` mapping of a validated request, defaults filled in."""
+    full = dict(DEFAULT_WEIGHTS)
+    full.update(normalized.get("weights", {}))
+    return full
+
+
+def sweep_point_request(normalized, num_planes, ratio):
+    """The canonical solo partition request of one sweep grid point.
+
+    ``ratio`` scales ``c1`` over the sweep's base weights.  When the
+    scaled tuple lands back on the defaults (ratio 1.0 with a default
+    base), the weights field is dropped again, so the grid point keys
+    to the exact same stored result as a plain partition request —
+    sweeps and solo jobs dedupe against each other in both directions.
+    """
+    weights = resolve_weights(normalized)
+    weights["c1"] = weights["c1"] * float(ratio)
+    point = {
+        "kind": "partition",
+        "method": normalized["method"],
+        "engine": normalized["engine"],
+        "seed": normalized["seed"],
+        "refine": normalized["refine"],
+        "num_planes": int(num_planes),
+    }
+    if "circuit" in normalized:
+        point["circuit"] = normalized["circuit"]
+    else:
+        point["netlist"] = normalized["netlist"]
+    if weights != DEFAULT_WEIGHTS:
+        point["weights"] = weights
+    return point
 
 
 # ----------------------------------------------------------------------

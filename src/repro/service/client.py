@@ -159,6 +159,27 @@ class ServiceClient:
         result = self.result(job["id"])
         return payload_from_jsonable(result["result"])
 
+    def sweep_submit(self, request_body, ctx=None):
+        """POST a Pareto sweep request to ``/v1/sweeps``.
+
+        ``kind`` defaults to ``"sweep"`` server-side; returns the job
+        status dict (raises on 4xx/5xx).
+        """
+        _status, payload = self._request("POST", "/v1/sweeps", request_body, ctx=ctx)
+        return payload
+
+    def sweep(self, request_body, timeout=600.0, ctx=None):
+        """Submit a sweep + wait + fetch; returns the sweep payload dict.
+
+        The payload is plain JSON (``points`` with metrics/energy and
+        the ``frontier`` index list — see docs/planning.md); unlike
+        :meth:`partition` there are no numpy labels to restore.
+        """
+        job = self.sweep_submit(request_body, ctx=ctx)
+        if job["state"] != "done":
+            self.wait(job["id"], timeout=timeout)
+        return self.result(job["id"])["result"]
+
     def status(self, job_id):
         return self._request("GET", f"/v1/jobs/{job_id}")[1]
 

@@ -612,6 +612,9 @@ class JobManager:
         return payloads, None
 
     def _execute(self, job):
+        if job.request.get("kind") == "sweep":
+            self._execute_sweep(job)
+            return
         fault_plan = self.fault_plan
         if fault_plan is None:
             fault_plan = fault_mod.plan_from_env()
@@ -670,3 +673,74 @@ class JobManager:
             self._inc_locked("service.jobs.completed")
         self._emit(job, "done")
         self._absorb(tracer, snap)
+
+    def _execute_sweep(self, job):
+        """One ``kind="sweep"`` job: fan the K x ratio grid, store points.
+
+        Grid points are the exact solo partition requests a client could
+        POST, keyed and stored individually through the result store, so
+        sweeps and solo jobs dedupe against each other bitwise; only the
+        misses fan through :func:`run_jobs`.
+        """
+        from repro.harness.pareto import execute_sweep
+
+        fault_plan = self.fault_plan
+        if fault_plan is None:
+            fault_plan = fault_mod.plan_from_env()
+        queue_wait = max(0.0, (job.started_at or time.time()) - job.submitted_at)
+        self._observe("service.job.queue_wait_seconds", queue_wait)
+        self._emit(job, "leased", queue_wait_s=round(queue_wait, 6))
+        tracer, ctx = self._job_tracer(job)
+        try:
+            root = (tracer.span("service.job", ctx=ctx, job=job.id,
+                                circuit=job.request.get("circuit"))
+                    if tracer is not None else NOOP_SPAN)
+            with root:
+                self._emit(job, "solving")
+                started = time.perf_counter()
+                run_kwargs = dict(timeout=self.timeout, retries=self.retries,
+                                  backoff=self.backoff, fault_plan=fault_plan,
+                                  force_pool=self.isolation == "process")
+                serialize = OBS.enabled
+                if serialize:
+                    # The OBS singleton (tracer span stack) is single-threaded.
+                    self._obs_lock.acquire()
+                try:
+                    with (tracer.span("sweep") if tracer is not None else NOOP_SPAN):
+                        payload, stats = execute_sweep(
+                            job.request, store=self.store, run_kwargs=run_kwargs)
+                finally:
+                    if serialize:
+                        self._obs_lock.release()
+                sweep_s = time.perf_counter() - started
+                self._observe("service.job.sweep_seconds", sweep_s)
+                self._inc("service.sweep.points", stats["points"])
+                self._inc("service.sweep.point_cache_hits", stats["cache_hits"])
+                self._inc("service.sweep.solved", stats["solved"])
+                self._inc("service.sweep.skipped_k", stats["skipped_k"])
+                if self.store is not None:
+                    self._inc("service.store.writes", stats["solved"])
+                self._emit(job, "solved", solve_s=round(sweep_s, 6),
+                           points=stats["points"], cache_hits=stats["cache_hits"])
+                payload = payload_to_jsonable(payload)
+                if self.store is not None:
+                    started = time.perf_counter()
+                    with (tracer.span("store") if tracer is not None else NOOP_SPAN):
+                        self.store.put(job.key, payload,
+                                       meta={"request": job.request})
+                    store_s = time.perf_counter() - started
+                    self._observe("service.job.store_seconds", store_s)
+                    self._inc("service.store.writes")
+                    self._emit(job, "stored", store_s=round(store_s, 6))
+        except ReproError as error:
+            with self._cond:
+                self._finish_locked(job, "failed", error=str(error))
+                self._inc_locked("service.jobs.failed")
+            self._emit(job, "failed", error=str(error))
+            self._absorb(tracer, None)
+            return
+        with self._cond:
+            self._finish_locked(job, "done", payload=payload)
+            self._inc_locked("service.jobs.completed")
+        self._emit(job, "done")
+        self._absorb(tracer, None)

@@ -175,6 +175,8 @@ def route_label(method, path):
     elif method == "POST":
         if parts == ["v1", "jobs"]:
             return "jobs.submit"
+        if parts == ["v1", "sweeps"]:
+            return "sweeps.submit"
         if len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "cancel":
             return "jobs.cancel"
     elif method == "PATCH":
@@ -262,6 +264,31 @@ class PartitionService:
         payload = job.to_dict()
         payload["outcome"] = outcome
         return status, payload
+
+    def sweep_submit(self, body, ctx=None):
+        """``POST /v1/sweeps``: a K x weight-ratio Pareto sweep job.
+
+        Thin shell over :meth:`submit` that forces ``kind="sweep"``: the
+        sweep flows through the normal :class:`JobManager` machinery
+        under its own content key (so a repeated sweep is answered from
+        the result store), and its grid points store individually under
+        their solo partition keys (see
+        :func:`repro.harness.pareto.execute_sweep`).  ``kind="sweep"``
+        on plain ``POST /v1/jobs`` works identically; this route exists
+        so sweep traffic gets its own counters and latency label.
+        """
+        with self._telemetry_lock:
+            self.metrics.counter("service.sweep.requests").inc()
+        if not isinstance(body, dict):
+            raise BadRequestError(
+                f"request body must be a JSON object, got {type(body).__name__}"
+            )
+        body = dict(body)
+        if body.setdefault("kind", "sweep") != "sweep":
+            raise BadRequestError(
+                f"POST /v1/sweeps requires kind='sweep', got {body['kind']!r}"
+            )
+        return self.submit(body, ctx=ctx)
 
     def eco_submit(self, base_key, body, ctx=None):
         """``PATCH /v1/jobs/<request_key>``: re-partition an edited netlist.
@@ -678,6 +705,10 @@ class _Handler(BaseHTTPRequestHandler):
             if parts == ["v1", "jobs"]:
                 return self._send_json(
                     *self.service.submit(self._read_body(), ctx=self._trace_ctx)
+                )
+            if parts == ["v1", "sweeps"]:
+                return self._send_json(
+                    *self.service.sweep_submit(self._read_body(), ctx=self._trace_ctx)
                 )
             if len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "cancel":
                 return self._send_json(*self.service.job_cancel(parts[2]))

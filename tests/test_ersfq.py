@@ -3,15 +3,19 @@
 import numpy as np
 import pytest
 
-from repro.core.partitioner import partition
+from repro.core.partitioner import PartitionResult, partition
 from repro.recycling.ersfq import (
     FEEDING_JJ_MARGIN,
     MAX_FEEDING_JJ_IC_MA,
     bias_inductance_nh,
+    ersfq_dynamic_power_uw,
+    estimate_bias_power,
     feeding_jj_count,
     plan_ersfq_bias,
+    rsfq_static_power_uw,
 )
 from repro.utils.errors import RecyclingError
+from repro.utils.units import BIAS_BUS_VOLTAGE_MV, PHI0_WB
 
 
 def test_inductance_formula():
@@ -23,8 +27,27 @@ def test_inductance_formula():
 
 
 def test_inductance_validation():
+    # A zero-bias (empty) plane sizes to 0 nH — it used to raise, which
+    # killed any K sweep past the useful plane count.
+    assert bias_inductance_nh(0.0) == 0.0
     with pytest.raises(RecyclingError):
-        bias_inductance_nh(0.0)
+        bias_inductance_nh(-0.1)
+
+
+def test_zero_bias_plane_plan(mixed_netlist, fast_config):
+    # A K=3 partition with every gate on plane 0 leaves planes 1 and 2
+    # empty; the bias plan must size them to nothing instead of raising.
+    result = PartitionResult(
+        netlist=mixed_netlist,
+        num_planes=3,
+        labels=np.zeros(mixed_netlist.num_gates, dtype=np.intp),
+        config=fast_config,
+    )
+    plan = plan_ersfq_bias(result)
+    assert plan.plane_bias_ma[1] == 0.0 and plan.plane_bias_ma[2] == 0.0
+    assert plan.inductance_nh_per_plane[1] == 0.0
+    assert plan.feeding_jjs_per_plane[1] == 0
+    assert plan.total_feeding_jjs >= plan.feeding_jjs_per_plane[0]
 
 
 def test_feeding_jj_count():
@@ -69,3 +92,62 @@ def test_as_dict(mixed_netlist, fast_config):
     result = partition(mixed_netlist, 2, config=fast_config)
     data = plan_ersfq_bias(result).as_dict()
     assert set(data) == {"num_planes", "total_feeding_jjs", "total_inductance_nh"}
+
+
+def test_rsfq_static_power_formula():
+    # One plane carried by exactly one feeding JJ burns max_ic * V_bus.
+    per_jj = MAX_FEEDING_JJ_IC_MA / FEEDING_JJ_MARGIN
+    assert rsfq_static_power_uw([per_jj]) == pytest.approx(
+        MAX_FEEDING_JJ_IC_MA * BIAS_BUS_VOLTAGE_MV
+    )
+    # Zero-bias planes contribute nothing.
+    assert rsfq_static_power_uw([per_jj, 0.0]) == rsfq_static_power_uw([per_jj])
+    assert rsfq_static_power_uw([]) == 0.0
+
+
+def test_ersfq_dynamic_power_formula():
+    # P = I * Phi0 * f: 1 mA at 20 GHz, expressed in microwatts.
+    expected = 1e-3 * PHI0_WB * 20e9 * 1e6
+    assert ersfq_dynamic_power_uw(1.0, clock_ghz=20.0) == pytest.approx(expected)
+    assert ersfq_dynamic_power_uw(0.0) == 0.0
+    with pytest.raises(RecyclingError):
+        ersfq_dynamic_power_uw(-1.0)
+    with pytest.raises(RecyclingError):
+        ersfq_dynamic_power_uw(1.0, clock_ghz=0.0)
+
+
+def test_estimate_bias_power():
+    per_jj = MAX_FEEDING_JJ_IC_MA / FEEDING_JJ_MARGIN
+    report = estimate_bias_power([2 * per_jj, per_jj, 0.0], clock_ghz=20.0)
+    # RSFQ feeds every plane in parallel; ERSFQ recycling draws B_max.
+    assert report.supply_ma_rsfq == pytest.approx(3 * per_jj)
+    assert report.supply_ma_ersfq == pytest.approx(2 * per_jj)
+    assert report.feeding_jjs == 3
+    assert report.energy_uw_rsfq == pytest.approx(
+        3 * MAX_FEEDING_JJ_IC_MA * BIAS_BUS_VOLTAGE_MV
+    )
+    assert report.energy_uw_ersfq == pytest.approx(
+        2 * per_jj * 1e-3 * PHI0_WB * 20e9 * 1e6
+    )
+    # The ERSFQ/xeSFQ story: dynamic-only biasing saves nearly all of it.
+    assert 99.0 < report.saving_pct < 100.0
+    assert set(report.as_dict()) == {
+        "energy_uw_rsfq", "energy_uw_ersfq", "saving_pct",
+        "supply_ma_rsfq", "supply_ma_ersfq", "feeding_jjs", "clock_ghz",
+    }
+
+
+def test_estimate_bias_power_degenerate():
+    empty = estimate_bias_power([])
+    assert empty.energy_uw_rsfq == 0.0
+    assert empty.energy_uw_ersfq == 0.0
+    assert empty.saving_pct == 0.0  # guarded 0/0, not NaN
+    with pytest.raises(RecyclingError):
+        estimate_bias_power([-1.0])
+
+
+def test_estimate_bias_power_scales_with_clock():
+    report_20 = estimate_bias_power([1.0], clock_ghz=20.0)
+    report_40 = estimate_bias_power([1.0], clock_ghz=40.0)
+    assert report_40.energy_uw_ersfq == pytest.approx(2 * report_20.energy_uw_ersfq)
+    assert report_40.energy_uw_rsfq == report_20.energy_uw_rsfq  # static: clock-free

@@ -1,26 +1,43 @@
-"""Tests for repro.harness.pareto."""
+"""Tests for repro.harness.pareto (N-objective frontier + renders)."""
+
+import math
+import random
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.circuits.suite import build_circuit
 from repro.harness.pareto import (
     SweepPoint,
     pareto_front,
+    point_from_report,
     render_frontier,
     sweep_weights,
 )
 
 
-def _point(x, y):
+def _point(crossing, i_comp, a_fs=0.0, saved=1):
     return SweepPoint(
-        c1=1.0, c23=1.0, crossing_fraction=x, i_comp_pct=y, a_fs_pct=y, report=None
+        num_planes=saved + 1, c1=80.0, c2=15.0, c3=15.0, c4=8.0,
+        crossing_fraction=float(crossing), i_comp_pct=float(i_comp),
+        a_fs_pct=float(a_fs), bias_lines_saved=int(saved),
+        energy={}, report=None,
     )
+
+
+#: Small integer objective grids so hypothesis hits duplicates and ties.
+_OBJECTIVE_LISTS = st.lists(
+    st.tuples(st.integers(0, 4), st.integers(0, 4), st.integers(0, 4),
+              st.integers(1, 4)),
+    min_size=1, max_size=12,
+)
 
 
 def test_pareto_front_filters_dominated():
     a = _point(0.1, 10.0)
     b = _point(0.2, 5.0)
-    c = _point(0.3, 20.0)  # dominated by a (0.1 <= 0.3 and 10 <= 20)
+    c = _point(0.3, 20.0)  # dominated by a (better or equal everywhere)
     front = pareto_front([a, b, c])
     assert a in front and b in front and c not in front
 
@@ -37,16 +54,90 @@ def test_pareto_all_equal_points_survive():
     assert len(pareto_front(points)) == 2
 
 
+def test_pareto_single_point():
+    point = _point(0.5, 50.0)
+    assert pareto_front([point]) == [point]
+
+
+def test_fourth_objective_breaks_dominance():
+    # Equal on the first three objectives; the higher bias-line saving
+    # (4th objective, negated) must dominate, not tie.
+    worse = _point(0.2, 5.0, 5.0, saved=1)
+    better = _point(0.2, 5.0, 5.0, saved=3)
+    front = pareto_front([worse, better])
+    assert better in front and worse not in front
+
+
+def test_dominance_needs_all_objectives():
+    # Better in three objectives but worse in A_FS: neither dominates.
+    a = _point(0.1, 1.0, a_fs=9.0, saved=2)
+    b = _point(0.2, 2.0, a_fs=1.0, saved=2)
+    front = pareto_front([a, b])
+    assert a in front and b in front
+
+
+@given(_OBJECTIVE_LISTS)
+def test_front_nonempty_and_mutually_nondominated(objectives):
+    points = [_point(*objective) for objective in objectives]
+    front = pareto_front(points)
+    assert front  # a minimum always survives
+    for a in front:
+        for b in front:
+            if a is b:
+                continue
+            dominates = all(
+                bo <= ao for bo, ao in zip(b.objectives, a.objectives)
+            ) and b.objectives != a.objectives
+            assert not dominates
+
+
+@given(_OBJECTIVE_LISTS, st.integers(0, 2**32 - 1))
+def test_front_invariant_under_point_order(objectives, seed):
+    points = [_point(*objective) for objective in objectives]
+    shuffled = points[:]
+    random.Random(seed).shuffle(shuffled)
+    original = [p.objectives for p in pareto_front(points)]
+    reordered = [p.objectives for p in pareto_front(shuffled)]
+    assert original == reordered  # both sorted by objective tuple
+
+
 def test_sweep_weights_runs(fast_config):
     netlist = build_circuit("KSA4")
-    points, front = sweep_weights(
-        netlist, 4, fast_config, ratios=(0.5, 4.0), seed=1
-    )
+    points, front = sweep_weights(netlist, 4, fast_config, ratios=(0.5, 4.0), seed=1)
     assert len(points) == 2
     assert 1 <= len(front) <= 2
-    for point in points:
+    for point, ratio in zip(points, (0.5, 4.0)):
         assert 0.0 <= point.crossing_fraction <= 1.0
         assert point.i_comp_pct >= 0.0
+        # The full weight tuple is recorded (c23 used to alias c2 only).
+        assert point.c1 == pytest.approx(fast_config.c1 * ratio)
+        assert point.c2 == fast_config.c2
+        assert point.c3 == fast_config.c3
+        assert point.c4 == fast_config.c4
+        assert point.weights == {
+            "c1": point.c1, "c2": point.c2, "c3": point.c3, "c4": point.c4,
+        }
+        assert point.bias_lines_saved == 3
+        for value in point.energy.values():
+            assert math.isfinite(value)
+        assert point.energy["energy_uw_ersfq"] < point.energy["energy_uw_rsfq"]
+
+
+def test_point_from_report(fast_config):
+    from repro.core.partitioner import partition
+    from repro.metrics.report import evaluate_partition
+
+    report = evaluate_partition(
+        partition(build_circuit("KSA4"), 3, config=fast_config, seed=0)
+    )
+    point = point_from_report(
+        report, {"c1": 80.0, "c2": 15.0, "c3": 15.0, "c4": 8.0}, clock_ghz=10.0
+    )
+    assert point.num_planes == 3
+    assert point.bias_lines_saved == 2
+    assert point.energy["clock_ghz"] == 10.0
+    assert len(point.objectives) == 4
+    assert point.objectives[3] == -2.0
 
 
 def test_render_frontier():
@@ -55,6 +146,18 @@ def test_render_frontier():
     art = render_frontier(points, front)
     assert "O" in art and "." in art
     assert "crossing fraction" in art
+
+
+def test_render_frontier_small_width():
+    # width < 10 used to compute a negative pad and fuse the axis labels.
+    points = [_point(0.1, 10.0), _point(0.3, 5.0)]
+    front = pareto_front(points)
+    for width in (1, 2, 6, 9):
+        art = render_frontier(points, front, width=width)
+        axis = art.splitlines()[-1].strip()
+        assert axis.startswith("0.10")
+        assert axis.endswith("0.30")
+        assert "0.100.30" not in axis  # labels never collapse together
 
 
 def test_render_empty():

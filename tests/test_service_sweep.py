@@ -1,0 +1,113 @@
+"""End-to-end HTTP tests of the sweep (``POST /v1/sweeps``) route."""
+
+import contextlib
+import math
+import threading
+
+import pytest
+
+from repro.service import ServiceClient, ServiceHTTPError, build_server
+from repro.service.store import ResultStore
+
+SWEEP = {"circuit": "KSA4", "k_values": [2, 3], "weight_ratios": [1.0, 4.0]}
+
+
+@contextlib.contextmanager
+def running_server(tmp_path, **opts):
+    opts.setdefault("workers", 2)
+    opts.setdefault("queue_size", 8)
+    opts.setdefault("retries", 0)
+    opts.setdefault("backoff", 0.0)
+    opts.setdefault("store", ResultStore(root=str(tmp_path), enabled=True))
+    server = build_server(host="127.0.0.1", port=0, **opts)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server, ServiceClient(server.url, timeout=60.0)
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(5)
+
+
+def _counters(client):
+    return {
+        name: entry["value"]
+        for name, entry in client.metrics()["metrics"].items()
+        if entry.get("kind") == "counter"
+    }
+
+
+def test_sweep_end_to_end(tmp_path):
+    with running_server(tmp_path) as (_server, client):
+        payload = client.sweep(SWEEP, timeout=120.0)
+        assert payload["kind"] == "sweep"
+        assert payload["circuit"] == "KSA4"
+        assert payload["k_values"] == [2, 3]
+        assert len(payload["points"]) == 4
+        assert payload["frontier"]
+        for point in payload["points"]:
+            for value in point["energy"].values():
+                assert math.isfinite(value)
+            assert point["energy"]["energy_uw_ersfq"] < point["energy"]["energy_uw_rsfq"]
+
+        counters = _counters(client)
+        assert counters["service.sweep.requests"] == 1
+        assert counters["service.sweep.points"] == 4
+        assert counters["service.sweep.solved"] == 4
+        assert counters.get("service.sweep.point_cache_hits", 0) == 0
+        histograms = client.metrics()["metrics"]
+        assert "service.job.sweep_seconds" in histograms
+        assert "service.http.seconds.sweeps.submit" in histograms
+
+
+def test_sweep_warm_repeat_is_cached(tmp_path):
+    with running_server(tmp_path) as (_server, client):
+        client.sweep(SWEEP, timeout=120.0)
+        repeat = client.sweep_submit(SWEEP)
+        assert repeat["state"] == "done"
+        assert repeat["outcome"] == "cached"
+
+
+def test_sweep_reuses_solo_partition_results(tmp_path):
+    with running_server(tmp_path) as (_server, client):
+        # Solve the ratio-1.0/K=2 point solo first; the sweep must pick
+        # it out of the store instead of re-solving it.
+        client.partition({"circuit": "KSA4", "num_planes": 2}, timeout=120.0)
+        client.sweep(SWEEP, timeout=120.0)
+        counters = _counters(client)
+        assert counters["service.sweep.point_cache_hits"] == 1
+        assert counters["service.sweep.solved"] == 3
+
+
+def test_sweep_skips_infeasible_k_counter(tmp_path):
+    with running_server(tmp_path) as (_server, client):
+        payload = client.sweep(
+            {"circuit": "KSA4", "k_values": [2, 500], "weight_ratios": [1.0]},
+            timeout=120.0,
+        )
+        assert payload["skipped_k"] == [500]
+        assert _counters(client)["service.sweep.skipped_k"] == 1
+
+
+def test_sweep_also_accepted_on_jobs_route(tmp_path):
+    with running_server(tmp_path) as (_server, client):
+        job = client.submit({"kind": "sweep", **SWEEP})
+        status = client.wait(job["id"], timeout=120.0)
+        assert status["state"] == "done"
+        assert client.result(job["id"])["result"]["kind"] == "sweep"
+
+
+@pytest.mark.parametrize("body, fragment", [
+    ({"circuit": "KSA4"}, "k_values must be a non-empty array"),
+    ({"circuit": "KSA4", "k_values": [2], "num_planes": 3},
+     "num_planes does not apply to sweep"),
+    ({"kind": "partition", "circuit": "KSA4", "num_planes": 2},
+     "requires kind='sweep'"),
+])
+def test_sweep_route_validation(tmp_path, body, fragment):
+    with running_server(tmp_path) as (_server, client):
+        with pytest.raises(ServiceHTTPError) as exc:
+            client.sweep_submit(body)
+        assert exc.value.status == 400
+        assert fragment in str(exc.value)

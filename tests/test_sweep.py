@@ -1,0 +1,222 @@
+"""Tests for kind="sweep" requests: validation, grid expansion, dedupe.
+
+The contract under test: every sweep grid point IS a canonical solo
+partition request, so sweep results and solo results are bitwise
+interchangeable through the result store — in both directions.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.harness.pareto import (
+    execute_sweep,
+    render_sweep,
+    sweep_grid,
+)
+from repro.harness.runner import execute_job
+from repro.harness.checkpoint import payload_to_jsonable
+from repro.service.api import (
+    request_key,
+    request_to_job,
+    sweep_point_request,
+    validate_request,
+)
+from repro.service.errors import BadRequestError
+from repro.service.store import ResultStore
+
+
+def _sweep_body(**overrides):
+    body = {"kind": "sweep", "circuit": "KSA4", "k_values": [3, 2, 3],
+            "weight_ratios": [4.0, 1.0]}
+    body.update(overrides)
+    return body
+
+
+# -- validation --------------------------------------------------------
+
+
+def test_validate_sweep_normalizes_grid():
+    normalized = validate_request(_sweep_body())
+    assert normalized["k_values"] == [2, 3]  # sorted, deduped
+    assert normalized["weight_ratios"] == [1.0, 4.0]
+    assert normalized["clock_ghz"] == 20.0  # pinned at validation time
+    assert normalized["method"] == "gradient"
+
+
+def test_validate_sweep_default_ratios():
+    normalized = validate_request({"kind": "sweep", "circuit": "KSA4",
+                                   "k_values": [2]})
+    assert normalized["weight_ratios"] == [0.2, 1.0, 4.0, 16.0, 64.0]
+
+
+@pytest.mark.parametrize("body, fragment", [
+    (_sweep_body(num_planes=3), "num_planes does not apply to sweep"),
+    (_sweep_body(k_values=None), "k_values must be a non-empty array"),
+    (_sweep_body(k_values=[]), "k_values must be a non-empty array"),
+    (_sweep_body(k_values=[0]), "integers >= 1"),
+    (_sweep_body(k_values=[True]), "integers >= 1"),
+    (_sweep_body(weight_ratios=[0.0]), "finite numbers > 0"),
+    (_sweep_body(weight_ratios=[float("inf")]), "finite numbers > 0"),
+    (_sweep_body(method="spectral"), "require the 'gradient' method"),
+    (_sweep_body(clock_ghz=-1.0), "clock_ghz must be a number > 0"),
+    ({"kind": "partition", "circuit": "KSA4", "num_planes": 2,
+      "k_values": [2]}, "only applies to sweep jobs"),
+    ({"kind": "plan", "circuit": "KSA4", "weight_ratios": [1.0]},
+     "only applies to sweep jobs"),
+    ({"kind": "plan", "circuit": "KSA4", "weights": {"c1": 1.0}},
+     "only apply to partition and sweep"),
+    (_sweep_body(weights={"c9": 1.0}), "unknown weight(s) c9"),
+    (_sweep_body(weights={"c1": -1.0}), "finite number >= 0"),
+])
+def test_validate_sweep_rejections(body, fragment):
+    with pytest.raises(BadRequestError) as exc:
+        validate_request(body)
+    assert fragment in str(exc.value)
+
+
+def test_default_weights_dropped():
+    normalized = validate_request(
+        {"kind": "partition", "circuit": "KSA4", "num_planes": 2,
+         "weights": {"c1": 80.0, "c2": 15.0}}
+    )
+    assert "weights" not in normalized
+
+
+def test_max_points_cap(monkeypatch):
+    monkeypatch.setenv("REPRO_SWEEP_MAX_POINTS", "3")
+    with pytest.raises(BadRequestError, match="exceeds REPRO_SWEEP_MAX_POINTS=3"):
+        validate_request(_sweep_body())  # 2 K x 2 ratios = 4 points
+
+
+# -- grid expansion and content keys -----------------------------------
+
+
+def test_ratio_one_point_is_plain_partition_request():
+    normalized = validate_request(_sweep_body())
+    point = sweep_point_request(normalized, 2, 1.0)
+    solo = validate_request({"circuit": "KSA4", "num_planes": 2})
+    assert point == solo
+    assert request_key(point) == request_key(solo)
+
+
+def test_scaled_point_request_carries_weights():
+    normalized = validate_request(_sweep_body())
+    point = sweep_point_request(normalized, 2, 4.0)
+    assert point["weights"] == {"c1": 320.0, "c2": 15.0, "c3": 15.0, "c4": 8.0}
+    # and it round-trips through validation unchanged
+    assert validate_request(point) == point
+
+
+def test_sweep_grid_skips_infeasible_k():
+    normalized = validate_request(_sweep_body(k_values=[2, 500]))
+    grid, skipped, num_gates = sweep_grid(normalized)
+    assert skipped == [500]
+    assert num_gates < 500
+    assert {entry["num_planes"] for entry in grid} == {2}
+    assert len(grid) == 2  # 1 feasible K x 2 ratios
+
+
+# -- execution, dedupe and the stored payload --------------------------
+
+
+def test_execute_sweep_bitwise_matches_solo(tmp_path):
+    store = ResultStore(root=str(tmp_path), enabled=True)
+    normalized = validate_request(_sweep_body(k_values=[2, 3, 200]))
+    payload, stats = execute_sweep(normalized, store=store)
+
+    assert stats == {"points": 4, "cache_hits": 0, "solved": 4, "skipped_k": 1}
+    assert payload["skipped_k"] == [200]
+    assert payload["num_gates"] == 71
+    assert len(payload["points"]) == 4
+    assert payload["frontier"]
+    for index in payload["frontier"]:
+        assert payload["points"][index]["on_frontier"]
+
+    for point in payload["points"]:
+        # the stored per-point artifact is bitwise what a solo run makes
+        point_request = sweep_point_request(
+            normalized, point["num_planes"], point["ratio"]
+        )
+        solo = payload_to_jsonable(execute_job(request_to_job(point_request)))
+        stored = store.get(point["request_key"])
+        assert json.dumps(stored, sort_keys=True) == json.dumps(solo, sort_keys=True)
+        for value in point["energy"].values():
+            assert math.isfinite(value)
+        assert point["metrics"]["bias_lines_saved"] == point["num_planes"] - 1
+
+
+def test_execute_sweep_warm_repeat_all_cache_hits(tmp_path):
+    store = ResultStore(root=str(tmp_path), enabled=True)
+    normalized = validate_request(_sweep_body())
+    cold, cold_stats = execute_sweep(normalized, store=store)
+    warm, warm_stats = execute_sweep(normalized, store=store)
+    assert cold_stats["solved"] == 4 and warm_stats["solved"] == 0
+    assert warm_stats["cache_hits"] == warm_stats["points"] == 4
+    # identical numbers either way; only the cached flags flip
+    strip = lambda p: json.dumps(
+        {**p, "points": [{**pt, "cached": None} for pt in p["points"]]},
+        sort_keys=True,
+    )
+    assert strip(cold) == strip(warm)
+
+
+def test_execute_sweep_without_store():
+    normalized = validate_request(_sweep_body(k_values=[2], weight_ratios=[1.0]))
+    payload, stats = execute_sweep(normalized)
+    assert stats == {"points": 1, "cache_hits": 0, "solved": 1, "skipped_k": 0}
+    assert payload["points"][0]["cached"] is False
+
+
+def test_execute_sweep_all_infeasible_k():
+    # The zero-bias-plane regression scenario: every K past the gate
+    # count used to crash the sweep; now it degrades to an empty grid.
+    normalized = validate_request(_sweep_body(k_values=[200, 500]))
+    payload, stats = execute_sweep(normalized)
+    assert payload["points"] == [] and payload["frontier"] == []
+    assert payload["skipped_k"] == [200, 500]
+    assert stats == {"points": 0, "cache_hits": 0, "solved": 0, "skipped_k": 2}
+
+
+def test_execute_sweep_payload_is_json(tmp_path):
+    normalized = validate_request(_sweep_body(k_values=[2], weight_ratios=[1.0]))
+    payload, _stats = execute_sweep(normalized)
+    round_tripped = json.loads(json.dumps(payload))
+    art = render_sweep(round_tripped)
+    assert "KSA4" in art and "O" in art
+
+
+def test_execute_sweep_netlist_request(mixed_netlist):
+    from repro.netlist.serialize import netlist_to_dict
+
+    normalized = validate_request(
+        {"kind": "sweep", "netlist": netlist_to_dict(mixed_netlist),
+         "k_values": [2], "weight_ratios": [1.0]}
+    )
+    payload, stats = execute_sweep(normalized)
+    assert payload["circuit"] == "mixed40"
+    assert payload["num_gates"] == 40
+    assert stats["solved"] == 1
+
+
+# -- CLI ---------------------------------------------------------------
+
+
+def test_cli_sweep_json(capsys):
+    from repro.harness.cli import main
+
+    assert main(["sweep", "KSA4", "-k", "2", "--ratios", "1", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["kind"] == "sweep"
+    assert len(payload["points"]) == 1
+    assert payload["points"][0]["num_planes"] == 2
+
+
+def test_cli_sweep_render(capsys):
+    from repro.harness.cli import main
+
+    assert main(["sweep", "KSA4", "-k", "2,200", "--ratios", "1,4"]) == 0
+    out = capsys.readouterr().out
+    assert "Pareto frontier" in out
+    assert "skipped infeasible K" in out and "200" in out

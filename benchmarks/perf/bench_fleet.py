@@ -1,0 +1,281 @@
+#!/usr/bin/env python
+"""Distributed-fleet benchmark: throughput vs worker-node count.
+
+Boots one fleet coordinator (in-process server, ``isolation="fleet"``)
+and drives a fixed batch of unique-seed KSA8 K=4 partition jobs through
+real ``repro-gpp worker`` subprocesses at 1, 2 and 4 nodes, plus a
+single-node inline-isolation reference.  Every payload — at every
+fleet width — is diffed bitwise against a clean local
+``execute_job`` run; any mismatch fails the benchmark outright.
+
+Scaling acceptance (>= 2x at 4 workers vs 1) is a *real-parallelism*
+criterion: worker nodes are separate processes, so they only scale on
+a machine with cores to run them.  The gate is therefore enforced only
+when ``os.cpu_count() >= 4``; on smaller hosts the measured ratio and
+the skip reason are recorded honestly in ``BENCH_fleet.json`` instead
+of gating on physically impossible numbers.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_fleet.py
+    PYTHONPATH=src python benchmarks/perf/bench_fleet.py --quick
+"""
+
+import argparse
+import json
+import os
+import platform
+import shutil
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+import numpy as np
+
+ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+DEFAULT_OUTPUT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_fleet.json"
+)
+WORKER_COUNTS = (1, 2, 4)
+SCALING_TARGET = 2.0
+SCALING_MIN_CPUS = 4
+
+
+def spawn_worker(url, worker_id, cache_dir):
+    env = dict(os.environ)
+    env.update({
+        "PYTHONPATH": os.path.join(ROOT, "src"),
+        "PYTHONUNBUFFERED": "1",
+        "REPRO_CACHE_DIR": cache_dir,
+    })
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.harness.cli", "worker",
+         "--coordinator", url, "--id", worker_id,
+         "--max-inflight", "1", "--poll", "0.1"],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.STDOUT,
+    )
+
+
+def run_batch(client, requests):
+    """Submit every request up front, wait for all; returns (wall, payloads)."""
+    start = time.perf_counter()
+    jobs = [client.submit(dict(request)) for request in requests]
+    for job in jobs:
+        client.wait(job["id"], timeout=600.0)
+    wall = time.perf_counter() - start
+    payloads = [client.result(job["id"])["result"] for job in jobs]
+    return wall, payloads
+
+
+def bench_fleet_width(base_request, seeds, cache_dir, nodes):
+    """One fleet width: boot coordinator + N worker subprocesses."""
+    from repro.service.client import ServiceClient
+    from repro.service.server import build_server
+    from repro.service.store import ResultStore
+
+    store_dir = tempfile.mkdtemp(prefix="repro-bench-fleet-", dir=cache_dir)
+    server = build_server(
+        host="127.0.0.1", port=0, isolation="fleet",
+        workers=4, queue_size=max(64, 2 * len(seeds)),
+        store=ResultStore(root=store_dir, enabled=True),
+    )
+    serve_thread = threading.Thread(target=server.serve_forever, daemon=True)
+    serve_thread.start()
+    workers = []
+    try:
+        client = ServiceClient(server.url, timeout=120.0)
+        workers = [
+            spawn_worker(server.url, f"bench-w{index}", cache_dir)
+            for index in range(nodes)
+        ]
+        requests = [dict(base_request, seed=seed) for seed in seeds]
+        wall, payloads = run_batch(client, requests)
+        roster = client.health()["fleet"]["workers"]
+        completed = {w["id"]: w["completed"] for w in roster}
+    finally:
+        for worker in workers:
+            worker.terminate()
+        for worker in workers:
+            try:
+                worker.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                worker.kill()
+                worker.wait()
+        server.shutdown()
+        server.server_close()
+        serve_thread.join(5)
+        shutil.rmtree(store_dir, ignore_errors=True)
+    return {
+        "workers": nodes,
+        "jobs": len(seeds),
+        "wall_s": round(wall, 4),
+        "throughput_jps": round(len(seeds) / wall, 3) if wall > 0 else 0.0,
+        "per_worker_completed": completed,
+    }, payloads
+
+
+def bench_single_node(base_request, seeds, cache_dir):
+    """Inline-isolation reference: the same batch, no fleet at all."""
+    from repro.service.client import ServiceClient
+    from repro.service.server import build_server
+    from repro.service.store import ResultStore
+
+    store_dir = tempfile.mkdtemp(prefix="repro-bench-inline-", dir=cache_dir)
+    server = build_server(
+        host="127.0.0.1", port=0, isolation="inline",
+        workers=1, queue_size=max(64, 2 * len(seeds)),
+        store=ResultStore(root=store_dir, enabled=True),
+    )
+    serve_thread = threading.Thread(target=server.serve_forever, daemon=True)
+    serve_thread.start()
+    try:
+        client = ServiceClient(server.url, timeout=120.0)
+        requests = [dict(base_request, seed=seed) for seed in seeds]
+        wall, payloads = run_batch(client, requests)
+    finally:
+        server.shutdown()
+        server.server_close()
+        serve_thread.join(5)
+        shutil.rmtree(store_dir, ignore_errors=True)
+    return {
+        "jobs": len(seeds),
+        "wall_s": round(wall, 4),
+        "throughput_jps": round(len(seeds) / wall, 3) if wall > 0 else 0.0,
+    }, payloads
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--circuit", default="KSA8")
+    parser.add_argument("--planes", type=int, default=4)
+    parser.add_argument("--jobs", type=int, default=16,
+                        help="unique-seed jobs per fleet width")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: smallest circuit, 4 jobs")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.circuit = "KSA4"
+        args.planes = 3
+        args.jobs = 4
+
+    bench_cache = tempfile.mkdtemp(prefix="repro-bench-fleet-root-")
+    saved = {k: os.environ.get(k) for k in ("REPRO_CACHE_DIR", "REPRO_CACHE")}
+    os.environ["REPRO_CACHE_DIR"] = bench_cache
+    os.environ.pop("REPRO_CACHE", None)
+
+    from repro.cache import reset_default_cache
+    from repro.harness.checkpoint import payload_to_jsonable
+    from repro.harness.runner import execute_job
+    from repro.service.api import request_to_job, validate_request
+
+    reset_default_cache()
+    base_request = {"circuit": args.circuit, "num_planes": args.planes}
+    seeds = [31_000 + index for index in range(args.jobs)]
+
+    # The parity oracle: one clean local solve per seed.
+    local = {}
+    for seed in seeds:
+        request = validate_request(dict(base_request, seed=seed))
+        local[seed] = json.dumps(
+            payload_to_jsonable(execute_job(request_to_job(request))),
+            sort_keys=True,
+        )
+
+    parity_ok = True
+    levels = []
+    single = None
+    try:
+        single, payloads = bench_single_node(base_request, seeds, bench_cache)
+        for seed, payload in zip(seeds, payloads):
+            if json.dumps(payload, sort_keys=True) != local[seed]:
+                parity_ok = False
+                print(f"PARITY VIOLATION: inline seed {seed}", file=sys.stderr)
+        print(f"single-node inline: {single['throughput_jps']:7.2f} jobs/s "
+              f"({single['wall_s']:.2f} s for {single['jobs']} jobs)")
+        for nodes in WORKER_COUNTS:
+            level, payloads = bench_fleet_width(
+                base_request, seeds, bench_cache, nodes
+            )
+            for seed, payload in zip(seeds, payloads):
+                if json.dumps(payload, sort_keys=True) != local[seed]:
+                    parity_ok = False
+                    print(f"PARITY VIOLATION: {nodes}-worker fleet seed {seed}",
+                          file=sys.stderr)
+            levels.append(level)
+            print(f"fleet x{nodes} workers: {level['throughput_jps']:7.2f} jobs/s "
+                  f"({level['wall_s']:.2f} s for {level['jobs']} jobs)")
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        shutil.rmtree(bench_cache, ignore_errors=True)
+        reset_default_cache()
+
+    by_width = {level["workers"]: level["throughput_jps"] for level in levels}
+    ratio = (
+        round(by_width[4] / by_width[1], 3)
+        if by_width.get(1) and by_width.get(4) else None
+    )
+    cpus = os.cpu_count() or 1
+    enforced = cpus >= SCALING_MIN_CPUS
+    scaling = {
+        "ratio_4_vs_1": ratio,
+        "target": SCALING_TARGET,
+        "met": ratio is not None and ratio >= SCALING_TARGET,
+        "enforced": enforced,
+        "reason": (
+            f"gate enforced: host has {cpus} cpus" if enforced else
+            f"gate skipped: separate worker processes cannot scale on a "
+            f"{cpus}-cpu host (need >= {SCALING_MIN_CPUS}); measured "
+            f"ratio recorded honestly"
+        ),
+    }
+
+    report = {
+        "meta": {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "cpus": cpus,
+            "quick": args.quick,
+            "circuit": args.circuit,
+            "planes": args.planes,
+            "jobs": args.jobs,
+            "worker_counts": list(WORKER_COUNTS),
+        },
+        "single_node_inline": single,
+        "fleet": levels,
+        "parity_bitwise_identical": parity_ok,
+        "scaling": scaling,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"\n-> {args.output}")
+    print(f"scaling: {scaling['reason']} "
+          f"(4-vs-1 ratio {scaling['ratio_4_vs_1']})")
+
+    if not parity_ok:
+        print("ERROR: a fleet payload differed from the local run", file=sys.stderr)
+        return 1
+    if scaling["enforced"] and not scaling["met"]:
+        print(f"ERROR: 4-worker fleet is {ratio}x a 1-worker fleet "
+              f"(target {SCALING_TARGET}x)", file=sys.stderr)
+        return 1
+    print("fleet benchmark: acceptance criteria met")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

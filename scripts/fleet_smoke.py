@@ -1,0 +1,203 @@
+#!/usr/bin/env python
+"""CI smoke test of the distributed fleet, end to end over HTTP.
+
+Boots a *coordinator* (``repro-gpp serve --isolation fleet``) and two
+*worker nodes* (``repro-gpp worker``) as real subprocesses — the exact
+artifacts an operator deploys — and proves the fleet-level guarantees:
+
+1. **Parity** — a KSA16 K=4 partition dispatched to worker nodes over
+   ``/fleet/v1`` is bitwise identical to the same request run through
+   the CLI, and ``/healthz`` shows the live roster with heartbeat ages.
+2. **Chaos** — a worker node hard-killed mid-job (``REPRO_FAULT=
+   kill@0``, a real ``os._exit``) loses its lease; the coordinator
+   requeues within the lease TTL and a surviving node completes every
+   job with bitwise-identical payloads (``fleet.requeues`` visible in
+   ``/metrics``).
+
+Usage::
+
+    PYTHONPATH=src python scripts/fleet_smoke.py
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+import numpy as np
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(ROOT, "src"))
+
+from repro.service.client import ServiceClient  # noqa: E402
+
+SERVER_READY_RE = re.compile(r"listening on (http://[\d.]+:\d+)")
+WORKER_READY_RE = re.compile(r"fleet worker (\S+) ready")
+
+
+class Subprocess:
+    """A repro-gpp subcommand as a context-managed subprocess."""
+
+    def __init__(self, args, ready_re=None, env=None):
+        merged = dict(os.environ)
+        merged.update(env or {})
+        merged["PYTHONPATH"] = os.path.join(ROOT, "src")
+        merged.setdefault("PYTHONUNBUFFERED", "1")
+        self.process = subprocess.Popen(
+            [sys.executable, "-m", "repro.harness.cli", *args],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=merged,
+        )
+        self.ready_match = None
+        if ready_re is not None:
+            for line in self.process.stdout:
+                match = ready_re.search(line)
+                if match:
+                    self.ready_match = match
+                    break
+            if self.ready_match is None:
+                raise RuntimeError(
+                    f"{args[0]} exited before printing its ready line"
+                )
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.process.terminate()
+        try:
+            self.process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            self.process.wait()
+
+
+def coordinator(cache_dir, *args, env=None):
+    merged = {"REPRO_CACHE_DIR": cache_dir}
+    merged.update(env or {})
+    return Subprocess(
+        ["serve", "--port", "0", "--isolation", "fleet", *args],
+        ready_re=SERVER_READY_RE, env=merged,
+    )
+
+
+def worker(url, worker_id, cache_dir, env=None):
+    merged = {"REPRO_CACHE_DIR": cache_dir}
+    merged.update(env or {})
+    return Subprocess(
+        ["worker", "--coordinator", url, "--id", worker_id, "--poll", "0.2"],
+        ready_re=WORKER_READY_RE, env=merged,
+    )
+
+
+def check(condition, message):
+    if not condition:
+        print(f"FAIL: {message}", file=sys.stderr)
+        sys.exit(1)
+    print(f"ok: {message}")
+
+
+def fleet_counter(client, name):
+    entry = client.metrics()["metrics"].get(name)
+    return entry["value"] if entry else 0
+
+
+def probe_parity(cache_dir):
+    request = {"circuit": "KSA16", "num_planes": 4, "seed": 2020}
+    with coordinator(cache_dir, "--workers", "2") as server:
+        url = server.ready_match.group(1)
+        client = ServiceClient(url, timeout=120.0)
+        with worker(url, "smoke-w1", cache_dir), \
+                worker(url, "smoke-w2", cache_dir):
+            served = client.partition(request, timeout=600.0)
+
+            health = client.health()
+            check(health["isolation"] == "fleet",
+                  "coordinator reports fleet isolation on /healthz")
+            roster = {w["id"]: w for w in health["fleet"]["workers"]}
+            check(set(roster) == {"smoke-w1", "smoke-w2"},
+                  f"/healthz roster shows both worker nodes ({sorted(roster)})")
+            ages = [w["last_heartbeat_age_s"] for w in roster.values()]
+            check(all(age < 30.0 for age in ages),
+                  f"roster heartbeat ages are live ({ages})")
+
+        saved = os.path.join(cache_dir, "cli_partition.json")
+        subprocess.run(
+            [sys.executable, "-m", "repro.harness.cli", "partition", "KSA16",
+             "-k", "4", "--seed", "2020", "--save", saved],
+            check=True, stdout=subprocess.DEVNULL,
+            env={**os.environ, "PYTHONPATH": os.path.join(ROOT, "src"),
+                 "REPRO_CACHE_DIR": cache_dir},
+        )
+        with open(saved) as handle:
+            cli_labels = np.asarray(json.load(handle)["labels"])
+        check(np.array_equal(served["labels"], cli_labels),
+              "fleet-served KSA16 K=4 assignment is bitwise identical to the CLI run")
+        completions = fleet_counter(client, "fleet.completions")
+        check(completions >= 1,
+              f"/metrics shows fleet completions (fleet.completions={completions})")
+
+
+def probe_chaos(cache_dir):
+    requests = [
+        {"circuit": "KSA8", "num_planes": 4, "seed": seed}
+        for seed in range(9100, 9106)
+    ]
+    env = {"REPRO_FLEET_LEASE_TTL": "2"}
+    with coordinator(cache_dir, "--workers", "2", "--retries", "2",
+                     env=env) as server:
+        url = server.ready_match.group(1)
+        client = ServiceClient(url, timeout=120.0)
+        jobs = [client.submit(request) for request in requests]
+
+        # The doomed node hard-exits (os._exit) executing its first
+        # leased job: no completion report, no more heartbeats.
+        with worker(url, "doomed", cache_dir,
+                    env={"REPRO_FAULT": "kill@0"}) as doomed:
+            doomed.process.wait(timeout=120)
+            check(doomed.process.returncode == 17,
+                  "doomed worker hard-exited mid-job (os._exit 17)")
+
+        with worker(url, "survivor", cache_dir):
+            for job in jobs:
+                status = client.wait(job["id"], timeout=120.0)
+                check(status["state"] == "done",
+                      f"job {job['id']} completed after the worker kill")
+            served = [client.result(job["id"])["result"] for job in jobs]
+            requeues = fleet_counter(client, "fleet.requeues")
+            expired = fleet_counter(client, "fleet.lease.expired")
+        check(requeues >= 1,
+              f"coordinator requeued the orphaned lease (fleet.requeues={requeues})")
+        check(expired >= 1,
+              f"the orphaned lease expired within its TTL (fleet.lease.expired={expired})")
+
+    # Bitwise parity of every chaos-era payload against clean local runs.
+    from repro.harness.checkpoint import payload_to_jsonable
+    from repro.harness.runner import execute_job
+    from repro.service.api import request_to_job, validate_request
+
+    for request, payload in zip(requests, served):
+        local = payload_to_jsonable(
+            execute_job(request_to_job(validate_request(dict(request))))
+        )
+        check(
+            json.dumps(payload, sort_keys=True) == json.dumps(local, sort_keys=True),
+            f"seed {request['seed']} payload is bitwise identical to a clean run",
+        )
+
+
+def main():
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-smoke-") as cache_dir:
+        print("== parity + roster ==")
+        probe_parity(cache_dir)
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-smoke-") as cache_dir:
+        print("== worker-kill chaos ==")
+        probe_chaos(cache_dir)
+    print("fleet smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

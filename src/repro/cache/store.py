@@ -250,6 +250,53 @@ class ArtifactCache:
         return payload, arrays, entry.get("meta", {})
 
     # ------------------------------------------------------------------
+    def entries(self):
+        """Iterate over entry records (no payloads): one dict per entry.
+
+        Each record carries ``key``, ``kind`` (``None`` when the entry
+        JSON is unreadable — garbage collection treats those as
+        droppable), ``meta`` (the dict :meth:`put` stored), ``mtime``
+        (seconds since the epoch of the entry file) and ``bytes``
+        (entry file + array file).  Ordering is unspecified.
+        """
+        if not os.path.isdir(self.path):
+            return
+        for dirpath, _dirnames, filenames in os.walk(self.path):
+            for filename in sorted(filenames):
+                if not filename.endswith(".json"):
+                    continue
+                key = filename[:-len(".json")]
+                json_path = os.path.join(dirpath, filename)
+                npz_path = os.path.join(dirpath, f"{key}.npz")
+                record = {"key": key, "kind": None, "meta": {}}
+                try:
+                    record["mtime"] = os.path.getmtime(json_path)
+                    record["bytes"] = os.path.getsize(json_path)
+                except OSError:
+                    continue  # deleted underneath us
+                try:
+                    record["bytes"] += os.path.getsize(npz_path)
+                except OSError:
+                    pass
+                try:
+                    with open(json_path) as handle:
+                        entry = json.load(handle)
+                    record["kind"] = entry.get("kind")
+                    meta = entry.get("meta")
+                    if isinstance(meta, dict):
+                        record["meta"] = meta
+                except (OSError, ValueError):
+                    pass  # unreadable: record stays kind=None
+                yield record
+
+    def remove(self, key):
+        """Delete one entry outright; ``True`` when a file existed."""
+        json_path, npz_path = self._entry_paths(key)
+        existed = os.path.exists(json_path) or os.path.exists(npz_path)
+        self._drop_entry(key)
+        return existed
+
+    # ------------------------------------------------------------------
     def info(self):
         """Entry count, total bytes and per-kind breakdown of the namespace."""
         entries = 0

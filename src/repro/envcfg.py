@@ -165,6 +165,30 @@ ENV_VARS = (
            "Upper bound on K x weight-ratio grid points per sweep "
            "request; larger grids are rejected at validation (HTTP "
            "400)."),
+    # -- distributed fleet ---------------------------------------------
+    EnvVar("REPRO_FLEET_HEARTBEAT", "seconds > 0", "lease TTL / 3",
+           "repro.fleet",
+           "Heartbeat period the coordinator hands to workers with "
+           "every lease; a worker that stops heartbeating loses its "
+           "leases after the lease TTL and the jobs are requeued."),
+    EnvVar("REPRO_FLEET_LEASE_TTL", "seconds > 0", "30",
+           "repro.fleet",
+           "Lease time-to-live: a leased job whose deadline passes "
+           "without a heartbeat extension is reclaimed by the "
+           "coordinator and requeued (charged as a timed-out retry)."),
+    EnvVar("REPRO_FLEET_MAX_INFLIGHT", "int >= 1", "2",
+           "repro.fleet",
+           "Maximum jobs a worker node leases per request (and "
+           "executes before reporting back)."),
+    EnvVar("REPRO_FLEET_POLL", "seconds >= 0", "2",
+           "repro.fleet",
+           "Long-poll wait of an idle worker's lease request: the "
+           "coordinator parks the request up to this long waiting for "
+           "work before answering with an empty lease set."),
+    EnvVar("REPRO_FLEET_WORKER_ID", "string", "<hostname>-<pid>",
+           "repro.fleet",
+           "Stable identifier a worker node registers under; shows up "
+           "in /fleet/v1/workers, /healthz and the per-worker gauges."),
     # -- partitioning service ------------------------------------------
     EnvVar("REPRO_SERVICE_HOST", "host", "127.0.0.1",
            "repro.service",
@@ -188,13 +212,14 @@ ENV_VARS = (
            "repro.service",
            "Set to 0/off/false/no to disable the content-keyed result "
            "store (every request re-solves)."),
-    EnvVar("REPRO_SERVICE_ISOLATION", "inline | process", "inline",
+    EnvVar("REPRO_SERVICE_ISOLATION", "inline | process | fleet", "inline",
            "repro.service",
            "Job execution mode: 'inline' runs solves in the worker "
            "thread (fast; retries but no hard deadlines), 'process' "
            "runs each job in a worker process through the pool path "
            "(crash isolation and enforced REPRO_JOB_TIMEOUT "
-           "deadlines)."),
+           "deadlines), 'fleet' dispatches jobs to external worker "
+           "nodes over the /fleet/v1 lease API (see docs/fleet.md)."),
 )
 
 _BY_NAME = {var.name: var for var in ENV_VARS}

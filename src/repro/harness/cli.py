@@ -482,6 +482,24 @@ def _cmd_cache(args):
         removed = cache.clear()
         print(f"cache cleared: {removed} entries removed from {cache.path}")
         return 0
+    if args.action == "gc":
+        from repro.service.gc import run_gc
+        from repro.service.store import ResultStore
+
+        store = ResultStore()
+        summary = run_gc(
+            store,
+            max_age=args.max_age,
+            keep_latest=args.keep_latest,
+            dry_run=args.dry_run,
+        )
+        verb = "would remove" if summary["dry_run"] else "removed"
+        print(
+            f"result-store gc: scanned {summary['scanned']} entries, "
+            f"kept {summary['kept']}, {verb} {summary['removed']} "
+            f"({summary['freed_bytes'] / 1024:.1f} KiB) in {store.path}"
+        )
+        return 0
     info = cache.info()
     if getattr(args, "json", False):
         import json
@@ -530,10 +548,31 @@ def _cmd_serve(args):
         queue_size=args.queue_size,
         timeout=args.timeout,
         retries=args.retries,
+        backoff=args.backoff,
         isolation=args.isolation,
+        lease_ttl=args.lease_ttl,
+        heartbeat=args.heartbeat,
         verbose=args.verbose,
         tracing=args.trace_requests,
     )
+    return 0
+
+
+def _cmd_worker(args):
+    from repro.fleet.worker import FleetWorker
+
+    worker = FleetWorker(
+        args.coordinator,
+        worker_id=args.id,
+        max_inflight=args.max_inflight,
+        poll=args.poll,
+        verbose=args.verbose,
+    )
+    print(f"repro-gpp fleet worker {worker.worker_id} ready", flush=True)
+    try:
+        worker.run()
+    except KeyboardInterrupt:
+        worker.stop()
     return 0
 
 
@@ -866,12 +905,29 @@ def build_parser():
         epilog="Environment: REPRO_CACHE_DIR overrides the cache root "
         "(default ~/.cache/repro-gpp); REPRO_CACHE=0 disables the cache "
         "entirely.  'clear' only removes the repro namespace directory, "
-        "never anything else under the root.",
+        "never anything else under the root.  'gc' walks the *service "
+        "result store* namespace and drops entries that are neither "
+        "live (per --max-age / --keep-latest) nor a base_key ancestor "
+        "of a live ECO chain entry.",
     )
-    cache_parser.add_argument("action", choices=("info", "clear"), help="what to do")
+    cache_parser.add_argument(
+        "action", choices=("info", "clear", "gc"), help="what to do"
+    )
     cache_parser.add_argument(
         "--json", action="store_true",
         help="emit 'info' as JSON (includes every data-format schema version)",
+    )
+    cache_parser.add_argument(
+        "--max-age", type=float, default=None, metavar="SECONDS",
+        help="gc: entries younger than this stay live",
+    )
+    cache_parser.add_argument(
+        "--keep-latest", type=int, default=None, metavar="N",
+        help="gc: the N newest entries of each ECO chain stay live",
+    )
+    cache_parser.add_argument(
+        "--dry-run", action="store_true",
+        help="gc: report what would be removed without deleting",
     )
 
     version_parser = subparsers.add_parser(
@@ -909,9 +965,26 @@ def build_parser():
         help="retries per failed job (default REPRO_RETRIES, else 2)",
     )
     serve_parser.add_argument(
-        "--isolation", choices=("inline", "process"), default=None,
-        help="run solves in the worker thread (inline) or a worker "
-        "process (crash isolation + hard deadlines)",
+        "--backoff", type=float, default=None,
+        help="base seconds of exponential retry backoff "
+        "(default REPRO_RETRY_BACKOFF)",
+    )
+    serve_parser.add_argument(
+        "--lease-ttl", type=float, default=None,
+        help="fleet lease deadline in seconds; an unheartbeated lease "
+        "expires and requeues after this long "
+        "(default REPRO_FLEET_LEASE_TTL, else 30)",
+    )
+    serve_parser.add_argument(
+        "--heartbeat", type=float, default=None,
+        help="fleet heartbeat period handed to workers "
+        "(default REPRO_FLEET_HEARTBEAT, else lease-ttl/3)",
+    )
+    serve_parser.add_argument(
+        "--isolation", choices=("inline", "process", "fleet"), default=None,
+        help="run solves in the worker thread (inline), a worker "
+        "process (crash isolation + hard deadlines), or dispatch them "
+        "to fleet worker nodes over /fleet/v1 (see 'worker')",
     )
     serve_parser.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
@@ -920,6 +993,34 @@ def build_parser():
         "--trace-requests", action="store_true",
         help="record per-job phase spans and solver spans under each "
         "request's trace context (serializes solves; debugging aid)",
+    )
+
+    worker_parser = subparsers.add_parser(
+        "worker",
+        help="run a fleet worker node against a coordinator",
+        epilog="Environment: REPRO_FLEET_WORKER_ID/MAX_INFLIGHT/POLL "
+        "configure the node (flags win); REPRO_FLEET_LEASE_TTL/"
+        "HEARTBEAT are coordinator-side.  The coordinator is a 'serve' "
+        "instance started with --isolation fleet; see docs/fleet.md.",
+    )
+    worker_parser.add_argument(
+        "--coordinator", required=True, metavar="URL",
+        help="coordinator base URL, e.g. http://127.0.0.1:8731",
+    )
+    worker_parser.add_argument(
+        "--id", default=None,
+        help="worker id (default REPRO_FLEET_WORKER_ID, else <hostname>-<pid>)",
+    )
+    worker_parser.add_argument(
+        "--max-inflight", type=int, default=None,
+        help="jobs leased per round trip (default 2)",
+    )
+    worker_parser.add_argument(
+        "--poll", type=float, default=None,
+        help="idle lease long-poll seconds (default 2)",
+    )
+    worker_parser.add_argument(
+        "--verbose", action="store_true", help="log every lease and completion"
     )
 
     obs_parser = subparsers.add_parser(
@@ -997,6 +1098,7 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "version": _cmd_version,
     "serve": _cmd_serve,
+    "worker": _cmd_worker,
     "obs": _cmd_obs,
     "figure1": _cmd_figure1,
     "convergence": _cmd_convergence,

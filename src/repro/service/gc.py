@@ -1,0 +1,117 @@
+"""Garbage collection of the service result store (``cache gc``).
+
+ECO re-partitioning (PR ``PATCH /v1/jobs/<key>``) grows *chains* in the
+result store: an edited netlist's result records the ``base_key`` of
+the stored result it warm-started from, and further edits chain on.  A
+long-lived store therefore accumulates superseded intermediate results
+that nothing will ask for again — but an entry must never be dropped
+while a *live* result still links to it, because the ECO route reads
+the base entry (payload + request meta) to build the next edit.
+
+The liveness rule:
+
+* an entry is **live** when its file mtime is within ``--max-age``
+  seconds, and/or when it is one of the ``--keep-latest`` newest
+  entries of its chain (chains are rooted at the entry a ``base_key``
+  walk terminates on; a plain result is its own one-entry chain);
+* every transitive ``base_key`` ancestor of a live entry is preserved
+  with it — reachability, not age, protects warm-start sources;
+* everything else (including entries whose JSON no longer parses) is
+  dropped.
+
+At least one criterion is required: with neither flag every entry would
+be garbage, and an empty store is never what an operator meant.
+"""
+
+import time
+
+from repro.utils.errors import ReproError
+
+
+def _base_key(record):
+    """The ``base_key`` an entry's stored request links to, or ``None``."""
+    request = (record.get("meta") or {}).get("request")
+    if isinstance(request, dict):
+        base = request.get("base_key")
+        if isinstance(base, str) and base:
+            return base
+    return None
+
+
+def plan_gc(store, max_age=None, keep_latest=None, now=None):
+    """Decide what :func:`run_gc` would keep and drop (no deletion).
+
+    Returns a dict with ``records`` (everything scanned), ``keep`` (the
+    preserved key set) and ``drop`` (records to delete, stable order).
+    """
+    if max_age is None and keep_latest is None:
+        raise ReproError(
+            "cache gc needs at least one liveness criterion: "
+            "--max-age seconds and/or --keep-latest N"
+        )
+    if max_age is not None and not float(max_age) >= 0:
+        raise ReproError(f"--max-age must be >= 0 seconds, got {max_age}")
+    if keep_latest is not None and not int(keep_latest) >= 1:
+        raise ReproError(f"--keep-latest must be >= 1, got {keep_latest}")
+    now = time.time() if now is None else now
+
+    records = sorted(store.entries(), key=lambda r: r["key"])
+    by_key = {record["key"]: record for record in records}
+    parent = {}
+    for record in records:
+        base = _base_key(record)
+        if base is not None:
+            parent[record["key"]] = base
+
+    def root_of(key):
+        seen = set()
+        while key in parent and key not in seen:
+            seen.add(key)
+            key = parent[key]
+        return key
+
+    live = set()
+    if max_age is not None:
+        cutoff = now - float(max_age)
+        live.update(r["key"] for r in records if r["mtime"] >= cutoff)
+    if keep_latest is not None:
+        chains = {}
+        for record in records:
+            chains.setdefault(root_of(record["key"]), []).append(record)
+        for members in chains.values():
+            members.sort(key=lambda r: (r["mtime"], r["key"]), reverse=True)
+            live.update(r["key"] for r in members[: int(keep_latest)])
+
+    keep = set()
+    for key in live:
+        while key is not None and key not in keep:
+            keep.add(key)
+            key = parent.get(key)
+            if key is not None and key not in by_key:
+                break  # dangling link: the ancestor is already gone
+    drop = [record for record in records if record["key"] not in keep]
+    return {"records": records, "keep": keep, "drop": drop}
+
+
+def run_gc(store, max_age=None, keep_latest=None, now=None, dry_run=False):
+    """Apply :func:`plan_gc`; returns a summary dict.
+
+    The summary carries ``scanned``/``kept``/``removed`` entry counts,
+    ``freed_bytes`` and the ``dry_run`` flag (with ``dry_run`` nothing
+    is deleted — ``removed`` counts what *would* go).
+    """
+    plan = plan_gc(store, max_age=max_age, keep_latest=keep_latest, now=now)
+    removed = 0
+    freed = 0
+    for record in plan["drop"]:
+        if not dry_run and not store.remove(record["key"]):
+            continue  # raced with a concurrent delete
+        removed += 1
+        freed += record.get("bytes", 0)
+    return {
+        "scanned": len(plan["records"]),
+        "kept": len(plan["keep"]),
+        "removed": removed,
+        "freed_bytes": freed,
+        "dry_run": bool(dry_run),
+    }

@@ -134,15 +134,21 @@ class JobManager:
                  backoff=None, isolation="inline", store=None, retry_after=1,
                  fault_plan=None, metrics=None, megabatch=None,
                  megabatch_limit=None, events=None, tracing=False,
-                 trace_sink=None):
+                 trace_sink=None, fleet=None):
         if workers < 1:
             raise ReproError(f"workers must be >= 1, got {workers}")
         if queue_size < 1:
             raise ReproError(f"queue_size must be >= 1, got {queue_size}")
-        if isolation not in ("inline", "process"):
+        if isolation not in ("inline", "process", "fleet"):
             raise ReproError(
-                f"isolation must be 'inline' or 'process', got {isolation!r}"
+                f"isolation must be 'inline', 'process' or 'fleet', "
+                f"got {isolation!r}"
             )
+        if isolation == "fleet" and fleet is None:
+            raise ReproError(
+                "isolation='fleet' needs a FleetCoordinator (fleet=...)"
+            )
+        self.fleet = fleet if isolation == "fleet" else None
         self.workers = workers
         self.queue_size = queue_size
         self.timeout = timeout
@@ -564,7 +570,18 @@ class JobManager:
         borrows the ``OBS`` singleton for a serialized capture window.
         The partition payloads are bitwise-identical either way — the
         context never enters a content key.
+
+        ``isolation="fleet"`` dispatches instead of solving: the job is
+        queued on the :class:`~repro.fleet.coordinator.FleetCoordinator`
+        and this worker thread blocks until a worker node resolves it
+        (the coordinator owns leases, heartbeat expiry, retry/backoff
+        accounting and payload validation).  Fault plans are *not*
+        applied coordinator-side — worker nodes honor their own
+        ``REPRO_FAULT`` environment, which is the whole point of the
+        worker-kill chaos story.
         """
+        if self.isolation == "fleet":
+            return self._solve_fleet(suite_job, solve_ctx, job)
         force_pool = self.isolation == "process"
         kwargs = dict(jobs=1, timeout=self.timeout, retries=self.retries,
                       backoff=self.backoff, fault_plan=fault_plan)
@@ -610,6 +627,28 @@ class JobManager:
             if serialize:
                 self._obs_lock.release()
         return payloads, None
+
+    def _solve_fleet(self, suite_job, solve_ctx, job):
+        """Dispatch one job to the fleet and wait for its resolution.
+
+        Returns the same ``(payloads, snapshot)`` shape as a local
+        solve; raises :class:`ReproError` when the fleet exhausted the
+        job's retries (the normal failed-job path picks that up).  The
+        wait is bounded only when an explicit ``timeout`` was
+        configured — a queue deeper than the worker pool legitimately
+        parks jobs for longer than any per-attempt budget.
+        """
+        trace = solve_ctx.to_wire() if solve_ctx is not None else job.trace
+        task = self.fleet.submit(
+            job.key, suite_job, job.request, trace=trace,
+            tracing=self.tracing and solve_ctx is not None, job_id=job.id,
+        )
+        deadline = None
+        if self.timeout is not None:
+            per_attempt = self.fleet.lease_ttl + float(self.timeout)
+            deadline = (self.fleet.retries + 1) * per_attempt + 10.0
+        payload, snapshot = task.wait(timeout=deadline)
+        return [payload], snapshot
 
     def _execute(self, job):
         if job.request.get("kind") == "sweep":

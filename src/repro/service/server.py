@@ -21,6 +21,14 @@ Routes (all JSON in, JSON out)::
                                JSONL trace file (replayable with
                                repro.obs.export.read_trace_jsonl)
 
+With ``--isolation fleet`` the server doubles as the fleet
+coordinator (see :mod:`repro.fleet`)::
+
+    POST /fleet/v1/lease       worker pulls leased jobs (long-poll)
+    POST /fleet/v1/heartbeat   worker extends its lease deadlines
+    POST /fleet/v1/complete    worker reports a payload or a failure
+    GET  /fleet/v1/workers     roster + queue state (also in /healthz)
+
 Observability: the server owns a private
 :class:`~repro.obs.metrics.MetricsRegistry` and
 :class:`~repro.obs.tracer.Tracer` — the process singleton ``OBS`` stays
@@ -144,7 +152,8 @@ def resolve_isolation(isolation=None, environ=None):
     if isolation is not None:
         return isolation
     return envcfg.choice(
-        "REPRO_SERVICE_ISOLATION", ("inline", "process"), "inline", environ
+        "REPRO_SERVICE_ISOLATION", ("inline", "process", "fleet"), "inline",
+        environ,
     )
 
 
@@ -161,6 +170,8 @@ def route_label(method, path):
             return "healthz"
         if path == "/metrics":
             return "metrics"
+        if parts == ["fleet", "v1", "workers"]:
+            return "fleet.workers"
         if parts == ["v1", "trace"]:
             return "trace"
         if parts == ["v1", "jobs"]:
@@ -177,6 +188,9 @@ def route_label(method, path):
             return "jobs.submit"
         if parts == ["v1", "sweeps"]:
             return "sweeps.submit"
+        if len(parts) == 3 and parts[:2] == ["fleet", "v1"]:
+            if parts[2] in ("lease", "heartbeat", "complete"):
+                return f"fleet.{parts[2]}"
         if len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "cancel":
             return "jobs.cancel"
     elif method == "PATCH":
@@ -191,20 +205,35 @@ class PartitionService:
     def __init__(self, workers=None, queue_size=None, timeout=None,
                  retries=None, backoff=None, isolation=None, store=None,
                  retry_after=None, fault_plan=None, megabatch=None,
-                 megabatch_limit=None, events=None, tracing=False):
+                 megabatch_limit=None, events=None, tracing=False,
+                 lease_ttl=None, heartbeat=None):
         self.metrics = MetricsRegistry()
         self.tracer = Tracer()
         self.tracer.enabled = True
         self._telemetry_lock = threading.Lock()
         self.store = store if store is not None else ResultStore()
         self.events = events if events is not None else EventLog.service_default()
+        isolation = resolve_isolation(isolation)
+        self.fleet = None
+        if isolation == "fleet":
+            from repro.fleet.coordinator import FleetCoordinator
+
+            self.fleet = FleetCoordinator(
+                lease_ttl=lease_ttl,
+                heartbeat=heartbeat,
+                retries=retries,
+                backoff=backoff,
+                metrics=self.metrics,
+                events=self.events if self.events.enabled else None,
+            )
         self.manager = JobManager(
             workers=resolve_workers(workers),
             queue_size=resolve_queue_size(queue_size),
             timeout=timeout,
             retries=retries,
             backoff=backoff,
-            isolation=resolve_isolation(isolation),
+            isolation=isolation,
+            fleet=self.fleet,
             store=self.store,
             retry_after=resolve_retry_after(retry_after),
             fault_plan=fault_plan,
@@ -223,6 +252,8 @@ class PartitionService:
 
     def stop(self):
         self.manager.stop()
+        if self.fleet is not None:
+            self.fleet.stop()
         return self
 
     def record_request(self, tracer, status, route=None, duration_s=None):
@@ -485,7 +516,7 @@ class PartitionService:
         }
 
     def health(self):
-        return 200, {
+        payload = {
             "status": "draining" if self.manager.draining else "ok",
             "version": __version__,
             "versions": schema_versions(),
@@ -501,6 +532,72 @@ class PartitionService:
             "tracing": self.manager.tracing,
             "events_enabled": self.events.enabled,
         }
+        if self.fleet is not None:
+            # Live fleet state: roster with last-heartbeat ages plus the
+            # coordinator-side queue — the operator's one-stop view.
+            payload["fleet"] = self.fleet.workers_snapshot()
+        return 200, payload
+
+    # -- fleet routes (coordinator side of the lease protocol) ---------
+    def _require_fleet(self):
+        if self.fleet is None:
+            raise ConflictError(
+                "this server is not a fleet coordinator; start it with "
+                "--isolation fleet (or REPRO_SERVICE_ISOLATION=fleet)"
+            )
+        return self.fleet
+
+    def fleet_lease(self, body):
+        fleet = self._require_fleet()
+        if not isinstance(body, dict) or not body.get("worker"):
+            raise BadRequestError(
+                "lease body must be a JSON object with a 'worker' id"
+            )
+        max_jobs = body.get("max_jobs", 1)
+        wait = body.get("wait", 0.0)
+        try:
+            max_jobs = max(1, int(max_jobs))
+            wait = max(0.0, float(wait))
+        except (TypeError, ValueError):
+            raise BadRequestError(
+                f"max_jobs/wait must be numbers, got {max_jobs!r}/{wait!r}"
+            ) from None
+        leases = fleet.lease(str(body["worker"]), max_jobs=max_jobs, wait=wait)
+        return 200, {"leases": leases, "draining": self.manager.draining}
+
+    def fleet_heartbeat(self, body):
+        fleet = self._require_fleet()
+        if not isinstance(body, dict) or not body.get("worker"):
+            raise BadRequestError(
+                "heartbeat body must be a JSON object with a 'worker' id"
+            )
+        lease_ids = body.get("leases") or []
+        if not isinstance(lease_ids, list):
+            raise BadRequestError("'leases' must be a list of lease ids")
+        return 200, fleet.heartbeat(str(body["worker"]),
+                                    [str(l) for l in lease_ids])
+
+    def fleet_complete(self, body):
+        fleet = self._require_fleet()
+        if not isinstance(body, dict) or not body.get("worker"):
+            raise BadRequestError(
+                "complete body must be a JSON object with a 'worker' id"
+            )
+        if not body.get("lease"):
+            raise BadRequestError("complete body must carry the 'lease' id")
+        status = fleet.complete(
+            str(body["worker"]),
+            str(body["lease"]),
+            ok=bool(body.get("ok")),
+            payload=body.get("payload"),
+            kind=body.get("kind"),
+            message=body.get("message"),
+            snapshot=body.get("snapshot"),
+        )
+        return 200, {"status": status}
+
+    def fleet_workers(self):
+        return 200, self._require_fleet().workers_snapshot()
 
     def metrics_payload(self):
         with self._telemetry_lock:
@@ -701,7 +798,19 @@ class _Handler(BaseHTTPRequestHandler):
                 return self._send_json(*self.service.job_result(parts[2]))
             if len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "events":
                 return self._send_json(*self.service.job_events(parts[2]))
+            if parts == ["fleet", "v1", "workers"]:
+                return self._send_json(*self.service.fleet_workers())
         elif method == "POST":
+            if parts == ["fleet", "v1", "lease"]:
+                return self._send_json(*self.service.fleet_lease(self._read_body()))
+            if parts == ["fleet", "v1", "heartbeat"]:
+                return self._send_json(
+                    *self.service.fleet_heartbeat(self._read_body())
+                )
+            if parts == ["fleet", "v1", "complete"]:
+                return self._send_json(
+                    *self.service.fleet_complete(self._read_body())
+                )
             if parts == ["v1", "jobs"]:
                 return self._send_json(
                     *self.service.submit(self._read_body(), ctx=self._trace_ctx)

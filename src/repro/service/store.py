@@ -100,6 +100,16 @@ class ResultStore:
             self._count("writes")
         return path
 
+    def entries(self):
+        """Entry records of the store's namespace (see
+        :meth:`repro.cache.ArtifactCache.entries`); enabled or not —
+        garbage collection of a disabled store is still meaningful."""
+        return self._cache.entries()
+
+    def remove(self, key):
+        """Delete one stored result; ``True`` when something existed."""
+        return self._cache.remove(key)
+
     def snapshot_stats(self):
         with self._lock:
             return dict(self.stats)

@@ -1,0 +1,144 @@
+"""Result-store garbage collection: liveness + ECO-chain reachability."""
+
+import os
+import time
+
+import pytest
+
+from repro.service.gc import plan_gc, run_gc
+from repro.service.store import RESULT_KIND, ResultStore
+from repro.utils.errors import ReproError
+
+PAYLOAD = {"labels": [0, 1, 2], "report": None}
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ResultStore(root=str(tmp_path), enabled=True)
+
+
+def put(store, key, base_key=None, age_s=0.0):
+    """Write one raw entry and (optionally) age its file mtime."""
+    request = {"kind": "partition", "circuit": "KSA4"}
+    if base_key is not None:
+        request = {"kind": "eco", "base_key": base_key}
+    store._cache.put(key, RESULT_KIND, PAYLOAD, meta={"request": request})
+    if age_s:
+        path = store._cache._entry_paths(key)[0]
+        stamp = time.time() - age_s
+        os.utime(path, (stamp, stamp))
+
+
+def keys(store):
+    return {record["key"] for record in store.entries()}
+
+
+def test_gc_requires_a_liveness_criterion(store):
+    with pytest.raises(ReproError, match="max-age.*keep-latest"):
+        run_gc(store)
+    with pytest.raises(ReproError, match="max-age"):
+        run_gc(store, max_age=-1)
+    with pytest.raises(ReproError, match="keep-latest"):
+        run_gc(store, keep_latest=0)
+
+
+def test_max_age_drops_stale_and_keeps_fresh(store):
+    put(store, "fresh1")
+    put(store, "fresh2")
+    put(store, "stale1", age_s=10_000)
+    summary = run_gc(store, max_age=3600)
+    assert summary == {"scanned": 3, "kept": 2, "removed": 1,
+                       "freed_bytes": summary["freed_bytes"], "dry_run": False}
+    assert summary["freed_bytes"] > 0
+    assert keys(store) == {"fresh1", "fresh2"}
+
+
+def test_ancestors_of_a_live_eco_entry_survive_any_age(store):
+    """The reachability rule: a base result older than --max-age must
+    stay while a live edit still links to it (the ECO route reads it)."""
+    put(store, "base", age_s=10_000)
+    put(store, "edit1", base_key="base", age_s=9_000)
+    put(store, "edit2", base_key="edit1")  # fresh tip
+    put(store, "stale-loner", age_s=10_000)
+    summary = run_gc(store, max_age=3600)
+    assert keys(store) == {"base", "edit1", "edit2"}
+    assert summary["removed"] == 1
+
+
+def test_fully_stale_chain_is_dropped_whole(store):
+    put(store, "base", age_s=10_000)
+    put(store, "edit", base_key="base", age_s=9_000)
+    put(store, "fresh")
+    run_gc(store, max_age=3600)
+    assert keys(store) == {"fresh"}
+
+
+def test_keep_latest_preserves_n_newest_per_chain(store):
+    # chain A: base <- e1 <- e2 (all stale, distinct mtimes)
+    put(store, "baseA", age_s=5_000)
+    put(store, "e1", base_key="baseA", age_s=4_000)
+    put(store, "e2", base_key="e1", age_s=3_000)
+    # chain B: a single plain result, even staler
+    put(store, "soloB", age_s=9_000)
+    run_gc(store, keep_latest=1)
+    # chain A keeps its newest entry e2 — plus e1 and baseA, which e2
+    # reaches through base_key links; chain B keeps its only entry
+    assert keys(store) == {"baseA", "e1", "e2", "soloB"}
+
+
+def test_keep_latest_without_links_drops_older_chain_entries(store):
+    put(store, "old1", age_s=5_000)
+    put(store, "old2", age_s=4_000)
+    put(store, "new1", age_s=10)
+    # three independent one-entry chains: each keeps its own newest,
+    # so keep-latest alone removes nothing here...
+    assert run_gc(store, keep_latest=1, dry_run=True)["removed"] == 0
+    # ...but combined with max-age, keep-latest is the only saver
+    summary = run_gc(store, max_age=3600, keep_latest=1)
+    assert summary["removed"] == 0  # every chain's newest is live
+
+
+def test_dry_run_deletes_nothing(store):
+    put(store, "a", age_s=10_000)
+    put(store, "b")
+    summary = run_gc(store, max_age=3600, dry_run=True)
+    assert summary["dry_run"] is True
+    assert summary["removed"] == 1
+    assert keys(store) == {"a", "b"}
+
+
+def test_unreadable_entries_are_collected(store):
+    put(store, "good")
+    bad_path = os.path.join(store.path, "cc", "cccc.json")
+    os.makedirs(os.path.dirname(bad_path), exist_ok=True)
+    with open(bad_path, "w") as handle:
+        handle.write("{not json")
+    stamp = time.time() - 10_000
+    os.utime(bad_path, (stamp, stamp))
+    run_gc(store, max_age=3600)
+    assert keys(store) == {"good"}
+    assert not os.path.exists(bad_path)
+
+
+def test_plan_matches_run(store):
+    put(store, "base", age_s=10_000)
+    put(store, "tip", base_key="base")
+    put(store, "doomed", age_s=10_000)
+    plan = plan_gc(store, max_age=3600)
+    assert plan["keep"] == {"base", "tip"}
+    assert [record["key"] for record in plan["drop"]] == ["doomed"]
+    summary = run_gc(store, max_age=3600)
+    assert summary["removed"] == 1
+
+
+def test_gc_via_cli(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    store = ResultStore()
+    put(store, "fresh")
+    put(store, "doomed", age_s=10_000)
+    from repro.harness.cli import main
+
+    assert main(["cache", "gc", "--max-age", "3600"]) == 0
+    out = capsys.readouterr().out
+    assert "scanned 2 entries, kept 1, removed 1" in out
+    assert keys(store) == {"fresh"}

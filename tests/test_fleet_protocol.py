@@ -1,0 +1,137 @@
+"""Wire serialization and knob resolvers of the fleet protocol."""
+
+import json
+
+import pytest
+
+from repro.core.config import PartitionConfig
+from repro.fleet.protocol import (
+    resolve_heartbeat,
+    resolve_lease_ttl,
+    resolve_max_inflight,
+    resolve_poll,
+    resolve_worker_id,
+)
+from repro.harness.runner import SuiteJob
+from repro.harness.wire import JOB_WIRE_VERSION, job_from_wire, job_to_wire
+from repro.service.api import request_to_job, validate_request
+from repro.utils.errors import ReproError
+
+
+def roundtrip(job):
+    """Serialize through *real* JSON text, like a network hop does."""
+    wire = json.loads(json.dumps(job_to_wire(job)))
+    return job_from_wire(wire)
+
+
+def test_minimal_job_roundtrips_field_for_field():
+    job = request_to_job(
+        validate_request({"circuit": "KSA4", "num_planes": 3, "seed": 7})
+    )
+    assert roundtrip(job) == job
+
+
+def test_full_job_roundtrips_with_config_pins_and_eco():
+    from repro.circuits.suite import build_circuit
+    from repro.netlist.serialize import netlist_to_dict
+
+    netlist = netlist_to_dict(build_circuit("KSA4"))
+    job = SuiteJob(
+        kind="eco",
+        circuit=netlist["name"],
+        num_planes=3,
+        method="gradient",
+        seed=11,
+        config=PartitionConfig(restarts=2, max_iterations=50, seed=11),
+        refine=False,
+        bias_limit_ma=80.0,
+        netlist_json=netlist,
+        pinned={"g0": 0, "g3": 2},
+        prev_labels=tuple([0] * len(netlist["gates"])),
+        eco={"touched": ["g1"], "halo": 1},
+    )
+    rebuilt = roundtrip(job)
+    assert rebuilt == job
+    assert isinstance(rebuilt.config, PartitionConfig)
+    assert isinstance(rebuilt.prev_labels, tuple)
+
+
+def test_wire_dict_is_pure_json():
+    job = request_to_job(
+        validate_request({"circuit": "KSA4", "num_planes": 3, "seed": 7})
+    )
+    wire = job_to_wire(job)
+    assert wire["version"] == JOB_WIRE_VERSION
+    # json round-trip must not change the dict at all
+    assert json.loads(json.dumps(wire)) == wire
+
+
+def test_unknown_wire_version_is_rejected():
+    job = request_to_job(
+        validate_request({"circuit": "KSA4", "num_planes": 3, "seed": 7})
+    )
+    wire = job_to_wire(job)
+    wire["version"] = JOB_WIRE_VERSION + 1
+    with pytest.raises(ReproError, match="wire version"):
+        job_from_wire(wire)
+
+
+@pytest.mark.parametrize("wire", [None, [], "job", {"version": JOB_WIRE_VERSION}])
+def test_malformed_wire_dicts_are_rejected(wire):
+    with pytest.raises(ReproError):
+        job_from_wire(wire)
+
+
+def test_bad_config_field_is_rejected():
+    job = request_to_job(
+        validate_request({"circuit": "KSA4", "num_planes": 3, "seed": 7})
+    )
+    wire = job_to_wire(job)
+    wire["config"] = {"no_such_knob": 1}
+    with pytest.raises(ReproError, match="config"):
+        job_from_wire(wire)
+
+
+def test_job_to_wire_rejects_non_jobs():
+    with pytest.raises(ReproError, match="SuiteJob"):
+        job_to_wire({"kind": "partition"})
+
+
+# -- knob resolvers -----------------------------------------------------
+
+def test_lease_ttl_explicit_env_and_default():
+    assert resolve_lease_ttl(5, environ={}) == 5.0
+    assert resolve_lease_ttl(None, environ={"REPRO_FLEET_LEASE_TTL": "12"}) == 12.0
+    assert resolve_lease_ttl(None, environ={}) == 30.0
+    with pytest.raises(ReproError):
+        resolve_lease_ttl(0, environ={})
+
+
+def test_heartbeat_defaults_to_third_of_ttl_and_is_capped():
+    assert resolve_heartbeat(None, lease_ttl=30, environ={}) == pytest.approx(10.0)
+    # an over-long heartbeat is capped at half the TTL
+    assert resolve_heartbeat(100, lease_ttl=30, environ={}) == pytest.approx(15.0)
+    assert resolve_heartbeat(
+        None, lease_ttl=30, environ={"REPRO_FLEET_HEARTBEAT": "2"}
+    ) == pytest.approx(2.0)
+
+
+def test_max_inflight_and_poll_resolvers():
+    assert resolve_max_inflight(None, environ={}) == 2
+    assert resolve_max_inflight(4, environ={}) == 4
+    assert resolve_max_inflight(
+        None, environ={"REPRO_FLEET_MAX_INFLIGHT": "3"}
+    ) == 3
+    with pytest.raises(ReproError):
+        resolve_max_inflight(0, environ={})
+    assert resolve_poll(None, environ={}) == 2.0
+    assert resolve_poll(0, environ={}) == 0.0
+    with pytest.raises(ReproError):
+        resolve_poll(-1, environ={})
+
+
+def test_worker_id_resolution_order():
+    assert resolve_worker_id("w9", environ={}) == "w9"
+    assert resolve_worker_id(None, environ={"REPRO_FLEET_WORKER_ID": "envy"}) == "envy"
+    fallback = resolve_worker_id(None, environ={})
+    assert "-" in fallback and len(fallback) > 3
